@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: shared-bus bandwidth sensitivity (Section 4.2 attributes the
+ * scaling knee past 16 cores to saturation of shared bus resources).
+ *
+ * Sweeps the data-bus width for a 32-core barrier microbenchmark. The
+ * software centralized barrier, whose release storm refills every
+ * spinner's flag line, degrades fastest as the bus narrows; the filter
+ * barriers degrade more gently; the dedicated network (own wires) is
+ * immune.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: bus bandwidth sensitivity, 32 cores");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned threads = unsigned(opts.getUint("cores", 32));
+    unsigned barriers = unsigned(opts.getUint("barriers", 16));
+    unsigned loops = unsigned(opts.getUint("loops", 4));
+
+    std::vector<unsigned> widths = {4, 8, 16, 32, 64};
+    std::vector<std::string> cols;
+    for (unsigned w : widths)
+        cols.push_back(std::to_string(w) + "B/cy");
+    printHeader(std::cout, "cycles/barrier", cols);
+
+    for (BarrierKind kind :
+         {BarrierKind::SwCentral, BarrierKind::SwTree,
+          BarrierKind::FilterDCache, BarrierKind::FilterDCachePP,
+          BarrierKind::HwNetwork}) {
+        std::vector<double> row;
+        for (unsigned w : widths) {
+            CmpConfig cfg = CmpConfig::fromOptions(opts);
+            cfg.numCores = threads;
+            cfg.busBytesPerCycle = w;
+            auto r =
+                measureBarrierLatency(cfg, kind, threads, barriers, loops);
+            row.push_back(r.cyclesPerBarrier);
+        }
+        printRow(std::cout, barrierKindName(kind), row);
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: shared bus vs Niagara-style crossbar fabric (Section 3.2
+ * notes Niagara links cores to L2 banks with a crossbar). The crossbar's
+ * independent per-bank/per-core links remove the global serialization
+ * that bends every memory-system barrier's curve past 16 cores — but a
+ * barrier's own lines all live in ONE bank, so its release path still
+ * serializes there; the crossbar mostly helps the software barriers,
+ * whose traffic spreads across banks.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: shared bus vs crossbar fabric");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned barriers = unsigned(opts.getUint("barriers", 16));
+    unsigned loops = unsigned(opts.getUint("loops", 4));
+
+    std::vector<unsigned> coreCounts = {8, 16, 32, 64};
+    std::vector<std::string> cols;
+    for (unsigned n : coreCounts) {
+        cols.push_back("bus" + std::to_string(n));
+        cols.push_back("xbar" + std::to_string(n));
+    }
+
+    printHeader(std::cout, "cycles/barrier", cols, 9);
+    for (BarrierKind kind :
+         {BarrierKind::SwCentral, BarrierKind::SwTree,
+          BarrierKind::FilterDCachePP, BarrierKind::HwNetwork}) {
+        std::vector<double> row;
+        for (unsigned n : coreCounts) {
+            for (bool xbar : {false, true}) {
+                CmpConfig cfg = CmpConfig::fromOptions(opts);
+                cfg.numCores = n;
+                cfg.crossbar = xbar;
+                auto r = measureBarrierLatency(cfg, kind, n, barriers,
+                                               loops);
+                row.push_back(r.cyclesPerBarrier);
+            }
+        }
+        printRow(std::cout, barrierKindName(kind), row, 9, 1);
+    }
+    return 0;
+}

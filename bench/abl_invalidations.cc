@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: invalidation traffic of the ping-pong filter barriers vs the
+ * entry/exit versions (Section 3.5: "invalidations consume non-local
+ * bandwidth"; the sense-reversing variants perform one invalidation per
+ * invocation instead of two).
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: invalidations per barrier invocation");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned barriers = unsigned(opts.getUint("barriers", 32));
+    unsigned loops = unsigned(opts.getUint("loops", 4));
+
+    printHeader(std::cout, "mechanism",
+                {"cores", "cyc/bar", "invAll/bar", "reqBusy/bar"});
+    for (unsigned threads : {8u, 16u, 32u}) {
+        for (BarrierKind kind :
+             {BarrierKind::FilterICache, BarrierKind::FilterICachePP,
+              BarrierKind::FilterDCache, BarrierKind::FilterDCachePP}) {
+            CmpConfig cfg = CmpConfig::fromOptions(opts);
+            cfg.numCores = threads;
+            auto r =
+                measureBarrierLatency(cfg, kind, threads, barriers, loops);
+            double perBar = double(r.barriers) * threads;
+            printRow(std::cout, barrierKindName(kind),
+                     {double(threads), r.cyclesPerBarrier,
+                      double(r.invAlls) / double(r.barriers),
+                      double(r.reqBusBusyCycles) / double(r.barriers)});
+            (void)perBar;
+        }
+    }
+    std::cout << "\nPing-pong variants perform half the invalidations of\n"
+              << "the entry/exit variants (one per thread per barrier).\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: MSHR sufficiency (Section 3.2.1 — a fill blocked at a filter
+ * occupies one MSHR in the requesting core; with one context per core,
+ * one entry suffices and the filter adds no MSHR pressure).
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: L1 MSHR count vs filter barrier cost");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned threads = unsigned(opts.getUint("cores", 16));
+
+    std::vector<unsigned> mshrs = {1, 2, 4, 8};
+    std::vector<std::string> cols;
+    for (unsigned m : mshrs)
+        cols.push_back(std::to_string(m) + " MSHR");
+    printHeader(std::cout, "", cols);
+
+    for (BarrierKind kind :
+         {BarrierKind::FilterICache, BarrierKind::FilterDCache}) {
+        std::vector<double> row;
+        for (unsigned m : mshrs) {
+            CmpConfig cfg = CmpConfig::fromOptions(opts);
+            cfg.numCores = threads;
+            cfg.l1Mshrs = m;
+            auto r = measureBarrierLatency(cfg, kind, threads, 32, 4);
+            row.push_back(r.cyclesPerBarrier);
+        }
+        printRow(std::cout, barrierKindName(kind), row);
+    }
+
+    // Kernel view: the blocked fill must not strangle real memory
+    // parallelism either.
+    std::vector<double> row;
+    for (unsigned m : mshrs) {
+        CmpConfig cfg = CmpConfig::fromOptions(opts);
+        cfg.numCores = threads;
+        cfg.l1Mshrs = m;
+        KernelParams p;
+        p.n = 256;
+        p.reps = 4;
+        auto r = runKernel(cfg, KernelId::Livermore3, p, true,
+                           BarrierKind::FilterDCache, threads);
+        row.push_back(double(r.cycles));
+    }
+    printRow(std::cout, "livermore3 cycles", row, 12, 0);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Host-side microbenchmark (google-benchmark): simulator throughput on
+ * the barrier microbenchmark and a kernel, in simulated-cycles and events
+ * per host-second. Useful for tracking simulator performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+void
+BM_BarrierMicrobench(benchmark::State &state)
+{
+    CmpConfig cfg;
+    cfg.numCores = unsigned(state.range(0));
+    uint64_t simCycles = 0;
+    for (auto _ : state) {
+        auto r = measureBarrierLatency(cfg, BarrierKind::FilterDCache,
+                                       cfg.numCores, 16, 2);
+        simCycles += r.totalCycles;
+        benchmark::DoNotOptimize(r.cyclesPerBarrier);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        double(simCycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_KernelRun(benchmark::State &state)
+{
+    CmpConfig cfg;
+    uint64_t simCycles = 0;
+    for (auto _ : state) {
+        KernelParams p;
+        p.n = uint64_t(state.range(0));
+        p.reps = 2;
+        auto r = runKernel(cfg, KernelId::Livermore3, p, true,
+                           BarrierKind::FilterDCache, cfg.numCores);
+        simCycles += r.cycles;
+        benchmark::DoNotOptimize(r.correct);
+    }
+    state.counters["simCycles/s"] = benchmark::Counter(
+        double(simCycles), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_BarrierMicrobench)->Arg(4)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_KernelRun)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

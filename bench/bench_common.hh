@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef BFSIM_BENCH_COMMON_HH
+#define BFSIM_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+#include "sys/experiment.hh"
+
+namespace bfsim::bench
+{
+
+/** Print the standard banner: what this binary reproduces. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << what << "\n"
+              << "(barrier-filter CMP reproduction; simulated cycles,\n"
+              << " shapes comparable to the paper, absolutes are not)\n"
+              << "==============================================\n";
+}
+
+/** Paper-default machine with CLI overrides applied. */
+inline CmpConfig
+configFromCli(int argc, char **argv)
+{
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+    return cfg;
+}
+
+/**
+ * Run one kernel sequentially and under every barrier mechanism; print a
+ * speedup-vs-sequential table (the Figure 5 / Figure 6 format).
+ */
+inline void
+speedupTable(const CmpConfig &cfg, KernelId id, const KernelParams &params,
+             unsigned threads)
+{
+    auto seq = runKernel(cfg, id, params, false);
+    std::cout << "sequential cycles: " << seq.cycles
+              << (seq.correct ? "" : "  [INCORRECT RESULT]") << "\n\n";
+    printHeader(std::cout, "barrier", {"cycles", "speedup", "ok"});
+    for (BarrierKind kind : allBarrierKinds()) {
+        auto par = runKernel(cfg, id, params, true, kind, threads);
+        printRow(std::cout, barrierKindName(kind),
+                 {double(par.cycles),
+                  double(seq.cycles) / double(par.cycles),
+                  par.correct ? 1.0 : 0.0});
+    }
+}
+
+/**
+ * Vector-length sweep (the Figure 7/8/10 format): execution time of the
+ * sequential version and of the parallel version under a set of barrier
+ * mechanisms, one row per mechanism, one column per vector length.
+ */
+inline void
+vectorSweep(const CmpConfig &cfg, KernelId id,
+            const std::vector<uint64_t> &lengths, unsigned reps,
+            unsigned threads,
+            const std::vector<BarrierKind> &kinds = allBarrierKinds())
+{
+    std::vector<std::string> cols;
+    for (uint64_t n : lengths)
+        cols.push_back("N=" + std::to_string(n));
+    printHeader(std::cout, "cycles", cols);
+
+    std::vector<double> seqRow;
+    bool allCorrect = true;
+    for (uint64_t n : lengths) {
+        KernelParams p;
+        p.n = n;
+        p.reps = reps;
+        auto r = runKernel(cfg, id, p, false);
+        allCorrect &= r.correct;
+        seqRow.push_back(double(r.cycles));
+    }
+    printRow(std::cout, "sequential", seqRow, 12, 0);
+
+    for (BarrierKind kind : kinds) {
+        std::vector<double> row;
+        for (uint64_t n : lengths) {
+            KernelParams p;
+            p.n = n;
+            p.reps = reps;
+            auto r = runKernel(cfg, id, p, true, kind, threads);
+            allCorrect &= r.correct;
+            row.push_back(double(r.cycles));
+        }
+        printRow(std::cout, barrierKindName(kind), row, 12, 0);
+    }
+    if (!allCorrect)
+        std::cout << "WARNING: at least one run produced incorrect "
+                     "results\n";
+}
+
+} // namespace bfsim::bench
+
+#endif // BFSIM_BENCH_COMMON_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 10: Livermore loop 6 (general linear recurrence) execution time
+ * vs vector length on 16 cores, per barrier mechanism.
+ *
+ * Expected shape: one global barrier per wavefront step makes this the
+ * most barrier-intensive kernel; with filter barriers the 16-thread
+ * version beats sequential from N around 64 and is more than 3x faster
+ * by N=256, while software barriers stay slower until much larger N.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 10: Livermore loop 6 time vs vector length");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    std::vector<uint64_t> lengths = {16, 32, 64, 128, 256};
+    if (opts.has("n"))
+        lengths = {opts.getUint("n", 256)};
+    unsigned reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "cores=" << cfg.numCores << " reps=" << reps << "\n";
+    bench::vectorSweep(cfg, KernelId::Livermore6, lengths, reps,
+                       cfg.numCores);
+    return 0;
+}

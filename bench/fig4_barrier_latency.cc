@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 4: average execution time of different barrier mechanisms vs
+ * core count, measured as the paper does (Section 4.2): a loop of
+ * consecutive barriers with no work between them, executed many times.
+ *
+ * Expected shape: the dedicated network is fastest and nearly flat; the
+ * four filter variants sit well below both software barriers; the
+ * software centralized barrier is the top (worst) curve and grows
+ * steeply; scaling past 16 cores is visibly impacted by shared-bus and
+ * bank saturation.
+ *
+ * Options: cores=<list via repeated runs>, barriers=N loops=N plus every
+ * CmpConfig override (cores=, l2banks=, busbw=, ...).
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 4: barrier latency vs core count");
+    auto opts = OptionMap::fromArgs(argc, argv);
+
+    std::vector<unsigned> coreCounts = {4, 8, 16, 32, 64};
+    if (opts.has("onlycores"))
+        coreCounts = {unsigned(opts.getUint("onlycores", 16))};
+
+    std::vector<std::string> cols;
+    for (unsigned n : coreCounts)
+        cols.push_back(std::to_string(n) + "c");
+    printHeader(std::cout, "cycles/barrier", cols);
+
+    for (BarrierKind kind : allBarrierKinds()) {
+        std::vector<double> row;
+        for (unsigned n : coreCounts) {
+            CmpConfig cfg = CmpConfig::fromOptions(opts);
+            cfg.numCores = n;
+            // The paper uses 64 barriers x 64 loops; software barriers at
+            // high core counts simulate slowly, so scale the repetition
+            // down with core count (steady state is reached far earlier).
+            unsigned barriers =
+                unsigned(opts.getUint("barriers", n >= 32 ? 16 : 64));
+            unsigned loops =
+                unsigned(opts.getUint("loops", n >= 32 ? 2 : 8));
+            auto r = measureBarrierLatency(cfg, kind, n, barriers, loops);
+            row.push_back(r.cyclesPerBarrier);
+        }
+        printRow(std::cout, barrierKindName(kind), row);
+    }
+
+    std::cout << "\nBus occupancy at the largest configuration indicates\n"
+              << "where the shared-bus saturation of Section 4.2 begins.\n";
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 5: EEMBC-style autocorrelation speedup over sequential execution
+ * on 16 cores, per barrier mechanism (lag = 32, speech-like input).
+ *
+ * Expected shape: parallelizes readily — a few x with software barriers,
+ * roughly double that with filter barriers, filters within ~10% of the
+ * dedicated network.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 5: EEMBC autocorrelation speedup, 16 cores");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    KernelParams p;
+    p.n = opts.getUint("n", 1024);
+    p.lags = unsigned(opts.getUint("lags", 32));
+    p.reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "samples=" << p.n << " lags=" << p.lags
+              << " reps=" << p.reps << " cores=" << cfg.numCores << "\n";
+    bench::speedupTable(cfg, KernelId::Autocorr, p, cfg.numCores);
+    return 0;
+}

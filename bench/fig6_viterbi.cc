@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 6: EEMBC-style Viterbi decoder speedup over sequential execution
+ * on 16 cores, per barrier mechanism (K=5 rate-1/2 code, synthetic
+ * encoded input standing in for getti.dat).
+ *
+ * Expected shape: limited improvement overall; the software-barrier
+ * versions are *slower* than sequential (speedup < 1); only the
+ * low-overhead barriers (filters, dedicated network) achieve a speedup.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 6: EEMBC Viterbi decoder speedup, 16 cores");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    KernelParams p;
+    p.n = opts.getUint("n", 256); // message bits
+    p.reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "message bits=" << p.n << " reps=" << p.reps
+              << " cores=" << cfg.numCores << "\n";
+    bench::speedupTable(cfg, KernelId::Viterbi, p, cfg.numCores);
+    return 0;
+}

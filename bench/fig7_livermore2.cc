@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 7: Livermore loop 2 (ICCG excerpt) execution time vs vector
+ * length on 16 cores, per barrier mechanism.
+ *
+ * Expected shape: available parallelism halves every do-while step, so
+ * the parallel version only overtakes sequential at vector lengths around
+ * 256 with filter barriers — later than loops 3 and 6 — and software
+ * barriers need vectors 2-4x longer still.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 7: Livermore loop 2 time vs vector length");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    std::vector<uint64_t> lengths = {32, 64, 128, 256, 512, 1024};
+    if (opts.has("n"))
+        lengths = {opts.getUint("n", 256)};
+    unsigned reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "cores=" << cfg.numCores << " reps=" << reps << "\n";
+    bench::vectorSweep(cfg, KernelId::Livermore2, lengths, reps,
+                       cfg.numCores);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 8: Livermore loop 3 (inner product) execution time vs vector
+ * length on 16 cores, per barrier mechanism.
+ *
+ * Expected shape: with filter barriers the parallel version overtakes
+ * sequential at vector lengths as short as ~64 (8 elements per thread,
+ * the minimum cache-line-sized partition); software barriers need
+ * vectors a factor of 2-4 longer.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 8: Livermore loop 3 time vs vector length");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    std::vector<uint64_t> lengths = {16, 32, 64, 128, 256, 512, 1024};
+    if (opts.has("n"))
+        lengths = {opts.getUint("n", 256)};
+    unsigned reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "cores=" << cfg.numCores << " reps=" << reps << "\n";
+    bench::vectorSweep(cfg, KernelId::Livermore3, lengths, reps,
+                       cfg.numCores);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Run an assembly file on the simulated CMP.
+ *
+ *   ./asm_runner prog.s [cores=1] [dumpregs=true] ...CmpConfig overrides
+ *
+ * With no file argument, runs an embedded demo program. The program's
+ * `.org` should target the OS code region (0x100000 by default); `.equ`
+ * symbols can reference any data address — pages are created on demand.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+const char *demoProgram = R"(
+    # Demo: sum of squares 1..10 into x3, stored at 'result'.
+    .equ result, 0x40000000
+    li   x1, 1
+    li   x2, 10
+    li   x3, 0
+loop:
+    mul  x4, x1, x1
+    add  x3, x3, x4
+    addi x1, x1, 1
+    bge  x2, x1, loop
+    li   x5, result
+    sd   x3, (x5)
+    fence
+    halt
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    std::string source;
+    if (!opts.positionalArgs().empty()) {
+        std::ifstream in(opts.positionalArgs()[0]);
+        if (!in)
+            fatal("cannot open " + opts.positionalArgs()[0]);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    } else {
+        std::cout << "(no file given; running the embedded demo)\n";
+        source = demoProgram;
+    }
+
+    CmpSystem sys(cfg);
+    ProgramPtr prog = assemble(source, sys.os().codeBase(0));
+    std::cout << prog->listing() << "\n";
+
+    ThreadContext *t = sys.os().createThread(prog);
+    sys.os().startThread(t, 0);
+    Tick cycles = sys.run(opts.getUint("maxticks", 100'000'000));
+
+    std::cout << "halted:       " << (t->halted ? "yes" : "NO") << "\n"
+              << "cycles:       " << cycles << "\n"
+              << "instructions: " << t->instsExecuted << "\n";
+
+    if (opts.getBool("dumpregs", true)) {
+        std::cout << "\ninteger registers (nonzero):\n";
+        for (unsigned r = 0; r < numIntRegs; ++r)
+            if (t->iregs[r] != 0)
+                std::cout << "  x" << r << " = " << t->iregs[r] << "\n";
+        std::cout << "fp registers (nonzero):\n";
+        for (unsigned r = 0; r < numFpRegs; ++r)
+            if (t->fregs[r] != 0.0)
+                std::cout << "  f" << r << " = " << t->fregs[r] << "\n";
+    }
+    return t->halted ? 0 : 1;
+}

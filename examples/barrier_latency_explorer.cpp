@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interactive exploration of barrier mechanism cost: pick a mechanism,
+ * core count and machine overrides on the command line, get the measured
+ * latency plus the bus/filter statistics behind it.
+ *
+ *   ./barrier_latency_explorer kind=filter-icache cores=32 busbw=8
+ */
+
+#include <iostream>
+
+#include "sys/experiment.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+BarrierKind
+kindFromString(const std::string &s)
+{
+    for (BarrierKind k : allBarrierKinds())
+        if (s == barrierKindName(k))
+            return k;
+    fatal("unknown barrier kind '" + s + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+    unsigned threads = unsigned(opts.getUint("threads", cfg.numCores));
+    unsigned barriers = unsigned(opts.getUint("barriers", 64));
+    unsigned loops = unsigned(opts.getUint("loops", 8));
+    BarrierKind kind = kindFromString(
+        opts.getString("kind", "filter-dcache"));
+
+    cfg.print(std::cout);
+    std::cout << "\nmeasuring " << barrierKindName(kind) << " across "
+              << threads << " threads (" << barriers << " barriers x "
+              << loops << " loops)...\n\n";
+
+    auto r = measureBarrierLatency(cfg, kind, threads, barriers, loops);
+    std::cout << "cycles/barrier:     " << r.cyclesPerBarrier << "\n"
+              << "total cycles:       " << r.totalCycles << "\n"
+              << "barriers/thread:    " << r.barriers << "\n"
+              << "request-bus busy:   " << r.reqBusBusyCycles << " cycles\n"
+              << "response-bus busy:  " << r.respBusBusyCycles
+              << " cycles\n"
+              << "granted as asked:   " << (r.granted ? "yes" : "no (SW fallback)")
+              << "\n";
+    return 0;
+}

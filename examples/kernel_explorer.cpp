@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run any of the paper's kernels under any barrier mechanism and machine
+ * configuration; prints cycles, speedup vs sequential, and correctness.
+ *
+ *   ./kernel_explorer kernel=livermore6 n=128 kind=filter-icache-pp
+ */
+
+#include <iostream>
+
+#include "kernels/workload.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+KernelId
+kernelFromString(const std::string &s)
+{
+    for (KernelId id : {KernelId::Livermore2, KernelId::Livermore3,
+                        KernelId::Livermore6, KernelId::Autocorr,
+                        KernelId::Viterbi})
+        if (s == kernelName(id))
+            return id;
+    fatal("unknown kernel '" + s + "'");
+}
+
+BarrierKind
+kindFromString(const std::string &s)
+{
+    for (BarrierKind k : allBarrierKinds())
+        if (s == barrierKindName(k))
+            return k;
+    fatal("unknown barrier kind '" + s + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+    KernelId id = kernelFromString(opts.getString("kernel", "livermore3"));
+    BarrierKind kind =
+        kindFromString(opts.getString("kind", "filter-dcache"));
+    KernelParams p;
+    p.n = opts.getUint("n", 256);
+    p.reps = unsigned(opts.getUint("reps", 4));
+    p.lags = unsigned(opts.getUint("lags", 32));
+    unsigned threads = unsigned(opts.getUint("threads", cfg.numCores));
+
+    std::cout << "kernel=" << kernelName(id) << " n=" << p.n
+              << " threads=" << threads << " barrier="
+              << barrierKindName(kind) << "\n";
+
+    auto seq = runKernel(cfg, id, p, false);
+    auto par = runKernel(cfg, id, p, true, kind, threads);
+
+    std::cout << "sequential: " << seq.cycles << " cycles ("
+              << seq.instructions << " insts), "
+              << (seq.correct ? "correct" : "WRONG") << "\n"
+              << "parallel:   " << par.cycles << " cycles ("
+              << par.instructions << " insts), "
+              << (par.correct ? "correct" : "WRONG") << "\n"
+              << "speedup:    "
+              << double(seq.cycles) / double(par.cycles) << "x\n";
+    return (seq.correct && par.correct) ? 0 : 1;
+}

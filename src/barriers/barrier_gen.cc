@@ -1,0 +1,240 @@
+/**
+ * @file
+ * BarrierCodegen implementation.
+ */
+
+#include "barriers/barrier_gen.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+BarrierCodegen::BarrierCodegen(const BarrierHandle &h, unsigned slot_)
+    : handle(h), slot(slot_)
+{
+    if (slot >= handle.numThreads)
+        fatal("BarrierCodegen: slot out of range");
+}
+
+std::string
+BarrierCodegen::uniq(const char *tag)
+{
+    std::ostringstream os;
+    os << "__bar" << slot << "_" << invocation << "_" << tag;
+    return os.str();
+}
+
+void
+BarrierCodegen::emitInit(ProgramBuilder &b)
+{
+    switch (handle.granted) {
+      case BarrierKind::SwCentral:
+        b.li(rAddrA, int64_t(handle.counterAddr));
+        b.li(rAddrB, int64_t(handle.flagAddr));
+        b.li(rSense, 0);
+        break;
+      case BarrierKind::SwTree:
+        b.li(rSense, 0);
+        break;
+      case BarrierKind::HwNetwork:
+        break;
+      case BarrierKind::FilterICache:
+      case BarrierKind::FilterDCache:
+        b.li(rAddrA, int64_t(handle.arrivalAddr(0, slot)));
+        b.li(rAddrB, int64_t(handle.exitAddr(0, slot)));
+        break;
+      case BarrierKind::FilterICachePP:
+      case BarrierKind::FilterDCachePP:
+        b.li(rAddrA, int64_t(handle.arrivalAddr(0, slot)));
+        b.li(rAddrB, int64_t(handle.arrivalAddr(1, slot)));
+        break;
+    }
+}
+
+void
+BarrierCodegen::emitBarrier(ProgramBuilder &b)
+{
+    switch (handle.granted) {
+      case BarrierKind::SwCentral:
+        emitSwCentral(b);
+        break;
+      case BarrierKind::SwTree:
+        emitSwTree(b);
+        break;
+      case BarrierKind::HwNetwork:
+        emitHwNetwork(b);
+        break;
+      case BarrierKind::FilterICache:
+        emitFilterICache(b, false);
+        break;
+      case BarrierKind::FilterICachePP:
+        emitFilterICache(b, true);
+        break;
+      case BarrierKind::FilterDCache:
+        emitFilterDCache(b, false);
+        break;
+      case BarrierKind::FilterDCachePP:
+        emitFilterDCache(b, true);
+        break;
+    }
+    ++invocation;
+}
+
+// ----- software centralized (sense reversal, LL/SC) ---------------------------
+
+void
+BarrierCodegen::emitSwCentral(ProgramBuilder &b)
+{
+    const std::string retry = uniq("retry");
+    const std::string wait = uniq("wait");
+    const std::string done = uniq("done");
+
+    b.fence();
+    b.xori(rSense, rSense, 1);
+    b.label(retry);
+    b.ll(rScratch1, rAddrA, 0);
+    b.addi(rScratch1, rScratch1, 1);
+    b.sc(rScratch2, rScratch1, rAddrA, 0);
+    b.beqz(rScratch2, retry);
+    b.li(rScratch2, int64_t(handle.numThreads));
+    b.bne(rScratch1, rScratch2, wait);
+    // Last arrival: reset the counter, then flip the release flag.
+    b.sd(regZero, rAddrA, 0);
+    b.sd(rSense, rAddrB, 0);
+    b.j(done);
+    b.label(wait);
+    b.ld(rScratch2, rAddrB, 0);
+    b.bne(rScratch2, rSense, wait);
+    b.label(done);
+}
+
+// ----- software combining tree (tournament, sense reversal) ----------------------
+
+void
+BarrierCodegen::emitSwTree(ProgramBuilder &b)
+{
+    const unsigned t = slot;
+    const unsigned n = handle.numThreads;
+    const unsigned levels = handle.treeLevels;
+
+    b.fence();
+    b.xori(rSense, rSense, 1);
+
+    // Ascend: win levels until losing (or winning the whole tree).
+    unsigned lostAt = levels;
+    for (unsigned l = 0; l < levels; ++l) {
+        const unsigned groupSize = 1u << (l + 1);
+        const unsigned half = 1u << l;
+        if (t % groupSize == 0) {
+            const unsigned partner = t + half;
+            if (partner < n) {
+                // Winner: wait for the partner's arrival flag.
+                const std::string spin = uniq(("arr" +
+                                               std::to_string(l)).c_str());
+                b.li(rScratch1, int64_t(handle.treeArriveAddr(l, t)));
+                b.label(spin);
+                b.ld(rScratch2, rScratch1, 0);
+                b.bne(rScratch2, rSense, spin);
+            }
+            // else: bye — ascend for free.
+        } else {
+            // Loser: signal the winner, then wait for release.
+            const unsigned winner = t - half;
+            b.li(rScratch1, int64_t(handle.treeArriveAddr(l, winner)));
+            b.sd(rSense, rScratch1, 0);
+            const std::string spin = uniq(("rel" +
+                                           std::to_string(l)).c_str());
+            b.li(rScratch1, int64_t(handle.treeReleaseAddr(l, winner)));
+            b.label(spin);
+            b.ld(rScratch2, rScratch1, 0);
+            b.bne(rScratch2, rSense, spin);
+            lostAt = l;
+            break;
+        }
+    }
+
+    // Descend: release every pairing this thread won below its exit level.
+    for (int l = int(lostAt) - 1; l >= 0; --l) {
+        const unsigned half = 1u << unsigned(l);
+        if (t % (half * 2) == 0 && t + half < n) {
+            b.li(rScratch1, int64_t(handle.treeReleaseAddr(unsigned(l), t)));
+            b.sd(rSense, rScratch1, 0);
+        }
+    }
+}
+
+// ----- dedicated hardware network baseline ------------------------------------------
+
+void
+BarrierCodegen::emitHwNetwork(ProgramBuilder &b)
+{
+    b.fence();
+    b.hbar(handle.networkId);
+}
+
+// ----- barrier filter, D-cache variant (Section 3.4.2) --------------------------------
+
+void
+BarrierCodegen::emitSwapAddrRegs(ProgramBuilder &b)
+{
+    b.mov(rScratch1, rAddrA);
+    b.mov(rAddrA, rAddrB);
+    b.mov(rAddrB, rScratch1);
+}
+
+void
+BarrierCodegen::emitFilterDCache(ProgramBuilder &b, bool pingPong)
+{
+    b.fence();                 // make prior work globally visible
+    b.dcbi(rAddrA, 0);         // arrival: invalidate own arrival line
+    b.ld(rScratch2, rAddrA, 0); // fill request the filter starves
+    b.fence();                 // nothing may pass until the fill completes
+    if (pingPong) {
+        // This arrival doubles as the previous barrier's exit; just flip
+        // which address the next invocation uses (Section 3.5).
+        emitSwapAddrRegs(b);
+    } else {
+        b.dcbi(rAddrB, 0);     // exit: re-arm our filter slot
+    }
+}
+
+// ----- barrier filter, I-cache variant (Section 3.4.1) -----------------------------------
+
+void
+BarrierCodegen::emitFilterICache(ProgramBuilder &b, bool pingPong)
+{
+    b.fence();                 // make prior work globally visible
+    b.icbi(rAddrA, 0);         // arrival: invalidate own arrival code block
+    b.isync();                 // discard fetched/prefetched instructions
+    b.jalr(regRa, rAddrA);     // fetch stalls until the filter releases
+    if (pingPong)
+        emitSwapAddrRegs(b);
+}
+
+void
+BarrierCodegen::emitArrivalSections(ProgramBuilder &b)
+{
+    switch (handle.granted) {
+      case BarrierKind::FilterICache:
+        // Arrival block: invalidate the exit line, then return.
+        b.beginSection(handle.arrivalAddr(0, slot));
+        b.dcbi(rAddrB, 0);
+        b.ret();
+        break;
+      case BarrierKind::FilterICachePP:
+        // Ping-pong arrival blocks contain only a return: entering the
+        // other barrier is what exits this one.
+        b.beginSection(handle.arrivalAddr(0, slot));
+        b.ret();
+        b.beginSection(handle.arrivalAddr(1, slot));
+        b.ret();
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace bfsim

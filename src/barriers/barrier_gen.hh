@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Barrier runtime library: emits the per-mechanism instruction sequences
+ * into a thread's program.
+ *
+ * The filter sequences follow Section 3.4 exactly; all instructions they
+ * use exist on PowerPC-class ISAs (fence/sync, icbi, dcbi, isync), so no
+ * core modification is implied. The software sequences implement the
+ * paper's comparison points: a centralized sense-reversal barrier on
+ * LL/SC with counter and release flag on separate cache lines, and a
+ * binary combining (tournament) tree of pairwise sense-reversal barriers.
+ * The dedicated-network baseline emits the `hbar` instruction.
+ */
+
+#ifndef BFSIM_BARRIERS_BARRIER_GEN_HH
+#define BFSIM_BARRIERS_BARRIER_GEN_HH
+
+#include <string>
+
+#include "isa/builder.hh"
+#include "os/os.hh"
+
+namespace bfsim
+{
+
+/**
+ * Emits barrier code for one thread against one registered barrier.
+ *
+ * Reserved registers (kernel code must stay below regBarrierFirst):
+ *   x26, x27  barrier addresses (arrival/exit, or ping-pong pair)
+ *   x28       local sense / toggle state
+ *   x29, x30  scratch
+ *   x31       return address for I-cache arrival blocks
+ */
+class BarrierCodegen
+{
+  public:
+    /**
+     * @param handle Registered barrier (drives the granted mechanism).
+     * @param slot This thread's slot within the barrier [0, numThreads).
+     */
+    BarrierCodegen(const BarrierHandle &handle, unsigned slot);
+
+    /** Emit one-time setup (register initialization). Call at entry. */
+    void emitInit(ProgramBuilder &b);
+
+    /** Inline one barrier invocation at the current emission point. */
+    void emitBarrier(ProgramBuilder &b);
+
+    /**
+     * Emit this thread's arrival code blocks (I-cache kinds only; no-op
+     * otherwise). Call once, after the main code, since it switches
+     * sections.
+     */
+    void emitArrivalSections(ProgramBuilder &b);
+
+    /** The mechanism actually granted by the OS. */
+    BarrierKind kind() const { return handle.granted; }
+
+    static constexpr IntReg rAddrA{26};
+    static constexpr IntReg rAddrB{27};
+    static constexpr IntReg rSense{28};
+    static constexpr IntReg rScratch1{29};
+    static constexpr IntReg rScratch2{30};
+
+  private:
+    std::string uniq(const char *tag);
+
+    void emitSwCentral(ProgramBuilder &b);
+    void emitSwTree(ProgramBuilder &b);
+    void emitHwNetwork(ProgramBuilder &b);
+    void emitFilterDCache(ProgramBuilder &b, bool pingPong);
+    void emitFilterICache(ProgramBuilder &b, bool pingPong);
+    void emitSwapAddrRegs(ProgramBuilder &b);
+
+    const BarrierHandle &handle;
+    unsigned slot;
+    unsigned invocation = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_BARRIERS_BARRIER_GEN_HH

@@ -1,0 +1,728 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "filter/barrier_network.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+/** Interpret raw store-buffer bits as a load result (forwarding path). */
+int64_t loadValueFromRaw(Opcode op, uint64_t raw, unsigned size);
+
+Core::Core(EventQueue &eq, StatGroup &st, std::string name_, CoreId id,
+           MainMemory &mem_, L1Cache &l1i_, L1Cache &l1d_,
+           BarrierNetwork *net_, const CoreParams &p)
+    : eventq(eq), stats(st), name(std::move(name_)), coreId(id), mem(mem_),
+      l1i(l1i_), l1d(l1d_), net(net_), params(p)
+{
+    l1d.setResourceFreeCallback([this] { wake(); });
+}
+
+void
+Core::setThread(ThreadContext *t)
+{
+    ctx = t;
+    intReady.fill(0);
+    fpReady.fill(0);
+    fetchValid = false;
+    fetchInFlight = false;
+    if (ctx && !ctx->halted)
+        scheduleTick(0);
+}
+
+void
+Core::setHaltCallback(std::function<void(ThreadContext *)> cb)
+{
+    haltCb = std::move(cb);
+}
+
+void
+Core::scheduleTick(Tick delay)
+{
+    if (tickScheduled)
+        return;
+    tickScheduled = true;
+    eventq.schedule(delay, [this, e = epoch] {
+        tickScheduled = false;
+        if (e == epoch)
+            tick();
+    });
+}
+
+void
+Core::wake()
+{
+    if (descheduleCb)
+        tryCompleteDeschedule();
+    if (ctx && !ctx->halted)
+        scheduleTick(0);
+}
+
+// ----- operand scoreboard ----------------------------------------------------
+
+void
+Core::collectRegs(const Instruction &inst,
+                  std::vector<std::pair<bool, uint8_t>> &srcs, int &intDst,
+                  int &fpDst) const
+{
+    intDst = -1;
+    fpDst = -1;
+    const Opcode op = inst.op;
+
+    auto srcI = [&](uint8_t r) { srcs.emplace_back(false, r); };
+    auto srcF = [&](uint8_t r) { srcs.emplace_back(true, r); };
+
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Sll: case Opcode::Srl: case Opcode::Sra:
+      case Opcode::Slt: case Opcode::Sltu:
+        srcI(inst.rs1);
+        srcI(inst.rs2);
+        break;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai: case Opcode::Slti:
+        srcI(inst.rs1);
+        break;
+      case Opcode::Li:
+      case Opcode::J: case Opcode::Jal:
+      case Opcode::Halt: case Opcode::Fence: case Opcode::Isync:
+      case Opcode::Hbar: case Opcode::Nop:
+        break;
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Flt: case Opcode::Fle: case Opcode::Feq:
+        srcF(inst.rs1);
+        srcF(inst.rs2);
+        break;
+      case Opcode::Fneg: case Opcode::Fabs: case Opcode::Fmov:
+      case Opcode::CvtFI:
+        srcF(inst.rs1);
+        break;
+      case Opcode::CvtIF:
+        srcI(inst.rs1);
+        break;
+      case Opcode::Lb: case Opcode::Lw: case Opcode::Ld:
+      case Opcode::Fld: case Opcode::Ll:
+      case Opcode::Icbi: case Opcode::Dcbi:
+      case Opcode::Jr: case Opcode::Jalr:
+        srcI(inst.rs1);
+        break;
+      case Opcode::Sb: case Opcode::Sw: case Opcode::Sd:
+      case Opcode::Sc:
+        srcI(inst.rs1);
+        srcI(inst.rs2);
+        break;
+      case Opcode::Fsd:
+        srcI(inst.rs1);
+        srcF(inst.rs2);
+        break;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        srcI(inst.rs1);
+        srcI(inst.rs2);
+        break;
+      default:
+        panic(name + ": collectRegs: unhandled opcode");
+    }
+
+    if (writesIntReg(op))
+        intDst = inst.rd;
+    if (writesFpReg(op))
+        fpDst = inst.rd;
+}
+
+bool
+Core::operandsReady(const Instruction &inst, Tick &readyAt) const
+{
+    std::vector<std::pair<bool, uint8_t>> srcs;
+    int intDst, fpDst;
+    collectRegs(inst, srcs, intDst, fpDst);
+
+    Tick t = 0;
+    for (auto [isFp, r] : srcs)
+        t = std::max(t, isFp ? fpReady[r] : intReady[r]);
+    // WAW: the destination must be quiescent too (a pending load writes
+    // its ready time from a callback; do not let a younger write race it).
+    if (intDst >= 0)
+        t = std::max(t, intReady[intDst]);
+    if (fpDst >= 0)
+        t = std::max(t, fpReady[fpDst]);
+
+    readyAt = t;
+    return t <= eventq.now();
+}
+
+// ----- result helpers ---------------------------------------------------------
+
+void
+Core::setIntResult(uint8_t rd, int64_t v, Tick latency)
+{
+    if (rd == 0)
+        return; // x0 is hard-wired zero
+    ctx->iregs[rd] = v;
+    intReady[rd] = eventq.now() + latency;
+}
+
+void
+Core::setFpResult(uint8_t rd, double v, Tick latency)
+{
+    ctx->fregs[rd] = v;
+    fpReady[rd] = eventq.now() + latency;
+}
+
+void
+Core::advance(Tick nextIssueDelay)
+{
+    ctx->pc += instBytes;
+    ++ctx->instsExecuted;
+    scheduleTick(nextIssueDelay);
+}
+
+// ----- main loop ------------------------------------------------------------------
+
+void
+Core::tick()
+{
+    if (!ctx || ctx->halted)
+        return;
+    if (pendingInvAck || waitingHbar || fetchInFlight)
+        return; // a completion callback will wake us
+
+    // Instruction fetch: entering a new cache line costs an L1I access.
+    Addr pc = ctx->pc;
+    Addr pcLine = pc & ~Addr(l1i.lineBytes() - 1);
+    if (!fetchValid || fetchLine != pcLine) {
+        bool ok = l1i.fetch(pc, [this, e = epoch, pcLine](bool error) {
+            if (e != epoch)
+                return;
+            fetchInFlight = false;
+            if (error) {
+                ctx->barrierError = true;
+                ctx->halted = true;
+                ctx->haltTick = eventq.now();
+                if (haltCb)
+                    haltCb(ctx);
+                return;
+            }
+            fetchValid = true;
+            fetchLine = pcLine;
+            wake();
+        });
+        if (!ok) {
+            scheduleTick(1); // L1I out of MSHRs; retry
+            return;
+        }
+        fetchInFlight = true;
+        return;
+    }
+
+    const Instruction &inst = ctx->program->fetch(pc);
+
+    Tick readyAt;
+    if (!operandsReady(inst, readyAt)) {
+        if (readyAt != tickNever)
+            scheduleTick(readyAt - eventq.now());
+        // else: an outstanding op's callback will wake us
+        return;
+    }
+
+    BFSIM_TRACE(TraceCat::Core, eventq.now(),
+                name << " [" << std::hex << pc << std::dec << "] "
+                     << disassemble(inst));
+
+    execute(inst);
+}
+
+void
+Core::execute(const Instruction &inst)
+{
+    auto &ir = ctx->iregs;
+    auto &fr = ctx->fregs;
+    const auto rs1 = inst.rs1;
+    const auto rs2 = inst.rs2;
+    const auto rd = inst.rd;
+    const int64_t imm = inst.imm;
+
+    switch (inst.op) {
+      // ----- integer ALU -----------------------------------------------------
+      case Opcode::Add: setIntResult(rd, ir[rs1] + ir[rs2], 1); break;
+      case Opcode::Sub: setIntResult(rd, ir[rs1] - ir[rs2], 1); break;
+      case Opcode::Mul:
+        setIntResult(rd, ir[rs1] * ir[rs2], params.intMulLatency);
+        break;
+      case Opcode::Div: {
+        int64_t b = ir[rs2];
+        int64_t q = (b == 0) ? 0
+                  : (ir[rs1] == INT64_MIN && b == -1) ? ir[rs1]
+                  : ir[rs1] / b;
+        setIntResult(rd, q, params.intDivLatency);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t b = ir[rs2];
+        int64_t r = (b == 0) ? ir[rs1]
+                  : (ir[rs1] == INT64_MIN && b == -1) ? 0
+                  : ir[rs1] % b;
+        setIntResult(rd, r, params.intDivLatency);
+        break;
+      }
+      case Opcode::And: setIntResult(rd, ir[rs1] & ir[rs2], 1); break;
+      case Opcode::Or: setIntResult(rd, ir[rs1] | ir[rs2], 1); break;
+      case Opcode::Xor: setIntResult(rd, ir[rs1] ^ ir[rs2], 1); break;
+      case Opcode::Sll:
+        setIntResult(rd, ir[rs1] << (ir[rs2] & 63), 1);
+        break;
+      case Opcode::Srl:
+        setIntResult(rd, int64_t(uint64_t(ir[rs1]) >> (ir[rs2] & 63)), 1);
+        break;
+      case Opcode::Sra: setIntResult(rd, ir[rs1] >> (ir[rs2] & 63), 1); break;
+      case Opcode::Slt: setIntResult(rd, ir[rs1] < ir[rs2], 1); break;
+      case Opcode::Sltu:
+        setIntResult(rd, uint64_t(ir[rs1]) < uint64_t(ir[rs2]), 1);
+        break;
+      case Opcode::Addi: setIntResult(rd, ir[rs1] + imm, 1); break;
+      case Opcode::Andi: setIntResult(rd, ir[rs1] & imm, 1); break;
+      case Opcode::Ori: setIntResult(rd, ir[rs1] | imm, 1); break;
+      case Opcode::Xori: setIntResult(rd, ir[rs1] ^ imm, 1); break;
+      case Opcode::Slli: setIntResult(rd, ir[rs1] << (imm & 63), 1); break;
+      case Opcode::Srli:
+        setIntResult(rd, int64_t(uint64_t(ir[rs1]) >> (imm & 63)), 1);
+        break;
+      case Opcode::Srai: setIntResult(rd, ir[rs1] >> (imm & 63), 1); break;
+      case Opcode::Slti: setIntResult(rd, ir[rs1] < imm, 1); break;
+      case Opcode::Li: setIntResult(rd, imm, 1); break;
+      case Opcode::Nop: break;
+
+      // ----- floating point ----------------------------------------------------
+      case Opcode::Fadd:
+        setFpResult(rd, fr[rs1] + fr[rs2], params.fpAddLatency);
+        break;
+      case Opcode::Fsub:
+        setFpResult(rd, fr[rs1] - fr[rs2], params.fpAddLatency);
+        break;
+      case Opcode::Fmul:
+        setFpResult(rd, fr[rs1] * fr[rs2], params.fpMulLatency);
+        break;
+      case Opcode::Fdiv:
+        setFpResult(rd, fr[rs1] / fr[rs2], params.fpDivLatency);
+        break;
+      case Opcode::Fneg: setFpResult(rd, -fr[rs1], 1); break;
+      case Opcode::Fabs:
+        setFpResult(rd, fr[rs1] < 0 ? -fr[rs1] : fr[rs1], 1);
+        break;
+      case Opcode::Fmov: setFpResult(rd, fr[rs1], 1); break;
+      case Opcode::CvtIF:
+        setFpResult(rd, double(ir[rs1]), params.fpMiscLatency);
+        break;
+      case Opcode::CvtFI:
+        setIntResult(rd, int64_t(fr[rs1]), params.fpMiscLatency);
+        break;
+      case Opcode::Flt:
+        setIntResult(rd, fr[rs1] < fr[rs2], params.fpMiscLatency);
+        break;
+      case Opcode::Fle:
+        setIntResult(rd, fr[rs1] <= fr[rs2], params.fpMiscLatency);
+        break;
+      case Opcode::Feq:
+        setIntResult(rd, fr[rs1] == fr[rs2], params.fpMiscLatency);
+        break;
+
+      // ----- memory ----------------------------------------------------------------
+      case Opcode::Lb:
+        doLoad(inst, Addr(ir[rs1] + imm), 1);
+        return;
+      case Opcode::Lw:
+        doLoad(inst, Addr(ir[rs1] + imm), 4);
+        return;
+      case Opcode::Ld:
+      case Opcode::Fld:
+      case Opcode::Ll:
+        doLoad(inst, Addr(ir[rs1] + imm), 8);
+        return;
+      case Opcode::Sb:
+        doStore(inst, Addr(ir[rs1] + imm), 1);
+        return;
+      case Opcode::Sw:
+        doStore(inst, Addr(ir[rs1] + imm), 4);
+        return;
+      case Opcode::Sd:
+      case Opcode::Fsd:
+        doStore(inst, Addr(ir[rs1] + imm), 8);
+        return;
+      case Opcode::Sc:
+        doStoreConditional(inst, Addr(ir[rs1] + imm));
+        return;
+
+      // ----- control -------------------------------------------------------------------
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu: {
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::Beq: taken = ir[rs1] == ir[rs2]; break;
+          case Opcode::Bne: taken = ir[rs1] != ir[rs2]; break;
+          case Opcode::Blt: taken = ir[rs1] < ir[rs2]; break;
+          case Opcode::Bge: taken = ir[rs1] >= ir[rs2]; break;
+          case Opcode::Bltu:
+            taken = uint64_t(ir[rs1]) < uint64_t(ir[rs2]);
+            break;
+          default:
+            taken = uint64_t(ir[rs1]) >= uint64_t(ir[rs2]);
+            break;
+        }
+        ++ctx->instsExecuted;
+        if (taken) {
+            ctx->pc = Addr(imm);
+            scheduleTick(1 + params.branchPenalty);
+        } else {
+            ctx->pc += instBytes;
+            scheduleTick(1);
+        }
+        return;
+      }
+      case Opcode::J:
+        ++ctx->instsExecuted;
+        ctx->pc = Addr(imm);
+        scheduleTick(1 + params.branchPenalty);
+        return;
+      case Opcode::Jal:
+        setIntResult(rd, int64_t(ctx->pc + instBytes), 1);
+        ++ctx->instsExecuted;
+        ctx->pc = Addr(imm);
+        scheduleTick(1 + params.branchPenalty);
+        return;
+      case Opcode::Jalr: {
+        Addr target = Addr(ir[rs1]);
+        setIntResult(rd, int64_t(ctx->pc + instBytes), 1);
+        ++ctx->instsExecuted;
+        ctx->pc = target;
+        scheduleTick(1 + params.branchPenalty);
+        return;
+      }
+      case Opcode::Jr:
+        ++ctx->instsExecuted;
+        ctx->pc = Addr(ir[rs1]);
+        scheduleTick(1 + params.branchPenalty);
+        return;
+      case Opcode::Halt:
+        // Halt retires only once memory is quiescent, so the final memory
+        // image reflects every architecturally-performed store.
+        if (!storeBuffer.empty() || !outstanding.empty() || pendingInvAck)
+            return; // completions wake us; re-execute
+        ++ctx->instsExecuted;
+        ctx->halted = true;
+        ctx->haltTick = eventq.now();
+        ++stats.counter(name + ".halts");
+        if (haltCb)
+            haltCb(ctx);
+        return;
+
+      // ----- synchronization ----------------------------------------------------------
+      case Opcode::Fence:
+        if (!storeBuffer.empty() || !outstanding.empty())
+            return; // completions wake us; re-execute the fence
+        advance(1);
+        return;
+      case Opcode::Isync:
+        // Discard fetched/prefetched instructions: next fetch re-accesses
+        // the L1I (this is what makes the just-invalidated arrival block
+        // miss and stall).
+        fetchValid = false;
+        advance(1);
+        return;
+      case Opcode::Icbi:
+      case Opcode::Dcbi: {
+        if (!storeBuffer.empty() || !outstanding.empty())
+            return; // enforce prior-op completion, then invalidate
+        Addr ea = Addr(ir[rs1] + imm);
+        L1Cache &cache = (inst.op == Opcode::Icbi) ? l1i : l1d;
+        pendingInvAck = true;
+        cache.invalidateBlock(ea, [this, e = epoch] {
+            if (e != epoch)
+                return;
+            pendingInvAck = false;
+            wake();
+        });
+        ctx->pc += instBytes;
+        ++ctx->instsExecuted;
+        return; // wake on ack
+      }
+      case Opcode::Hbar: {
+        if (!net)
+            fatal(name + ": hbar with no barrier network configured");
+        waitingHbar = true;
+        net->arrive(int(imm), coreId, [this, e = epoch] {
+            if (e != epoch)
+                return;
+            waitingHbar = false;
+            wake();
+        });
+        ctx->pc += instBytes;
+        ++ctx->instsExecuted;
+        return; // wake on release
+      }
+      default:
+        panic(name + ": unimplemented opcode " +
+              std::string(opcodeName(inst.op)));
+    }
+
+    // Common epilogue for 1-instruction ALU/FP paths.
+    advance(1);
+}
+
+// ----- memory helpers -----------------------------------------------------------
+
+int64_t
+Core::loadValueAtIssue(Opcode op, Addr ea, unsigned size) const
+{
+    uint64_t raw = 0;
+    mem.readBlock(ea, &raw, size);
+    switch (op) {
+      case Opcode::Lb: return int64_t(int8_t(raw));
+      case Opcode::Lw: return int64_t(int32_t(raw));
+      default: return int64_t(raw);
+    }
+}
+
+void
+Core::doLoad(const Instruction &inst, Addr ea, unsigned size)
+{
+    // Store-buffer interaction: forward an exact match, stall on partial
+    // overlap until the buffer drains.
+    for (auto it = storeBuffer.rbegin(); it != storeBuffer.rend(); ++it) {
+        const StoreEntry &e = *it;
+        bool disjoint = ea + size <= e.addr || e.addr + e.size <= ea;
+        if (disjoint)
+            continue;
+        if (e.addr == ea && e.size == size && inst.op != Opcode::Ll) {
+            ++stats.counter(name + ".sbForwards");
+            if (inst.op == Opcode::Fld)
+                setFpResult(inst.rd, std::bit_cast<double>(e.raw), 1);
+            else
+                setIntResult(inst.rd,
+                             loadValueFromRaw(inst.op, e.raw, size), 1);
+            advance(1);
+            return;
+        }
+        // Partial overlap (or LL hitting a buffered store): wait for
+        // the buffer to drain, then re-execute.
+        ++stats.counter(name + ".sbConflictStalls");
+        return;
+    }
+
+    uint64_t opId = nextOpId++;
+    bool isLl = inst.op == Opcode::Ll;
+    bool isFp = inst.op == Opcode::Fld;
+    uint8_t rd = inst.rd;
+
+    auto onDone = [this, e = epoch, opId, rd, isFp, isLl, ea,
+                   size](bool error) {
+        if (e != epoch)
+            return;
+        finishOutstanding(opId);
+        if (error) {
+            ctx->barrierError = true;
+            ctx->halted = true;
+            ctx->haltTick = eventq.now();
+            if (haltCb)
+                haltCb(ctx);
+            return;
+        }
+        if (isLl) {
+            // LL reads at completion: in coherence order.
+            ctx->iregs[rd] = int64_t(mem.read64(ea));
+        }
+        (void)size;
+        if (isFp)
+            fpReady[rd] = eventq.now();
+        else if (rd != 0)
+            intReady[rd] = eventq.now();
+        wake();
+    };
+
+    bool ok = isLl ? l1d.loadLinked(ea, onDone)
+                   : l1d.load(ea, size, onDone);
+    if (!ok) {
+        scheduleTick(1); // out of MSHRs: retry
+        return;
+    }
+
+    if (isFp) {
+        uint64_t raw = 0;
+        mem.readBlock(ea, &raw, 8);
+        ctx->fregs[rd] = std::bit_cast<double>(raw);
+        fpReady[rd] = tickNever;
+    } else {
+        if (!isLl && rd != 0)
+            ctx->iregs[rd] = loadValueAtIssue(inst.op, ea, size);
+        if (rd != 0)
+            intReady[rd] = tickNever;
+    }
+    outstanding.push_back({opId, ctx->pc});
+    advance(1);
+}
+
+void
+Core::doStore(const Instruction &inst, Addr ea, unsigned size)
+{
+    if (storeBuffer.size() >= params.storeBufferSize) {
+        ++stats.counter(name + ".sbFullStalls");
+        return; // a store completion wakes us; re-execute
+    }
+
+    uint64_t raw;
+    if (inst.op == Opcode::Fsd)
+        raw = std::bit_cast<uint64_t>(ctx->fregs[inst.rs2]);
+    else
+        raw = uint64_t(ctx->iregs[inst.rs2]);
+
+    storeBuffer.push_back({ea, size, raw});
+    issueStoreHead();
+    advance(1);
+}
+
+void
+Core::issueStoreHead()
+{
+    if (storeIssued || storeBuffer.empty() || storeRetryScheduled)
+        return;
+    const StoreEntry &head = storeBuffer.front();
+    bool ok = l1d.store(head.addr, head.size, [this, e = epoch](bool error) {
+        if (e != epoch)
+            return;
+        (void)error; // stores are never filter targets in correct usage
+        const StoreEntry &h = storeBuffer.front();
+        // The store performs now, in coherence order (we own the line).
+        mem.writeBlock(h.addr, &h.raw, h.size);
+        storeBuffer.pop_front();
+        storeIssued = false;
+        issueStoreHead();
+        wake();
+    });
+    if (!ok) {
+        // L1D out of MSHRs: retry shortly.
+        storeRetryScheduled = true;
+        eventq.schedule(1, [this, e = epoch] {
+            if (e != epoch)
+                return;
+            storeRetryScheduled = false;
+            issueStoreHead();
+        });
+        return;
+    }
+    storeIssued = true;
+}
+
+void
+Core::doStoreConditional(const Instruction &inst, Addr ea)
+{
+    if (!storeBuffer.empty())
+        return; // drain ordinary stores first; completions wake us
+
+    uint64_t raw = uint64_t(ctx->iregs[inst.rs2]);
+    uint64_t opId = nextOpId++;
+    uint8_t rd = inst.rd;
+
+    bool ok = l1d.storeConditional(ea, [this, e = epoch, opId, rd, ea,
+                                        raw](bool success) {
+        if (e != epoch)
+            return;
+        finishOutstanding(opId);
+        if (success)
+            mem.write64(ea, raw);
+        if (rd != 0) {
+            ctx->iregs[rd] = success ? 1 : 0;
+            intReady[rd] = eventq.now();
+        }
+        wake();
+    });
+    if (!ok) {
+        scheduleTick(1);
+        return;
+    }
+    if (rd != 0)
+        intReady[rd] = tickNever;
+    outstanding.push_back({opId, ctx->pc});
+    advance(1);
+}
+
+void
+Core::finishOutstanding(uint64_t id)
+{
+    for (auto it = outstanding.begin(); it != outstanding.end(); ++it) {
+        if (it->id == id) {
+            outstanding.erase(it);
+            return;
+        }
+    }
+}
+
+// ----- context switch (Section 3.3.3) ---------------------------------------------
+
+void
+Core::requestDeschedule(std::function<void(ThreadContext *)> onDone)
+{
+    descheduleCb = std::move(onDone);
+    tryCompleteDeschedule();
+}
+
+void
+Core::tryCompleteDeschedule()
+{
+    if (!descheduleCb || !ctx)
+        return;
+    if (!storeBuffer.empty() || pendingInvAck || waitingHbar)
+        return; // wait for quiescence; wake() retries
+
+    // Rewind to the oldest squashed operation so it replays on the next
+    // schedule. outstanding[] is in program order; a fetch stall leaves
+    // the PC already pointing at the stalled instruction.
+    if (!outstanding.empty())
+        ctx->pc = outstanding.front().pc;
+
+    ++epoch; // squash every in-flight callback
+    outstanding.clear();
+    fetchInFlight = false;
+    fetchValid = false;
+    storeIssued = false;
+    storeRetryScheduled = false;
+    tickScheduled = false;
+    intReady.fill(0);
+    fpReady.fill(0);
+
+    ThreadContext *t = ctx;
+    ctx = nullptr;
+    auto cb = std::move(descheduleCb);
+    descheduleCb = nullptr;
+    cb(t);
+}
+
+// Free function helper: interpret raw store-buffer bits as a load result.
+int64_t
+loadValueFromRaw(Opcode op, uint64_t raw, unsigned size)
+{
+    switch (op) {
+      case Opcode::Lb: return int64_t(int8_t(raw));
+      case Opcode::Lw: return int64_t(int32_t(raw));
+      default:
+        if (size == 4)
+            return int64_t(int32_t(raw));
+        return int64_t(raw);
+    }
+}
+
+} // namespace bfsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The core model: an in-order-issue processor with a register ready-time
+ * scoreboard, non-blocking loads (bounded by L1D MSHRs), a store buffer,
+ * and instruction fetch through the L1I.
+ *
+ * The two properties the paper's mechanism relies on are modelled
+ * faithfully: (1) an instruction fetch that misses stalls the thread until
+ * the line fills (the I-cache barrier), and (2) a load consumer stalls
+ * until the load's fill is serviced (the D-cache barrier). Everything the
+ * barrier filter starves therefore truly stops the thread, with no
+ * busy-waiting and no interrupt machinery.
+ *
+ * Functional semantics: ALU ops and loads evaluate at issue (loads forward
+ * from the store buffer); stores and store-conditionals perform at
+ * completion, i.e. in coherence order; load-linked reads at completion so
+ * LL/SC sequences observe coherence-ordered values.
+ */
+
+#ifndef BFSIM_CPU_CORE_HH
+#define BFSIM_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/l1_cache.hh"
+#include "mem/memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+class BarrierNetwork;
+
+/** Architectural state of one software thread. */
+struct ThreadContext
+{
+    ThreadId tid = 0;
+    ProgramPtr program;
+    Addr pc = 0;
+    std::array<int64_t, numIntRegs> iregs{};
+    std::array<double, numFpRegs> fregs{};
+    bool halted = false;
+    /** Set when a barrier fill came back with an embedded error code. */
+    bool barrierError = false;
+    uint64_t instsExecuted = 0;
+    Tick haltTick = 0;
+};
+
+/** Core timing parameters. */
+struct CoreParams
+{
+    Tick branchPenalty = 1;     ///< extra cycles after a taken branch
+    unsigned storeBufferSize = 8;
+    Tick intMulLatency = 3;
+    Tick intDivLatency = 12;
+    Tick fpAddLatency = 4;
+    Tick fpMulLatency = 4;
+    Tick fpDivLatency = 12;
+    Tick fpMiscLatency = 2;
+};
+
+/**
+ * One CMP core. Owns no thread permanently: the OS assigns a
+ * ThreadContext, and can deschedule a thread blocked at a barrier filter
+ * (Section 3.3.3) — in-flight blocked fills are squashed and the PC is
+ * rewound so the fill re-issues wherever the thread is next scheduled.
+ */
+class Core
+{
+  public:
+    Core(EventQueue &eq, StatGroup &stats, std::string name, CoreId id,
+         MainMemory &mem, L1Cache &l1i, L1Cache &l1d, BarrierNetwork *net,
+         const CoreParams &params);
+
+    /** OS: run @p t on this core (nullptr detaches). */
+    void setThread(ThreadContext *t);
+    ThreadContext *thread() const { return ctx; }
+    CoreId id() const { return coreId; }
+
+    /** True when no thread is attached or the thread halted. */
+    bool idle() const { return !ctx || ctx->halted; }
+
+    /**
+     * OS: detach the thread once it is quiescent (store buffer drained,
+     * only stalled/blocked fills outstanding — the barrier-filter context
+     * switch case). Squashes blocked operations and rewinds the PC so
+     * they replay on the next schedule. @p onDone receives the context.
+     */
+    void requestDeschedule(std::function<void(ThreadContext *)> onDone);
+
+    /** Invoked when the attached thread executes `halt`. */
+    void setHaltCallback(std::function<void(ThreadContext *)> cb);
+
+    /** True when the core is stalled on an instruction fetch miss. */
+    bool stalledOnFetch() const { return fetchInFlight; }
+
+    /** Number of loads/SCs in flight. */
+    size_t outstandingOps() const { return outstanding.size(); }
+
+  private:
+    struct StoreEntry
+    {
+        Addr addr = 0;
+        unsigned size = 0;
+        uint64_t raw = 0;
+    };
+
+    struct OutstandingOp
+    {
+        uint64_t id = 0;
+        Addr pc = 0;
+    };
+
+    void scheduleTick(Tick delay);
+    void wake();
+    void tick();
+    void execute(const Instruction &inst);
+    bool operandsReady(const Instruction &inst, Tick &readyAt) const;
+    void collectRegs(const Instruction &inst,
+                     std::vector<std::pair<bool, uint8_t>> &srcs,
+                     int &intDst, int &fpDst) const;
+
+    void doLoad(const Instruction &inst, Addr ea, unsigned size);
+    void doStore(const Instruction &inst, Addr ea, unsigned size);
+    void doStoreConditional(const Instruction &inst, Addr ea);
+    void issueStoreHead();
+    void finishOutstanding(uint64_t id);
+    void tryCompleteDeschedule();
+
+    int64_t loadValueAtIssue(Opcode op, Addr ea, unsigned size) const;
+    void setIntResult(uint8_t rd, int64_t v, Tick latency);
+    void setFpResult(uint8_t rd, double v, Tick latency);
+    void advance(Tick nextIssueDelay);
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    std::string name;
+    CoreId coreId;
+    MainMemory &mem;
+    L1Cache &l1i;
+    L1Cache &l1d;
+    BarrierNetwork *net;
+    CoreParams params;
+
+    ThreadContext *ctx = nullptr;
+
+    std::array<Tick, numIntRegs> intReady{};
+    std::array<Tick, numFpRegs> fpReady{};
+
+    bool fetchValid = false;
+    Addr fetchLine = 0;
+    bool fetchInFlight = false;
+
+    std::deque<StoreEntry> storeBuffer;
+    bool storeIssued = false;
+    bool storeRetryScheduled = false;
+
+    std::vector<OutstandingOp> outstanding;
+    uint64_t nextOpId = 1;
+
+    bool pendingInvAck = false;
+    bool waitingHbar = false;
+
+    bool tickScheduled = false;
+    uint64_t epoch = 0;   ///< bumped on deschedule to squash callbacks
+
+    std::function<void(ThreadContext *)> haltCb;
+    std::function<void(ThreadContext *)> descheduleCb;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_CPU_CORE_HH

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * BarrierFilter / FilterBank implementation.
+ */
+
+#include "filter/barrier_filter.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+void
+BarrierFilter::initialize(const AddressMap &m)
+{
+    if (armed)
+        panic("BarrierFilter: double initialize");
+    if (m.numThreads == 0 || m.strideBytes == 0)
+        fatal("BarrierFilter: bad address map");
+    map = m;
+    Entry init;
+    if (m.startServicing)
+        init.state = FilterThreadState::Servicing;
+    entries.assign(m.numThreads, init);
+    arrivedCounter = 0;
+    opens = 0;
+    armed = true;
+}
+
+void
+BarrierFilter::reset()
+{
+    for (const Entry &e : entries) {
+        if (e.pendingFill || e.state == FilterThreadState::Blocking)
+            fatal("BarrierFilter: swap-out with blocked threads");
+    }
+    entries.clear();
+    armed = false;
+    arrivedCounter = 0;
+}
+
+std::optional<unsigned>
+BarrierFilter::arrivalSlot(Addr lineAddr) const
+{
+    if (!armed || lineAddr < map.arrivalBase)
+        return std::nullopt;
+    Addr off = lineAddr - map.arrivalBase;
+    if (off % map.strideBytes != 0)
+        return std::nullopt;
+    Addr slot = off / map.strideBytes;
+    if (slot >= map.numThreads)
+        return std::nullopt;
+    return unsigned(slot);
+}
+
+std::optional<unsigned>
+BarrierFilter::exitSlot(Addr lineAddr) const
+{
+    if (!armed || lineAddr < map.exitBase)
+        return std::nullopt;
+    Addr off = lineAddr - map.exitBase;
+    if (off % map.strideBytes != 0)
+        return std::nullopt;
+    Addr slot = off / map.strideBytes;
+    if (slot >= map.numThreads)
+        return std::nullopt;
+    return unsigned(slot);
+}
+
+FilterThreadState
+BarrierFilter::threadState(unsigned slot) const
+{
+    return entries.at(slot).state;
+}
+
+bool
+BarrierFilter::fillPending(unsigned slot) const
+{
+    return entries.at(slot).pendingFill;
+}
+
+// ----- FilterBank -------------------------------------------------------------
+
+FilterBank::FilterBank(EventQueue &eq, StatGroup &st, std::string name_,
+                       unsigned numFilters, bool strict_, Tick timeout)
+    : eventq(eq), stats(st), name(std::move(name_)), strict(strict_),
+      timeoutCycles(timeout), filters(numFilters)
+{
+}
+
+void
+FilterBank::setReleaseHandler(std::function<void(const Msg &)> handler)
+{
+    releaseHandler = std::move(handler);
+}
+
+void
+FilterBank::setNackHandler(std::function<void(const Msg &)> handler)
+{
+    nackHandler = std::move(handler);
+}
+
+void
+FilterBank::setErrorHook(std::function<void(const std::string &)> hook)
+{
+    errorHook = std::move(hook);
+}
+
+BarrierFilter *
+FilterBank::allocate(const BarrierFilter::AddressMap &map)
+{
+    for (auto &f : filters) {
+        if (!f.active()) {
+            f.initialize(map);
+            ++stats.counter(name + ".allocations");
+            return &f;
+        }
+    }
+    return nullptr;
+}
+
+void
+FilterBank::release(BarrierFilter *filter)
+{
+    filter->reset();
+    ++stats.counter(name + ".releases");
+}
+
+unsigned
+FilterBank::freeFilters() const
+{
+    unsigned n = 0;
+    for (const auto &f : filters)
+        n += !f.active();
+    return n;
+}
+
+void
+FilterBank::misuse(const std::string &what)
+{
+    ++stats.counter(name + ".misuseErrors");
+    if (errorHook)
+        errorHook(what);
+    else
+        warn(name + ": " + what);
+}
+
+void
+FilterBank::open(BarrierFilter &f)
+{
+    ++stats.counter(name + ".opens");
+    f.arrivedCounter = 0;
+    ++f.opens;
+
+    // Service the withheld fills at one request per cycle (Table 2).
+    Tick stagger = 1;
+    for (auto &e : f.entries) {
+        e.state = FilterThreadState::Servicing;
+        if (e.pendingFill) {
+            e.pendingFill = false;
+            Msg msg = e.pendingMsg;
+            eventq.schedule(stagger++, [this, msg] { releaseHandler(msg); });
+        }
+    }
+}
+
+void
+FilterBank::armTimeout(BarrierFilter &f, unsigned slot)
+{
+    if (timeoutCycles == 0)
+        return;
+    uint64_t epoch = f.opens;
+    BarrierFilter *fp = &f;
+    eventq.schedule(timeoutCycles, [this, fp, slot, epoch] {
+        if (!fp->active() || fp->opens != epoch)
+            return;
+        auto &e = fp->entries[slot];
+        if (!e.pendingFill)
+            return;
+        // Hardware timeout: embed an error code in the fill response
+        // (Section 3.3.4). The thread's library can retry or trap.
+        e.pendingFill = false;
+        ++stats.counter(name + ".timeoutNacks");
+        Msg msg = e.pendingMsg;
+        msg.type = MsgType::NackError;
+        nackHandler(msg);
+    });
+}
+
+bool
+FilterBank::coversLine(Addr lineAddr) const
+{
+    for (const auto &f : filters) {
+        if (!f.active())
+            continue;
+        if (f.arrivalSlot(lineAddr) || f.exitSlot(lineAddr))
+            return true;
+    }
+    return false;
+}
+
+void
+FilterBank::onInvalidate(Addr lineAddr)
+{
+    for (auto &f : filters) {
+        if (!f.active())
+            continue;
+
+        if (auto slot = f.arrivalSlot(lineAddr)) {
+            auto &e = f.entries[*slot];
+            ++stats.counter(name + ".arrivalInvs");
+            switch (e.state) {
+              case FilterThreadState::Waiting:
+                if (f.arrivedCounter + 1 == f.map.numThreads) {
+                    // Last thread: everyone else is blocked; open up.
+                    open(f);
+                } else {
+                    e.state = FilterThreadState::Blocking;
+                    e.blockedSince = eventq.now();
+                    ++f.arrivedCounter;
+                }
+                break;
+              case FilterThreadState::Blocking:
+                // Section 3.2: repeated arrival invalidation leaves the
+                // thread Blocking; strict mode flags it (Section 3.3.4).
+                if (strict)
+                    misuse("arrival invalidate while Blocking");
+                break;
+              case FilterThreadState::Servicing:
+                if (strict)
+                    misuse("arrival invalidate while Servicing");
+                break;
+            }
+        }
+
+        if (auto slot = f.exitSlot(lineAddr)) {
+            auto &e = f.entries[*slot];
+            ++stats.counter(name + ".exitInvs");
+            switch (e.state) {
+              case FilterThreadState::Servicing:
+                e.state = FilterThreadState::Waiting;
+                break;
+              case FilterThreadState::Waiting:
+              case FilterThreadState::Blocking:
+                if (strict)
+                    misuse("exit invalidate while not Servicing");
+                break;
+            }
+        }
+    }
+}
+
+FillAction
+FilterBank::onFillRequest(const Msg &msg)
+{
+    for (auto &f : filters) {
+        if (!f.active())
+            continue;
+        auto slot = f.arrivalSlot(msg.lineAddr);
+        if (!slot)
+            continue;
+
+        auto &e = f.entries[*slot];
+        switch (e.state) {
+          case FilterThreadState::Waiting:
+            // A fill with no preceding arrival invalidation: incorrect
+            // barrier usage (Section 3.3.4). Strict mode faults it;
+            // lenient mode lets it pass (e.g. a stray prefetch before the
+            // thread ever enters the barrier).
+            if (strict) {
+                misuse("fill request while Waiting");
+                return FillAction::Error;
+            }
+            return FillAction::Pass;
+          case FilterThreadState::Blocking:
+            if (e.pendingFill) {
+                // A second fill for the same slot (e.g. reissued after a
+                // context switch migrated the thread): keep only the
+                // newest; nack nothing, just replace.
+                ++stats.counter(name + ".replacedPendingFills");
+            }
+            e.pendingFill = true;
+            e.pendingMsg = msg;
+            ++stats.counter(name + ".blockedFills");
+            armTimeout(f, *slot);
+            return FillAction::Blocked;
+          case FilterThreadState::Servicing:
+            ++stats.counter(name + ".servicedFills");
+            return FillAction::Pass;
+        }
+    }
+    return FillAction::Pass;
+}
+
+} // namespace bfsim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The barrier filter: the paper's central hardware contribution.
+ *
+ * A filter lives in each L2 bank controller. For one barrier it tracks,
+ * per participating thread, a two-bit FSM (Figure 3: Waiting-on-arrival,
+ * Blocked-until-release, Service-until-exit) plus a pending-fill bit, and
+ * globally an arrived-counter and num-threads (Figure 2).
+ *
+ * Threads signal arrival by *invalidating* their per-thread arrival cache
+ * line (dcbi / icbi), then stall on a fill request for that line, which
+ * the filter starves until the last thread arrives. Release is simply
+ * servicing the withheld fills (at one request per cycle, Table 2).
+ * Threads signal having passed the barrier by invalidating their exit
+ * line, which re-arms their FSM.
+ *
+ * Addressing follows Section 3.3.2: the OS hands out arrival/exit lines
+ * with a common tag whose low-order (above bank-interleave) bits select
+ * the thread slot, realized here as base + thread * stride with stride =
+ * numBanks * lineBytes so every line of one barrier maps to one bank.
+ */
+
+#ifndef BFSIM_FILTER_BARRIER_FILTER_HH
+#define BFSIM_FILTER_BARRIER_FILTER_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+/** Per-thread FSM states, Figure 3. */
+enum class FilterThreadState : uint8_t
+{
+    Waiting,    ///< Waiting-on-arrival
+    Blocking,   ///< Blocked-until-release
+    Servicing,  ///< Service-until-exit
+};
+
+/** What the bank should do with an incoming fill request. */
+enum class FillAction : uint8_t
+{
+    Pass,     ///< not filtered: process normally
+    Blocked,  ///< withheld; the filter owns the message until release
+    Error,    ///< invalid use (strict mode): respond NackError
+};
+
+/**
+ * State table for one barrier (Figure 2).
+ */
+class BarrierFilter
+{
+  public:
+    /** Layout of one barrier's arrival/exit line groups. */
+    struct AddressMap
+    {
+        Addr arrivalBase = 0;  ///< arrival line of thread slot 0
+        Addr exitBase = 0;     ///< exit line of thread slot 0
+        Addr strideBytes = 0;  ///< numBanks * lineBytes
+        unsigned numThreads = 0;
+        /**
+         * Start every thread in Servicing instead of Waiting: used for the
+         * second barrier of a ping-pong pair, whose exit lines are the
+         * first barrier's arrival lines — the first real invalidation of
+         * those lines must read as an exit, not a misuse.
+         */
+        bool startServicing = false;
+    };
+
+    BarrierFilter() = default;
+
+    /** OS: program the tags/counters and arm the filter. */
+    void initialize(const AddressMap &map);
+
+    /** OS: swap the filter out (must have no blocked threads). */
+    void reset();
+
+    bool active() const { return armed; }
+    const AddressMap &addressMap() const { return map; }
+
+    /** Slot index for @p lineAddr in the arrival group, if any. */
+    std::optional<unsigned> arrivalSlot(Addr lineAddr) const;
+
+    /** Slot index for @p lineAddr in the exit group, if any. */
+    std::optional<unsigned> exitSlot(Addr lineAddr) const;
+
+    FilterThreadState threadState(unsigned slot) const;
+    bool fillPending(unsigned slot) const;
+    unsigned arrivedCount() const { return arrivedCounter; }
+    uint64_t openCount() const { return opens; }
+
+  private:
+    friend class FilterBank;
+
+    struct Entry
+    {
+        FilterThreadState state = FilterThreadState::Waiting;
+        bool pendingFill = false;
+        Msg pendingMsg;
+        Tick blockedSince = 0;
+    };
+
+    AddressMap map;
+    std::vector<Entry> entries;
+    unsigned arrivedCounter = 0;
+    uint64_t opens = 0;   ///< barrier episodes completed (epoch counter)
+    bool armed = false;
+};
+
+/**
+ * The set of filters attached to one L2 bank controller, plus the glue
+ * that lets the bank consult them.
+ */
+class FilterBank
+{
+  public:
+    /**
+     * @param strict Enforce the error transitions of Section 3.3.4
+     *               (invalid FSM arcs raise errors) instead of ignoring
+     *               benign repeats.
+     * @param timeoutCycles When nonzero, a fill blocked longer than this
+     *               is nacked with an error code embedded in the response
+     *               (Section 3.3.4's hardware timeout).
+     */
+    FilterBank(EventQueue &eq, StatGroup &stats, std::string name,
+               unsigned numFilters, bool strict, Tick timeoutCycles);
+
+    /** Bank wiring: how released / nacked fills re-enter the bank. */
+    void setReleaseHandler(std::function<void(const Msg &)> handler);
+    void setNackHandler(std::function<void(const Msg &)> handler);
+
+    /** Diagnostic hook for misuse errors (default: warn). */
+    void setErrorHook(std::function<void(const std::string &)> hook);
+
+    /** OS: grab a free filter. @return nullptr when all are in use. */
+    BarrierFilter *allocate(const BarrierFilter::AddressMap &map);
+
+    /** OS: return a filter (swap-out). */
+    void release(BarrierFilter *filter);
+
+    unsigned freeFilters() const;
+    unsigned capacity() const { return unsigned(filters.size()); }
+
+    // ----- bank-side interface ---------------------------------------------
+
+    /** An InvAll for @p lineAddr reached this bank. */
+    void onInvalidate(Addr lineAddr);
+
+    /**
+     * True when @p lineAddr belongs to any active filter's arrival or
+     * exit group. The bank retains its own copy of such lines on an
+     * explicit invalidation: the filter lives in this bank's controller,
+     * so the L2 data array is not "above the filter" (Section 3.1) and
+     * released fills are serviced at L2 latency.
+     */
+    bool coversLine(Addr lineAddr) const;
+
+    /** A fill request reached this bank; decide its fate. */
+    FillAction onFillRequest(const Msg &msg);
+
+    /** Direct access for tests. */
+    BarrierFilter &filterAt(unsigned i) { return filters[i]; }
+
+  private:
+    void open(BarrierFilter &f);
+    void misuse(const std::string &what);
+    void armTimeout(BarrierFilter &f, unsigned slot);
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    std::string name;
+    bool strict;
+    Tick timeoutCycles;
+    std::vector<BarrierFilter> filters;
+    std::function<void(const Msg &)> releaseHandler;
+    std::function<void(const Msg &)> nackHandler;
+    std::function<void(const std::string &)> errorHook;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_FILTER_BARRIER_FILTER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * BarrierNetwork implementation.
+ */
+
+#include "filter/barrier_network.hh"
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+BarrierNetwork::BarrierNetwork(EventQueue &eq, StatGroup &st,
+                               Tick linkLatency_, Tick restartCost_)
+    : eventq(eq), stats(st), linkLatency(linkLatency_),
+      restartCost(restartCost_)
+{
+}
+
+int
+BarrierNetwork::createBarrier(unsigned numThreads)
+{
+    if (numThreads == 0)
+        fatal("BarrierNetwork: zero threads");
+    for (size_t i = 0; i < barriers.size(); ++i) {
+        if (!barriers[i].live) {
+            barriers[i] = BarrierState{true, numThreads, 0, {}};
+            return int(i);
+        }
+    }
+    barriers.push_back(BarrierState{true, numThreads, 0, {}});
+    return int(barriers.size()) - 1;
+}
+
+void
+BarrierNetwork::destroyBarrier(int id)
+{
+    auto &b = barriers.at(id);
+    if (b.arrived != 0)
+        fatal("BarrierNetwork: destroying a busy barrier");
+    b.live = false;
+}
+
+void
+BarrierNetwork::arrive(int id, CoreId, std::function<void()> onRelease)
+{
+    auto &b = barriers.at(id);
+    if (!b.live)
+        fatal("BarrierNetwork: arrive on a dead barrier");
+
+    ++stats.counter("hwnet.arrivals");
+    // The signal takes linkLatency cycles to reach the global logic.
+    eventq.schedule(linkLatency, [this, id, cb = std::move(onRelease)]()
+                                     mutable {
+        auto &bb = barriers.at(id);
+        bb.waiters.push_back(std::move(cb));
+        if (++bb.arrived < bb.numThreads)
+            return;
+
+        // Wired-AND satisfied: broadcast the release.
+        ++stats.counter("hwnet.releases");
+        bb.arrived = 0;
+        auto waiters = std::move(bb.waiters);
+        bb.waiters.clear();
+        for (auto &w : waiters)
+            eventq.schedule(linkLatency + restartCost, std::move(w));
+    });
+}
+
+} // namespace bfsim

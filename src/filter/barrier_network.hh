@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dedicated hardware barrier network — the paper's aggressive baseline.
+ *
+ * Models the Beckmann & Polychronopoulos-style synchronization hardware
+ * the paper compares against (Section 4): a dedicated interconnect with a
+ * two-cycle latency to and from global AND logic; the core stalls right
+ * after signalling and restart costs only a local status-register check.
+ * Unlike the barrier filter, this design requires modifying the cores
+ * (a new instruction, `hbar`, wired to dedicated global logic).
+ */
+
+#ifndef BFSIM_FILTER_BARRIER_NETWORK_HH
+#define BFSIM_FILTER_BARRIER_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/**
+ * Global barrier logic reachable over dedicated per-core wires.
+ */
+class BarrierNetwork
+{
+  public:
+    /**
+     * @param linkLatency Cycles for a signal to reach the global logic,
+     *        and for the release to travel back (2 in the paper's model).
+     * @param restartCost Cycles to check and reset the local status
+     *        register once released.
+     */
+    BarrierNetwork(EventQueue &eq, StatGroup &stats, Tick linkLatency,
+                   Tick restartCost);
+
+    /** Configure a barrier; returns its id. */
+    int createBarrier(unsigned numThreads);
+
+    /** Tear a barrier down (must be idle). */
+    void destroyBarrier(int id);
+
+    /**
+     * A core signals arrival. @p onRelease runs once all participants
+     * have arrived, after the return link latency and restart cost.
+     */
+    void arrive(int id, CoreId core, std::function<void()> onRelease);
+
+    Tick releaseLatency() const { return linkLatency + restartCost; }
+
+  private:
+    struct BarrierState
+    {
+        bool live = false;
+        unsigned numThreads = 0;
+        unsigned arrived = 0;
+        std::vector<std::function<void()>> waiters;
+    };
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    Tick linkLatency;
+    Tick restartCost;
+    std::vector<BarrierState> barriers;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_FILTER_BARRIER_NETWORK_HH

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Assembler implementation: a line-oriented recursive-descent parser that
+ * drives ProgramBuilder.
+ */
+
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/builder.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+/** Operand shapes an instruction can take. */
+enum class Form
+{
+    None,        ///< halt, fence, isync, nop, ret
+    Rrr,         ///< add rd, rs1, rs2
+    Rri,         ///< addi rd, rs1, imm
+    Ri,          ///< li rd, imm
+    LoadMem,     ///< ld rd, off(base)
+    StoreMem,    ///< sd rs2, off(base)
+    ScMem,       ///< sc rd, rs2, off(base)
+    Branch,      ///< beq rs1, rs2, label
+    BranchZ,     ///< beqz rs1, label
+    Jump,        ///< j label / jal label (links ra)
+    JumpReg,     ///< jr rs1 / jalr rs1 (links ra)
+    CacheOp,     ///< icbi off(base) / dcbi off(base)
+    Imm,         ///< hbar imm
+    Fff,         ///< fadd fd, fs1, fs2
+    Ff,          ///< fneg fd, fs1
+    FI,          ///< cvt.i.f fd, rs1
+    IF,          ///< cvt.f.i rd, fs1
+    Iff,         ///< flt rd, fs1, fs2
+    Mov,         ///< mov rd, rs1
+};
+
+struct OpInfo
+{
+    Opcode op;
+    Form form;
+};
+
+const std::map<std::string, OpInfo> &
+opTable()
+{
+    static const std::map<std::string, OpInfo> table = {
+        {"add", {Opcode::Add, Form::Rrr}},
+        {"sub", {Opcode::Sub, Form::Rrr}},
+        {"mul", {Opcode::Mul, Form::Rrr}},
+        {"div", {Opcode::Div, Form::Rrr}},
+        {"rem", {Opcode::Rem, Form::Rrr}},
+        {"and", {Opcode::And, Form::Rrr}},
+        {"or", {Opcode::Or, Form::Rrr}},
+        {"xor", {Opcode::Xor, Form::Rrr}},
+        {"sll", {Opcode::Sll, Form::Rrr}},
+        {"srl", {Opcode::Srl, Form::Rrr}},
+        {"sra", {Opcode::Sra, Form::Rrr}},
+        {"slt", {Opcode::Slt, Form::Rrr}},
+        {"sltu", {Opcode::Sltu, Form::Rrr}},
+        {"addi", {Opcode::Addi, Form::Rri}},
+        {"andi", {Opcode::Andi, Form::Rri}},
+        {"ori", {Opcode::Ori, Form::Rri}},
+        {"xori", {Opcode::Xori, Form::Rri}},
+        {"slli", {Opcode::Slli, Form::Rri}},
+        {"srli", {Opcode::Srli, Form::Rri}},
+        {"srai", {Opcode::Srai, Form::Rri}},
+        {"slti", {Opcode::Slti, Form::Rri}},
+        {"li", {Opcode::Li, Form::Ri}},
+        {"mov", {Opcode::Addi, Form::Mov}},
+        {"lb", {Opcode::Lb, Form::LoadMem}},
+        {"lw", {Opcode::Lw, Form::LoadMem}},
+        {"ld", {Opcode::Ld, Form::LoadMem}},
+        {"fld", {Opcode::Fld, Form::LoadMem}},
+        {"ll", {Opcode::Ll, Form::LoadMem}},
+        {"sb", {Opcode::Sb, Form::StoreMem}},
+        {"sw", {Opcode::Sw, Form::StoreMem}},
+        {"sd", {Opcode::Sd, Form::StoreMem}},
+        {"fsd", {Opcode::Fsd, Form::StoreMem}},
+        {"sc", {Opcode::Sc, Form::ScMem}},
+        {"beq", {Opcode::Beq, Form::Branch}},
+        {"bne", {Opcode::Bne, Form::Branch}},
+        {"blt", {Opcode::Blt, Form::Branch}},
+        {"bge", {Opcode::Bge, Form::Branch}},
+        {"bltu", {Opcode::Bltu, Form::Branch}},
+        {"bgeu", {Opcode::Bgeu, Form::Branch}},
+        {"beqz", {Opcode::Beq, Form::BranchZ}},
+        {"bnez", {Opcode::Bne, Form::BranchZ}},
+        {"j", {Opcode::J, Form::Jump}},
+        {"jal", {Opcode::Jal, Form::Jump}},
+        {"jr", {Opcode::Jr, Form::JumpReg}},
+        {"jalr", {Opcode::Jalr, Form::JumpReg}},
+        {"ret", {Opcode::Jr, Form::None}},
+        {"halt", {Opcode::Halt, Form::None}},
+        {"fence", {Opcode::Fence, Form::None}},
+        {"isync", {Opcode::Isync, Form::None}},
+        {"nop", {Opcode::Nop, Form::None}},
+        {"icbi", {Opcode::Icbi, Form::CacheOp}},
+        {"dcbi", {Opcode::Dcbi, Form::CacheOp}},
+        {"hbar", {Opcode::Hbar, Form::Imm}},
+        {"fadd", {Opcode::Fadd, Form::Fff}},
+        {"fsub", {Opcode::Fsub, Form::Fff}},
+        {"fmul", {Opcode::Fmul, Form::Fff}},
+        {"fdiv", {Opcode::Fdiv, Form::Fff}},
+        {"fneg", {Opcode::Fneg, Form::Ff}},
+        {"fabs", {Opcode::Fabs, Form::Ff}},
+        {"fmov", {Opcode::Fmov, Form::Ff}},
+        {"cvt.i.f", {Opcode::CvtIF, Form::FI}},
+        {"cvt.f.i", {Opcode::CvtFI, Form::IF}},
+        {"flt", {Opcode::Flt, Form::Iff}},
+        {"fle", {Opcode::Fle, Form::Iff}},
+        {"feq", {Opcode::Feq, Form::Iff}},
+    };
+    return table;
+}
+
+/** Parser for one assembly unit. */
+class Assembler
+{
+  public:
+    Assembler(const std::string &src, Addr defaultBase)
+        : source(src), builder(defaultBase)
+    {
+    }
+
+    ProgramPtr
+    run()
+    {
+        std::istringstream in(source);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            parseLine(line);
+        }
+        return builder.build(entryLabel);
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string &msg)
+    {
+        fatal("asm line " + std::to_string(lineNo) + ": " + msg);
+    }
+
+    static std::string
+    stripComment(const std::string &line)
+    {
+        size_t pos = line.find_first_of("#;");
+        return pos == std::string::npos ? line : line.substr(0, pos);
+    }
+
+    std::vector<std::string>
+    tokenize(const std::string &text)
+    {
+        // Split on whitespace and commas; keep (...) attached.
+        std::vector<std::string> tokens;
+        std::string cur;
+        for (char c : text) {
+            if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+                if (!cur.empty()) {
+                    tokens.push_back(cur);
+                    cur.clear();
+                }
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            tokens.push_back(cur);
+        return tokens;
+    }
+
+    IntReg
+    intReg(const std::string &t)
+    {
+        if (t == "zero")
+            return regZero;
+        if (t == "ra")
+            return regRa;
+        if (t.size() >= 2 && t[0] == 'x') {
+            char *end = nullptr;
+            long v = std::strtol(t.c_str() + 1, &end, 10);
+            if (*end == '\0' && v >= 0 && v < long(numIntRegs))
+                return IntReg{unsigned(v)};
+        }
+        err("bad integer register '" + t + "'");
+    }
+
+    FpReg
+    fpReg(const std::string &t)
+    {
+        if (t.size() >= 2 && t[0] == 'f') {
+            char *end = nullptr;
+            long v = std::strtol(t.c_str() + 1, &end, 10);
+            if (*end == '\0' && v >= 0 && v < long(numFpRegs))
+                return FpReg{unsigned(v)};
+        }
+        err("bad fp register '" + t + "'");
+    }
+
+    int64_t
+    immediate(const std::string &t)
+    {
+        auto sym = symbols.find(t);
+        if (sym != symbols.end())
+            return sym->second;
+        char *end = nullptr;
+        long long v = std::strtoll(t.c_str(), &end, 0);
+        if (end != t.c_str() && *end == '\0')
+            return v;
+        err("bad immediate '" + t + "'");
+    }
+
+    /** Parse "off(base)" or "(base)" or "symbol(base)". */
+    std::pair<IntReg, int64_t>
+    memOperand(const std::string &t)
+    {
+        size_t open = t.find('(');
+        size_t close = t.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open || close + 1 != t.size()) {
+            err("bad memory operand '" + t + "'");
+        }
+        std::string offTok = t.substr(0, open);
+        std::string baseTok = t.substr(open + 1, close - open - 1);
+        int64_t off = offTok.empty() ? 0 : immediate(offTok);
+        return {intReg(baseTok), off};
+    }
+
+    void
+    parseDirective(const std::vector<std::string> &tok)
+    {
+        if (tok[0] == ".org") {
+            if (tok.size() != 2)
+                err(".org needs one address");
+            builder.beginSection(Addr(immediate(tok[1])));
+        } else if (tok[0] == ".equ") {
+            if (tok.size() != 3)
+                err(".equ needs a name and a value");
+            symbols[tok[1]] = immediate(tok[2]);
+        } else if (tok[0] == ".entry") {
+            if (tok.size() != 2)
+                err(".entry needs a label");
+            entryLabel = tok[1];
+        } else {
+            err("unknown directive '" + tok[0] + "'");
+        }
+    }
+
+    void
+    parseLine(const std::string &raw)
+    {
+        std::string text = stripComment(raw);
+        auto tok = tokenize(text);
+        if (tok.empty())
+            return;
+
+        // Labels: "name:" possibly followed by an instruction.
+        while (!tok.empty() && tok[0].back() == ':') {
+            builder.label(tok[0].substr(0, tok[0].size() - 1));
+            tok.erase(tok.begin());
+        }
+        if (tok.empty())
+            return;
+
+        if (tok[0][0] == '.') {
+            parseDirective(tok);
+            return;
+        }
+
+        auto it = opTable().find(tok[0]);
+        if (it == opTable().end())
+            err("unknown mnemonic '" + tok[0] + "'");
+        emit(it->second, tok);
+    }
+
+    void
+    need(const std::vector<std::string> &tok, size_t n)
+    {
+        if (tok.size() != n + 1)
+            err("'" + tok[0] + "' expects " + std::to_string(n) +
+                " operand(s)");
+    }
+
+    void
+    emit(const OpInfo &info, const std::vector<std::string> &tok)
+    {
+        ProgramBuilder &b = builder;
+        switch (info.form) {
+          case Form::None:
+            need(tok, 0);
+            if (info.op == Opcode::Jr)
+                b.ret();
+            else if (info.op == Opcode::Halt)
+                b.halt();
+            else if (info.op == Opcode::Fence)
+                b.fence();
+            else if (info.op == Opcode::Isync)
+                b.isync();
+            else
+                b.nop();
+            break;
+          case Form::Rrr: {
+            need(tok, 3);
+            Instruction inst{info.op, intReg(tok[1]).idx,
+                             intReg(tok[2]).idx, intReg(tok[3]).idx, 0};
+            emitRaw(inst);
+            break;
+          }
+          case Form::Rri: {
+            need(tok, 3);
+            Instruction inst{info.op, intReg(tok[1]).idx,
+                             intReg(tok[2]).idx, 0, immediate(tok[3])};
+            emitRaw(inst);
+            break;
+          }
+          case Form::Mov:
+            need(tok, 2);
+            b.mov(intReg(tok[1]), intReg(tok[2]));
+            break;
+          case Form::Ri:
+            need(tok, 2);
+            b.li(intReg(tok[1]), immediate(tok[2]));
+            break;
+          case Form::LoadMem: {
+            need(tok, 2);
+            auto [base, off] = memOperand(tok[2]);
+            if (info.op == Opcode::Fld)
+                b.fld(fpReg(tok[1]), base, off);
+            else if (info.op == Opcode::Ll)
+                b.ll(intReg(tok[1]), base, off);
+            else
+                emitRaw({info.op, intReg(tok[1]).idx, base.idx, 0, off});
+            break;
+          }
+          case Form::StoreMem: {
+            need(tok, 2);
+            auto [base, off] = memOperand(tok[2]);
+            if (info.op == Opcode::Fsd)
+                b.fsd(fpReg(tok[1]), base, off);
+            else
+                emitRaw({info.op, 0, base.idx, intReg(tok[1]).idx, off});
+            break;
+          }
+          case Form::ScMem: {
+            need(tok, 3);
+            auto [base, off] = memOperand(tok[3]);
+            b.sc(intReg(tok[1]), intReg(tok[2]), base, off);
+            break;
+          }
+          case Form::Branch:
+            need(tok, 3);
+            emitBranch(info.op, intReg(tok[1]), intReg(tok[2]), tok[3]);
+            break;
+          case Form::BranchZ:
+            need(tok, 2);
+            emitBranch(info.op, intReg(tok[1]), regZero, tok[2]);
+            break;
+          case Form::Jump:
+            need(tok, 1);
+            if (info.op == Opcode::Jal)
+                b.jal(regRa, tok[1]);
+            else
+                b.j(tok[1]);
+            break;
+          case Form::JumpReg:
+            need(tok, 1);
+            if (info.op == Opcode::Jalr)
+                b.jalr(regRa, intReg(tok[1]));
+            else
+                b.jr(intReg(tok[1]));
+            break;
+          case Form::CacheOp: {
+            need(tok, 1);
+            auto [base, off] = memOperand(tok[1]);
+            if (info.op == Opcode::Icbi)
+                b.icbi(base, off);
+            else
+                b.dcbi(base, off);
+            break;
+          }
+          case Form::Imm:
+            need(tok, 1);
+            b.hbar(immediate(tok[1]));
+            break;
+          case Form::Fff:
+            need(tok, 3);
+            emitRaw({info.op, fpReg(tok[1]).idx, fpReg(tok[2]).idx,
+                     fpReg(tok[3]).idx, 0});
+            break;
+          case Form::Ff:
+            need(tok, 2);
+            emitRaw({info.op, fpReg(tok[1]).idx, fpReg(tok[2]).idx, 0, 0});
+            break;
+          case Form::FI:
+            need(tok, 2);
+            b.cvtIF(fpReg(tok[1]), intReg(tok[2]));
+            break;
+          case Form::IF:
+            need(tok, 2);
+            b.cvtFI(intReg(tok[1]), fpReg(tok[2]));
+            break;
+          case Form::Iff:
+            need(tok, 3);
+            emitRaw({info.op, intReg(tok[1]).idx, fpReg(tok[2]).idx,
+                     fpReg(tok[3]).idx, 0});
+            break;
+        }
+    }
+
+    void
+    emitBranch(Opcode op, IntReg a, IntReg bReg, const std::string &target)
+    {
+        switch (op) {
+          case Opcode::Beq: builder.beq(a, bReg, target); break;
+          case Opcode::Bne: builder.bne(a, bReg, target); break;
+          case Opcode::Blt: builder.blt(a, bReg, target); break;
+          case Opcode::Bge: builder.bge(a, bReg, target); break;
+          case Opcode::Bltu: builder.bltu(a, bReg, target); break;
+          case Opcode::Bgeu: builder.bgeu(a, bReg, target); break;
+          default: err("internal: bad branch opcode");
+        }
+    }
+
+    /** Emit a raw Instruction through the builder's current section. */
+    void
+    emitRaw(const Instruction &inst)
+    {
+        // ProgramBuilder has typed emitters for everything we need except
+        // a couple of raw register-field combinations; route through the
+        // typed API where it exists to keep a single emission path.
+        switch (inst.op) {
+          case Opcode::Add: builder.add(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Sub: builder.sub(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Mul: builder.mul(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Div: builder.div(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Rem: builder.rem(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::And: builder.and_(IntReg{inst.rd}, IntReg{inst.rs1},
+                                         IntReg{inst.rs2}); break;
+          case Opcode::Or: builder.or_(IntReg{inst.rd}, IntReg{inst.rs1},
+                                       IntReg{inst.rs2}); break;
+          case Opcode::Xor: builder.xor_(IntReg{inst.rd}, IntReg{inst.rs1},
+                                         IntReg{inst.rs2}); break;
+          case Opcode::Sll: builder.sll(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Srl: builder.srl(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Sra: builder.sra(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Slt: builder.slt(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        IntReg{inst.rs2}); break;
+          case Opcode::Sltu: builder.sltu(IntReg{inst.rd},
+                                          IntReg{inst.rs1},
+                                          IntReg{inst.rs2}); break;
+          case Opcode::Addi: builder.addi(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Andi: builder.andi(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Ori: builder.ori(IntReg{inst.rd}, IntReg{inst.rs1},
+                                        inst.imm); break;
+          case Opcode::Xori: builder.xori(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Slli: builder.slli(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Srli: builder.srli(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Srai: builder.srai(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Slti: builder.slti(IntReg{inst.rd},
+                                          IntReg{inst.rs1}, inst.imm);
+            break;
+          case Opcode::Lb: builder.lb(IntReg{inst.rd}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Lw: builder.lw(IntReg{inst.rd}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Ld: builder.ld(IntReg{inst.rd}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Sb: builder.sb(IntReg{inst.rs2}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Sw: builder.sw(IntReg{inst.rs2}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Sd: builder.sd(IntReg{inst.rs2}, IntReg{inst.rs1},
+                                      inst.imm); break;
+          case Opcode::Fadd: builder.fadd(FpReg{inst.rd}, FpReg{inst.rs1},
+                                          FpReg{inst.rs2}); break;
+          case Opcode::Fsub: builder.fsub(FpReg{inst.rd}, FpReg{inst.rs1},
+                                          FpReg{inst.rs2}); break;
+          case Opcode::Fmul: builder.fmul(FpReg{inst.rd}, FpReg{inst.rs1},
+                                          FpReg{inst.rs2}); break;
+          case Opcode::Fdiv: builder.fdiv(FpReg{inst.rd}, FpReg{inst.rs1},
+                                          FpReg{inst.rs2}); break;
+          case Opcode::Fneg: builder.fneg(FpReg{inst.rd},
+                                          FpReg{inst.rs1}); break;
+          case Opcode::Fabs: builder.fabs_(FpReg{inst.rd},
+                                           FpReg{inst.rs1}); break;
+          case Opcode::Fmov: builder.fmov(FpReg{inst.rd},
+                                          FpReg{inst.rs1}); break;
+          case Opcode::Flt: builder.flt(IntReg{inst.rd}, FpReg{inst.rs1},
+                                        FpReg{inst.rs2}); break;
+          case Opcode::Fle: builder.fle(IntReg{inst.rd}, FpReg{inst.rs1},
+                                        FpReg{inst.rs2}); break;
+          case Opcode::Feq: builder.feq(IntReg{inst.rd}, FpReg{inst.rs1},
+                                        FpReg{inst.rs2}); break;
+          default:
+            err("internal: emitRaw on unsupported opcode");
+        }
+    }
+
+    const std::string &source;
+    ProgramBuilder builder;
+    std::map<std::string, int64_t> symbols;
+    std::string entryLabel;
+    unsigned lineNo = 0;
+};
+
+} // namespace
+
+ProgramPtr
+assemble(const std::string &source, Addr defaultBase)
+{
+    Assembler as(source, defaultBase);
+    return as.run();
+}
+
+} // namespace bfsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A small textual assembler for the simulator's ISA.
+ *
+ * Lets tests, examples and exploratory work express programs as assembly
+ * text instead of ProgramBuilder calls. Syntax:
+ *
+ * @code
+ *     # comment; ';' also starts a comment
+ *     .equ   buf, 0x40000000      # define a symbol (before use)
+ *     .org   0x100000             # start (or resume) a section
+ *     .entry start                # entry label (default: first inst)
+ * start:
+ *     li     x1, 10
+ *     li     x2, buf
+ * loop:
+ *     ld     x3, 0(x2)
+ *     add    x4, x4, x3
+ *     addi   x1, x1, -1
+ *     bnez   x1, loop
+ *     halt
+ * @endcode
+ *
+ * Registers: x0..x31 (aliases: zero, ra), f0..f31. Immediates accept
+ * decimal, hex (0x...), negative values, and .equ symbols. Memory
+ * operands use the offset(base) form. Branch targets are labels.
+ * Pseudo-instructions: mov, beqz, bnez, ret, j/jal label, jalr.
+ */
+
+#ifndef BFSIM_ISA_ASSEMBLER_HH
+#define BFSIM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace bfsim
+{
+
+/**
+ * Assemble @p source into a Program.
+ * @param source Assembly text.
+ * @param defaultBase Section base used when no .org precedes code.
+ * @throws FatalError with a line-numbered message on any syntax error,
+ *         unknown mnemonic/register, or undefined label.
+ */
+ProgramPtr assemble(const std::string &source,
+                    Addr defaultBase = 0x0010'0000);
+
+} // namespace bfsim
+
+#endif // BFSIM_ISA_ASSEMBLER_HH

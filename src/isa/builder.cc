@@ -1,0 +1,398 @@
+/**
+ * @file
+ * ProgramBuilder implementation.
+ */
+
+#include "isa/builder.hh"
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+ProgramBuilder::ProgramBuilder(Addr base)
+{
+    beginSection(base);
+}
+
+void
+ProgramBuilder::beginSection(Addr base)
+{
+    if (base % instBytes != 0)
+        fatal("ProgramBuilder: section base must be instruction-aligned");
+    for (size_t i = 0; i < secs.size(); ++i) {
+        if (secs[i].base == base) {
+            curSec = i;
+            return;
+        }
+    }
+    secs.push_back(CodeSection{base, {}});
+    curSec = secs.size() - 1;
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels.count(name))
+        fatal("ProgramBuilder: duplicate label '" + name + "'");
+    labels[name] = here();
+}
+
+Addr
+ProgramBuilder::here() const
+{
+    const CodeSection &s = secs[curSec];
+    return s.base + s.insts.size() * instBytes;
+}
+
+IntReg
+ProgramBuilder::temp()
+{
+    if (nextTemp >= regBarrierFirst)
+        fatal("ProgramBuilder: out of scratch integer registers");
+    return IntReg{nextTemp++};
+}
+
+FpReg
+ProgramBuilder::ftemp()
+{
+    if (nextFtemp >= numFpRegs)
+        fatal("ProgramBuilder: out of scratch fp registers");
+    return FpReg{nextFtemp++};
+}
+
+void
+ProgramBuilder::emit(Instruction inst)
+{
+    if (built)
+        panic("ProgramBuilder: emit after build()");
+    secs[curSec].insts.push_back(inst);
+}
+
+// ----- integer ALU ----------------------------------------------------------
+
+#define BF_RRR(NAME, OP)                                                    \
+    void ProgramBuilder::NAME(IntReg rd, IntReg rs1, IntReg rs2)            \
+    { emit({Opcode::OP, rd.idx, rs1.idx, rs2.idx, 0}); }
+
+BF_RRR(add, Add)
+BF_RRR(sub, Sub)
+BF_RRR(mul, Mul)
+BF_RRR(div, Div)
+BF_RRR(rem, Rem)
+BF_RRR(and_, And)
+BF_RRR(or_, Or)
+BF_RRR(xor_, Xor)
+BF_RRR(sll, Sll)
+BF_RRR(srl, Srl)
+BF_RRR(sra, Sra)
+BF_RRR(slt, Slt)
+BF_RRR(sltu, Sltu)
+#undef BF_RRR
+
+#define BF_RRI(NAME, OP)                                                    \
+    void ProgramBuilder::NAME(IntReg rd, IntReg rs1, int64_t imm)           \
+    { emit({Opcode::OP, rd.idx, rs1.idx, 0, imm}); }
+
+BF_RRI(addi, Addi)
+BF_RRI(andi, Andi)
+BF_RRI(ori, Ori)
+BF_RRI(xori, Xori)
+BF_RRI(slli, Slli)
+BF_RRI(srli, Srli)
+BF_RRI(srai, Srai)
+BF_RRI(slti, Slti)
+#undef BF_RRI
+
+void
+ProgramBuilder::li(IntReg rd, int64_t imm)
+{
+    emit({Opcode::Li, rd.idx, 0, 0, imm});
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit({Opcode::Nop, 0, 0, 0, 0});
+}
+
+// ----- floating point --------------------------------------------------------
+
+#define BF_FFF(NAME, OP)                                                    \
+    void ProgramBuilder::NAME(FpReg rd, FpReg rs1, FpReg rs2)               \
+    { emit({Opcode::OP, rd.idx, rs1.idx, rs2.idx, 0}); }
+
+BF_FFF(fadd, Fadd)
+BF_FFF(fsub, Fsub)
+BF_FFF(fmul, Fmul)
+BF_FFF(fdiv, Fdiv)
+#undef BF_FFF
+
+void
+ProgramBuilder::fneg(FpReg rd, FpReg rs1)
+{
+    emit({Opcode::Fneg, rd.idx, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::fabs_(FpReg rd, FpReg rs1)
+{
+    emit({Opcode::Fabs, rd.idx, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::fmov(FpReg rd, FpReg rs1)
+{
+    emit({Opcode::Fmov, rd.idx, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::cvtIF(FpReg rd, IntReg rs1)
+{
+    emit({Opcode::CvtIF, rd.idx, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::cvtFI(IntReg rd, FpReg rs1)
+{
+    emit({Opcode::CvtFI, rd.idx, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::flt(IntReg rd, FpReg rs1, FpReg rs2)
+{
+    emit({Opcode::Flt, rd.idx, rs1.idx, rs2.idx, 0});
+}
+
+void
+ProgramBuilder::fle(IntReg rd, FpReg rs1, FpReg rs2)
+{
+    emit({Opcode::Fle, rd.idx, rs1.idx, rs2.idx, 0});
+}
+
+void
+ProgramBuilder::feq(IntReg rd, FpReg rs1, FpReg rs2)
+{
+    emit({Opcode::Feq, rd.idx, rs1.idx, rs2.idx, 0});
+}
+
+// ----- memory ------------------------------------------------------------------
+
+void
+ProgramBuilder::lb(IntReg rd, IntReg base, int64_t off)
+{
+    emit({Opcode::Lb, rd.idx, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::lw(IntReg rd, IntReg base, int64_t off)
+{
+    emit({Opcode::Lw, rd.idx, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::ld(IntReg rd, IntReg base, int64_t off)
+{
+    emit({Opcode::Ld, rd.idx, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::sb(IntReg src, IntReg base, int64_t off)
+{
+    emit({Opcode::Sb, 0, base.idx, src.idx, off});
+}
+
+void
+ProgramBuilder::sw(IntReg src, IntReg base, int64_t off)
+{
+    emit({Opcode::Sw, 0, base.idx, src.idx, off});
+}
+
+void
+ProgramBuilder::sd(IntReg src, IntReg base, int64_t off)
+{
+    emit({Opcode::Sd, 0, base.idx, src.idx, off});
+}
+
+void
+ProgramBuilder::fld(FpReg rd, IntReg base, int64_t off)
+{
+    emit({Opcode::Fld, rd.idx, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::fsd(FpReg src, IntReg base, int64_t off)
+{
+    emit({Opcode::Fsd, 0, base.idx, src.idx, off});
+}
+
+void
+ProgramBuilder::ll(IntReg rd, IntReg base, int64_t off)
+{
+    emit({Opcode::Ll, rd.idx, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::sc(IntReg rd, IntReg src, IntReg base, int64_t off)
+{
+    emit({Opcode::Sc, rd.idx, base.idx, src.idx, off});
+}
+
+// ----- control -------------------------------------------------------------------
+
+void
+ProgramBuilder::branchTo(Opcode op, IntReg a, IntReg b,
+                         const std::string &target)
+{
+    fixups.push_back(Fixup{curSec, secs[curSec].insts.size(), target});
+    emit({op, 0, a.idx, b.idx, 0});
+}
+
+void
+ProgramBuilder::beq(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Beq, a, b, t);
+}
+
+void
+ProgramBuilder::bne(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Bne, a, b, t);
+}
+
+void
+ProgramBuilder::blt(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Blt, a, b, t);
+}
+
+void
+ProgramBuilder::bge(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Bge, a, b, t);
+}
+
+void
+ProgramBuilder::bltu(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Bltu, a, b, t);
+}
+
+void
+ProgramBuilder::bgeu(IntReg a, IntReg b, const std::string &t)
+{
+    branchTo(Opcode::Bgeu, a, b, t);
+}
+
+void
+ProgramBuilder::j(const std::string &target)
+{
+    fixups.push_back(Fixup{curSec, secs[curSec].insts.size(), target});
+    emit({Opcode::J, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::jal(IntReg link, const std::string &target)
+{
+    fixups.push_back(Fixup{curSec, secs[curSec].insts.size(), target});
+    emit({Opcode::Jal, link.idx, 0, 0, 0});
+}
+
+void
+ProgramBuilder::jalAbs(IntReg link, Addr target)
+{
+    emit({Opcode::Jal, link.idx, 0, 0, int64_t(target)});
+}
+
+void
+ProgramBuilder::jAbs(Addr target)
+{
+    emit({Opcode::J, 0, 0, 0, int64_t(target)});
+}
+
+void
+ProgramBuilder::jalr(IntReg link, IntReg target)
+{
+    emit({Opcode::Jalr, link.idx, target.idx, 0, 0});
+}
+
+void
+ProgramBuilder::jr(IntReg rs1)
+{
+    emit({Opcode::Jr, 0, rs1.idx, 0, 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({Opcode::Halt, 0, 0, 0, 0});
+}
+
+// ----- synchronization --------------------------------------------------------------
+
+void
+ProgramBuilder::fence()
+{
+    emit({Opcode::Fence, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::icbi(IntReg base, int64_t off)
+{
+    emit({Opcode::Icbi, 0, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::dcbi(IntReg base, int64_t off)
+{
+    emit({Opcode::Dcbi, 0, base.idx, 0, off});
+}
+
+void
+ProgramBuilder::isync()
+{
+    emit({Opcode::Isync, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::hbar(int64_t networkBarrierId)
+{
+    emit({Opcode::Hbar, 0, 0, 0, networkBarrierId});
+}
+
+// ----- finalization ----------------------------------------------------------------
+
+ProgramPtr
+ProgramBuilder::build(const std::string &entry)
+{
+    for (const Fixup &f : fixups) {
+        auto it = labels.find(f.label);
+        if (it == labels.end())
+            fatal("ProgramBuilder: undefined label '" + f.label + "'");
+        secs[f.section].insts[f.index].imm = int64_t(it->second);
+    }
+
+    Addr entryAddr;
+    if (entry.empty()) {
+        entryAddr = secs.front().base;
+    } else {
+        auto it = labels.find(entry);
+        if (it == labels.end())
+            fatal("ProgramBuilder: undefined entry label '" + entry + "'");
+        entryAddr = it->second;
+    }
+
+    built = true;
+    return std::make_shared<Program>(secs, entryAddr);
+}
+
+size_t
+ProgramBuilder::emittedCount() const
+{
+    size_t n = 0;
+    for (const auto &s : secs)
+        n += s.insts.size();
+    return n;
+}
+
+} // namespace bfsim

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ProgramBuilder: an embedded assembler for constructing Program images.
+ *
+ * Kernels and barrier runtimes are written against this eDSL. It supports
+ * named labels with forward references, multiple code sections (needed for
+ * I-cache barrier arrival blocks at OS-assigned addresses), and typed
+ * integer/floating-point register handles.
+ */
+
+#ifndef BFSIM_ISA_BUILDER_HH
+#define BFSIM_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace bfsim
+{
+
+/** Typed handle for an integer register. */
+struct IntReg
+{
+    uint8_t idx = 0;
+    constexpr explicit IntReg(unsigned i = 0) : idx(uint8_t(i)) {}
+    constexpr bool operator==(const IntReg &o) const { return idx == o.idx; }
+};
+
+/** Typed handle for a floating-point register. */
+struct FpReg
+{
+    uint8_t idx = 0;
+    constexpr explicit FpReg(unsigned i = 0) : idx(uint8_t(i)) {}
+};
+
+/** x0 is hard-wired to zero. */
+constexpr IntReg regZero{0};
+/** Conventional link register used by jal/ret in generated code. */
+constexpr IntReg regRa{31};
+
+/**
+ * Registers reserved for barrier runtime sequences. Kernel code must not
+ * use registers >= regBarrierFirst so barrier code can be inlined anywhere.
+ */
+constexpr unsigned regBarrierFirst = 26;
+
+/**
+ * Incremental builder for Program images.
+ *
+ * Usage:
+ * @code
+ *   ProgramBuilder b(0x10000);
+ *   IntReg i = b.temp();
+ *   b.li(i, 0);
+ *   b.label("loop");
+ *   b.addi(i, i, 1);
+ *   b.blt(i, n, "loop");
+ *   b.halt();
+ *   ProgramPtr p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(Addr base);
+
+    // ----- sections and labels -------------------------------------------
+
+    /** Start (or resume) emitting at byte address @p base. */
+    void beginSection(Addr base);
+
+    /** Define @p name at the current emission address. */
+    void label(const std::string &name);
+
+    /** Address that the next emitted instruction will occupy. */
+    Addr here() const;
+
+    /** Allocate a scratch integer register (kernel range, ascending). */
+    IntReg temp();
+
+    /** Allocate a scratch floating-point register. */
+    FpReg ftemp();
+
+    // ----- integer ALU ----------------------------------------------------
+
+    void add(IntReg rd, IntReg rs1, IntReg rs2);
+    void sub(IntReg rd, IntReg rs1, IntReg rs2);
+    void mul(IntReg rd, IntReg rs1, IntReg rs2);
+    void div(IntReg rd, IntReg rs1, IntReg rs2);
+    void rem(IntReg rd, IntReg rs1, IntReg rs2);
+    void and_(IntReg rd, IntReg rs1, IntReg rs2);
+    void or_(IntReg rd, IntReg rs1, IntReg rs2);
+    void xor_(IntReg rd, IntReg rs1, IntReg rs2);
+    void sll(IntReg rd, IntReg rs1, IntReg rs2);
+    void srl(IntReg rd, IntReg rs1, IntReg rs2);
+    void sra(IntReg rd, IntReg rs1, IntReg rs2);
+    void slt(IntReg rd, IntReg rs1, IntReg rs2);
+    void sltu(IntReg rd, IntReg rs1, IntReg rs2);
+
+    void addi(IntReg rd, IntReg rs1, int64_t imm);
+    void andi(IntReg rd, IntReg rs1, int64_t imm);
+    void ori(IntReg rd, IntReg rs1, int64_t imm);
+    void xori(IntReg rd, IntReg rs1, int64_t imm);
+    void slli(IntReg rd, IntReg rs1, int64_t imm);
+    void srli(IntReg rd, IntReg rs1, int64_t imm);
+    void srai(IntReg rd, IntReg rs1, int64_t imm);
+    void slti(IntReg rd, IntReg rs1, int64_t imm);
+
+    void li(IntReg rd, int64_t imm);
+    void mov(IntReg rd, IntReg rs1) { addi(rd, rs1, 0); }
+    void nop();
+
+    // ----- floating point --------------------------------------------------
+
+    void fadd(FpReg rd, FpReg rs1, FpReg rs2);
+    void fsub(FpReg rd, FpReg rs1, FpReg rs2);
+    void fmul(FpReg rd, FpReg rs1, FpReg rs2);
+    void fdiv(FpReg rd, FpReg rs1, FpReg rs2);
+    void fneg(FpReg rd, FpReg rs1);
+    void fabs_(FpReg rd, FpReg rs1);
+    void fmov(FpReg rd, FpReg rs1);
+    void cvtIF(FpReg rd, IntReg rs1);
+    void cvtFI(IntReg rd, FpReg rs1);
+    void flt(IntReg rd, FpReg rs1, FpReg rs2);
+    void fle(IntReg rd, FpReg rs1, FpReg rs2);
+    void feq(IntReg rd, FpReg rs1, FpReg rs2);
+
+    // ----- memory -----------------------------------------------------------
+
+    void lb(IntReg rd, IntReg base, int64_t off);
+    void lw(IntReg rd, IntReg base, int64_t off);
+    void ld(IntReg rd, IntReg base, int64_t off);
+    void sb(IntReg src, IntReg base, int64_t off);
+    void sw(IntReg src, IntReg base, int64_t off);
+    void sd(IntReg src, IntReg base, int64_t off);
+    void fld(FpReg rd, IntReg base, int64_t off);
+    void fsd(FpReg src, IntReg base, int64_t off);
+    void ll(IntReg rd, IntReg base, int64_t off);
+    void sc(IntReg rd, IntReg src, IntReg base, int64_t off);
+
+    // ----- control ----------------------------------------------------------
+
+    void beq(IntReg a, IntReg b, const std::string &target);
+    void bne(IntReg a, IntReg b, const std::string &target);
+    void blt(IntReg a, IntReg b, const std::string &target);
+    void bge(IntReg a, IntReg b, const std::string &target);
+    void bltu(IntReg a, IntReg b, const std::string &target);
+    void bgeu(IntReg a, IntReg b, const std::string &target);
+    void beqz(IntReg a, const std::string &t) { beq(a, regZero, t); }
+    void bnez(IntReg a, const std::string &t) { bne(a, regZero, t); }
+    void j(const std::string &target);
+    void jal(IntReg link, const std::string &target);
+    void jalAbs(IntReg link, Addr target);
+    void jAbs(Addr target);
+    void jalr(IntReg link, IntReg target);
+    void jr(IntReg rs1);
+    void ret() { jr(regRa); }
+    void halt();
+
+    // ----- synchronization / cache control -----------------------------------
+
+    void fence();
+    void icbi(IntReg base, int64_t off);
+    void dcbi(IntReg base, int64_t off);
+    void isync();
+    void hbar(int64_t networkBarrierId);
+
+    // ----- finalization -------------------------------------------------------
+
+    /**
+     * Resolve labels and produce the immutable program.
+     * @param entry Entry label; empty string means "start of first section".
+     * @throws FatalError on undefined labels.
+     */
+    ProgramPtr build(const std::string &entry = "");
+
+    /** Number of instructions emitted so far. */
+    size_t emittedCount() const;
+
+  private:
+    struct Fixup
+    {
+        size_t section;
+        size_t index;
+        std::string label;
+    };
+
+    void emit(Instruction inst);
+    void branchTo(Opcode op, IntReg a, IntReg b, const std::string &target);
+
+    std::vector<CodeSection> secs;
+    size_t curSec = 0;
+    std::map<std::string, Addr> labels;
+    std::vector<Fixup> fixups;
+    unsigned nextTemp = 1;       // x0 is the zero register
+    unsigned nextFtemp = 0;
+    bool built = false;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_ISA_BUILDER_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Opcode metadata and the disassembler.
+ */
+
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace bfsim
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Li: return "li";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fdiv: return "fdiv";
+      case Opcode::Fneg: return "fneg";
+      case Opcode::Fabs: return "fabs";
+      case Opcode::Fmov: return "fmov";
+      case Opcode::CvtIF: return "cvt.i.f";
+      case Opcode::CvtFI: return "cvt.f.i";
+      case Opcode::Flt: return "flt";
+      case Opcode::Fle: return "fle";
+      case Opcode::Feq: return "feq";
+      case Opcode::Lb: return "lb";
+      case Opcode::Lw: return "lw";
+      case Opcode::Ld: return "ld";
+      case Opcode::Sb: return "sb";
+      case Opcode::Sw: return "sw";
+      case Opcode::Sd: return "sd";
+      case Opcode::Fld: return "fld";
+      case Opcode::Fsd: return "fsd";
+      case Opcode::Ll: return "ll";
+      case Opcode::Sc: return "sc";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::J: return "j";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Jr: return "jr";
+      case Opcode::Halt: return "halt";
+      case Opcode::Fence: return "fence";
+      case Opcode::Icbi: return "icbi";
+      case Opcode::Dcbi: return "dcbi";
+      case Opcode::Isync: return "isync";
+      case Opcode::Hbar: return "hbar";
+      case Opcode::Nop: return "nop";
+      default: return "???";
+    }
+}
+
+bool
+isMemOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lb: case Opcode::Lw: case Opcode::Ld:
+      case Opcode::Sb: case Opcode::Sw: case Opcode::Sd:
+      case Opcode::Fld: case Opcode::Fsd:
+      case Opcode::Ll: case Opcode::Sc:
+      case Opcode::Fence: case Opcode::Icbi: case Opcode::Dcbi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControlOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+      case Opcode::J: case Opcode::Jal: case Opcode::Jalr:
+      case Opcode::Jr:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesIntReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+      case Opcode::Sll: case Opcode::Srl: case Opcode::Sra:
+      case Opcode::Slt: case Opcode::Sltu:
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai: case Opcode::Slti:
+      case Opcode::Li:
+      case Opcode::CvtFI:
+      case Opcode::Flt: case Opcode::Fle: case Opcode::Feq:
+      case Opcode::Lb: case Opcode::Lw: case Opcode::Ld:
+      case Opcode::Ll: case Opcode::Sc:
+      case Opcode::Jal: case Opcode::Jalr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesFpReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fmul:
+      case Opcode::Fdiv: case Opcode::Fneg: case Opcode::Fabs:
+      case Opcode::Fmov:
+      case Opcode::CvtIF:
+      case Opcode::Fld:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Li:
+        os << " x" << int(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::Lb: case Opcode::Lw: case Opcode::Ld: case Opcode::Ll:
+        os << " x" << int(inst.rd) << ", " << inst.imm
+           << "(x" << int(inst.rs1) << ")";
+        break;
+      case Opcode::Fld:
+        os << " f" << int(inst.rd) << ", " << inst.imm
+           << "(x" << int(inst.rs1) << ")";
+        break;
+      case Opcode::Sb: case Opcode::Sw: case Opcode::Sd: case Opcode::Sc:
+        os << " x" << int(inst.rs2) << ", " << inst.imm
+           << "(x" << int(inst.rs1) << ")";
+        break;
+      case Opcode::Fsd:
+        os << " f" << int(inst.rs2) << ", " << inst.imm
+           << "(x" << int(inst.rs1) << ")";
+        break;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+        os << " x" << int(inst.rs1) << ", x" << int(inst.rs2)
+           << ", 0x" << std::hex << inst.imm;
+        break;
+      case Opcode::J:
+        os << " 0x" << std::hex << inst.imm;
+        break;
+      case Opcode::Jal:
+        os << " x" << int(inst.rd) << ", 0x" << std::hex << inst.imm;
+        break;
+      case Opcode::Jalr:
+        os << " x" << int(inst.rd) << ", x" << int(inst.rs1);
+        break;
+      case Opcode::Jr:
+        os << " x" << int(inst.rs1);
+        break;
+      case Opcode::Icbi: case Opcode::Dcbi:
+        os << " " << inst.imm << "(x" << int(inst.rs1) << ")";
+        break;
+      case Opcode::Hbar:
+        os << " " << inst.imm;
+        break;
+      case Opcode::Fence: case Opcode::Isync:
+      case Opcode::Halt: case Opcode::Nop:
+        break;
+      case Opcode::Fadd: case Opcode::Fsub: case Opcode::Fmul:
+      case Opcode::Fdiv:
+        os << " f" << int(inst.rd) << ", f" << int(inst.rs1)
+           << ", f" << int(inst.rs2);
+        break;
+      case Opcode::Fneg: case Opcode::Fabs: case Opcode::Fmov:
+        os << " f" << int(inst.rd) << ", f" << int(inst.rs1);
+        break;
+      case Opcode::CvtIF:
+        os << " f" << int(inst.rd) << ", x" << int(inst.rs1);
+        break;
+      case Opcode::CvtFI:
+        os << " x" << int(inst.rd) << ", f" << int(inst.rs1);
+        break;
+      case Opcode::Flt: case Opcode::Fle: case Opcode::Feq:
+        os << " x" << int(inst.rd) << ", f" << int(inst.rs1)
+           << ", f" << int(inst.rs2);
+        break;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Srai: case Opcode::Slti:
+        os << " x" << int(inst.rd) << ", x" << int(inst.rs1)
+           << ", " << inst.imm;
+        break;
+      default:
+        os << " x" << int(inst.rd) << ", x" << int(inst.rs1)
+           << ", x" << int(inst.rs2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace bfsim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Interpreter implementation. Semantics must match cpu/core.cc exactly;
+ * the differential fuzz test in tests/test_fuzz.cc enforces that.
+ */
+
+#include "isa/interpreter.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+Interpreter::Interpreter(ProgramPtr program)
+    : prog(std::move(program)), pcReg(prog->entry())
+{
+}
+
+uint8_t
+Interpreter::read8(Addr a) const
+{
+    auto it = memBytes.find(a);
+    return it == memBytes.end() ? 0 : it->second;
+}
+
+void
+Interpreter::write8(Addr a, uint8_t v)
+{
+    memBytes[a] = v;
+}
+
+void
+Interpreter::readBlock(Addr a, void *dst, size_t len) const
+{
+    auto *out = static_cast<uint8_t *>(dst);
+    for (size_t i = 0; i < len; ++i)
+        out[i] = read8(a + i);
+}
+
+void
+Interpreter::writeBlock(Addr a, const void *src, size_t len)
+{
+    const auto *in = static_cast<const uint8_t *>(src);
+    for (size_t i = 0; i < len; ++i)
+        write8(a + i, in[i]);
+}
+
+uint64_t
+Interpreter::read64(Addr a) const
+{
+    uint64_t v;
+    readBlock(a, &v, 8);
+    return v;
+}
+
+void
+Interpreter::write64(Addr a, uint64_t v)
+{
+    writeBlock(a, &v, 8);
+}
+
+int64_t
+Interpreter::loadValue(Opcode op, Addr ea) const
+{
+    switch (op) {
+      case Opcode::Lb: return int64_t(int8_t(read8(ea)));
+      case Opcode::Lw: {
+        uint32_t v;
+        readBlock(ea, &v, 4);
+        return int64_t(int32_t(v));
+      }
+      default: return int64_t(read64(ea));
+    }
+}
+
+bool
+Interpreter::run(uint64_t maxInsts)
+{
+    while (!isHalted && executed < maxInsts)
+        step();
+    return isHalted;
+}
+
+void
+Interpreter::step()
+{
+    if (isHalted)
+        return;
+
+    const Instruction &inst = prog->fetch(pcReg);
+    auto &ir = intRegs;
+    auto &fr = fpRegs;
+    const auto rs1 = inst.rs1;
+    const auto rs2 = inst.rs2;
+    const auto rd = inst.rd;
+    const int64_t imm = inst.imm;
+    ++executed;
+
+    auto setI = [&](int64_t v) {
+        if (rd != 0)
+            ir[rd] = v;
+    };
+    auto setF = [&](double v) { fr[rd] = v; };
+    Addr next = pcReg + instBytes;
+
+    switch (inst.op) {
+      case Opcode::Add: setI(ir[rs1] + ir[rs2]); break;
+      case Opcode::Sub: setI(ir[rs1] - ir[rs2]); break;
+      case Opcode::Mul: setI(ir[rs1] * ir[rs2]); break;
+      case Opcode::Div: {
+        int64_t b = ir[rs2];
+        setI(b == 0 ? 0
+             : (ir[rs1] == INT64_MIN && b == -1) ? ir[rs1]
+             : ir[rs1] / b);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t b = ir[rs2];
+        setI(b == 0 ? ir[rs1]
+             : (ir[rs1] == INT64_MIN && b == -1) ? 0
+             : ir[rs1] % b);
+        break;
+      }
+      case Opcode::And: setI(ir[rs1] & ir[rs2]); break;
+      case Opcode::Or: setI(ir[rs1] | ir[rs2]); break;
+      case Opcode::Xor: setI(ir[rs1] ^ ir[rs2]); break;
+      case Opcode::Sll: setI(ir[rs1] << (ir[rs2] & 63)); break;
+      case Opcode::Srl:
+        setI(int64_t(uint64_t(ir[rs1]) >> (ir[rs2] & 63)));
+        break;
+      case Opcode::Sra: setI(ir[rs1] >> (ir[rs2] & 63)); break;
+      case Opcode::Slt: setI(ir[rs1] < ir[rs2]); break;
+      case Opcode::Sltu: setI(uint64_t(ir[rs1]) < uint64_t(ir[rs2])); break;
+      case Opcode::Addi: setI(ir[rs1] + imm); break;
+      case Opcode::Andi: setI(ir[rs1] & imm); break;
+      case Opcode::Ori: setI(ir[rs1] | imm); break;
+      case Opcode::Xori: setI(ir[rs1] ^ imm); break;
+      case Opcode::Slli: setI(ir[rs1] << (imm & 63)); break;
+      case Opcode::Srli:
+        setI(int64_t(uint64_t(ir[rs1]) >> (imm & 63)));
+        break;
+      case Opcode::Srai: setI(ir[rs1] >> (imm & 63)); break;
+      case Opcode::Slti: setI(ir[rs1] < imm); break;
+      case Opcode::Li: setI(imm); break;
+      case Opcode::Nop: break;
+
+      case Opcode::Fadd: setF(fr[rs1] + fr[rs2]); break;
+      case Opcode::Fsub: setF(fr[rs1] - fr[rs2]); break;
+      case Opcode::Fmul: setF(fr[rs1] * fr[rs2]); break;
+      case Opcode::Fdiv: setF(fr[rs1] / fr[rs2]); break;
+      case Opcode::Fneg: setF(-fr[rs1]); break;
+      case Opcode::Fabs: setF(fr[rs1] < 0 ? -fr[rs1] : fr[rs1]); break;
+      case Opcode::Fmov: setF(fr[rs1]); break;
+      case Opcode::CvtIF: setF(double(ir[rs1])); break;
+      case Opcode::CvtFI: setI(int64_t(fr[rs1])); break;
+      case Opcode::Flt: setI(fr[rs1] < fr[rs2]); break;
+      case Opcode::Fle: setI(fr[rs1] <= fr[rs2]); break;
+      case Opcode::Feq: setI(fr[rs1] == fr[rs2]); break;
+
+      case Opcode::Lb:
+      case Opcode::Lw:
+      case Opcode::Ld:
+        setI(loadValue(inst.op, Addr(ir[rs1] + imm)));
+        break;
+      case Opcode::Fld: {
+        uint64_t raw = read64(Addr(ir[rs1] + imm));
+        setF(std::bit_cast<double>(raw));
+        break;
+      }
+      case Opcode::Ll: {
+        Addr ea = Addr(ir[rs1] + imm);
+        setI(int64_t(read64(ea)));
+        linkValid = true;
+        linkLine = ea & ~Addr(63);
+        break;
+      }
+      case Opcode::Sb:
+        write8(Addr(ir[rs1] + imm), uint8_t(ir[rs2]));
+        break;
+      case Opcode::Sw: {
+        uint32_t v = uint32_t(ir[rs2]);
+        writeBlock(Addr(ir[rs1] + imm), &v, 4);
+        break;
+      }
+      case Opcode::Sd:
+        write64(Addr(ir[rs1] + imm), uint64_t(ir[rs2]));
+        break;
+      case Opcode::Fsd:
+        write64(Addr(ir[rs1] + imm), std::bit_cast<uint64_t>(fr[rs2]));
+        break;
+      case Opcode::Sc: {
+        Addr ea = Addr(ir[rs1] + imm);
+        bool ok = linkValid && linkLine == (ea & ~Addr(63));
+        if (ok)
+            write64(ea, uint64_t(ir[rs2]));
+        linkValid = false;
+        setI(ok ? 1 : 0);
+        break;
+      }
+
+      case Opcode::Beq: if (ir[rs1] == ir[rs2]) next = Addr(imm); break;
+      case Opcode::Bne: if (ir[rs1] != ir[rs2]) next = Addr(imm); break;
+      case Opcode::Blt: if (ir[rs1] < ir[rs2]) next = Addr(imm); break;
+      case Opcode::Bge: if (ir[rs1] >= ir[rs2]) next = Addr(imm); break;
+      case Opcode::Bltu:
+        if (uint64_t(ir[rs1]) < uint64_t(ir[rs2]))
+            next = Addr(imm);
+        break;
+      case Opcode::Bgeu:
+        if (uint64_t(ir[rs1]) >= uint64_t(ir[rs2]))
+            next = Addr(imm);
+        break;
+      case Opcode::J: next = Addr(imm); break;
+      case Opcode::Jal:
+        setI(int64_t(pcReg + instBytes));
+        next = Addr(imm);
+        break;
+      case Opcode::Jalr: {
+        Addr target = Addr(ir[rs1]);
+        setI(int64_t(pcReg + instBytes));
+        next = target;
+        break;
+      }
+      case Opcode::Jr: next = Addr(ir[rs1]); break;
+      case Opcode::Halt: isHalted = true; return;
+
+      // Cache control / ordering: functionally transparent here.
+      case Opcode::Fence:
+      case Opcode::Isync:
+        break;
+      case Opcode::Icbi:
+      case Opcode::Dcbi:
+        break;
+      case Opcode::Hbar:
+        fatal("Interpreter: hbar needs a multi-core substrate");
+      default:
+        panic("Interpreter: unhandled opcode");
+    }
+
+    pcReg = next;
+}
+
+} // namespace bfsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Golden-model functional interpreter for the ISA.
+ *
+ * Executes a Program instantly (no timing, no memory hierarchy) against a
+ * sparse byte memory. Used as the reference in differential tests: any
+ * single-threaded program must leave identical architectural state in the
+ * timing simulator and here.
+ */
+
+#ifndef BFSIM_ISA_INTERPRETER_HH
+#define BFSIM_ISA_INTERPRETER_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "isa/program.hh"
+
+namespace bfsim
+{
+
+/**
+ * Reference interpreter: architectural state only.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(ProgramPtr program);
+
+    /** Direct access to architectural state. */
+    std::array<int64_t, numIntRegs> &iregs() { return intRegs; }
+    std::array<double, numFpRegs> &fregs() { return fpRegs; }
+    Addr pc() const { return pcReg; }
+    bool halted() const { return isHalted; }
+    uint64_t instructionsExecuted() const { return executed; }
+
+    // Sparse functional memory.
+    uint8_t read8(Addr a) const;
+    uint64_t read64(Addr a) const;
+    void write8(Addr a, uint8_t v);
+    void write64(Addr a, uint64_t v);
+    void readBlock(Addr a, void *dst, size_t len) const;
+    void writeBlock(Addr a, const void *src, size_t len);
+
+    /**
+     * Run until halt or @p maxInsts instructions.
+     * @return true when the program halted.
+     * @throws FatalError on a fetch outside the program image, or on
+     *         instructions that need a multi-core substrate (hbar).
+     */
+    bool run(uint64_t maxInsts = 1'000'000);
+
+    /** Execute exactly one instruction (no-op once halted). */
+    void step();
+
+  private:
+    int64_t loadValue(Opcode op, Addr ea) const;
+
+    ProgramPtr prog;
+    std::array<int64_t, numIntRegs> intRegs{};
+    std::array<double, numFpRegs> fpRegs{};
+    Addr pcReg;
+    bool isHalted = false;
+    uint64_t executed = 0;
+
+    bool linkValid = false;
+    Addr linkLine = 0;
+
+    std::unordered_map<Addr, uint8_t> memBytes;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_ISA_INTERPRETER_HH

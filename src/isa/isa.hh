@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The simulator's Alpha-flavoured RISC instruction set.
+ *
+ * The paper's mechanism needs no new instructions, only ones that already
+ * exist on PowerPC / IA-64 class ISAs: cache-block invalidates (ICBI /
+ * DCBI), instruction-stream sync (ISYNC), memory fences, and LL/SC for the
+ * software barriers. This ISA provides exactly those plus the usual
+ * integer/FP/branch set, and one extra opcode (HBAR) used only by the
+ * dedicated-network baseline barrier (Beckmann & Polychronopoulos style),
+ * which *does* require core modification — that contrast is part of the
+ * paper's argument.
+ *
+ * Encoding fiction: every instruction occupies 4 bytes so that instruction
+ * cache behaviour (16 instructions per 64-byte line) is realistic.
+ */
+
+#ifndef BFSIM_ISA_ISA_HH
+#define BFSIM_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/** Bytes per (fictional) encoded instruction. */
+constexpr unsigned instBytes = 4;
+
+/** Number of architectural integer registers; x0 reads as zero. */
+constexpr unsigned numIntRegs = 32;
+
+/** Number of architectural floating-point registers. */
+constexpr unsigned numFpRegs = 32;
+
+enum class Opcode : uint8_t
+{
+    // Integer register-register ALU.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Sll, Srl, Sra,
+    Slt, Sltu,
+    // Integer register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    // Load 64-bit immediate.
+    Li,
+    // Floating point (double precision).
+    Fadd, Fsub, Fmul, Fdiv, Fneg, Fabs, Fmov,
+    CvtIF,   ///< fp[rd] = double(int[rs1])
+    CvtFI,   ///< int[rd] = int64(fp[rs1])
+    Flt,     ///< int[rd] = fp[rs1] < fp[rs2]
+    Fle,     ///< int[rd] = fp[rs1] <= fp[rs2]
+    Feq,     ///< int[rd] = fp[rs1] == fp[rs2]
+    // Memory. Address = int[rs1] + imm.
+    Lb, Lw, Ld,
+    Sb, Sw, Sd,
+    Fld, Fsd,
+    Ll,      ///< load-linked (64-bit), like Alpha ldq_l
+    Sc,      ///< store-conditional (64-bit), rd = 1 on success else 0
+    // Control. Branch/jump targets are absolute byte addresses in imm.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    J,       ///< unconditional jump to imm
+    Jal,     ///< int[rd] = return address; jump to imm
+    Jalr,    ///< int[rd] = return address; jump to int[rs1] + imm
+    Jr,      ///< jump to int[rs1]
+    Halt,    ///< thread finished
+    // Synchronization / cache control.
+    Fence,   ///< full memory fence (drain loads + stores)
+    Icbi,    ///< invalidate I-cache block at int[rs1] + imm, down to filter
+    Dcbi,    ///< invalidate D-cache block at int[rs1] + imm, down to filter
+    Isync,   ///< discard fetched/prefetched instructions
+    Hbar,    ///< dedicated-network barrier; imm = network barrier id
+    Nop,
+
+    NumOpcodes,
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+};
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Human-readable rendering of one instruction. */
+std::string disassemble(const Instruction &inst);
+
+/** True for loads, stores, LL/SC, fences and cache-control ops. */
+bool isMemOp(Opcode op);
+
+/** True for conditional branches and jumps. */
+bool isControlOp(Opcode op);
+
+/** True when the opcode writes an integer destination register. */
+bool writesIntReg(Opcode op);
+
+/** True when the opcode writes a floating-point destination register. */
+bool writesFpReg(Opcode op);
+
+} // namespace bfsim
+
+#endif // BFSIM_ISA_ISA_HH

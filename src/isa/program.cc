@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Program implementation.
+ */
+
+#include "isa/program.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+Program::Program(std::vector<CodeSection> sections, Addr entry)
+    : secs(std::move(sections)), entryAddr(entry)
+{
+    std::sort(secs.begin(), secs.end(),
+              [](const CodeSection &a, const CodeSection &b) {
+                  return a.base < b.base;
+              });
+    for (size_t i = 0; i + 1 < secs.size(); ++i) {
+        if (secs[i].limit() > secs[i + 1].base)
+            fatal("Program: overlapping code sections");
+    }
+    if (!contains(entryAddr))
+        fatal("Program: entry point outside all sections");
+}
+
+bool
+Program::contains(Addr pc) const
+{
+    for (const auto &s : secs)
+        if (pc >= s.base && pc < s.limit())
+            return true;
+    return false;
+}
+
+const Instruction &
+Program::fetch(Addr pc) const
+{
+    if (pc % instBytes != 0)
+        fatal("Program: misaligned fetch");
+
+    // Fast path: the same section as last time.
+    const CodeSection &ls = secs[lastSec];
+    if (pc >= ls.base && pc < ls.limit())
+        return ls.insts[(pc - ls.base) / instBytes];
+
+    for (size_t i = 0; i < secs.size(); ++i) {
+        const CodeSection &s = secs[i];
+        if (pc >= s.base && pc < s.limit()) {
+            lastSec = i;
+            return s.insts[(pc - s.base) / instBytes];
+        }
+    }
+    std::ostringstream os;
+    os << "Program: fetch outside image at 0x" << std::hex << pc;
+    fatal(os.str());
+}
+
+size_t
+Program::size() const
+{
+    size_t n = 0;
+    for (const auto &s : secs)
+        n += s.insts.size();
+    return n;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    for (const auto &s : secs) {
+        os << "section @ 0x" << std::hex << s.base << std::dec << ":\n";
+        Addr pc = s.base;
+        for (const auto &inst : s.insts) {
+            os << "  0x" << std::hex << std::setw(8) << std::setfill('0')
+               << pc << std::dec << ":  " << disassemble(inst) << "\n";
+            pc += instBytes;
+        }
+    }
+    return os.str();
+}
+
+} // namespace bfsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Executable program images made of one or more code sections.
+ *
+ * A section is a contiguous run of instructions starting at a fixed byte
+ * address. The I-cache barrier places per-thread "arrival" code blocks at
+ * OS-assigned, cache-line-aligned addresses, so a program is generally a
+ * main section plus several tiny barrier sections.
+ */
+
+#ifndef BFSIM_ISA_PROGRAM_HH
+#define BFSIM_ISA_PROGRAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/** A contiguous run of instructions at a fixed base address. */
+struct CodeSection
+{
+    Addr base = 0;
+    std::vector<Instruction> insts;
+
+    Addr limit() const { return base + insts.size() * instBytes; }
+};
+
+/**
+ * An immutable program image: sections plus an entry point.
+ *
+ * Instruction lookup by address is the core's fetch path, so it keeps a
+ * small cache of the last section hit (fetch is overwhelmingly sequential).
+ */
+class Program
+{
+  public:
+    Program(std::vector<CodeSection> sections, Addr entry);
+
+    /** Entry-point address. */
+    Addr entry() const { return entryAddr; }
+
+    /** True when @p pc falls inside any section. */
+    bool contains(Addr pc) const;
+
+    /**
+     * Fetch the instruction at @p pc.
+     * @throws FatalError when @p pc is outside the image or misaligned.
+     */
+    const Instruction &fetch(Addr pc) const;
+
+    const std::vector<CodeSection> &sections() const { return secs; }
+
+    /** Total instruction count across all sections. */
+    size_t size() const;
+
+    /** Multi-line disassembly listing (for tests and debugging). */
+    std::string listing() const;
+
+  private:
+    std::vector<CodeSection> secs;
+    Addr entryAddr;
+    mutable size_t lastSec = 0;
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+} // namespace bfsim
+
+#endif // BFSIM_ISA_PROGRAM_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * AutocorrKernel implementation.
+ */
+
+#include "kernels/autocorr.hh"
+
+#include <array>
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace bfsim
+{
+
+void
+AutocorrKernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    lags = p.lags;
+    reps = p.reps;
+    minChunk = p.minChunk ? p.minChunk : 16;
+    Os &os = sys.os();
+    unsigned line = sys.config().lineBytes;
+
+    xAddr = os.allocData(n * 4);
+    rAddr = os.allocData(uint64_t(lags) * 8);
+    partAddr = os.allocData(uint64_t(sys.numCores()) * line, line);
+
+    // Deterministic speech-like waveform: a few vowel-formant tones plus
+    // low-level noise, quantized to 16-bit range (xspeech substitute).
+    Rng rng(p.seed);
+    std::vector<int32_t> x(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        double ti = double(i);
+        double v = 0.45 * std::sin(2 * M_PI * ti / 57.0) +
+                   0.30 * std::sin(2 * M_PI * ti / 23.0) +
+                   0.15 * std::sin(2 * M_PI * ti / 11.0) +
+                   0.10 * (rng.real() - 0.5);
+        x[i] = int32_t(v * 8192.0);
+        sys.memory().write32(xAddr + i * 4, uint32_t(x[i]));
+    }
+
+    rRef.assign(lags, 0);
+    for (unsigned lag = 0; lag < lags; ++lag)
+        for (uint64_t i = 0; i + lag < n; ++i)
+            rRef[lag] += int64_t(x[i]) * int64_t(x[i + lag]);
+
+    for (unsigned t = 0; t < sys.numCores(); ++t)
+        sys.memory().write64(partAddr + uint64_t(t) * line, 0);
+}
+
+ProgramPtr
+AutocorrKernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rLag = b.temp(), rLags = b.temp(), rI = b.temp();
+    IntReg rEnd = b.temp(), rAcc = b.temp(), rP0 = b.temp();
+    IntReg rP1 = b.temp(), rA = b.temp(), rBv = b.temp(), rT = b.temp();
+    IntReg rRep = b.temp(), rReps = b.temp(), rN = b.temp();
+
+    b.li(rN, int64_t(n));
+    b.li(rLags, int64_t(lags));
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    b.li(rLag, 0);
+    b.label("lagloop");
+    b.li(rAcc, 0);
+    b.li(rI, 0);
+    b.sub(rEnd, rN, rLag);        // i < n - lag
+    b.li(rP0, int64_t(xAddr));    // &x[i]
+    b.slli(rT, rLag, 2);
+    b.li(rP1, int64_t(xAddr));
+    b.add(rP1, rP1, rT);          // &x[i+lag]
+    b.label("iloop");
+    b.lw(rA, rP0, 0);
+    b.lw(rBv, rP1, 0);
+    b.mul(rT, rA, rBv);
+    b.add(rAcc, rAcc, rT);
+    b.addi(rP0, rP0, 4);
+    b.addi(rP1, rP1, 4);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rEnd, "iloop");
+    // r[lag] = acc
+    b.slli(rT, rLag, 3);
+    b.li(rA, int64_t(rAddr));
+    b.add(rT, rT, rA);
+    b.sd(rAcc, rT, 0);
+    b.addi(rLag, rLag, 1);
+    b.blt(rLag, rLags, "lagloop");
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+AutocorrKernel::buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                              unsigned nthreads,
+                              const BarrierHandle &handle)
+{
+    unsigned line = sys.config().lineBytes;
+    // Static slice of the sample index space (16 samples = one line of
+    // int32 — same cache-line rule as the Livermore kernels).
+    uint64_t chunk =
+        std::max<uint64_t>(minChunk, (n + nthreads - 1) / nthreads);
+    uint64_t lo = std::min(n, uint64_t(tid) * chunk);
+    uint64_t hi = std::min(n, lo + chunk);
+
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rLag = b.temp(), rLags = b.temp(), rI = b.temp();
+    IntReg rEnd = b.temp(), rAcc = b.temp(), rP0 = b.temp();
+    IntReg rP1 = b.temp(), rA = b.temp(), rBv = b.temp(), rT = b.temp();
+    IntReg rRep = b.temp(), rReps = b.temp(), rN = b.temp();
+    IntReg rC = b.temp(), rTc = b.temp();
+
+    bar.emitInit(b);
+    b.li(rN, int64_t(n));
+    b.li(rLags, int64_t(lags));
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    b.li(rLag, 0);
+    b.label("lagloop");
+
+    if (lo < hi) {
+        // Partial sum over i in [lo, min(hi, n-lag)).
+        b.li(rAcc, 0);
+        b.li(rI, int64_t(lo));
+        b.sub(rEnd, rN, rLag);
+        b.li(rT, int64_t(hi));
+        b.blt(rT, rEnd, "clip");
+        b.j("clipped");
+        b.label("clip");
+        b.mov(rEnd, rT);
+        b.label("clipped");
+        b.li(rP0, int64_t(xAddr + lo * 4));
+        b.slli(rT, rLag, 2);
+        b.add(rP1, rP0, rT);
+        b.label("iloop");
+        b.bge(rI, rEnd, "iend");
+        b.lw(rA, rP0, 0);
+        b.lw(rBv, rP1, 0);
+        b.mul(rT, rA, rBv);
+        b.add(rAcc, rAcc, rT);
+        b.addi(rP0, rP0, 4);
+        b.addi(rP1, rP1, 4);
+        b.addi(rI, rI, 1);
+        b.j("iloop");
+        b.label("iend");
+        b.li(rT, int64_t(partAddr + uint64_t(tid) * line));
+        b.sd(rAcc, rT, 0);
+    }
+
+    bar.emitBarrier(b); // partials complete
+
+    if (tid == 0) {
+        // Reduction unrolled in waves so the partial-line misses overlap
+        // instead of serializing on the accumulator.
+        b.li(rP0, int64_t(partAddr));
+        b.li(rAcc, 0);
+        unsigned idx = 0;
+        while (idx < nthreads) {
+            unsigned wave = std::min<unsigned>(6, nthreads - idx);
+            std::array<IntReg, 6> wreg{rT, rA, rBv, rC, rTc, rI};
+            for (unsigned j = 0; j < wave; ++j)
+                b.ld(wreg[j], rP0, int64_t(uint64_t(idx + j) * line));
+            for (unsigned j = 0; j < wave; ++j)
+                b.add(rAcc, rAcc, wreg[j]);
+            idx += wave;
+        }
+        b.slli(rT, rLag, 3);
+        b.li(rA, int64_t(rAddr));
+        b.add(rT, rT, rA);
+        b.sd(rAcc, rT, 0);
+    }
+
+    bar.emitBarrier(b); // reduction visible before the next lag
+
+    b.addi(rLag, rLag, 1);
+    b.blt(rLag, rLags, "lagloop");
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+AutocorrKernel::check(CmpSystem &sys) const
+{
+    for (unsigned lag = 0; lag < lags; ++lag) {
+        if (int64_t(sys.memory().read64(rAddr + lag * 8)) != rRef[lag])
+            return false;
+    }
+    return true;
+}
+
+} // namespace bfsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * EEMBC-style fixed-point autocorrelation kernel (paper Section 4.3,
+ * Figure 5).
+ *
+ * The paper used the EEMBC Auto-Correlation benchmark on the `xspeech`
+ * input with lag = 32. That input is proprietary, so we synthesize a
+ * deterministic speech-like waveform (sum of tones plus noise); the
+ * kernel's work depends only on sample count and lag count, which we keep.
+ */
+
+#ifndef BFSIM_KERNELS_AUTOCORR_HH
+#define BFSIM_KERNELS_AUTOCORR_HH
+
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace bfsim
+{
+
+/** Autocorrelation: r[lag] = sum_i x[i] * x[i+lag], int32 samples. */
+class AutocorrKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "autocorr"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t n = 0;
+    uint64_t minChunk = 16;
+    unsigned lags = 32;
+    unsigned reps = 1;
+    Addr xAddr = 0, rAddr = 0, partAddr = 0;
+    std::vector<int64_t> rRef;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_KERNELS_AUTOCORR_HH

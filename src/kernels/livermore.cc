@@ -1,0 +1,852 @@
+/**
+ * @file
+ * Livermore loop kernel implementations.
+ */
+
+#include "kernels/livermore.hh"
+
+#include <array>
+#include <cmath>
+
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+bool
+nearlyEqual(double a, double b)
+{
+    double diff = std::fabs(a - b);
+    double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return diff <= 1e-9 * scale;
+}
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+// ===== Livermore loop 3: inner product =========================================
+
+void
+Livermore3Kernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    reps = p.reps;
+    minChunk = p.minChunk ? p.minChunk : 8;
+    Os &os = sys.os();
+    unsigned line = sys.config().lineBytes;
+
+    xAddr = os.allocData(n * 8);
+    zAddr = os.allocData(n * 8);
+    partAddr = os.allocData(uint64_t(sys.numCores()) * line, line);
+    resAddr = os.allocData(8, line);
+
+    Rng rng(p.seed);
+    qRef = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+        double x = rng.real();
+        double z = rng.real();
+        sys.memory().writeDouble(xAddr + k * 8, x);
+        sys.memory().writeDouble(zAddr + k * 8, z);
+        qRef += z * x;
+    }
+    // Partials start at zero so idle threads contribute nothing.
+    for (unsigned t = 0; t < sys.numCores(); ++t)
+        sys.memory().writeDouble(partAddr + uint64_t(t) * line, 0.0);
+}
+
+ProgramPtr
+Livermore3Kernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rX = b.temp(), rZ = b.temp(), rK = b.temp(), rN = b.temp();
+    IntReg rRep = b.temp(), rReps = b.temp(), rT = b.temp();
+    FpReg fQ = b.ftemp(), f1 = b.ftemp(), f2 = b.ftemp(), f3 = b.ftemp();
+
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    b.li(rX, int64_t(xAddr));
+    b.li(rZ, int64_t(zAddr));
+    b.li(rK, 0);
+    b.li(rN, int64_t(n));
+    b.cvtIF(fQ, regZero);
+    b.label("loop");
+    b.fld(f1, rZ, 0);
+    b.fld(f2, rX, 0);
+    b.fmul(f3, f1, f2);
+    b.fadd(fQ, fQ, f3);
+    b.addi(rX, rX, 8);
+    b.addi(rZ, rZ, 8);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rN, "loop");
+    b.li(rT, int64_t(resAddr));
+    b.fsd(fQ, rT, 0);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+Livermore3Kernel::buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                                unsigned nthreads,
+                                const BarrierHandle &handle)
+{
+    unsigned line = sys.config().lineBytes;
+    // Minimum-chunk rule (default 8 doubles = one cache line, so a line
+    // moves between cores at most once — Section 4; the chunking
+    // ablation sweeps this).
+    uint64_t chunk = std::max<uint64_t>(minChunk, ceilDiv(n, nthreads));
+    uint64_t lo = std::min<uint64_t>(n, tid * chunk);
+    uint64_t hi = std::min<uint64_t>(n, lo + chunk);
+
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rX = b.temp(), rZ = b.temp(), rK = b.temp(), rEnd = b.temp();
+    IntReg rRep = b.temp(), rReps = b.temp(), rT = b.temp();
+    IntReg rP = b.temp();
+    FpReg fQ = b.ftemp(), f1 = b.ftemp(), f2 = b.ftemp(), f3 = b.ftemp();
+    // Wave registers for the software-pipelined reduction: independent
+    // loads overlap their misses instead of serializing on the adder.
+    std::array<FpReg, 8> fw{b.ftemp(), b.ftemp(), b.ftemp(), b.ftemp(),
+                            b.ftemp(), b.ftemp(), b.ftemp(), b.ftemp()};
+
+    bar.emitInit(b);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+
+    if (lo < hi) {
+        b.li(rX, int64_t(xAddr + lo * 8));
+        b.li(rZ, int64_t(zAddr + lo * 8));
+        b.li(rK, int64_t(lo));
+        b.li(rEnd, int64_t(hi));
+        b.cvtIF(fQ, regZero);
+        b.label("loop");
+        b.fld(f1, rZ, 0);
+        b.fld(f2, rX, 0);
+        b.fmul(f3, f1, f2);
+        b.fadd(fQ, fQ, f3);
+        b.addi(rX, rX, 8);
+        b.addi(rZ, rZ, 8);
+        b.addi(rK, rK, 1);
+        b.blt(rK, rEnd, "loop");
+        b.li(rT, int64_t(partAddr + uint64_t(tid) * line));
+        b.fsd(fQ, rT, 0);
+    }
+
+    bar.emitBarrier(b);
+
+    if (tid == 0) {
+        // Reduce every thread's partial (idle threads left zero),
+        // unrolled in waves of 8 so the misses overlap (bounded by the
+        // L1D MSHR file).
+        b.cvtIF(fQ, regZero);
+        b.li(rP, int64_t(partAddr));
+        unsigned idx = 0;
+        while (idx < nthreads) {
+            unsigned wave = std::min<unsigned>(8, nthreads - idx);
+            for (unsigned j = 0; j < wave; ++j)
+                b.fld(fw[j], rP, int64_t(uint64_t(idx + j) * line));
+            for (unsigned j = 0; j < wave; ++j)
+                b.fadd(fQ, fQ, fw[j]);
+            idx += wave;
+        }
+        b.li(rT, int64_t(resAddr));
+        b.fsd(fQ, rT, 0);
+    }
+
+    bar.emitBarrier(b);
+
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+Livermore3Kernel::check(CmpSystem &sys) const
+{
+    return nearlyEqual(sys.memory().readDouble(resAddr), qRef);
+}
+
+// ===== Livermore loop 2: ICCG excerpt ===========================================
+
+void
+Livermore2Kernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    reps = p.reps;
+    minChunk = p.minChunk ? p.minChunk : 8;
+    Os &os = sys.os();
+
+    uint64_t elems = 2 * n + 8;
+    xAddr = os.allocData(elems * 8);
+    vAddr = os.allocData(elems * 8);
+
+    Rng rng(p.seed);
+    xRef.assign(elems, 0.0);
+    std::vector<double> v(elems, 0.0);
+    for (uint64_t k = 0; k < elems; ++k) {
+        xRef[k] = rng.real();
+        v[k] = rng.real() * 0.5;
+        sys.memory().writeDouble(xAddr + k * 8, xRef[k]);
+        sys.memory().writeDouble(vAddr + k * 8, v[k]);
+    }
+
+    // Golden reference: the netlib loop on the host.
+    int64_t ii = int64_t(n), ipntp = 0, ipnt, i;
+    do {
+        ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        i = ipntp;
+        for (int64_t k = ipnt + 1; k < ipntp; k += 2) {
+            ++i;
+            xRef[i] = xRef[k] - v[k] * xRef[k - 1] - v[k + 1] * xRef[k + 1];
+        }
+    } while (ii > 1);
+}
+
+void
+Livermore2Kernel::emitBody(ProgramBuilder &b, IntReg rK, IntReg rI,
+                           IntReg rXBase, IntReg rVBase, IntReg rT1,
+                           IntReg rT2, FpReg f1, FpReg f2, FpReg f3,
+                           FpReg f4, FpReg f5)
+{
+    b.addi(rI, rI, 1);
+    b.slli(rT1, rK, 3);
+    b.add(rT1, rT1, rXBase);   // &x[k]
+    b.fld(f1, rT1, 0);         // x[k]
+    b.fld(f2, rT1, -8);        // x[k-1]
+    b.fld(f3, rT1, 8);         // x[k+1]
+    b.slli(rT2, rK, 3);
+    b.add(rT2, rT2, rVBase);   // &v[k]
+    b.fld(f4, rT2, 0);         // v[k]
+    b.fld(f5, rT2, 8);         // v[k+1]
+    b.fmul(f2, f4, f2);        // v[k]*x[k-1]
+    b.fmul(f3, f5, f3);        // v[k+1]*x[k+1]
+    b.fsub(f1, f1, f2);
+    b.fsub(f1, f1, f3);
+    b.slli(rT1, rI, 3);
+    b.add(rT1, rT1, rXBase);   // &x[i]
+    b.fsd(f1, rT1, 0);
+    b.addi(rK, rK, 2);
+}
+
+ProgramPtr
+Livermore2Kernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rII = b.temp(), rIpntp = b.temp(), rIpnt = b.temp();
+    IntReg rI = b.temp(), rK = b.temp(), rXBase = b.temp();
+    IntReg rVBase = b.temp(), rT1 = b.temp(), rT2 = b.temp();
+    IntReg rOne = b.temp(), rRep = b.temp(), rReps = b.temp();
+    FpReg f1 = b.ftemp(), f2 = b.ftemp(), f3 = b.ftemp(), f4 = b.ftemp();
+    FpReg f5 = b.ftemp();
+
+    b.li(rXBase, int64_t(xAddr));
+    b.li(rVBase, int64_t(vAddr));
+    b.li(rOne, 1);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    b.li(rII, int64_t(n));
+    b.li(rIpntp, 0);
+    b.label("dw");
+    b.mov(rIpnt, rIpntp);
+    b.add(rIpntp, rIpntp, rII);
+    b.srai(rII, rII, 1);
+    b.mov(rI, rIpntp);
+    b.addi(rK, rIpnt, 1);
+    b.label("kcheck");
+    b.bge(rK, rIpntp, "kend");
+    emitBody(b, rK, rI, rXBase, rVBase, rT1, rT2, f1, f2, f3, f4, f5);
+    b.j("kcheck");
+    b.label("kend");
+    b.blt(rOne, rII, "dw");
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+Livermore2Kernel::buildParallel(CmpSystem &, Addr codeBase, unsigned tid,
+                                unsigned nthreads,
+                                const BarrierHandle &handle)
+{
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rII = b.temp(), rIpntp = b.temp(), rIpnt = b.temp();
+    IntReg rI = b.temp(), rK = b.temp(), rXBase = b.temp();
+    IntReg rVBase = b.temp(), rT1 = b.temp(), rT2 = b.temp();
+    IntReg rOne = b.temp(), rRep = b.temp(), rReps = b.temp();
+    IntReg rChunk = b.temp(), rEnd = b.temp(), rT3 = b.temp();
+    IntReg rThreads = b.temp();
+    FpReg f1 = b.ftemp(), f2 = b.ftemp(), f3 = b.ftemp(), f4 = b.ftemp();
+    FpReg f5 = b.ftemp();
+
+    bar.emitInit(b);
+    b.li(rXBase, int64_t(xAddr));
+    b.li(rVBase, int64_t(vAddr));
+    b.li(rOne, 1);
+    b.li(rThreads, int64_t(nthreads));
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    b.li(rII, int64_t(n));
+    b.li(rIpntp, 0);
+    b.label("dw");
+    b.mov(rIpnt, rIpntp);
+    b.add(rIpntp, rIpntp, rII);
+    b.srai(rII, rII, 1);
+
+    // chunk = (ipntp-ipnt)/2 + (ipntp-ipnt)%2 — iterations of the k loop.
+    b.sub(rT1, rIpntp, rIpnt);
+    b.srai(rChunk, rT1, 1);
+    b.andi(rT1, rT1, 1);
+    b.add(rChunk, rChunk, rT1);
+    // chunk = chunk/THREADS + (chunk%THREADS ? 1 : 0)
+    b.div(rT1, rChunk, rThreads);
+    b.rem(rT2, rChunk, rThreads);
+    b.sltu(rT2, regZero, rT2);
+    b.add(rChunk, rT1, rT2);
+    // if (chunk < MIN) chunk = MIN — the cache-line rule (Section 4;
+    // the chunking ablation sweeps MIN).
+    b.slti(rT1, rChunk, int64_t(minChunk));
+    b.beqz(rT1, "chunkok");
+    b.li(rChunk, int64_t(minChunk));
+    b.label("chunkok");
+    // i = ipntp + MYID*chunk
+    b.li(rT1, int64_t(tid));
+    b.mul(rT1, rChunk, rT1);
+    b.add(rI, rIpntp, rT1);
+    // end = chunk*2*(MYID+1) + ipnt + 1
+    b.li(rT2, int64_t(2 * (tid + 1)));
+    b.mul(rEnd, rChunk, rT2);
+    b.add(rEnd, rEnd, rIpnt);
+    b.addi(rEnd, rEnd, 1);
+    // k = ipnt + 1 + MYID*2*chunk
+    b.li(rT3, int64_t(2 * tid));
+    b.mul(rK, rChunk, rT3);
+    b.add(rK, rK, rIpnt);
+    b.addi(rK, rK, 1);
+
+    b.label("kcheck");
+    b.bge(rK, rEnd, "kend");
+    b.bge(rK, rIpntp, "kend");
+    emitBody(b, rK, rI, rXBase, rVBase, rT1, rT2, f1, f2, f3, f4, f5);
+    b.j("kcheck");
+    b.label("kend");
+    bar.emitBarrier(b);
+    b.blt(rOne, rII, "dw");
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+Livermore2Kernel::check(CmpSystem &sys) const
+{
+    for (uint64_t k = 0; k < xRef.size(); ++k) {
+        if (!nearlyEqual(sys.memory().readDouble(xAddr + k * 8), xRef[k]))
+            return false;
+    }
+    return true;
+}
+
+// ===== Livermore loop 6: general linear recurrence ================================
+
+void
+Livermore6Kernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    reps = p.reps;
+    Os &os = sys.os();
+
+    wAddr = os.allocData(n * 8);
+    wInitAddr = os.allocData(n * 8);
+    bAddr = os.allocData(n * n * 8);
+
+    Rng rng(p.seed);
+    wRef.assign(n, 0.0);
+    std::vector<double> bm(n * n, 0.0);
+    for (uint64_t i = 0; i < n; ++i) {
+        wRef[i] = 0.5 + 0.5 * rng.real();
+        sys.memory().writeDouble(wInitAddr + i * 8, wRef[i]);
+        sys.memory().writeDouble(wAddr + i * 8, wRef[i]);
+    }
+    // Keep |b| small so w stays numerically tame for any n.
+    double scale = 1.0 / double(n);
+    for (uint64_t k = 0; k < n; ++k) {
+        for (uint64_t i = 0; i < n; ++i) {
+            double v = rng.real() * scale;
+            bm[k * n + i] = v;
+            sys.memory().writeDouble(bAddr + (k * n + i) * 8, v);
+        }
+    }
+
+    // Golden reference (one application on a fresh w).
+    for (uint64_t i = 1; i < n; ++i)
+        for (uint64_t k = 0; k < i; ++k)
+            wRef[i] += bm[k * n + i] * wRef[(i - k) - 1];
+}
+
+ProgramPtr
+Livermore6Kernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rI = b.temp(), rK = b.temp(), rN = b.temp(), rT1 = b.temp();
+    IntReg rBi = b.temp(), rWp = b.temp(), rRep = b.temp();
+    IntReg rReps = b.temp(), rWBase = b.temp(), rWInit = b.temp();
+    IntReg rRowStride = b.temp();
+    FpReg fAcc = b.ftemp(), fB = b.ftemp(), fW = b.ftemp(), fT = b.ftemp();
+
+    b.li(rWBase, int64_t(wAddr));
+    b.li(rWInit, int64_t(wInitAddr));
+    b.li(rN, int64_t(n));
+    b.li(rRowStride, int64_t(n * 8));
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+
+    // Reset w from the pristine copy.
+    b.li(rK, 0);
+    b.label("reset");
+    b.slli(rT1, rK, 3);
+    b.add(rT1, rT1, rWInit);
+    b.fld(fW, rT1, 0);
+    b.slli(rT1, rK, 3);
+    b.add(rT1, rT1, rWBase);
+    b.fsd(fW, rT1, 0);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rN, "reset");
+
+    // for i in 1..n-1: w[i] += sum_k b[k][i] * w[i-k-1]
+    b.li(rI, 1);
+    b.label("iloop");
+    b.slli(rT1, rI, 3);
+    b.add(rT1, rT1, rWBase);
+    b.fld(fAcc, rT1, 0);          // w[i]
+    b.li(rK, 0);
+    // rBi = &b[0][i]
+    b.slli(rBi, rI, 3);
+    b.li(rT1, int64_t(bAddr));
+    b.add(rBi, rBi, rT1);
+    // rWp = &w[i-1], walks down as k rises
+    b.addi(rWp, rI, -1);
+    b.slli(rWp, rWp, 3);
+    b.add(rWp, rWp, rWBase);
+    b.label("kloop");
+    b.fld(fB, rBi, 0);            // b[k][i]
+    b.fld(fW, rWp, 0);            // w[(i-k)-1]
+    b.fmul(fT, fB, fW);
+    b.fadd(fAcc, fAcc, fT);
+    b.add(rBi, rBi, rRowStride);
+    b.addi(rWp, rWp, -8);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rI, "kloop");
+    b.slli(rT1, rI, 3);
+    b.add(rT1, rT1, rWBase);
+    b.fsd(fAcc, rT1, 0);          // w[i]
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, "iloop");
+
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+Livermore6Kernel::buildParallel(CmpSystem &, Addr codeBase, unsigned tid,
+                                unsigned nthreads,
+                                const BarrierHandle &handle)
+{
+    // Wavefront (Figure 9): at step t every instance (t, k) with
+    // k < n-1-t is independent; thread tid owns k in [lo, hi).
+    uint64_t kTotal = n - 1;
+    uint64_t chunk = ceilDiv(kTotal, nthreads);
+    uint64_t lo = std::min(kTotal, uint64_t(tid) * chunk);
+    uint64_t hi = std::min(kTotal, lo + chunk);
+
+    // Reset phase: thread slices of [0, n).
+    uint64_t rchunk = ceilDiv(n, nthreads);
+    uint64_t rlo = std::min(n, uint64_t(tid) * rchunk);
+    uint64_t rhi = std::min(n, rlo + rchunk);
+
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rT = b.temp(), rK = b.temp(), rLim = b.temp(), rT1 = b.temp();
+    IntReg rIdx = b.temp(), rWBase = b.temp(), rBBase = b.temp();
+    IntReg rRep = b.temp(), rReps = b.temp(), rNm1 = b.temp();
+    IntReg rRow = b.temp(), rHi = b.temp(), rT2 = b.temp();
+    FpReg fWt = b.ftemp(), fB = b.ftemp(), fOld = b.ftemp(),
+          fT = b.ftemp();
+
+    bar.emitInit(b);
+    b.li(rWBase, int64_t(wAddr));
+    b.li(rBBase, int64_t(bAddr));
+    b.li(rNm1, int64_t(n - 1));
+    b.li(rRow, int64_t(n * 8));
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+
+    // Distributed reset of w from the pristine copy.
+    if (rlo < rhi) {
+        b.li(rK, int64_t(rlo));
+        b.li(rLim, int64_t(rhi));
+        b.li(rT1, int64_t(wInitAddr));
+        b.label("reset");
+        b.slli(rT2, rK, 3);
+        b.add(rT2, rT2, rT1);
+        b.fld(fT, rT2, 0);
+        b.slli(rT2, rK, 3);
+        b.add(rT2, rT2, rWBase);
+        b.fsd(fT, rT2, 0);
+        b.addi(rK, rK, 1);
+        b.blt(rK, rLim, "reset");
+    }
+    bar.emitBarrier(b);
+
+    // for t in 0..n-2 { parallel k; barrier }
+    b.li(rT, 0);
+    b.label("tloop");
+    if (lo < hi) {
+        b.slli(rT1, rT, 3);
+        b.add(rT1, rT1, rWBase);
+        b.fld(fWt, rT1, 0);           // w[t], frozen this step
+        b.sub(rLim, rNm1, rT);        // k must satisfy k < n-1-t
+        b.li(rK, int64_t(lo));
+        b.li(rHi, int64_t(hi));
+        b.label("kloop");
+        b.bge(rK, rHi, "kend");
+        b.bge(rK, rLim, "kend");
+        // idx = t + k + 1
+        b.add(rIdx, rT, rK);
+        b.addi(rIdx, rIdx, 1);
+        // w[idx] += b[k][idx] * w[t]
+        b.mul(rT1, rK, rRow);
+        b.add(rT1, rT1, rBBase);
+        b.slli(rT2, rIdx, 3);
+        b.add(rT1, rT1, rT2);
+        b.fld(fB, rT1, 0);
+        b.slli(rT2, rIdx, 3);
+        b.add(rT2, rT2, rWBase);
+        b.fld(fOld, rT2, 0);
+        b.fmul(fT, fB, fWt);
+        b.fadd(fOld, fOld, fT);
+        b.fsd(fOld, rT2, 0);
+        b.addi(rK, rK, 1);
+        b.j("kloop");
+        b.label("kend");
+    }
+    bar.emitBarrier(b);
+    b.addi(rT, rT, 1);
+    b.blt(rT, rNm1, "tloop");
+
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+Livermore6Kernel::check(CmpSystem &sys) const
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        if (!nearlyEqual(sys.memory().readDouble(wAddr + i * 8), wRef[i]))
+            return false;
+    }
+    return true;
+}
+
+// ===== Livermore loop 1: hydro fragment (embarrassingly parallel) ==============
+
+void
+Livermore1Kernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    reps = p.reps;
+    Os &os = sys.os();
+
+    xAddr = os.allocData(n * 8);
+    yAddr = os.allocData(n * 8);
+    zAddr = os.allocData((n + 16) * 8);
+    scalarAddr = os.allocData(3 * 8, 64); // q, r, t
+
+    Rng rng(p.seed);
+    const double q = 0.5, r = 0.25, t = 0.125;
+    sys.memory().writeDouble(scalarAddr, q);
+    sys.memory().writeDouble(scalarAddr + 8, r);
+    sys.memory().writeDouble(scalarAddr + 16, t);
+
+    std::vector<double> y(n), z(n + 16);
+    for (uint64_t k = 0; k < n; ++k) {
+        y[k] = rng.real();
+        sys.memory().writeDouble(yAddr + k * 8, y[k]);
+    }
+    for (uint64_t k = 0; k < n + 16; ++k) {
+        z[k] = rng.real();
+        sys.memory().writeDouble(zAddr + k * 8, z[k]);
+    }
+
+    xRef.assign(n, 0.0);
+    for (uint64_t k = 0; k < n; ++k)
+        xRef[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+}
+
+namespace
+{
+
+/**
+ * Emit loop-1 bodies for k in [lo, hi): x[k] = q + y[k]*(r*z[k+10] +
+ * t*z[k+11]). Scalars live in f10..f12; loop registers are caller-owned.
+ */
+void
+emitLoop1Slice(ProgramBuilder &b, Addr xAddr, Addr yAddr, Addr zAddr,
+               uint64_t lo, uint64_t hi, IntReg rX, IntReg rY, IntReg rZ,
+               IntReg rK, IntReg rEnd, const char *label)
+{
+    FpReg fQ{10}, fR{11}, fT{12};
+    FpReg fy{13}, fz0{14}, fz1{15}, facc{16};
+
+    b.li(rX, int64_t(xAddr + lo * 8));
+    b.li(rY, int64_t(yAddr + lo * 8));
+    b.li(rZ, int64_t(zAddr + lo * 8));
+    b.li(rK, int64_t(lo));
+    b.li(rEnd, int64_t(hi));
+    b.label(label);
+    b.fld(fy, rY, 0);
+    b.fld(fz0, rZ, 80);       // z[k+10]
+    b.fld(fz1, rZ, 88);       // z[k+11]
+    b.fmul(fz0, fR, fz0);
+    b.fmul(fz1, fT, fz1);
+    b.fadd(facc, fz0, fz1);
+    b.fmul(facc, fy, facc);
+    b.fadd(facc, fQ, facc);
+    b.fsd(facc, rX, 0);
+    b.addi(rX, rX, 8);
+    b.addi(rY, rY, 8);
+    b.addi(rZ, rZ, 8);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rEnd, label);
+}
+
+} // namespace
+
+ProgramPtr
+Livermore1Kernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rX = b.temp(), rY = b.temp(), rZ = b.temp(), rK = b.temp();
+    IntReg rEnd = b.temp(), rRep = b.temp(), rReps = b.temp(),
+           rS = b.temp();
+    FpReg fQ{10}, fR{11}, fT{12};
+
+    b.li(rS, int64_t(scalarAddr));
+    b.fld(fQ, rS, 0);
+    b.fld(fR, rS, 8);
+    b.fld(fT, rS, 16);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    emitLoop1Slice(b, xAddr, yAddr, zAddr, 0, n, rX, rY, rZ, rK, rEnd,
+                   "kloop");
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+Livermore1Kernel::buildParallel(CmpSystem &, Addr codeBase, unsigned tid,
+                                unsigned nthreads,
+                                const BarrierHandle &handle)
+{
+    uint64_t chunk = std::max<uint64_t>(8, ceilDiv(n, nthreads));
+    uint64_t lo = std::min<uint64_t>(n, tid * chunk);
+    uint64_t hi = std::min<uint64_t>(n, lo + chunk);
+
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rX = b.temp(), rY = b.temp(), rZ = b.temp(), rK = b.temp();
+    IntReg rEnd = b.temp(), rRep = b.temp(), rReps = b.temp(),
+           rS = b.temp();
+    FpReg fQ{10}, fR{11}, fT{12};
+
+    bar.emitInit(b);
+    b.li(rS, int64_t(scalarAddr));
+    b.fld(fQ, rS, 0);
+    b.fld(fR, rS, 8);
+    b.fld(fT, rS, 16);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    if (lo < hi)
+        emitLoop1Slice(b, xAddr, yAddr, zAddr, lo, hi, rX, rY, rZ, rK,
+                       rEnd, "kloop");
+    // One closing barrier per repetition: all the synchronization this
+    // kernel needs (Section 4.4's reason to exclude it).
+    bar.emitBarrier(b);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+Livermore1Kernel::check(CmpSystem &sys) const
+{
+    for (uint64_t k = 0; k < n; ++k)
+        if (!nearlyEqual(sys.memory().readDouble(xAddr + k * 8), xRef[k]))
+            return false;
+    return true;
+}
+
+// ===== Livermore loop 5: tri-diagonal elimination (serial) ======================
+
+void
+Livermore5Kernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    n = p.n;
+    reps = p.reps;
+    Os &os = sys.os();
+
+    xAddr = os.allocData(n * 8);
+    xInitAddr = os.allocData(n * 8);
+    yAddr = os.allocData(n * 8);
+    zAddr = os.allocData(n * 8);
+
+    Rng rng(p.seed);
+    xRef.assign(n, 0.0);
+    std::vector<double> y(n), z(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        xRef[i] = rng.real();
+        y[i] = rng.real() + 1.0;
+        z[i] = rng.real() * 0.5;
+        sys.memory().writeDouble(xAddr + i * 8, xRef[i]);
+        sys.memory().writeDouble(xInitAddr + i * 8, xRef[i]);
+        sys.memory().writeDouble(yAddr + i * 8, y[i]);
+        sys.memory().writeDouble(zAddr + i * 8, z[i]);
+    }
+    for (uint64_t i = 1; i < n; ++i)
+        xRef[i] = z[i] * (y[i] - xRef[i - 1]);
+}
+
+namespace
+{
+
+/** The serial chain: x[i] = z[i]*(y[i] - x[i-1]), i in [1, n). */
+void
+emitLoop5Chain(ProgramBuilder &b, Addr xAddr, Addr yAddr, Addr zAddr,
+               Addr xInitAddr, uint64_t n, IntReg rX, IntReg rY,
+               IntReg rZ, IntReg rI, IntReg rEnd, IntReg rT)
+{
+    FpReg fprev{10}, fy{11}, fz{12};
+
+    // Reset x from the pristine copy (the chain overwrites in place).
+    b.li(rT, int64_t(xInitAddr));
+    b.li(rX, int64_t(xAddr));
+    b.li(rI, 0);
+    b.li(rEnd, int64_t(n));
+    b.label("reset5");
+    b.fld(fy, rT, 0);
+    b.fsd(fy, rX, 0);
+    b.addi(rT, rT, 8);
+    b.addi(rX, rX, 8);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rEnd, "reset5");
+
+    b.li(rX, int64_t(xAddr));
+    b.li(rY, int64_t(yAddr + 8));
+    b.li(rZ, int64_t(zAddr + 8));
+    b.fld(fprev, rX, 0);      // x[0]
+    b.li(rI, 1);
+    b.label("chain5");
+    b.fld(fy, rY, 0);
+    b.fld(fz, rZ, 0);
+    b.fsub(fy, fy, fprev);
+    b.fmul(fprev, fz, fy);    // x[i], carried in a register
+    b.fsd(fprev, rX, 8);
+    b.addi(rX, rX, 8);
+    b.addi(rY, rY, 8);
+    b.addi(rZ, rZ, 8);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rEnd, "chain5");
+}
+
+} // namespace
+
+ProgramPtr
+Livermore5Kernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rX = b.temp(), rY = b.temp(), rZ = b.temp(), rI = b.temp();
+    IntReg rEnd = b.temp(), rT = b.temp(), rRep = b.temp(),
+           rReps = b.temp();
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    emitLoop5Chain(b, xAddr, yAddr, zAddr, xInitAddr, n, rX, rY, rZ, rI,
+                   rEnd, rT);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+Livermore5Kernel::buildParallel(CmpSystem &, Addr codeBase, unsigned tid,
+                                unsigned, const BarrierHandle &handle)
+{
+    // Nothing to distribute: thread 0 runs the whole dependence chain,
+    // everyone else just synchronizes. Any "parallel" version of this
+    // kernel degenerates to this plus barrier overhead.
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rX = b.temp(), rY = b.temp(), rZ = b.temp(), rI = b.temp();
+    IntReg rEnd = b.temp(), rT = b.temp(), rRep = b.temp(),
+           rReps = b.temp();
+
+    bar.emitInit(b);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+    if (tid == 0)
+        emitLoop5Chain(b, xAddr, yAddr, zAddr, xInitAddr, n, rX, rY, rZ,
+                       rI, rEnd, rT);
+    bar.emitBarrier(b);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+Livermore5Kernel::check(CmpSystem &sys) const
+{
+    for (uint64_t i = 0; i < n; ++i)
+        if (!nearlyEqual(sys.memory().readDouble(xAddr + i * 8), xRef[i]))
+            return false;
+    return true;
+}
+
+} // namespace bfsim

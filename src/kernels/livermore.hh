@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Livermore loop kernels 2, 3 and 6 (paper Section 4.4).
+ *
+ * Each kernel follows the paper's parallelization: loop 2 uses the
+ * runtime-chunked partitioning of the do-while ICCG excerpt (chunks of at
+ * least 8 doubles so a cache line moves between cores at most once), loop
+ * 3 is a partial-sums + reduction inner product, and loop 6 executes the
+ * wavefront transformation with one global barrier per time step.
+ */
+
+#ifndef BFSIM_KERNELS_LIVERMORE_HH
+#define BFSIM_KERNELS_LIVERMORE_HH
+
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace bfsim
+{
+
+/**
+ * Livermore loop 1: hydro fragment — the paper's example of an
+ * *embarrassingly parallel* kernel (Section 4.4 excludes it from the
+ * barrier study precisely because it needs only one closing barrier).
+ * Included here as the contrast case: near-linear speedup, barrier
+ * mechanism irrelevant.
+ */
+class Livermore1Kernel : public Kernel
+{
+  public:
+    std::string name() const override { return "livermore1"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t n = 0;
+    unsigned reps = 1;
+    Addr xAddr = 0, yAddr = 0, zAddr = 0, scalarAddr = 0;
+    std::vector<double> xRef;
+};
+
+/**
+ * Livermore loop 5: tri-diagonal elimination — the paper's example of a
+ * *serial* kernel (loop-carried dependence on x[i-1]). The "parallel"
+ * build runs the chain on thread 0 while the others merely synchronize:
+ * distributing it buys nothing, whatever the barrier.
+ */
+class Livermore5Kernel : public Kernel
+{
+  public:
+    std::string name() const override { return "livermore5"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t n = 0;
+    unsigned reps = 1;
+    Addr xAddr = 0, yAddr = 0, zAddr = 0, xInitAddr = 0;
+    std::vector<double> xRef;
+};
+
+/** Livermore loop 3: inner product (Figure 8). */
+class Livermore3Kernel : public Kernel
+{
+  public:
+    std::string name() const override { return "livermore3"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t n = 0;
+    unsigned reps = 1;
+    uint64_t minChunk = 8;
+    Addr xAddr = 0, zAddr = 0, partAddr = 0, resAddr = 0;
+    double qRef = 0.0;
+};
+
+/** Livermore loop 2: ICCG excerpt (Figure 7). */
+class Livermore2Kernel : public Kernel
+{
+  public:
+    std::string name() const override { return "livermore2"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t minChunk = 8;
+
+    /** Emit the shared loop body: x[i] = x[k]-v[k]*x[k-1]-v[k+1]*x[k+1]. */
+    void emitBody(ProgramBuilder &b, IntReg rK, IntReg rI, IntReg rXBase,
+                  IntReg rVBase, IntReg rT1, IntReg rT2, FpReg f1, FpReg f2,
+                  FpReg f3, FpReg f4, FpReg f5);
+
+    uint64_t n = 0;
+    unsigned reps = 1;
+    Addr xAddr = 0, vAddr = 0;
+    std::vector<double> xRef;
+};
+
+/** Livermore loop 6: general linear recurrence (Figure 10). */
+class Livermore6Kernel : public Kernel
+{
+  public:
+    std::string name() const override { return "livermore6"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t n = 0;
+    unsigned reps = 1;
+    Addr wAddr = 0, wInitAddr = 0, bAddr = 0;
+    std::vector<double> wRef;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_KERNELS_LIVERMORE_HH

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * ViterbiKernel implementation.
+ */
+
+#include "kernels/viterbi.hh"
+
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+constexpr int64_t bigMetric = int64_t(1) << 40;
+
+unsigned
+parity(unsigned v)
+{
+    v ^= v >> 16;
+    v ^= v >> 8;
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    return v & 1;
+}
+
+unsigned
+expectedPair(unsigned w)
+{
+    return (parity(w & ViterbiKernel::poly0) << 1) |
+           parity(w & ViterbiKernel::poly1);
+}
+
+/** Register set for the ACS block (caller-owned, reusable). */
+struct AcsRegs
+{
+    IntReg s, sEnd, p0, m0, m1, e, t1, t2, d, exp, bm;
+};
+
+/** Register set for the traceback block. */
+struct TbRegs
+{
+    IntReg s, sym, row, d, u, t1, msg, out;
+};
+
+} // namespace
+
+void
+ViterbiKernel::setup(CmpSystem &sys, const KernelParams &p)
+{
+    msgBits = p.n;
+    reps = p.reps;
+    numSymbols = msgBits + (constraint - 1);
+    parStride = sys.config().lineBytes;
+    Os &os = sys.os();
+
+    recvAddr = os.allocData(numSymbols);
+    expAddr = os.allocData(32);
+    bmAddr = os.allocData(4);
+    pmSeqA = os.allocData(numStates * 8, parStride);
+    pmSeqB = os.allocData(numStates * 8, parStride);
+    pmParA = os.allocData(uint64_t(numStates) * parStride, parStride);
+    pmParB = os.allocData(uint64_t(numStates) * parStride, parStride);
+    decAddr = os.allocData(numSymbols * numStates * 8, parStride);
+    outAddr = os.allocData(numSymbols, parStride);
+
+    // Tables: expected output pair per 5-bit shift word, and a 2-bit
+    // popcount for hard-decision branch metrics.
+    for (unsigned w = 0; w < 32; ++w)
+        sys.memory().write8(expAddr + w, uint8_t(expectedPair(w)));
+    for (unsigned v = 0; v < 4; ++v)
+        sys.memory().write8(bmAddr + v, uint8_t((v & 1) + ((v >> 1) & 1)));
+
+    // Encode a random message (getti.dat substitute) with K-1 flush bits.
+    Rng rng(p.seed);
+    message.assign(msgBits, 0);
+    for (auto &m : message)
+        m = uint8_t(rng.below(2));
+
+    unsigned state = 0;
+    for (uint64_t i = 0; i < numSymbols; ++i) {
+        unsigned u = i < msgBits ? message[i] : 0;
+        unsigned w = (state << 1) | u;
+        sys.memory().write8(recvAddr + i, uint8_t(expectedPair(w)));
+        state = w & (numStates - 1);
+    }
+}
+
+namespace
+{
+
+/**
+ * Emit the ACS update for states [sLo, sHi) of one symbol. Uses labels
+ * "sloop"/"pick0": emit at most once per program.
+ */
+void
+emitAcsBlock(ProgramBuilder &b, unsigned sLo, unsigned sHi, IntReg rPrev,
+             IntReg rCur, IntReg rRecv, IntReg rDecRow,
+             unsigned metricStride, Addr expAddr, Addr bmAddr,
+             const AcsRegs &r)
+{
+    unsigned shift;
+    switch (metricStride) {
+      case 8: shift = 3; break;
+      case 64: shift = 6; break;
+      default: fatal("emitAcsBlock: unsupported metric stride");
+    }
+
+    b.li(r.exp, int64_t(expAddr));
+    b.li(r.bm, int64_t(bmAddr));
+    b.li(r.s, int64_t(sLo));
+    b.li(r.sEnd, int64_t(sHi));
+    b.label("sloop");
+    // Predecessors: p0 = s>>1, p1 = p0 + 8; table rows w0 = s, w1 = s|16.
+    b.srli(r.p0, r.s, 1);
+    b.slli(r.t1, r.p0, shift);
+    b.add(r.t1, r.t1, rPrev);
+    b.ld(r.m0, r.t1, 0);                          // pm[p0]
+    b.ld(r.m1, r.t1, int64_t(metricStride) * 8);  // pm[p0 + 8]
+    // Branch metric via path 0: bm[exp[s] ^ recv].
+    b.add(r.t2, r.exp, r.s);
+    b.lb(r.e, r.t2, 0);
+    b.xor_(r.e, r.e, rRecv);
+    b.add(r.t2, r.bm, r.e);
+    b.lb(r.e, r.t2, 0);
+    b.add(r.m0, r.m0, r.e);
+    // Branch metric via path 1: bm[exp[s|16] ^ recv].
+    b.ori(r.t2, r.s, 16);
+    b.add(r.t2, r.t2, r.exp);
+    b.lb(r.e, r.t2, 0);
+    b.xor_(r.e, r.e, rRecv);
+    b.add(r.t2, r.bm, r.e);
+    b.lb(r.e, r.t2, 0);
+    b.add(r.m1, r.m1, r.e);
+    // Compare-select: d = (m1 < m0); survivor metric into m0.
+    b.slt(r.d, r.m1, r.m0);
+    b.beqz(r.d, "pick0");
+    b.mov(r.m0, r.m1);
+    b.label("pick0");
+    b.slli(r.t1, r.s, shift);
+    b.add(r.t1, r.t1, rCur);
+    b.sd(r.m0, r.t1, 0);                          // cur[s]
+    b.slli(r.t1, r.s, 3);
+    b.add(r.t1, r.t1, rDecRow);
+    b.sd(r.d, r.t1, 0);                           // dec[sym][s]
+    b.addi(r.s, r.s, 1);
+    b.blt(r.s, r.sEnd, "sloop");
+}
+
+/** Emit the traceback loop. Uses labels "tb"/"tbskip": emit once. */
+void
+emitTracebackBlock(ProgramBuilder &b, uint64_t numSymbols, uint64_t msgBits,
+                   Addr decAddr, Addr outAddr, unsigned numStates,
+                   const TbRegs &r)
+{
+    const int64_t rowBytes = int64_t(numStates) * 8;
+    b.li(r.s, 0); // flush bits force the surviving path into state 0
+    b.li(r.sym, int64_t(numSymbols) - 1);
+    b.li(r.row, int64_t(decAddr + (numSymbols - 1) * uint64_t(rowBytes)));
+    b.li(r.msg, int64_t(msgBits));
+    b.li(r.out, int64_t(outAddr));
+    b.label("tb");
+    b.slli(r.t1, r.s, 3);
+    b.add(r.t1, r.t1, r.row);
+    b.ld(r.d, r.t1, 0);
+    b.andi(r.u, r.s, 1);       // decoded input bit = LSB of the state
+    b.bge(r.sym, r.msg, "tbskip");
+    b.add(r.t1, r.out, r.sym);
+    b.sb(r.u, r.t1, 0);
+    b.label("tbskip");
+    b.srli(r.s, r.s, 1);
+    b.slli(r.d, r.d, 3);
+    b.or_(r.s, r.s, r.d);      // s = (s>>1) | (d<<3): chosen predecessor
+    b.addi(r.sym, r.sym, -1);
+    b.addi(r.row, r.row, -rowBytes);
+    b.bge(r.sym, regZero, "tb");
+}
+
+} // namespace
+
+ProgramPtr
+ViterbiKernel::buildSequential(CmpSystem &, Addr codeBase)
+{
+    ProgramBuilder b(codeBase);
+    IntReg rRep = b.temp(), rReps = b.temp(), rPrev = b.temp(),
+           rCur = b.temp(), rSym = b.temp(), rNsym = b.temp(),
+           rRecvP = b.temp(), rRecv = b.temp(), rDecRow = b.temp();
+    AcsRegs ar{b.temp(), b.temp(), b.temp(), b.temp(), b.temp(), b.temp(),
+               b.temp(), b.temp(), b.temp(), b.temp(), b.temp()};
+    TbRegs tr{ar.s, rSym, rDecRow, ar.m0, ar.m1, ar.t1, ar.sEnd, ar.t2};
+
+    const int64_t rowBytes = int64_t(numStates) * 8;
+
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+
+    // Metric init: pm[s] = BIG for all s, then pm[0] = 0.
+    b.li(ar.t1, int64_t(pmSeqA));
+    b.li(ar.s, 0);
+    b.li(ar.sEnd, int64_t(numStates));
+    b.li(ar.m0, bigMetric);
+    b.label("minit");
+    b.sd(ar.m0, ar.t1, 0);
+    b.addi(ar.t1, ar.t1, 8);
+    b.addi(ar.s, ar.s, 1);
+    b.blt(ar.s, ar.sEnd, "minit");
+    b.li(ar.t1, int64_t(pmSeqA));
+    b.sd(regZero, ar.t1, 0);
+
+    b.li(rPrev, int64_t(pmSeqA));
+    b.li(rCur, int64_t(pmSeqB));
+    b.li(rSym, 0);
+    b.li(rNsym, int64_t(numSymbols));
+    b.li(rRecvP, int64_t(recvAddr));
+    b.li(rDecRow, int64_t(decAddr));
+    b.label("symloop");
+    b.lb(rRecv, rRecvP, 0);
+    emitAcsBlock(b, 0, numStates, rPrev, rCur, rRecv, rDecRow, 8, expAddr,
+                 bmAddr, ar);
+    // Swap metric buffers.
+    b.mov(ar.t1, rPrev);
+    b.mov(rPrev, rCur);
+    b.mov(rCur, ar.t1);
+    b.addi(rSym, rSym, 1);
+    b.addi(rRecvP, rRecvP, 1);
+    b.addi(rDecRow, rDecRow, rowBytes);
+    b.blt(rSym, rNsym, "symloop");
+
+    emitTracebackBlock(b, numSymbols, msgBits, decAddr, outAddr, numStates,
+                       tr);
+
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    return b.build();
+}
+
+ProgramPtr
+ViterbiKernel::buildParallel(CmpSystem &, Addr codeBase, unsigned tid,
+                             unsigned nthreads, const BarrierHandle &handle)
+{
+    // Interleave states across threads: thread tid owns [sLo, sHi).
+    unsigned spt = (numStates + nthreads - 1) / nthreads;
+    unsigned sLo = std::min(numStates, tid * spt);
+    unsigned sHi = std::min(numStates, sLo + spt);
+
+    ProgramBuilder b(codeBase);
+    BarrierCodegen bar(handle, tid);
+    IntReg rRep = b.temp(), rReps = b.temp(), rPrev = b.temp(),
+           rCur = b.temp(), rSym = b.temp(), rNsym = b.temp(),
+           rRecvP = b.temp(), rRecv = b.temp(), rDecRow = b.temp();
+    AcsRegs ar{b.temp(), b.temp(), b.temp(), b.temp(), b.temp(), b.temp(),
+               b.temp(), b.temp(), b.temp(), b.temp(), b.temp()};
+    TbRegs tr{ar.s, rSym, rDecRow, ar.m0, ar.m1, ar.t1, ar.sEnd, ar.t2};
+
+    const int64_t rowBytes = int64_t(numStates) * 8;
+
+    bar.emitInit(b);
+    b.li(rRep, 0);
+    b.li(rReps, reps);
+    b.label("rep");
+
+    // Each thread initializes its own (padded) metric slots.
+    if (sLo < sHi) {
+        b.li(ar.t1, int64_t(pmParA + sLo * uint64_t(parStride)));
+        b.li(ar.s, int64_t(sLo));
+        b.li(ar.sEnd, int64_t(sHi));
+        b.li(ar.m0, bigMetric);
+        b.label("minit");
+        b.sd(ar.m0, ar.t1, 0);
+        b.addi(ar.t1, ar.t1, int64_t(parStride));
+        b.addi(ar.s, ar.s, 1);
+        b.blt(ar.s, ar.sEnd, "minit");
+        if (sLo == 0) {
+            b.li(ar.t1, int64_t(pmParA));
+            b.sd(regZero, ar.t1, 0);
+        }
+    }
+    bar.emitBarrier(b); // all metrics initialized
+
+    b.li(rPrev, int64_t(pmParA));
+    b.li(rCur, int64_t(pmParB));
+    b.li(rSym, 0);
+    b.li(rNsym, int64_t(numSymbols));
+    b.li(rRecvP, int64_t(recvAddr));
+    b.li(rDecRow, int64_t(decAddr));
+    b.label("symloop");
+    if (sLo < sHi) {
+        b.lb(rRecv, rRecvP, 0);
+        emitAcsBlock(b, sLo, sHi, rPrev, rCur, rRecv, rDecRow, parStride,
+                     expAddr, bmAddr, ar);
+    }
+    // One barrier per symbol: ordering between successive parallelized
+    // calls (Section 4.3). Double buffering makes one barrier sufficient.
+    bar.emitBarrier(b);
+    b.mov(ar.t1, rPrev);
+    b.mov(rPrev, rCur);
+    b.mov(rCur, ar.t1);
+    b.addi(rSym, rSym, 1);
+    b.addi(rRecvP, rRecvP, 1);
+    b.addi(rDecRow, rDecRow, rowBytes);
+    b.blt(rSym, rNsym, "symloop");
+
+    if (tid == 0) {
+        emitTracebackBlock(b, numSymbols, msgBits, decAddr, outAddr,
+                           numStates, tr);
+    }
+    bar.emitBarrier(b); // traceback complete before the next repetition
+
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rReps, "rep");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+bool
+ViterbiKernel::check(CmpSystem &sys) const
+{
+    for (uint64_t i = 0; i < msgBits; ++i) {
+        if (sys.memory().read8(outAddr + i) != message[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace bfsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * EEMBC-style Viterbi decoder kernel (paper Section 4.3, Figure 6).
+ *
+ * A K=5, rate-1/2 convolutional decoder: 16 states, branch metrics +
+ * add-compare-select per received symbol, decision memory, and a final
+ * traceback. The paper decoded the proprietary `getti.dat` input; we
+ * encode deterministic random data with the same class of code — decode
+ * work per symbol is input-independent, so behaviour is preserved.
+ *
+ * Parallelization follows the paper: the per-symbol ACS loop is split
+ * across threads (states are interleaved across cores), and a global
+ * barrier between symbols enforces the ordering between successive calls
+ * to the parallelized subroutine. Thread 0 performs the traceback.
+ */
+
+#ifndef BFSIM_KERNELS_VITERBI_HH
+#define BFSIM_KERNELS_VITERBI_HH
+
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace bfsim
+{
+
+/** K=5 rate-1/2 Viterbi decode. */
+class ViterbiKernel : public Kernel
+{
+  public:
+    static constexpr unsigned constraint = 5;
+    static constexpr unsigned numStates = 16; // 2^(K-1)
+    static constexpr unsigned poly0 = 0x13;   // octal 23
+    static constexpr unsigned poly1 = 0x1d;   // octal 35
+
+    std::string name() const override { return "viterbi"; }
+    void setup(CmpSystem &sys, const KernelParams &p) override;
+    ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) override;
+    ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase, unsigned tid,
+                             unsigned nthreads,
+                             const BarrierHandle &handle) override;
+    bool check(CmpSystem &sys) const override;
+
+  private:
+    uint64_t msgBits = 0;   ///< message length (before flush bits)
+    uint64_t numSymbols = 0;
+    unsigned reps = 1;
+    Addr recvAddr = 0;      ///< one byte per symbol: (r0<<1)|r1
+    Addr expAddr = 0;       ///< 32-byte expected-output table, indexed by w
+    Addr bmAddr = 0;        ///< 4-byte popcount table
+    Addr pmSeqA = 0, pmSeqB = 0;   ///< sequential metric buffers (8 B/state)
+    Addr pmParA = 0, pmParB = 0;   ///< parallel metric buffers (padded)
+    Addr decAddr = 0;       ///< decisions, 8 B per (symbol, state)
+    Addr outAddr = 0;       ///< decoded bits, 1 B each
+    unsigned parStride = 64;
+    std::vector<uint8_t> message;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_KERNELS_VITERBI_HH

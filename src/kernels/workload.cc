@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Kernel factory and the generic run driver.
+ */
+
+#include "kernels/workload.hh"
+
+#include "kernels/autocorr.hh"
+#include "kernels/livermore.hh"
+#include "kernels/viterbi.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Livermore1: return "livermore1";
+      case KernelId::Livermore2: return "livermore2";
+      case KernelId::Livermore3: return "livermore3";
+      case KernelId::Livermore5: return "livermore5";
+      case KernelId::Livermore6: return "livermore6";
+      case KernelId::Autocorr: return "autocorr";
+      case KernelId::Viterbi: return "viterbi";
+      default: return "???";
+    }
+}
+
+std::unique_ptr<Kernel>
+makeKernel(KernelId id)
+{
+    switch (id) {
+      case KernelId::Livermore1:
+        return std::make_unique<Livermore1Kernel>();
+      case KernelId::Livermore2:
+        return std::make_unique<Livermore2Kernel>();
+      case KernelId::Livermore3:
+        return std::make_unique<Livermore3Kernel>();
+      case KernelId::Livermore5:
+        return std::make_unique<Livermore5Kernel>();
+      case KernelId::Livermore6:
+        return std::make_unique<Livermore6Kernel>();
+      case KernelId::Autocorr:
+        return std::make_unique<AutocorrKernel>();
+      case KernelId::Viterbi:
+        return std::make_unique<ViterbiKernel>();
+      default:
+        panic("makeKernel: unknown kernel");
+    }
+}
+
+KernelRun
+runKernel(const CmpConfig &cfg, KernelId id, const KernelParams &params,
+          bool parallel, BarrierKind kind, unsigned threads)
+{
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    auto kernel = makeKernel(id);
+    kernel->setup(sys, params);
+
+    if (!parallel) {
+        ProgramPtr prog = kernel->buildSequential(sys, os.codeBase(0));
+        ThreadContext *t = os.createThread(prog);
+        os.startThread(t, 0);
+    } else {
+        if (threads == 0)
+            threads = cfg.numCores;
+        if (threads > cfg.numCores)
+            fatal("runKernel: more threads than cores");
+        BarrierHandle handle = os.registerBarrier(kind, threads);
+        for (unsigned tid = 0; tid < threads; ++tid) {
+            ProgramPtr prog = kernel->buildParallel(
+                sys, os.codeBase(ThreadId(tid)), tid, threads, handle);
+            ThreadContext *t = os.createThread(prog);
+            os.startThread(t, CoreId(tid));
+        }
+    }
+
+    KernelRun run;
+    run.cycles = sys.run();
+    run.correct = !sys.anyBarrierError() && kernel->check(sys);
+    run.instructions = sys.totalInstructions();
+    return run;
+}
+
+} // namespace bfsim

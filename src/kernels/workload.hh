@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Kernel workloads: the paper's evaluation programs.
+ *
+ * Each kernel provides (a) memory setup plus a host-side golden reference,
+ * (b) a sequential program, (c) a barrier-parallel per-thread program
+ * following the paper's partitioning, and (d) a correctness check of the
+ * simulated machine's final memory image against the reference.
+ */
+
+#ifndef BFSIM_KERNELS_WORKLOAD_HH
+#define BFSIM_KERNELS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "barriers/barrier_gen.hh"
+#include "isa/builder.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+/** The five kernels of the paper's evaluation (Section 4). */
+enum class KernelId
+{
+    Livermore1,   ///< hydro fragment: embarrassingly parallel contrast
+    Livermore2,   ///< ICCG excerpt (Figure 7)
+    Livermore3,   ///< inner product (Figure 8)
+    Livermore5,   ///< tri-diagonal elimination: serial contrast
+    Livermore6,   ///< general linear recurrence (Figure 10)
+    Autocorr,     ///< EEMBC-style autocorrelation (Figure 5)
+    Viterbi,      ///< EEMBC-style Viterbi decoder (Figure 6)
+};
+
+const char *kernelName(KernelId id);
+
+/** Workload sizing knobs. */
+struct KernelParams
+{
+    uint64_t n = 256;      ///< vector length / recurrence size / samples
+    unsigned lags = 32;    ///< autocorrelation lag count
+    unsigned reps = 4;     ///< kernel repetitions inside the program
+    uint64_t seed = 12345; ///< input generator seed
+    /**
+     * Minimum per-thread chunk in elements for the statically-partitioned
+     * kernels (the paper's "at least 8 doubles = one cache line" rule;
+     * the chunking ablation sweeps it).
+     */
+    uint64_t minChunk = 0; ///< 0 = kernel default
+
+};
+
+/** Outcome of one simulated kernel run. */
+struct KernelRun
+{
+    Tick cycles = 0;
+    bool correct = false;
+    uint64_t instructions = 0;
+};
+
+/**
+ * Abstract kernel: everything needed to run it on a CmpSystem.
+ */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Allocate + initialize inputs; precompute the golden reference. */
+    virtual void setup(CmpSystem &sys, const KernelParams &p) = 0;
+
+    /** Build the single-threaded program. */
+    virtual ProgramPtr buildSequential(CmpSystem &sys, Addr codeBase) = 0;
+
+    /**
+     * Build thread @p tid of the @p nthreads -way barrier-parallel
+     * version; barrier code is emitted via @p handle.
+     */
+    virtual ProgramPtr buildParallel(CmpSystem &sys, Addr codeBase,
+                                     unsigned tid, unsigned nthreads,
+                                     const BarrierHandle &handle) = 0;
+
+    /** Compare the machine's memory against the golden reference. */
+    virtual bool check(CmpSystem &sys) const = 0;
+};
+
+std::unique_ptr<Kernel> makeKernel(KernelId id);
+
+/**
+ * Convenience driver: build a fresh system, run the kernel, check it.
+ *
+ * @param parallel False runs the sequential program on core 0.
+ * @param kind Barrier mechanism for parallel runs.
+ * @param threads Worker count for parallel runs (<= cores).
+ */
+KernelRun runKernel(const CmpConfig &cfg, KernelId id,
+                    const KernelParams &params, bool parallel,
+                    BarrierKind kind = BarrierKind::FilterDCache,
+                    unsigned threads = 0);
+
+} // namespace bfsim
+
+#endif // BFSIM_KERNELS_WORKLOAD_HH

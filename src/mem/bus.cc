@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Bus and Interconnect implementation.
+ */
+
+#include "mem/bus.hh"
+
+#include <sstream>
+
+#include "mem/l1_cache.hh"
+#include "mem/l2_bank.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+Bus::Bus(EventQueue &eq, StatGroup &st, std::string name,
+         unsigned lineBytes_, unsigned bytesPerCycle_, Tick propLatency_)
+    : eventq(eq), stats(st), busName(std::move(name)), lineBytes(lineBytes_),
+      bytesPerCycle(bytesPerCycle_), propLatency(propLatency_)
+{
+    if (bytesPerCycle == 0)
+        fatal("Bus: bytesPerCycle must be positive");
+}
+
+Tick
+Bus::occupancy(const Msg &msg) const
+{
+    if (!carriesData(msg.type))
+        return 1;
+    // An ownership upgrade (requester already held S) needs no data beat.
+    if (msg.type == MsgType::DataX && msg.hadShared)
+        return 1;
+    return std::max<Tick>(1, (lineBytes + bytesPerCycle - 1) / bytesPerCycle);
+}
+
+void
+Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
+{
+    Tick occ = occupancy(msg);
+    Tick start = std::max(eventq.now(), freeAt);
+    freeAt = start + occ;
+    totalBusy += occ;
+
+    ++stats.counter("bus." + busName + ".msgs");
+    if (carriesData(msg.type))
+        ++stats.counter("bus." + busName + ".dataMsgs");
+    stats.counter("bus." + busName + ".busyCycles") += occ;
+    stats.counter("bus." + busName + ".queueCycles") +=
+        start - eventq.now();
+
+    BFSIM_TRACE(TraceCat::Bus, eventq.now(),
+                busName << " " << msgTypeName(msg.type) << " line=0x"
+                        << std::hex << msg.lineAddr << std::dec << " core="
+                        << msg.core << " deliver@" << (freeAt + propLatency));
+
+    Msg copy = msg;
+    eventq.scheduleAt(freeAt + propLatency,
+                      [deliver = std::move(deliver), copy]() {
+                          deliver(copy);
+                      });
+}
+
+Interconnect::Interconnect(EventQueue &eq, StatGroup &st, unsigned lineBytes_,
+                           unsigned bytesPerCycle_, Tick propLatency_,
+                           FabricKind fabric_)
+    : eventq(eq), stats(st), lineBytes(lineBytes_),
+      bytesPerCycle(bytesPerCycle_), propLatency(propLatency_),
+      kind(fabric_)
+{
+    if (kind == FabricKind::Bus) {
+        reqLinks.push_back(std::make_unique<Bus>(
+            eq, st, "req", lineBytes, bytesPerCycle, propLatency));
+        respLinks.push_back(std::make_unique<Bus>(
+            eq, st, "resp", lineBytes, bytesPerCycle, propLatency));
+    }
+    // Crossbar links are created as banks/cores register.
+}
+
+Bus &
+Interconnect::requestLinkFor(unsigned bank)
+{
+    return kind == FabricKind::Bus ? *reqLinks[0] : *reqLinks.at(bank);
+}
+
+Bus &
+Interconnect::responseLinkFor(CoreId core)
+{
+    return kind == FabricKind::Bus ? *respLinks[0]
+                                   : *respLinks.at(size_t(core));
+}
+
+Tick
+Interconnect::requestBusyCycles() const
+{
+    Tick total = 0;
+    for (const auto &l : reqLinks)
+        total += l->busyCycles();
+    return total;
+}
+
+Tick
+Interconnect::responseBusyCycles() const
+{
+    Tick total = 0;
+    for (const auto &l : respLinks)
+        total += l->busyCycles();
+    return total;
+}
+
+void
+Interconnect::registerCore(CoreId id, L1Cache *l1i, L1Cache *l1d)
+{
+    if (id < 0)
+        fatal("Interconnect: bad core id");
+    if (size_t(id) >= l1is.size()) {
+        l1is.resize(id + 1, nullptr);
+        l1ds.resize(id + 1, nullptr);
+    }
+    l1is[id] = l1i;
+    l1ds[id] = l1d;
+    if (kind == FabricKind::Crossbar) {
+        while (respLinks.size() <= size_t(id)) {
+            respLinks.push_back(std::make_unique<Bus>(
+                eventq, stats, "resp.core" + std::to_string(respLinks.size()),
+                lineBytes, bytesPerCycle, propLatency));
+        }
+    }
+}
+
+void
+Interconnect::registerBanks(std::vector<L2Bank *> banks)
+{
+    l2banks = std::move(banks);
+    if (l2banks.empty())
+        fatal("Interconnect: need at least one L2 bank");
+    if (kind == FabricKind::Crossbar) {
+        while (reqLinks.size() < l2banks.size()) {
+            reqLinks.push_back(std::make_unique<Bus>(
+                eventq, stats, "req.bank" + std::to_string(reqLinks.size()),
+                lineBytes, bytesPerCycle, propLatency));
+        }
+    }
+}
+
+unsigned
+Interconnect::bankFor(Addr lineAddr) const
+{
+    return unsigned((lineAddr / lineBytes) % l2banks.size());
+}
+
+void
+Interconnect::sendToBank(const Msg &msg)
+{
+    unsigned b = bankFor(msg.lineAddr);
+    L2Bank *bank = l2banks[b];
+    requestLinkFor(b).send(msg, [bank](const Msg &m) { bank->receive(m); });
+}
+
+void
+Interconnect::sendToCore(const Msg &msg)
+{
+    responseLinkFor(msg.core).send(
+        msg, [this](const Msg &m) { deliverToCore(m); });
+}
+
+void
+Interconnect::deliverToCore(const Msg &msg)
+{
+    if (msg.core < 0 || size_t(msg.core) >= l1ds.size())
+        panic("Interconnect: response for unregistered core");
+    L1Cache *l1i = l1is[msg.core];
+    L1Cache *l1d = l1ds[msg.core];
+
+    switch (msg.type) {
+      case MsgType::Inv: {
+        // Probe both caches of the target core; reply with a single ack.
+        bool dirty = false;
+        if (l1d)
+            dirty |= l1d->handleInvSnoop(msg.lineAddr);
+        if (l1i && l1i != l1d)
+            l1i->handleInvSnoop(msg.lineAddr);
+        Msg ack = msg;
+        ack.type = MsgType::InvAck;
+        ack.wasDirty = dirty;
+        sendToBank(ack);
+        break;
+      }
+      case MsgType::Downgrade: {
+        bool dirty = l1d ? l1d->handleDowngrade(msg.lineAddr) : false;
+        Msg ack = msg;
+        ack.type = MsgType::DowngradeAck;
+        ack.wasDirty = dirty;
+        sendToBank(ack);
+        break;
+      }
+      default:
+        // Fill responses and acks route to the originating cache.
+        if (msg.instr)
+            l1i->receiveResponse(msg);
+        else
+            l1d->receiveResponse(msg);
+        break;
+    }
+}
+
+} // namespace bfsim

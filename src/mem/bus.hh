@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The shared split-transaction bus and the core<->bank interconnect.
+ *
+ * The CMP's cores reach the banked shared L2 over two shared FIFO buses: a
+ * request bus (core -> bank) and a response/snoop bus (bank -> core). Each
+ * message occupies its bus for one cycle, or lineBytes/bytesPerCycle cycles
+ * when it carries a full line. This finite bandwidth is what saturates
+ * beyond 16 cores in the paper's Figure 4.
+ */
+
+#ifndef BFSIM_MEM_BUS_HH
+#define BFSIM_MEM_BUS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+class L1Cache;
+class L2Bank;
+
+/**
+ * One shared FIFO bus with finite bandwidth.
+ *
+ * Transfers serialize: a message begins when the bus frees, occupies it
+ * for its transfer time, and is delivered after a fixed propagation delay.
+ * FIFO ordering is total across all senders, matching a physical bus.
+ */
+class Bus
+{
+  public:
+    Bus(EventQueue &eq, StatGroup &stats, std::string name,
+        unsigned lineBytes, unsigned bytesPerCycle, Tick propLatency);
+
+    /** Enqueue @p msg; @p deliver runs when it reaches the far side. */
+    void send(const Msg &msg, std::function<void(const Msg &)> deliver);
+
+    /** Cycles this bus spent occupied so far. */
+    Tick busyCycles() const { return totalBusy; }
+
+    /** Occupancy of one message in cycles. */
+    Tick occupancy(const Msg &msg) const;
+
+  private:
+    EventQueue &eventq;
+    StatGroup &stats;
+    std::string busName;
+    unsigned lineBytes;
+    unsigned bytesPerCycle;
+    Tick propLatency;
+    Tick freeAt = 0;
+    Tick totalBusy = 0;
+};
+
+/** Fabric topologies between the cores and the L2 banks. */
+enum class FabricKind
+{
+    Bus,       ///< one shared request bus + one shared response bus
+    Crossbar,  ///< per-bank request links + per-core response links
+               ///< (the Niagara-style organization Section 3.2 cites)
+};
+
+/**
+ * Routes messages between per-core L1 pairs and the L2 banks, and handles
+ * snoop fan-out (an Inv probes both the L1I and L1D of the target core and
+ * generates a single ack). The fabric is either a shared split-transaction
+ * bus (default; saturates past 16 cores as in the paper) or a crossbar
+ * with independent per-bank/per-core links.
+ *
+ * Both fabrics preserve the orderings coherence relies on: requests from
+ * one core to one bank stay FIFO, and responses/snoops from one bank to
+ * one core stay FIFO.
+ */
+class Interconnect
+{
+  public:
+    Interconnect(EventQueue &eq, StatGroup &stats, unsigned lineBytes,
+                 unsigned bytesPerCycle, Tick propLatency,
+                 FabricKind fabric = FabricKind::Bus);
+
+    /** Register core @p id's caches. Both may be the same object in tests. */
+    void registerCore(CoreId id, L1Cache *l1i, L1Cache *l1d);
+
+    /** Register the L2 banks; bank = (lineAddr / lineBytes) % numBanks. */
+    void registerBanks(std::vector<L2Bank *> banks);
+
+    /** Bank index that owns @p lineAddr. */
+    unsigned bankFor(Addr lineAddr) const;
+
+    /** Core -> bank path (requests, snoop acks). */
+    void sendToBank(const Msg &msg);
+
+    /** Bank -> core path (fills, acks, snoops, nacks). */
+    void sendToCore(const Msg &msg);
+
+    FabricKind fabric() const { return kind; }
+
+    /** Total busy cycles across all request-direction links. */
+    Tick requestBusyCycles() const;
+
+    /** Total busy cycles across all response-direction links. */
+    Tick responseBusyCycles() const;
+
+  private:
+    void deliverToCore(const Msg &msg);
+    Bus &requestLinkFor(unsigned bank);
+    Bus &responseLinkFor(CoreId core);
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    unsigned lineBytes;
+    unsigned bytesPerCycle;
+    Tick propLatency;
+    FabricKind kind;
+    /** Bus: one entry each. Crossbar: one per bank / per core. */
+    std::vector<std::unique_ptr<Bus>> reqLinks;
+    std::vector<std::unique_ptr<Bus>> respLinks;
+    std::vector<L1Cache *> l1is;
+    std::vector<L1Cache *> l1ds;
+    std::vector<L2Bank *> l2banks;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_BUS_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * The array tracks tags and a caller-defined per-line payload (coherence
+ * state for L1, directory state for L2, a dirty bit for L3). No data is
+ * stored — functional bytes live in MainMemory.
+ */
+
+#ifndef BFSIM_MEM_CACHE_ARRAY_HH
+#define BFSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/** Geometry shared by every cache level. */
+struct CacheGeometry
+{
+    uint64_t sizeBytes = 0;
+    unsigned assoc = 1;
+    unsigned lineBytes = 64;
+    /**
+     * Distance (in lines) between consecutive lines that map to this
+     * array. An L2 bank of a numBanks-interleaved L2 only ever sees every
+     * numBanks-th line, so it must divide the line number down before
+     * set selection or three quarters of its sets go unused.
+     */
+    unsigned indexStride = 1;
+
+    unsigned numSets() const
+    {
+        return unsigned(sizeBytes / (uint64_t(assoc) * lineBytes));
+    }
+
+    Addr lineAlign(Addr a) const { return a & ~Addr(lineBytes - 1); }
+    uint64_t setIndex(Addr lineAddr) const
+    {
+        return (lineAddr / lineBytes / indexStride) % numSets();
+    }
+};
+
+/**
+ * Tag array templated on the per-line payload type.
+ *
+ * @tparam Payload Default-constructible state attached to each line.
+ */
+template <typename Payload>
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        Addr addr = 0;       ///< line-aligned address
+        bool valid = false;
+        uint64_t lastUse = 0;
+        Payload state{};
+    };
+
+    explicit CacheArray(const CacheGeometry &g) : geom(g)
+    {
+        if (g.sizeBytes == 0 || g.assoc == 0 ||
+            g.sizeBytes % (uint64_t(g.assoc) * g.lineBytes) != 0) {
+            fatal("CacheArray: bad geometry");
+        }
+        unsigned sets = g.numSets();
+        if (sets == 0 || (sets & (sets - 1)) != 0)
+            fatal("CacheArray: set count must be a power of two");
+        lines.resize(size_t(sets) * g.assoc);
+    }
+
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Find the line holding @p lineAddr, or nullptr; bumps LRU on hit. */
+    Line *
+    findAndTouch(Addr lineAddr)
+    {
+        Line *l = find(lineAddr);
+        if (l)
+            l->lastUse = ++useClock;
+        return l;
+    }
+
+    /** Find without disturbing LRU state. */
+    Line *
+    find(Addr lineAddr)
+    {
+        auto [begin, end] = setRange(lineAddr);
+        for (Line *l = begin; l != end; ++l)
+            if (l->valid && l->addr == lineAddr)
+                return l;
+        return nullptr;
+    }
+
+    const Line *
+    find(Addr lineAddr) const
+    {
+        return const_cast<CacheArray *>(this)->find(lineAddr);
+    }
+
+    /**
+     * Pick the victim way for installing @p lineAddr: an invalid way if one
+     * exists, else the LRU way. The caller must handle eviction of a valid
+     * victim (writeback / back-invalidation) before calling install().
+     */
+    Line *
+    victimFor(Addr lineAddr)
+    {
+        auto [begin, end] = setRange(lineAddr);
+        Line *victim = begin;
+        for (Line *l = begin; l != end; ++l) {
+            if (!l->valid)
+                return l;
+            if (l->lastUse < victim->lastUse)
+                victim = l;
+        }
+        return victim;
+    }
+
+    /**
+     * Victim selection restricted to ways satisfying @p usable (used by
+     * the L2 to skip lines with in-flight transactions). An invalid way
+     * is returned immediately; otherwise the LRU usable way, or nullptr
+     * when every way is excluded.
+     */
+    template <typename Pred>
+    Line *
+    victimAmong(Addr lineAddr, Pred &&usable)
+    {
+        auto [begin, end] = setRange(lineAddr);
+        Line *best = nullptr;
+        for (Line *l = begin; l != end; ++l) {
+            if (!l->valid)
+                return l;
+            if (usable(*l) && (!best || l->lastUse < best->lastUse))
+                best = l;
+        }
+        return best;
+    }
+
+    /** Install @p lineAddr into @p way (must be invalid). */
+    Line *
+    install(Line *way, Addr lineAddr)
+    {
+        if (way->valid)
+            panic("CacheArray: installing over a valid line");
+        way->valid = true;
+        way->addr = lineAddr;
+        way->lastUse = ++useClock;
+        way->state = Payload{};
+        return way;
+    }
+
+    /** Invalidate one line if present; returns true when it was valid. */
+    bool
+    invalidate(Addr lineAddr)
+    {
+        Line *l = find(lineAddr);
+        if (!l)
+            return false;
+        l->valid = false;
+        return true;
+    }
+
+    /** Visit every valid line. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (Line &l : lines)
+            if (l.valid)
+                fn(l);
+    }
+
+    /** Count of valid lines (test helper). */
+    size_t
+    validCount() const
+    {
+        size_t n = 0;
+        for (const Line &l : lines)
+            n += l.valid;
+        return n;
+    }
+
+  private:
+    std::pair<Line *, Line *>
+    setRange(Addr lineAddr)
+    {
+        uint64_t set = geom.setIndex(geom.lineAlign(lineAddr));
+        Line *begin = &lines[set * geom.assoc];
+        return {begin, begin + geom.assoc};
+    }
+
+    CacheGeometry geom;
+    std::vector<Line> lines;
+    uint64_t useClock = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * L1Cache implementation.
+ */
+
+#include "mem/l1_cache.hh"
+
+#include <sstream>
+
+namespace bfsim
+{
+
+namespace
+{
+uint64_t globalMsgId = 1;
+} // namespace
+
+L1Cache::L1Cache(EventQueue &eq, StatGroup &st, Interconnect &ic_,
+                 std::string name_, CoreId core_, Role role_,
+                 const CacheGeometry &geom, Tick hitLatency_,
+                 unsigned numMshrs, bool prefetchNextLine_)
+    : eventq(eq), stats(st), ic(ic_), name(std::move(name_)), core(core_),
+      role(role_), array(geom), hitLatency(hitLatency_), mshrs(numMshrs),
+      prefetchNextLine(prefetchNextLine_)
+{
+}
+
+void
+L1Cache::maybePrefetch(Addr demandLine)
+{
+    if (!prefetchNextLine)
+        return;
+    Addr next = demandLine + array.geometry().lineBytes;
+    // Best effort only: skip when present, already in flight, or when it
+    // would consume the last MSHR a demand miss might need.
+    if (array.find(next) || mshrs.find(next) || mshrs.inUse() + 1 >=
+        mshrs.capacity())
+        return;
+    auto *entry = mshrs.allocate(next, MsgType::GetS);
+    if (!entry)
+        return;
+    ++stats.counter(name + ".prefetches");
+    sendRequest(MsgType::GetS, next);
+}
+
+uint64_t
+L1Cache::nextMsgId()
+{
+    return globalMsgId++;
+}
+
+void
+L1Cache::checkWithinLine(Addr addr, unsigned size) const
+{
+    unsigned lb = array.geometry().lineBytes;
+    if (addr % lb + size > lb) {
+        std::ostringstream os;
+        os << name << ": access at 0x" << std::hex << addr << std::dec
+           << " size " << size << " crosses a cache line";
+        fatal(os.str());
+    }
+}
+
+void
+L1Cache::breakLinkIf(Addr lineAddr)
+{
+    if (linkSet && linkLine == lineAddr) {
+        linkSet = false;
+        BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
+                    name << " link broken 0x" << std::hex << lineAddr);
+    }
+}
+
+void
+L1Cache::setResourceFreeCallback(std::function<void()> cb)
+{
+    resourceFreeCb = std::move(cb);
+}
+
+void
+L1Cache::sendRequest(MsgType type, Addr lineAddr, bool hadShared)
+{
+    Msg msg;
+    msg.type = type;
+    msg.lineAddr = lineAddr;
+    msg.core = core;
+    msg.instr = (role == Role::Instr);
+    msg.hadShared = hadShared;
+    msg.id = nextMsgId();
+    ic.sendToBank(msg);
+}
+
+void
+L1Cache::installLine(Addr lineAddr, bool modified)
+{
+    auto *way = array.victimFor(lineAddr);
+    if (way->valid) {
+        ++stats.counter(name + ".evictions");
+        breakLinkIf(way->addr);
+        if (way->state.modified) {
+            ++stats.counter(name + ".writebacks");
+            sendRequest(MsgType::PutM, way->addr);
+        }
+        way->valid = false;
+    }
+    auto *line = array.install(way, lineAddr);
+    line->state.modified = modified;
+}
+
+// ----- core-side operations ---------------------------------------------------
+
+bool
+L1Cache::load(Addr addr, unsigned size, std::function<void(bool)> onDone)
+{
+    checkWithinLine(addr, size);
+    Addr la = lineAlign(addr);
+
+    if (auto *line = array.findAndTouch(la)) {
+        (void)line;
+        ++stats.counter(name + ".loadHits");
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        return true;
+    }
+
+    ++stats.counter(name + ".loadMisses");
+    if (auto *entry = mshrs.find(la)) {
+        entry->targets.push_back({false, false, std::move(onDone)});
+        return true;
+    }
+    auto *entry = mshrs.allocate(la, MsgType::GetS);
+    if (!entry) {
+        ++stats.counter(name + ".mshrFullStalls");
+        return false;
+    }
+    entry->targets.push_back({false, false, std::move(onDone)});
+    sendRequest(MsgType::GetS, la);
+    maybePrefetch(la);
+    return true;
+}
+
+bool
+L1Cache::loadLinked(Addr addr, std::function<void(bool)> onDone)
+{
+    checkWithinLine(addr, 8);
+    Addr la = lineAlign(addr);
+
+    if (array.findAndTouch(la)) {
+        // Hit: establish the link at issue, not at completion — an
+        // invalidation that lands in the hit-latency window must break it
+        // (otherwise a racing writer's update could be lost).
+        linkSet = true;
+        linkLine = la;
+        BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
+                    name << " link set (hit) 0x" << std::hex << la);
+        ++stats.counter(name + ".loadHits");
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        return true;
+    }
+
+    // Miss: the link is established when the fill arrives. Any
+    // invalidation ordered after the fill occupies the response bus at
+    // least one cycle later, so it cannot land in the same tick.
+    auto wrapped = [this, la, cb = std::move(onDone)](bool error) {
+        if (!error) {
+            linkSet = true;
+            linkLine = la;
+            BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
+                        name << " link set (fill) 0x" << std::hex << la);
+        }
+        cb(error);
+    };
+
+    ++stats.counter(name + ".loadMisses");
+    if (auto *entry = mshrs.find(la)) {
+        entry->targets.push_back({false, false, std::move(wrapped)});
+        return true;
+    }
+    auto *entry = mshrs.allocate(la, MsgType::GetS);
+    if (!entry) {
+        ++stats.counter(name + ".mshrFullStalls");
+        return false;
+    }
+    entry->targets.push_back({false, false, std::move(wrapped)});
+    sendRequest(MsgType::GetS, la);
+    return true;
+}
+
+bool
+L1Cache::store(Addr addr, unsigned size, std::function<void(bool)> onDone)
+{
+    checkWithinLine(addr, size);
+    Addr la = lineAlign(addr);
+
+    auto *line = array.findAndTouch(la);
+    if (line && line->state.modified) {
+        ++stats.counter(name + ".storeHits");
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        return true;
+    }
+
+    if (auto *entry = mshrs.find(la)) {
+        // A fill is already outstanding; piggyback and upgrade later if it
+        // was only a read fill.
+        if (entry->issuedType == MsgType::GetS)
+            entry->needUpgrade = true;
+        entry->targets.push_back({true, false, std::move(onDone)});
+        return true;
+    }
+
+    auto *entry = mshrs.allocate(la, MsgType::GetX);
+    if (!entry) {
+        ++stats.counter(name + ".mshrFullStalls");
+        return false;
+    }
+    ++stats.counter(line ? name + ".storeUpgrades" : name + ".storeMisses");
+    entry->targets.push_back({true, false, std::move(onDone)});
+    sendRequest(MsgType::GetX, la, line != nullptr);
+    return true;
+}
+
+bool
+L1Cache::storeConditional(Addr addr, std::function<void(bool)> onDone)
+{
+    checkWithinLine(addr, 8);
+    Addr la = lineAlign(addr);
+
+    if (!linkSet || linkLine != la) {
+        // Fast fail: no bus traffic, mirroring Alpha stx_c behaviour.
+        ++stats.counter(name + ".scFastFails");
+        eventq.schedule(1, [cb = std::move(onDone)] { cb(false); });
+        return true;
+    }
+
+    auto *line = array.findAndTouch(la);
+    if (line && line->state.modified) {
+        ++stats.counter(name + ".scHits");
+        linkSet = false;
+        BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
+                    name << " sc hit-M success 0x" << std::hex << la);
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(true); });
+        return true;
+    }
+
+    if (auto *entry = mshrs.find(la)) {
+        if (entry->issuedType == MsgType::GetS)
+            entry->needUpgrade = true;
+        entry->targets.push_back({true, true, std::move(onDone)});
+        return true;
+    }
+
+    auto *entry = mshrs.allocate(la, MsgType::GetX);
+    if (!entry) {
+        ++stats.counter(name + ".mshrFullStalls");
+        return false;
+    }
+    entry->targets.push_back({true, true, std::move(onDone)});
+    sendRequest(MsgType::GetX, la, line != nullptr);
+    return true;
+}
+
+bool
+L1Cache::fetch(Addr addr, std::function<void(bool)> onDone)
+{
+    if (role != Role::Instr)
+        panic(name + ": fetch on a data cache");
+    Addr la = lineAlign(addr);
+
+    if (array.findAndTouch(la)) {
+        ++stats.counter(name + ".fetchHits");
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        return true;
+    }
+
+    ++stats.counter(name + ".fetchMisses");
+    if (auto *entry = mshrs.find(la)) {
+        entry->targets.push_back({false, false, std::move(onDone)});
+        return true;
+    }
+    auto *entry = mshrs.allocate(la, MsgType::GetS);
+    if (!entry) {
+        ++stats.counter(name + ".mshrFullStalls");
+        return false;
+    }
+    entry->targets.push_back({false, false, std::move(onDone)});
+    sendRequest(MsgType::GetS, la);
+    maybePrefetch(la);
+    return true;
+}
+
+bool
+L1Cache::invalidateBlock(Addr addr, std::function<void()> onDone)
+{
+    Addr la = lineAlign(addr);
+    if (pendingInvAlls.count(la))
+        fatal(name + ": overlapping invalidateBlock on one line");
+    if (mshrs.find(la))
+        fatal(name + ": invalidateBlock races a pending fill");
+
+    ++stats.counter(name + ".blockInvalidates");
+    bool wasDirty = false;
+    if (auto *line = array.find(la)) {
+        wasDirty = line->state.modified;
+        line->valid = false;
+        breakLinkIf(la);
+    }
+
+    pendingInvAlls[la] = std::move(onDone);
+
+    Msg msg;
+    msg.type = MsgType::InvAll;
+    msg.lineAddr = la;
+    msg.core = core;
+    msg.instr = (role == Role::Instr);
+    msg.wasDirty = wasDirty;
+    msg.id = nextMsgId();
+    ic.sendToBank(msg);
+    return true;
+}
+
+// ----- bus-side -----------------------------------------------------------------
+
+bool
+L1Cache::handleInvSnoop(Addr lineAddr)
+{
+    breakLinkIf(lineAddr);
+    auto *line = array.find(lineAddr);
+    if (!line)
+        return false;
+    ++stats.counter(name + ".invSnoops");
+    bool dirty = line->state.modified;
+    line->valid = false;
+    return dirty;
+}
+
+bool
+L1Cache::handleDowngrade(Addr lineAddr)
+{
+    auto *line = array.find(lineAddr);
+    if (!line)
+        return false;
+    ++stats.counter(name + ".downgrades");
+    bool dirty = line->state.modified;
+    line->state.modified = false;
+    return dirty;
+}
+
+void
+L1Cache::completeTargets(MshrEntry *entry, bool gotExclusive, bool error)
+{
+    // Collect continuation work, then mutate MSHR state before running
+    // callbacks (callbacks can re-enter the cache).
+    std::vector<MshrTarget> ready;
+    std::vector<MshrTarget> writesLeft;
+
+    for (auto &t : entry->targets) {
+        if (error || gotExclusive || !t.isWrite)
+            ready.push_back(std::move(t));
+        else
+            writesLeft.push_back(std::move(t));
+    }
+    entry->targets = std::move(writesLeft);
+
+    bool scSuccess = false;
+    if (gotExclusive && !error) {
+        BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
+                    name << " fill-X 0x" << std::hex << entry->lineAddr
+                         << std::dec << " link=" << linkSet);
+        // Evaluate link state once, at fill time: an Inv that slipped in
+        // between SC issue and this fill has already broken the link.
+        scSuccess = linkSet && linkLine == entry->lineAddr;
+    }
+
+    Addr la = entry->lineAddr;
+    bool release = entry->targets.empty();
+    if (release) {
+        mshrs.release(entry);
+    } else {
+        // Read fill arrived but writes still need ownership: upgrade.
+        entry->issuedType = MsgType::GetX;
+        entry->needUpgrade = false;
+        sendRequest(MsgType::GetX, la, true);
+    }
+
+    for (auto &t : ready) {
+        if (t.isSc) {
+            bool ok = !error && scSuccess;
+            if (ok)
+                linkSet = false;
+            eventq.schedule(0, [cb = std::move(t.onDone), ok] { cb(ok); });
+        } else {
+            eventq.schedule(0,
+                            [cb = std::move(t.onDone), error] { cb(error); });
+        }
+    }
+
+    if (release && resourceFreeCb)
+        resourceFreeCb();
+}
+
+void
+L1Cache::receiveResponse(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::DataS:
+      case MsgType::DataX: {
+        auto *entry = mshrs.find(msg.lineAddr);
+        if (!entry)
+            panic(name + ": fill with no MSHR entry");
+        bool exclusive = (msg.type == MsgType::DataX);
+        if (!array.find(msg.lineAddr))
+            installLine(msg.lineAddr, exclusive);
+        else if (exclusive)
+            array.find(msg.lineAddr)->state.modified = true;
+        completeTargets(entry, exclusive, false);
+        break;
+      }
+      case MsgType::NackError: {
+        auto *entry = mshrs.find(msg.lineAddr);
+        if (!entry)
+            panic(name + ": nack with no MSHR entry");
+        ++stats.counter(name + ".fillNacks");
+        completeTargets(entry, false, true);
+        break;
+      }
+      case MsgType::InvAllAck: {
+        auto it = pendingInvAlls.find(msg.lineAddr);
+        if (it == pendingInvAlls.end())
+            panic(name + ": InvAllAck with no pending InvAll");
+        auto cb = std::move(it->second);
+        pendingInvAlls.erase(it);
+        cb();
+        break;
+      }
+      default:
+        panic(name + ": unexpected response " +
+              std::string(msgTypeName(msg.type)));
+    }
+}
+
+// ----- introspection ----------------------------------------------------------------
+
+bool
+L1Cache::hasLine(Addr addr) const
+{
+    return array.find(lineAlign(addr)) != nullptr;
+}
+
+bool
+L1Cache::lineModified(Addr addr) const
+{
+    const auto *line = array.find(lineAlign(addr));
+    return line && line->state.modified;
+}
+
+} // namespace bfsim

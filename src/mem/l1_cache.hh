@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Private per-core L1 cache (instruction or data role).
+ *
+ * Purely a timing and coherence-state machine: functional bytes live in
+ * MainMemory and are read/written by the core at the instants this model
+ * dictates. Implements MSI states (I implicit, S, M), a finite MSHR file
+ * with target coalescing, LL/SC link tracking, and the explicit
+ * block-invalidate operation (`icbi`/`dcbi`) that the barrier filter
+ * observes at the L2 banks.
+ */
+
+#ifndef BFSIM_MEM_L1_CACHE_HH
+#define BFSIM_MEM_L1_CACHE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mem/bus.hh"
+#include "mem/cache_array.hh"
+#include "mem/mshr.hh"
+#include "mem/msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+/**
+ * One private L1 cache.
+ */
+class L1Cache
+{
+  public:
+    enum class Role { Instr, Data };
+
+    /** Per-line payload: present lines are S unless modified (M). */
+    struct LineState
+    {
+        bool modified = false;
+    };
+
+    /**
+     * @param prefetchNextLine Enable a simple next-line prefetcher: every
+     *        demand miss also requests the following line (if idle).
+     *        Section 3.4 argues prefetching cannot open a barrier early —
+     *        prefetched fills are filtered like demand fills.
+     */
+    L1Cache(EventQueue &eq, StatGroup &stats, Interconnect &ic,
+            std::string name, CoreId core, Role role,
+            const CacheGeometry &geom, Tick hitLatency, unsigned numMshrs,
+            bool prefetchNextLine = false);
+
+    // ----- core-side operations (return false when out of resources) ------
+
+    /**
+     * Timed load. @p onDone runs at completion; its argument is true when
+     * the fill was nacked with an error (filter misuse / timeout).
+     */
+    bool load(Addr addr, unsigned size, std::function<void(bool)> onDone);
+
+    /** Load-linked: as load, but sets the link register at completion. */
+    bool loadLinked(Addr addr, std::function<void(bool)> onDone);
+
+    /** Timed store (needs M state). */
+    bool store(Addr addr, unsigned size, std::function<void(bool)> onDone);
+
+    /**
+     * Store-conditional. @p onDone receives true on success. Fails fast
+     * without bus traffic when the link is already broken.
+     */
+    bool storeConditional(Addr addr, std::function<void(bool)> onDone);
+
+    /** Instruction fetch of the line containing @p addr (Instr role). */
+    bool fetch(Addr addr, std::function<void(bool)> onDone);
+
+    /**
+     * Explicit block invalidate (dcbi / icbi): drops the local copy,
+     * pushes an InvAll down to the owning L2 bank (where the barrier
+     * filter observes it) and completes when the bank acks.
+     */
+    bool invalidateBlock(Addr addr, std::function<void()> onDone);
+
+    /** Invoked whenever an MSHR or pending slot frees (core retry hook). */
+    void setResourceFreeCallback(std::function<void()> cb);
+
+    // ----- bus-side ---------------------------------------------------------
+
+    /** Snoop: invalidate the line. @return true when the copy was dirty. */
+    bool handleInvSnoop(Addr lineAddr);
+
+    /** Snoop: drop M to S. @return true when the copy was dirty. */
+    bool handleDowngrade(Addr lineAddr);
+
+    /** Fill responses and InvAll acks. */
+    void receiveResponse(const Msg &msg);
+
+    // ----- introspection (tests) ----------------------------------------------
+
+    bool hasLine(Addr addr) const;
+    bool lineModified(Addr addr) const;
+    unsigned mshrsInUse() const { return mshrs.inUse(); }
+    bool linkValid() const { return linkSet; }
+    bool prefetchEnabled() const { return prefetchNextLine; }
+    CoreId coreId() const { return core; }
+    unsigned lineBytes() const { return array.geometry().lineBytes; }
+
+  private:
+    Addr lineAlign(Addr a) const { return array.geometry().lineAlign(a); }
+    void checkWithinLine(Addr addr, unsigned size) const;
+    void breakLinkIf(Addr lineAddr);
+    void installLine(Addr lineAddr, bool modified);
+    void sendRequest(MsgType type, Addr lineAddr, bool hadShared = false);
+    void completeTargets(MshrEntry *entry, bool gotExclusive, bool error);
+    void maybePrefetch(Addr demandLine);
+    uint64_t nextMsgId();
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    Interconnect &ic;
+    std::string name;
+    CoreId core;
+    Role role;
+    CacheArray<LineState> array;
+    Tick hitLatency;
+    MshrFile mshrs;
+    bool prefetchNextLine;
+
+    /** Outstanding InvAll operations, keyed by line address. */
+    std::map<Addr, std::function<void()>> pendingInvAlls;
+
+    std::function<void()> resourceFreeCb;
+
+    bool linkSet = false;
+    Addr linkLine = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_L1_CACHE_HH

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * L2Bank implementation.
+ */
+
+#include "mem/l2_bank.hh"
+
+#include <sstream>
+
+#include "filter/barrier_filter.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+uint64_t
+coreBit(CoreId c)
+{
+    return uint64_t(1) << unsigned(c);
+}
+
+} // namespace
+
+L2Bank::L2Bank(EventQueue &eq, StatGroup &st, Interconnect &ic_,
+               std::string name_, unsigned bankIndex_,
+               const CacheGeometry &geom, Tick hitLatency_, L3Cache &l3_,
+               FilterBank *filters_, bool filterRetainsCopy_)
+    : eventq(eq), stats(st), ic(ic_), name(std::move(name_)),
+      bankIndex(bankIndex_), array(geom), hitLatency(hitLatency_), l3(l3_),
+      filters(filters_), filterRetainsCopy(filterRetainsCopy_)
+{
+    if (filters) {
+        filters->setReleaseHandler([this](const Msg &m) { receive(m); });
+        filters->setNackHandler([this](const Msg &m) { ic.sendToCore(m); });
+    }
+}
+
+void
+L2Bank::receive(const Msg &msg)
+{
+    BFSIM_TRACE(TraceCat::Cache, eventq.now(),
+                name << " rx " << msgTypeName(msg.type) << " 0x" << std::hex
+                     << msg.lineAddr << std::dec << " core=" << msg.core);
+
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX: {
+        ++stats.counter(name + ".fillRequests");
+        if (filters) {
+            switch (filters->onFillRequest(msg)) {
+              case FillAction::Blocked:
+                return;
+              case FillAction::Error: {
+                Msg nack = msg;
+                nack.type = MsgType::NackError;
+                ic.sendToCore(nack);
+                return;
+              }
+              case FillAction::Pass:
+                break;
+            }
+        }
+        process(msg);
+        break;
+      }
+      case MsgType::InvAll:
+        ++stats.counter(name + ".invAlls");
+        // The filter observes every explicit invalidation the bank sees;
+        // this is the arrival / exit signalling path.
+        if (filters)
+            filters->onInvalidate(msg.lineAddr);
+        process(msg);
+        break;
+      case MsgType::PutM:
+        handlePutM(msg);
+        break;
+      case MsgType::InvAck:
+      case MsgType::DowngradeAck:
+        handleAck(msg);
+        break;
+      default:
+        panic(name + ": unexpected message " +
+              std::string(msgTypeName(msg.type)));
+    }
+}
+
+void
+L2Bank::process(const Msg &msg)
+{
+    if (busy.count(msg.lineAddr)) {
+        waiters[msg.lineAddr].push_back(msg);
+        return;
+    }
+    // Tag + data access latency before the bank acts on the request.
+    eventq.schedule(hitLatency, [this, msg] {
+        if (msg.type == MsgType::InvAll)
+            startInvAll(msg);
+        else
+            startFill(msg);
+    });
+}
+
+void
+L2Bank::respond(const Msg &req, MsgType type)
+{
+    Msg resp = req;
+    resp.type = type;
+    ic.sendToCore(resp);
+}
+
+void
+L2Bank::finish(Addr lineAddr)
+{
+    busy.erase(lineAddr);
+
+    // A way in this set may have freed: wake one stalled miss.
+    uint64_t set = array.geometry().setIndex(lineAddr);
+    auto sit = setWaiters.find(set);
+    if (sit != setWaiters.end() && !sit->second.empty()) {
+        PendingMiss pm = std::move(sit->second.front());
+        sit->second.pop_front();
+        if (sit->second.empty())
+            setWaiters.erase(sit);
+        evictThenFetch(pm.lineAddr, std::move(pm.done));
+    }
+
+    auto it = waiters.find(lineAddr);
+    if (it == waiters.end())
+        return;
+    std::deque<Msg> queued = std::move(it->second);
+    waiters.erase(it);
+    for (const Msg &m : queued)
+        process(m);
+}
+
+void
+L2Bank::snoopInvalidate(Txn &txn, const LineState &line, Addr lineAddr,
+                        CoreId except, std::function<void()> done)
+{
+    unsigned n = 0;
+    uint64_t sharers = line.sharers;
+    if (line.owner != invalidCore && line.owner != except)
+        sharers |= coreBit(line.owner);
+    if (except != invalidCore)
+        sharers &= ~coreBit(except);
+
+    for (unsigned c = 0; sharers != 0; ++c, sharers >>= 1) {
+        if (!(sharers & 1))
+            continue;
+        Msg snoop;
+        snoop.type = MsgType::Inv;
+        snoop.lineAddr = lineAddr;
+        snoop.core = CoreId(c);
+        ic.sendToCore(snoop);
+        ++n;
+        ++stats.counter(name + ".invSnoops");
+    }
+
+    txn.pendingAcks = int(n);
+    txn.onAcksDone = std::move(done);
+    if (n == 0) {
+        auto cb = std::move(txn.onAcksDone);
+        cb();
+    }
+}
+
+void
+L2Bank::evictThenFetch(Addr lineAddr, std::function<void()> done)
+{
+    uint64_t set = array.geometry().setIndex(lineAddr);
+    auto *way = array.victimAmong(lineAddr, [this](const auto &l) {
+        return busy.count(l.addr) == 0;
+    });
+    if (!way) {
+        // Every way in the set is mid-transaction. Queue FIFO and retry
+        // when a transaction in this set finishes — a timed retry could
+        // starve behind a steady stream of competing refills.
+        ++stats.counter(name + ".victimStalls");
+        setWaiters[set].push_back({lineAddr, std::move(done)});
+        return;
+    }
+
+    bool hadVictim = way->valid;
+    Addr victimAddr = way->addr;
+    LineState victimState = way->state;
+
+    // Reserve the way for the incoming line immediately so a concurrent
+    // miss in this set cannot double-book it; lineAddr is busy, so nothing
+    // touches the reservation until the fetch completes.
+    way->valid = false;
+    array.install(way, lineAddr);
+
+    auto fetch = [this, lineAddr, done = std::move(done)] {
+        l3.access(lineAddr, done);
+    };
+
+    if (!hadVictim) {
+        fetch();
+        return;
+    }
+
+    ++stats.counter(name + ".evictions");
+    // Inclusive L2: back-invalidate every L1 copy of the victim first.
+    Txn &vt = busy[victimAddr];
+    vt.internal = true;
+    snoopInvalidate(vt, victimState, victimAddr, invalidCore,
+                    [this, victimAddr, victimState, fetch] {
+                        bool dirty = victimState.dirty ||
+                                     busy[victimAddr].dirtyCollected;
+                        l3.writeback(victimAddr, dirty);
+                        if (dirty)
+                            ++stats.counter(name + ".writebacks");
+                        finish(victimAddr);
+                        fetch();
+                    });
+}
+
+void
+L2Bank::startFill(const Msg &msg)
+{
+    if (busy.count(msg.lineAddr)) {
+        waiters[msg.lineAddr].push_back(msg);
+        return;
+    }
+
+    Addr la = msg.lineAddr;
+    auto *line = array.findAndTouch(la);
+    bool wantX = (msg.type == MsgType::GetX);
+
+    if (line) {
+        ++stats.counter(name + ".hits");
+
+        if (line->state.owner == msg.core) {
+            // The requester was the registered owner but lost the line
+            // (a silent/racing eviction): reclaim cleanly.
+            if (wantX) {
+                respond(msg, MsgType::DataX);
+                return;
+            }
+            line->state.owner = invalidCore;
+            line->state.dirty = true;
+        }
+
+        if (!wantX) {
+            if (line->state.owner != invalidCore) {
+                // Another L1 holds M: downgrade it before sharing.
+                Txn &txn = busy[la];
+                txn.req = msg;
+                CoreId owner = line->state.owner;
+                Msg snoop;
+                snoop.type = MsgType::Downgrade;
+                snoop.lineAddr = la;
+                snoop.core = owner;
+                ic.sendToCore(snoop);
+                txn.pendingAcks = 1;
+                txn.onAcksDone = [this, la, msg, owner] {
+                    auto *l = array.find(la);
+                    l->state.sharers |= coreBit(owner) | coreBit(msg.core);
+                    l->state.owner = invalidCore;
+                    if (busy[la].dirtyCollected)
+                        l->state.dirty = true;
+                    respond(msg, MsgType::DataS);
+                    finish(la);
+                };
+                return;
+            }
+            line->state.sharers |= coreBit(msg.core);
+            respond(msg, MsgType::DataS);
+            return;
+        }
+
+        // GetX on a present line: invalidate every other copy first.
+        uint64_t others = line->state.sharers & ~coreBit(msg.core);
+        bool ownerElsewhere = line->state.owner != invalidCore &&
+                              line->state.owner != msg.core;
+        if (others == 0 && !ownerElsewhere) {
+            line->state.owner = msg.core;
+            line->state.sharers = coreBit(msg.core);
+            respond(msg, MsgType::DataX);
+            return;
+        }
+
+        Txn &txn = busy[la];
+        txn.req = msg;
+        snoopInvalidate(txn, line->state, la, msg.core, [this, la, msg] {
+            auto *l = array.find(la);
+            if (busy[la].dirtyCollected)
+                l->state.dirty = true;
+            l->state.owner = msg.core;
+            l->state.sharers = coreBit(msg.core);
+            respond(msg, MsgType::DataX);
+            finish(la);
+        });
+        return;
+    }
+
+    // L2 miss: allocate, fetch from below, fill the requester.
+    ++stats.counter(name + ".misses");
+    Txn &txn = busy[la];
+    txn.req = msg;
+    evictThenFetch(la, [this, la, msg, wantX] {
+        auto *l = array.find(la);
+        if (!l)
+            panic(name + ": reserved line vanished during fetch");
+        if (wantX) {
+            l->state.owner = msg.core;
+            l->state.sharers = coreBit(msg.core);
+            respond(msg, MsgType::DataX);
+        } else {
+            l->state.owner = invalidCore;
+            l->state.sharers = coreBit(msg.core);
+            respond(msg, MsgType::DataS);
+        }
+        finish(la);
+    });
+}
+
+void
+L2Bank::startInvAll(const Msg &msg)
+{
+    if (busy.count(msg.lineAddr)) {
+        waiters[msg.lineAddr].push_back(msg);
+        return;
+    }
+
+    Addr la = msg.lineAddr;
+    auto *line = array.find(la);
+    if (!line) {
+        // Nothing above the filter holds the line (inclusion guarantees
+        // no L1 copy either). Ack straight away.
+        respond(msg, MsgType::InvAllAck);
+        return;
+    }
+
+    // Lines belonging to an attached filter's barrier sit at the filter's
+    // own level: purge every L1 copy but retain the L2 data, so released
+    // fills are serviced at L2 latency (Section 3.1 places the filter in
+    // this controller). Ordinary lines are fully invalidated and pushed
+    // to the L3.
+    bool retain =
+        filterRetainsCopy && filters && filters->coversLine(la);
+
+    Txn &txn = busy[la];
+    txn.req = msg;
+    LineState snapshot = line->state;
+    bool l2Dirty = line->state.dirty || msg.wasDirty;
+    snoopInvalidate(txn, snapshot, la, msg.core,
+                    [this, la, msg, l2Dirty, retain] {
+                        bool dirty = l2Dirty || busy[la].dirtyCollected;
+                        if (retain) {
+                            auto *l = array.find(la);
+                            l->state.sharers = 0;
+                            l->state.owner = invalidCore;
+                            l->state.dirty = dirty;
+                        } else {
+                            l3.writeback(la, dirty);
+                            array.invalidate(la);
+                        }
+                        respond(msg, MsgType::InvAllAck);
+                        finish(la);
+                    });
+}
+
+void
+L2Bank::handlePutM(const Msg &msg)
+{
+    auto *line = array.find(msg.lineAddr);
+    if (!line)
+        return; // raced an L2 eviction; the back-invalidation handled it
+    line->state.dirty = true;
+    if (line->state.owner == msg.core)
+        line->state.owner = invalidCore;
+    line->state.sharers &= ~coreBit(msg.core);
+}
+
+void
+L2Bank::handleAck(const Msg &msg)
+{
+    auto it = busy.find(msg.lineAddr);
+    if (it == busy.end())
+        panic(name + ": ack for idle line");
+    Txn &txn = it->second;
+    if (txn.pendingAcks <= 0)
+        panic(name + ": unexpected extra ack");
+    txn.dirtyCollected |= msg.wasDirty;
+    if (--txn.pendingAcks == 0) {
+        auto cb = std::move(txn.onAcksDone);
+        cb();
+    }
+}
+
+bool
+L2Bank::hasLine(Addr lineAddr) const
+{
+    return array.find(lineAddr) != nullptr;
+}
+
+L2Bank::LineState
+L2Bank::dirState(Addr lineAddr) const
+{
+    const auto *line = array.find(lineAddr);
+    if (!line)
+        return LineState{};
+    return line->state;
+}
+
+} // namespace bfsim

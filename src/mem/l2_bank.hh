@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One bank of the shared, inclusive L2 cache, with its directory and the
+ * attached barrier filters.
+ *
+ * The bank is the coherence point: it tracks, per line, the set of L1
+ * sharers and the (single) L1 owner, and serializes transactions per line
+ * (a busy line queues later requests). Fill requests consult the attached
+ * FilterBank first — a thread blocked at a barrier simply never gets its
+ * fill serviced until the filter opens (Section 3.1: "we starve their
+ * requests until they all have arrived").
+ */
+
+#ifndef BFSIM_MEM_L2_BANK_HH
+#define BFSIM_MEM_L2_BANK_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "mem/bus.hh"
+#include "mem/cache_array.hh"
+#include "mem/l3_cache.hh"
+#include "mem/msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+class FilterBank;
+
+/**
+ * One L2 bank: tags + directory + transaction engine + barrier filters.
+ */
+class L2Bank
+{
+  public:
+    /** Directory state for one L2 line. */
+    struct LineState
+    {
+        uint64_t sharers = 0;   ///< bitmap of L1s with an S copy
+        CoreId owner = invalidCore; ///< L1 with the M copy, if any
+        bool dirty = false;     ///< L2 copy newer than L3/memory
+    };
+
+    L2Bank(EventQueue &eq, StatGroup &stats, Interconnect &ic,
+           std::string name, unsigned bankIndex, const CacheGeometry &geom,
+           Tick hitLatency, L3Cache &l3, FilterBank *filters,
+           bool filterRetainsCopy = true);
+
+    /** Entry point for messages arriving from the request bus. */
+    void receive(const Msg &msg);
+
+    /** Attached filters (may be null when the CMP has none). */
+    FilterBank *filterBank() { return filters; }
+
+    // ----- introspection (tests) -------------------------------------------
+
+    bool hasLine(Addr lineAddr) const;
+    LineState dirState(Addr lineAddr) const;
+    bool lineBusy(Addr lineAddr) const { return busy.count(lineAddr) != 0; }
+    size_t busyCount() const { return busy.size(); }
+
+  private:
+    struct Txn
+    {
+        Msg req;
+        int pendingAcks = 0;
+        bool dirtyCollected = false;
+        bool internal = false;  ///< victim-eviction placeholder
+        std::function<void()> onAcksDone;
+    };
+
+    void process(const Msg &msg);
+    void startFill(const Msg &msg);
+    void startInvAll(const Msg &msg);
+    void handlePutM(const Msg &msg);
+    void handleAck(const Msg &msg);
+
+    /** Invalidate every L1 copy of @p lineAddr per @p line, except
+     *  @p except; @p done runs after all acks. Requires an open txn. */
+    void snoopInvalidate(Txn &txn, const LineState &line, Addr lineAddr,
+                         CoreId except, std::function<void()> done);
+
+    /** Make room in the set of @p lineAddr, then fetch it from the L3 and
+     *  install; @p done runs with the line present and directory-clean. */
+    void evictThenFetch(Addr lineAddr, std::function<void()> done);
+
+    void respond(const Msg &req, MsgType type);
+    void finish(Addr lineAddr);
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    Interconnect &ic;
+    std::string name;
+    unsigned bankIndex;
+    CacheArray<LineState> array;
+    Tick hitLatency;
+    L3Cache &l3;
+    FilterBank *filters;
+    bool filterRetainsCopy;
+
+    struct PendingMiss
+    {
+        Addr lineAddr;
+        std::function<void()> done;
+    };
+
+    std::map<Addr, Txn> busy;
+    std::map<Addr, std::deque<Msg>> waiters;
+    /** Misses stalled because every way of their set is mid-transaction;
+     *  drained FIFO as transactions finish (starvation-free). */
+    std::map<uint64_t, std::deque<PendingMiss>> setWaiters;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_L2_BANK_HH

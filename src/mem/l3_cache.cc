@@ -1,0 +1,72 @@
+/**
+ * @file
+ * L3Cache implementation.
+ */
+
+#include "mem/l3_cache.hh"
+
+namespace bfsim
+{
+
+L3Cache::L3Cache(EventQueue &eq, StatGroup &st, MainMemory &mem_,
+                 const CacheGeometry &geom, Tick hitLatency_)
+    : eventq(eq), stats(st), mem(mem_), array(geom), hitLatency(hitLatency_)
+{
+}
+
+Tick
+L3Cache::portSlot()
+{
+    Tick start = std::max(eventq.now(), portFreeAt);
+    portFreeAt = start + 1;
+    return start - eventq.now();
+}
+
+void
+L3Cache::access(Addr lineAddr, std::function<void()> onDone)
+{
+    Tick queueDelay = portSlot();
+
+    if (array.findAndTouch(lineAddr)) {
+        ++stats.counter("l3.hits");
+        eventq.schedule(queueDelay + hitLatency, std::move(onDone));
+        return;
+    }
+
+    ++stats.counter("l3.misses");
+    eventq.schedule(queueDelay + hitLatency, [this, lineAddr,
+                                              cb = std::move(onDone)] {
+        mem.timedAccess(lineAddr, [this, lineAddr, cb]() {
+            auto *way = array.victimFor(lineAddr);
+            if (way->valid) {
+                ++stats.counter("l3.evictions");
+                if (way->state.dirty)
+                    ++stats.counter("l3.writebacks");
+                way->valid = false;
+            }
+            array.install(way, lineAddr);
+            cb();
+        });
+    });
+}
+
+void
+L3Cache::writeback(Addr lineAddr, bool dirty)
+{
+    ++stats.counter("l3.fillsFromL2");
+    if (auto *line = array.findAndTouch(lineAddr)) {
+        line->state.dirty |= dirty;
+        return;
+    }
+    auto *way = array.victimFor(lineAddr);
+    if (way->valid) {
+        ++stats.counter("l3.evictions");
+        if (way->state.dirty)
+            ++stats.counter("l3.writebacks");
+        way->valid = false;
+    }
+    auto *line = array.install(way, lineAddr);
+    line->state.dirty = dirty;
+}
+
+} // namespace bfsim

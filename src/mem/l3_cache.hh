@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared L3 cache in front of DRAM.
+ *
+ * The L3 sits *below* the barrier filter (which lives in the L2 bank
+ * controllers), so explicit invalidations do not purge it — instead,
+ * invalidated L2 lines are written back here, and the blocked fills the
+ * filter later services are satisfied at L3 latency rather than full
+ * memory latency.
+ *
+ * Coherence ends at the L2 directory, so the L3 is a plain lookup
+ * structure: tags, a dirty bit, a single request port.
+ */
+
+#ifndef BFSIM_MEM_L3_CACHE_HH
+#define BFSIM_MEM_L3_CACHE_HH
+
+#include <functional>
+
+#include "mem/cache_array.hh"
+#include "mem/memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+/**
+ * Shared, banked-agnostic L3. One request per cycle; hit latency from
+ * Table 2 (38 cycles); misses add the DRAM model's latency.
+ */
+class L3Cache
+{
+  public:
+    struct LineState
+    {
+        bool dirty = false;
+    };
+
+    L3Cache(EventQueue &eq, StatGroup &stats, MainMemory &mem,
+            const CacheGeometry &geom, Tick hitLatency);
+
+    /**
+     * Timed read access for one line fill; installs on miss.
+     * @param onDone Runs when the line is available at the L3.
+     */
+    void access(Addr lineAddr, std::function<void()> onDone);
+
+    /**
+     * Accept a writeback / downward install from an L2 bank (e.g. an
+     * explicitly invalidated line being pushed below the filter). Always
+     * results in the line being present here.
+     */
+    void writeback(Addr lineAddr, bool dirty);
+
+    bool hasLine(Addr lineAddr) const { return array.find(lineAddr); }
+
+  private:
+    Tick portSlot();
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    MainMemory &mem;
+    CacheArray<LineState> array;
+    Tick hitLatency;
+    Tick portFreeAt = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_L3_CACHE_HH

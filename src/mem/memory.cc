@@ -1,0 +1,149 @@
+/**
+ * @file
+ * MainMemory implementation.
+ */
+
+#include "mem/memory.hh"
+
+namespace bfsim
+{
+
+MainMemory::MainMemory(EventQueue &eq, StatGroup &st, Tick accessLatency,
+                       Tick minServiceInterval)
+    : eventq(eq), stats(st), latency(accessLatency),
+      serviceInterval(minServiceInterval)
+{
+}
+
+MainMemory::Page &
+MainMemory::page(Addr a)
+{
+    Addr pn = a / pageBytes;
+    auto &p = pages[pn];
+    if (!p) {
+        p = std::make_unique<Page>();
+        p->fill(0);
+    }
+    return *p;
+}
+
+const MainMemory::Page *
+MainMemory::pageIfPresent(Addr a) const
+{
+    auto it = pages.find(a / pageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+void
+MainMemory::readBlock(Addr a, void *dst, size_t len) const
+{
+    auto *out = static_cast<uint8_t *>(dst);
+    while (len > 0) {
+        Addr off = a % pageBytes;
+        size_t chunk = std::min<size_t>(len, pageBytes - off);
+        const Page *p = pageIfPresent(a);
+        if (p)
+            std::memcpy(out, p->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        a += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::writeBlock(Addr a, const void *src, size_t len)
+{
+    auto *in = static_cast<const uint8_t *>(src);
+    while (len > 0) {
+        Addr off = a % pageBytes;
+        size_t chunk = std::min<size_t>(len, pageBytes - off);
+        std::memcpy(page(a).data() + off, in, chunk);
+        a += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+uint8_t
+MainMemory::read8(Addr a) const
+{
+    uint8_t v;
+    readBlock(a, &v, 1);
+    return v;
+}
+
+uint16_t
+MainMemory::read16(Addr a) const
+{
+    uint16_t v;
+    readBlock(a, &v, 2);
+    return v;
+}
+
+uint32_t
+MainMemory::read32(Addr a) const
+{
+    uint32_t v;
+    readBlock(a, &v, 4);
+    return v;
+}
+
+uint64_t
+MainMemory::read64(Addr a) const
+{
+    uint64_t v;
+    readBlock(a, &v, 8);
+    return v;
+}
+
+double
+MainMemory::readDouble(Addr a) const
+{
+    double v;
+    readBlock(a, &v, 8);
+    return v;
+}
+
+void
+MainMemory::write8(Addr a, uint8_t v)
+{
+    writeBlock(a, &v, 1);
+}
+
+void
+MainMemory::write16(Addr a, uint16_t v)
+{
+    writeBlock(a, &v, 2);
+}
+
+void
+MainMemory::write32(Addr a, uint32_t v)
+{
+    writeBlock(a, &v, 4);
+}
+
+void
+MainMemory::write64(Addr a, uint64_t v)
+{
+    writeBlock(a, &v, 8);
+}
+
+void
+MainMemory::writeDouble(Addr a, double v)
+{
+    writeBlock(a, &v, 8);
+}
+
+void
+MainMemory::timedAccess(Addr, std::function<void()> onDone)
+{
+    ++stats.counter("dram.accesses");
+    Tick start = std::max(eventq.now(), channelFreeAt);
+    channelFreeAt = start + serviceInterval;
+    Tick doneAt = start + latency;
+    eventq.scheduleAt(doneAt, std::move(onDone));
+}
+
+} // namespace bfsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional backing store plus the DRAM timing model.
+ *
+ * All architected data lives here, in sparse 4 KiB pages. Caches track tags
+ * and coherence state only; a store performs functionally at the moment the
+ * timing model says it completes, so the byte image always reflects the
+ * coherence-ordered history of the simulated machine.
+ *
+ * The timing side models a single memory channel with a fixed access
+ * latency (Table 2: 138 cycles) and a finite service rate.
+ */
+
+#ifndef BFSIM_MEM_MEMORY_HH
+#define BFSIM_MEM_MEMORY_HH
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/**
+ * Sparse functional memory with a DRAM channel timing model.
+ */
+class MainMemory
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+
+    MainMemory(EventQueue &eq, StatGroup &stats, Tick accessLatency,
+               Tick minServiceInterval);
+
+    // ----- functional access ------------------------------------------------
+
+    uint8_t read8(Addr a) const;
+    uint16_t read16(Addr a) const;
+    uint32_t read32(Addr a) const;
+    uint64_t read64(Addr a) const;
+    double readDouble(Addr a) const;
+
+    void write8(Addr a, uint8_t v);
+    void write16(Addr a, uint16_t v);
+    void write32(Addr a, uint32_t v);
+    void write64(Addr a, uint64_t v);
+    void writeDouble(Addr a, double v);
+
+    /** Read @p len bytes into @p dst. */
+    void readBlock(Addr a, void *dst, size_t len) const;
+
+    /** Write @p len bytes from @p src. */
+    void writeBlock(Addr a, const void *src, size_t len);
+
+    // ----- timing access ------------------------------------------------------
+
+    /**
+     * Issue a timed DRAM access for one line.
+     * @param onDone Invoked when the access completes.
+     */
+    void timedAccess(Addr lineAddr, std::function<void()> onDone);
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    Page &page(Addr a);
+    const Page *pageIfPresent(Addr a) const;
+
+    EventQueue &eventq;
+    StatGroup &stats;
+    Tick latency;
+    Tick serviceInterval;
+    Tick channelFreeAt = 0;
+
+    mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_MEMORY_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Coherence / memory-system message types.
+ *
+ * Messages travel between per-core L1 cache pairs and the banked shared L2
+ * over the split-transaction bus. Functional data lives centrally in
+ * MainMemory (stores perform at completion, in coherence order), so
+ * messages carry no data payload — only the bus *occupancy* of a
+ * data-bearing transfer is modelled.
+ */
+
+#ifndef BFSIM_MEM_MSG_HH
+#define BFSIM_MEM_MSG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+enum class MsgType : uint8_t
+{
+    // Core -> L2 bank requests.
+    GetS,          ///< read fill (L1D load miss, or L1I fetch miss)
+    GetX,          ///< write / ownership fill
+    PutM,          ///< dirty writeback notice (fire and forget)
+    InvAll,        ///< explicit invalidate (dcbi / icbi); seen by the filter
+    InvAck,        ///< snoop reply: line invalidated
+    DowngradeAck,  ///< snoop reply: owner dropped M -> S
+
+    // L2 bank -> core responses / snoops.
+    DataS,         ///< fill response, shared
+    DataX,         ///< fill response, exclusive
+    InvAllAck,     ///< completion of an InvAll
+    Inv,           ///< snoop: invalidate the line
+    Downgrade,     ///< snoop: owner must drop to S
+    NackError,     ///< fill response carrying an error code (filter misuse
+                   ///< or hardware timeout, paper section 3.3.4)
+};
+
+/** True for messages that occupy the bus for a full cache line transfer. */
+bool carriesData(MsgType t);
+
+/** Short name for tracing. */
+const char *msgTypeName(MsgType t);
+
+/** One coherence message. */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    Addr lineAddr = 0;       ///< line-aligned byte address
+    CoreId core = invalidCore; ///< requester (requests) or target (snoops)
+    bool instr = false;      ///< request originated at an L1I
+    bool hadShared = false;  ///< GetX upgrade from S (response needs no data)
+    bool wasDirty = false;   ///< snoop reply: line was modified
+    uint64_t id = 0;         ///< unique id for tracing / matching
+
+    std::string toString() const;
+};
+
+inline bool
+carriesData(MsgType t)
+{
+    switch (t) {
+      case MsgType::DataS:
+      case MsgType::DataX:
+      case MsgType::PutM:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::PutM: return "PutM";
+      case MsgType::InvAll: return "InvAll";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::DowngradeAck: return "DowngradeAck";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataX: return "DataX";
+      case MsgType::InvAllAck: return "InvAllAck";
+      case MsgType::Inv: return "Inv";
+      case MsgType::Downgrade: return "Downgrade";
+      case MsgType::NackError: return "NackError";
+      default: return "???";
+    }
+}
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_MSG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MshrFile implementation.
+ */
+
+#include "mem/mshr.hh"
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+MshrFile::MshrFile(unsigned numEntries)
+{
+    if (numEntries == 0)
+        fatal("MshrFile: need at least one entry");
+    entries.resize(numEntries);
+}
+
+bool
+MshrFile::full() const
+{
+    for (const auto &e : entries)
+        if (!e.valid)
+            return false;
+    return true;
+}
+
+unsigned
+MshrFile::inUse() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+MshrEntry *
+MshrFile::find(Addr lineAddr)
+{
+    for (auto &e : entries)
+        if (e.valid && e.lineAddr == lineAddr)
+            return &e;
+    return nullptr;
+}
+
+MshrEntry *
+MshrFile::allocate(Addr lineAddr, MsgType issuedType)
+{
+    if (find(lineAddr))
+        panic("MshrFile: duplicate allocation");
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.lineAddr = lineAddr;
+            e.issuedType = issuedType;
+            e.needUpgrade = false;
+            e.targets.clear();
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void
+MshrFile::release(MshrEntry *entry)
+{
+    if (!entry->valid)
+        panic("MshrFile: releasing an invalid entry");
+    entry->valid = false;
+    entry->targets.clear();
+}
+
+} // namespace bfsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Miss Status Holding Registers for the L1 caches.
+ *
+ * One entry tracks one outstanding line fill; targets are the core-side
+ * operations (loads, stores, LL/SC, fetches) waiting on that fill. The
+ * paper (section 3.2.1) notes that a fill blocked at a barrier filter
+ * occupies an MSHR until serviced — modelling a finite MSHR file is
+ * therefore part of the mechanism's cost story.
+ */
+
+#ifndef BFSIM_MEM_MSHR_HH
+#define BFSIM_MEM_MSHR_HH
+
+#include <functional>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/** One core-side operation waiting on a fill. */
+struct MshrTarget
+{
+    bool isWrite = false;
+    bool isSc = false;
+    /**
+     * Completion callback. @p error is true when the fill was nacked
+     * (filter misuse / hardware timeout).
+     */
+    std::function<void(bool error)> onDone;
+};
+
+/** One outstanding miss. */
+struct MshrEntry
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    /** Request type currently outstanding on the bus. */
+    MsgType issuedType = MsgType::GetS;
+    /** A write target arrived after a GetS was issued; upgrade needed. */
+    bool needUpgrade = false;
+    std::vector<MshrTarget> targets;
+};
+
+/**
+ * A small, fully-associative MSHR file.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned numEntries);
+
+    /** True when no free entry remains. */
+    bool full() const;
+
+    /** Number of valid entries. */
+    unsigned inUse() const;
+
+    /** Find the entry for @p lineAddr, or nullptr. */
+    MshrEntry *find(Addr lineAddr);
+
+    /**
+     * Allocate an entry for @p lineAddr.
+     * @return nullptr when the file is full.
+     */
+    MshrEntry *allocate(Addr lineAddr, MsgType issuedType);
+
+    /** Free @p entry (must belong to this file). */
+    void release(MshrEntry *entry);
+
+    unsigned capacity() const { return unsigned(entries.size()); }
+
+  private:
+    std::vector<MshrEntry> entries;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_MEM_MSHR_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Os implementation.
+ */
+
+#include "os/os.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+// Virtual address layout (virtual == physical; no translation modelled).
+constexpr Addr codeRegionBase = 0x0010'0000;
+// 64 KiB per thread, skewed by one line: a power-of-two stride would put
+// every thread's code base into the same L2 bank and set (page-coloring
+// done badly); the skew rotates both.
+constexpr Addr codeRegionStride = 0x0001'0040;
+constexpr Addr filterRegionBase = 0x1000'0000;
+constexpr Addr syncRegionBase = 0x2000'0000;
+constexpr Addr dataRegionBase = 0x4000'0000;
+
+Addr
+alignUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+unsigned
+ceilLog2(unsigned v)
+{
+    unsigned l = 0;
+    while ((1u << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+const char *
+barrierKindName(BarrierKind kind)
+{
+    switch (kind) {
+      case BarrierKind::SwCentral: return "sw-central";
+      case BarrierKind::SwTree: return "sw-tree";
+      case BarrierKind::HwNetwork: return "hw-network";
+      case BarrierKind::FilterICache: return "filter-icache";
+      case BarrierKind::FilterDCache: return "filter-dcache";
+      case BarrierKind::FilterICachePP: return "filter-icache-pp";
+      case BarrierKind::FilterDCachePP: return "filter-dcache-pp";
+      default: return "???";
+    }
+}
+
+bool
+isFilterKind(BarrierKind kind)
+{
+    switch (kind) {
+      case BarrierKind::FilterICache:
+      case BarrierKind::FilterDCache:
+      case BarrierKind::FilterICachePP:
+      case BarrierKind::FilterDCachePP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const std::vector<BarrierKind> &
+allBarrierKinds()
+{
+    static const std::vector<BarrierKind> kinds = {
+        BarrierKind::SwCentral,      BarrierKind::SwTree,
+        BarrierKind::HwNetwork,      BarrierKind::FilterICache,
+        BarrierKind::FilterDCache,   BarrierKind::FilterICachePP,
+        BarrierKind::FilterDCachePP,
+    };
+    return kinds;
+}
+
+Os::Os(CmpSystem &s)
+    : sys(s), filterRegionNext(filterRegionBase),
+      syncRegionNext(syncRegionBase), dataRegionNext(dataRegionBase)
+{
+}
+
+void
+Os::resetAllocators()
+{
+    filterRegionNext = filterRegionBase;
+    syncRegionNext = syncRegionBase;
+    dataRegionNext = dataRegionBase;
+}
+
+// ----- threads ---------------------------------------------------------------------
+
+ThreadContext *
+Os::createThread(ProgramPtr prog)
+{
+    auto t = std::make_unique<ThreadContext>();
+    t->tid = ThreadId(threads.size());
+    t->program = std::move(prog);
+    t->pc = t->program->entry();
+    threads.push_back(std::move(t));
+    return threads.back().get();
+}
+
+void
+Os::startThread(ThreadContext *t, CoreId core)
+{
+    if (!sys.core(core).idle())
+        fatal("Os: core " + std::to_string(core) + " already busy");
+    ++sys.liveThreads;
+    sys.started.push_back(t);
+    sys.core(core).setThread(t);
+}
+
+void
+Os::deschedule(CoreId core, std::function<void(ThreadContext *)> onDone)
+{
+    sys.core(core).requestDeschedule(std::move(onDone));
+}
+
+void
+Os::reschedule(ThreadContext *t, CoreId core)
+{
+    if (!sys.core(core).idle())
+        fatal("Os: reschedule onto a busy core");
+    sys.core(core).setThread(t);
+}
+
+// ----- memory regions ------------------------------------------------------------------
+
+Addr
+Os::allocData(uint64_t bytes, uint64_t align)
+{
+    dataRegionNext = alignUp(dataRegionNext, align);
+    Addr a = dataRegionNext;
+    dataRegionNext += bytes;
+    return a;
+}
+
+Addr
+Os::allocSync(uint64_t bytes, uint64_t align)
+{
+    syncRegionNext = alignUp(syncRegionNext, align);
+    Addr a = syncRegionNext;
+    syncRegionNext += bytes;
+    return a;
+}
+
+Addr
+Os::codeBase(ThreadId tid) const
+{
+    return codeRegionBase + Addr(tid) * codeRegionStride;
+}
+
+// ----- barriers ------------------------------------------------------------------------
+
+Addr
+Os::allocFilterGroup(unsigned numThreads, unsigned bank, Addr strideBytes)
+{
+    // A group is numThreads lines, one per thread slot, strided so every
+    // line maps to the chosen bank and shares one filter tag
+    // (Section 3.3.2).
+    filterRegionNext = alignUp(filterRegionNext, strideBytes);
+    Addr chunk = filterRegionNext;
+    // One guard stride of padding after the group: a next-line prefetch
+    // issued from a registered line can then never land on a line
+    // registered to another thread or barrier.
+    filterRegionNext += (numThreads + 1) * strideBytes;
+    return chunk + Addr(bank) * sys.config().lineBytes;
+}
+
+BarrierHandle
+Os::registerBarrier(BarrierKind kind, unsigned numThreads)
+{
+    if (numThreads == 0 || numThreads > sys.numCores())
+        fatal("Os: barrier thread count out of range");
+
+    BarrierHandle h;
+    h.requested = kind;
+    h.granted = kind;
+    h.numThreads = numThreads;
+    h.lineBytes = sys.config().lineBytes;
+
+    const unsigned wantFilters =
+        (kind == BarrierKind::FilterICachePP ||
+         kind == BarrierKind::FilterDCachePP) ? 2
+        : isFilterKind(kind) ? 1 : 0;
+
+    if (wantFilters > 0) {
+        // Find a bank with enough free filters; fall back to software if
+        // none (Section 3.3.1).
+        int bank = -1;
+        for (unsigned b = 0; b < sys.numBanks(); ++b) {
+            if (sys.filterBank(b).freeFilters() >= wantFilters) {
+                bank = int(b);
+                break;
+            }
+        }
+        if (bank < 0) {
+            ++sys.statistics().counter("os.barrierFallbacks");
+            h.granted = BarrierKind::SwCentral;
+        } else {
+            h.bank = unsigned(bank);
+            h.strideBytes = Addr(sys.numBanks()) * sys.config().lineBytes;
+            if (wantFilters == 1) {
+                h.arrivalBase[0] =
+                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                h.exitBase[0] =
+                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                BarrierFilter::AddressMap m;
+                m.arrivalBase = h.arrivalBase[0];
+                m.exitBase = h.exitBase[0];
+                m.strideBytes = h.strideBytes;
+                m.numThreads = numThreads;
+                h.filters[0] = sys.filterBank(h.bank).allocate(m);
+            } else {
+                // Ping-pong: two groups; each barrier's exit lines are the
+                // other's arrival lines (Section 3.5).
+                h.arrivalBase[0] =
+                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                h.arrivalBase[1] =
+                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                h.exitBase[0] = h.arrivalBase[1];
+                h.exitBase[1] = h.arrivalBase[0];
+
+                BarrierFilter::AddressMap m0;
+                m0.arrivalBase = h.arrivalBase[0];
+                m0.exitBase = h.exitBase[0];
+                m0.strideBytes = h.strideBytes;
+                m0.numThreads = numThreads;
+                h.filters[0] = sys.filterBank(h.bank).allocate(m0);
+
+                BarrierFilter::AddressMap m1 = m0;
+                m1.arrivalBase = h.arrivalBase[1];
+                m1.exitBase = h.exitBase[1];
+                // The second barrier starts as if just released so the
+                // first invocation's invalidation reads as its exit.
+                m1.startServicing = true;
+                h.filters[1] = sys.filterBank(h.bank).allocate(m1);
+            }
+            return h;
+        }
+    }
+
+    switch (h.granted) {
+      case BarrierKind::SwCentral:
+        h.counterAddr = allocSync(h.lineBytes);
+        h.flagAddr = allocSync(h.lineBytes);
+        break;
+      case BarrierKind::SwTree:
+        h.treeLevels = ceilLog2(numThreads);
+        h.treeBase = allocSync(uint64_t(h.treeLevels ? h.treeLevels : 1) *
+                               numThreads * 2 * h.lineBytes);
+        break;
+      case BarrierKind::HwNetwork:
+        h.networkId = sys.network().createBarrier(numThreads);
+        break;
+      default:
+        panic("Os: unreachable barrier kind");
+    }
+    return h;
+}
+
+void
+Os::releaseBarrier(BarrierHandle &h)
+{
+    if (isFilterKind(h.granted)) {
+        for (auto *&f : h.filters) {
+            if (f) {
+                sys.filterBank(h.bank).release(f);
+                f = nullptr;
+            }
+        }
+    } else if (h.granted == BarrierKind::HwNetwork && h.networkId >= 0) {
+        sys.network().destroyBarrier(h.networkId);
+        h.networkId = -1;
+    }
+}
+
+} // namespace bfsim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Operating-system services (Section 3.3): barrier registration, arrival /
+ * exit address assignment, filter allocation with software fallback,
+ * thread scheduling, and context-switching threads blocked at a filter.
+ */
+
+#ifndef BFSIM_OS_OS_HH
+#define BFSIM_OS_OS_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class CmpSystem;
+class BarrierFilter;
+
+/** The barrier mechanisms the runtime library can emit. */
+enum class BarrierKind
+{
+    SwCentral,      ///< sense-reversal counter + flag, LL/SC
+    SwTree,         ///< binary combining (tournament) tree of the above
+    HwNetwork,      ///< dedicated-network baseline (requires core changes)
+    FilterICache,   ///< barrier filter, I-cache lines, entry/exit
+    FilterDCache,   ///< barrier filter, D-cache lines, entry/exit
+    FilterICachePP, ///< barrier filter, I-cache lines, ping-pong
+    FilterDCachePP, ///< barrier filter, D-cache lines, ping-pong
+};
+
+const char *barrierKindName(BarrierKind kind);
+
+/** True for the four filter-backed kinds. */
+bool isFilterKind(BarrierKind kind);
+
+/** All seven kinds, in the order the paper's figures present them. */
+const std::vector<BarrierKind> &allBarrierKinds();
+
+/**
+ * The handle returned by barrier registration. Threads derive their
+ * per-thread arrival/exit virtual addresses from it (Section 3.3.1).
+ */
+struct BarrierHandle
+{
+    BarrierKind requested = BarrierKind::SwCentral;
+    BarrierKind granted = BarrierKind::SwCentral;
+    unsigned numThreads = 0;
+    unsigned lineBytes = 64;
+
+    // Filter-backed kinds. Ping-pong registers two barriers whose arrival
+    // and exit groups cross over; entry/exit kinds use index 0 only.
+    Addr arrivalBase[2] = {0, 0};
+    Addr exitBase[2] = {0, 0};
+    Addr strideBytes = 0;
+    unsigned bank = 0;
+    BarrierFilter *filters[2] = {nullptr, nullptr};
+
+    // Dedicated network.
+    int networkId = -1;
+
+    // Software barriers.
+    Addr counterAddr = 0;
+    Addr flagAddr = 0;
+    Addr treeBase = 0;
+    unsigned treeLevels = 0;
+
+    Addr arrivalAddr(int which, unsigned slot) const
+    {
+        return arrivalBase[which] + slot * strideBytes;
+    }
+    Addr exitAddr(int which, unsigned slot) const
+    {
+        return exitBase[which] + slot * strideBytes;
+    }
+    Addr treeArriveAddr(unsigned level, unsigned winner) const
+    {
+        return treeBase +
+               (uint64_t(level) * numThreads + winner) * 2 * lineBytes;
+    }
+    Addr treeReleaseAddr(unsigned level, unsigned winner) const
+    {
+        return treeArriveAddr(level, winner) + lineBytes;
+    }
+};
+
+/**
+ * OS services for one simulated system.
+ */
+class Os
+{
+  public:
+    explicit Os(CmpSystem &sys);
+
+    // ----- threads -----------------------------------------------------------
+
+    /** Create a thread whose PC starts at @p prog's entry point. */
+    ThreadContext *createThread(ProgramPtr prog);
+
+    /** Schedule @p t onto core @p core and start it running. */
+    void startThread(ThreadContext *t, CoreId core);
+
+    /**
+     * Context-switch the thread off @p core (legal for threads blocked at
+     * a barrier filter, Section 3.3.3). @p onDone receives the context
+     * once the core is quiescent.
+     */
+    void deschedule(CoreId core, std::function<void(ThreadContext *)> onDone);
+
+    /** Resume a descheduled thread, possibly on a different core. */
+    void reschedule(ThreadContext *t, CoreId core);
+
+    // ----- barriers -----------------------------------------------------------
+
+    /**
+     * Register a barrier for @p numThreads threads (Section 3.3.1). A
+     * filter-backed request falls back to the software centralized
+     * barrier when no filter (or pair, for ping-pong) is free — check
+     * handle.granted.
+     */
+    BarrierHandle registerBarrier(BarrierKind kind, unsigned numThreads);
+
+    /** Swap a barrier out, freeing its filter(s) (Section 3.3.3). */
+    void releaseBarrier(BarrierHandle &handle);
+
+    // ----- memory regions ---------------------------------------------------------
+
+    /** Allocate kernel/workload data. */
+    Addr allocData(uint64_t bytes, uint64_t align = 64);
+
+    /** Allocate software-synchronization variables (own cache lines). */
+    Addr allocSync(uint64_t bytes, uint64_t align = 64);
+
+    /** Base address of thread @p tid's main code section. */
+    Addr codeBase(ThreadId tid) const;
+
+    /** Reset bump allocators and barrier bookkeeping (fresh workload). */
+    void resetAllocators();
+
+  private:
+    /** Allocate one arrival/exit line group on bank @p bank. */
+    Addr allocFilterGroup(unsigned numThreads, unsigned bank,
+                          Addr strideBytes);
+
+    CmpSystem &sys;
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+    Addr filterRegionNext;
+    Addr syncRegionNext;
+    Addr dataRegionNext;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_OS_OS_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * OptionMap implementation.
+ */
+
+#include "sim/config.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+OptionMap
+OptionMap::fromArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return fromStrings(args);
+}
+
+OptionMap
+OptionMap::fromStrings(const std::vector<std::string> &args)
+{
+    OptionMap opts;
+    for (const auto &arg : args) {
+        auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            opts.positional.push_back(arg);
+        } else {
+            opts.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+    return opts;
+}
+
+void
+OptionMap::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+OptionMap::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::string
+OptionMap::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+}
+
+int64_t
+OptionMap::getInt(const std::string &key, int64_t dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    char *end = nullptr;
+    int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option '" + key + "': bad integer '" + it->second + "'");
+    return v;
+}
+
+uint64_t
+OptionMap::getUint(const std::string &key, uint64_t dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    char *end = nullptr;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option '" + key + "': bad unsigned '" + it->second + "'");
+    return v;
+}
+
+double
+OptionMap::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option '" + key + "': bad double '" + it->second + "'");
+    return v;
+}
+
+bool
+OptionMap::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("option '" + key + "': bad bool '" + v + "'");
+}
+
+} // namespace bfsim

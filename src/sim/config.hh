@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generic key=value option parsing for example and benchmark CLIs.
+ */
+
+#ifndef BFSIM_SIM_CONFIG_HH
+#define BFSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bfsim
+{
+
+/**
+ * A bag of string options parsed from "key=value" arguments.
+ *
+ * Typed getters convert on demand and throw FatalError on malformed
+ * values, so a bad CLI fails loudly instead of silently simulating the
+ * wrong machine.
+ */
+class OptionMap
+{
+  public:
+    OptionMap() = default;
+
+    /** Parse argv-style arguments; non key=value tokens go to positional. */
+    static OptionMap fromArgs(int argc, char **argv);
+
+    /** Parse a vector of "key=value" strings. */
+    static OptionMap fromStrings(const std::vector<std::string> &args);
+
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    int64_t getInt(const std::string &key, int64_t dflt) const;
+    uint64_t getUint(const std::string &key, uint64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    const std::vector<std::string> &positionalArgs() const
+    {
+        return positional;
+    }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positional;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_CONFIG_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bfsim
+{
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < curTick)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    events.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        // priority_queue exposes only a const top(); moving the callback
+        // out before pop() avoids copying a std::function per event.
+        Entry &top = const_cast<Entry &>(events.top());
+        Tick when = top.when;
+        Callback cb = std::move(top.cb);
+        events.pop();
+
+        assert(when >= curTick && "event queue went backwards");
+        curTick = when;
+        ++numExecuted;
+        cb();
+    }
+    if (curTick < limit && limit != tickNever)
+        curTick = limit;
+    return curTick;
+}
+
+Tick
+EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    while (!events.empty() && !done() && events.top().when <= limit) {
+        Entry &top = const_cast<Entry &>(events.top());
+        Tick when = top.when;
+        Callback cb = std::move(top.cb);
+        events.pop();
+
+        assert(when >= curTick && "event queue went backwards");
+        curTick = when;
+        ++numExecuted;
+        cb();
+    }
+    return curTick;
+}
+
+} // namespace bfsim

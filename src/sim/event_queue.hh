@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A discrete-event queue keyed on simulated ticks.
+ *
+ * Every timed component of the CMP (cores, caches, buses, the barrier
+ * filter) schedules callbacks on a single shared EventQueue. Events that
+ * share a tick fire in insertion order, which gives deterministic
+ * simulation for a fixed configuration and seed.
+ */
+
+#ifndef BFSIM_SIM_EVENT_QUEUE_HH
+#define BFSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/**
+ * Deterministic discrete-event scheduler.
+ *
+ * The queue owns the simulated clock: advancing time is only possible by
+ * running events. Same-tick events run in FIFO order of scheduling.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule a callback @p delay ticks in the future.
+     * @param delay Ticks from now; 0 runs later during the current tick.
+     * @param cb Callback to invoke.
+     */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        events.push(Entry{curTick + delay, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule a callback at an absolute tick (must not be in the past). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return events.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit ticks elapse.
+     * @param limit Absolute tick bound (inclusive); tickNever means no bound.
+     * @return The tick of the last event executed.
+     */
+    Tick run(Tick limit = tickNever);
+
+    /**
+     * Run events while @p done() is false.
+     * @return The final simulated tick.
+     */
+    Tick runUntil(const std::function<bool()> &done, Tick limit = tickNever);
+
+    /** Total events executed since construction. */
+    uint64_t executedEvents() const { return numExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events;
+    Tick curTick = 0;
+    uint64_t nextSeq = 0;
+    uint64_t numExecuted = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Logging implementation.
+ */
+
+#include "sim/log.hh"
+
+#include <iostream>
+
+namespace bfsim
+{
+
+uint32_t Trace::mask = 0;
+
+void
+Trace::print(TraceCat, uint64_t tick, const std::string &msg)
+{
+    std::cerr << tick << ": " << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+} // namespace bfsim

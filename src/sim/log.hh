@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal leveled logging with per-category enables.
+ *
+ * Tracing a cycle simulator produces enormous output, so every trace call
+ * is guarded by a category bit that defaults to off. fatal() mirrors gem5
+ * semantics: user-caused misconfiguration, exits via exception so tests can
+ * assert on it. panic() marks internal invariant violations.
+ */
+
+#ifndef BFSIM_SIM_LOG_HH
+#define BFSIM_SIM_LOG_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bfsim
+{
+
+/** Trace categories; combine as a bitmask. */
+enum class TraceCat : uint32_t
+{
+    None = 0,
+    Core = 1u << 0,
+    Cache = 1u << 1,
+    Bus = 1u << 2,
+    Filter = 1u << 3,
+    Coherence = 1u << 4,
+    Os = 1u << 5,
+    Barrier = 1u << 6,
+    All = ~0u,
+};
+
+/** Thrown by fatal(): a user-level configuration / usage error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &m) : std::runtime_error(m) {}
+};
+
+/** Thrown by panic(): a simulator bug (invariant violation). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &m) : std::logic_error(m) {}
+};
+
+/** Global trace configuration. */
+class Trace
+{
+  public:
+    static uint32_t mask;
+
+    static bool
+    enabled(TraceCat cat)
+    {
+        return (mask & static_cast<uint32_t>(cat)) != 0;
+    }
+
+    static void print(TraceCat cat, uint64_t tick, const std::string &msg);
+};
+
+/** Report a user error: throws FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a simulator bug: throws PanicError. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const std::string &msg);
+
+} // namespace bfsim
+
+/** Trace macro: evaluates its stream expression only when enabled. */
+#define BFSIM_TRACE(cat, tick, expr)                                        \
+    do {                                                                    \
+        if (::bfsim::Trace::enabled(cat)) {                                 \
+            std::ostringstream bfsim_trace_os;                              \
+            bfsim_trace_os << expr;                                         \
+            ::bfsim::Trace::print(cat, tick, bfsim_trace_os.str());         \
+        }                                                                   \
+    } while (0)
+
+#endif // BFSIM_SIM_LOG_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * All stochastic behaviour in the simulator (workload inputs, randomized
+ * per-thread delays in tests) flows through this generator so that a fixed
+ * seed reproduces a run bit-for-bit.
+ */
+
+#ifndef BFSIM_SIM_RANDOM_HH
+#define BFSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace bfsim
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_RANDOM_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StatGroup implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace bfsim
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return dists[name];
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+uint64_t
+StatGroup::sumByPrefix(const std::string &prefix) const
+{
+    uint64_t total = 0;
+    for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second.value();
+    }
+    return total;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+    for (auto &kv : dists)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : dists) {
+        const Distribution &d = kv.second;
+        os << kv.first << " count=" << d.count()
+           << " mean=" << std::fixed << std::setprecision(2) << d.mean()
+           << " min=" << d.min() << " max=" << d.max() << "\n";
+    }
+}
+
+std::vector<std::string>
+StatGroup::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters.size());
+    for (const auto &kv : counters)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace bfsim

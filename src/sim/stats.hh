@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register scalar counters and distributions under hierarchical
+ * dotted names (e.g. "l2.bank0.filterBlockedFills"). A StatGroup owns the
+ * storage; the registry can dump everything as text for experiment logs.
+ */
+
+#ifndef BFSIM_SIM_STATS_HH
+#define BFSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bfsim
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(uint64_t v) { val += v; return *this; }
+    void reset() { val = 0; }
+    uint64_t value() const { return val; }
+
+  private:
+    uint64_t val = 0;
+};
+
+/**
+ * Tracks min / max / mean of a sampled quantity.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (n == 0 || v < minV) minV = v;
+        if (n == 0 || v > maxV) maxV = v;
+        sum += v;
+        ++n;
+    }
+
+    void reset() { n = 0; sum = 0; minV = 0; maxV = 0; }
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? sum / double(n) : 0.0; }
+    double min() const { return minV; }
+    double max() const { return maxV; }
+
+  private:
+    uint64_t n = 0;
+    double sum = 0;
+    double minV = 0;
+    double maxV = 0;
+};
+
+/**
+ * A registry of counters and distributions owned by one simulated system.
+ *
+ * Names are created on first use; lookups after creation return the same
+ * object so components can cache references.
+ */
+class StatGroup
+{
+  public:
+    /** Get (creating if needed) the counter with dotted name @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Get (creating if needed) the distribution named @p name. */
+    Distribution &distribution(const std::string &name);
+
+    /** True if a counter with this exact name exists. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Value of a counter, 0 if absent. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    uint64_t sumByPrefix(const std::string &prefix) const;
+
+    /** Reset every statistic to zero (used between measurement phases). */
+    void resetAll();
+
+    /** Dump all statistics, sorted by name, one per line. */
+    void dump(std::ostream &os) const;
+
+    /** Names of all registered counters (sorted). */
+    std::vector<std::string> counterNames() const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Distribution> dists;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_STATS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ */
+
+#ifndef BFSIM_SIM_TYPES_HH
+#define BFSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace bfsim
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Tick = uint64_t;
+
+/** A physical (== virtual, no translation is modelled) byte address. */
+using Addr = uint64_t;
+
+/** Identifies one core of the CMP. */
+using CoreId = int;
+
+/** Identifies one software thread. One thread per core in all experiments. */
+using ThreadId = int;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = -1;
+
+/** Sentinel tick for "never". */
+constexpr Tick tickNever = ~Tick(0);
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_TYPES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CmpConfig implementation.
+ */
+
+#include "sys/cmp_config.hh"
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+CmpConfig
+CmpConfig::fromOptions(const OptionMap &opts)
+{
+    CmpConfig c;
+    c.numCores = unsigned(opts.getUint("cores", c.numCores));
+    c.lineBytes = unsigned(opts.getUint("line", c.lineBytes));
+    c.l1SizeBytes = opts.getUint("l1size", c.l1SizeBytes);
+    c.l1Assoc = unsigned(opts.getUint("l1assoc", c.l1Assoc));
+    c.l1Latency = opts.getUint("l1lat", c.l1Latency);
+    c.l1Mshrs = unsigned(opts.getUint("l1mshrs", c.l1Mshrs));
+    c.l1IPrefetch = opts.getBool("l1iprefetch", c.l1IPrefetch);
+    c.l1DPrefetch = opts.getBool("l1dprefetch", c.l1DPrefetch);
+    c.l2SizeBytes = opts.getUint("l2size", c.l2SizeBytes);
+    c.l2Assoc = unsigned(opts.getUint("l2assoc", c.l2Assoc));
+    c.l2Latency = opts.getUint("l2lat", c.l2Latency);
+    c.l2Banks = unsigned(opts.getUint("l2banks", c.l2Banks));
+    c.l3SizeBytes = opts.getUint("l3size", c.l3SizeBytes);
+    c.l3Assoc = unsigned(opts.getUint("l3assoc", c.l3Assoc));
+    c.l3Latency = opts.getUint("l3lat", c.l3Latency);
+    c.memLatency = opts.getUint("memlat", c.memLatency);
+    c.memServiceInterval = opts.getUint("memint", c.memServiceInterval);
+    c.busBytesPerCycle = unsigned(opts.getUint("busbw", c.busBytesPerCycle));
+    c.busPropLatency = opts.getUint("busprop", c.busPropLatency);
+    c.crossbar = opts.getBool("crossbar", c.crossbar);
+    c.branchPenalty = opts.getUint("branchpenalty", c.branchPenalty);
+    c.storeBufferSize =
+        unsigned(opts.getUint("storebuffer", c.storeBufferSize));
+    c.filtersPerBank = unsigned(opts.getUint("filters", c.filtersPerBank));
+    c.filterStrict = opts.getBool("filterstrict", c.filterStrict);
+    c.filterTimeout = opts.getUint("filtertimeout", c.filterTimeout);
+    c.filterRetainsL2Copy =
+        opts.getBool("filterretain", c.filterRetainsL2Copy);
+    c.networkLinkLatency = opts.getUint("netlink", c.networkLinkLatency);
+    c.networkRestartCost = opts.getUint("netrestart", c.networkRestartCost);
+    c.validate();
+    return c;
+}
+
+void
+CmpConfig::validate() const
+{
+    if (numCores == 0 || numCores > 64)
+        fatal("CmpConfig: cores must be in [1, 64]");
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+        fatal("CmpConfig: line size must be a power of two");
+    if (l2Banks == 0)
+        fatal("CmpConfig: need at least one L2 bank");
+    if (l2SizeBytes % l2Banks != 0)
+        fatal("CmpConfig: L2 size must divide evenly across banks");
+    if (busBytesPerCycle == 0)
+        fatal("CmpConfig: bus bandwidth must be positive");
+}
+
+void
+CmpConfig::print(std::ostream &os) const
+{
+    os << "CMP configuration (paper Table 2 defaults):\n"
+       << "  cores                 " << numCores << "\n"
+       << "  line size             " << lineBytes << " B\n"
+       << "  L1 I/D (per core)     " << l1SizeBytes / 1024 << " kB, "
+       << l1Assoc << "-way, " << l1Latency << " cycle, " << l1Mshrs
+       << " MSHRs\n"
+       << "  L2 shared             " << l2SizeBytes / 1024 << " kB, "
+       << l2Assoc << "-way, " << l2Latency << " cycles, " << l2Banks
+       << " banks\n"
+       << "  L3 shared             " << l3SizeBytes / 1024 << " kB, "
+       << l3Assoc << "-way, " << l3Latency << " cycles\n"
+       << "  memory                " << memLatency << " cycles\n"
+       << "  bus                   " << busBytesPerCycle
+       << " B/cycle, prop " << busPropLatency << " cycles\n"
+       << "  filters per L2 bank   " << filtersPerBank
+       << " (1 request per cycle)\n";
+}
+
+} // namespace bfsim

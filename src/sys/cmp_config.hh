@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration of the simulated CMP (defaults follow the paper's Table 2).
+ */
+
+#ifndef BFSIM_SYS_CMP_CONFIG_HH
+#define BFSIM_SYS_CMP_CONFIG_HH
+
+#include <ostream>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/**
+ * Every knob of the simulated machine. Defaults reproduce the baseline
+ * configuration of the paper's Table 2.
+ */
+struct CmpConfig
+{
+    unsigned numCores = 16;
+    unsigned lineBytes = 64;
+
+    // L1 (one I + one D per core): 64kB, 2-way, 1 cycle.
+    uint64_t l1SizeBytes = 64 * 1024;
+    unsigned l1Assoc = 2;
+    Tick l1Latency = 1;
+    unsigned l1Mshrs = 8;
+    bool l1IPrefetch = false;  ///< next-line instruction prefetcher
+    bool l1DPrefetch = false;  ///< next-line data prefetcher
+
+    // Shared unified L2: 512kB, 2-way, 14 cycles, banked.
+    uint64_t l2SizeBytes = 512 * 1024;
+    unsigned l2Assoc = 2;
+    Tick l2Latency = 14;
+    unsigned l2Banks = 4;
+
+    // Shared unified L3: 4096kB, 2-way, 38 cycles.
+    uint64_t l3SizeBytes = 4096 * 1024;
+    unsigned l3Assoc = 2;
+    Tick l3Latency = 38;
+
+    // Memory: 138 cycles, finite channel rate.
+    Tick memLatency = 138;
+    Tick memServiceInterval = 4;
+
+    // Core <-> L2 fabric: shared split-transaction bus (default) or a
+    // Niagara-style crossbar (per-bank/per-core links, Section 3.2).
+    unsigned busBytesPerCycle = 16;
+    Tick busPropLatency = 2;
+    bool crossbar = false;
+
+    // Core.
+    Tick branchPenalty = 1;
+    unsigned storeBufferSize = 8;
+
+    // Barrier filter hardware (Table 2: 1 request per cycle on release).
+    unsigned filtersPerBank = 8;
+    bool filterStrict = false;
+    Tick filterTimeout = 0;   ///< 0 disables the hardware timeout
+    /**
+     * The filter sits in the L2 bank controller, so an explicit
+     * invalidation of a barrier line purges L1 copies but the L2 data is
+     * retained and released fills are serviced at L2 latency. Setting
+     * this false emulates a filter placed *below* the L2 (e.g. at the L3
+     * or memory controller): barrier lines are fully invalidated and
+     * released fills pay the deeper latency (Section 3.1 placement
+     * trade-off).
+     */
+    bool filterRetainsL2Copy = true;
+
+    // Dedicated barrier network baseline: 2-cycle links, 1-cycle restart.
+    Tick networkLinkLatency = 2;
+    Tick networkRestartCost = 1;
+
+    /** Apply "key=value" overrides (cores=32, l2banks=8, ...). */
+    static CmpConfig fromOptions(const OptionMap &opts);
+
+    /** Pretty-print the machine, Table 2 style. */
+    void print(std::ostream &os) const;
+
+    /** Sanity-check invariants; throws FatalError on nonsense. */
+    void validate() const;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SYS_CMP_CONFIG_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment driver implementation.
+ */
+
+#include "sys/experiment.hh"
+
+#include <iomanip>
+
+#include "barriers/barrier_gen.hh"
+
+namespace bfsim
+{
+
+BarrierLatencyResult
+measureBarrierLatency(const CmpConfig &cfg, BarrierKind kind,
+                      unsigned threads, unsigned barriersPerLoop,
+                      unsigned loops)
+{
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle handle = os.registerBarrier(kind, threads);
+
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        ProgramBuilder b(os.codeBase(ThreadId(tid)));
+        BarrierCodegen bar(handle, tid);
+        IntReg rLoop = b.temp(), rLoops = b.temp();
+
+        bar.emitInit(b);
+        b.li(rLoop, 0);
+        b.li(rLoops, int64_t(loops));
+        b.label("loop");
+        for (unsigned i = 0; i < barriersPerLoop; ++i)
+            bar.emitBarrier(b);
+        b.addi(rLoop, rLoop, 1);
+        b.blt(rLoop, rLoops, "loop");
+        b.halt();
+        bar.emitArrivalSections(b);
+
+        ThreadContext *t = os.createThread(b.build());
+        os.startThread(t, CoreId(tid));
+    }
+
+    BarrierLatencyResult r;
+    r.totalCycles = sys.run();
+    r.barriers = uint64_t(barriersPerLoop) * loops;
+    r.cyclesPerBarrier = double(r.totalCycles) / double(r.barriers);
+    r.reqBusBusyCycles = sys.interconnect().requestBusyCycles();
+    r.respBusBusyCycles = sys.interconnect().responseBusyCycles();
+    for (unsigned bnk = 0; bnk < sys.numBanks(); ++bnk) {
+        r.invAlls += sys.statistics().counterValue(
+            "l2.bank" + std::to_string(bnk) + ".invAlls");
+    }
+    r.granted = (handle.granted == handle.requested);
+    return r;
+}
+
+void
+printHeader(std::ostream &os, const std::string &label,
+            const std::vector<std::string> &columns, int width)
+{
+    os << std::left << std::setw(22) << label << std::right;
+    for (const auto &c : columns)
+        os << std::setw(width) << c;
+    os << "\n";
+}
+
+void
+printRow(std::ostream &os, const std::string &label,
+         const std::vector<double> &values, int width, int precision)
+{
+    os << std::left << std::setw(22) << label << std::right << std::fixed
+       << std::setprecision(precision);
+    for (double v : values)
+        os << std::setw(width) << v;
+    os << "\n";
+}
+
+} // namespace bfsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment drivers shared by the benchmark binaries and tests.
+ */
+
+#ifndef BFSIM_SYS_EXPERIMENT_HH
+#define BFSIM_SYS_EXPERIMENT_HH
+
+#include <ostream>
+
+#include "os/os.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+/** Result of the Figure-4 style barrier latency microbenchmark. */
+struct BarrierLatencyResult
+{
+    double cyclesPerBarrier = 0.0;
+    Tick totalCycles = 0;
+    uint64_t barriers = 0;
+    uint64_t reqBusBusyCycles = 0;
+    uint64_t respBusBusyCycles = 0;
+    uint64_t invAlls = 0;
+    bool granted = true;  ///< false when a filter request fell back to SW
+};
+
+/**
+ * Measure average barrier cost with the paper's methodology (Section 4.2,
+ * after Culler et al.): a loop of consecutive barriers with no work
+ * between them, executed many times.
+ *
+ * @param barriersPerLoop Consecutive barrier invocations per loop body.
+ * @param loops Loop trip count.
+ */
+BarrierLatencyResult measureBarrierLatency(const CmpConfig &cfg,
+                                           BarrierKind kind,
+                                           unsigned threads,
+                                           unsigned barriersPerLoop = 64,
+                                           unsigned loops = 64);
+
+/** Print one aligned table row: label column then numeric columns. */
+void printRow(std::ostream &os, const std::string &label,
+              const std::vector<double> &values, int width = 12,
+              int precision = 2);
+
+/** Print an aligned header row. */
+void printHeader(std::ostream &os, const std::string &label,
+                 const std::vector<std::string> &columns, int width = 12);
+
+} // namespace bfsim
+
+#endif // BFSIM_SYS_EXPERIMENT_HH

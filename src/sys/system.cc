@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CmpSystem implementation.
+ */
+
+#include "sys/system.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+CmpSystem::CmpSystem(const CmpConfig &config)
+    : cfg(config), eventq(), stats(),
+      mem(eventq, stats, cfg.memLatency, cfg.memServiceInterval),
+      ic(eventq, stats, cfg.lineBytes, cfg.busBytesPerCycle,
+         cfg.busPropLatency,
+         cfg.crossbar ? FabricKind::Crossbar : FabricKind::Bus),
+      l3cache(eventq, stats, mem,
+              CacheGeometry{cfg.l3SizeBytes, cfg.l3Assoc, cfg.lineBytes},
+              cfg.l3Latency),
+      net(eventq, stats, cfg.networkLinkLatency, cfg.networkRestartCost)
+{
+    cfg.validate();
+
+    CacheGeometry bankGeom{cfg.l2SizeBytes / cfg.l2Banks, cfg.l2Assoc,
+                           cfg.lineBytes, cfg.l2Banks};
+    std::vector<L2Bank *> bankPtrs;
+    for (unsigned b = 0; b < cfg.l2Banks; ++b) {
+        std::ostringstream fn;
+        fn << "filter.bank" << b;
+        filterBanks.push_back(std::make_unique<FilterBank>(
+            eventq, stats, fn.str(), cfg.filtersPerBank, cfg.filterStrict,
+            cfg.filterTimeout));
+        std::ostringstream bn;
+        bn << "l2.bank" << b;
+        banks.push_back(std::make_unique<L2Bank>(
+            eventq, stats, ic, bn.str(), b, bankGeom, cfg.l2Latency,
+            l3cache, filterBanks.back().get(), cfg.filterRetainsL2Copy));
+        bankPtrs.push_back(banks.back().get());
+    }
+    ic.registerBanks(std::move(bankPtrs));
+
+    CacheGeometry l1Geom{cfg.l1SizeBytes, cfg.l1Assoc, cfg.lineBytes};
+    CoreParams cp;
+    cp.branchPenalty = cfg.branchPenalty;
+    cp.storeBufferSize = cfg.storeBufferSize;
+
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        std::ostringstream in, dn, cn;
+        in << "l1i." << c;
+        dn << "l1d." << c;
+        cn << "core." << c;
+        l1is.push_back(std::make_unique<L1Cache>(
+            eventq, stats, ic, in.str(), CoreId(c), L1Cache::Role::Instr,
+            l1Geom, cfg.l1Latency, cfg.l1Mshrs, cfg.l1IPrefetch));
+        l1ds.push_back(std::make_unique<L1Cache>(
+            eventq, stats, ic, dn.str(), CoreId(c), L1Cache::Role::Data,
+            l1Geom, cfg.l1Latency, cfg.l1Mshrs, cfg.l1DPrefetch));
+        ic.registerCore(CoreId(c), l1is.back().get(), l1ds.back().get());
+        cores.push_back(std::make_unique<Core>(
+            eventq, stats, cn.str(), CoreId(c), mem, *l1is.back(),
+            *l1ds.back(), &net, cp));
+        cores.back()->setHaltCallback([this](ThreadContext *) {
+            if (liveThreads == 0)
+                panic("CmpSystem: halt with no live threads");
+            --liveThreads;
+        });
+    }
+
+    osPtr = std::make_unique<Os>(*this);
+}
+
+Tick
+CmpSystem::run(Tick limit)
+{
+    Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
+    if (liveThreads != 0 && eventq.empty()) {
+        fatal("CmpSystem: deadlock — event queue drained with " +
+              std::to_string(liveThreads) + " live thread(s)");
+    }
+    return end;
+}
+
+bool
+CmpSystem::anyBarrierError() const
+{
+    for (const ThreadContext *t : started)
+        if (t->barrierError)
+            return true;
+    return false;
+}
+
+uint64_t
+CmpSystem::totalInstructions() const
+{
+    uint64_t n = 0;
+    for (const ThreadContext *t : started)
+        n += t->instsExecuted;
+    return n;
+}
+
+} // namespace bfsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CmpSystem: the fully-wired simulated machine.
+ *
+ * Owns the event queue, statistics, functional memory, cores with their
+ * private L1 pairs, the shared split-transaction bus, the banked L2 with
+ * per-bank barrier filters, the shared L3, DRAM, the dedicated barrier
+ * network baseline, and the OS services object.
+ */
+
+#ifndef BFSIM_SYS_SYSTEM_HH
+#define BFSIM_SYS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "filter/barrier_filter.hh"
+#include "filter/barrier_network.hh"
+#include "mem/bus.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_bank.hh"
+#include "mem/l3_cache.hh"
+#include "mem/memory.hh"
+#include "os/os.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sys/cmp_config.hh"
+
+namespace bfsim
+{
+
+/**
+ * One simulated CMP. Construct, load threads via os(), then run().
+ */
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const CmpConfig &config);
+
+    /**
+     * Run until every started thread halts (or @p limit ticks pass).
+     * @return The final simulated tick.
+     * @throws FatalError when the machine deadlocks (event queue drained
+     *         with threads still live) — e.g. misused barriers.
+     */
+    Tick run(Tick limit = tickNever);
+
+    /** True when every thread that was started has halted. */
+    bool allThreadsHalted() const { return liveThreads == 0; }
+
+    /** True when any thread saw a barrier error (nacked fill). */
+    bool anyBarrierError() const;
+
+    // ----- component access ----------------------------------------------------
+
+    const CmpConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eventq; }
+    StatGroup &statistics() { return stats; }
+    MainMemory &memory() { return mem; }
+    Interconnect &interconnect() { return ic; }
+    L3Cache &l3() { return l3cache; }
+    BarrierNetwork &network() { return net; }
+    Os &os() { return *osPtr; }
+
+    unsigned numCores() const { return cfg.numCores; }
+    Core &core(CoreId i) { return *cores.at(i); }
+    L1Cache &l1i(CoreId i) { return *l1is.at(i); }
+    L1Cache &l1d(CoreId i) { return *l1ds.at(i); }
+    L2Bank &l2Bank(unsigned i) { return *banks.at(i); }
+    FilterBank &filterBank(unsigned i) { return *filterBanks.at(i); }
+    unsigned numBanks() const { return cfg.l2Banks; }
+
+    /** Aggregate instruction count across all threads ever started. */
+    uint64_t totalInstructions() const;
+
+  private:
+    friend class Os;
+
+    CmpConfig cfg;
+    EventQueue eventq;
+    StatGroup stats;
+    MainMemory mem;
+    Interconnect ic;
+    L3Cache l3cache;
+    BarrierNetwork net;
+    std::vector<std::unique_ptr<FilterBank>> filterBanks;
+    std::vector<std::unique_ptr<L2Bank>> banks;
+    std::vector<std::unique_ptr<L1Cache>> l1is;
+    std::vector<std::unique_ptr<L1Cache>> l1ds;
+    std::vector<std::unique_ptr<Core>> cores;
+    std::unique_ptr<Os> osPtr;
+
+    unsigned liveThreads = 0;
+    std::vector<ThreadContext *> started;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SYS_SYSTEM_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Assembler tests: syntax, directives, labels, every operand form,
+ * error reporting, and end-to-end execution of assembled programs on
+ * both the golden interpreter and the timing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/interpreter.hh"
+#include "sim/log.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+TEST(Assembler, EmptyAndCommentOnlyLines)
+{
+    auto p = assemble(R"(
+        # a comment
+        ; another comment
+
+        halt   # trailing comment
+    )");
+    EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(Assembler, SimpleLoopExecutes)
+{
+    auto p = assemble(R"(
+        li   x1, 0
+        li   x2, 0
+        li   x3, 100
+    loop:
+        add  x2, x2, x1
+        addi x1, x1, 1
+        blt  x1, x3, loop
+        halt
+    )");
+    Interpreter in(p);
+    EXPECT_TRUE(in.run());
+    EXPECT_EQ(in.iregs()[2], 4950);
+}
+
+TEST(Assembler, EquSymbolsAndMemoryOperands)
+{
+    auto p = assemble(R"(
+        .equ buf, 0x40000000
+        .equ answer, 42
+        li  x1, answer
+        li  x2, buf
+        sd  x1, 8(x2)
+        ld  x3, 8(x2)
+        lb  x4, (x2)
+        halt
+    )");
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[3], 42);
+    EXPECT_EQ(in.read64(0x40000008), 42u);
+    EXPECT_EQ(in.iregs()[4], 0);
+}
+
+TEST(Assembler, OrgSectionsAndEntry)
+{
+    auto p = assemble(R"(
+        .org 0x200000
+        .entry start
+    helper:
+        addi x1, x1, 5
+        ret
+        .org 0x300000
+    start:
+        li  x1, 1
+        jal helper
+        halt
+    )");
+    EXPECT_EQ(p->entry(), 0x300000u);
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[1], 6);
+}
+
+TEST(Assembler, FloatingPointForms)
+{
+    auto p = assemble(R"(
+        .equ buf, 0x50000
+        li      x1, 3
+        cvt.i.f f1, x1
+        li      x1, 4
+        cvt.i.f f2, x1
+        fadd    f3, f1, f2
+        fmul    f4, f1, f2
+        flt     x2, f1, f2
+        cvt.f.i x3, f3
+        li      x4, buf
+        fsd     f4, (x4)
+        fld     f5, (x4)
+        halt
+    )");
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[2], 1);
+    EXPECT_EQ(in.iregs()[3], 7);
+    EXPECT_DOUBLE_EQ(in.fregs()[5], 12.0);
+}
+
+TEST(Assembler, LlScAndPseudoOps)
+{
+    auto p = assemble(R"(
+        .equ lock, 0x60000
+        li   x1, lock
+        li   x2, 7
+        sd   x2, (x1)
+        ll   x3, (x1)
+        addi x3, x3, 1
+        sc   x4, x3, (x1)
+        mov  x5, x4
+        beqz x4, fail
+        li   x6, 1
+    fail:
+        halt
+    )");
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[5], 1);
+    EXPECT_EQ(in.iregs()[6], 1);
+    EXPECT_EQ(in.read64(0x60000), 8u);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    auto p = assemble(R"(
+        li   ra, 0
+        jal  func
+        halt
+    func:
+        addi x1, zero, 9
+        ret
+    )");
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[1], 9);
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    auto p = assemble(R"(
+        li   x1, 0xff
+        addi x2, x1, -0x10
+        halt
+    )");
+    Interpreter in(p);
+    in.run();
+    EXPECT_EQ(in.iregs()[2], 0xef);
+}
+
+// ----- error reporting ------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate x1, x2\nhalt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add x1, x2, x99\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("add x1, x2, f3\nhalt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add x1, x2\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("halt x1\n"), FatalError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    EXPECT_THROW(assemble("j nowhere\nhalt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadMemoryOperand)
+{
+    EXPECT_THROW(assemble("ld x1, 8[x2]\nhalt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, UnknownDirective)
+{
+    EXPECT_THROW(assemble(".bogus 1\nhalt\n"), FatalError);
+}
+
+TEST(AssemblerErrors, MessageCarriesLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbroken x1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+// ----- assembled programs on the timing simulator -------------------------------
+
+TEST(AssemblerOnSim, RunsOnFullMachine)
+{
+    CmpConfig cfg;
+    cfg.numCores = 1;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    CmpSystem sys(cfg);
+    Addr buf = sys.os().allocData(64, 64);
+
+    std::ostringstream src;
+    src << ".org " << sys.os().codeBase(0) << "\n"
+        << ".equ buf, " << buf << "\n"
+        << R"(
+        li   x1, 0
+        li   x2, 25
+        li   x3, 0
+    loop:
+        add  x3, x3, x1
+        addi x1, x1, 1
+        blt  x1, x2, loop
+        li   x4, buf
+        sd   x3, (x4)
+        fence
+        halt
+    )";
+    ThreadContext *t = sys.os().createThread(assemble(src.str()));
+    sys.os().startThread(t, 0);
+    sys.run();
+    EXPECT_TRUE(t->halted);
+    EXPECT_EQ(sys.memory().read64(buf), 300u);
+}

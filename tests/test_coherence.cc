@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Coherence protocol tests: drive the L1/L2/L3 stack directly (no cores)
+ * through read sharing, write invalidation, downgrades, upgrades,
+ * writebacks, inclusive back-invalidation, explicit block invalidation,
+ * and MSHR coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_bank.hh"
+#include "mem/l3_cache.hh"
+#include "mem/memory.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+/** A bare memory system: N L1 pairs, banks, L3, DRAM — no cores. */
+struct MemHarness
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem;
+    Interconnect ic;
+    L3Cache l3;
+    std::vector<std::unique_ptr<L2Bank>> banks;
+    std::vector<std::unique_ptr<L1Cache>> l1is;
+    std::vector<std::unique_ptr<L1Cache>> l1ds;
+
+    explicit MemHarness(unsigned cores = 4, unsigned numBanks = 2,
+                        uint64_t l2Bytes = 32 * 1024)
+        : mem(eq, st, 138, 4), ic(eq, st, 64, 16, 2),
+          l3(eq, st, mem, CacheGeometry{256 * 1024, 2, 64}, 38)
+    {
+        std::vector<L2Bank *> bp;
+        for (unsigned b = 0; b < numBanks; ++b) {
+            banks.push_back(std::make_unique<L2Bank>(
+                eq, st, ic, "l2.bank" + std::to_string(b), b,
+                CacheGeometry{l2Bytes / numBanks, 2, 64, numBanks}, 14, l3,
+                nullptr));
+            bp.push_back(banks.back().get());
+        }
+        ic.registerBanks(std::move(bp));
+        for (unsigned c = 0; c < cores; ++c) {
+            l1is.push_back(std::make_unique<L1Cache>(
+                eq, st, ic, "l1i." + std::to_string(c), CoreId(c),
+                L1Cache::Role::Instr, CacheGeometry{4 * 1024, 2, 64}, 1,
+                4));
+            l1ds.push_back(std::make_unique<L1Cache>(
+                eq, st, ic, "l1d." + std::to_string(c), CoreId(c),
+                L1Cache::Role::Data, CacheGeometry{4 * 1024, 2, 64}, 1,
+                4));
+            ic.registerCore(CoreId(c), l1is.back().get(),
+                            l1ds.back().get());
+        }
+    }
+
+    L1Cache &d(unsigned c) { return *l1ds[c]; }
+    L1Cache &i(unsigned c) { return *l1is[c]; }
+
+    /** Blocking load helper: run the queue until the access completes. */
+    void
+    load(unsigned c, Addr a)
+    {
+        bool done = false;
+        ASSERT_TRUE(d(c).load(a, 8, [&](bool) { done = true; }));
+        eq.runUntil([&] { return done; });
+        ASSERT_TRUE(done);
+    }
+
+    void
+    store(unsigned c, Addr a)
+    {
+        bool done = false;
+        ASSERT_TRUE(d(c).store(a, 8, [&](bool) { done = true; }));
+        eq.runUntil([&] { return done; });
+        ASSERT_TRUE(done);
+    }
+
+    unsigned bankOf(Addr a) { return ic.bankFor(a & ~Addr(63)); }
+};
+
+} // namespace
+
+TEST(Coherence, ReadSharingAcrossCores)
+{
+    MemHarness h;
+    h.load(0, 0x1000);
+    h.load(1, 0x1000);
+    h.load(2, 0x1000);
+    EXPECT_TRUE(h.d(0).hasLine(0x1000));
+    EXPECT_TRUE(h.d(1).hasLine(0x1000));
+    EXPECT_TRUE(h.d(2).hasLine(0x1000));
+    auto dir = h.banks[h.bankOf(0x1000)]->dirState(0x1000);
+    EXPECT_EQ(dir.sharers & 0b111, 0b111u);
+    EXPECT_EQ(dir.owner, invalidCore);
+}
+
+TEST(Coherence, WriteInvalidatesSharers)
+{
+    MemHarness h;
+    h.load(0, 0x1000);
+    h.load(1, 0x1000);
+    h.store(2, 0x1000);
+    EXPECT_FALSE(h.d(0).hasLine(0x1000));
+    EXPECT_FALSE(h.d(1).hasLine(0x1000));
+    EXPECT_TRUE(h.d(2).hasLine(0x1000));
+    EXPECT_TRUE(h.d(2).lineModified(0x1000));
+    auto dir = h.banks[h.bankOf(0x1000)]->dirState(0x1000);
+    EXPECT_EQ(dir.owner, 2);
+}
+
+TEST(Coherence, ReadDowngradesOwner)
+{
+    MemHarness h;
+    h.store(0, 0x2000);
+    EXPECT_TRUE(h.d(0).lineModified(0x2000));
+    h.load(1, 0x2000);
+    EXPECT_TRUE(h.d(0).hasLine(0x2000));
+    EXPECT_FALSE(h.d(0).lineModified(0x2000)); // M -> S
+    EXPECT_TRUE(h.d(1).hasLine(0x2000));
+    auto dir = h.banks[h.bankOf(0x2000)]->dirState(0x2000);
+    EXPECT_EQ(dir.owner, invalidCore);
+    EXPECT_TRUE(dir.dirty);
+}
+
+TEST(Coherence, UpgradeFromShared)
+{
+    MemHarness h;
+    h.load(0, 0x3000);
+    h.load(1, 0x3000);
+    h.store(0, 0x3000); // upgrade: invalidate core 1
+    EXPECT_TRUE(h.d(0).lineModified(0x3000));
+    EXPECT_FALSE(h.d(1).hasLine(0x3000));
+}
+
+TEST(Coherence, WriteToWriteMigration)
+{
+    MemHarness h;
+    h.store(0, 0x4000);
+    h.store(1, 0x4000);
+    EXPECT_FALSE(h.d(0).hasLine(0x4000));
+    EXPECT_TRUE(h.d(1).lineModified(0x4000));
+    auto dir = h.banks[h.bankOf(0x4000)]->dirState(0x4000);
+    EXPECT_EQ(dir.owner, 1);
+    EXPECT_TRUE(dir.dirty); // first owner's ack carried dirty data
+}
+
+TEST(Coherence, L1EvictionWritesBack)
+{
+    // L1 is 4kB 2-way: three lines 4kB apart collide in one set.
+    MemHarness h;
+    h.store(0, 0x10000);
+    h.load(0, 0x10000 + 4096);
+    h.load(0, 0x10000 + 8192);
+    h.eq.run();
+    EXPECT_FALSE(h.d(0).hasLine(0x10000));
+    // The bank learned about the writeback: owner cleared, dirty set.
+    auto dir = h.banks[h.bankOf(0x10000)]->dirState(0x10000);
+    EXPECT_EQ(dir.owner, invalidCore);
+    EXPECT_TRUE(dir.dirty);
+}
+
+TEST(Coherence, InclusiveL2BackInvalidatesL1)
+{
+    // Tiny L2 (4kB total, 2 banks, 2-way -> 16 sets/bank): loading many
+    // colliding lines forces L2 evictions that must purge L1 copies.
+    MemHarness h(2, 2, 4 * 1024);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 6; ++i)
+        addrs.push_back(0x100000 + Addr(i) * 2 * 1024 * 2);
+    for (Addr a : addrs)
+        h.load(0, a);
+    h.eq.run();
+    unsigned present = 0;
+    for (Addr a : addrs) {
+        bool inL1 = h.d(0).hasLine(a);
+        bool inL2 = h.banks[h.bankOf(a)]->hasLine(a);
+        if (inL1)
+            EXPECT_TRUE(inL2) << "inclusion violated";
+        present += inL1;
+    }
+    EXPECT_LT(present, addrs.size()); // some were back-invalidated
+}
+
+TEST(Coherence, ExplicitInvalidatePurgesEverywhere)
+{
+    MemHarness h;
+    h.load(0, 0x5000);
+    h.load(1, 0x5000);
+    bool acked = false;
+    h.d(0).invalidateBlock(0x5000, [&] { acked = true; });
+    h.eq.runUntil([&] { return acked; });
+    ASSERT_TRUE(acked);
+    EXPECT_FALSE(h.d(0).hasLine(0x5000));
+    EXPECT_FALSE(h.d(1).hasLine(0x5000));
+    EXPECT_FALSE(h.banks[h.bankOf(0x5000)]->hasLine(0x5000));
+    // Pushed below the coherence point for later fills.
+    EXPECT_TRUE(h.l3.hasLine(0x5000));
+}
+
+TEST(Coherence, ExplicitInvalidateOfDirtyLineReachesL3Dirty)
+{
+    MemHarness h;
+    h.store(0, 0x6000);
+    bool acked = false;
+    h.d(0).invalidateBlock(0x6000, [&] { acked = true; });
+    h.eq.runUntil([&] { return acked; });
+    EXPECT_TRUE(h.l3.hasLine(0x6000));
+    EXPECT_FALSE(h.banks[h.bankOf(0x6000)]->hasLine(0x6000));
+}
+
+TEST(Coherence, InstructionFetchSharesWithData)
+{
+    MemHarness h;
+    bool done = false;
+    ASSERT_TRUE(h.i(0).fetch(0x7000, [&](bool) { done = true; }));
+    h.eq.runUntil([&] { return done; });
+    EXPECT_TRUE(h.i(0).hasLine(0x7000));
+    // A snoop invalidation purges the I-cache copy too.
+    h.store(1, 0x7000);
+    EXPECT_FALSE(h.i(0).hasLine(0x7000));
+}
+
+TEST(Coherence, MshrCoalescesSameLine)
+{
+    MemHarness h;
+    int completions = 0;
+    ASSERT_TRUE(h.d(0).load(0x8000, 8, [&](bool) { ++completions; }));
+    ASSERT_TRUE(h.d(0).load(0x8008, 8, [&](bool) { ++completions; }));
+    ASSERT_TRUE(h.d(0).load(0x8010, 8, [&](bool) { ++completions; }));
+    EXPECT_EQ(h.d(0).mshrsInUse(), 1u);
+    h.eq.run();
+    EXPECT_EQ(completions, 3);
+}
+
+TEST(Coherence, MshrFileExhaustionRefusesNewMisses)
+{
+    MemHarness h; // 4 MSHRs per L1
+    for (int m = 0; m < 4; ++m)
+        ASSERT_TRUE(h.d(0).load(0x9000 + Addr(m) * 64, 8, [](bool) {}));
+    EXPECT_TRUE(
+        !h.d(0).load(0xa000, 8, [](bool) {})); // refused, out of MSHRs
+    h.eq.run();
+    EXPECT_EQ(h.d(0).mshrsInUse(), 0u);
+    EXPECT_TRUE(h.d(0).load(0xa000, 8, [](bool) {}));
+    h.eq.run();
+}
+
+TEST(Coherence, ReadFillThenStoreUpgradesViaMshr)
+{
+    MemHarness h;
+    int done = 0;
+    ASSERT_TRUE(h.d(0).load(0xb000, 8, [&](bool) { ++done; }));
+    ASSERT_TRUE(h.d(0).store(0xb000, 8, [&](bool) { ++done; }));
+    h.eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_TRUE(h.d(0).lineModified(0xb000));
+}
+
+TEST(Coherence, BankInterleavingByLine)
+{
+    MemHarness h;
+    EXPECT_EQ(h.bankOf(0x0), 0u);
+    EXPECT_EQ(h.bankOf(0x40), 1u);
+    EXPECT_EQ(h.bankOf(0x80), 0u);
+    EXPECT_EQ(h.bankOf(0x7f), 1u); // same line as 0x40
+}
+
+TEST(Coherence, ParallelLoadsToDistinctBanksOverlap)
+{
+    MemHarness h;
+    std::vector<Tick> done;
+    h.d(0).load(0x0, 8, [&](bool) { done.push_back(h.eq.now()); });
+    h.d(1).load(0x40, 8, [&](bool) { done.push_back(h.eq.now()); });
+    h.eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Both are cold DRAM misses; overlapping means the second finishes
+    // well before 2x the first.
+    EXPECT_LT(done[1], done[0] + done[0] / 2);
+}
+
+TEST(Coherence, LinkBrokenByRemoteStore)
+{
+    MemHarness h;
+    bool llDone = false;
+    h.d(0).loadLinked(0xc000, [&](bool) { llDone = true; });
+    h.eq.runUntil([&] { return llDone; });
+    EXPECT_TRUE(h.d(0).linkValid());
+    h.store(1, 0xc000);
+    EXPECT_FALSE(h.d(0).linkValid());
+    bool scResult = true;
+    h.d(0).storeConditional(0xc000, [&](bool ok) { scResult = ok; });
+    h.eq.run();
+    EXPECT_FALSE(scResult);
+}
+
+TEST(Coherence, LinkSurvivesRemoteRead)
+{
+    MemHarness h;
+    bool llDone = false;
+    h.d(0).loadLinked(0xd000, [&](bool) { llDone = true; });
+    h.eq.runUntil([&] { return llDone; });
+    h.load(1, 0xd000); // read sharing must not break the link
+    EXPECT_TRUE(h.d(0).linkValid());
+    bool scResult = false;
+    h.d(0).storeConditional(0xd000, [&](bool ok) { scResult = ok; });
+    h.eq.run();
+    EXPECT_TRUE(scResult);
+}

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Core model tests: ISA semantics end-to-end on a small CMP, scoreboard
+ * behaviour, fences, store buffer, LL/SC, fetch stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+miniConfig(unsigned cores = 2)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    return cfg;
+}
+
+/** Build one program via @p gen, run it on core 0, return the context. */
+ThreadContext *
+runProgram(CmpSystem &sys, const std::function<void(ProgramBuilder &)> &gen)
+{
+    ProgramBuilder b(sys.os().codeBase(0));
+    gen(b);
+    ThreadContext *t = sys.os().createThread(b.build());
+    sys.os().startThread(t, 0);
+    sys.run();
+    return t;
+}
+
+} // namespace
+
+// ----- integer ALU semantics ---------------------------------------------------
+
+struct AluCase
+{
+    const char *name;
+    void (*emit)(ProgramBuilder &, IntReg, IntReg, IntReg);
+    int64_t a, b, expect;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(AluSemantics, ComputesExpected)
+{
+    const AluCase &c = GetParam();
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg ra = b.temp(), rb = b.temp(), rd = b.temp();
+        b.li(ra, c.a);
+        b.li(rb, c.b);
+        c.emit(b, rd, ra, rb);
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[3], c.expect) << c.name;
+}
+
+#define ALU_CASE(op, a, b, expect)                                          \
+    AluCase{#op,                                                            \
+            [](ProgramBuilder &pb, IntReg rd, IntReg r1, IntReg r2) {       \
+                pb.op(rd, r1, r2);                                          \
+            },                                                              \
+            (a), (b), (expect)}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluSemantics,
+    ::testing::Values(
+        ALU_CASE(add, 3, 4, 7), ALU_CASE(add, -3, 3, 0),
+        ALU_CASE(sub, 10, 4, 6), ALU_CASE(sub, 0, 5, -5),
+        ALU_CASE(mul, 7, -6, -42), ALU_CASE(mul, 1 << 20, 1 << 20, 1ll << 40),
+        ALU_CASE(div, 42, 5, 8), ALU_CASE(div, -42, 5, -8),
+        ALU_CASE(div, 42, 0, 0), ALU_CASE(rem, 42, 5, 2),
+        ALU_CASE(rem, 7, 0, 7), ALU_CASE(and_, 0b1100, 0b1010, 0b1000),
+        ALU_CASE(or_, 0b1100, 0b1010, 0b1110),
+        ALU_CASE(xor_, 0b1100, 0b1010, 0b0110),
+        ALU_CASE(sll, 3, 4, 48), ALU_CASE(srl, 48, 4, 3),
+        ALU_CASE(sra, -16, 2, -4), ALU_CASE(slt, 3, 4, 1),
+        ALU_CASE(slt, 4, 3, 0), ALU_CASE(slt, -1, 0, 1),
+        ALU_CASE(sltu, -1, 0, 0)),
+    [](const ::testing::TestParamInfo<AluCase> &info) {
+        return std::string(info.param.name) + "_" +
+               std::to_string(info.index);
+    });
+
+TEST(CoreExec, ImmediateOps)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp(), r2 = b.temp(), r3 = b.temp(), r4 = b.temp();
+        IntReg r5 = b.temp(), r6 = b.temp();
+        b.li(r1, 100);
+        b.addi(r2, r1, -1);      // 99
+        b.andi(r3, r1, 0x0f);    // 4
+        b.ori(r4, r1, 0x03);     // 103
+        b.slli(r5, r1, 2);       // 400
+        b.slti(r6, r1, 200);     // 1
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[2], 99);
+    EXPECT_EQ(t->iregs[3], 4);
+    EXPECT_EQ(t->iregs[4], 103);
+    EXPECT_EQ(t->iregs[5], 400);
+    EXPECT_EQ(t->iregs[6], 1);
+}
+
+TEST(CoreExec, ZeroRegisterIsImmutable)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp();
+        b.li(regZero, 77);            // must be ignored
+        b.addi(r1, regZero, 5);
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[0], 0);
+    EXPECT_EQ(t->iregs[1], 5);
+}
+
+// ----- floating point -------------------------------------------------------------
+
+TEST(CoreExec, FpArithmetic)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg ri = b.temp();
+        FpReg f1 = b.ftemp(), f2 = b.ftemp(), f3 = b.ftemp(),
+              f4 = b.ftemp(), f5 = b.ftemp(), f6 = b.ftemp();
+        b.li(ri, 3);
+        b.cvtIF(f1, ri);          // 3.0
+        b.li(ri, 4);
+        b.cvtIF(f2, ri);          // 4.0
+        b.fadd(f3, f1, f2);       // 7.0
+        b.fmul(f4, f1, f2);       // 12.0
+        b.fdiv(f5, f2, f1);       // 4/3
+        b.fsub(f6, f1, f2);       // -1.0
+        b.halt();
+    });
+    EXPECT_DOUBLE_EQ(t->fregs[2], 7.0);
+    EXPECT_DOUBLE_EQ(t->fregs[3], 12.0);
+    EXPECT_DOUBLE_EQ(t->fregs[4], 4.0 / 3.0);
+    EXPECT_DOUBLE_EQ(t->fregs[5], -1.0);
+}
+
+TEST(CoreExec, FpCompareAndConvert)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg ri = b.temp(), rlt = b.temp(), rle = b.temp(),
+               req = b.temp(), rcvt = b.temp();
+        FpReg f1 = b.ftemp(), f2 = b.ftemp();
+        b.li(ri, -7);
+        b.cvtIF(f1, ri);
+        b.li(ri, 7);
+        b.cvtIF(f2, ri);
+        b.flt(rlt, f1, f2);       // 1
+        b.fle(rle, f2, f1);       // 0
+        b.feq(req, f1, f1);       // 1
+        b.fneg(f2, f1);           // 7.0
+        b.cvtFI(rcvt, f2);        // 7
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[2], 1);
+    EXPECT_EQ(t->iregs[3], 0);
+    EXPECT_EQ(t->iregs[4], 1);
+    EXPECT_EQ(t->iregs[5], 7);
+}
+
+// ----- control flow -------------------------------------------------------------------
+
+TEST(CoreExec, LoopComputesSum)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg ri = b.temp(), rsum = b.temp(), rn = b.temp();
+        b.li(ri, 0);
+        b.li(rsum, 0);
+        b.li(rn, 100);
+        b.label("loop");
+        b.add(rsum, rsum, ri);
+        b.addi(ri, ri, 1);
+        b.blt(ri, rn, "loop");
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[2], 4950);
+}
+
+TEST(CoreExec, JalAndRet)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp();
+        b.li(r1, 1);
+        b.jal(regRa, "func");
+        b.addi(r1, r1, 100);      // runs after return
+        b.halt();
+        b.label("func");
+        b.addi(r1, r1, 10);
+        b.ret();
+    });
+    EXPECT_EQ(t->iregs[1], 111);
+}
+
+TEST(CoreExec, JalrJumpsThroughRegister)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp(), rtgt = b.temp();
+        Addr funcAddr = sys.os().codeBase(0) + 64; // known layout below
+        b.li(r1, 0);                     // 0
+        b.li(rtgt, int64_t(funcAddr));   // 1
+        b.jalr(regRa, rtgt);             // 2
+        b.addi(r1, r1, 100);             // 3
+        b.halt();                        // 4
+        while (b.here() < funcAddr)
+            b.nop();
+        b.addi(r1, r1, 10);
+        b.ret();
+    });
+    EXPECT_EQ(t->iregs[1], 110);
+}
+
+TEST(CoreExec, BranchVariants)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp(), rm1 = b.temp(), rflags = b.temp();
+        b.li(r1, 1);
+        b.li(rm1, -1);
+        b.li(rflags, 0);
+        b.bgeu(r1, rm1, "skip1");       // unsigned: 1 < 2^64-1, not taken
+        b.ori(rflags, rflags, 1);
+        b.label("skip1");
+        b.bltu(r1, rm1, "take1");       // taken
+        b.j("end");
+        b.label("take1");
+        b.ori(rflags, rflags, 2);
+        b.bge(rm1, r1, "end");          // signed: -1 < 1, not taken
+        b.ori(rflags, rflags, 4);
+        b.label("end");
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[3], 7);
+}
+
+// ----- memory ------------------------------------------------------------------------------
+
+TEST(CoreExec, StoreLoadRoundTrip)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), r2 = b.temp(), r3 = b.temp();
+        IntReg r4 = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(r1, 0x1122334455667788);
+        b.sd(r1, rb, 0);
+        b.ld(r2, rb, 0);
+        b.lw(r3, rb, 0);   // 0x55667788 sign bit clear
+        b.lb(r4, rb, 0);   // 0x88 -> sign-extended
+        b.halt();
+    });
+    EXPECT_EQ(uint64_t(t->iregs[3]), 0x1122334455667788ull);
+    EXPECT_EQ(t->iregs[4], 0x55667788);
+    EXPECT_EQ(t->iregs[5], int64_t(int8_t(0x88)));
+    EXPECT_EQ(sys.memory().read64(buf), 0x1122334455667788ull);
+}
+
+TEST(CoreExec, SubWordStores)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    sys.memory().write64(buf, ~0ull);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), r2 = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(r1, 0);
+        b.sb(r1, rb, 0);
+        b.sw(r1, rb, 4);
+        b.ld(r2, rb, 0);
+        b.halt();
+    });
+    EXPECT_EQ(uint64_t(t->iregs[3]), 0x00000000ffffff00ull);
+}
+
+TEST(CoreExec, FpLoadStore)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    sys.memory().writeDouble(buf, 2.5);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp();
+        FpReg f1 = b.ftemp(), f2 = b.ftemp();
+        b.li(rb, int64_t(buf));
+        b.fld(f1, rb, 0);
+        b.fadd(f2, f1, f1);
+        b.fsd(f2, rb, 8);
+        b.halt();
+    });
+    EXPECT_DOUBLE_EQ(t->fregs[0], 2.5);
+    EXPECT_DOUBLE_EQ(sys.memory().readDouble(buf + 8), 5.0);
+}
+
+TEST(CoreExec, StoreBufferForwarding)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), r2 = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(r1, 42);
+        b.sd(r1, rb, 0);
+        b.ld(r2, rb, 0);   // must see 42 via forwarding, store still buffered
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[2], 42);
+}
+
+TEST(CoreExec, LoadMissCostsMemoryLatency)
+{
+    CmpConfig cfg = miniConfig();
+    CmpSystem sys(cfg);
+    Addr buf = sys.os().allocData(64);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), r2 = b.temp();
+        b.li(rb, int64_t(buf));
+        b.ld(r1, rb, 0);
+        b.add(r2, r1, r1); // dependent: stalls until the fill
+        b.halt();
+    });
+    // Cold L1+L2+L3 miss: at least memory latency must have elapsed.
+    EXPECT_GE(t->haltTick, cfg.memLatency);
+}
+
+TEST(CoreExec, CacheHitIsFast)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), rc = b.temp(), rn = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(rc, 0);
+        b.li(rn, 100);
+        b.label("loop");
+        b.ld(r1, rb, 0);
+        b.addi(rc, rc, 1);
+        b.blt(rc, rn, "loop");
+        b.halt();
+    });
+    // 100 hit loads in a tight loop: a handful of cycles each, not ~150.
+    EXPECT_LT(t->haltTick, 1500u);
+}
+
+TEST(CoreExec, FenceDrainsStores)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(r1, 9);
+        b.sd(r1, rb, 0);
+        b.fence();
+        b.halt();
+    });
+    // After the fence retired the store must be globally performed.
+    EXPECT_EQ(sys.memory().read64(buf), 9u);
+    EXPECT_FALSE(t->barrierError);
+}
+
+TEST(CoreExec, LlScSucceedsUncontended)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    sys.memory().write64(buf, 5);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), rok = b.temp();
+        b.li(rb, int64_t(buf));
+        b.ll(r1, rb, 0);
+        b.addi(r1, r1, 1);
+        b.sc(rok, r1, rb, 0);
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[3], 1);
+    EXPECT_EQ(sys.memory().read64(buf), 6u);
+}
+
+TEST(CoreExec, ScWithoutLlFails)
+{
+    CmpSystem sys(miniConfig());
+    Addr buf = sys.os().allocData(64);
+    sys.memory().write64(buf, 5);
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg rb = b.temp(), r1 = b.temp(), rok = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(r1, 99);
+        b.sc(rok, r1, rb, 0);
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[3], 0);
+    EXPECT_EQ(sys.memory().read64(buf), 5u);
+}
+
+TEST(CoreExec, AtomicIncrementAcrossTwoCores)
+{
+    CmpSystem sys(miniConfig(2));
+    Addr buf = sys.os().allocData(64);
+    const int itersPerThread = 50;
+
+    for (CoreId c = 0; c < 2; ++c) {
+        ProgramBuilder b(sys.os().codeBase(c));
+        IntReg rb = b.temp(), r1 = b.temp(), rok = b.temp(),
+               rc = b.temp(), rn = b.temp();
+        b.li(rb, int64_t(buf));
+        b.li(rc, 0);
+        b.li(rn, itersPerThread);
+        b.label("loop");
+        b.ll(r1, rb, 0);
+        b.addi(r1, r1, 1);
+        b.sc(rok, r1, rb, 0);
+        b.beqz(rok, "loop");
+        b.addi(rc, rc, 1);
+        b.blt(rc, rn, "loop");
+        b.halt();
+        ThreadContext *t = sys.os().createThread(b.build());
+        sys.os().startThread(t, c);
+    }
+    sys.run();
+    EXPECT_EQ(sys.memory().read64(buf), uint64_t(2 * itersPerThread));
+}
+
+TEST(CoreExec, IsyncRefetches)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp();
+        b.li(r1, 1);
+        b.isync();
+        b.addi(r1, r1, 1);
+        b.halt();
+    });
+    EXPECT_EQ(t->iregs[1], 2);
+}
+
+TEST(CoreExec, InstructionCountTracked)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        IntReg r1 = b.temp();
+        b.li(r1, 1);
+        b.addi(r1, r1, 1);
+        b.nop();
+        b.halt();
+    });
+    EXPECT_EQ(t->instsExecuted, 4u);
+}
+
+TEST(CoreExec, HaltStopsThread)
+{
+    CmpSystem sys(miniConfig());
+    ThreadContext *t = runProgram(sys, [&](ProgramBuilder &b) {
+        b.halt();
+    });
+    EXPECT_TRUE(t->halted);
+    EXPECT_TRUE(sys.allThreadsHalted());
+}

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Barrier filter unit tests: the Figure 3 FSM, arrival counting, release
+ * staggering (one request per cycle), error transitions (Section 3.3.4),
+ * the hardware timeout, filter allocation/exhaustion, and the dedicated
+ * barrier network baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "filter/barrier_filter.hh"
+#include "filter/barrier_network.hh"
+#include "sim/log.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+constexpr Addr arrBase = 0x1000'0000;
+constexpr Addr exitBase = 0x1000'4000;
+constexpr Addr stride = 256; // 4 banks x 64B lines
+
+BarrierFilter::AddressMap
+makeMap(unsigned threads, bool startServicing = false)
+{
+    BarrierFilter::AddressMap m;
+    m.arrivalBase = arrBase;
+    m.exitBase = exitBase;
+    m.strideBytes = stride;
+    m.numThreads = threads;
+    m.startServicing = startServicing;
+    return m;
+}
+
+Msg
+fillMsg(Addr lineAddr, CoreId core)
+{
+    Msg m;
+    m.type = MsgType::GetS;
+    m.lineAddr = lineAddr;
+    m.core = core;
+    return m;
+}
+
+struct FilterHarness
+{
+    EventQueue eq;
+    StatGroup st;
+    FilterBank bank;
+    std::vector<Msg> released;
+    std::vector<Msg> nacked;
+    std::vector<std::string> errors;
+
+    explicit FilterHarness(unsigned numFilters = 4, bool strict = false,
+                           Tick timeout = 0)
+        : bank(eq, st, "filt", numFilters, strict, timeout)
+    {
+        bank.setReleaseHandler(
+            [this](const Msg &m) { released.push_back(m); });
+        bank.setNackHandler([this](const Msg &m) { nacked.push_back(m); });
+        bank.setErrorHook(
+            [this](const std::string &e) { errors.push_back(e); });
+    }
+};
+
+} // namespace
+
+TEST(FilterAddressing, SlotDecoding)
+{
+    BarrierFilter f;
+    f.initialize(makeMap(4));
+    EXPECT_EQ(f.arrivalSlot(arrBase).value(), 0u);
+    EXPECT_EQ(f.arrivalSlot(arrBase + 3 * stride).value(), 3u);
+    EXPECT_FALSE(f.arrivalSlot(arrBase + 4 * stride).has_value());
+    EXPECT_FALSE(f.arrivalSlot(arrBase + 64).has_value()); // other bank
+    EXPECT_EQ(f.exitSlot(exitBase + stride).value(), 1u);
+    EXPECT_FALSE(f.exitSlot(arrBase).has_value());
+}
+
+TEST(FilterFsm, FollowsPaperTransitions)
+{
+    FilterHarness h;
+    auto *f = h.bank.allocate(makeMap(2));
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Waiting);
+
+    // Thread 0 arrives: Waiting -> Blocking, counter = 1.
+    h.bank.onInvalidate(arrBase);
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Blocking);
+    EXPECT_EQ(f->arrivedCount(), 1u);
+
+    // Its fill is withheld.
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)),
+              FillAction::Blocked);
+    EXPECT_TRUE(f->fillPending(0));
+
+    // Thread 1 (last) arrives: barrier opens, all -> Servicing.
+    h.bank.onInvalidate(arrBase + stride);
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Servicing);
+    EXPECT_EQ(f->threadState(1), FilterThreadState::Servicing);
+    EXPECT_EQ(f->arrivedCount(), 0u);
+
+    // The withheld fill is re-injected.
+    h.eq.run();
+    ASSERT_EQ(h.released.size(), 1u);
+    EXPECT_EQ(h.released[0].lineAddr, arrBase);
+
+    // Fills now pass; exit invalidations re-arm.
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)), FillAction::Pass);
+    h.bank.onInvalidate(exitBase);
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Waiting);
+    EXPECT_EQ(f->threadState(1), FilterThreadState::Servicing);
+    h.bank.onInvalidate(exitBase + stride);
+    EXPECT_EQ(f->threadState(1), FilterThreadState::Waiting);
+    EXPECT_EQ(f->openCount(), 1u);
+}
+
+TEST(FilterFsm, LastArrivalNeverBlocks)
+{
+    FilterHarness h;
+    auto *f = h.bank.allocate(makeMap(3));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase + stride);
+    EXPECT_EQ(f->arrivedCount(), 2u);
+    // Last thread goes straight Waiting -> Servicing.
+    h.bank.onInvalidate(arrBase + 2 * stride);
+    EXPECT_EQ(f->threadState(2), FilterThreadState::Servicing);
+}
+
+TEST(FilterFsm, ReleasesOneFillPerCycle)
+{
+    FilterHarness h;
+    h.bank.allocate(makeMap(4));
+    for (unsigned t = 0; t < 3; ++t) {
+        h.bank.onInvalidate(arrBase + t * stride);
+        EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase + t * stride,
+                                               CoreId(t))),
+                  FillAction::Blocked);
+    }
+    std::vector<Tick> releaseTicks;
+    h.bank.setReleaseHandler([&](const Msg &) {
+        releaseTicks.push_back(h.eq.now());
+    });
+    h.bank.onInvalidate(arrBase + 3 * stride); // opens
+    h.eq.run();
+    ASSERT_EQ(releaseTicks.size(), 3u);
+    // Staggered at one per cycle (Table 2).
+    EXPECT_EQ(releaseTicks[1], releaseTicks[0] + 1);
+    EXPECT_EQ(releaseTicks[2], releaseTicks[1] + 1);
+}
+
+TEST(FilterFsm, FillWhileServicingPasses)
+{
+    FilterHarness h;
+    auto *f = h.bank.allocate(makeMap(1));
+    h.bank.onInvalidate(arrBase); // 1-thread barrier opens immediately
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Servicing);
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)), FillAction::Pass);
+}
+
+TEST(FilterFsm, UnrelatedAddressesPassThrough)
+{
+    FilterHarness h;
+    h.bank.allocate(makeMap(2));
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(0x4000'0000, 0)),
+              FillAction::Pass);
+    h.bank.onInvalidate(0x4000'0000); // no effect, no error
+    EXPECT_TRUE(h.errors.empty());
+}
+
+TEST(FilterFsm, LenientModeToleratesRepeats)
+{
+    FilterHarness h(4, /*strict=*/false);
+    auto *f = h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase); // repeat arrival while Blocking
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Blocking);
+    EXPECT_EQ(f->arrivedCount(), 1u);
+    EXPECT_TRUE(h.errors.empty());
+}
+
+// ----- Section 3.3.4 error transitions (strict mode) -------------------------
+
+TEST(FilterErrors, FillWhileWaitingFaults)
+{
+    FilterHarness h(4, /*strict=*/true);
+    h.bank.allocate(makeMap(2));
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)), FillAction::Error);
+    EXPECT_EQ(h.errors.size(), 1u);
+}
+
+TEST(FilterErrors, ArrivalInvalidateWhileBlockingFaults)
+{
+    FilterHarness h(4, /*strict=*/true);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase);
+    EXPECT_EQ(h.errors.size(), 1u);
+}
+
+TEST(FilterErrors, ArrivalInvalidateWhileServicingFaults)
+{
+    FilterHarness h(4, /*strict=*/true);
+    auto *f = h.bank.allocate(makeMap(1));
+    h.bank.onInvalidate(arrBase);
+    ASSERT_EQ(f->threadState(0), FilterThreadState::Servicing);
+    h.bank.onInvalidate(arrBase);
+    EXPECT_EQ(h.errors.size(), 1u);
+}
+
+TEST(FilterErrors, ExitInvalidateWhileWaitingFaults)
+{
+    FilterHarness h(4, /*strict=*/true);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(exitBase);
+    EXPECT_EQ(h.errors.size(), 1u);
+}
+
+TEST(FilterErrors, ExitInvalidateWhileBlockingFaults)
+{
+    FilterHarness h(4, /*strict=*/true);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(exitBase);
+    EXPECT_EQ(h.errors.size(), 1u);
+}
+
+// ----- hardware timeout (Section 3.3.4) -----------------------------------------
+
+TEST(FilterTimeout, NacksLongBlockedFill)
+{
+    FilterHarness h(4, false, /*timeout=*/100);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)),
+              FillAction::Blocked);
+    h.eq.run();
+    ASSERT_EQ(h.nacked.size(), 1u);
+    EXPECT_EQ(h.nacked[0].type, MsgType::NackError);
+    EXPECT_EQ(h.nacked[0].lineAddr, arrBase);
+}
+
+TEST(FilterTimeout, NoNackWhenBarrierOpensInTime)
+{
+    FilterHarness h(4, false, /*timeout=*/1000);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+    h.eq.schedule(10, [&] { h.bank.onInvalidate(arrBase + stride); });
+    h.eq.run();
+    EXPECT_TRUE(h.nacked.empty());
+    EXPECT_EQ(h.released.size(), 1u);
+}
+
+// ----- allocation / swap ---------------------------------------------------------
+
+TEST(FilterBankAlloc, ExhaustsAndReleases)
+{
+    FilterHarness h(2);
+    auto *f0 = h.bank.allocate(makeMap(2));
+    auto m1 = makeMap(2);
+    m1.arrivalBase += 0x8000;
+    m1.exitBase += 0x8000;
+    auto *f1 = h.bank.allocate(m1);
+    ASSERT_NE(f0, nullptr);
+    ASSERT_NE(f1, nullptr);
+    EXPECT_EQ(h.bank.freeFilters(), 0u);
+    EXPECT_EQ(h.bank.allocate(makeMap(2)), nullptr);
+    h.bank.release(f0);
+    EXPECT_EQ(h.bank.freeFilters(), 1u);
+    EXPECT_NE(h.bank.allocate(makeMap(2)), nullptr);
+}
+
+TEST(FilterBankAlloc, SwapOutWithBlockedThreadFaults)
+{
+    FilterHarness h(1);
+    auto *f = h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    EXPECT_THROW(h.bank.release(f), FatalError);
+}
+
+TEST(FilterBankAlloc, StartServicingInitialState)
+{
+    FilterHarness h;
+    auto *f = h.bank.allocate(makeMap(2, /*startServicing=*/true));
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Servicing);
+    // An exit invalidation is legal immediately (ping-pong pair, first
+    // invocation).
+    h.bank.onInvalidate(exitBase);
+    EXPECT_EQ(f->threadState(0), FilterThreadState::Waiting);
+    EXPECT_TRUE(h.errors.empty());
+}
+
+TEST(FilterBankAlloc, ReplacedPendingFillKeepsNewest)
+{
+    FilterHarness h;
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    Msg first = fillMsg(arrBase, 0);
+    first.id = 111;
+    Msg second = fillMsg(arrBase, 0);
+    second.id = 222;
+    EXPECT_EQ(h.bank.onFillRequest(first), FillAction::Blocked);
+    EXPECT_EQ(h.bank.onFillRequest(second), FillAction::Blocked);
+    h.bank.onInvalidate(arrBase + stride);
+    h.eq.run();
+    ASSERT_EQ(h.released.size(), 1u);
+    EXPECT_EQ(h.released[0].id, 222u);
+}
+
+// ----- ping-pong cross-wiring -------------------------------------------------------
+
+TEST(FilterPingPong, ArrivalOfOneExitsTheOther)
+{
+    FilterHarness h;
+    auto mapA = makeMap(2);
+    BarrierFilter::AddressMap mapB = mapA;
+    mapB.arrivalBase = mapA.exitBase;
+    mapB.exitBase = mapA.arrivalBase;
+    mapB.startServicing = true;
+    auto *fa = h.bank.allocate(mapA);
+    auto *fb = h.bank.allocate(mapB);
+
+    // Invocation 1: invalidate A's arrival lines = B's exit lines.
+    h.bank.onInvalidate(arrBase);
+    EXPECT_EQ(fa->threadState(0), FilterThreadState::Blocking);
+    EXPECT_EQ(fb->threadState(0), FilterThreadState::Waiting);
+    h.bank.onInvalidate(arrBase + stride);
+    EXPECT_EQ(fa->threadState(1), FilterThreadState::Servicing);
+
+    // Invocation 2: B's arrival lines = A's exit lines.
+    h.bank.onInvalidate(exitBase);
+    EXPECT_EQ(fb->threadState(0), FilterThreadState::Blocking);
+    EXPECT_EQ(fa->threadState(0), FilterThreadState::Waiting);
+    h.bank.onInvalidate(exitBase + stride);
+    EXPECT_EQ(fb->threadState(1), FilterThreadState::Servicing);
+    EXPECT_TRUE(h.errors.empty());
+}
+
+// ----- dedicated network baseline ------------------------------------------------------
+
+TEST(BarrierNetwork, ReleasesAfterAllArrive)
+{
+    EventQueue eq;
+    StatGroup st;
+    BarrierNetwork net(eq, st, 2, 1);
+    int id = net.createBarrier(3);
+    std::vector<Tick> released;
+    for (CoreId c = 0; c < 3; ++c)
+        net.arrive(id, c, [&] { released.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(released.size(), 3u);
+    // Last signal lands at 2, release broadcast takes 2 + 1 restart.
+    for (Tick t : released)
+        EXPECT_EQ(t, 5u);
+}
+
+TEST(BarrierNetwork, ReusableAcrossEpisodes)
+{
+    EventQueue eq;
+    StatGroup st;
+    BarrierNetwork net(eq, st, 2, 1);
+    int id = net.createBarrier(2);
+    int releases = 0;
+    for (int round = 0; round < 3; ++round) {
+        net.arrive(id, 0, [&] { ++releases; });
+        net.arrive(id, 1, [&] { ++releases; });
+        eq.run();
+    }
+    EXPECT_EQ(releases, 6);
+}
+
+TEST(BarrierNetwork, SeparateBarriersIndependent)
+{
+    EventQueue eq;
+    StatGroup st;
+    BarrierNetwork net(eq, st, 2, 1);
+    int a = net.createBarrier(2);
+    int b = net.createBarrier(1);
+    bool aDone = false, bDone = false;
+    net.arrive(a, 0, [&] { aDone = true; });
+    net.arrive(b, 2, [&] { bDone = true; });
+    eq.run();
+    EXPECT_FALSE(aDone);
+    EXPECT_TRUE(bDone);
+    net.arrive(a, 1, [&] { aDone = true; });
+    eq.run();
+    EXPECT_TRUE(aDone);
+}
+
+TEST(BarrierNetwork, DestroyBusyBarrierFaults)
+{
+    EventQueue eq;
+    StatGroup st;
+    BarrierNetwork net(eq, st, 2, 1);
+    int id = net.createBarrier(2);
+    net.arrive(id, 0, [] {});
+    eq.run();
+    EXPECT_THROW(net.destroyBarrier(id), FatalError);
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * ISA infrastructure unit tests: opcode metadata, the disassembler, the
+ * Program image (sections, lookup, overlap detection), and the
+ * ProgramBuilder (labels, fixups, sections, register allocation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+#include "sim/log.hh"
+
+using namespace bfsim;
+
+// ----- opcode metadata -----------------------------------------------------------
+
+TEST(OpcodeMeta, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        std::string n = opcodeName(Opcode(i));
+        EXPECT_FALSE(n.empty());
+        EXPECT_NE(n, "???") << "opcode " << i;
+        EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+    }
+}
+
+TEST(OpcodeMeta, MemAndControlClassesAreDisjoint)
+{
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        Opcode op = Opcode(i);
+        EXPECT_FALSE(isMemOp(op) && isControlOp(op)) << opcodeName(op);
+    }
+}
+
+TEST(OpcodeMeta, WritersAreConsistent)
+{
+    EXPECT_TRUE(writesIntReg(Opcode::Add));
+    EXPECT_TRUE(writesIntReg(Opcode::Ld));
+    EXPECT_TRUE(writesIntReg(Opcode::Sc));
+    EXPECT_TRUE(writesIntReg(Opcode::Jalr));
+    EXPECT_FALSE(writesIntReg(Opcode::Sd));
+    EXPECT_FALSE(writesIntReg(Opcode::Beq));
+    EXPECT_TRUE(writesFpReg(Opcode::Fld));
+    EXPECT_TRUE(writesFpReg(Opcode::CvtIF));
+    EXPECT_FALSE(writesFpReg(Opcode::CvtFI));
+    // No opcode writes both files.
+    for (unsigned i = 0; i < unsigned(Opcode::NumOpcodes); ++i) {
+        Opcode op = Opcode(i);
+        EXPECT_FALSE(writesIntReg(op) && writesFpReg(op)) << opcodeName(op);
+    }
+}
+
+// ----- disassembler ---------------------------------------------------------------
+
+TEST(Disassembler, RendersCommonForms)
+{
+    EXPECT_EQ(disassemble({Opcode::Add, 1, 2, 3, 0}), "add x1, x2, x3");
+    EXPECT_EQ(disassemble({Opcode::Addi, 1, 2, 0, -5}), "addi x1, x2, -5");
+    EXPECT_EQ(disassemble({Opcode::Li, 7, 0, 0, 42}), "li x7, 42");
+    EXPECT_EQ(disassemble({Opcode::Ld, 4, 5, 0, 16}), "ld x4, 16(x5)");
+    EXPECT_EQ(disassemble({Opcode::Sd, 0, 5, 6, 8}), "sd x6, 8(x5)");
+    EXPECT_EQ(disassemble({Opcode::Fld, 2, 5, 0, 0}), "fld f2, 0(x5)");
+    EXPECT_EQ(disassemble({Opcode::Fadd, 1, 2, 3, 0}), "fadd f1, f2, f3");
+    EXPECT_EQ(disassemble({Opcode::Halt, 0, 0, 0, 0}), "halt");
+    EXPECT_EQ(disassemble({Opcode::Dcbi, 0, 9, 0, 0}), "dcbi 0(x9)");
+    EXPECT_EQ(disassemble({Opcode::Hbar, 0, 0, 0, 3}), "hbar 3");
+}
+
+TEST(Disassembler, BranchTargetsInHex)
+{
+    std::string s = disassemble({Opcode::Beq, 0, 1, 2, 0x1000});
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+}
+
+// ----- Program --------------------------------------------------------------------
+
+TEST(Program, FetchAndContains)
+{
+    ProgramBuilder b(0x1000);
+    b.li(IntReg{1}, 5);
+    b.halt();
+    auto p = b.build();
+    EXPECT_TRUE(p->contains(0x1000));
+    EXPECT_TRUE(p->contains(0x1004));
+    EXPECT_FALSE(p->contains(0x1008));
+    EXPECT_EQ(p->fetch(0x1000).op, Opcode::Li);
+    EXPECT_EQ(p->fetch(0x1004).op, Opcode::Halt);
+    EXPECT_EQ(p->size(), 2u);
+}
+
+TEST(Program, MisalignedFetchFaults)
+{
+    ProgramBuilder b(0x1000);
+    b.halt();
+    auto p = b.build();
+    EXPECT_THROW(p->fetch(0x1002), FatalError);
+}
+
+TEST(Program, OutOfImageFetchFaults)
+{
+    ProgramBuilder b(0x1000);
+    b.halt();
+    auto p = b.build();
+    EXPECT_THROW(p->fetch(0x2000), FatalError);
+}
+
+TEST(Program, OverlappingSectionsRejected)
+{
+    ProgramBuilder b(0x1000);
+    b.nop();
+    b.nop();
+    b.beginSection(0x1004); // overlaps the first section's second inst
+    b.nop();
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Program, MultipleSectionsLookup)
+{
+    ProgramBuilder b(0x1000);
+    b.halt();
+    b.beginSection(0x8000);
+    b.nop();
+    b.halt();
+    auto p = b.build();
+    EXPECT_EQ(p->fetch(0x8000).op, Opcode::Nop);
+    EXPECT_EQ(p->fetch(0x8004).op, Opcode::Halt);
+    EXPECT_EQ(p->entry(), 0x1000u);
+    EXPECT_EQ(p->size(), 3u);
+}
+
+TEST(Program, ListingMentionsEveryInstruction)
+{
+    ProgramBuilder b(0x1000);
+    b.li(IntReg{1}, 77);
+    b.halt();
+    std::string listing = b.build()->listing();
+    EXPECT_NE(listing.find("li x1, 77"), std::string::npos);
+    EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+// ----- ProgramBuilder --------------------------------------------------------------
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b(0x1000);
+    IntReg r = b.temp();
+    b.j("fwd");           // forward reference
+    b.label("back");
+    b.halt();
+    b.label("fwd");
+    b.li(r, 1);
+    b.j("back");          // backward reference
+    auto p = b.build();
+    EXPECT_EQ(Addr(p->fetch(0x1000).imm), 0x1008u);
+    EXPECT_EQ(Addr(p->fetch(0x100c).imm), 0x1004u);
+}
+
+TEST(Builder, UndefinedLabelFaults)
+{
+    ProgramBuilder b(0x1000);
+    b.j("nowhere");
+    EXPECT_THROW(b.build(), FatalError);
+}
+
+TEST(Builder, DuplicateLabelFaults)
+{
+    ProgramBuilder b(0x1000);
+    b.label("x");
+    b.nop();
+    EXPECT_THROW(b.label("x"), FatalError);
+}
+
+TEST(Builder, EntryByLabel)
+{
+    ProgramBuilder b(0x1000);
+    b.halt();
+    b.label("start");
+    b.nop();
+    b.halt();
+    auto p = b.build("start");
+    EXPECT_EQ(p->entry(), 0x1004u);
+}
+
+TEST(Builder, HereTracksEmission)
+{
+    ProgramBuilder b(0x1000);
+    EXPECT_EQ(b.here(), 0x1000u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 0x1008u);
+    b.beginSection(0x4000);
+    EXPECT_EQ(b.here(), 0x4000u);
+}
+
+TEST(Builder, TempAllocationStopsAtReservedRange)
+{
+    ProgramBuilder b(0x1000);
+    for (unsigned i = 1; i < regBarrierFirst; ++i)
+        b.temp();
+    EXPECT_THROW(b.temp(), FatalError);
+}
+
+TEST(Builder, SectionResumption)
+{
+    ProgramBuilder b(0x1000);
+    b.nop();                 // 0x1000
+    b.beginSection(0x4000);
+    b.nop();                 // 0x4000
+    b.beginSection(0x1000);  // resume the first section
+    b.halt();                // 0x1004
+    auto p = b.build();
+    EXPECT_EQ(p->fetch(0x1004).op, Opcode::Halt);
+}
+
+TEST(Builder, MisalignedSectionFaults)
+{
+    ProgramBuilder b(0x1000);
+    EXPECT_THROW(b.beginSection(0x1002), FatalError);
+}
+
+TEST(Builder, CrossSectionBranches)
+{
+    ProgramBuilder b(0x1000);
+    b.jal(regRa, "island");
+    b.halt();
+    b.beginSection(0x9000);
+    b.label("island");
+    b.ret();
+    auto p = b.build();
+    EXPECT_EQ(Addr(p->fetch(0x1000).imm), 0x9000u);
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Kernel correctness tests: every kernel's sequential and barrier-parallel
+ * programs must reproduce the host-side golden reference, across sizes,
+ * thread counts, and barrier mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/workload.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+testConfig(unsigned cores = 8)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 16 * 1024;
+    cfg.l2SizeBytes = 128 * 1024;
+    cfg.l3SizeBytes = 512 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+// ----- sequential correctness ---------------------------------------------------
+
+struct SeqCase
+{
+    KernelId id;
+    uint64_t n;
+};
+
+class KernelSequential : public ::testing::TestWithParam<SeqCase>
+{
+};
+
+TEST_P(KernelSequential, MatchesReference)
+{
+    KernelParams p;
+    p.n = GetParam().n;
+    p.reps = 2;
+    auto run = runKernel(testConfig(1), GetParam().id, p, false);
+    EXPECT_TRUE(run.correct) << kernelName(GetParam().id);
+    EXPECT_GT(run.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KernelSequential,
+    ::testing::Values(SeqCase{KernelId::Livermore2, 16},
+                      SeqCase{KernelId::Livermore2, 64},
+                      SeqCase{KernelId::Livermore2, 200},
+                      SeqCase{KernelId::Livermore3, 8},
+                      SeqCase{KernelId::Livermore3, 100},
+                      SeqCase{KernelId::Livermore3, 256},
+                      SeqCase{KernelId::Livermore6, 8},
+                      SeqCase{KernelId::Livermore6, 33},
+                      SeqCase{KernelId::Livermore6, 64},
+                      SeqCase{KernelId::Autocorr, 64},
+                      SeqCase{KernelId::Autocorr, 300},
+                      SeqCase{KernelId::Livermore1, 64},
+                      SeqCase{KernelId::Livermore1, 500},
+                      SeqCase{KernelId::Livermore5, 64},
+                      SeqCase{KernelId::Livermore5, 300},
+                      SeqCase{KernelId::Viterbi, 32},
+                      SeqCase{KernelId::Viterbi, 100}),
+    [](const ::testing::TestParamInfo<SeqCase> &info) {
+        return std::string(kernelName(info.param.id)) + "_n" +
+               std::to_string(info.param.n);
+    });
+
+// ----- parallel correctness across mechanisms ------------------------------------
+
+struct ParCase
+{
+    KernelId id;
+    uint64_t n;
+    unsigned threads;
+    BarrierKind kind;
+};
+
+class KernelParallel : public ::testing::TestWithParam<ParCase>
+{
+};
+
+TEST_P(KernelParallel, MatchesReference)
+{
+    const ParCase &c = GetParam();
+    KernelParams p;
+    p.n = c.n;
+    p.reps = 2;
+    auto run =
+        runKernel(testConfig(c.threads), c.id, p, true, c.kind, c.threads);
+    EXPECT_TRUE(run.correct)
+        << kernelName(c.id) << " with " << barrierKindName(c.kind);
+}
+
+namespace
+{
+
+std::vector<ParCase>
+parallelCases()
+{
+    std::vector<ParCase> cases;
+    // Every kernel x every mechanism at a fixed medium size.
+    for (KernelId id : {KernelId::Livermore2, KernelId::Livermore3,
+                        KernelId::Livermore6, KernelId::Autocorr,
+                        KernelId::Viterbi}) {
+        for (BarrierKind k : allBarrierKinds())
+            cases.push_back({id, 96, 4, k});
+    }
+    // Contrast kernels: every mechanism at a medium size.
+    for (BarrierKind k : allBarrierKinds()) {
+        cases.push_back({KernelId::Livermore1, 96, 4, k});
+        cases.push_back({KernelId::Livermore5, 96, 4, k});
+    }
+    // Size / thread sweeps with the headline mechanism.
+    for (uint64_t n : {16ull, 40ull, 128ull, 256ull})
+        for (unsigned t : {2u, 3u, 8u})
+            cases.push_back({KernelId::Livermore3, n, t,
+                             BarrierKind::FilterDCache});
+    for (uint64_t n : {16ull, 63ull, 128ull})
+        cases.push_back({KernelId::Livermore2, n, 8,
+                         BarrierKind::FilterICache});
+    for (uint64_t n : {9ull, 32ull, 80ull})
+        cases.push_back({KernelId::Livermore6, n, 8,
+                         BarrierKind::FilterDCachePP});
+    for (unsigned t : {2u, 8u})
+        cases.push_back({KernelId::Autocorr, 256, t,
+                         BarrierKind::FilterICachePP});
+    for (unsigned t : {2u, 4u, 8u})
+        cases.push_back({KernelId::Viterbi, 64, t, BarrierKind::SwTree});
+    return cases;
+}
+
+std::string
+parCaseName(const ::testing::TestParamInfo<ParCase> &info)
+{
+    std::string k = barrierKindName(info.param.kind);
+    for (auto &c : k)
+        if (c == '-')
+            c = '_';
+    return std::string(kernelName(info.param.id)) + "_n" +
+           std::to_string(info.param.n) + "_t" +
+           std::to_string(info.param.threads) + "_" + k;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Matrix, KernelParallel,
+                         ::testing::ValuesIn(parallelCases()),
+                         parCaseName);
+
+// ----- behavioural expectations ----------------------------------------------------
+
+TEST(KernelBehaviour, ParallelFasterThanSequentialOnBigAutocorr)
+{
+    KernelParams p;
+    p.n = 512;
+    p.reps = 2;
+    auto seq = runKernel(testConfig(8), KernelId::Autocorr, p, false);
+    auto par = runKernel(testConfig(8), KernelId::Autocorr, p, true,
+                         BarrierKind::FilterDCache, 8);
+    ASSERT_TRUE(seq.correct);
+    ASSERT_TRUE(par.correct);
+    EXPECT_LT(par.cycles, seq.cycles);
+}
+
+TEST(KernelBehaviour, TinyVectorFavorsSequential)
+{
+    // With 16-element vectors the barrier cost dominates: sequential wins
+    // (the crossover the paper's Figures 7/8 illustrate).
+    KernelParams p;
+    p.n = 16;
+    p.reps = 2;
+    auto seq = runKernel(testConfig(8), KernelId::Livermore3, p, false);
+    auto par = runKernel(testConfig(8), KernelId::Livermore3, p, true,
+                         BarrierKind::SwCentral, 8);
+    ASSERT_TRUE(seq.correct);
+    ASSERT_TRUE(par.correct);
+    EXPECT_LT(seq.cycles, par.cycles);
+}
+
+TEST(KernelBehaviour, EmbarrassinglyParallelScalesEvenWithSlowBarriers)
+{
+    // Livermore loop 1: one closing barrier per repetition, so even the
+    // software centralized barrier yields a solid speedup (Section 4.4's
+    // reason for excluding it).
+    KernelParams p;
+    p.n = 4096;
+    p.reps = 2;
+    auto seq = runKernel(testConfig(8), KernelId::Livermore1, p, false);
+    auto par = runKernel(testConfig(8), KernelId::Livermore1, p, true,
+                         BarrierKind::SwCentral, 8);
+    ASSERT_TRUE(seq.correct);
+    ASSERT_TRUE(par.correct);
+    EXPECT_GT(double(seq.cycles) / double(par.cycles), 3.0);
+}
+
+TEST(KernelBehaviour, SerialKernelGainsNothingFromThreads)
+{
+    KernelParams p;
+    p.n = 512;
+    p.reps = 2;
+    auto seq = runKernel(testConfig(8), KernelId::Livermore5, p, false);
+    auto par = runKernel(testConfig(8), KernelId::Livermore5, p, true,
+                         BarrierKind::FilterDCache, 8);
+    ASSERT_TRUE(seq.correct);
+    ASSERT_TRUE(par.correct);
+    EXPECT_GE(par.cycles, seq.cycles); // at best break-even
+}
+
+TEST(KernelBehaviour, InstructionsScaleWithWork)
+{
+    KernelParams small;
+    small.n = 32;
+    small.reps = 1;
+    KernelParams big;
+    big.n = 128;
+    big.reps = 1;
+    auto s = runKernel(testConfig(1), KernelId::Livermore3, small, false);
+    auto b = runKernel(testConfig(1), KernelId::Livermore3, big, false);
+    EXPECT_GT(b.instructions, s.instructions * 3);
+}

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Memory-system unit tests: functional memory, cache tag array, MSHR
+ * file, bus occupancy/ordering, and L3 behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/cache_array.hh"
+#include "mem/l3_cache.hh"
+#include "mem/memory.hh"
+#include "mem/mshr.hh"
+#include "sim/event_queue.hh"
+
+using namespace bfsim;
+
+// ----- functional memory ---------------------------------------------------------
+
+TEST(MainMemory, ReadsZeroWhenUntouched)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 100, 4);
+    EXPECT_EQ(mem.read64(0x1234), 0u);
+    EXPECT_EQ(mem.read8(0xdeadbeef), 0u);
+}
+
+TEST(MainMemory, RoundTripsScalars)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 100, 4);
+    mem.write8(10, 0xab);
+    mem.write16(12, 0xcdef);
+    mem.write32(16, 0x11223344);
+    mem.write64(24, 0x5566778899aabbccull);
+    mem.writeDouble(32, 3.25);
+    EXPECT_EQ(mem.read8(10), 0xab);
+    EXPECT_EQ(mem.read16(12), 0xcdef);
+    EXPECT_EQ(mem.read32(16), 0x11223344u);
+    EXPECT_EQ(mem.read64(24), 0x5566778899aabbccull);
+    EXPECT_DOUBLE_EQ(mem.readDouble(32), 3.25);
+}
+
+TEST(MainMemory, BlockCrossesPages)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 100, 4);
+    std::vector<uint8_t> out(16, 0);
+    std::vector<uint8_t> in(16);
+    for (int i = 0; i < 16; ++i)
+        in[i] = uint8_t(i + 1);
+    Addr a = MainMemory::pageBytes - 8; // straddles the page boundary
+    mem.writeBlock(a, in.data(), in.size());
+    mem.readBlock(a, out.data(), out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(MainMemory, TimedAccessHonorsLatency)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 138, 4);
+    Tick done = 0;
+    mem.timedAccess(0x40, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 138u);
+}
+
+TEST(MainMemory, ChannelSerializesRequests)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 100, 10);
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i)
+        mem.timedAccess(Addr(i) * 64, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], 100u);
+    EXPECT_EQ(done[1], 110u);
+    EXPECT_EQ(done[2], 120u);
+}
+
+// ----- cache tag array ----------------------------------------------------------------
+
+namespace
+{
+struct Tag
+{
+    int v = 0;
+};
+} // namespace
+
+TEST(CacheArray, MissThenInstallHits)
+{
+    CacheArray<Tag> arr(CacheGeometry{1024, 2, 64});
+    EXPECT_EQ(arr.find(0x100), nullptr);
+    auto *way = arr.victimFor(0x100);
+    ASSERT_NE(way, nullptr);
+    arr.install(way, 0x100);
+    EXPECT_NE(arr.find(0x100), nullptr);
+    EXPECT_EQ(arr.validCount(), 1u);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    // 2-way, 64B lines, 8 sets: addresses 64*8 apart collide.
+    CacheArray<Tag> arr(CacheGeometry{1024, 2, 64});
+    Addr a = 0x0, b = a + 1024, c = b + 1024; // same set
+    arr.install(arr.victimFor(a), a);
+    arr.install(arr.victimFor(b), b);
+    arr.findAndTouch(a);             // make b the LRU way
+    auto *victim = arr.victimFor(c);
+    ASSERT_TRUE(victim->valid);
+    EXPECT_EQ(victim->addr, b);
+}
+
+TEST(CacheArray, VictimAmongSkipsExcluded)
+{
+    CacheArray<Tag> arr(CacheGeometry{1024, 2, 64});
+    Addr a = 0x0, b = a + 1024, c = b + 1024;
+    arr.install(arr.victimFor(a), a);
+    arr.install(arr.victimFor(b), b);
+    auto *v = arr.victimAmong(c, [&](const auto &l) { return l.addr != a; });
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->addr, b);
+    auto *none = arr.victimAmong(c, [](const auto &) { return false; });
+    EXPECT_EQ(none, nullptr);
+}
+
+TEST(CacheArray, InvalidateRemovesLine)
+{
+    CacheArray<Tag> arr(CacheGeometry{1024, 2, 64});
+    arr.install(arr.victimFor(0x40), 0x40);
+    EXPECT_TRUE(arr.invalidate(0x40));
+    EXPECT_FALSE(arr.invalidate(0x40));
+    EXPECT_EQ(arr.find(0x40), nullptr);
+}
+
+TEST(CacheArray, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheArray<Tag>(CacheGeometry{1000, 3, 64}), FatalError);
+    EXPECT_THROW(CacheArray<Tag>(CacheGeometry{0, 2, 64}), FatalError);
+}
+
+TEST(CacheArray, SetIndexingSeparatesSets)
+{
+    CacheArray<Tag> arr(CacheGeometry{1024, 2, 64});
+    // 3 lines in different sets never evict each other.
+    arr.install(arr.victimFor(0x00), 0x00);
+    arr.install(arr.victimFor(0x40), 0x40);
+    arr.install(arr.victimFor(0x80), 0x80);
+    EXPECT_EQ(arr.validCount(), 3u);
+}
+
+// ----- MSHR file ----------------------------------------------------------------------------
+
+TEST(Mshr, AllocateFindRelease)
+{
+    MshrFile m(2);
+    EXPECT_FALSE(m.full());
+    auto *e = m.allocate(0x40, MsgType::GetS);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(m.find(0x40), e);
+    EXPECT_EQ(m.inUse(), 1u);
+    m.release(e);
+    EXPECT_EQ(m.find(0x40), nullptr);
+    EXPECT_EQ(m.inUse(), 0u);
+}
+
+TEST(Mshr, FullFileRefuses)
+{
+    MshrFile m(2);
+    EXPECT_NE(m.allocate(0x40, MsgType::GetS), nullptr);
+    EXPECT_NE(m.allocate(0x80, MsgType::GetX), nullptr);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(0xc0, MsgType::GetS), nullptr);
+}
+
+TEST(Mshr, DuplicateAllocationPanics)
+{
+    MshrFile m(2);
+    m.allocate(0x40, MsgType::GetS);
+    EXPECT_THROW(m.allocate(0x40, MsgType::GetS), PanicError);
+}
+
+// ----- bus ---------------------------------------------------------------------------------------
+
+TEST(Bus, CommandMessagesTakeOneCycle)
+{
+    EventQueue eq;
+    StatGroup st;
+    Bus bus(eq, st, "t", 64, 16, 2);
+    Msg m;
+    m.type = MsgType::GetS;
+    EXPECT_EQ(bus.occupancy(m), 1u);
+    m.type = MsgType::DataS;
+    EXPECT_EQ(bus.occupancy(m), 4u); // 64B at 16B/cycle
+    m.type = MsgType::DataX;
+    m.hadShared = true;
+    EXPECT_EQ(bus.occupancy(m), 1u); // upgrade carries no data
+}
+
+TEST(Bus, DeliversAfterOccupancyPlusPropagation)
+{
+    EventQueue eq;
+    StatGroup st;
+    Bus bus(eq, st, "t", 64, 16, 2);
+    Msg m;
+    m.type = MsgType::GetS;
+    Tick at = 0;
+    bus.send(m, [&](const Msg &) { at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(at, 3u); // 1 occupancy + 2 propagation
+}
+
+TEST(Bus, SerializesBackToBack)
+{
+    EventQueue eq;
+    StatGroup st;
+    Bus bus(eq, st, "t", 64, 16, 0);
+    std::vector<Tick> at;
+    Msg d;
+    d.type = MsgType::DataS;
+    for (int i = 0; i < 3; ++i)
+        bus.send(d, [&](const Msg &) { at.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(at.size(), 3u);
+    EXPECT_EQ(at[0], 4u);
+    EXPECT_EQ(at[1], 8u);
+    EXPECT_EQ(at[2], 12u);
+    EXPECT_EQ(bus.busyCycles(), 12u);
+}
+
+TEST(Bus, PreservesFifoOrderAcrossTypes)
+{
+    EventQueue eq;
+    StatGroup st;
+    Bus bus(eq, st, "t", 64, 16, 1);
+    std::vector<int> order;
+    Msg d;
+    d.type = MsgType::DataS; // slow
+    Msg c;
+    c.type = MsgType::GetS;  // fast
+    bus.send(d, [&](const Msg &) { order.push_back(0); });
+    bus.send(c, [&](const Msg &) { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+// ----- L3 ------------------------------------------------------------------------------------------
+
+TEST(L3Cache, MissGoesToDramThenHits)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 138, 4);
+    L3Cache l3(eq, st, mem, CacheGeometry{64 * 1024, 2, 64}, 38);
+
+    Tick missDone = 0, hitDone = 0;
+    l3.access(0x1000, [&] { missDone = eq.now(); });
+    eq.run();
+    EXPECT_EQ(missDone, 38u + 138u);
+    EXPECT_TRUE(l3.hasLine(0x1000));
+
+    l3.access(0x1000, [&] { hitDone = eq.now(); });
+    eq.run();
+    EXPECT_EQ(hitDone, missDone + 38);
+    EXPECT_EQ(st.counterValue("l3.hits"), 1u);
+    EXPECT_EQ(st.counterValue("l3.misses"), 1u);
+}
+
+TEST(L3Cache, WritebackInstallsLine)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 138, 4);
+    L3Cache l3(eq, st, mem, CacheGeometry{64 * 1024, 2, 64}, 38);
+    l3.writeback(0x2000, true);
+    EXPECT_TRUE(l3.hasLine(0x2000));
+    // A subsequent fill is an L3 hit: no DRAM access.
+    Tick done = 0;
+    l3.access(0x2000, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 38u);
+    EXPECT_EQ(st.counterValue("dram.accesses"), 0u);
+}
+
+TEST(L3Cache, PortSerializes)
+{
+    EventQueue eq;
+    StatGroup st;
+    MainMemory mem(eq, st, 138, 4);
+    L3Cache l3(eq, st, mem, CacheGeometry{64 * 1024, 2, 64}, 10);
+    l3.writeback(0x40, false);
+    l3.writeback(0x80, false);
+    std::vector<Tick> done;
+    l3.access(0x40, [&] { done.push_back(eq.now()); });
+    l3.access(0x80, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 10u);
+    EXPECT_EQ(done[1], 11u); // second request waited one port slot
+}

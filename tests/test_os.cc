@@ -1,0 +1,260 @@
+/**
+ * @file
+ * OS service tests: barrier registration and address assignment
+ * (Section 3.3.1/3.3.2), software fallback on filter exhaustion, filter
+ * swap-out, and context-switching threads blocked at a filter
+ * (Section 3.3.3) — including migration to a different core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "barriers/barrier_gen.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+miniConfig(unsigned cores = 4, unsigned filtersPerBank = 2)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.filtersPerBank = filtersPerBank;
+    return cfg;
+}
+
+/** Program: optional delay, then one barrier, then halt. */
+ProgramPtr
+delayBarrierProgram(Os &os, const BarrierHandle &h, unsigned tid,
+                    int64_t delayIters)
+{
+    ProgramBuilder b(os.codeBase(ThreadId(tid)));
+    BarrierCodegen bar(h, tid);
+    IntReg rD = b.temp();
+    bar.emitInit(b);
+    if (delayIters > 0) {
+        b.li(rD, delayIters);
+        b.label("delay");
+        b.addi(rD, rD, -1);
+        b.bnez(rD, "delay");
+    }
+    bar.emitBarrier(b);
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+} // namespace
+
+TEST(OsBarrier, AddressesMapToOneBank)
+{
+    CmpSystem sys(miniConfig());
+    Os &os = sys.os();
+    for (auto kind : {BarrierKind::FilterDCache, BarrierKind::FilterICache,
+                      BarrierKind::FilterDCachePP}) {
+        BarrierHandle h = os.registerBarrier(kind, 4);
+        ASSERT_EQ(h.granted, kind);
+        unsigned banks = sys.numBanks();
+        for (unsigned slot = 0; slot < 4; ++slot) {
+            EXPECT_EQ(sys.interconnect().bankFor(h.arrivalAddr(0, slot)),
+                      h.bank);
+            EXPECT_EQ(sys.interconnect().bankFor(h.exitAddr(0, slot)),
+                      h.bank);
+        }
+        EXPECT_EQ(h.strideBytes, Addr(banks) * sys.config().lineBytes);
+    }
+}
+
+TEST(OsBarrier, DistinctLinesPerThread)
+{
+    CmpSystem sys(miniConfig());
+    BarrierHandle h =
+        sys.os().registerBarrier(BarrierKind::FilterDCache, 4);
+    std::set<Addr> lines;
+    for (unsigned slot = 0; slot < 4; ++slot) {
+        lines.insert(h.arrivalAddr(0, slot));
+        lines.insert(h.exitAddr(0, slot));
+    }
+    EXPECT_EQ(lines.size(), 8u);
+}
+
+TEST(OsBarrier, FallsBackToSoftwareWhenFiltersExhausted)
+{
+    CmpSystem sys(miniConfig(4, /*filtersPerBank=*/1));
+    Os &os = sys.os();
+    // 4 banks x 1 filter: four entry/exit barriers fit...
+    std::vector<BarrierHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+        handles.push_back(os.registerBarrier(BarrierKind::FilterDCache, 4));
+        EXPECT_EQ(handles.back().granted, BarrierKind::FilterDCache);
+    }
+    // ...the fifth falls back to the software centralized barrier.
+    BarrierHandle fb = os.registerBarrier(BarrierKind::FilterDCache, 4);
+    EXPECT_EQ(fb.granted, BarrierKind::SwCentral);
+    EXPECT_NE(fb.counterAddr, 0u);
+
+    // Releasing one filter makes the next request succeed again.
+    os.releaseBarrier(handles[0]);
+    BarrierHandle again = os.registerBarrier(BarrierKind::FilterICache, 4);
+    EXPECT_EQ(again.granted, BarrierKind::FilterICache);
+}
+
+TEST(OsBarrier, PingPongNeedsTwoFilters)
+{
+    CmpSystem sys(miniConfig(4, /*filtersPerBank=*/1));
+    // One filter per bank: a ping-pong pair cannot be placed.
+    BarrierHandle h =
+        sys.os().registerBarrier(BarrierKind::FilterDCachePP, 4);
+    EXPECT_EQ(h.granted, BarrierKind::SwCentral);
+}
+
+TEST(OsBarrier, FallbackBarrierStillWorks)
+{
+    CmpSystem sys(miniConfig(2, 1));
+    Os &os = sys.os();
+    // Exhaust the filters, then use the fallback end to end.
+    for (unsigned b = 0; b < sys.numBanks(); ++b)
+        os.registerBarrier(BarrierKind::FilterDCache, 2);
+    BarrierHandle fb = os.registerBarrier(BarrierKind::FilterDCache, 2);
+    ASSERT_EQ(fb.granted, BarrierKind::SwCentral);
+    os.startThread(os.createThread(delayBarrierProgram(os, fb, 0, 0)), 0);
+    os.startThread(os.createThread(delayBarrierProgram(os, fb, 1, 500)),
+                   1);
+    sys.run(2'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+}
+
+TEST(OsBarrier, RejectsOversubscription)
+{
+    CmpSystem sys(miniConfig(2));
+    EXPECT_THROW(sys.os().registerBarrier(BarrierKind::FilterDCache, 3),
+                 FatalError);
+    EXPECT_THROW(sys.os().registerBarrier(BarrierKind::SwCentral, 0),
+                 FatalError);
+}
+
+TEST(OsThreads, RefusesDoubleSchedulingOnBusyCore)
+{
+    CmpSystem sys(miniConfig());
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+    auto *t0 = os.createThread(delayBarrierProgram(os, h, 0, 100000));
+    auto *t1 = os.createThread(delayBarrierProgram(os, h, 1, 0));
+    os.startThread(t0, 0);
+    EXPECT_THROW(os.startThread(t1, 0), FatalError);
+}
+
+// ----- context switch of a blocked thread (Section 3.3.3) ----------------------
+
+TEST(OsContextSwitch, BlockedThreadMigratesAndBarrierCompletes)
+{
+    CmpSystem sys(miniConfig(3));
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+
+    // Thread 0 reaches the barrier immediately and blocks; thread 1 is
+    // delayed long enough for the OS to switch thread 0 out and back in
+    // on a *different* core while the barrier is still closed.
+    auto *t0 = os.createThread(delayBarrierProgram(os, h, 0, 0));
+    auto *t1 = os.createThread(delayBarrierProgram(os, h, 1, 8000));
+    os.startThread(t0, 0);
+    os.startThread(t1, 1);
+
+    ThreadContext *parked = nullptr;
+    sys.eventQueue().schedule(3000, [&] {
+        EXPECT_GT(sys.core(0).outstandingOps(), 0u); // blocked at filter
+        os.deschedule(0, [&](ThreadContext *t) { parked = t; });
+    });
+    sys.eventQueue().schedule(6000, [&] {
+        ASSERT_NE(parked, nullptr);
+        EXPECT_FALSE(parked->halted);
+        os.reschedule(parked, 2); // different core: addresses identify it
+    });
+
+    sys.run(2'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_TRUE(t0->halted);
+    EXPECT_TRUE(t1->halted);
+    EXPECT_FALSE(sys.anyBarrierError());
+}
+
+TEST(OsContextSwitch, BarrierOpensWhileThreadSwitchedOut)
+{
+    CmpSystem sys(miniConfig(3));
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+
+    auto *t0 = os.createThread(delayBarrierProgram(os, h, 0, 0));
+    auto *t1 = os.createThread(delayBarrierProgram(os, h, 1, 1000));
+    os.startThread(t0, 0);
+    os.startThread(t1, 1);
+
+    ThreadContext *parked = nullptr;
+    sys.eventQueue().schedule(500, [&] {
+        os.deschedule(0, [&](ThreadContext *t) { parked = t; });
+    });
+    // Thread 1 arrives (~1000+) and the barrier opens while thread 0 is
+    // switched out; when rescheduled, its re-issued fill is serviced
+    // because its exit line has not yet been invalidated.
+    sys.eventQueue().schedule(60000, [&] {
+        ASSERT_NE(parked, nullptr);
+        os.reschedule(parked, 2);
+    });
+
+    sys.run(2'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+}
+
+TEST(OsContextSwitch, IcacheBlockedThreadMigrates)
+{
+    CmpSystem sys(miniConfig(3));
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterICache, 2);
+
+    auto *t0 = os.createThread(delayBarrierProgram(os, h, 0, 0));
+    auto *t1 = os.createThread(delayBarrierProgram(os, h, 1, 8000));
+    os.startThread(t0, 0);
+    os.startThread(t1, 1);
+
+    ThreadContext *parked = nullptr;
+    sys.eventQueue().schedule(3000, [&] {
+        EXPECT_TRUE(sys.core(0).stalledOnFetch());
+        os.deschedule(0, [&](ThreadContext *t) { parked = t; });
+    });
+    sys.eventQueue().schedule(6000, [&] {
+        ASSERT_NE(parked, nullptr);
+        os.reschedule(parked, 2);
+    });
+
+    sys.run(2'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+}
+
+TEST(OsAlloc, RegionsDoNotOverlap)
+{
+    CmpSystem sys(miniConfig());
+    Os &os = sys.os();
+    Addr d1 = os.allocData(100);
+    Addr d2 = os.allocData(100);
+    Addr s1 = os.allocSync(64);
+    EXPECT_GE(d2, d1 + 100);
+    EXPECT_NE(d1 / (1 << 28), s1 / (1 << 28)); // different regions
+    EXPECT_EQ(os.allocData(10, 256) % 256, 0u);
+}
+
+TEST(OsAlloc, CodeBasesDistinctPerThread)
+{
+    CmpSystem sys(miniConfig());
+    Os &os = sys.os();
+    EXPECT_NE(os.codeBase(0), os.codeBase(1));
+    // Skewed stride: consecutive code bases land in different L2 banks.
+    EXPECT_NE(sys.interconnect().bankFor(os.codeBase(0)),
+              sys.interconnect().bankFor(os.codeBase(1)));
+}

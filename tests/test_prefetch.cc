@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Prefetcher tests, including the paper's Section 3.4 claims: prefetching
+ * cannot trigger an early opening of the barrier — data prefetched before
+ * the invalidate is invalidated, and prefetch fills issued after the
+ * invalidate are filtered until the barrier opens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "barriers/barrier_gen.hh"
+#include "filter/barrier_filter.hh"
+#include "kernels/workload.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+prefetchConfig(unsigned cores = 4)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l1IPrefetch = true;
+    cfg.l1DPrefetch = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Prefetch, NextLineArrivesAfterDemandMiss)
+{
+    CmpSystem sys(prefetchConfig());
+    Addr buf = sys.os().allocData(256, 64);
+
+    ProgramBuilder b(sys.os().codeBase(0));
+    IntReg rb = b.temp(), r1 = b.temp();
+    b.li(rb, int64_t(buf));
+    b.ld(r1, rb, 0); // demand miss; prefetcher should grab buf+64
+    b.fence();
+    b.halt();
+    sys.os().startThread(sys.os().createThread(b.build()), 0);
+    sys.run();
+    // Give the prefetch fill time to land.
+    sys.eventQueue().run(sys.eventQueue().now() + 1000);
+
+    EXPECT_TRUE(sys.l1d(0).hasLine(buf));
+    EXPECT_TRUE(sys.l1d(0).hasLine(buf + 64));
+    EXPECT_GE(sys.statistics().counterValue("l1d.0.prefetches"), 1u);
+}
+
+TEST(Prefetch, SecondLoadHitsPrefetchedLine)
+{
+    CmpSystem sys(prefetchConfig());
+    Addr buf = sys.os().allocData(256, 64);
+
+    ProgramBuilder b(sys.os().codeBase(0));
+    IntReg rb = b.temp(), r1 = b.temp(), r2 = b.temp(), rd = b.temp();
+    b.li(rb, int64_t(buf));
+    b.ld(r1, rb, 0);     // miss + prefetch of buf+64
+    b.li(rd, 400);       // delay so the prefetch completes
+    b.label("d");
+    b.addi(rd, rd, -1);
+    b.bnez(rd, "d");
+    b.ld(r2, rb, 64);    // should hit
+    b.fence();
+    b.halt();
+    sys.os().startThread(sys.os().createThread(b.build()), 0);
+    sys.run();
+
+    EXPECT_GE(sys.statistics().counterValue("l1d.0.loadHits"), 1u);
+}
+
+TEST(Prefetch, DisabledByDefault)
+{
+    CmpConfig cfg = prefetchConfig();
+    cfg.l1DPrefetch = false;
+    cfg.l1IPrefetch = false;
+    CmpSystem sys(cfg);
+    Addr buf = sys.os().allocData(256, 64);
+
+    ProgramBuilder b(sys.os().codeBase(0));
+    IntReg rb = b.temp(), r1 = b.temp();
+    b.li(rb, int64_t(buf));
+    b.ld(r1, rb, 0);
+    b.fence();
+    b.halt();
+    sys.os().startThread(sys.os().createThread(b.build()), 0);
+    sys.run();
+    sys.eventQueue().run(sys.eventQueue().now() + 1000);
+    EXPECT_FALSE(sys.l1d(0).hasLine(buf + 64));
+}
+
+TEST(Prefetch, FilterBlocksPrefetchFillOfArrivalLine)
+{
+    // Drive the filter interface directly with a prefetch-shaped fill:
+    // a GetS for a Blocked thread's arrival line must be withheld no
+    // matter what generated it (Section 3.4: "the prefetch will be
+    // blocked, because it is a fill request").
+    CmpSystem sys(prefetchConfig(2));
+    BarrierHandle h = sys.os().registerBarrier(BarrierKind::FilterDCache, 2);
+    FilterBank &fb = sys.filterBank(h.bank);
+
+    fb.onInvalidate(h.arrivalAddr(0, 0)); // thread 0 arrives
+    Msg prefetch;
+    prefetch.type = MsgType::GetS;
+    prefetch.lineAddr = h.arrivalAddr(0, 0);
+    prefetch.core = 0;
+    EXPECT_EQ(fb.onFillRequest(prefetch), FillAction::Blocked);
+
+    // Barrier opens when the last thread arrives; only then may fills
+    // (prefetch or demand) be serviced.
+    fb.onInvalidate(h.arrivalAddr(0, 1));
+    EXPECT_EQ(fb.onFillRequest(prefetch), FillAction::Pass);
+}
+
+TEST(Prefetch, BarriersCorrectWithPrefetchersOn)
+{
+    // End-to-end: the barrier safety property must hold with aggressive
+    // prefetching enabled — a prefetched line never opens the barrier
+    // early because arrival is signalled only by explicit invalidations.
+    const unsigned threads = 4, epochs = 8;
+    for (BarrierKind kind :
+         {BarrierKind::FilterICache, BarrierKind::FilterDCache,
+          BarrierKind::FilterICachePP, BarrierKind::FilterDCachePP}) {
+        CmpSystem sys(prefetchConfig(threads));
+        Os &os = sys.os();
+        unsigned line = sys.config().lineBytes;
+        Addr slots = os.allocData(threads * line, line);
+        Addr err = os.allocData(8, line);
+        BarrierHandle h = os.registerBarrier(kind, threads);
+        ASSERT_EQ(h.granted, kind);
+
+        for (unsigned tid = 0; tid < threads; ++tid) {
+            ProgramBuilder b(os.codeBase(ThreadId(tid)));
+            BarrierCodegen bar(h, tid);
+            IntReg rK = b.temp(), rN = b.temp(), rMy = b.temp(),
+                   rT = b.temp(), rV = b.temp(), rI = b.temp(),
+                   rC = b.temp(), rOne = b.temp(), rErr = b.temp();
+            bar.emitInit(b);
+            b.li(rMy, int64_t(slots + tid * line));
+            b.li(rErr, int64_t(err));
+            b.li(rOne, 1);
+            b.li(rK, 1);
+            b.li(rN, epochs);
+            b.label("e");
+            b.sd(rK, rMy, 0);
+            bar.emitBarrier(b);
+            b.li(rI, 0);
+            b.li(rC, int64_t(threads));
+            b.li(rT, int64_t(slots));
+            b.label("chk");
+            b.ld(rV, rT, 0);
+            b.bge(rV, rK, "ok");
+            b.sd(rOne, rErr, 0);
+            b.label("ok");
+            b.addi(rT, rT, int64_t(line));
+            b.addi(rI, rI, 1);
+            b.blt(rI, rC, "chk");
+            b.addi(rK, rK, 1);
+            b.bge(rN, rK, "e");
+            b.halt();
+            bar.emitArrivalSections(b);
+            os.startThread(os.createThread(b.build()), CoreId(tid));
+        }
+        sys.run(20'000'000);
+        ASSERT_TRUE(sys.allThreadsHalted())
+            << barrierKindName(kind) << " deadlocked with prefetch";
+        EXPECT_EQ(sys.memory().read64(err), 0u) << barrierKindName(kind);
+        EXPECT_FALSE(sys.anyBarrierError()) << barrierKindName(kind);
+    }
+}
+
+TEST(Prefetch, KernelsStayCorrectWithPrefetchersOn)
+{
+    CmpConfig cfg = prefetchConfig(8);
+    KernelParams p;
+    p.n = 96;
+    p.reps = 2;
+    for (KernelId id : {KernelId::Livermore2, KernelId::Livermore6,
+                        KernelId::Viterbi}) {
+        auto r = runKernel(cfg, id, p, true, BarrierKind::FilterICache, 8);
+        EXPECT_TRUE(r.correct) << kernelName(id);
+    }
+}

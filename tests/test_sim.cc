@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, stats, options, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace bfsim;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedSchedulingFromCallback)
+{
+    EventQueue eq;
+    Tick fired = 0;
+    eq.schedule(3, [&] {
+        eq.schedule(4, [&] { fired = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 7u);
+}
+
+TEST(EventQueue, ZeroDelayRunsSameTick)
+{
+    EventQueue eq;
+    Tick at = 12345;
+    eq.schedule(5, [&] {
+        eq.schedule(0, [&] { at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(at, 5u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(100, [&] { ++count; });
+    eq.run(50);
+    EXPECT_EQ(count, 1);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(Tick(i), [&] { ++count; });
+    eq.runUntil([&] { return count >= 3; });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, SchedulingInPastThrows)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.scheduleAt(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(Tick(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 5u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup sg;
+    ++sg.counter("a.b");
+    sg.counter("a.b") += 4;
+    EXPECT_EQ(sg.counterValue("a.b"), 5u);
+    EXPECT_EQ(sg.counterValue("missing"), 0u);
+    EXPECT_TRUE(sg.hasCounter("a.b"));
+    EXPECT_FALSE(sg.hasCounter("a"));
+}
+
+TEST(Stats, SumByPrefix)
+{
+    StatGroup sg;
+    sg.counter("l1d.0.hits") += 3;
+    sg.counter("l1d.1.hits") += 4;
+    sg.counter("l2.hits") += 100;
+    EXPECT_EQ(sg.sumByPrefix("l1d."), 7u);
+    EXPECT_EQ(sg.sumByPrefix("l2"), 100u);
+    EXPECT_EQ(sg.sumByPrefix("zzz"), 0u);
+}
+
+TEST(Stats, ResetAll)
+{
+    StatGroup sg;
+    sg.counter("x") += 9;
+    sg.distribution("d").sample(5);
+    sg.resetAll();
+    EXPECT_EQ(sg.counterValue("x"), 0u);
+    EXPECT_EQ(sg.distribution("d").count(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    Distribution d;
+    d.sample(1);
+    d.sample(2);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Options, ParsesTypedValues)
+{
+    auto opts = OptionMap::fromStrings(
+        {"cores=32", "ratio=0.5", "trace=true", "name=foo", "positional"});
+    EXPECT_EQ(opts.getInt("cores", 0), 32);
+    EXPECT_DOUBLE_EQ(opts.getDouble("ratio", 0), 0.5);
+    EXPECT_TRUE(opts.getBool("trace", false));
+    EXPECT_EQ(opts.getString("name", ""), "foo");
+    ASSERT_EQ(opts.positionalArgs().size(), 1u);
+    EXPECT_EQ(opts.positionalArgs()[0], "positional");
+}
+
+TEST(Options, DefaultsWhenMissing)
+{
+    auto opts = OptionMap::fromStrings({});
+    EXPECT_EQ(opts.getInt("cores", 16), 16);
+    EXPECT_FALSE(opts.getBool("x", false));
+}
+
+TEST(Options, BadIntegerThrows)
+{
+    auto opts = OptionMap::fromStrings({"cores=abc"});
+    EXPECT_THROW(opts.getInt("cores", 0), FatalError);
+}
+
+TEST(Options, BadBoolThrows)
+{
+    auto opts = OptionMap::fromStrings({"flag=maybe"});
+    EXPECT_THROW(opts.getBool("flag", false), FatalError);
+}
+
+TEST(Options, HexIntegers)
+{
+    auto opts = OptionMap::fromStrings({"addr=0x40"});
+    EXPECT_EQ(opts.getUint("addr", 0), 0x40u);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        sawLo |= (v == -2);
+        sawHi |= (v == 2);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Log, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Log, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}

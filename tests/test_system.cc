@@ -1,0 +1,217 @@
+/**
+ * @file
+ * System-level tests: configuration validation, deadlock detection on
+ * barrier misuse, the hardware timeout's error code reaching the thread
+ * (Section 3.3.4 end to end), strict-mode misuse flagging, and statistics
+ * plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "barriers/barrier_gen.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+miniConfig(unsigned cores = 4)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    return cfg;
+}
+
+ProgramPtr
+oneBarrierProgram(Os &os, const BarrierHandle &h, unsigned tid)
+{
+    ProgramBuilder b(os.codeBase(ThreadId(tid)));
+    BarrierCodegen bar(h, tid);
+    bar.emitInit(b);
+    bar.emitBarrier(b);
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+} // namespace
+
+// ----- configuration ---------------------------------------------------------
+
+TEST(Config, ValidatesLimits)
+{
+    CmpConfig cfg;
+    cfg.numCores = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = CmpConfig{};
+    cfg.numCores = 65;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = CmpConfig{};
+    cfg.lineBytes = 48;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = CmpConfig{};
+    cfg.l2Banks = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, FromOptionsAppliesOverrides)
+{
+    auto opts = OptionMap::fromStrings(
+        {"cores=32", "l2banks=8", "busbw=8", "filterretain=false",
+         "l1iprefetch=true"});
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+    EXPECT_EQ(cfg.numCores, 32u);
+    EXPECT_EQ(cfg.l2Banks, 8u);
+    EXPECT_EQ(cfg.busBytesPerCycle, 8u);
+    EXPECT_FALSE(cfg.filterRetainsL2Copy);
+    EXPECT_TRUE(cfg.l1IPrefetch);
+}
+
+TEST(Config, PrintMentionsTable2Fields)
+{
+    std::ostringstream os;
+    CmpConfig{}.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("512 kB"), std::string::npos);  // L2
+    EXPECT_NE(s.find("138"), std::string::npos);     // memory latency
+    EXPECT_NE(s.find("1 request per cycle"), std::string::npos);
+}
+
+// ----- misuse: deadlock and the hardware timeout -------------------------------
+
+TEST(SystemErrors, UndersubscribedBarrierDeadlocks)
+{
+    // "incorrectly creating a barrier for more threads than are actually
+    // being used could cause all of the threads to stall indefinitely"
+    // (Section 3.3.4). With no timeout the system reports a deadlock.
+    CmpSystem sys(miniConfig(4));
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 3);
+    os.startThread(os.createThread(oneBarrierProgram(os, h, 0)), 0);
+    os.startThread(os.createThread(oneBarrierProgram(os, h, 1)), 1);
+    // Third participant never starts.
+    EXPECT_THROW(sys.run(), FatalError);
+    EXPECT_FALSE(sys.allThreadsHalted());
+}
+
+TEST(SystemErrors, HardwareTimeoutNacksBlockedThreads)
+{
+    // With the Section 3.3.4 hardware timeout armed, the same misuse
+    // produces fill responses carrying an error code; the runtime (here:
+    // the core) turns them into a barrier error instead of hanging.
+    CmpConfig cfg = miniConfig(4);
+    cfg.filterTimeout = 2000;
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 3);
+    os.startThread(os.createThread(oneBarrierProgram(os, h, 0)), 0);
+    os.startThread(os.createThread(oneBarrierProgram(os, h, 1)), 1);
+    sys.run(1'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_TRUE(sys.anyBarrierError());
+}
+
+TEST(SystemErrors, TimeoutDoesNotFireOnCorrectUsage)
+{
+    CmpConfig cfg = miniConfig(4);
+    cfg.filterTimeout = 5000;
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterICache, 4);
+    for (unsigned t = 0; t < 4; ++t)
+        os.startThread(os.createThread(oneBarrierProgram(os, h, t)),
+                       CoreId(t));
+    sys.run(1'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+}
+
+TEST(SystemErrors, StrictModeFlagsDoubleArrivalInvalidate)
+{
+    CmpConfig cfg = miniConfig(2);
+    cfg.filterStrict = true;
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+
+    // Thread 0 invalidates its arrival address twice before loading —
+    // an invalid FSM transition in strict mode (Section 3.3.4).
+    {
+        ProgramBuilder b(os.codeBase(0));
+        BarrierCodegen bar(h, 0);
+        bar.emitInit(b);
+        b.dcbi(BarrierCodegen::rAddrA, 0);
+        b.dcbi(BarrierCodegen::rAddrA, 0);
+        bar.emitBarrier(b);
+        b.halt();
+        os.startThread(os.createThread(b.build()), 0);
+    }
+    os.startThread(os.createThread(oneBarrierProgram(os, h, 1)), 1);
+    sys.run(1'000'000);
+    EXPECT_GE(sys.statistics().counterValue(
+                  "filter.bank" + std::to_string(h.bank) + ".misuseErrors"),
+              1u);
+}
+
+// ----- statistics and bookkeeping ------------------------------------------------
+
+TEST(SystemStats, DumpContainsCoreAndCacheCounters)
+{
+    CmpSystem sys(miniConfig(2));
+    Os &os = sys.os();
+    ProgramBuilder b(os.codeBase(0));
+    IntReg r = b.temp();
+    b.li(r, 1);
+    b.halt();
+    os.startThread(os.createThread(b.build()), 0);
+    sys.run();
+
+    std::ostringstream dump;
+    sys.statistics().dump(dump);
+    std::string s = dump.str();
+    EXPECT_NE(s.find("core.0.halts"), std::string::npos);
+    EXPECT_NE(s.find("l1i.0.fetchMisses"), std::string::npos);
+    EXPECT_NE(s.find("bus.req.msgs"), std::string::npos);
+}
+
+TEST(SystemStats, TotalInstructionsAggregates)
+{
+    CmpSystem sys(miniConfig(2));
+    Os &os = sys.os();
+    for (CoreId c = 0; c < 2; ++c) {
+        ProgramBuilder b(os.codeBase(c));
+        IntReg r = b.temp();
+        b.li(r, 1);
+        b.addi(r, r, 1);
+        b.halt();
+        os.startThread(os.createThread(b.build()), c);
+    }
+    sys.run();
+    EXPECT_EQ(sys.totalInstructions(), 6u);
+}
+
+TEST(SystemStats, RunHonorsTickLimit)
+{
+    CmpSystem sys(miniConfig(2));
+    Os &os = sys.os();
+    ProgramBuilder b(os.codeBase(0));
+    IntReg r = b.temp();
+    b.li(r, 1'000'000);
+    b.label("spin");
+    b.addi(r, r, -1);
+    b.bnez(r, "spin");
+    b.halt();
+    os.startThread(os.createThread(b.build()), 0);
+    Tick end = sys.run(5'000);
+    EXPECT_LE(end, 5'000u);
+    EXPECT_FALSE(sys.allThreadsHalted());
+    sys.run(); // finish
+    EXPECT_TRUE(sys.allThreadsHalted());
+}
