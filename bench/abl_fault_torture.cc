@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: barrier robustness under injected faults.
+ *
+ * Runs the inner-product kernel under every barrier mechanism three ways:
+ * clean (no faults), perturbed (random bus/DRAM delay, filter-line
+ * evictions, forced context switches of blocked threads), and hostile
+ * (perturbed plus forced Section 3.3.4 filter timeouts, which poison the
+ * filter and degrade the barrier to the software fallback). Every cell
+ * reports simulated cycles, recovery count, and whether the kernel result
+ * still matched the golden reference. All schedules derive from one seed;
+ * rerun with the printed seed to reproduce a run exactly.
+ */
+
+#include "bench_common.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+void
+applyPerturb(CmpConfig &cfg, uint64_t seed)
+{
+    cfg.faults.enabled = true;
+    cfg.faults.seed = seed;
+    cfg.faults.interval = 400;
+    cfg.faults.busDelayProb = 0.05;
+    cfg.faults.busDelayMax = 12;
+    cfg.faults.memDelayProb = 0.10;
+    cfg.faults.memDelayMax = 60;
+    cfg.faults.evictProb = 0.25;
+    cfg.faults.descheduleProb = 0.05;
+    cfg.faults.rescheduleDelayMin = 200;
+    cfg.faults.rescheduleDelayMax = 2000;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: fault torture — barriers under injected faults");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned threads = unsigned(opts.getUint("cores", 8));
+    uint64_t seed = opts.getUint("seed", 0xb10cf11e);
+    KernelParams p;
+    p.n = opts.getUint("n", 512);
+    p.reps = unsigned(opts.getUint("reps", 2));
+
+    std::cout << "kernel: " << kernelName(KernelId::Livermore3)
+              << "  threads: " << threads << "  N: " << p.n
+              << "  seed: " << seed << "\n\n";
+
+    printHeader(std::cout, "barrier",
+                {"clean", "perturb", "hostile", "recov", "ok"});
+
+    for (BarrierKind kind : allBarrierKinds()) {
+        CmpConfig clean = CmpConfig::fromOptions(opts);
+        clean.numCores = threads;
+        auto rClean = runKernel(clean, KernelId::Livermore3, p, true, kind,
+                                threads);
+
+        CmpConfig perturb = clean;
+        perturb.filterRecovery = true;
+        applyPerturb(perturb, seed);
+        auto rPerturb = runKernel(perturb, KernelId::Livermore3, p, true,
+                                  kind, threads);
+
+        CmpConfig hostile = perturb;
+        hostile.faults.timeoutProb = 0.25;
+        auto rHostile = runKernel(hostile, KernelId::Livermore3, p, true,
+                                  kind, threads);
+
+        bool ok = rClean.correct && rPerturb.correct && rHostile.correct;
+        printRow(std::cout, barrierKindName(kind),
+                 {double(rClean.cycles), double(rPerturb.cycles),
+                  double(rHostile.cycles),
+                  double(rPerturb.recoveries + rHostile.recoveries),
+                  ok ? 1.0 : 0.0});
+    }
+    return 0;
+}

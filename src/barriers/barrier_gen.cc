@@ -52,11 +52,31 @@ BarrierCodegen::emitInit(ProgramBuilder &b)
         b.li(rAddrB, int64_t(handle.arrivalAddr(1, slot)));
         break;
     }
+    if (isFilterKind(handle.granted) && handle.modeAddr != 0) {
+        // The software fallback is sense-reversal; every thread must
+        // start from the same sense for the degraded epochs to line up.
+        b.li(rSense, 0);
+    }
 }
 
 void
 BarrierCodegen::emitBarrier(ProgramBuilder &b)
 {
+    // Recovery-enabled filter barriers get a guard prologue: load the
+    // mode word (read at issue, so an OS flip is visible immediately) and
+    // branch to an inline software fallback once the filter is poisoned.
+    const bool guarded =
+        isFilterKind(handle.granted) && handle.modeAddr != 0;
+    const Addr spanBegin = b.here();
+    std::string swLabel, doneLabel;
+    if (guarded) {
+        swLabel = uniq("sw");
+        doneLabel = uniq("hwdone");
+        b.li(rScratch1, int64_t(handle.modeAddr));
+        b.ld(rScratch2, rScratch1, 0);
+        b.bnez(rScratch2, swLabel);
+    }
+
     switch (handle.granted) {
       case BarrierKind::SwCentral:
         emitSwCentral(b);
@@ -79,6 +99,15 @@ BarrierCodegen::emitBarrier(ProgramBuilder &b)
       case BarrierKind::FilterDCachePP:
         emitFilterDCache(b, true);
         break;
+    }
+
+    if (guarded) {
+        b.j(doneLabel);
+        b.label(swLabel);
+        emitSwFallback(b);
+        b.label(doneLabel);
+        handle.owner->registerRecoverySpan(spanBegin, b.here(),
+                                           handle.recoveryId);
     }
     ++invocation;
 }
@@ -108,6 +137,44 @@ BarrierCodegen::emitSwCentral(ProgramBuilder &b)
     b.label(wait);
     b.ld(rScratch2, rAddrB, 0);
     b.bne(rScratch2, rSense, wait);
+    b.label(done);
+}
+
+// ----- software fallback for a degraded filter barrier ------------------------
+//
+// Same sense-reversal scheme as emitSwCentral, but on the handle's
+// dedicated fallback counter/flag lines and using only x29-x31 (the
+// barrier address registers keep their filter contents in case the jump
+// to the fallback is never taken again).
+
+void
+BarrierCodegen::emitSwFallback(ProgramBuilder &b)
+{
+    const std::string retry = uniq("fbretry");
+    const std::string wait = uniq("fbwait");
+    const std::string spin = uniq("fbspin");
+    const std::string done = uniq("fbdone");
+
+    b.fence();
+    b.xori(rSense, rSense, 1);
+    b.label(retry);
+    b.li(rScratch1, int64_t(handle.fbCounterAddr));
+    b.ll(rScratch2, rScratch1, 0);
+    b.addi(rScratch2, rScratch2, 1);
+    b.sc(regRa, rScratch2, rScratch1, 0);
+    b.beqz(regRa, retry);
+    b.li(regRa, int64_t(handle.numThreads));
+    b.bne(rScratch2, regRa, wait);
+    // Last arrival: reset the counter, then flip the release flag.
+    b.sd(regZero, rScratch1, 0);
+    b.li(rScratch1, int64_t(handle.fbFlagAddr));
+    b.sd(rSense, rScratch1, 0);
+    b.j(done);
+    b.label(wait);
+    b.li(rScratch1, int64_t(handle.fbFlagAddr));
+    b.label(spin);
+    b.ld(rScratch2, rScratch1, 0);
+    b.bne(rScratch2, rSense, spin);
     b.label(done);
 }
 

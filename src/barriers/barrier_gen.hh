@@ -67,6 +67,7 @@ class BarrierCodegen
     std::string uniq(const char *tag);
 
     void emitSwCentral(ProgramBuilder &b);
+    void emitSwFallback(ProgramBuilder &b);
     void emitSwTree(ProgramBuilder &b);
     void emitHwNetwork(ProgramBuilder &b);
     void emitFilterDCache(ProgramBuilder &b, bool pingPong);

@@ -7,6 +7,7 @@
 
 #include <bit>
 #include <cstring>
+#include <ostream>
 
 #include "filter/barrier_network.hh"
 #include "sim/log.hh"
@@ -42,6 +43,45 @@ void
 Core::setHaltCallback(std::function<void(ThreadContext *)> cb)
 {
     haltCb = std::move(cb);
+}
+
+void
+Core::setExceptionHandler(
+    std::function<bool(ThreadContext *, Addr, bool)> handler)
+{
+    excHandler = std::move(handler);
+}
+
+bool
+Core::deliverException(Addr faultPc, bool isFetch)
+{
+    if (!excHandler || !ctx)
+        return false;
+    // Only deliver from a quiescent-enough state: with buffered stores or
+    // a pending invalidate/hbar in flight, redirecting the pc could lose
+    // architectural work. Barrier sequences fence first, so a barrier
+    // fault always arrives quiescent; anything else falls back to a halt.
+    if (!storeBuffer.empty() || pendingInvAck || waitingHbar)
+        return false;
+
+    // Squash in-flight state exactly as a deschedule does: loads read
+    // their values at issue, so clearing the scoreboard loses nothing.
+    ++epoch;
+    outstanding.clear();
+    fetchInFlight = false;
+    fetchValid = false;
+    storeIssued = false;
+    storeRetryScheduled = false;
+    tickScheduled = false;
+    intReady.fill(0);
+    fpReady.fill(0);
+
+    if (!excHandler(ctx, faultPc, isFetch))
+        return false;
+
+    ++stats.counter(name + ".barrierFaults");
+    scheduleTick(1);
+    return true;
 }
 
 void
@@ -208,6 +248,8 @@ Core::tick()
                 return;
             fetchInFlight = false;
             if (error) {
+                if (deliverException(ctx->pc, true))
+                    return;
                 ctx->barrierError = true;
                 ctx->halted = true;
                 ctx->haltTick = eventq.now();
@@ -529,12 +571,14 @@ Core::doLoad(const Instruction &inst, Addr ea, unsigned size)
     bool isFp = inst.op == Opcode::Fld;
     uint8_t rd = inst.rd;
 
-    auto onDone = [this, e = epoch, opId, rd, isFp, isLl, ea,
-                   size](bool error) {
+    auto onDone = [this, e = epoch, opId, rd, isFp, isLl, ea, size,
+                   opPc = ctx->pc](bool error) {
         if (e != epoch)
             return;
         finishOutstanding(opId);
         if (error) {
+            if (deliverException(opPc, false))
+                return;
             ctx->barrierError = true;
             ctx->halted = true;
             ctx->haltTick = eventq.now();
@@ -709,6 +753,32 @@ Core::tryCompleteDeschedule()
     auto cb = std::move(descheduleCb);
     descheduleCb = nullptr;
     cb(t);
+}
+
+// ----- diagnostics ------------------------------------------------------------------
+
+void
+Core::dumpState(std::ostream &os) const
+{
+    os << "  " << name << ": ";
+    if (!ctx) {
+        os << "idle (no thread)\n";
+        return;
+    }
+    os << "tid " << ctx->tid << " pc=" << std::hex << ctx->pc << std::dec;
+    if (ctx->halted)
+        os << " HALTED" << (ctx->barrierError ? " (barrier error)" : "");
+    const char *stall = fetchInFlight  ? "fetch miss"
+                        : pendingInvAck ? "invalidate ack"
+                        : waitingHbar   ? "hbar release"
+                        : !outstanding.empty() ? "outstanding load/SC"
+                        : !storeBuffer.empty() ? "store drain"
+                                               : "none";
+    os << " stall=" << stall << " mshrs=" << l1d.mshrsInUse()
+       << " storeBuf=" << storeBuffer.size() << " outstanding=[" << std::hex;
+    for (const auto &op : outstanding)
+        os << " " << op.pc;
+    os << std::dec << " ]\n";
 }
 
 // Free function helper: interpret raw store-buffer bits as a load result.

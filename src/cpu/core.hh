@@ -23,6 +23,7 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -97,11 +98,26 @@ class Core
     /** Invoked when the attached thread executes `halt`. */
     void setHaltCallback(std::function<void(ThreadContext *)> cb);
 
+    /**
+     * OS: install the barrier-fault exception handler. When a fill comes
+     * back with an embedded error code (NackError), the core squashes its
+     * in-flight state and calls the handler with (thread, faulting pc,
+     * was-it-a-fetch). The handler redirects the thread (usually by
+     * rewinding the pc into the barrier sequence, whose prologue now sees
+     * the degraded-mode word) and returns true; returning false reverts
+     * to the legacy behaviour of halting the thread with barrierError.
+     */
+    void setExceptionHandler(
+        std::function<bool(ThreadContext *, Addr, bool)> handler);
+
     /** True when the core is stalled on an instruction fetch miss. */
     bool stalledOnFetch() const { return fetchInFlight; }
 
     /** Number of loads/SCs in flight. */
     size_t outstandingOps() const { return outstanding.size(); }
+
+    /** One-core diagnostic snapshot for the watchdog dump. */
+    void dumpState(std::ostream &os) const;
 
   private:
     struct StoreEntry
@@ -126,6 +142,7 @@ class Core
                      std::vector<std::pair<bool, uint8_t>> &srcs,
                      int &intDst, int &fpDst) const;
 
+    bool deliverException(Addr faultPc, bool isFetch);
     void doLoad(const Instruction &inst, Addr ea, unsigned size);
     void doStore(const Instruction &inst, Addr ea, unsigned size);
     void doStoreConditional(const Instruction &inst, Addr ea);
@@ -172,6 +189,7 @@ class Core
 
     std::function<void(ThreadContext *)> haltCb;
     std::function<void(ThreadContext *)> descheduleCb;
+    std::function<bool(ThreadContext *, Addr, bool)> excHandler;
 };
 
 } // namespace bfsim

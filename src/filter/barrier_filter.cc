@@ -5,6 +5,7 @@
 
 #include "filter/barrier_filter.hh"
 
+#include <ostream>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -27,18 +28,24 @@ BarrierFilter::initialize(const AddressMap &m)
     arrivedCounter = 0;
     opens = 0;
     armed = true;
+    poisoned = false;
 }
 
 void
 BarrierFilter::reset()
 {
-    for (const Entry &e : entries) {
-        if (e.pendingFill || e.state == FilterThreadState::Blocking)
-            fatal("BarrierFilter: swap-out with blocked threads");
+    // A poisoned filter may still show Blocking FSM entries; those
+    // threads were already nacked and have moved on to software.
+    if (!poisoned) {
+        for (const Entry &e : entries) {
+            if (e.pendingFill || e.state == FilterThreadState::Blocking)
+                fatal("BarrierFilter: swap-out with blocked threads");
+        }
     }
     entries.clear();
     armed = false;
     arrivedCounter = 0;
+    poisoned = false;
 }
 
 std::optional<unsigned>
@@ -176,17 +183,73 @@ FilterBank::armTimeout(BarrierFilter &f, unsigned slot)
     eventq.schedule(timeoutCycles, [this, fp, slot, epoch] {
         if (!fp->active() || fp->opens != epoch)
             return;
-        auto &e = fp->entries[slot];
-        if (!e.pendingFill)
+        if (!fp->entries[slot].pendingFill)
             return;
-        // Hardware timeout: embed an error code in the fill response
-        // (Section 3.3.4). The thread's library can retry or trap.
+        timeoutFired(*fp, slot);
+    });
+}
+
+void
+FilterBank::timeoutFired(BarrierFilter &f, unsigned slot)
+{
+    if (timeoutPoisons) {
+        // Recovery mode: a timeout means the barrier episode cannot
+        // complete in hardware. Fail the *whole* filter so every thread
+        // takes the same (software) path for this and later epochs.
+        poison(f);
+        return;
+    }
+    auto &e = f.entries[slot];
+    // Hardware timeout: embed an error code in the fill response
+    // (Section 3.3.4). The thread's library can retry or trap.
+    e.pendingFill = false;
+    ++stats.counter(name + ".timeoutNacks");
+    Msg msg = e.pendingMsg;
+    msg.type = MsgType::NackError;
+    nackHandler(msg);
+}
+
+void
+FilterBank::fireTimeout(unsigned filterIdx, unsigned slot)
+{
+    BarrierFilter &f = filters.at(filterIdx);
+    if (!f.active() || f.poisoned || !f.entries.at(slot).pendingFill)
+        return;
+    timeoutFired(f, slot);
+}
+
+void
+FilterBank::poison(BarrierFilter &f)
+{
+    if (!f.active() || f.poisoned)
+        return;
+    f.poisoned = true;
+    ++stats.counter(name + ".poisons");
+    for (auto &e : f.entries) {
+        if (!e.pendingFill)
+            continue;
         e.pendingFill = false;
         ++stats.counter(name + ".timeoutNacks");
         Msg msg = e.pendingMsg;
         msg.type = MsgType::NackError;
         nackHandler(msg);
-    });
+    }
+}
+
+std::vector<FilterBank::BlockedFill>
+FilterBank::blockedFills() const
+{
+    std::vector<BlockedFill> out;
+    for (unsigned i = 0; i < filters.size(); ++i) {
+        const BarrierFilter &f = filters[i];
+        if (!f.active() || f.poisoned)
+            continue;
+        for (unsigned s = 0; s < f.entries.size(); ++s) {
+            if (f.entries[s].pendingFill)
+                out.push_back({i, s, f.entries[s].pendingMsg.core});
+        }
+    }
+    return out;
 }
 
 bool
@@ -205,7 +268,7 @@ void
 FilterBank::onInvalidate(Addr lineAddr)
 {
     for (auto &f : filters) {
-        if (!f.active())
+        if (!f.active() || f.poisoned)
             continue;
 
         if (auto slot = f.arrivalSlot(lineAddr)) {
@@ -262,6 +325,13 @@ FilterBank::onFillRequest(const Msg &msg)
         if (!slot)
             continue;
 
+        if (f.poisoned) {
+            // The filter failed; every fill is error-nacked so the core
+            // traps into the OS recovery path.
+            ++stats.counter(name + ".poisonedNacks");
+            return FillAction::Error;
+        }
+
         auto &e = f.entries[*slot];
         switch (e.state) {
           case FilterThreadState::Waiting:
@@ -278,8 +348,19 @@ FilterBank::onFillRequest(const Msg &msg)
             if (e.pendingFill) {
                 // A second fill for the same slot (e.g. reissued after a
                 // context switch migrated the thread): keep only the
-                // newest; nack nothing, just replace.
+                // newest. When the superseded request came from a
+                // *different* core, that core's L1 MSHR would otherwise
+                // wait forever — and if the thread ever migrates back
+                // there, its reissued load coalesces into the dead entry
+                // and the system livelocks. Error-nack the stale request:
+                // its waiters were squashed when the thread was switched
+                // out, so the nack only frees the orphaned MSHR.
                 ++stats.counter(name + ".replacedPendingFills");
+                if (e.pendingMsg.core != msg.core) {
+                    Msg stale = e.pendingMsg;
+                    stale.type = MsgType::NackError;
+                    nackHandler(stale);
+                }
             }
             e.pendingFill = true;
             e.pendingMsg = msg;
@@ -292,6 +373,40 @@ FilterBank::onFillRequest(const Msg &msg)
         }
     }
     return FillAction::Pass;
+}
+
+void
+FilterBank::dumpState(std::ostream &os) const
+{
+    auto stateName = [](FilterThreadState s) {
+        switch (s) {
+          case FilterThreadState::Waiting:
+            return "Waiting";
+          case FilterThreadState::Blocking:
+            return "Blocking";
+          case FilterThreadState::Servicing:
+            return "Servicing";
+        }
+        return "?";
+    };
+    for (unsigned i = 0; i < filters.size(); ++i) {
+        const BarrierFilter &f = filters[i];
+        if (!f.active())
+            continue;
+        os << "  " << name << ".filter" << i << ": arrival=" << std::hex
+           << f.map.arrivalBase << " exit=" << f.map.exitBase << std::dec
+           << " threads=" << f.map.numThreads << " arrived="
+           << f.arrivedCounter << " opens=" << f.opens
+           << (f.poisoned ? " POISONED" : "") << "\n";
+        for (unsigned s = 0; s < f.entries.size(); ++s) {
+            const auto &e = f.entries[s];
+            os << "    slot " << s << ": " << stateName(e.state)
+               << (e.pendingFill ? " fill-withheld from core " +
+                                       std::to_string(e.pendingMsg.core)
+                                 : "")
+               << "\n";
+        }
+    }
 }
 
 } // namespace bfsim

@@ -24,6 +24,7 @@
 #define BFSIM_FILTER_BARRIER_FILTER_HH
 
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -95,6 +96,14 @@ class BarrierFilter
     unsigned arrivedCount() const { return arrivedCounter; }
     uint64_t openCount() const { return opens; }
 
+    /**
+     * A poisoned filter has suffered an unrecoverable-in-hardware error
+     * (a timeout fired under recovery mode, or the OS faulted it). It
+     * nacks every fill with an error code, ignores invalidations, and
+     * waits to be swapped out; software must run the barrier instead.
+     */
+    bool isPoisoned() const { return poisoned; }
+
   private:
     friend class FilterBank;
 
@@ -111,6 +120,7 @@ class BarrierFilter
     unsigned arrivedCounter = 0;
     uint64_t opens = 0;   ///< barrier episodes completed (epoch counter)
     bool armed = false;
+    bool poisoned = false;
 };
 
 /**
@@ -137,6 +147,16 @@ class FilterBank
 
     /** Diagnostic hook for misuse errors (default: warn). */
     void setErrorHook(std::function<void(const std::string &)> hook);
+
+    /**
+     * When set, a firing timeout poisons the whole filter instead of
+     * nacking a single slot: every pending fill is nacked, future fills
+     * are error-nacked and invalidations ignored, so *all* threads of the
+     * barrier funnel into the software fallback for the faulted epoch and
+     * beyond. This keeps the epoch count coherent across threads, which
+     * single-slot nacks cannot (part of the end-to-end recovery path).
+     */
+    void setTimeoutPoisons(bool v) { timeoutPoisons = v; }
 
     /** OS: grab a free filter. @return nullptr when all are in use. */
     BarrierFilter *allocate(const BarrierFilter::AddressMap &map);
@@ -167,16 +187,43 @@ class FilterBank
     /** Direct access for tests. */
     BarrierFilter &filterAt(unsigned i) { return filters[i]; }
 
+    /**
+     * Poison @p f: nack every withheld fill with an error code and put
+     * the filter in a state where future fills are error-nacked too.
+     * Used by the timeout (under setTimeoutPoisons) and by the OS when a
+     * core traps on a barrier fault.
+     */
+    void poison(BarrierFilter &f);
+
+    /** Force the Section 3.3.4 timeout on one withheld fill, now. */
+    void fireTimeout(unsigned filterIdx, unsigned slot);
+
+    /** One fill currently withheld by a filter of this bank. */
+    struct BlockedFill
+    {
+        unsigned filterIdx;
+        unsigned slot;
+        CoreId core;
+    };
+
+    /** All withheld fills (fault injector / diagnostics). */
+    std::vector<BlockedFill> blockedFills() const;
+
+    /** Human-readable FSM snapshot for the watchdog dump. */
+    void dumpState(std::ostream &os) const;
+
   private:
     void open(BarrierFilter &f);
     void misuse(const std::string &what);
     void armTimeout(BarrierFilter &f, unsigned slot);
+    void timeoutFired(BarrierFilter &f, unsigned slot);
 
     EventQueue &eventq;
     StatGroup &stats;
     std::string name;
     bool strict;
     Tick timeoutCycles;
+    bool timeoutPoisons = false;
     std::vector<BarrierFilter> filters;
     std::function<void(const Msg &)> releaseHandler;
     std::function<void(const Msg &)> nackHandler;

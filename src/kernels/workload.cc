@@ -82,6 +82,8 @@ runKernel(const CmpConfig &cfg, KernelId id, const KernelParams &params,
     run.cycles = sys.run();
     run.correct = !sys.anyBarrierError() && kernel->check(sys);
     run.instructions = sys.totalInstructions();
+    run.recoveries = sys.statistics().counterValue("os.barrierRecoveries");
+    run.fallbacks = sys.statistics().counterValue("os.barrierFallbacks");
     return run;
 }
 

@@ -57,6 +57,10 @@ struct KernelRun
     Tick cycles = 0;
     bool correct = false;
     uint64_t instructions = 0;
+    /** Barriers degraded to the software fallback (filter recovery). */
+    uint64_t recoveries = 0;
+    /** Filter requests the OS fell back to software at registration. */
+    uint64_t fallbacks = 0;
 };
 
 /**

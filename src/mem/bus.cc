@@ -35,9 +35,22 @@ Bus::occupancy(const Msg &msg) const
 }
 
 void
+Bus::setFaultDelayHook(std::function<Tick()> hook)
+{
+    faultDelayHook = std::move(hook);
+}
+
+void
 Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
 {
     Tick occ = occupancy(msg);
+    if (faultDelayHook) {
+        Tick extra = faultDelayHook();
+        if (extra > 0) {
+            occ += extra;
+            stats.counter("bus." + busName + ".faultDelayCycles") += extra;
+        }
+    }
     Tick start = std::max(eventq.now(), freeAt);
     freeAt = start + occ;
     totalBusy += occ;
@@ -106,6 +119,15 @@ Interconnect::responseBusyCycles() const
     for (const auto &l : respLinks)
         total += l->busyCycles();
     return total;
+}
+
+void
+Interconnect::setFaultDelayHook(const std::function<Tick()> &hook)
+{
+    for (auto &l : reqLinks)
+        l->setFaultDelayHook(hook);
+    for (auto &l : respLinks)
+        l->setFaultDelayHook(hook);
 }
 
 void

@@ -49,6 +49,13 @@ class Bus
     /** Occupancy of one message in cycles. */
     Tick occupancy(const Msg &msg) const;
 
+    /**
+     * Fault injection: called once per message; the returned extra cycles
+     * are added to the message's occupancy. Added to occupancy — not the
+     * propagation delay — so FIFO delivery order is preserved.
+     */
+    void setFaultDelayHook(std::function<Tick()> hook);
+
   private:
     EventQueue &eventq;
     StatGroup &stats;
@@ -58,6 +65,7 @@ class Bus
     Tick propLatency;
     Tick freeAt = 0;
     Tick totalBusy = 0;
+    std::function<Tick()> faultDelayHook;
 };
 
 /** Fabric topologies between the cores and the L2 banks. */
@@ -108,6 +116,9 @@ class Interconnect
 
     /** Total busy cycles across all response-direction links. */
     Tick responseBusyCycles() const;
+
+    /** Install @p hook on every existing link (fault injection). */
+    void setFaultDelayHook(const std::function<Tick()> &hook);
 
   private:
     void deliverToCore(const Msg &msg);

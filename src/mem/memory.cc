@@ -143,7 +143,20 @@ MainMemory::timedAccess(Addr, std::function<void()> onDone)
     Tick start = std::max(eventq.now(), channelFreeAt);
     channelFreeAt = start + serviceInterval;
     Tick doneAt = start + latency;
+    if (faultDelayHook) {
+        Tick extra = faultDelayHook();
+        if (extra > 0) {
+            doneAt += extra;
+            stats.counter("dram.faultDelayCycles") += extra;
+        }
+    }
     eventq.scheduleAt(doneAt, std::move(onDone));
+}
+
+void
+MainMemory::setFaultDelayHook(std::function<Tick()> hook)
+{
+    faultDelayHook = std::move(hook);
 }
 
 } // namespace bfsim

@@ -65,6 +65,12 @@ class MainMemory
      */
     void timedAccess(Addr lineAddr, std::function<void()> onDone);
 
+    /**
+     * Fault injection: called once per timed access; the returned extra
+     * cycles are added to that access's completion latency.
+     */
+    void setFaultDelayHook(std::function<Tick()> hook);
+
   private:
     using Page = std::array<uint8_t, pageBytes>;
 
@@ -76,6 +82,7 @@ class MainMemory
     Tick latency;
     Tick serviceInterval;
     Tick channelFreeAt = 0;
+    std::function<Tick()> faultDelayHook;
 
     mutable std::unordered_map<Addr, std::unique_ptr<Page>> pages;
 };

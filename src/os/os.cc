@@ -6,7 +6,9 @@
 #include "os/os.hh"
 
 #include <cmath>
+#include <ostream>
 
+#include "isa/builder.hh"
 #include "sim/log.hh"
 #include "sys/system.hh"
 
@@ -96,6 +98,8 @@ Os::resetAllocators()
     filterRegionNext = filterRegionBase;
     syncRegionNext = syncRegionBase;
     dataRegionNext = dataRegionBase;
+    recoverySpans.clear();
+    recoveryRecords.clear();
 }
 
 // ----- threads ---------------------------------------------------------------------
@@ -247,6 +251,21 @@ Os::registerBarrier(BarrierKind kind, unsigned numThreads)
                 m1.startServicing = true;
                 h.filters[1] = sys.filterBank(h.bank).allocate(m1);
             }
+            if (sys.config().filterRecovery) {
+                // Fallback plumbing: mode word + a sense-reversal
+                // counter/flag the emitted sequence can degrade onto.
+                h.modeAddr = allocSync(h.lineBytes);
+                h.fbCounterAddr = allocSync(h.lineBytes);
+                h.fbFlagAddr = allocSync(h.lineBytes);
+                RecoveryRecord rec;
+                rec.modeAddr = h.modeAddr;
+                rec.bank = h.bank;
+                rec.filters[0] = h.filters[0];
+                rec.filters[1] = h.filters[1];
+                h.recoveryId = int(recoveryRecords.size());
+                recoveryRecords.push_back(rec);
+                h.owner = this;
+            }
             return h;
         }
     }
@@ -283,6 +302,86 @@ Os::releaseBarrier(BarrierHandle &h)
     } else if (h.granted == BarrierKind::HwNetwork && h.networkId >= 0) {
         sys.network().destroyBarrier(h.networkId);
         h.networkId = -1;
+    }
+    if (h.recoveryId >= 0) {
+        // The filters are gone; drop the stale pointers but keep the
+        // record so late faults in this span still resolve (degraded
+        // stays as-is: the mode word outlives the filter).
+        auto &rec = recoveryRecords.at(size_t(h.recoveryId));
+        rec.filters[0] = nullptr;
+        rec.filters[1] = nullptr;
+    }
+}
+
+// ----- filter error recovery -------------------------------------------------------
+
+void
+Os::registerRecoverySpan(Addr begin, Addr end, int recoveryId)
+{
+    if (recoveryId < 0 || size_t(recoveryId) >= recoveryRecords.size())
+        fatal("Os: recovery span for unknown record");
+    recoverySpans.push_back({begin, end, recoveryId});
+}
+
+bool
+Os::handleBarrierFault(ThreadContext *t, Addr faultPc, bool isFetch)
+{
+    auto find = [this](Addr pc) -> const RecoverySpan * {
+        for (const auto &s : recoverySpans)
+            if (pc >= s.begin && pc < s.end)
+                return &s;
+        return nullptr;
+    };
+    const RecoverySpan *span = find(faultPc);
+    if (!span && isFetch) {
+        // I-cache kinds fault while fetching the shared arrival block,
+        // whose pc lies outside every invocation span; the link register
+        // written by the jalr still points into the faulting invocation.
+        span = find(Addr(t->iregs[regRa.idx]));
+    }
+    if (!span)
+        return false;
+
+    RecoveryRecord &rec = recoveryRecords.at(size_t(span->recoveryId));
+    ++sys.statistics().counter("os.barrierFaults");
+    if (!rec.degraded) {
+        rec.degraded = true;
+        // The mode word is read at issue from functional memory, so the
+        // flip is visible to every thread's next prologue load at once.
+        sys.mem.write64(rec.modeAddr, 1);
+        for (auto *f : rec.filters) {
+            if (f)
+                sys.filterBank(rec.bank).poison(*f);
+        }
+        ++sys.statistics().counter("os.barrierRecoveries");
+        warn("os: barrier fault (tid " + std::to_string(t->tid) +
+             "); degrading barrier to software fallback");
+    }
+    // Re-run the invocation from the top; the prologue now takes the
+    // software path.
+    t->pc = span->begin;
+    return true;
+}
+
+void
+Os::dumpThreads(std::ostream &os) const
+{
+    for (const auto &tp : threads) {
+        const ThreadContext *t = tp.get();
+        int runningOn = -1;
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            if (sys.core(CoreId(c)).thread() == t)
+                runningOn = int(c);
+        }
+        os << "  tid " << t->tid << ": pc=" << std::hex << t->pc << std::dec
+           << " insts=" << t->instsExecuted;
+        if (t->halted)
+            os << " HALTED" << (t->barrierError ? " (barrier error)" : "");
+        if (runningOn >= 0)
+            os << " on core " << runningOn;
+        else
+            os << " descheduled";
+        os << "\n";
     }
 }
 

@@ -20,6 +20,7 @@ namespace bfsim
 
 class CmpSystem;
 class BarrierFilter;
+class Os;
 
 /** The barrier mechanisms the runtime library can emit. */
 enum class BarrierKind
@@ -68,6 +69,17 @@ struct BarrierHandle
     Addr flagAddr = 0;
     Addr treeBase = 0;
     unsigned treeLevels = 0;
+
+    // End-to-end error recovery (filter kinds under cfg.filterRecovery):
+    // the emitted sequence first loads the mode word at modeAddr and, when
+    // set, runs an inline sense-reversal fallback barrier on
+    // fbCounterAddr/fbFlagAddr instead of touching the filter. The OS
+    // flips the word when a filter fault traps (Section 3.3.4 timeout).
+    Addr modeAddr = 0;
+    Addr fbCounterAddr = 0;
+    Addr fbFlagAddr = 0;
+    int recoveryId = -1;
+    Os *owner = nullptr;
 
     Addr arrivalAddr(int which, unsigned slot) const
     {
@@ -127,6 +139,27 @@ class Os
     /** Swap a barrier out, freeing its filter(s) (Section 3.3.3). */
     void releaseBarrier(BarrierHandle &handle);
 
+    // ----- filter error recovery ---------------------------------------------
+
+    /**
+     * Runtime library: map one emitted barrier invocation's code span
+     * [begin, end) to a recovery record, so a fault inside the span can
+     * be attributed to its barrier handle.
+     */
+    void registerRecoverySpan(Addr begin, Addr end, int recoveryId);
+
+    /**
+     * Core exception handler (wired by CmpSystem under filterRecovery):
+     * attribute the faulting pc to a barrier invocation, degrade that
+     * barrier to its software fallback (set the mode word, poison the
+     * filters), and rewind the thread to the start of the invocation.
+     * @return false when the pc is no barrier of ours (core then halts).
+     */
+    bool handleBarrierFault(ThreadContext *t, Addr faultPc, bool isFetch);
+
+    /** Thread/run-queue snapshot for the watchdog dump. */
+    void dumpThreads(std::ostream &os) const;
+
     // ----- memory regions ---------------------------------------------------------
 
     /** Allocate kernel/workload data. */
@@ -146,8 +179,27 @@ class Os
     Addr allocFilterGroup(unsigned numThreads, unsigned bank,
                           Addr strideBytes);
 
+    /** One emitted barrier invocation's code range. */
+    struct RecoverySpan
+    {
+        Addr begin;
+        Addr end;
+        int recoveryId;
+    };
+
+    /** Everything needed to degrade one filter barrier to software. */
+    struct RecoveryRecord
+    {
+        Addr modeAddr = 0;
+        unsigned bank = 0;
+        BarrierFilter *filters[2] = {nullptr, nullptr};
+        bool degraded = false;
+    };
+
     CmpSystem &sys;
     std::vector<std::unique_ptr<ThreadContext>> threads;
+    std::vector<RecoverySpan> recoverySpans;
+    std::vector<RecoveryRecord> recoveryRecords;
     Addr filterRegionNext;
     Addr syncRegionNext;
     Addr dataRegionNext;

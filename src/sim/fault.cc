@@ -1,0 +1,242 @@
+/**
+ * @file
+ * FaultInjector implementation.
+ */
+
+#include "sim/fault.hh"
+
+#include "sim/log.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+/** Address region for exhaustion-claimed filters; never touched by code. */
+constexpr Addr claimRegionBase = 0x0600'0000;
+
+} // namespace
+
+void
+FaultConfig::validate() const
+{
+    auto prob = [](double p, const char *what) {
+        if (p < 0.0 || p > 1.0)
+            fatal(std::string("FaultConfig: ") + what +
+                  " must be in [0, 1]");
+    };
+    prob(busDelayProb, "busdelayprob");
+    prob(memDelayProb, "memdelayprob");
+    prob(evictProb, "evictprob");
+    prob(descheduleProb, "descheduleprob");
+    prob(timeoutProb, "timeoutprob");
+    if (enabled && interval == 0)
+        fatal("FaultConfig: interval must be positive");
+    if (rescheduleDelayMin > rescheduleDelayMax)
+        fatal("FaultConfig: reschedule delay bounds inverted");
+}
+
+FaultInjector::FaultInjector(CmpSystem &system, const FaultConfig &config)
+    : sys(system), cfg(config), rng(cfg.seed),
+      descheduleInFlight(sys.numCores(), false)
+{
+    cfg.validate();
+    if (cfg.busDelayProb > 0.0)
+        sys.interconnect().setFaultDelayHook([this] { return busDelay(); });
+    if (cfg.memDelayProb > 0.0)
+        sys.memory().setFaultDelayHook([this] { return memDelay(); });
+    claimFilters();
+    scheduleNext();
+}
+
+void
+FaultInjector::claimFilters()
+{
+    if (cfg.exhaustFilters == 0)
+        return;
+    Addr stride = Addr(sys.numBanks()) * sys.config().lineBytes;
+    Addr next = claimRegionBase;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        for (unsigned i = 0; i < cfg.exhaustFilters; ++i) {
+            BarrierFilter::AddressMap m;
+            m.arrivalBase = next;
+            next += 2 * stride;
+            m.exitBase = next;
+            next += 2 * stride;
+            m.strideBytes = stride;
+            m.numThreads = 1;
+            if (sys.filterBank(b).allocate(m))
+                ++sys.statistics().counter("faults.claimedFilters");
+        }
+    }
+}
+
+void
+FaultInjector::scheduleNext()
+{
+    // Jittered period: deterministic for a fixed seed, but not phase-locked
+    // to any periodic behaviour of the workload.
+    Tick delay = std::max<Tick>(1, cfg.interval / 2 +
+                                       rng.below(cfg.interval));
+    sys.eventQueue().schedule(delay, [this] { decisionPoint(); });
+}
+
+void
+FaultInjector::decisionPoint()
+{
+    if (sys.allThreadsHalted())
+        return; // run is over; stop feeding the event queue
+    if (cfg.evictProb > 0.0 && rng.real() < cfg.evictProb)
+        injectEviction();
+    if (cfg.descheduleProb > 0.0 && rng.real() < cfg.descheduleProb)
+        injectDeschedule();
+    if (cfg.timeoutProb > 0.0 && rng.real() < cfg.timeoutProb)
+        injectTimeout();
+    scheduleNext();
+}
+
+// ----- per-message timing faults ---------------------------------------------
+
+Tick
+FaultInjector::busDelay()
+{
+    if (rng.real() >= cfg.busDelayProb)
+        return 0;
+    Tick d = 1 + rng.below(std::max<Tick>(1, cfg.busDelayMax));
+    ++sys.statistics().counter("faults.busDelays");
+    return d;
+}
+
+Tick
+FaultInjector::memDelay()
+{
+    if (rng.real() >= cfg.memDelayProb)
+        return 0;
+    Tick d = 1 + rng.below(std::max<Tick>(1, cfg.memDelayMax));
+    ++sys.statistics().counter("faults.memDelays");
+    return d;
+}
+
+// ----- forced eviction of a filter line (Section 3.4 hazard) ------------------
+
+void
+FaultInjector::injectEviction()
+{
+    // Collect every line registered to an active (non-claimed) filter.
+    std::vector<Addr> lines;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        FilterBank &bank = sys.filterBank(b);
+        for (unsigned i = 0; i < bank.capacity(); ++i) {
+            BarrierFilter &f = bank.filterAt(i);
+            if (!f.active())
+                continue;
+            const auto &m = f.addressMap();
+            if (m.arrivalBase >= claimRegionBase &&
+                m.arrivalBase < claimRegionBase + 0x0100'0000)
+                continue; // exhaustion-claimed dummy
+            for (unsigned s = 0; s < m.numThreads; ++s) {
+                lines.push_back(m.arrivalBase + s * m.strideBytes);
+                lines.push_back(m.exitBase + s * m.strideBytes);
+            }
+        }
+    }
+    if (lines.empty())
+        return;
+    Addr line = lines[rng.below(lines.size())];
+    CoreId core = CoreId(rng.below(sys.numCores()));
+    // Drop any copy above the filter. Functional bytes live in MainMemory,
+    // so this only perturbs timing/coherence state — exactly what a
+    // capacity or prefetch-induced eviction does.
+    sys.l1i(core).handleInvSnoop(line);
+    sys.l1d(core).handleInvSnoop(line);
+    ++sys.statistics().counter("faults.evictions");
+}
+
+// ----- forced context switch of a filter-blocked thread (Section 3.3.3) -------
+
+void
+FaultInjector::injectDeschedule()
+{
+    std::vector<CoreId> candidates;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        for (const auto &bf : sys.filterBank(b).blockedFills()) {
+            CoreId c = bf.core;
+            if (c < 0 || unsigned(c) >= sys.numCores())
+                continue;
+            if (descheduleInFlight[size_t(c)])
+                continue;
+            if (sys.core(c).idle())
+                continue; // thread migrated away / halted already
+            // The recorded core id goes stale if the blocked thread was
+            // already migrated; only switch out a core that really is
+            // stalled waiting on memory, like the OS itself would.
+            if (!sys.core(c).stalledOnFetch() &&
+                sys.core(c).outstandingOps() == 0)
+                continue;
+            candidates.push_back(c);
+        }
+    }
+    if (candidates.empty())
+        return;
+    CoreId victim = candidates[rng.below(candidates.size())];
+    descheduleInFlight[size_t(victim)] = true;
+    ++sys.statistics().counter("faults.deschedules");
+    Tick delay = Tick(rng.range(int64_t(cfg.rescheduleDelayMin),
+                                int64_t(cfg.rescheduleDelayMax)));
+    sys.os().deschedule(victim, [this, victim, delay](ThreadContext *t) {
+        descheduleInFlight[size_t(victim)] = false;
+        if (!t || t->halted)
+            return;
+        scheduleReschedule(t, delay);
+    });
+}
+
+void
+FaultInjector::scheduleReschedule(ThreadContext *t, Tick delay)
+{
+    sys.eventQueue().schedule(delay, [this, t] {
+        if (t->halted)
+            return;
+        // Resume on any idle core — often a different one, which is the
+        // interesting migration case (addresses, not the core, identify
+        // the thread slot, Section 3.3.2).
+        std::vector<CoreId> idle;
+        for (unsigned c = 0; c < sys.numCores(); ++c)
+            if (sys.core(CoreId(c)).idle())
+                idle.push_back(CoreId(c));
+        if (idle.empty()) {
+            scheduleReschedule(t, 200); // all busy: park a little longer
+            return;
+        }
+        CoreId target = idle[rng.below(idle.size())];
+        ++sys.statistics().counter("faults.reschedules");
+        sys.os().reschedule(t, target);
+    });
+}
+
+// ----- forced hardware timeout (Section 3.3.4) --------------------------------
+
+void
+FaultInjector::injectTimeout()
+{
+    struct Candidate
+    {
+        unsigned bank;
+        unsigned filterIdx;
+        unsigned slot;
+    };
+    std::vector<Candidate> candidates;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        for (const auto &bf : sys.filterBank(b).blockedFills())
+            candidates.push_back({b, bf.filterIdx, bf.slot});
+    }
+    if (candidates.empty())
+        return;
+    const Candidate &c = candidates[rng.below(candidates.size())];
+    ++sys.statistics().counter("faults.forcedTimeouts");
+    sys.filterBank(c.bank).fireTimeout(c.filterIdx, c.slot);
+}
+
+} // namespace bfsim

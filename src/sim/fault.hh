@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic, seeded fault-injection engine.
+ *
+ * The injector provokes the rare paths the paper only describes: the
+ * Section 3.4 prefetch-vs-filter hazard (a filter line evicted from above
+ * the filter mid-barrier), Section 3.3.3 context switches of threads
+ * blocked at a filter, and the Section 3.3.4 hardware timeout — plus
+ * generic timing perturbation (random extra bus / DRAM latency) and filter
+ * exhaustion. Every decision flows through one xoshiro256** stream, so a
+ * fixed seed reproduces a faulty run bit-for-bit.
+ */
+
+#ifndef BFSIM_SIM_FAULT_HH
+#define BFSIM_SIM_FAULT_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class CmpSystem;
+struct ThreadContext;
+
+/**
+ * Configuration of the fault-injection engine (part of CmpConfig).
+ * Probabilities are per decision point (every ~@ref interval ticks) except
+ * the bus/memory delay probabilities, which apply per message / access.
+ */
+struct FaultConfig
+{
+    bool enabled = false;
+    uint64_t seed = 1;         ///< reproduces a faulty run bit-for-bit
+    Tick interval = 200;       ///< ticks between injector decision points
+
+    double busDelayProb = 0.0; ///< per bus message: chance of extra delay
+    Tick busDelayMax = 20;     ///< extra bus occupancy in [1, max] cycles
+    double memDelayProb = 0.0; ///< per DRAM access: chance of extra delay
+    Tick memDelayMax = 100;    ///< extra DRAM latency in [1, max] cycles
+
+    /** Evict a random live filter arrival/exit line from a random L1. */
+    double evictProb = 0.0;
+    /** Deschedule a thread currently blocked at a filter (Section 3.3.3). */
+    double descheduleProb = 0.0;
+    Tick rescheduleDelayMin = 500;  ///< parked-thread resume delay bounds
+    Tick rescheduleDelayMax = 5000;
+    /** Fire the Section 3.3.4 timeout on a random withheld fill. */
+    double timeoutProb = 0.0;
+    /** Pre-claim this many filters per bank (exhaustion -> SW fallback). */
+    unsigned exhaustFilters = 0;
+
+    /** Sanity-check ranges; throws FatalError on nonsense. */
+    void validate() const;
+};
+
+/**
+ * Drives fault injection against one CmpSystem. Owned by the system and
+ * constructed only when FaultConfig::enabled is set; bus and DRAM delay
+ * hooks are installed at construction, and the periodic decision events
+ * begin at tick 0.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(CmpSystem &sys, const FaultConfig &cfg);
+
+    uint64_t seed() const { return cfg.seed; }
+
+  private:
+    void claimFilters();
+    void scheduleNext();
+    void decisionPoint();
+    void injectEviction();
+    void injectDeschedule();
+    void injectTimeout();
+    void scheduleReschedule(ThreadContext *t, Tick delay);
+    Tick busDelay();
+    Tick memDelay();
+
+    CmpSystem &sys;
+    FaultConfig cfg;
+    Rng rng;
+    /** Cores with an injected deschedule still in flight. */
+    std::vector<bool> descheduleInFlight;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_FAULT_HH

@@ -44,6 +44,22 @@ CmpConfig::fromOptions(const OptionMap &opts)
         opts.getBool("filterretain", c.filterRetainsL2Copy);
     c.networkLinkLatency = opts.getUint("netlink", c.networkLinkLatency);
     c.networkRestartCost = opts.getUint("netrestart", c.networkRestartCost);
+    c.watchdogInterval = opts.getUint("watchdog", c.watchdogInterval);
+    c.filterRecovery = opts.getBool("recovery", c.filterRecovery);
+    c.faults.enabled = opts.getBool("faults", c.faults.enabled);
+    c.faults.seed = opts.getUint("faultseed", c.faults.seed);
+    c.faults.interval = opts.getUint("faultinterval", c.faults.interval);
+    c.faults.busDelayProb = opts.getDouble("faultbusprob", c.faults.busDelayProb);
+    c.faults.busDelayMax = opts.getUint("faultbusmax", c.faults.busDelayMax);
+    c.faults.memDelayProb = opts.getDouble("faultmemprob", c.faults.memDelayProb);
+    c.faults.memDelayMax = opts.getUint("faultmemmax", c.faults.memDelayMax);
+    c.faults.evictProb = opts.getDouble("faultevictprob", c.faults.evictProb);
+    c.faults.descheduleProb =
+        opts.getDouble("faultdeschedprob", c.faults.descheduleProb);
+    c.faults.timeoutProb =
+        opts.getDouble("faulttimeoutprob", c.faults.timeoutProb);
+    c.faults.exhaustFilters =
+        unsigned(opts.getUint("faultexhaust", c.faults.exhaustFilters));
     c.validate();
     return c;
 }
@@ -61,6 +77,7 @@ CmpConfig::validate() const
         fatal("CmpConfig: L2 size must divide evenly across banks");
     if (busBytesPerCycle == 0)
         fatal("CmpConfig: bus bandwidth must be positive");
+    faults.validate();
 }
 
 void

@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace bfsim
@@ -74,6 +75,24 @@ struct CmpConfig
     // Dedicated barrier network baseline: 2-cycle links, 1-cycle restart.
     Tick networkLinkLatency = 2;
     Tick networkRestartCost = 1;
+
+    /**
+     * Progress watchdog: if no instruction retires system-wide for this
+     * many ticks while threads are still live, dump per-core diagnostics
+     * and fail. 0 disables the watchdog.
+     */
+    Tick watchdogInterval = 1'000'000;
+
+    /**
+     * End-to-end filter error recovery: a timeout-coded NackError poisons
+     * the filter, is delivered to the faulting core as an exception, and
+     * the OS transparently degrades that barrier handle to a software
+     * fallback barrier instead of halting the thread.
+     */
+    bool filterRecovery = false;
+
+    /** Fault-injection engine (off by default). */
+    FaultConfig faults;
 
     /** Apply "key=value" overrides (cores=32, l2banks=8, ...). */
     static CmpConfig fromOptions(const OptionMap &opts);

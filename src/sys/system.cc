@@ -71,17 +71,88 @@ CmpSystem::CmpSystem(const CmpConfig &config)
     }
 
     osPtr = std::make_unique<Os>(*this);
+
+    if (cfg.filterRecovery) {
+        // Timeouts fail the whole filter (so every thread degrades
+        // together), and nacked fills trap into the OS recovery path
+        // instead of halting the thread.
+        for (auto &fb : filterBanks)
+            fb->setTimeoutPoisons(true);
+        for (auto &c : cores) {
+            c->setExceptionHandler(
+                [this](ThreadContext *t, Addr pc, bool isFetch) {
+                    return osPtr->handleBarrierFault(t, pc, isFetch);
+                });
+        }
+    }
+
+    if (cfg.faults.enabled)
+        injector = std::make_unique<FaultInjector>(*this, cfg.faults);
 }
 
 Tick
 CmpSystem::run(Tick limit)
 {
+    if (cfg.watchdogInterval > 0)
+        armWatchdog();
     Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
     if (liveThreads != 0 && eventq.empty()) {
+        std::ostringstream diag;
+        dumpDiagnostics(diag);
         fatal("CmpSystem: deadlock — event queue drained with " +
-              std::to_string(liveThreads) + " live thread(s)");
+              std::to_string(liveThreads) + " live thread(s)\n" +
+              diag.str());
     }
     return end;
+}
+
+void
+CmpSystem::armWatchdog()
+{
+    if (watchdogArmed)
+        return;
+    watchdogArmed = true;
+    eventq.schedule(cfg.watchdogInterval, [this] { watchdogTick(); });
+}
+
+void
+CmpSystem::watchdogTick()
+{
+    watchdogArmed = false;
+    if (liveThreads == 0)
+        return; // run complete; let the queue drain
+    uint64_t insts = totalInstructions();
+    // The event popped before this callback ran, so an empty queue here
+    // means nothing but the watchdog itself was keeping the system alive:
+    // a hard deadlock. A non-empty queue with no retired instruction for a
+    // full interval is a livelock. Either way, dump and fail.
+    if (eventq.empty() || insts == watchdogLastInsts) {
+        std::ostringstream diag;
+        dumpDiagnostics(diag);
+        fatal("CmpSystem: watchdog — no instruction retired for " +
+              std::to_string(cfg.watchdogInterval) + " ticks with " +
+              std::to_string(liveThreads) + " live thread(s)\n" +
+              diag.str());
+    }
+    watchdogLastInsts = insts;
+    armWatchdog();
+}
+
+void
+CmpSystem::dumpDiagnostics(std::ostream &os) const
+{
+    os << "=== CmpSystem diagnostics @ tick " << eventq.now() << " ===\n";
+    os << "live threads: " << liveThreads
+       << ", retired instructions: " << totalInstructions()
+       << ", pending events: " << eventq.size() << "\n";
+    os << "cores:\n";
+    for (const auto &c : cores)
+        c->dumpState(os);
+    os << "threads:\n";
+    osPtr->dumpThreads(os);
+    os << "filters:\n";
+    for (const auto &fb : filterBanks)
+        fb->dumpState(os);
 }
 
 bool

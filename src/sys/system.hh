@@ -74,8 +74,18 @@ class CmpSystem
     /** Aggregate instruction count across all threads ever started. */
     uint64_t totalInstructions() const;
 
+    /**
+     * Write per-core, per-thread, and per-filter diagnostics (PC, stall
+     * reason, MSHR occupancy, filter FSM states, OS run state) — what the
+     * watchdog dumps before failing on a hang.
+     */
+    void dumpDiagnostics(std::ostream &os) const;
+
   private:
     friend class Os;
+
+    void armWatchdog();
+    void watchdogTick();
 
     CmpConfig cfg;
     EventQueue eventq;
@@ -93,6 +103,12 @@ class CmpSystem
 
     unsigned liveThreads = 0;
     std::vector<ThreadContext *> started;
+
+    bool watchdogArmed = false;
+    uint64_t watchdogLastInsts = 0;
+
+    /** Declared last: faults must die before the components they poke. */
+    std::unique_ptr<FaultInjector> injector;
 };
 
 } // namespace bfsim

@@ -226,6 +226,174 @@ TEST(FilterErrors, ExitInvalidateWhileBlockingFaults)
     EXPECT_EQ(h.errors.size(), 1u);
 }
 
+// ----- Section 3.3.4, parameterized: every error arc in one table ------------
+
+namespace
+{
+
+/**
+ * One Section 3.3.4 error arc: a driver pokes the bank into the faulting
+ * transition; the arc either reports through the strict-mode error hook
+ * (misuse) or through a NackError fill response (timeout).
+ */
+struct ErrorArc
+{
+    const char *name;
+    void (*drive)(FilterHarness &);
+    bool viaNack; ///< true: expect a NackError; false: expect an error-hook call
+};
+
+void
+driveFillWhileWaiting(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(2));
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+}
+
+void
+driveArrivalInvWhileBlocking(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase);
+}
+
+void
+driveArrivalInvWhileServicing(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(1));
+    h.bank.onInvalidate(arrBase); // opens immediately -> Servicing
+    h.bank.onInvalidate(arrBase);
+}
+
+void
+driveExitInvWhileWaiting(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(exitBase);
+}
+
+void
+driveExitInvWhileBlocking(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(exitBase);
+}
+
+void
+driveTimeout(FilterHarness &h)
+{
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+    h.eq.run(); // lets the armed timeout fire
+}
+
+constexpr ErrorArc errorArcs[] = {
+    {"FillWhileWaiting", driveFillWhileWaiting, false},
+    {"ArrivalInvWhileBlocking", driveArrivalInvWhileBlocking, false},
+    {"ArrivalInvWhileServicing", driveArrivalInvWhileServicing, false},
+    {"ExitInvWhileWaiting", driveExitInvWhileWaiting, false},
+    {"ExitInvWhileBlocking", driveExitInvWhileBlocking, false},
+    {"Timeout", driveTimeout, true},
+};
+
+} // namespace
+
+class FilterErrorArcs : public ::testing::TestWithParam<ErrorArc>
+{
+};
+
+TEST_P(FilterErrorArcs, StrictModeReportsEveryArc)
+{
+    const ErrorArc &arc = GetParam();
+    FilterHarness h(4, /*strict=*/true, /*timeout=*/50);
+    arc.drive(h);
+    if (arc.viaNack) {
+        ASSERT_EQ(h.nacked.size(), 1u) << arc.name;
+        EXPECT_EQ(h.nacked[0].type, MsgType::NackError);
+    } else {
+        ASSERT_EQ(h.errors.size(), 1u) << arc.name;
+        EXPECT_FALSE(h.errors[0].empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Section334, FilterErrorArcs, ::testing::ValuesIn(errorArcs),
+    [](const ::testing::TestParamInfo<ErrorArc> &info) {
+        return std::string(info.param.name);
+    });
+
+// ----- poisoning (recovery mode) ---------------------------------------------
+
+TEST(FilterPoison, NacksAllPendingFillsAndErrorsFutureOnes)
+{
+    FilterHarness h;
+    auto *f = h.bank.allocate(makeMap(3));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase + stride);
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+    h.bank.onFillRequest(fillMsg(arrBase + stride, 1));
+
+    h.bank.poison(*f);
+    EXPECT_TRUE(f->isPoisoned());
+    ASSERT_EQ(h.nacked.size(), 2u);
+    EXPECT_EQ(h.nacked[0].type, MsgType::NackError);
+    EXPECT_EQ(h.nacked[1].type, MsgType::NackError);
+
+    // A late straggler's fill gets an error response, not a block.
+    EXPECT_EQ(h.bank.onFillRequest(fillMsg(arrBase + 2 * stride, 2)),
+              FillAction::Error);
+    // Invalidations of a poisoned filter are ignored (no FSM movement,
+    // no strict-mode misuse).
+    h.bank.onInvalidate(arrBase + 2 * stride);
+    EXPECT_TRUE(h.errors.empty());
+}
+
+TEST(FilterPoison, TimeoutPoisonsWholeFilterInRecoveryMode)
+{
+    FilterHarness h(4, false, /*timeout=*/100);
+    h.bank.setTimeoutPoisons(true);
+    auto *f = h.bank.allocate(makeMap(3));
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase + stride);
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+    h.bank.onFillRequest(fillMsg(arrBase + stride, 1));
+    h.eq.run(); // timeout fires on one slot, poisons the filter
+    EXPECT_TRUE(f->isPoisoned());
+    EXPECT_EQ(h.nacked.size(), 2u) << "both blocked threads must be nacked";
+}
+
+TEST(FilterPoison, ForcedFireTimeoutRespectsGuards)
+{
+    FilterHarness h; // no hardware timeout configured
+    auto *f = h.bank.allocate(makeMap(2));
+    h.bank.fireTimeout(0, 0); // no pending fill: no-op
+    EXPECT_TRUE(h.nacked.empty());
+    h.bank.onInvalidate(arrBase);
+    h.bank.onFillRequest(fillMsg(arrBase, 0));
+    h.bank.fireTimeout(0, 0); // forced injection works without a timeout
+    ASSERT_EQ(h.nacked.size(), 1u);
+    EXPECT_EQ(h.nacked[0].type, MsgType::NackError);
+    EXPECT_FALSE(f->fillPending(0));
+}
+
+TEST(FilterPoison, PoisonedFilterCanBeReleasedAndReused)
+{
+    FilterHarness h(1);
+    auto *f = h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase); // thread 0 blocked
+    h.bank.poison(*f);
+    // Release must not trip the blocked-thread check: the blocked thread
+    // was nack-released when the filter was poisoned.
+    h.bank.release(f);
+    EXPECT_EQ(h.bank.freeFilters(), 1u);
+    auto *g = h.bank.allocate(makeMap(2));
+    ASSERT_NE(g, nullptr);
+    EXPECT_FALSE(g->isPoisoned());
+}
+
 // ----- hardware timeout (Section 3.3.4) -----------------------------------------
 
 TEST(FilterTimeout, NacksLongBlockedFill)

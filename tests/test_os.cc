@@ -237,6 +237,112 @@ TEST(OsContextSwitch, IcacheBlockedThreadMigrates)
     EXPECT_FALSE(sys.anyBarrierError());
 }
 
+// ----- injected deschedule faults (Section 3.3.3 under the fault engine) -------
+
+namespace
+{
+
+/** Program: loop `epochs` times over {skewed delay; barrier}; then halt. */
+ProgramPtr
+epochBarrierProgram(Os &os, const BarrierHandle &h, unsigned tid,
+                    unsigned epochs, int64_t delayIters)
+{
+    ProgramBuilder b(os.codeBase(ThreadId(tid)));
+    BarrierCodegen bar(h, tid);
+    IntReg rK = b.temp(), rD = b.temp();
+    bar.emitInit(b);
+    b.li(rK, int64_t(epochs));
+    b.label("epoch");
+    if (delayIters > 0) {
+        b.li(rD, delayIters);
+        b.label("delay");
+        b.addi(rD, rD, -1);
+        b.bnez(rD, "delay");
+    }
+    bar.emitBarrier(b);
+    b.addi(rK, rK, -1);
+    b.bnez(rK, "epoch");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+} // namespace
+
+TEST(OsFaultDeschedule, InjectedDeschedulesOfBlockedThreadsComplete)
+{
+    // The fault engine repeatedly context-switches whichever thread is
+    // blocked at the filter (its fill withheld) and reschedules it on a
+    // random idle core after a delay; every epoch must still complete.
+    CmpConfig cfg = miniConfig(4);
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 99;
+    cfg.faults.interval = 500;
+    cfg.faults.descheduleProb = 1.0;
+    cfg.faults.rescheduleDelayMin = 300;
+    cfg.faults.rescheduleDelayMax = 1500;
+
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+    ASSERT_EQ(h.granted, BarrierKind::FilterDCache);
+
+    // Thread 1's long delay leaves thread 0 blocked at the filter across
+    // many fault-engine decision points.
+    auto *t0 = os.createThread(epochBarrierProgram(os, h, 0, 6, 0));
+    auto *t1 = os.createThread(epochBarrierProgram(os, h, 1, 6, 6000));
+    os.startThread(t0, 0);
+    os.startThread(t1, 1);
+
+    sys.run(20'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_TRUE(t0->halted);
+    EXPECT_TRUE(t1->halted);
+    EXPECT_FALSE(sys.anyBarrierError());
+    EXPECT_GE(sys.statistics().counterValue("faults.deschedules"), 1u);
+    EXPECT_GE(sys.statistics().counterValue("faults.reschedules"), 1u);
+}
+
+TEST(OsFaultDeschedule, IcacheBlockedThreadSurvivesInjectedDeschedules)
+{
+    CmpConfig cfg = miniConfig(4);
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 123;
+    cfg.faults.interval = 500;
+    cfg.faults.descheduleProb = 0.8;
+    cfg.faults.rescheduleDelayMin = 300;
+    cfg.faults.rescheduleDelayMax = 1500;
+
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    BarrierHandle h = os.registerBarrier(BarrierKind::FilterICache, 2);
+    ASSERT_EQ(h.granted, BarrierKind::FilterICache);
+
+    auto *t0 = os.createThread(epochBarrierProgram(os, h, 0, 6, 0));
+    auto *t1 = os.createThread(epochBarrierProgram(os, h, 1, 6, 6000));
+    os.startThread(t0, 0);
+    os.startThread(t1, 1);
+
+    sys.run(20'000'000);
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+    EXPECT_GE(sys.statistics().counterValue("faults.deschedules"), 1u);
+}
+
+TEST(OsFaultDeschedule, InjectedExhaustionForcesSoftwareFallback)
+{
+    // The exhaustion fault claims every filter at startup, so a filter
+    // barrier request must degrade to the software centralized barrier.
+    CmpConfig cfg = miniConfig(4, /*filtersPerBank=*/2);
+    cfg.faults.enabled = true;
+    cfg.faults.exhaustFilters = 2;
+
+    CmpSystem sys(cfg);
+    EXPECT_GE(sys.statistics().counterValue("faults.claimedFilters"), 1u);
+    BarrierHandle h = sys.os().registerBarrier(BarrierKind::FilterDCache, 4);
+    EXPECT_EQ(h.granted, BarrierKind::SwCentral);
+}
+
 TEST(OsAlloc, RegionsDoNotOverlap)
 {
     CmpSystem sys(miniConfig());

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Randomized barrier-torture harness: every barrier mechanism runs the
+ * epoch-publishing safety program while the fault injector evicts filter
+ * lines, context-switches blocked threads, fires timeouts, and perturbs
+ * bus/DRAM timing. The barrier safety property (no thread enters epoch
+ * k+1 before every thread reached epoch k) must hold in every run, every
+ * run must complete (watchdog armed), and a fixed seed must reproduce the
+ * run exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "barriers/barrier_gen.hh"
+#include "kernels/workload.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+tortureConfig(unsigned cores, uint64_t seed)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = seed;
+    cfg.faults.interval = 400;
+    cfg.faults.busDelayProb = 0.05;
+    cfg.faults.busDelayMax = 12;
+    cfg.faults.memDelayProb = 0.10;
+    cfg.faults.memDelayMax = 60;
+    cfg.faults.evictProb = 0.30;
+    cfg.faults.descheduleProb = 0.10;
+    cfg.faults.rescheduleDelayMin = 200;
+    cfg.faults.rescheduleDelayMax = 2000;
+    return cfg;
+}
+
+/**
+ * Safety-property program (same scheme as test_barriers): per epoch,
+ * publish the epoch counter, cross the barrier, then check every peer
+ * published at least this epoch; violations set errFlag.
+ */
+ProgramPtr
+buildTortureProgram(Os &os, const BarrierHandle &handle, unsigned tid,
+                    unsigned threads, unsigned epochs, Addr slots,
+                    Addr errFlag, unsigned line)
+{
+    ProgramBuilder b(os.codeBase(ThreadId(tid)));
+    BarrierCodegen bar(handle, tid);
+    IntReg rK = b.temp(), rKmax = b.temp(), rDelay = b.temp(),
+           rMy = b.temp(), rT = b.temp(), rV = b.temp(), rI = b.temp(),
+           rN = b.temp(), rErr = b.temp(), rOne = b.temp();
+
+    bar.emitInit(b);
+    b.li(rMy, int64_t(slots + tid * line));
+    b.li(rErr, int64_t(errFlag));
+    b.li(rOne, 1);
+    b.li(rK, 1);
+    b.li(rKmax, int64_t(epochs));
+    b.label("epoch");
+
+    // Skewed busy work so arrivals spread out and threads really block.
+    b.li(rDelay, int64_t(tid * 13));
+    b.slli(rT, rK, 3);
+    b.add(rDelay, rDelay, rT);
+    b.andi(rDelay, rDelay, 127);
+    b.label("delay");
+    b.beqz(rDelay, "delaydone");
+    b.addi(rDelay, rDelay, -1);
+    b.j("delay");
+    b.label("delaydone");
+
+    b.sd(rK, rMy, 0);  // publish epoch
+    bar.emitBarrier(b);
+
+    // Verify: every peer must have published at least epoch k.
+    b.li(rI, 0);
+    b.li(rN, int64_t(threads));
+    b.li(rT, int64_t(slots));
+    b.label("check");
+    b.ld(rV, rT, 0);
+    b.bge(rV, rK, "ok");
+    b.sd(rOne, rErr, 0);  // safety violation
+    b.label("ok");
+    b.addi(rT, rT, int64_t(line));
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, "check");
+
+    b.addi(rK, rK, 1);
+    b.bge(rKmax, rK, "epoch");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+struct TortureResult
+{
+    Tick cycles = 0;
+    bool halted = false;
+    bool barrierError = false;
+    uint64_t errFlag = 1;
+    bool epochsDone = false;
+    uint64_t recoveries = 0;
+    uint64_t evictions = 0;
+    uint64_t deschedules = 0;
+};
+
+TortureResult
+runTorture(const CmpConfig &cfg, BarrierKind kind, unsigned threads,
+           unsigned epochs)
+{
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    unsigned line = sys.config().lineBytes;
+
+    Addr slots = os.allocData(uint64_t(threads) * line, line);
+    Addr errFlag = os.allocData(8, line);
+
+    BarrierHandle handle = os.registerBarrier(kind, threads);
+    EXPECT_EQ(handle.granted, kind);
+
+    for (unsigned t = 0; t < threads; ++t) {
+        os.startThread(os.createThread(buildTortureProgram(
+                           os, handle, t, threads, epochs, slots, errFlag,
+                           line)),
+                       CoreId(t));
+    }
+
+    TortureResult r;
+    r.cycles = sys.run(100'000'000);
+    r.halted = sys.allThreadsHalted();
+    r.barrierError = sys.anyBarrierError();
+    r.errFlag = sys.memory().read64(errFlag);
+    r.epochsDone = true;
+    for (unsigned t = 0; t < threads; ++t)
+        r.epochsDone &= sys.memory().read64(slots + t * line) == epochs;
+    r.recoveries = sys.statistics().counterValue("os.barrierRecoveries");
+    r.evictions = sys.statistics().counterValue("faults.evictions");
+    r.deschedules = sys.statistics().counterValue("faults.deschedules");
+    return r;
+}
+
+std::string
+kindCaseName(const ::testing::TestParamInfo<BarrierKind> &info)
+{
+    std::string n = barrierKindName(info.param);
+    for (auto &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+// ----- all 7 mechanisms under a fault schedule -------------------------------
+
+class FaultTorture : public ::testing::TestWithParam<BarrierKind>
+{
+};
+
+TEST_P(FaultTorture, SafetyHoldsUnderInjectedFaults)
+{
+    const unsigned threads = 4;
+    // Two spare cores so injected reschedules can migrate threads.
+    CmpConfig cfg = tortureConfig(threads + 2, 0xb10cf11e);
+    TortureResult r = runTorture(cfg, GetParam(), threads, 20);
+    EXPECT_TRUE(r.halted) << "torture run did not complete";
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.errFlag, 0u) << "barrier safety property violated";
+    EXPECT_TRUE(r.epochsDone);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FaultTorture,
+                         ::testing::ValuesIn(allBarrierKinds()),
+                         kindCaseName);
+
+// ----- forced timeout -> software fallback -> correct completion -------------
+
+TEST(FaultRecovery, ForcedTimeoutDegradesToSoftwareAndCompletes)
+{
+    const unsigned threads = 4;
+    CmpConfig cfg = tortureConfig(threads, 7);
+    // Only forced timeouts: the first blocked fill the injector sees gets
+    // the Section 3.3.4 timeout nack, which must poison the filter and
+    // funnel every thread into the software fallback.
+    cfg.faults.busDelayProb = 0.0;
+    cfg.faults.memDelayProb = 0.0;
+    cfg.faults.evictProb = 0.0;
+    cfg.faults.descheduleProb = 0.0;
+    cfg.faults.timeoutProb = 1.0;
+    cfg.faults.interval = 150;
+
+    TortureResult r = runTorture(cfg, BarrierKind::FilterDCache, threads, 12);
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError) << "recovery should absorb the NackError";
+    EXPECT_EQ(r.errFlag, 0u) << "safety violated across the degradation";
+    EXPECT_TRUE(r.epochsDone);
+    EXPECT_GE(r.recoveries, 1u) << "timeout never degraded the barrier";
+}
+
+TEST(FaultRecovery, ForcedTimeoutRecoveryWorksForICache)
+{
+    const unsigned threads = 4;
+    CmpConfig cfg = tortureConfig(threads, 11);
+    cfg.faults.busDelayProb = 0.0;
+    cfg.faults.memDelayProb = 0.0;
+    cfg.faults.evictProb = 0.0;
+    cfg.faults.descheduleProb = 0.0;
+    cfg.faults.timeoutProb = 1.0;
+    cfg.faults.interval = 150;
+
+    TortureResult r = runTorture(cfg, BarrierKind::FilterICache, threads, 12);
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.errFlag, 0u);
+    EXPECT_TRUE(r.epochsDone);
+    EXPECT_GE(r.recoveries, 1u);
+}
+
+// ----- end-to-end: kernel result still matches golden under recovery ---------
+
+TEST(FaultRecovery, KernelMatchesGoldenAfterTimeoutFallback)
+{
+    CmpConfig cfg = tortureConfig(8, 0xdeadbeef);
+    cfg.faults.busDelayProb = 0.0;
+    cfg.faults.memDelayProb = 0.0;
+    cfg.faults.evictProb = 0.0;
+    cfg.faults.descheduleProb = 0.0;
+    cfg.faults.timeoutProb = 1.0;
+    cfg.faults.interval = 200;
+
+    KernelParams p;
+    p.n = 128;
+    p.reps = 2;
+    KernelRun run = runKernel(cfg, KernelId::Livermore3, p, true,
+                              BarrierKind::FilterDCache, 8);
+    EXPECT_TRUE(run.correct)
+        << "kernel result diverged from golden reference after fallback";
+    EXPECT_GE(run.recoveries, 1u)
+        << "fault schedule never triggered a recovery";
+}
+
+// ----- reproducibility -------------------------------------------------------
+
+TEST(FaultTortureDeterminism, FixedSeedReproducesRunExactly)
+{
+    const unsigned threads = 4;
+    CmpConfig cfg = tortureConfig(threads + 1, 42);
+    TortureResult a = runTorture(cfg, BarrierKind::FilterDCachePP, threads, 10);
+    TortureResult b = runTorture(cfg, BarrierKind::FilterDCachePP, threads, 10);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.deschedules, b.deschedules);
+    EXPECT_TRUE(a.halted && b.halted);
+    EXPECT_EQ(a.errFlag, 0u);
+    EXPECT_EQ(b.errFlag, 0u);
+}
