@@ -2,16 +2,24 @@
  * @file
  * Shared helpers for the benchmark binaries that regenerate the paper's
  * tables and figures.
+ *
+ * Every bench accepts `json=<file>` (or `--json=<file>`): in addition to
+ * the human-readable table on stdout, the run's configuration and results
+ * are written to the file as one JSON document for plotting / regression
+ * tracking. See docs/OBSERVABILITY.md.
  */
 
 #ifndef BFSIM_BENCH_COMMON_HH
 #define BFSIM_BENCH_COMMON_HH
 
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "kernels/workload.hh"
+#include "sim/json.hh"
 #include "sys/experiment.hh"
 
 namespace bfsim::bench
@@ -37,43 +45,145 @@ configFromCli(int argc, char **argv)
     return cfg;
 }
 
+/** Value of json=<file> / --json=<file>, empty when absent. */
+inline std::string
+jsonPathFromCli(int argc, char **argv)
+{
+    auto opts = OptionMap::fromArgs(argc, argv);
+    std::string path = opts.getString("json", "");
+    if (path.empty())
+        path = opts.getString("--json", "");
+    return path;
+}
+
+/** The machine knobs that matter for interpreting results. */
+inline void
+writeConfigJson(JsonWriter &w, const CmpConfig &cfg)
+{
+    w.beginObject();
+    w.kv("cores", cfg.numCores);
+    w.kv("lineBytes", cfg.lineBytes);
+    w.kv("l1SizeBytes", cfg.l1SizeBytes);
+    w.kv("l2SizeBytes", cfg.l2SizeBytes);
+    w.kv("l2Banks", cfg.l2Banks);
+    w.kv("l2Latency", uint64_t(cfg.l2Latency));
+    w.kv("l3Latency", uint64_t(cfg.l3Latency));
+    w.kv("memLatency", uint64_t(cfg.memLatency));
+    w.kv("busBytesPerCycle", cfg.busBytesPerCycle);
+    w.kv("crossbar", cfg.crossbar);
+    w.kv("filtersPerBank", cfg.filtersPerBank);
+    w.kv("filterTimeout", uint64_t(cfg.filterTimeout));
+    w.kv("filterRecovery", cfg.filterRecovery);
+    w.kv("faults", cfg.faults.enabled);
+    w.end();
+}
+
+/**
+ * Open @p path and hand a JsonWriter to @p body; announces the artifact
+ * on stdout. No-op when @p path is empty.
+ */
+inline void
+writeBenchJson(const std::string &path,
+               const std::function<void(JsonWriter &)> &body)
+{
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os)
+        fatal("json: cannot open '" + path + "' for writing");
+    JsonWriter w(os);
+    body(w);
+    os << "\n";
+    if (!os)
+        fatal("json: error writing '" + path + "'");
+    std::cout << "\nwrote " << path << "\n";
+}
+
+/** One mechanism's result as a JSON object (shared row shape). */
+inline void
+writeMechanismJson(JsonWriter &w, const std::string &name,
+                   const KernelRun &run, double speedup)
+{
+    w.beginObject();
+    w.kv("name", name);
+    w.kv("cycles", uint64_t(run.cycles));
+    w.kv("speedup", speedup);
+    w.kv("correct", run.correct);
+    w.kv("instructions", run.instructions);
+    w.kv("recoveries", run.recoveries);
+    w.kv("fallbacks", run.fallbacks);
+    w.kv("episodes", run.episodes);
+    w.kv("episodeLatencyP50", run.episodeLatencyP50);
+    w.kv("episodeLatencyP95", run.episodeLatencyP95);
+    w.kv("episodeLatencyP99", run.episodeLatencyP99);
+    w.end();
+}
+
 /**
  * Run one kernel sequentially and under every barrier mechanism; print a
- * speedup-vs-sequential table (the Figure 5 / Figure 6 format).
+ * speedup-vs-sequential table (the Figure 5 / Figure 6 format). When
+ * @p jsonFile is non-empty, also emit the results as JSON.
  */
 inline void
 speedupTable(const CmpConfig &cfg, KernelId id, const KernelParams &params,
-             unsigned threads)
+             unsigned threads, const std::string &jsonFile = "")
 {
     auto seq = runKernel(cfg, id, params, false);
     std::cout << "sequential cycles: " << seq.cycles
               << (seq.correct ? "" : "  [INCORRECT RESULT]") << "\n\n";
     printHeader(std::cout, "barrier", {"cycles", "speedup", "ok"});
+
+    std::vector<std::pair<BarrierKind, KernelRun>> rows;
     for (BarrierKind kind : allBarrierKinds()) {
         auto par = runKernel(cfg, id, params, true, kind, threads);
         printRow(std::cout, barrierKindName(kind),
                  {double(par.cycles),
                   double(seq.cycles) / double(par.cycles),
                   par.correct ? 1.0 : 0.0});
+        rows.emplace_back(kind, par);
     }
+
+    writeBenchJson(jsonFile, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("kernel", kernelName(id));
+        w.kv("threads", threads);
+        w.kv("n", params.n);
+        w.kv("reps", params.reps);
+        w.key("config");
+        writeConfigJson(w, cfg);
+        w.key("sequential").beginObject();
+        w.kv("cycles", uint64_t(seq.cycles));
+        w.kv("correct", seq.correct);
+        w.end();
+        w.key("mechanisms").beginArray();
+        for (const auto &[kind, par] : rows) {
+            writeMechanismJson(w, barrierKindName(kind), par,
+                               double(seq.cycles) / double(par.cycles));
+        }
+        w.end();
+        w.end();
+    });
 }
 
 /**
  * Vector-length sweep (the Figure 7/8/10 format): execution time of the
  * sequential version and of the parallel version under a set of barrier
- * mechanisms, one row per mechanism, one column per vector length.
+ * mechanisms, one row per mechanism, one column per vector length. When
+ * @p jsonFile is non-empty, also emit the results as JSON.
  */
 inline void
 vectorSweep(const CmpConfig &cfg, KernelId id,
             const std::vector<uint64_t> &lengths, unsigned reps,
             unsigned threads,
-            const std::vector<BarrierKind> &kinds = allBarrierKinds())
+            const std::vector<BarrierKind> &kinds = allBarrierKinds(),
+            const std::string &jsonFile = "")
 {
     std::vector<std::string> cols;
     for (uint64_t n : lengths)
         cols.push_back("N=" + std::to_string(n));
     printHeader(std::cout, "cycles", cols);
 
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
     std::vector<double> seqRow;
     bool allCorrect = true;
     for (uint64_t n : lengths) {
@@ -85,6 +195,7 @@ vectorSweep(const CmpConfig &cfg, KernelId id,
         seqRow.push_back(double(r.cycles));
     }
     printRow(std::cout, "sequential", seqRow, 12, 0);
+    rows.emplace_back("sequential", seqRow);
 
     for (BarrierKind kind : kinds) {
         std::vector<double> row;
@@ -97,10 +208,37 @@ vectorSweep(const CmpConfig &cfg, KernelId id,
             row.push_back(double(r.cycles));
         }
         printRow(std::cout, barrierKindName(kind), row, 12, 0);
+        rows.emplace_back(barrierKindName(kind), row);
     }
     if (!allCorrect)
         std::cout << "WARNING: at least one run produced incorrect "
                      "results\n";
+
+    writeBenchJson(jsonFile, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("kernel", kernelName(id));
+        w.kv("threads", threads);
+        w.kv("reps", reps);
+        w.kv("allCorrect", allCorrect);
+        w.key("lengths").beginArray();
+        for (uint64_t n : lengths)
+            w.value(n);
+        w.end();
+        w.key("config");
+        writeConfigJson(w, cfg);
+        w.key("rows").beginArray();
+        for (const auto &[name, row] : rows) {
+            w.beginObject();
+            w.kv("name", name);
+            w.key("cycles").beginArray();
+            for (double v : row)
+                w.value(v);
+            w.end();
+            w.end();
+        }
+        w.end();
+        w.end();
+    });
 }
 
 } // namespace bfsim::bench

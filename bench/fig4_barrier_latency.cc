@@ -11,7 +11,10 @@
  * bank saturation.
  *
  * Options: cores=<list via repeated runs>, barriers=N loops=N plus every
- * CmpConfig override (cores=, l2banks=, busbw=, ...).
+ * CmpConfig override (cores=, l2banks=, busbw=, ...). json=<file> dumps
+ * the full per-mechanism measurements (including barrier-episode latency
+ * percentiles) as JSON; traceout=<file> writes a Chrome trace of the last
+ * run performed.
  */
 
 #include "bench_common.hh"
@@ -33,8 +36,16 @@ main(int argc, char **argv)
         cols.push_back(std::to_string(n) + "c");
     printHeader(std::cout, "cycles/barrier", cols);
 
+    struct Cell
+    {
+        unsigned cores;
+        BarrierLatencyResult r;
+    };
+    std::vector<std::pair<BarrierKind, std::vector<Cell>>> results;
+
     for (BarrierKind kind : allBarrierKinds()) {
         std::vector<double> row;
+        std::vector<Cell> cells;
         for (unsigned n : coreCounts) {
             CmpConfig cfg = CmpConfig::fromOptions(opts);
             cfg.numCores = n;
@@ -47,9 +58,48 @@ main(int argc, char **argv)
                 unsigned(opts.getUint("loops", n >= 32 ? 2 : 8));
             auto r = measureBarrierLatency(cfg, kind, n, barriers, loops);
             row.push_back(r.cyclesPerBarrier);
+            cells.push_back({n, r});
         }
         printRow(std::cout, barrierKindName(kind), row);
+        results.emplace_back(kind, std::move(cells));
     }
+
+    bench::writeBenchJson(
+        bench::jsonPathFromCli(argc, argv), [&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("bench", "fig4_barrier_latency");
+            w.key("coreCounts").beginArray();
+            for (unsigned n : coreCounts)
+                w.value(uint64_t(n));
+            w.end();
+            w.key("mechanisms").beginArray();
+            for (const auto &[kind, cells] : results) {
+                w.beginObject();
+                w.kv("name", barrierKindName(kind));
+                w.key("runs").beginArray();
+                for (const Cell &c : cells) {
+                    w.beginObject();
+                    w.kv("cores", c.cores);
+                    w.kv("cyclesPerBarrier", c.r.cyclesPerBarrier);
+                    w.kv("totalCycles", uint64_t(c.r.totalCycles));
+                    w.kv("barriers", c.r.barriers);
+                    w.kv("reqBusBusyCycles", c.r.reqBusBusyCycles);
+                    w.kv("respBusBusyCycles", c.r.respBusBusyCycles);
+                    w.kv("invAlls", c.r.invAlls);
+                    w.kv("granted", c.r.granted);
+                    w.kv("episodes", c.r.episodes);
+                    w.kv("episodeLatencyP50", c.r.episodeLatencyP50);
+                    w.kv("episodeLatencyP95", c.r.episodeLatencyP95);
+                    w.kv("episodeLatencyP99", c.r.episodeLatencyP99);
+                    w.kv("arrivalSkewMean", c.r.arrivalSkewMean);
+                    w.end();
+                }
+                w.end();
+                w.end();
+            }
+            w.end();
+            w.end();
+        });
 
     std::cout << "\nBus occupancy at the largest configuration indicates\n"
               << "where the shared-bus saturation of Section 4.2 begins.\n";

@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     std::cout << "samples=" << p.n << " lags=" << p.lags
               << " reps=" << p.reps << " cores=" << cfg.numCores << "\n";
-    bench::speedupTable(cfg, KernelId::Autocorr, p, cfg.numCores);
+    bench::speedupTable(cfg, KernelId::Autocorr, p, cfg.numCores,
+                        bench::jsonPathFromCli(argc, argv));
     return 0;
 }

@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     std::cout << "message bits=" << p.n << " reps=" << p.reps
               << " cores=" << cfg.numCores << "\n";
-    bench::speedupTable(cfg, KernelId::Viterbi, p, cfg.numCores);
+    bench::speedupTable(cfg, KernelId::Viterbi, p, cfg.numCores,
+                        bench::jsonPathFromCli(argc, argv));
     return 0;
 }

@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     std::cout << "cores=" << cfg.numCores << " reps=" << reps << "\n";
     bench::vectorSweep(cfg, KernelId::Livermore3, lengths, reps,
-                       cfg.numCores);
+                       cfg.numCores, allBarrierKinds(),
+                       bench::jsonPathFromCli(argc, argv));
     return 0;
 }

@@ -34,6 +34,14 @@ main(int argc, char **argv)
         {KernelId::Viterbi, "EEMBC Viterbi", 256},
     };
 
+    struct Out
+    {
+        const char *label;
+        const char *kernel;
+        double bestSw, sCentral, sTree, bestFilter, sNet;
+    };
+    std::vector<Out> outs;
+
     printHeader(std::cout, "kernel",
                 {"bestSW", "whichSW", "filter", "hwnet"});
     for (const Row &row : rows) {
@@ -62,10 +70,36 @@ main(int argc, char **argv)
         auto net = runKernel(cfg, row.id, p, true, BarrierKind::HwNetwork,
                              cfg.numCores);
 
+        double sNet = double(seq.cycles) / double(net.cycles);
         printRow(std::cout, row.label,
                  {bestSw, sCentral >= sTree ? 0.0 : 1.0, bestFilter,
-                  double(seq.cycles) / double(net.cycles)});
+                  sNet});
+        outs.push_back({row.label, kernelName(row.id), bestSw, sCentral,
+                        sTree, bestFilter, sNet});
     }
     std::cout << "\nwhichSW: 0 = centralized, 1 = combining tree\n";
+
+    bench::writeBenchJson(
+        bench::jsonPathFromCli(argc, argv), [&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("bench", "table1_software_speedups");
+            w.kv("reps", reps);
+            w.key("config");
+            bench::writeConfigJson(w, cfg);
+            w.key("kernels").beginArray();
+            for (const Out &o : outs) {
+                w.beginObject();
+                w.kv("label", o.label);
+                w.kv("kernel", o.kernel);
+                w.kv("bestSoftwareSpeedup", o.bestSw);
+                w.kv("centralizedSpeedup", o.sCentral);
+                w.kv("treeSpeedup", o.sTree);
+                w.kv("bestFilterSpeedup", o.bestFilter);
+                w.kv("networkSpeedup", o.sNet);
+                w.end();
+            }
+            w.end();
+            w.end();
+        });
     return 0;
 }

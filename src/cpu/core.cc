@@ -35,8 +35,20 @@ Core::setThread(ThreadContext *t)
     fpReady.fill(0);
     fetchValid = false;
     fetchInFlight = false;
+    publishState(ctx && !ctx->halted ? CoreProbeState::Compute
+                                     : CoreProbeState::Descheduled);
     if (ctx && !ctx->halted)
         scheduleTick(0);
+}
+
+void
+Core::publishState(CoreProbeState s)
+{
+    if (s == pubState)
+        return;
+    pubState = s;
+    stats.probes().coreState.notify(
+        {eventq.now(), coreId, s, ctx ? ctx->tid : ThreadId(-1)});
 }
 
 void
@@ -80,6 +92,7 @@ Core::deliverException(Addr faultPc, bool isFetch)
         return false;
 
     ++stats.counter(name + ".barrierFaults");
+    publishState(CoreProbeState::Compute);
     scheduleTick(1);
     return true;
 }
@@ -253,6 +266,7 @@ Core::tick()
                 ctx->barrierError = true;
                 ctx->halted = true;
                 ctx->haltTick = eventq.now();
+                publishState(CoreProbeState::Descheduled);
                 if (haltCb)
                     haltCb(ctx);
                 return;
@@ -266,6 +280,7 @@ Core::tick()
             return;
         }
         fetchInFlight = true;
+        publishState(CoreProbeState::FetchStall);
         return;
     }
 
@@ -273,11 +288,18 @@ Core::tick()
 
     Tick readyAt;
     if (!operandsReady(inst, readyAt)) {
-        if (readyAt != tickNever)
+        if (readyAt != tickNever) {
+            // Pipeline-latency stall: the producer finishes at a known
+            // tick, so the core is still "computing".
+            publishState(CoreProbeState::Compute);
             scheduleTick(readyAt - eventq.now());
-        // else: an outstanding op's callback will wake us
+        } else {
+            // Waiting on a memory fill; its callback will wake us.
+            publishState(CoreProbeState::LoadStall);
+        }
         return;
     }
+    publishState(CoreProbeState::Compute);
 
     BFSIM_TRACE(TraceCat::Core, eventq.now(),
                 name << " [" << std::hex << pc << std::dec << "] "
@@ -469,6 +491,7 @@ Core::execute(const Instruction &inst)
         ctx->halted = true;
         ctx->haltTick = eventq.now();
         ++stats.counter(name + ".halts");
+        publishState(CoreProbeState::Descheduled);
         if (haltCb)
             haltCb(ctx);
         return;
@@ -493,6 +516,7 @@ Core::execute(const Instruction &inst)
         Addr ea = Addr(ir[rs1] + imm);
         L1Cache &cache = (inst.op == Opcode::Icbi) ? l1i : l1d;
         pendingInvAck = true;
+        publishState(CoreProbeState::BarrierWait);
         cache.invalidateBlock(ea, [this, e = epoch] {
             if (e != epoch)
                 return;
@@ -507,6 +531,7 @@ Core::execute(const Instruction &inst)
         if (!net)
             fatal(name + ": hbar with no barrier network configured");
         waitingHbar = true;
+        publishState(CoreProbeState::BarrierWait);
         net->arrive(int(imm), coreId, [this, e = epoch] {
             if (e != epoch)
                 return;
@@ -582,6 +607,7 @@ Core::doLoad(const Instruction &inst, Addr ea, unsigned size)
             ctx->barrierError = true;
             ctx->halted = true;
             ctx->haltTick = eventq.now();
+            publishState(CoreProbeState::Descheduled);
             if (haltCb)
                 haltCb(ctx);
             return;
@@ -750,6 +776,7 @@ Core::tryCompleteDeschedule()
 
     ThreadContext *t = ctx;
     ctx = nullptr;
+    publishState(CoreProbeState::Descheduled);
     auto cb = std::move(descheduleCb);
     descheduleCb = nullptr;
     cb(t);

@@ -31,6 +31,7 @@
 #include "mem/l1_cache.hh"
 #include "mem/memory.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 
 namespace bfsim
@@ -142,6 +143,9 @@ class Core
                      std::vector<std::pair<bool, uint8_t>> &srcs,
                      int &intDst, int &fpDst) const;
 
+    /** Publish a cycle-accounting state change to the probe bus. */
+    void publishState(CoreProbeState s);
+
     bool deliverException(Addr faultPc, bool isFetch);
     void doLoad(const Instruction &inst, Addr ea, unsigned size);
     void doStore(const Instruction &inst, Addr ea, unsigned size);
@@ -186,6 +190,9 @@ class Core
 
     bool tickScheduled = false;
     uint64_t epoch = 0;   ///< bumped on deschedule to squash callbacks
+
+    /** Last state published to the probe bus (dedupes notifications). */
+    CoreProbeState pubState = CoreProbeState::Descheduled;
 
     std::function<void(ThreadContext *)> haltCb;
     std::function<void(ThreadContext *)> descheduleCb;

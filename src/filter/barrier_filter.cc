@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "sim/probe.hh"
 
 namespace bfsim
 {
@@ -91,9 +92,10 @@ BarrierFilter::fillPending(unsigned slot) const
 // ----- FilterBank -------------------------------------------------------------
 
 FilterBank::FilterBank(EventQueue &eq, StatGroup &st, std::string name_,
-                       unsigned numFilters, bool strict_, Tick timeout)
+                       unsigned numFilters, bool strict_, Tick timeout,
+                       unsigned bankIndex)
     : eventq(eq), stats(st), name(std::move(name_)), strict(strict_),
-      timeoutCycles(timeout), filters(numFilters)
+      timeoutCycles(timeout), bankIdx(bankIndex), filters(numFilters)
 {
 }
 
@@ -158,17 +160,39 @@ void
 FilterBank::open(BarrierFilter &f)
 {
     ++stats.counter(name + ".opens");
+    const unsigned fi = idxOf(f);
+    const uint64_t ep = f.opens;
+
+    unsigned blocked = 0;
+    for (const auto &e : f.entries)
+        blocked += e.pendingFill ? 1 : 0;
+    stats.probes().barrierOpen.notify(
+        {eventq.now(), bankIdx, fi, ep, f.map.numThreads, blocked});
+
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << fi << " episode " << ep << " opens, "
+                     << blocked << "/" << f.map.numThreads
+                     << " fills withheld");
+
     f.arrivedCounter = 0;
     ++f.opens;
 
     // Service the withheld fills at one request per cycle (Table 2).
     Tick stagger = 1;
-    for (auto &e : f.entries) {
+    for (unsigned s = 0; s < f.entries.size(); ++s) {
+        auto &e = f.entries[s];
         e.state = FilterThreadState::Servicing;
         if (e.pendingFill) {
             e.pendingFill = false;
             Msg msg = e.pendingMsg;
-            eventq.schedule(stagger++, [this, msg] { releaseHandler(msg); });
+            eventq.schedule(stagger++, [this, msg, fi, ep, s] {
+                stats.probes().fillUnblocked.notify({eventq.now(), msg.core,
+                                                     msg.lineAddr, bankIdx,
+                                                     fi, s, ep, false});
+                stats.probes().barrierRelease.notify(
+                    {eventq.now(), bankIdx, fi, ep, s, msg.core});
+                releaseHandler(msg);
+            });
         }
     }
 }
@@ -205,6 +229,12 @@ FilterBank::timeoutFired(BarrierFilter &f, unsigned slot)
     e.pendingFill = false;
     ++stats.counter(name + ".timeoutNacks");
     Msg msg = e.pendingMsg;
+    stats.probes().fillUnblocked.notify({eventq.now(), msg.core, msg.lineAddr,
+                                         bankIdx, idxOf(f), slot, f.opens,
+                                         true});
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << idxOf(f) << " timeout nack slot "
+                     << slot << " core " << msg.core);
     msg.type = MsgType::NackError;
     nackHandler(msg);
 }
@@ -225,12 +255,19 @@ FilterBank::poison(BarrierFilter &f)
         return;
     f.poisoned = true;
     ++stats.counter(name + ".poisons");
-    for (auto &e : f.entries) {
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << idxOf(f) << " poisoned; nacking "
+                     << "withheld fills");
+    for (unsigned s = 0; s < f.entries.size(); ++s) {
+        auto &e = f.entries[s];
         if (!e.pendingFill)
             continue;
         e.pendingFill = false;
         ++stats.counter(name + ".timeoutNacks");
         Msg msg = e.pendingMsg;
+        stats.probes().fillUnblocked.notify({eventq.now(), msg.core,
+                                             msg.lineAddr, bankIdx, idxOf(f),
+                                             s, f.opens, true});
         msg.type = MsgType::NackError;
         nackHandler(msg);
     }
@@ -265,7 +302,7 @@ FilterBank::coversLine(Addr lineAddr) const
 }
 
 void
-FilterBank::onInvalidate(Addr lineAddr)
+FilterBank::onInvalidate(Addr lineAddr, CoreId core)
 {
     for (auto &f : filters) {
         if (!f.active() || f.poisoned)
@@ -276,6 +313,14 @@ FilterBank::onInvalidate(Addr lineAddr)
             ++stats.counter(name + ".arrivalInvs");
             switch (e.state) {
               case FilterThreadState::Waiting:
+                stats.probes().barrierArrive.notify(
+                    {eventq.now(), bankIdx, idxOf(f), f.opens, *slot, core,
+                     f.map.numThreads});
+                BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                            name << ".filter" << idxOf(f) << " slot "
+                                 << *slot << " arrives (core " << core
+                                 << "), " << (f.arrivedCounter + 1) << "/"
+                                 << f.map.numThreads);
                 if (f.arrivedCounter + 1 == f.map.numThreads) {
                     // Last thread: everyone else is blocked; open up.
                     open(f);
@@ -356,6 +401,9 @@ FilterBank::onFillRequest(const Msg &msg)
                 // its waiters were squashed when the thread was switched
                 // out, so the nack only frees the orphaned MSHR.
                 ++stats.counter(name + ".replacedPendingFills");
+                stats.probes().fillUnblocked.notify(
+                    {eventq.now(), e.pendingMsg.core, e.pendingMsg.lineAddr,
+                     bankIdx, idxOf(f), *slot, f.opens, true});
                 if (e.pendingMsg.core != msg.core) {
                     Msg stale = e.pendingMsg;
                     stale.type = MsgType::NackError;
@@ -365,6 +413,14 @@ FilterBank::onFillRequest(const Msg &msg)
             e.pendingFill = true;
             e.pendingMsg = msg;
             ++stats.counter(name + ".blockedFills");
+            stats.probes().fillStarved.notify({eventq.now(), msg.core,
+                                               msg.lineAddr, bankIdx,
+                                               idxOf(f), *slot, f.opens});
+            BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                        name << ".filter" << idxOf(f) << " withholds fill"
+                             << " slot " << *slot << " core " << msg.core
+                             << " line=0x" << std::hex << msg.lineAddr
+                             << std::dec);
             armTimeout(f, *slot);
             return FillAction::Blocked;
           case FilterThreadState::Servicing:

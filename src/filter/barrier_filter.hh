@@ -137,9 +137,12 @@ class FilterBank
      * @param timeoutCycles When nonzero, a fill blocked longer than this
      *               is nacked with an error code embedded in the response
      *               (Section 3.3.4's hardware timeout).
+     * @param bankIndex Index of the owning L2 bank; used only to identify
+     *               this bank's filters in probe events.
      */
     FilterBank(EventQueue &eq, StatGroup &stats, std::string name,
-               unsigned numFilters, bool strict, Tick timeoutCycles);
+               unsigned numFilters, bool strict, Tick timeoutCycles,
+               unsigned bankIndex = 0);
 
     /** Bank wiring: how released / nacked fills re-enter the bank. */
     void setReleaseHandler(std::function<void(const Msg &)> handler);
@@ -169,8 +172,11 @@ class FilterBank
 
     // ----- bank-side interface ---------------------------------------------
 
-    /** An InvAll for @p lineAddr reached this bank. */
-    void onInvalidate(Addr lineAddr);
+    /**
+     * An InvAll for @p lineAddr reached this bank. @p core identifies the
+     * invalidating core for attribution (probe events only).
+     */
+    void onInvalidate(Addr lineAddr, CoreId core = invalidCore);
 
     /**
      * True when @p lineAddr belongs to any active filter's arrival or
@@ -218,11 +224,18 @@ class FilterBank
     void armTimeout(BarrierFilter &f, unsigned slot);
     void timeoutFired(BarrierFilter &f, unsigned slot);
 
+    /** Index of @p f within this bank (for probe events). */
+    unsigned idxOf(const BarrierFilter &f) const
+    {
+        return unsigned(&f - filters.data());
+    }
+
     EventQueue &eventq;
     StatGroup &stats;
     std::string name;
     bool strict;
     Tick timeoutCycles;
+    unsigned bankIdx;
     bool timeoutPoisons = false;
     std::vector<BarrierFilter> filters;
     std::function<void(const Msg &)> releaseHandler;

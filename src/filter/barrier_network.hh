@@ -58,7 +58,10 @@ class BarrierNetwork
         bool live = false;
         unsigned numThreads = 0;
         unsigned arrived = 0;
-        std::vector<std::function<void()>> waiters;
+        /** (arriving core, release callback) for each waiter. */
+        std::vector<std::pair<CoreId, std::function<void()>>> waiters;
+        /** Dynamic barrier-instance counter (probe events). */
+        uint64_t episode = 0;
     };
 
     EventQueue &eventq;

@@ -84,6 +84,12 @@ runKernel(const CmpConfig &cfg, KernelId id, const KernelParams &params,
     run.instructions = sys.totalInstructions();
     run.recoveries = sys.statistics().counterValue("os.barrierRecoveries");
     run.fallbacks = sys.statistics().counterValue("os.barrierFallbacks");
+    run.episodes = sys.statistics().counterValue("barrier.episodes");
+    Distribution &lat =
+        sys.statistics().distribution("barrier.episodeLatency");
+    run.episodeLatencyP50 = lat.percentile(0.50);
+    run.episodeLatencyP95 = lat.percentile(0.95);
+    run.episodeLatencyP99 = lat.percentile(0.99);
     return run;
 }
 

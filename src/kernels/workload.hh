@@ -61,6 +61,12 @@ struct KernelRun
     uint64_t recoveries = 0;
     /** Filter requests the OS fell back to software at registration. */
     uint64_t fallbacks = 0;
+    /** Barrier episodes recorded (hardware mechanisms only; else 0). */
+    uint64_t episodes = 0;
+    /** Episode latency percentiles in cycles (NaN when no episodes). */
+    double episodeLatencyP50 = 0.0;
+    double episodeLatencyP95 = 0.0;
+    double episodeLatencyP99 = 0.0;
 };
 
 /**

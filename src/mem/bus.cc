@@ -10,14 +10,17 @@
 #include "mem/l1_cache.hh"
 #include "mem/l2_bank.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 
 namespace bfsim
 {
 
 Bus::Bus(EventQueue &eq, StatGroup &st, std::string name,
-         unsigned lineBytes_, unsigned bytesPerCycle_, Tick propLatency_)
+         unsigned lineBytes_, unsigned bytesPerCycle_, Tick propLatency_,
+         bool responseDir)
     : eventq(eq), stats(st), busName(std::move(name)), lineBytes(lineBytes_),
-      bytesPerCycle(bytesPerCycle_), propLatency(propLatency_)
+      bytesPerCycle(bytesPerCycle_), propLatency(propLatency_),
+      respDir(responseDir)
 {
     if (bytesPerCycle == 0)
         fatal("Bus: bytesPerCycle must be positive");
@@ -61,6 +64,7 @@ Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
     stats.counter("bus." + busName + ".busyCycles") += occ;
     stats.counter("bus." + busName + ".queueCycles") +=
         start - eventq.now();
+    stats.probes().busOccupancy.notify({eventq.now(), occ, respDir});
 
     BFSIM_TRACE(TraceCat::Bus, eventq.now(),
                 busName << " " << msgTypeName(msg.type) << " line=0x"
@@ -85,7 +89,7 @@ Interconnect::Interconnect(EventQueue &eq, StatGroup &st, unsigned lineBytes_,
         reqLinks.push_back(std::make_unique<Bus>(
             eq, st, "req", lineBytes, bytesPerCycle, propLatency));
         respLinks.push_back(std::make_unique<Bus>(
-            eq, st, "resp", lineBytes, bytesPerCycle, propLatency));
+            eq, st, "resp", lineBytes, bytesPerCycle, propLatency, true));
     }
     // Crossbar links are created as banks/cores register.
 }
@@ -145,7 +149,7 @@ Interconnect::registerCore(CoreId id, L1Cache *l1i, L1Cache *l1d)
         while (respLinks.size() <= size_t(id)) {
             respLinks.push_back(std::make_unique<Bus>(
                 eventq, stats, "resp.core" + std::to_string(respLinks.size()),
-                lineBytes, bytesPerCycle, propLatency));
+                lineBytes, bytesPerCycle, propLatency, true));
         }
     }
 }

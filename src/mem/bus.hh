@@ -37,8 +37,13 @@ class L2Bank;
 class Bus
 {
   public:
+    /**
+     * @param responseDir True for bank->core (response/snoop) links;
+     *        only used to label this link's probe events.
+     */
     Bus(EventQueue &eq, StatGroup &stats, std::string name,
-        unsigned lineBytes, unsigned bytesPerCycle, Tick propLatency);
+        unsigned lineBytes, unsigned bytesPerCycle, Tick propLatency,
+        bool responseDir = false);
 
     /** Enqueue @p msg; @p deliver runs when it reaches the far side. */
     void send(const Msg &msg, std::function<void(const Msg &)> deliver);
@@ -63,6 +68,7 @@ class Bus
     unsigned lineBytes;
     unsigned bytesPerCycle;
     Tick propLatency;
+    bool respDir;
     Tick freeAt = 0;
     Tick totalBusy = 0;
     std::function<Tick()> faultDelayHook;

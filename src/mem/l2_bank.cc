@@ -9,6 +9,7 @@
 
 #include "filter/barrier_filter.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 
 namespace bfsim
 {
@@ -68,10 +69,13 @@ L2Bank::receive(const Msg &msg)
       }
       case MsgType::InvAll:
         ++stats.counter(name + ".invAlls");
+        stats.probes().invalidation.notify(
+            {eventq.now(), bankIndex, msg.lineAddr, msg.core,
+             filters && filters->coversLine(msg.lineAddr)});
         // The filter observes every explicit invalidation the bank sees;
         // this is the arrival / exit signalling path.
         if (filters)
-            filters->onInvalidate(msg.lineAddr);
+            filters->onInvalidate(msg.lineAddr, msg.core);
         process(msg);
         break;
       case MsgType::PutM:

@@ -10,6 +10,7 @@
 
 #include "isa/builder.hh"
 #include "sim/log.hh"
+#include "sim/probe.hh"
 #include "sys/system.hh"
 
 namespace bfsim
@@ -122,13 +123,25 @@ Os::startThread(ThreadContext *t, CoreId core)
         fatal("Os: core " + std::to_string(core) + " already busy");
     ++sys.liveThreads;
     sys.started.push_back(t);
+    sys.statistics().probes().sched.notify(
+        {sys.eventQueue().now(), core, t->tid, true});
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os: start thread " << t->tid << " on core " << core);
     sys.core(core).setThread(t);
 }
 
 void
 Os::deschedule(CoreId core, std::function<void(ThreadContext *)> onDone)
 {
-    sys.core(core).requestDeschedule(std::move(onDone));
+    sys.core(core).requestDeschedule(
+        [this, core, cb = std::move(onDone)](ThreadContext *t) {
+            sys.statistics().probes().sched.notify(
+                {sys.eventQueue().now(), core, t->tid, false});
+            BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                        "os: deschedule thread " << t->tid << " from core "
+                                                 << core);
+            cb(t);
+        });
 }
 
 void
@@ -136,6 +149,10 @@ Os::reschedule(ThreadContext *t, CoreId core)
 {
     if (!sys.core(core).idle())
         fatal("Os: reschedule onto a busy core");
+    sys.statistics().probes().sched.notify(
+        {sys.eventQueue().now(), core, t->tid, true});
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os: reschedule thread " << t->tid << " on core " << core);
     sys.core(core).setThread(t);
 }
 

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * JsonWriter / parseJson implementation.
+ */
+
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ----- writer ---------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream &os_) : os(os_) {}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key already emitted its separator handling
+    }
+    if (!nesting.empty() && nesting.back() == '{')
+        panic("JsonWriter: object member without a key");
+    if (needComma)
+        os << ",";
+    needComma = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << "{";
+    nesting.push_back('{');
+    needComma = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << "[";
+    nesting.push_back('[');
+    needComma = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end()
+{
+    if (nesting.empty())
+        panic("JsonWriter: end() with nothing open");
+    os << (nesting.back() == '{' ? "}" : "]");
+    nesting.pop_back();
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (nesting.empty() || nesting.back() != '{')
+        panic("JsonWriter: key() outside an object");
+    if (needComma)
+        os << ",";
+    os << "\"" << jsonEscape(name) << "\":";
+    needComma = false;
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os << "\"" << jsonEscape(v) << "\"";
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    os << v;
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    os << v;
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        os << "null";
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    }
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os << (v ? "true" : "false");
+    needComma = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os << "null";
+    needComma = true;
+    return *this;
+}
+
+// ----- parser ---------------------------------------------------------------
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &t) : text(t) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos != text.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("json: " + why + " at offset " + std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = std::string(lit).size();
+        if (text.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        fail("bad \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape digit");
+                    }
+                    // Only BMP escapes are produced by our writer; encode
+                    // as UTF-8.
+                    if (cp < 0x80) {
+                        out += char(cp);
+                    } else if (cp < 0x800) {
+                        out += char(0xC0 | (cp >> 6));
+                        out += char(0x80 | (cp & 0x3F));
+                    } else {
+                        out += char(0xE0 | (cp >> 12));
+                        out += char(0x80 | ((cp >> 6) & 0x3F));
+                        out += char(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("control character in string");
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos;
+            v.type = JsonValue::Type::Object;
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                std::string k = (skipWs(), parseString());
+                expect(':');
+                v.obj[k] = parseValue();
+                char n = peek();
+                if (n == ',') { ++pos; continue; }
+                if (n == '}') { ++pos; break; }
+                fail("expected ',' or '}' in object");
+            }
+            return v;
+        }
+        if (c == '[') {
+            ++pos;
+            v.type = JsonValue::Type::Array;
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.arr.push_back(parseValue());
+                char n = peek();
+                if (n == ',') { ++pos; continue; }
+                if (n == ']') { ++pos; break; }
+                fail("expected ',' or ']' in array");
+            }
+            return v;
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            v.str = parseString();
+            return v;
+        }
+        skipWs();
+        if (consumeLiteral("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        // Number.
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        double num = std::strtod(start, &end);
+        if (end == start)
+            fail("unexpected token");
+        // Reject strtod extensions JSON forbids (hex, inf, nan).
+        for (const char *p = start; p < end; ++p) {
+            char d = *p;
+            if (!(std::isdigit(static_cast<unsigned char>(d)) || d == '-' ||
+                  d == '+' || d == '.' || d == 'e' || d == 'E'))
+                fail("bad number");
+        }
+        pos += size_t(end - start);
+        v.type = JsonValue::Type::Number;
+        v.number = num;
+        return v;
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    if (type != Type::Object)
+        fatal("json: at(\"" + name + "\") on a non-object");
+    auto it = obj.find(name);
+    if (it == obj.end())
+        fatal("json: missing member \"" + name + "\"");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &name) const
+{
+    return type == Type::Object && obj.count(name) != 0;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace bfsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON writing and parsing.
+ *
+ * The simulator emits machine-readable artifacts in three places — the
+ * statistics registry (StatGroup::dumpJson), the Chrome trace-event
+ * exporter, and the bench --json output — and the test suite needs to
+ * read them back to validate round-trips. Rather than grow a dependency,
+ * this is a small, strict subset implementation: the writer produces
+ * correctly escaped, deterministic output; the parser accepts exactly the
+ * JSON grammar (objects, arrays, strings, numbers, booleans, null) and
+ * throws FatalError on anything malformed.
+ */
+
+#ifndef BFSIM_SIM_JSON_HH
+#define BFSIM_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bfsim
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer that tracks nesting and comma placement.
+ *
+ * Usage: beginObject()/beginArray() open containers, key() names the next
+ * member inside an object, value() emits a scalar, end() closes the
+ * innermost container. Doubles are written with enough precision to
+ * round-trip; NaN/inf become null (JSON has no spelling for them).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &beginArray();
+    JsonWriter &end();
+
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(uint64_t(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Shorthand: key(name) followed by value(v). */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void beforeValue();
+
+    std::ostream &os;
+    /** One char per open container: '{' or '['. */
+    std::vector<char> nesting;
+    bool needComma = false;
+    bool pendingKey = false;
+};
+
+/** Parsed JSON value (tree representation). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member access; throws FatalError when absent. */
+    const JsonValue &at(const std::string &name) const;
+
+    /** True when this object has member @p name. */
+    bool has(const std::string &name) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @throws FatalError on malformed input or trailing garbage.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_JSON_HH

@@ -13,9 +13,75 @@ namespace bfsim
 uint32_t Trace::mask = 0;
 
 void
-Trace::print(TraceCat, uint64_t tick, const std::string &msg)
+Trace::print(TraceCat cat, uint64_t tick, const std::string &msg)
 {
-    std::cerr << tick << ": " << msg << "\n";
+    std::cerr << tick << ": [" << traceCatName(cat) << "] " << msg << "\n";
+}
+
+namespace
+{
+
+struct CatName
+{
+    TraceCat cat;
+    const char *name;
+};
+
+constexpr CatName catNames[] = {
+    {TraceCat::Core, "core"},         {TraceCat::Cache, "cache"},
+    {TraceCat::Bus, "bus"},           {TraceCat::Filter, "filter"},
+    {TraceCat::Coherence, "coherence"}, {TraceCat::Os, "os"},
+    {TraceCat::Barrier, "barrier"},
+};
+
+} // namespace
+
+const char *
+traceCatName(TraceCat cat)
+{
+    for (const CatName &c : catNames) {
+        if (c.cat == cat)
+            return c.name;
+    }
+    return "trace";
+}
+
+uint32_t
+parseTraceMask(const std::string &spec)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            mask = static_cast<uint32_t>(TraceCat::All);
+            continue;
+        }
+        if (name == "none")
+            continue;
+        bool found = false;
+        for (const CatName &c : catNames) {
+            if (name == c.name) {
+                mask |= static_cast<uint32_t>(c.cat);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::string valid;
+            for (const CatName &c : catNames)
+                valid += std::string(valid.empty() ? "" : ",") + c.name;
+            fatal("unknown trace category '" + name +
+                  "' (valid: " + valid + ",all,none)");
+        }
+    }
+    return mask;
 }
 
 void

@@ -62,6 +62,16 @@ class Trace
     static void print(TraceCat cat, uint64_t tick, const std::string &msg);
 };
 
+/** Short lowercase name of one category bit ("core", "filter", ...). */
+const char *traceCatName(TraceCat cat);
+
+/**
+ * Parse a comma-separated list of category names ("filter,bus,os") into a
+ * trace mask. "all" enables everything, "none" / "" disables everything.
+ * Unknown names are a fatal error listing the valid categories.
+ */
+uint32_t parseTraceMask(const std::string &spec);
+
 /** Report a user error: throws FatalError. */
 [[noreturn]] void fatal(const std::string &msg);
 

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * ProbeBus helpers.
+ */
+
+#include "sim/probe.hh"
+
+namespace bfsim
+{
+
+const char *
+coreProbeStateName(CoreProbeState s)
+{
+    switch (s) {
+      case CoreProbeState::Compute: return "compute";
+      case CoreProbeState::FetchStall: return "fetch-stall";
+      case CoreProbeState::LoadStall: return "load-stall";
+      case CoreProbeState::BarrierWait: return "barrier-wait";
+      case CoreProbeState::Descheduled: return "descheduled";
+      default: return "???";
+    }
+}
+
+} // namespace bfsim

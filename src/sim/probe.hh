@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Typed probe/listener bus: the simulator's instrumentation spine.
+ *
+ * Components (Core, caches, Bus, FilterBank, BarrierNetwork, Os) publish
+ * typed events to the ProbeBus attached to their StatGroup without knowing
+ * who — if anyone — is listening. Consumers (the cycle accountant, the
+ * barrier-episode profiler, the trace exporter, tests) subscribe to the
+ * channels they care about. Publishing to a channel with no listeners is a
+ * single empty() check, so instrumentation stays on even in hot paths.
+ *
+ * Events carry the tick explicitly rather than referencing the event
+ * queue: a consumer may buffer them and look back at ticks long past.
+ */
+
+#ifndef BFSIM_SIM_PROBE_HH
+#define BFSIM_SIM_PROBE_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+/**
+ * What a core is doing with its cycles, from the accounting perspective.
+ * Every simulated tick of every core lands in exactly one of these
+ * buckets (the cycle accountant additionally reclassifies fetch/load
+ * stalls caused by a starved barrier fill as BarrierWait).
+ */
+enum class CoreProbeState : uint8_t
+{
+    Compute,     ///< issuing instructions (incl. pipeline latency stalls)
+    FetchStall,  ///< waiting on an instruction fill
+    LoadStall,   ///< waiting on a data fill / SC completion
+    BarrierWait, ///< hbar release, arrival-invalidate ack
+    Descheduled, ///< no thread attached, or the thread halted
+};
+
+const char *coreProbeStateName(CoreProbeState s);
+
+/** A core changed accounting state (published only on change). */
+struct CoreStateEvent
+{
+    Tick tick;
+    CoreId core;
+    CoreProbeState state;
+    ThreadId tid;  ///< -1 when no thread is attached
+};
+
+/** Filter identity constants: the dedicated network is a pseudo-bank. */
+constexpr unsigned probeNetworkBank = ~0u;
+
+/** A fill request was withheld by a barrier filter (thread starved). */
+struct FillStarvedEvent
+{
+    Tick tick;
+    CoreId core;
+    Addr lineAddr;
+    unsigned bank;
+    unsigned filterIdx;
+    unsigned slot;
+    uint64_t episode;
+};
+
+/**
+ * A withheld fill left the filter: serviced on release, or nacked
+ * (timeout / poison / superseded by a reissue after migration).
+ */
+struct FillUnblockedEvent
+{
+    Tick tick;
+    CoreId core;
+    Addr lineAddr;
+    unsigned bank;
+    unsigned filterIdx;
+    unsigned slot;
+    uint64_t episode;
+    bool nacked;
+};
+
+/**
+ * A thread signalled barrier arrival (arrival-line invalidation reached
+ * the filter, or an hbar reached the dedicated network's global logic).
+ */
+struct BarrierArriveEvent
+{
+    Tick tick;
+    unsigned bank;       ///< L2 bank index, or probeNetworkBank
+    unsigned filterIdx;  ///< filter index in bank, or network barrier id
+    uint64_t episode;    ///< dynamic barrier instance (filter opens count)
+    unsigned slot;       ///< thread slot within the barrier
+    CoreId core;         ///< arriving core (invalidCore if unattributed)
+    unsigned numThreads; ///< participants in this barrier
+};
+
+/** The last participant arrived; the barrier opened. */
+struct BarrierOpenEvent
+{
+    Tick tick;
+    unsigned bank;
+    unsigned filterIdx;
+    uint64_t episode;
+    unsigned numThreads;
+    unsigned blockedFills; ///< withheld fills being serviced by this open
+};
+
+/** One blocked thread's withheld fill was serviced (barrier release). */
+struct BarrierReleaseEvent
+{
+    Tick tick;
+    unsigned bank;
+    unsigned filterIdx;
+    uint64_t episode;
+    unsigned slot;
+    CoreId core;
+};
+
+/** An explicit invalidation (dcbi/icbi InvAll) reached an L2 bank. */
+struct InvalidationEvent
+{
+    Tick tick;
+    unsigned bank;
+    Addr lineAddr;
+    CoreId core;
+    bool filtered; ///< the line belongs to an active filter's groups
+};
+
+/** A message occupied an interconnect link. */
+struct BusOccupancyEvent
+{
+    Tick tick;
+    Tick cycles;   ///< occupancy of this message
+    bool response; ///< response-direction link (bank -> core)
+};
+
+/** The OS moved a thread on or off a core. */
+struct SchedEvent
+{
+    Tick tick;
+    CoreId core;
+    ThreadId tid;
+    bool scheduled; ///< true = placed on the core, false = descheduled
+};
+
+/**
+ * One typed event channel. notify() is O(listeners); with no listeners it
+ * is one branch.
+ */
+template <typename E>
+class ProbeChannel
+{
+  public:
+    using Listener = std::function<void(const E &)>;
+
+    void listen(Listener fn) { listeners.push_back(std::move(fn)); }
+    bool hasListeners() const { return !listeners.empty(); }
+
+    void
+    notify(const E &e) const
+    {
+        if (listeners.empty())
+            return;
+        for (const auto &l : listeners)
+            l(e);
+    }
+
+  private:
+    std::vector<Listener> listeners;
+};
+
+/**
+ * The full set of channels. One ProbeBus lives in each StatGroup, so every
+ * component that can count statistics can also publish events, and every
+ * consumer of one simulated system subscribes in one place.
+ */
+class ProbeBus
+{
+  public:
+    ProbeChannel<CoreStateEvent> coreState;
+    ProbeChannel<FillStarvedEvent> fillStarved;
+    ProbeChannel<FillUnblockedEvent> fillUnblocked;
+    ProbeChannel<BarrierArriveEvent> barrierArrive;
+    ProbeChannel<BarrierOpenEvent> barrierOpen;
+    ProbeChannel<BarrierReleaseEvent> barrierRelease;
+    ProbeChannel<InvalidationEvent> invalidation;
+    ProbeChannel<BusOccupancyEvent> busOccupancy;
+    ProbeChannel<SchedEvent> sched;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_PROBE_HH

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * CycleAccountant / BarrierEpisodeProfiler implementation.
+ */
+
+#include "sim/profile.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+// ----- CycleAccountant ------------------------------------------------------
+
+CycleAccountant::CycleAccountant(ProbeBus &bus, unsigned numCores)
+    : cores(numCores)
+{
+    bus.coreState.listen([this](const CoreStateEvent &e) { onCoreState(e); });
+    bus.fillStarved.listen([this](const FillStarvedEvent &e) { onStarved(e); });
+    bus.fillUnblocked.listen(
+        [this](const FillUnblockedEvent &e) { onUnblocked(e); });
+}
+
+void
+CycleAccountant::closeInterval(CoreTrack &t, Tick now)
+{
+    if (now < t.lastTransition)
+        panic("cycle accountant saw time go backwards");
+    Tick span = now - t.lastTransition;
+    t.lastTransition = now;
+    if (span == 0)
+        return;
+
+    CoreProbeState effective = t.state;
+    // A core stalled on a starved fill is really waiting at the barrier;
+    // the filter knows which fills it is withholding, the core does not.
+    if (t.starvedFills > 0 && (effective == CoreProbeState::FetchStall ||
+                               effective == CoreProbeState::LoadStall)) {
+        effective = CoreProbeState::BarrierWait;
+    }
+
+    switch (effective) {
+      case CoreProbeState::Compute: t.buckets.compute += span; break;
+      case CoreProbeState::FetchStall: t.buckets.fetchStall += span; break;
+      case CoreProbeState::LoadStall: t.buckets.loadStall += span; break;
+      case CoreProbeState::BarrierWait: t.buckets.barrierWait += span; break;
+      case CoreProbeState::Descheduled: t.buckets.descheduled += span; break;
+    }
+}
+
+void
+CycleAccountant::onCoreState(const CoreStateEvent &e)
+{
+    if (e.core < 0 || unsigned(e.core) >= cores.size())
+        return;
+    CoreTrack &t = cores[e.core];
+    closeInterval(t, e.tick);
+    t.state = e.state;
+}
+
+void
+CycleAccountant::onStarved(const FillStarvedEvent &e)
+{
+    if (e.core < 0 || unsigned(e.core) >= cores.size())
+        return;
+    CoreTrack &t = cores[e.core];
+    closeInterval(t, e.tick);
+    ++t.starvedFills;
+}
+
+void
+CycleAccountant::onUnblocked(const FillUnblockedEvent &e)
+{
+    if (e.core < 0 || unsigned(e.core) >= cores.size())
+        return;
+    CoreTrack &t = cores[e.core];
+    closeInterval(t, e.tick);
+    if (t.starvedFills > 0)
+        --t.starvedFills;
+}
+
+void
+CycleAccountant::finalize(Tick now)
+{
+    for (auto &t : cores)
+        closeInterval(t, now);
+}
+
+const CycleAccountant::Buckets &
+CycleAccountant::buckets(CoreId core) const
+{
+    if (core < 0 || unsigned(core) >= cores.size())
+        panic("cycle accountant: core " + std::to_string(core) +
+              " out of range");
+    return cores[core].buckets;
+}
+
+void
+CycleAccountant::exportTo(StatGroup &stats) const
+{
+    for (size_t i = 0; i < cores.size(); ++i) {
+        const Buckets &b = cores[i].buckets;
+        std::string prefix = "core." + std::to_string(i) + ".cycles.";
+        stats.counter(prefix + "compute") += b.compute;
+        stats.counter(prefix + "fetchStall") += b.fetchStall;
+        stats.counter(prefix + "loadStall") += b.loadStall;
+        stats.counter(prefix + "barrierWait") += b.barrierWait;
+        stats.counter(prefix + "descheduled") += b.descheduled;
+    }
+}
+
+// ----- BarrierEpisode -------------------------------------------------------
+
+unsigned
+BarrierEpisode::criticalSlot() const
+{
+    unsigned slot = 0;
+    Tick best = 0;
+    for (const Mark &m : arrivals) {
+        if (m.tick >= best) {
+            best = m.tick;
+            slot = m.slot;
+        }
+    }
+    return slot;
+}
+
+uint64_t
+BarrierEpisode::waitCycleSum() const
+{
+    uint64_t total = 0;
+    for (const Mark &r : releases) {
+        // Find this slot's arrival; slots are unique within an episode.
+        for (const Mark &a : arrivals) {
+            if (a.slot == r.slot) {
+                if (r.tick > a.tick)
+                    total += r.tick - a.tick;
+                break;
+            }
+        }
+    }
+    return total;
+}
+
+// ----- BarrierEpisodeProfiler -----------------------------------------------
+
+BarrierEpisodeProfiler::BarrierEpisodeProfiler(ProbeBus &bus)
+{
+    bus.barrierArrive.listen(
+        [this](const BarrierArriveEvent &e) { onArrive(e); });
+    bus.barrierOpen.listen([this](const BarrierOpenEvent &e) { onOpen(e); });
+    bus.barrierRelease.listen(
+        [this](const BarrierReleaseEvent &e) { onRelease(e); });
+    bus.invalidation.listen(
+        [this](const InvalidationEvent &e) { onInvalidation(e); });
+    bus.busOccupancy.listen(
+        [this](const BusOccupancyEvent &e) { onBusOccupancy(e); });
+}
+
+BarrierEpisode *
+BarrierEpisodeProfiler::find(const FilterKey &k, uint64_t episode)
+{
+    auto it = open.find(k);
+    if (it == open.end())
+        return nullptr;
+    BarrierEpisode &r = records[it->second];
+    return r.episode == episode ? &r : nullptr;
+}
+
+BarrierEpisode &
+BarrierEpisodeProfiler::openEpisode(const FilterKey &k,
+                                    const BarrierArriveEvent &e)
+{
+    closeEpisode(k);
+    records.emplace_back();
+    BarrierEpisode &r = records.back();
+    r.bank = e.bank;
+    r.filterIdx = e.filterIdx;
+    r.episode = e.episode;
+    r.numThreads = e.numThreads;
+    r.firstArrival = e.tick;
+    r.lastArrival = e.tick;
+    r.endTick = e.tick;
+    open[k] = records.size() - 1;
+    busBusyAtStart[k] = busBusyTotal;
+    return r;
+}
+
+void
+BarrierEpisodeProfiler::closeEpisode(const FilterKey &k)
+{
+    auto it = open.find(k);
+    if (it == open.end())
+        return;
+    BarrierEpisode &r = records[it->second];
+    auto bb = busBusyAtStart.find(k);
+    if (bb != busBusyAtStart.end()) {
+        r.busBusyCycles = busBusyTotal - bb->second;
+        busBusyAtStart.erase(bb);
+    }
+    open.erase(it);
+}
+
+void
+BarrierEpisodeProfiler::onArrive(const BarrierArriveEvent &e)
+{
+    FilterKey k{e.bank, e.filterIdx};
+    BarrierEpisode *r = find(k, e.episode);
+    if (!r)
+        r = &openEpisode(k, e);
+    r->arrivals.push_back({e.slot, e.core, e.tick});
+    if (e.tick < r->firstArrival)
+        r->firstArrival = e.tick;
+    if (e.tick > r->lastArrival)
+        r->lastArrival = e.tick;
+    if (e.tick > r->endTick)
+        r->endTick = e.tick;
+    r->numThreads = e.numThreads;
+}
+
+void
+BarrierEpisodeProfiler::onOpen(const BarrierOpenEvent &e)
+{
+    BarrierEpisode *r = find({e.bank, e.filterIdx}, e.episode);
+    if (!r)
+        return; // listener attached mid-episode; drop quietly
+    r->opened = true;
+    r->openTick = e.tick;
+    r->blockedFills = e.blockedFills;
+    if (e.tick > r->endTick)
+        r->endTick = e.tick;
+}
+
+void
+BarrierEpisodeProfiler::onRelease(const BarrierReleaseEvent &e)
+{
+    BarrierEpisode *r = find({e.bank, e.filterIdx}, e.episode);
+    if (!r)
+        return;
+    r->releases.push_back({e.slot, e.core, e.tick});
+    if (e.tick > r->endTick)
+        r->endTick = e.tick;
+}
+
+void
+BarrierEpisodeProfiler::onInvalidation(const InvalidationEvent &e)
+{
+    if (!e.filtered)
+        return;
+    // Attribute to the in-flight episode(s) at this bank. There is
+    // normally exactly one: a filter's arrival invalidations all target
+    // the bank holding that filter's line groups.
+    for (auto &kv : open) {
+        if (kv.first.first == e.bank)
+            ++records[kv.second].invalidations;
+    }
+}
+
+void
+BarrierEpisodeProfiler::onBusOccupancy(const BusOccupancyEvent &e)
+{
+    busBusyTotal += e.cycles;
+}
+
+void
+BarrierEpisodeProfiler::finalize(Tick now)
+{
+    (void)now;
+    while (!open.empty())
+        closeEpisode(open.begin()->first);
+}
+
+void
+BarrierEpisodeProfiler::exportTo(StatGroup &stats) const
+{
+    stats.counter("barrier.episodes") += records.size();
+    Distribution &lat = stats.distribution("barrier.episodeLatency");
+    Distribution &skew = stats.distribution("barrier.arrivalSkew");
+    Distribution &wait = stats.distribution("barrier.waitCycles");
+    Distribution &inv = stats.distribution("barrier.invalidations");
+    Distribution &busBusy = stats.distribution("barrier.busBusyCycles");
+    for (const BarrierEpisode &r : records) {
+        lat.sample(double(r.latency()));
+        skew.sample(double(r.skew()));
+        wait.sample(double(r.waitCycleSum()));
+        inv.sample(double(r.invalidations));
+        busBusy.sample(double(r.busBusyCycles));
+    }
+}
+
+} // namespace bfsim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Probe-bus consumers that turn raw events into analysis:
+ *
+ *  - CycleAccountant: attributes every simulated cycle of every core to
+ *    one of {compute, fetch-stall, load-stall, barrier-wait, descheduled}.
+ *    The buckets of one core always sum exactly to the elapsed ticks.
+ *
+ *  - BarrierEpisodeProfiler: records every dynamic barrier instance
+ *    (episode): per-thread arrival and release ticks, arrival skew, the
+ *    critical (last-arriving) thread, summed wait cycles, invalidation
+ *    count and interconnect occupancy during the episode window.
+ *
+ * Both subscribe to a ProbeBus at construction and never touch the
+ * publishing components directly.
+ */
+
+#ifndef BFSIM_SIM_PROFILE_HH
+#define BFSIM_SIM_PROFILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/probe.hh"
+
+namespace bfsim
+{
+
+class StatGroup;
+
+/**
+ * Per-core, per-tick cycle attribution.
+ *
+ * The accountant watches CoreStateEvents and the filter's fill
+ * starved/unblocked events. While a core has a starved fill outstanding,
+ * its fetch- and load-stall cycles are reclassified as barrier-wait: the
+ * core cannot tell a starved fill from a slow one, but the filter can,
+ * and the decoupled probe bus lets the accountant combine both views.
+ */
+class CycleAccountant
+{
+  public:
+    struct Buckets
+    {
+        uint64_t compute = 0;
+        uint64_t fetchStall = 0;
+        uint64_t loadStall = 0;
+        uint64_t barrierWait = 0;
+        uint64_t descheduled = 0;
+
+        uint64_t
+        sum() const
+        {
+            return compute + fetchStall + loadStall + barrierWait +
+                   descheduled;
+        }
+    };
+
+    CycleAccountant(ProbeBus &bus, unsigned numCores);
+
+    /** Close every open interval at @p now (idempotent; callable again). */
+    void finalize(Tick now);
+
+    /** Buckets for @p core (valid after finalize). */
+    const Buckets &buckets(CoreId core) const;
+
+    unsigned numCores() const { return unsigned(cores.size()); }
+
+    /** Publish the buckets as counters "core.N.cycles.<bucket>". */
+    void exportTo(StatGroup &stats) const;
+
+  private:
+    struct CoreTrack
+    {
+        CoreProbeState state = CoreProbeState::Descheduled;
+        unsigned starvedFills = 0;
+        Tick lastTransition = 0;
+        Buckets buckets;
+    };
+
+    void closeInterval(CoreTrack &t, Tick now);
+    void onCoreState(const CoreStateEvent &e);
+    void onStarved(const FillStarvedEvent &e);
+    void onUnblocked(const FillUnblockedEvent &e);
+
+    std::vector<CoreTrack> cores;
+};
+
+/** Everything recorded about one dynamic barrier instance. */
+struct BarrierEpisode
+{
+    /** One thread's arrival or release. */
+    struct Mark
+    {
+        unsigned slot;
+        CoreId core;
+        Tick tick;
+    };
+
+    unsigned bank = 0;       ///< L2 bank index, or probeNetworkBank
+    unsigned filterIdx = 0;  ///< filter index / network barrier id
+    uint64_t episode = 0;    ///< per-filter dynamic instance number
+    unsigned numThreads = 0;
+
+    std::vector<Mark> arrivals;
+    std::vector<Mark> releases;
+
+    Tick firstArrival = 0;
+    Tick lastArrival = 0;
+    bool opened = false;
+    Tick openTick = 0;
+    unsigned blockedFills = 0;
+    Tick endTick = 0;          ///< max(open, last release)
+    uint64_t invalidations = 0; ///< filtered InvAlls at the bank in-window
+    Tick busBusyCycles = 0;     ///< interconnect occupancy in-window
+
+    /** Arrival skew: last arrival minus first arrival. */
+    Tick skew() const { return lastArrival - firstArrival; }
+
+    /** Slot of the critical (last-arriving) thread. */
+    unsigned criticalSlot() const;
+
+    /** Sum over released threads of (release - that thread's arrival). */
+    uint64_t waitCycleSum() const;
+
+    /** Episode latency: first arrival to end of release servicing. */
+    Tick latency() const { return endTick - firstArrival; }
+};
+
+/**
+ * Builds BarrierEpisode records from barrier probe events, for the
+ * filter-backed mechanisms and the dedicated network baseline. (Software
+ * barriers synchronize through ordinary loads/stores the hardware cannot
+ * distinguish, so they produce no episodes — their cost still appears in
+ * the cycle accountant's buckets.)
+ */
+class BarrierEpisodeProfiler
+{
+  public:
+    explicit BarrierEpisodeProfiler(ProbeBus &bus);
+
+    /** Close all in-flight episodes (idempotent). */
+    void finalize(Tick now);
+
+    /** All recorded episodes, in first-arrival order per filter. */
+    const std::deque<BarrierEpisode> &episodes() const { return records; }
+
+    /**
+     * Publish aggregates: counter "barrier.episodes" and distributions
+     * "barrier.episodeLatency", "barrier.arrivalSkew",
+     * "barrier.waitCycles", "barrier.invalidations",
+     * "barrier.busBusyCycles" (one sample per episode).
+     */
+    void exportTo(StatGroup &stats) const;
+
+  private:
+    using FilterKey = std::pair<unsigned, unsigned>; // (bank, filterIdx)
+
+    BarrierEpisode *find(const FilterKey &k, uint64_t episode);
+    BarrierEpisode &openEpisode(const FilterKey &k,
+                                const BarrierArriveEvent &e);
+    void closeEpisode(const FilterKey &k);
+
+    void onArrive(const BarrierArriveEvent &e);
+    void onOpen(const BarrierOpenEvent &e);
+    void onRelease(const BarrierReleaseEvent &e);
+    void onInvalidation(const InvalidationEvent &e);
+    void onBusOccupancy(const BusOccupancyEvent &e);
+
+    std::deque<BarrierEpisode> records;
+    /** Index into records of the in-flight episode per filter. */
+    std::map<FilterKey, size_t> open;
+    /** Running interconnect occupancy total (for window deltas). */
+    Tick busBusyTotal = 0;
+    /** busBusyTotal snapshot at each open episode's first arrival. */
+    std::map<FilterKey, Tick> busBusyAtStart;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_PROFILE_HH

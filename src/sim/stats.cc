@@ -1,14 +1,149 @@
 /**
  * @file
- * StatGroup implementation.
+ * Distribution / StatGroup implementation.
  */
 
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <iomanip>
+#include <limits>
+
+#include "sim/json.hh"
+#include "sim/probe.hh"
 
 namespace bfsim
 {
+
+namespace
+{
+
+constexpr double statNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Histogram bucket for one sample: 0 for v < 1, else 1 + floor(log2). */
+unsigned
+bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    int exp = 0;
+    std::frexp(v, &exp); // v = m * 2^exp with m in [0.5, 1)
+    unsigned idx = unsigned(exp); // v in [2^(exp-1), 2^exp) -> bucket exp
+    return idx < Distribution::numBuckets ? idx
+                                          : Distribution::numBuckets - 1;
+}
+
+/** Lower bound of bucket @p idx (upper bound is the next lower bound). */
+double
+bucketLo(unsigned idx)
+{
+    return idx == 0 ? 0.0 : std::ldexp(1.0, int(idx) - 1);
+}
+
+/** Format a possibly-NaN statistic for the text dump. */
+void
+putStat(std::ostream &os, double v)
+{
+    if (std::isnan(v))
+        os << "n/a";
+    else
+        os << std::fixed << std::setprecision(2) << v;
+}
+
+/** Emit a possibly-NaN statistic as a JSON number or null. */
+void
+putJsonStat(JsonWriter &w, const std::string &key, double v)
+{
+    w.key(key);
+    if (std::isnan(v))
+        w.null();
+    else
+        w.value(v);
+}
+
+} // namespace
+
+// ----- Distribution ---------------------------------------------------------
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0 || v < minV) minV = v;
+    if (n == 0 || v > maxV) maxV = v;
+    sum += v;
+    ++n;
+    ++buckets[bucketIndex(v)];
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    sum = 0;
+    minV = 0;
+    maxV = 0;
+    buckets.fill(0);
+}
+
+double
+Distribution::mean() const
+{
+    return n ? sum / double(n) : statNaN;
+}
+
+double
+Distribution::min() const
+{
+    return n ? minV : statNaN;
+}
+
+double
+Distribution::max() const
+{
+    return n ? maxV : statNaN;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (n == 0)
+        return statNaN;
+    if (p <= 0)
+        return minV;
+    if (p >= 1)
+        return maxV;
+
+    // Rank of the requested quantile (1-based, nearest-rank).
+    uint64_t rank = uint64_t(std::ceil(p * double(n)));
+    if (rank == 0)
+        rank = 1;
+
+    uint64_t cum = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (cum + buckets[i] < rank) {
+            cum += buckets[i];
+            continue;
+        }
+        // Interpolate linearly within the bucket's bounds.
+        double lo = bucketLo(i);
+        double hi = bucketLo(i + 1);
+        double frac = double(rank - cum) / double(buckets[i]);
+        double est = lo + (hi - lo) * frac;
+        // The true extremes are known exactly; never estimate past them.
+        if (est < minV) est = minV;
+        if (est > maxV) est = maxV;
+        return est;
+    }
+    return maxV; // unreachable when counts are consistent
+}
+
+// ----- StatGroup ------------------------------------------------------------
+
+StatGroup::StatGroup() : bus(std::make_unique<ProbeBus>()) {}
+
+StatGroup::~StatGroup() = default;
 
 Counter &
 StatGroup::counter(const std::string &name)
@@ -63,10 +198,49 @@ StatGroup::dump(std::ostream &os) const
         os << kv.first << " " << kv.second.value() << "\n";
     for (const auto &kv : dists) {
         const Distribution &d = kv.second;
-        os << kv.first << " count=" << d.count()
-           << " mean=" << std::fixed << std::setprecision(2) << d.mean()
-           << " min=" << d.min() << " max=" << d.max() << "\n";
+        os << kv.first << " count=" << d.count() << " mean=";
+        putStat(os, d.mean());
+        os << " min=";
+        putStat(os, d.min());
+        os << " max=";
+        putStat(os, d.max());
+        if (d.count() > 0) {
+            os << " p50=";
+            putStat(os, d.percentile(0.50));
+            os << " p95=";
+            putStat(os, d.percentile(0.95));
+            os << " p99=";
+            putStat(os, d.percentile(0.99));
+        }
+        os << "\n";
     }
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &kv : counters)
+        w.kv(kv.first, kv.second.value());
+    w.end();
+    w.key("distributions").beginObject();
+    for (const auto &kv : dists) {
+        const Distribution &d = kv.second;
+        w.key(kv.first).beginObject();
+        w.kv("count", d.count());
+        putJsonStat(w, "mean", d.mean());
+        putJsonStat(w, "min", d.min());
+        putJsonStat(w, "max", d.max());
+        putJsonStat(w, "p50", d.percentile(0.50));
+        putJsonStat(w, "p95", d.percentile(0.95));
+        putJsonStat(w, "p99", d.percentile(0.99));
+        w.end();
+    }
+    w.end();
+    w.end();
+    os << "\n";
 }
 
 std::vector<std::string>

@@ -1,23 +1,33 @@
 /**
  * @file
- * Lightweight named-statistics registry.
+ * Named-statistics registry and the instrumentation spine.
  *
  * Components register scalar counters and distributions under hierarchical
  * dotted names (e.g. "l2.bank0.filterBlockedFills"). A StatGroup owns the
- * storage; the registry can dump everything as text for experiment logs.
+ * storage; the registry can dump everything as text or JSON for experiment
+ * logs and machine-readable results.
+ *
+ * Each StatGroup also carries the ProbeBus (sim/probe.hh) for its
+ * simulated system: every component that can count statistics can publish
+ * typed events, and consumers (profilers, trace export, tests) subscribe
+ * in one place.
  */
 
 #ifndef BFSIM_SIM_STATS_HH
 #define BFSIM_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace bfsim
 {
+
+class ProbeBus;
 
 /** A single named 64-bit counter. */
 class Counter
@@ -35,32 +45,50 @@ class Counter
 };
 
 /**
- * Tracks min / max / mean of a sampled quantity.
+ * Tracks min / max / mean of a sampled quantity, plus a log2-bucketed
+ * histogram for percentile estimates.
+ *
+ * Buckets: bucket 0 holds samples < 1 (including negatives); bucket k
+ * (k >= 1) holds samples in [2^(k-1), 2^k). percentile() finds the bucket
+ * containing the requested rank and interpolates linearly inside it, so
+ * estimates carry bucket-granularity error but never leave [min, max].
+ *
+ * An empty distribution has no min/max/percentiles: those accessors
+ * return NaN, which dumps render as "n/a" (text) or null (JSON) — a real
+ * sample of 0 is therefore distinguishable from "never sampled".
  */
 class Distribution
 {
   public:
-    void
-    sample(double v)
-    {
-        if (n == 0 || v < minV) minV = v;
-        if (n == 0 || v > maxV) maxV = v;
-        sum += v;
-        ++n;
-    }
+    static constexpr unsigned numBuckets = 64;
 
-    void reset() { n = 0; sum = 0; minV = 0; maxV = 0; }
+    void sample(double v);
+
+    void reset();
 
     uint64_t count() const { return n; }
-    double mean() const { return n ? sum / double(n) : 0.0; }
-    double min() const { return minV; }
-    double max() const { return maxV; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Estimated value at quantile @p p in [0, 1] (0.5 = median).
+     * NaN when the distribution is empty.
+     */
+    double percentile(double p) const;
+
+    /** Raw histogram access (tests, exporters). */
+    const std::array<uint64_t, numBuckets> &histogram() const
+    {
+        return buckets;
+    }
 
   private:
     uint64_t n = 0;
     double sum = 0;
     double minV = 0;
     double maxV = 0;
+    std::array<uint64_t, numBuckets> buckets{};
 };
 
 /**
@@ -72,6 +100,11 @@ class Distribution
 class StatGroup
 {
   public:
+    StatGroup();
+    ~StatGroup();
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
     /** Get (creating if needed) the counter with dotted name @p name. */
     Counter &counter(const std::string &name);
 
@@ -93,12 +126,23 @@ class StatGroup
     /** Dump all statistics, sorted by name, one per line. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump all statistics as one JSON object:
+     * { "counters": {name: value}, "distributions": {name: {count, mean,
+     * min, max, p50, p95, p99}} }. Empty distributions emit null moments.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Names of all registered counters (sorted). */
     std::vector<std::string> counterNames() const;
+
+    /** The typed event bus of this simulated system (sim/probe.hh). */
+    ProbeBus &probes() { return *bus; }
 
   private:
     std::map<std::string, Counter> counters;
     std::map<std::string, Distribution> dists;
+    std::unique_ptr<ProbeBus> bus;
 };
 
 } // namespace bfsim

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Chrome trace-event exporter implementation.
+ */
+
+#include "sim/trace_export.hh"
+
+#include <fstream>
+#include <map>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/profile.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+// Process ids used to group tracks in the trace viewer.
+constexpr int pidCores = 0;
+constexpr int pidBarriers = 1;
+constexpr int pidCounters = 2;
+
+void
+metaEvent(JsonWriter &w, int pid, int tid, const char *what,
+          const std::string &name)
+{
+    w.beginObject();
+    w.kv("name", what);
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", tid);
+    w.key("args").beginObject().kv("name", name).end();
+    w.end();
+}
+
+} // namespace
+
+TraceExporter::TraceExporter(ProbeBus &bus, unsigned numCores)
+    : openSlices(numCores)
+{
+    bus.coreState.listen([this](const CoreStateEvent &e) { onCoreState(e); });
+    bus.fillStarved.listen([this](const FillStarvedEvent &e) { onStarved(e); });
+    bus.fillUnblocked.listen(
+        [this](const FillUnblockedEvent &e) { onUnblocked(e); });
+    bus.sched.listen([this](const SchedEvent &e) { onSched(e); });
+}
+
+void
+TraceExporter::onCoreState(const CoreStateEvent &e)
+{
+    if (e.core < 0 || unsigned(e.core) >= openSlices.size())
+        return;
+    OpenSlice &s = openSlices[e.core];
+    if (e.tick > s.start)
+        slices.push_back({e.core, s.state, s.start, e.tick});
+    s.state = e.state;
+    s.start = e.tick;
+    s.closed = false;
+}
+
+void
+TraceExporter::onStarved(const FillStarvedEvent &e)
+{
+    ++starvedNow;
+    starvedFills.push_back({e.tick, starvedNow});
+}
+
+void
+TraceExporter::onUnblocked(const FillUnblockedEvent &e)
+{
+    if (starvedNow > 0)
+        --starvedNow;
+    starvedFills.push_back({e.tick, starvedNow});
+}
+
+void
+TraceExporter::onSched(const SchedEvent &e)
+{
+    schedPoints.push_back({e.tick, e.core, e.tid, e.scheduled});
+}
+
+void
+TraceExporter::finalize(Tick now)
+{
+    for (size_t c = 0; c < openSlices.size(); ++c) {
+        OpenSlice &s = openSlices[c];
+        if (s.closed)
+            continue;
+        if (now > s.start)
+            slices.push_back({CoreId(c), s.state, s.start, now});
+        s.start = now;
+        s.closed = true;
+    }
+}
+
+void
+TraceExporter::writeTo(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Track naming metadata.
+    metaEvent(w, pidCores, 0, "process_name", "cores");
+    for (size_t c = 0; c < openSlices.size(); ++c) {
+        metaEvent(w, pidCores, int(c), "thread_name",
+                  "core " + std::to_string(c));
+    }
+    metaEvent(w, pidCounters, 0, "process_name", "counters");
+
+    // Per-core accounting state slices.
+    for (const Slice &s : slices) {
+        w.beginObject();
+        w.kv("name", coreProbeStateName(s.state));
+        w.kv("cat", "core");
+        w.kv("ph", "X");
+        w.kv("ts", uint64_t(s.start));
+        w.kv("dur", uint64_t(s.end - s.start));
+        w.kv("pid", pidCores);
+        w.kv("tid", int(s.core));
+        w.end();
+    }
+
+    // Barrier-episode spans: one track per filter.
+    if (profiler) {
+        metaEvent(w, pidBarriers, 0, "process_name", "barriers");
+        std::map<std::pair<unsigned, unsigned>, int> trackOf;
+        for (const BarrierEpisode &r : profiler->episodes()) {
+            auto key = std::make_pair(r.bank, r.filterIdx);
+            auto it = trackOf.find(key);
+            if (it == trackOf.end()) {
+                int track = int(trackOf.size());
+                trackOf.emplace(key, track);
+                std::string name =
+                    r.bank == probeNetworkBank
+                        ? "network barrier " + std::to_string(r.filterIdx)
+                        : "bank " + std::to_string(r.bank) + " filter " +
+                              std::to_string(r.filterIdx);
+                metaEvent(w, pidBarriers, track, "thread_name", name);
+            }
+        }
+        for (const BarrierEpisode &r : profiler->episodes()) {
+            w.beginObject();
+            w.kv("name", "episode " + std::to_string(r.episode));
+            w.kv("cat", "barrier");
+            w.kv("ph", "X");
+            w.kv("ts", uint64_t(r.firstArrival));
+            w.kv("dur", uint64_t(r.latency()));
+            w.kv("pid", pidBarriers);
+            w.kv("tid", trackOf.at({r.bank, r.filterIdx}));
+            w.key("args").beginObject();
+            w.kv("numThreads", r.numThreads);
+            w.kv("arrivals", uint64_t(r.arrivals.size()));
+            w.kv("skew", uint64_t(r.skew()));
+            w.kv("waitCycles", r.waitCycleSum());
+            w.kv("blockedFills", r.blockedFills);
+            w.kv("invalidations", r.invalidations);
+            w.kv("criticalSlot", r.criticalSlot());
+            w.end();
+            w.end();
+        }
+    }
+
+    // Counter track: currently starved fills.
+    for (const CounterPoint &p : starvedFills) {
+        w.beginObject();
+        w.kv("name", "starvedFills");
+        w.kv("ph", "C");
+        w.kv("ts", uint64_t(p.tick));
+        w.kv("pid", pidCounters);
+        w.kv("tid", 0);
+        w.key("args").beginObject().kv("starved", p.value).end();
+        w.end();
+    }
+
+    // Scheduling decisions as instant events on the core's track.
+    for (const SchedPoint &p : schedPoints) {
+        w.beginObject();
+        w.kv("name", std::string(p.scheduled ? "schedule" : "deschedule") +
+                         " t" + std::to_string(p.tid));
+        w.kv("cat", "os");
+        w.kv("ph", "i");
+        w.kv("s", "t");
+        w.kv("ts", uint64_t(p.tick));
+        w.kv("pid", pidCores);
+        w.kv("tid", int(p.core));
+        w.end();
+    }
+
+    w.end(); // traceEvents
+    w.end(); // root object
+    os << "\n";
+}
+
+void
+TraceExporter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("traceout: cannot open '" + path + "' for writing");
+    writeTo(os);
+    if (!os)
+        fatal("traceout: error writing '" + path + "'");
+}
+
+} // namespace bfsim

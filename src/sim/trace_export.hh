@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) exporter.
+ *
+ * Subscribes to the ProbeBus and buffers:
+ *  - one track per core with a complete ("X") slice for every accounting
+ *    state interval (compute / fetch-stall / load-stall / barrier-wait /
+ *    descheduled),
+ *  - one track per barrier filter with a span per dynamic episode
+ *    (taken from the BarrierEpisodeProfiler at write time),
+ *  - a counter ("C") track of currently-starved fills,
+ *  - instant ("i") events for OS schedule / deschedule decisions.
+ *
+ * writeTo() emits `{"traceEvents": [...]}` JSON that chrome://tracing and
+ * ui.perfetto.dev load directly; 1 simulated cycle = 1 us of trace time.
+ * Enabled with the `traceout=<file>` simulator option.
+ */
+
+#ifndef BFSIM_SIM_TRACE_EXPORT_HH
+#define BFSIM_SIM_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/probe.hh"
+
+namespace bfsim
+{
+
+class BarrierEpisodeProfiler;
+
+class TraceExporter
+{
+  public:
+    TraceExporter(ProbeBus &bus, unsigned numCores);
+
+    /** Source of barrier-episode spans (may be null: no episode track). */
+    void setEpisodeSource(const BarrierEpisodeProfiler *p) { profiler = p; }
+
+    /** Close open core slices at @p now (idempotent). */
+    void finalize(Tick now);
+
+    /** Write the full trace as Chrome trace-event JSON. */
+    void writeTo(std::ostream &os) const;
+
+    /** writeTo() into @p path; fatal if the file cannot be created. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Slice
+    {
+        CoreId core;
+        CoreProbeState state;
+        Tick start;
+        Tick end;
+    };
+
+    struct CounterPoint
+    {
+        Tick tick;
+        uint64_t value;
+    };
+
+    struct SchedPoint
+    {
+        Tick tick;
+        CoreId core;
+        ThreadId tid;
+        bool scheduled;
+    };
+
+    struct OpenSlice
+    {
+        CoreProbeState state = CoreProbeState::Descheduled;
+        Tick start = 0;
+        bool closed = false;
+    };
+
+    void onCoreState(const CoreStateEvent &e);
+    void onStarved(const FillStarvedEvent &e);
+    void onUnblocked(const FillUnblockedEvent &e);
+    void onSched(const SchedEvent &e);
+
+    std::vector<OpenSlice> openSlices; // per core
+    std::vector<Slice> slices;
+    std::vector<CounterPoint> starvedFills;
+    std::vector<SchedPoint> schedPoints;
+    uint64_t starvedNow = 0;
+    const BarrierEpisodeProfiler *profiler = nullptr;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_TRACE_EXPORT_HH

@@ -60,6 +60,9 @@ CmpConfig::fromOptions(const OptionMap &opts)
         opts.getDouble("faulttimeoutprob", c.faults.timeoutProb);
     c.faults.exhaustFilters =
         unsigned(opts.getUint("faultexhaust", c.faults.exhaustFilters));
+    c.traceOutFile = opts.getString("traceout", c.traceOutFile);
+    if (opts.has("trace"))
+        Trace::mask = parseTraceMask(opts.getString("trace", ""));
     c.validate();
     return c;
 }

@@ -7,6 +7,7 @@
 #define BFSIM_SYS_CMP_CONFIG_HH
 
 #include <ostream>
+#include <string>
 
 #include "sim/config.hh"
 #include "sim/fault.hh"
@@ -94,7 +95,21 @@ struct CmpConfig
     /** Fault-injection engine (off by default). */
     FaultConfig faults;
 
-    /** Apply "key=value" overrides (cores=32, l2banks=8, ...). */
+    /**
+     * When non-empty, the system writes a Chrome trace-event JSON file
+     * here at the end of run() (loadable in ui.perfetto.dev or
+     * chrome://tracing): per-core cycle-accounting tracks, barrier-episode
+     * spans, and counter tracks. Set with traceout=<file>.
+     */
+    std::string traceOutFile;
+
+    /**
+     * Apply "key=value" overrides (cores=32, l2banks=8, ...).
+     *
+     * Also consumes trace=<categories>: a comma-separated list of named
+     * trace categories (core,cache,bus,filter,coherence,os,barrier, or
+     * all/none) routed to stderr — this sets the global Trace::mask.
+     */
     static CmpConfig fromOptions(const OptionMap &opts);
 
     /** Pretty-print the machine, Table 2 style. */

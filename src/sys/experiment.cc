@@ -52,6 +52,14 @@ measureBarrierLatency(const CmpConfig &cfg, BarrierKind kind,
             "l2.bank" + std::to_string(bnk) + ".invAlls");
     }
     r.granted = (handle.granted == handle.requested);
+
+    StatGroup &st = sys.statistics();
+    r.episodes = st.counterValue("barrier.episodes");
+    Distribution &lat = st.distribution("barrier.episodeLatency");
+    r.episodeLatencyP50 = lat.percentile(0.50);
+    r.episodeLatencyP95 = lat.percentile(0.95);
+    r.episodeLatencyP99 = lat.percentile(0.99);
+    r.arrivalSkewMean = st.distribution("barrier.arrivalSkew").mean();
     return r;
 }
 

@@ -24,6 +24,16 @@ struct BarrierLatencyResult
     uint64_t respBusBusyCycles = 0;
     uint64_t invAlls = 0;
     bool granted = true;  ///< false when a filter request fell back to SW
+
+    /**
+     * Barrier-episode profile (hardware mechanisms only; software
+     * barriers record no episodes and leave these NaN/0).
+     */
+    uint64_t episodes = 0;
+    double episodeLatencyP50 = 0.0;
+    double episodeLatencyP95 = 0.0;
+    double episodeLatencyP99 = 0.0;
+    double arrivalSkewMean = 0.0;
 };
 
 /**

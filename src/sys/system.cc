@@ -33,7 +33,7 @@ CmpSystem::CmpSystem(const CmpConfig &config)
         fn << "filter.bank" << b;
         filterBanks.push_back(std::make_unique<FilterBank>(
             eventq, stats, fn.str(), cfg.filtersPerBank, cfg.filterStrict,
-            cfg.filterTimeout));
+            cfg.filterTimeout, b));
         std::ostringstream bn;
         bn << "l2.bank" << b;
         banks.push_back(std::make_unique<L2Bank>(
@@ -86,6 +86,18 @@ CmpSystem::CmpSystem(const CmpConfig &config)
         }
     }
 
+    // Observability consumers subscribe to the probe bus last, after all
+    // publishers exist (subscription order does not matter; creation here
+    // just documents the dependency).
+    accountant = std::make_unique<CycleAccountant>(stats.probes(),
+                                                   cfg.numCores);
+    profiler = std::make_unique<BarrierEpisodeProfiler>(stats.probes());
+    if (!cfg.traceOutFile.empty()) {
+        tracer = std::make_unique<TraceExporter>(stats.probes(),
+                                                 cfg.numCores);
+        tracer->setEpisodeSource(profiler.get());
+    }
+
     if (cfg.faults.enabled)
         injector = std::make_unique<FaultInjector>(*this, cfg.faults);
 }
@@ -103,7 +115,24 @@ CmpSystem::run(Tick limit)
               std::to_string(liveThreads) + " live thread(s)\n" +
               diag.str());
     }
+    finalizeObservability();
     return end;
+}
+
+void
+CmpSystem::finalizeObservability()
+{
+    accountant->finalize(eventq.now());
+    profiler->finalize(eventq.now());
+    if (!observabilityFinalized) {
+        observabilityFinalized = true;
+        accountant->exportTo(stats);
+        profiler->exportTo(stats);
+    }
+    if (tracer) {
+        tracer->finalize(eventq.now());
+        tracer->writeFile(cfg.traceOutFile);
+    }
 }
 
 void

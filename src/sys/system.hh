@@ -24,7 +24,9 @@
 #include "mem/memory.hh"
 #include "os/os.hh"
 #include "sim/event_queue.hh"
+#include "sim/profile.hh"
 #include "sim/stats.hh"
+#include "sim/trace_export.hh"
 #include "sys/cmp_config.hh"
 
 namespace bfsim
@@ -74,6 +76,25 @@ class CmpSystem
     /** Aggregate instruction count across all threads ever started. */
     uint64_t totalInstructions() const;
 
+    // ----- observability --------------------------------------------------------
+
+    /** Per-core cycle attribution (finalized by run()). */
+    const CycleAccountant &cycleAccounting() const { return *accountant; }
+
+    /** Recorded barrier episodes (finalized by run()). */
+    const BarrierEpisodeProfiler &episodeProfiler() const
+    {
+        return *profiler;
+    }
+
+    /**
+     * Close observability intervals at the current tick, publish the
+     * aggregates into statistics(), and write the trace file when
+     * traceout= is configured. run() calls this on completion; idempotent
+     * only in the interval-closing sense, so call it once per run.
+     */
+    void finalizeObservability();
+
     /**
      * Write per-core, per-thread, and per-filter diagnostics (PC, stall
      * reason, MSHR occupancy, filter FSM states, OS run state) — what the
@@ -106,6 +127,11 @@ class CmpSystem
 
     bool watchdogArmed = false;
     uint64_t watchdogLastInsts = 0;
+
+    std::unique_ptr<CycleAccountant> accountant;
+    std::unique_ptr<BarrierEpisodeProfiler> profiler;
+    std::unique_ptr<TraceExporter> tracer;
+    bool observabilityFinalized = false;
 
     /** Declared last: faults must die before the components they poke. */
     std::unique_ptr<FaultInjector> injector;

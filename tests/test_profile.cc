@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Observability subsystem: cycle-accounting exactness (per-core buckets
+ * sum to the elapsed ticks under every barrier mechanism), barrier-episode
+ * profiling invariants, and the Chrome trace-event export's validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "barriers/barrier_gen.hh"
+#include "sim/json.hh"
+#include "sys/experiment.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+miniConfig(unsigned cores = 4)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    return cfg;
+}
+
+/** Run @p threads threads through @p barriers consecutive barriers. */
+Tick
+runBarrierLoop(CmpSystem &sys, BarrierKind kind, unsigned threads,
+               unsigned barriers, BarrierHandle *handleOut = nullptr)
+{
+    Os &os = sys.os();
+    BarrierHandle handle = os.registerBarrier(kind, threads);
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        ProgramBuilder b(os.codeBase(ThreadId(tid)));
+        BarrierCodegen bar(handle, tid);
+        bar.emitInit(b);
+        for (unsigned i = 0; i < barriers; ++i)
+            bar.emitBarrier(b);
+        b.halt();
+        bar.emitArrivalSections(b);
+        ThreadContext *t = os.createThread(b.build());
+        os.startThread(t, CoreId(tid));
+    }
+    if (handleOut)
+        *handleOut = handle;
+    return sys.run();
+}
+
+} // namespace
+
+// ----- cycle accounting ------------------------------------------------------
+
+TEST(CycleAccounting, BucketsSumToElapsedForEveryMechanism)
+{
+    for (BarrierKind kind : allBarrierKinds()) {
+        CmpSystem sys(miniConfig(4));
+        Tick end = runBarrierLoop(sys, kind, 4, 6);
+        const CycleAccountant &acct = sys.cycleAccounting();
+        ASSERT_EQ(acct.numCores(), 4u) << barrierKindName(kind);
+        for (CoreId c = 0; c < 4; ++c) {
+            EXPECT_EQ(acct.buckets(c).sum(), end)
+                << barrierKindName(kind) << " core " << c;
+        }
+    }
+}
+
+TEST(CycleAccounting, ExportedCountersMatchBuckets)
+{
+    CmpSystem sys(miniConfig(4));
+    Tick end = runBarrierLoop(sys, BarrierKind::FilterDCache, 4, 6);
+    StatGroup &st = sys.statistics();
+    for (unsigned c = 0; c < 4; ++c) {
+        std::string pfx = "core." + std::to_string(c) + ".cycles.";
+        EXPECT_EQ(st.sumByPrefix(pfx), end) << "core " << c;
+        EXPECT_EQ(st.counterValue(pfx + "compute"),
+                  sys.cycleAccounting().buckets(CoreId(c)).compute);
+    }
+}
+
+TEST(CycleAccounting, FilterBarriersShowBarrierWait)
+{
+    CmpSystem sys(miniConfig(4));
+    runBarrierLoop(sys, BarrierKind::FilterDCache, 4, 8);
+    uint64_t wait = 0;
+    for (CoreId c = 0; c < 4; ++c)
+        wait += sys.cycleAccounting().buckets(c).barrierWait;
+    // Threads arrive at different times; someone must have been held.
+    EXPECT_GT(wait, 0u);
+}
+
+TEST(CycleAccounting, IdleCoresAreDescheduled)
+{
+    // 2 threads on a 4-core machine: cores 2 and 3 never run anything.
+    CmpSystem sys(miniConfig(4));
+    Tick end = runBarrierLoop(sys, BarrierKind::SwCentral, 2, 2);
+    for (CoreId c = 2; c < 4; ++c) {
+        const auto &b = sys.cycleAccounting().buckets(c);
+        EXPECT_EQ(b.descheduled, end) << "core " << c;
+        EXPECT_EQ(b.compute, 0u) << "core " << c;
+    }
+}
+
+// ----- barrier episodes ------------------------------------------------------
+
+TEST(Episodes, FilterEpisodesHaveAllArrivals)
+{
+    const unsigned threads = 4, barriers = 6;
+    CmpSystem sys(miniConfig(threads));
+    runBarrierLoop(sys, BarrierKind::FilterDCache, threads, barriers);
+
+    const auto &eps = sys.episodeProfiler().episodes();
+    ASSERT_GE(eps.size(), size_t(barriers));
+    for (const BarrierEpisode &e : eps) {
+        EXPECT_EQ(e.numThreads, threads);
+        EXPECT_EQ(e.arrivals.size(), size_t(threads));
+        EXPECT_GE(e.lastArrival, e.firstArrival);
+        EXPECT_TRUE(e.opened);
+        EXPECT_GE(e.openTick, e.lastArrival);
+        EXPECT_GE(e.endTick, e.openTick);
+        EXPECT_LT(e.criticalSlot(), threads);
+        // The critical thread is by definition the last arrival.
+        for (const auto &m : e.arrivals)
+            EXPECT_LE(m.tick, e.lastArrival);
+    }
+    EXPECT_EQ(sys.statistics().counterValue("barrier.episodes"),
+              eps.size());
+}
+
+TEST(Episodes, NetworkBarrierRecordsEpisodes)
+{
+    const unsigned threads = 4, barriers = 5;
+    CmpSystem sys(miniConfig(threads));
+    runBarrierLoop(sys, BarrierKind::HwNetwork, threads, barriers);
+
+    const auto &eps = sys.episodeProfiler().episodes();
+    ASSERT_GE(eps.size(), size_t(barriers));
+    for (const BarrierEpisode &e : eps) {
+        EXPECT_EQ(e.bank, probeNetworkBank);
+        EXPECT_EQ(e.arrivals.size(), size_t(threads));
+        EXPECT_EQ(e.releases.size(), size_t(threads));
+        EXPECT_GE(e.waitCycleSum(), 0u);
+    }
+}
+
+TEST(Episodes, SoftwareBarriersRecordNone)
+{
+    CmpSystem sys(miniConfig(4));
+    runBarrierLoop(sys, BarrierKind::SwCentral, 4, 4);
+    EXPECT_TRUE(sys.episodeProfiler().episodes().empty());
+    EXPECT_EQ(sys.statistics().counterValue("barrier.episodes"), 0u);
+}
+
+TEST(Episodes, LatencyDistributionMatchesRecords)
+{
+    CmpSystem sys(miniConfig(4));
+    runBarrierLoop(sys, BarrierKind::FilterICache, 4, 6);
+    const auto &eps = sys.episodeProfiler().episodes();
+    Distribution &lat =
+        sys.statistics().distribution("barrier.episodeLatency");
+    ASSERT_EQ(lat.count(), eps.size());
+    for (const BarrierEpisode &e : eps) {
+        EXPECT_GE(double(e.latency()), 0.0);
+        EXPECT_GE(double(e.latency()), lat.min() - 0.5);
+        EXPECT_LE(double(e.latency()), lat.max() + 0.5);
+    }
+    EXPECT_LE(lat.percentile(0.5), lat.percentile(0.99));
+}
+
+// ----- trace export ----------------------------------------------------------
+
+namespace
+{
+
+JsonValue
+runWithTrace(BarrierKind kind, const std::string &path)
+{
+    CmpConfig cfg = miniConfig(4);
+    cfg.traceOutFile = path;
+    // Same driver the fig4 bench uses, so this validates the
+    // `fig4_barrier_latency traceout=...` artifact end to end.
+    auto r = measureBarrierLatency(cfg, kind, 4, 4, 2);
+    EXPECT_GT(r.barriers, 0u);
+
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "trace file missing: " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parseJson(ss.str());
+}
+
+} // namespace
+
+TEST(TraceExport, ProducesValidChromeTrace)
+{
+    const std::string path = "test_profile_trace.json";
+    JsonValue doc = runWithTrace(BarrierKind::FilterDCache, path);
+
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const auto &events = doc.at("traceEvents").arr;
+    ASSERT_FALSE(events.empty());
+
+    // Per-(pid, tid) monotonicity of X event timestamps; completeness of
+    // required members.
+    std::map<std::pair<double, double>, double> lastTs;
+    unsigned coreSlices = 0, episodeSpans = 0;
+    for (const JsonValue &ev : events) {
+        ASSERT_TRUE(ev.isObject());
+        const std::string &ph = ev.at("ph").str;
+        if (ph == "M")
+            continue;
+        ASSERT_TRUE(ev.has("ts"));
+        ASSERT_TRUE(ev.has("pid"));
+        ASSERT_TRUE(ev.has("tid"));
+        if (ph == "X") {
+            ASSERT_TRUE(ev.has("dur"));
+            ASSERT_TRUE(ev.has("name"));
+            EXPECT_GE(ev.at("dur").number, 0.0);
+            auto key = std::make_pair(ev.at("pid").number,
+                                      ev.at("tid").number);
+            auto it = lastTs.find(key);
+            if (it != lastTs.end())
+                EXPECT_GE(ev.at("ts").number, it->second);
+            lastTs[key] = ev.at("ts").number;
+            const std::string &cat = ev.at("cat").str;
+            if (cat == "core")
+                ++coreSlices;
+            else if (cat == "barrier")
+                ++episodeSpans;
+        }
+    }
+    EXPECT_GT(coreSlices, 0u);
+    EXPECT_GT(episodeSpans, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, NetworkBarrierTraceHasEpisodes)
+{
+    const std::string path = "test_profile_trace_net.json";
+    JsonValue doc = runWithTrace(BarrierKind::HwNetwork, path);
+    unsigned episodeSpans = 0;
+    for (const JsonValue &ev : doc.at("traceEvents").arr) {
+        if (ev.at("ph").str == "X" && ev.has("cat") &&
+            ev.at("cat").str == "barrier")
+            ++episodeSpans;
+    }
+    EXPECT_GT(episodeSpans, 0u);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Statistics registry and JSON plumbing: distribution percentiles and
+ * empty-distribution semantics, prefix sums, resetAll, the JSON
+ * writer/parser pair, and the dumpJson round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+using namespace bfsim;
+
+// ----- Distribution ----------------------------------------------------------
+
+TEST(Distribution, EmptyHasNoMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_TRUE(std::isnan(d.min()));
+    EXPECT_TRUE(std::isnan(d.max()));
+    EXPECT_TRUE(std::isnan(d.mean()));
+    EXPECT_TRUE(std::isnan(d.percentile(0.5)));
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(42);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 42);
+    EXPECT_DOUBLE_EQ(d.max(), 42);
+    EXPECT_DOUBLE_EQ(d.mean(), 42);
+    // A one-sample distribution has every percentile equal to the sample.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 42);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 42);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 42);
+}
+
+TEST(Distribution, ZeroSampleIsDistinguishableFromEmpty)
+{
+    Distribution d;
+    d.sample(0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 0);
+    EXPECT_FALSE(std::isnan(d.percentile(0.5)));
+}
+
+TEST(Distribution, PercentilesOrderedAndBounded)
+{
+    Distribution d;
+    for (int i = 1; i <= 1000; ++i)
+        d.sample(i);
+    double p50 = d.percentile(0.50);
+    double p95 = d.percentile(0.95);
+    double p99 = d.percentile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, d.min());
+    EXPECT_LE(p99, d.max());
+    // Log2 buckets give bucket-granularity error: p50 of 1..1000 is in
+    // the [512, 1024) bucket's neighbourhood, definitely in [256, 1024].
+    EXPECT_GE(p50, 256);
+    EXPECT_LE(p50, 1024);
+}
+
+TEST(Distribution, HistogramBucketing)
+{
+    Distribution d;
+    d.sample(0.5);  // bucket 0: v < 1
+    d.sample(1);    // bucket 1: [1, 2)
+    d.sample(3);    // bucket 2: [2, 4)
+    d.sample(-7);   // bucket 0
+    const auto &h = d.histogram();
+    EXPECT_EQ(h[0], 2u);
+    EXPECT_EQ(h[1], 1u);
+    EXPECT_EQ(h[2], 1u);
+    uint64_t total = 0;
+    for (uint64_t b : h)
+        total += b;
+    EXPECT_EQ(total, d.count());
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    Distribution d;
+    d.sample(17);
+    d.sample(1000);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_TRUE(std::isnan(d.min()));
+    EXPECT_TRUE(std::isnan(d.percentile(0.9)));
+    for (uint64_t b : d.histogram())
+        EXPECT_EQ(b, 0u);
+}
+
+// ----- StatGroup -------------------------------------------------------------
+
+TEST(StatGroup, SumByPrefix)
+{
+    StatGroup g;
+    g.counter("l2.bank0.hits") += 3;
+    g.counter("l2.bank1.hits") += 4;
+    g.counter("l1.core0.hits") += 100;
+    EXPECT_EQ(g.sumByPrefix("l2."), 7u);
+    EXPECT_EQ(g.sumByPrefix("l1."), 100u);
+    EXPECT_EQ(g.sumByPrefix("l3."), 0u);
+    EXPECT_EQ(g.sumByPrefix(""), 107u);
+}
+
+TEST(StatGroup, CounterValueAbsentIsZero)
+{
+    StatGroup g;
+    EXPECT_FALSE(g.hasCounter("nope"));
+    EXPECT_EQ(g.counterValue("nope"), 0u);
+    // counterValue must not create the counter.
+    EXPECT_FALSE(g.hasCounter("nope"));
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g;
+    g.counter("a") += 5;
+    g.distribution("d").sample(9);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+    for (uint64_t b : g.distribution("d").histogram())
+        EXPECT_EQ(b, 0u);
+}
+
+// ----- JSON writer/parser ----------------------------------------------------
+
+TEST(Json, WriterEscapesStrings)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("k", std::string("a\"b\\c\n\t\x01z"));
+    w.end();
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("k").str, "a\"b\\c\n\t\x01z");
+}
+
+TEST(Json, WriterNanAndInfBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("nan", std::nan(""));
+    w.kv("inf", HUGE_VAL);
+    w.kv("ok", 2.5);
+    w.end();
+    JsonValue v = parseJson(os.str());
+    EXPECT_TRUE(v.at("nan").isNull());
+    EXPECT_TRUE(v.at("inf").isNull());
+    EXPECT_DOUBLE_EQ(v.at("ok").number, 2.5);
+}
+
+TEST(Json, ParserHandlesTypes)
+{
+    JsonValue v = parseJson(
+        R"({"i": -3, "d": 1.5e2, "s": "x", "b": true, "n": null,)"
+        R"( "a": [1, 2, 3], "o": {"k": false}})");
+    EXPECT_DOUBLE_EQ(v.at("i").number, -3);
+    EXPECT_DOUBLE_EQ(v.at("d").number, 150);
+    EXPECT_EQ(v.at("s").str, "x");
+    EXPECT_TRUE(v.at("b").boolean);
+    EXPECT_TRUE(v.at("n").isNull());
+    ASSERT_EQ(v.at("a").arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("a").arr[1].number, 2);
+    EXPECT_FALSE(v.at("o").at("k").boolean);
+    EXPECT_TRUE(v.has("i"));
+    EXPECT_FALSE(v.has("zzz"));
+    EXPECT_THROW(v.at("zzz"), FatalError);
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), FatalError);
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\": }"), FatalError);
+    EXPECT_THROW(parseJson("[1, 2,]"), FatalError);
+    EXPECT_THROW(parseJson("{} trailing"), FatalError);
+    EXPECT_THROW(parseJson("'single'"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), FatalError);
+}
+
+TEST(Json, DumpJsonRoundTrip)
+{
+    StatGroup g;
+    g.counter("cpu.instructions") += 1234;
+    g.counter("l2.bank0.hits") += 9;
+    g.distribution("barrier.episodeLatency").sample(100);
+    g.distribution("barrier.episodeLatency").sample(300);
+    g.distribution("never.sampled");
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    JsonValue v = parseJson(os.str());
+
+    const JsonValue &counters = v.at("counters");
+    EXPECT_DOUBLE_EQ(counters.at("cpu.instructions").number, 1234);
+    EXPECT_DOUBLE_EQ(counters.at("l2.bank0.hits").number, 9);
+
+    const JsonValue &lat =
+        v.at("distributions").at("barrier.episodeLatency");
+    EXPECT_DOUBLE_EQ(lat.at("count").number, 2);
+    EXPECT_DOUBLE_EQ(lat.at("min").number, 100);
+    EXPECT_DOUBLE_EQ(lat.at("max").number, 300);
+    EXPECT_DOUBLE_EQ(lat.at("mean").number, 200);
+    EXPECT_TRUE(lat.at("p50").isNumber());
+
+    // Empty distributions render their moments as null, not 0.
+    const JsonValue &empty = v.at("distributions").at("never.sampled");
+    EXPECT_DOUBLE_EQ(empty.at("count").number, 0);
+    EXPECT_TRUE(empty.at("min").isNull());
+    EXPECT_TRUE(empty.at("max").isNull());
+    EXPECT_TRUE(empty.at("p99").isNull());
+}
+
+TEST(StatGroup, TextDumpRendersEmptyDistributionAsNa)
+{
+    StatGroup g;
+    g.distribution("empty.dist");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("n/a"), std::string::npos);
+    EXPECT_NE(os.str().find("empty.dist"), std::string::npos);
+}
