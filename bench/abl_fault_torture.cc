@@ -12,6 +12,9 @@
  * rerun with the printed seed to reproduce a run exactly.
  */
 
+#include <utility>
+#include <vector>
+
 #include "bench_common.hh"
 
 using namespace bfsim;
@@ -44,6 +47,7 @@ main(int argc, char **argv)
     auto opts = OptionMap::fromArgs(argc, argv);
     unsigned threads = unsigned(opts.getUint("cores", 8));
     uint64_t seed = opts.getUint("seed", 0xb10cf11e);
+    std::string jsonFile = bench::jsonPathFromCli(argc, argv);
     KernelParams p;
     p.n = opts.getUint("n", 512);
     p.reps = unsigned(opts.getUint("reps", 2));
@@ -54,6 +58,13 @@ main(int argc, char **argv)
 
     printHeader(std::cout, "barrier",
                 {"clean", "perturb", "hostile", "recov", "ok"});
+
+    struct Cell
+    {
+        BarrierKind kind;
+        KernelRun clean, perturb, hostile;
+    };
+    std::vector<Cell> cells;
 
     for (BarrierKind kind : allBarrierKinds()) {
         CmpConfig clean = CmpConfig::fromOptions(opts);
@@ -78,6 +89,37 @@ main(int argc, char **argv)
                   double(rHostile.cycles),
                   double(rPerturb.recoveries + rHostile.recoveries),
                   ok ? 1.0 : 0.0});
+        cells.push_back({kind, rClean, rPerturb, rHostile});
     }
+
+    bench::writeBenchJson(jsonFile, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("bench", "abl_fault_torture");
+        w.kv("kernel", kernelName(KernelId::Livermore3));
+        w.kv("threads", threads);
+        w.kv("n", p.n);
+        w.kv("reps", p.reps);
+        w.kv("seed", seed);
+        w.key("mechanisms");
+        w.beginArray();
+        for (const Cell &c : cells) {
+            w.beginObject();
+            w.kv("name", barrierKindName(c.kind));
+            const std::pair<const char *, const KernelRun *> rows[] = {
+                {"clean", &c.clean},
+                {"perturb", &c.perturb},
+                {"hostile", &c.hostile},
+            };
+            for (const auto &[label, run] : rows) {
+                w.key(label);
+                bench::writeMechanismJson(w, barrierKindName(c.kind), *run, 0.0);
+            }
+            w.kv("ok", c.clean.correct && c.perturb.correct &&
+                           c.hostile.correct);
+            w.end();
+        }
+        w.end();
+        w.end();
+    });
     return 0;
 }

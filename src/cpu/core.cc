@@ -10,6 +10,8 @@
 #include <ostream>
 
 #include "filter/barrier_network.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
 #include "sim/log.hh"
 
 namespace bfsim
@@ -806,6 +808,41 @@ Core::dumpState(std::ostream &os) const
     for (const auto &op : outstanding)
         os << " " << op.pc;
     os << std::dec << " ]\n";
+}
+
+void
+Core::serializeState(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("core", int64_t(coreId));
+    jw.kv("tid", int64_t(ctx ? ctx->tid : -1));
+    if (ctx) {
+        jw.kv("pc", uint64_t(ctx->pc));
+        jw.kv("halted", ctx->halted);
+        jw.kv("insts", ctx->instsExecuted);
+    }
+    jw.kv("fetchInFlight", fetchInFlight);
+    jw.kv("storeBuf", uint64_t(storeBuffer.size()));
+    jw.kv("outstanding", uint64_t(outstanding.size()));
+    jw.kv("pendingInvAck", pendingInvAck);
+    jw.kv("waitingHbar", waitingHbar);
+
+    StateHasher h;
+    for (Tick t : intReady)
+        h.u64(t);
+    for (Tick t : fpReady)
+        h.u64(t);
+    for (const auto &se : storeBuffer) {
+        h.u64(se.addr);
+        h.u64(se.size);
+        h.u64(se.raw);
+    }
+    for (const auto &op : outstanding) {
+        h.u64(op.id);
+        h.u64(op.pc);
+    }
+    jw.kv("scoreboard", toHex(h.digest()));
+    jw.end();
 }
 
 // Free function helper: interpret raw store-buffer bits as a load result.

@@ -38,6 +38,7 @@ namespace bfsim
 {
 
 class BarrierNetwork;
+class JsonWriter;
 
 /** Architectural state of one software thread. */
 struct ThreadContext
@@ -117,8 +118,21 @@ class Core
     /** Number of loads/SCs in flight. */
     size_t outstandingOps() const { return outstanding.size(); }
 
+    /** Stores queued but not yet performed. */
+    size_t storeBufferDepth() const { return storeBuffer.size(); }
+
+    /** True while an InvAll ack is outstanding (barrier invalidate). */
+    bool invAckPending() const { return pendingInvAck; }
+
     /** One-core diagnostic snapshot for the watchdog dump. */
     void dumpState(std::ostream &os) const;
+
+    /**
+     * Serialize the timing-visible core state (attached thread, pc,
+     * in-flight operation counts, scoreboard digest) as one JSON object
+     * for checkpoints and machine-readable diagnostics.
+     */
+    void serializeState(JsonWriter &jw) const;
 
   private:
     struct StoreEntry

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
 
@@ -28,6 +29,7 @@ BarrierFilter::initialize(const AddressMap &m)
     entries.assign(m.numThreads, init);
     arrivedCounter = 0;
     opens = 0;
+    ++generation;
     armed = true;
     poisoned = false;
 }
@@ -240,6 +242,20 @@ FilterBank::timeoutFired(BarrierFilter &f, unsigned slot)
 }
 
 void
+FilterBank::forceOpen(unsigned filterIdx)
+{
+    BarrierFilter &f = filters.at(filterIdx);
+    if (!f.active() || f.poisoned)
+        return;
+    ++stats.counter(name + ".forcedOpens");
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << filterIdx << " FORCED open at "
+                     << f.arrivedCounter << "/" << f.map.numThreads
+                     << " arrivals (sabotage)");
+    open(f);
+}
+
+void
 FilterBank::fireTimeout(unsigned filterIdx, unsigned slot)
 {
     BarrierFilter &f = filters.at(filterIdx);
@@ -371,8 +387,19 @@ FilterBank::onFillRequest(const Msg &msg)
             continue;
 
         if (f.poisoned) {
-            // The filter failed; every fill is error-nacked so the core
-            // traps into the OS recovery path.
+            if (f.entries[*slot].state == FilterThreadState::Servicing) {
+                // The episode opened before the filter died: the release
+                // is a committed fact and this fill is the released
+                // thread consuming it (its withheld fill was squashed by
+                // a context switch, and it reissued the load only after
+                // the poison). Nacking here would make the OS restart a
+                // barrier the thread has already passed, leaving it one
+                // epoch behind the software fallback forever.
+                ++stats.counter(name + ".poisonedServicedFills");
+                return FillAction::Pass;
+            }
+            // Otherwise the filter failed mid-episode; the fill is
+            // error-nacked so the core traps into the OS recovery path.
             ++stats.counter(name + ".poisonedNacks");
             return FillAction::Error;
         }
@@ -463,6 +490,43 @@ FilterBank::dumpState(std::ostream &os) const
                << "\n";
         }
     }
+}
+
+void
+FilterBank::serializeState(JsonWriter &jw) const
+{
+    jw.beginArray();
+    for (unsigned i = 0; i < filters.size(); ++i) {
+        const BarrierFilter &f = filters[i];
+        if (!f.active())
+            continue;
+        jw.beginObject();
+        jw.kv("index", i);
+        jw.kv("generation", f.generation);
+        jw.kv("arrivalBase", f.map.arrivalBase);
+        jw.kv("exitBase", f.map.exitBase);
+        jw.kv("stride", f.map.strideBytes);
+        jw.kv("threads", f.map.numThreads);
+        jw.kv("arrived", f.arrivedCounter);
+        jw.kv("opens", f.opens);
+        jw.kv("poisoned", f.poisoned);
+        jw.key("slots");
+        jw.beginArray();
+        for (const auto &e : f.entries) {
+            jw.beginObject();
+            jw.kv("state", int(e.state));
+            jw.kv("pendingFill", e.pendingFill);
+            if (e.pendingFill) {
+                jw.kv("fillCore", int64_t(e.pendingMsg.core));
+                jw.kv("fillLine", e.pendingMsg.lineAddr);
+                jw.kv("blockedSince", e.blockedSince);
+            }
+            jw.end();
+        }
+        jw.end();
+        jw.end();
+    }
+    jw.end();
 }
 
 } // namespace bfsim

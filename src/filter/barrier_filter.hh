@@ -36,6 +36,8 @@
 namespace bfsim
 {
 
+class JsonWriter;
+
 /** Per-thread FSM states, Figure 3. */
 enum class FilterThreadState : uint8_t
 {
@@ -97,6 +99,13 @@ class BarrierFilter
     uint64_t openCount() const { return opens; }
 
     /**
+     * Bumped on every initialize(): distinguishes successive tenants of
+     * the same physical filter slot, so observers keyed on (bank, index)
+     * can tell a reprogrammed filter from a rewound epoch counter.
+     */
+    uint64_t generationCount() const { return generation; }
+
+    /**
      * A poisoned filter has suffered an unrecoverable-in-hardware error
      * (a timeout fired under recovery mode, or the OS faulted it). It
      * nacks every fill with an error code, ignores invalidations, and
@@ -119,6 +128,7 @@ class BarrierFilter
     std::vector<Entry> entries;
     unsigned arrivedCounter = 0;
     uint64_t opens = 0;   ///< barrier episodes completed (epoch counter)
+    uint64_t generation = 0;  ///< initialize() count for this slot
     bool armed = false;
     bool poisoned = false;
 };
@@ -192,6 +202,15 @@ class FilterBank
 
     /** Direct access for tests. */
     BarrierFilter &filterAt(unsigned i) { return filters[i]; }
+    const BarrierFilter &filterAt(unsigned i) const { return filters[i]; }
+
+    /**
+     * Fault injection: release filter @p filterIdx as if all threads had
+     * arrived, even though some have not. This is a *sabotage* primitive —
+     * it fabricates the exact early-release failure the invariant checker
+     * must catch, so the checker and fuzzer can be tested end to end.
+     */
+    void forceOpen(unsigned filterIdx);
 
     /**
      * Poison @p f: nack every withheld fill with an error code and put
@@ -217,6 +236,12 @@ class FilterBank
 
     /** Human-readable FSM snapshot for the watchdog dump. */
     void dumpState(std::ostream &os) const;
+
+    /**
+     * Full FSM detail (per-filter maps, per-slot states, counters) as one
+     * JSON array, for checkpoints and machine-readable diagnostics.
+     */
+    void serializeState(JsonWriter &jw) const;
 
   private:
     void open(BarrierFilter &f);

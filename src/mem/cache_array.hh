@@ -177,6 +177,16 @@ class CacheArray
                 fn(l);
     }
 
+    /** Visit every valid line (const; array order, so deterministic). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const Line &l : lines)
+            if (l.valid)
+                fn(l);
+    }
+
     /** Count of valid lines (test helper). */
     size_t
     validCount() const

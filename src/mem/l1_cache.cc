@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "sim/hash.hh"
+
 namespace bfsim
 {
 
@@ -450,6 +452,32 @@ L1Cache::lineModified(Addr addr) const
 {
     const auto *line = array.find(lineAlign(addr));
     return line && line->state.modified;
+}
+
+uint64_t
+L1Cache::stateDigest() const
+{
+    StateHasher h;
+    h.u8(role == Role::Instr ? 0 : 1);
+    array.forEachValid([&](const auto &l) {
+        h.u64(l.addr);
+        h.boolean(l.state.modified);
+        h.u64(l.lastUse);
+    });
+    for (const MshrEntry &e : mshrs.allEntries()) {
+        h.boolean(e.valid);
+        if (!e.valid)
+            continue;
+        h.u64(e.lineAddr);
+        h.u8(uint8_t(e.issuedType));
+        h.boolean(e.needUpgrade);
+        h.u64(e.targets.size());
+    }
+    h.boolean(linkSet);
+    h.u64(linkLine);
+    for (const auto &[addr, cb] : pendingInvAlls)
+        h.u64(addr);
+    return h.digest();
 }
 
 } // namespace bfsim

@@ -101,6 +101,15 @@ class L1Cache
     bool hasLine(Addr addr) const;
     bool lineModified(Addr addr) const;
     unsigned mshrsInUse() const { return mshrs.inUse(); }
+    const MshrFile &mshrFile() const { return mshrs; }
+
+    /**
+     * Fold the full timing/coherence state (tags, MSHR file, link
+     * register, pending invalidations) into one digest for checkpoint
+     * verification (sim/hash.hh).
+     */
+    uint64_t stateDigest() const;
+
     bool linkValid() const { return linkSet; }
     bool prefetchEnabled() const { return prefetchNextLine; }
     CoreId coreId() const { return core; }

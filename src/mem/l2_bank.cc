@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "filter/barrier_filter.hh"
+#include "sim/hash.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
 
@@ -409,6 +410,35 @@ L2Bank::dirState(Addr lineAddr) const
     if (!line)
         return LineState{};
     return line->state;
+}
+
+uint64_t
+L2Bank::stateDigest() const
+{
+    StateHasher h;
+    h.u64(bankIndex);
+    array.forEachValid([&](const auto &l) {
+        h.u64(l.addr);
+        h.u64(l.state.sharers);
+        h.i64(l.state.owner);
+        h.boolean(l.state.dirty);
+        h.u64(l.lastUse);
+    });
+    // std::map iteration is address-sorted, hence canonical.
+    for (const auto &[addr, txn] : busy) {
+        h.u64(addr);
+        h.i64(txn.pendingAcks);
+        h.boolean(txn.internal);
+    }
+    for (const auto &[addr, q] : waiters) {
+        h.u64(addr);
+        h.u64(q.size());
+    }
+    for (const auto &[set, q] : setWaiters) {
+        h.u64(set);
+        h.u64(q.size());
+    }
+    return h.digest();
 }
 
 } // namespace bfsim

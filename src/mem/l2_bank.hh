@@ -63,6 +63,12 @@ class L2Bank
     bool lineBusy(Addr lineAddr) const { return busy.count(lineAddr) != 0; }
     size_t busyCount() const { return busy.size(); }
 
+    /**
+     * Fold tags, directory state, and transaction-engine occupancy into
+     * one digest for checkpoint verification (sim/hash.hh).
+     */
+    uint64_t stateDigest() const;
+
   private:
     struct Txn
     {

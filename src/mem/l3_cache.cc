@@ -5,6 +5,8 @@
 
 #include "mem/l3_cache.hh"
 
+#include "sim/hash.hh"
+
 namespace bfsim
 {
 
@@ -67,6 +69,18 @@ L3Cache::writeback(Addr lineAddr, bool dirty)
     }
     auto *line = array.install(way, lineAddr);
     line->state.dirty = dirty;
+}
+
+uint64_t
+L3Cache::stateDigest() const
+{
+    StateHasher h;
+    array.forEachValid([&](const CacheArray<LineState>::Line &l) {
+        h.u64(l.addr);
+        h.boolean(l.state.dirty);
+        h.u64(l.lastUse);
+    });
+    return h.digest();
 }
 
 } // namespace bfsim

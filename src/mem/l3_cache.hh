@@ -55,6 +55,12 @@ class L3Cache
 
     bool hasLine(Addr lineAddr) const { return array.find(lineAddr); }
 
+    /**
+     * Fold tags and dirty bits into one digest for checkpoint
+     * verification (sim/hash.hh).
+     */
+    uint64_t stateDigest() const;
+
   private:
     Tick portSlot();
 

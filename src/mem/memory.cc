@@ -5,6 +5,11 @@
 
 #include "mem/memory.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "sim/hash.hh"
+
 namespace bfsim
 {
 
@@ -157,6 +162,33 @@ void
 MainMemory::setFaultDelayHook(std::function<Tick()> hook)
 {
     faultDelayHook = std::move(hook);
+}
+
+uint64_t
+MainMemory::contentDigest() const
+{
+    std::vector<Addr> pageNums;
+    pageNums.reserve(pages.size());
+    for (const auto &[pn, p] : pages)
+        pageNums.push_back(pn);
+    std::sort(pageNums.begin(), pageNums.end());
+
+    StateHasher h;
+    for (Addr pn : pageNums) {
+        const Page &p = *pages.at(pn);
+        bool allZero = true;
+        for (uint8_t b : p) {
+            if (b != 0) {
+                allZero = false;
+                break;
+            }
+        }
+        if (allZero)
+            continue;
+        h.u64(pn);
+        h.bytes(p.data(), p.size());
+    }
+    return h.digest();
 }
 
 } // namespace bfsim

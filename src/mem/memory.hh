@@ -71,6 +71,14 @@ class MainMemory
      */
     void setFaultDelayHook(std::function<Tick()> hook);
 
+    /**
+     * Digest of the full byte image (pages visited in sorted address
+     * order, so the hash is independent of the unordered_map layout).
+     * All-zero pages contribute like absent pages, making the digest a
+     * function of content only.
+     */
+    uint64_t contentDigest() const;
+
   private:
     using Page = std::array<uint8_t, pageBytes>;
 

@@ -73,6 +73,12 @@ class MshrFile
 
     unsigned capacity() const { return unsigned(entries.size()); }
 
+    /**
+     * Raw entry access for invariant checking and state hashing: entries
+     * are in fixed register order; invalid slots stay in place.
+     */
+    const std::vector<MshrEntry> &allEntries() const { return entries; }
+
   private:
     std::vector<MshrEntry> entries;
 };

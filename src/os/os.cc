@@ -9,6 +9,8 @@
 #include <ostream>
 
 #include "isa/builder.hh"
+#include "sim/hash.hh"
+#include "sim/json.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
 #include "sys/system.hh"
@@ -400,6 +402,36 @@ Os::dumpThreads(std::ostream &os) const
             os << " descheduled";
         os << "\n";
     }
+}
+
+void
+Os::serializeThreads(JsonWriter &jw) const
+{
+    jw.beginArray();
+    for (const auto &tp : threads) {
+        const ThreadContext *t = tp.get();
+        int runningOn = -1;
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            if (sys.core(CoreId(c)).thread() == t)
+                runningOn = int(c);
+        }
+        jw.beginObject();
+        jw.kv("tid", int64_t(t->tid));
+        jw.kv("pc", uint64_t(t->pc));
+        jw.kv("halted", t->halted);
+        jw.kv("barrierError", t->barrierError);
+        jw.kv("insts", t->instsExecuted);
+        jw.kv("core", int64_t(runningOn));
+
+        StateHasher h;
+        for (int64_t r : t->iregs)
+            h.i64(r);
+        for (double r : t->fregs)
+            h.f64(r);
+        jw.kv("regs", toHex(h.digest()));
+        jw.end();
+    }
+    jw.end();
 }
 
 } // namespace bfsim

@@ -160,6 +160,18 @@ class Os
     /** Thread/run-queue snapshot for the watchdog dump. */
     void dumpThreads(std::ostream &os) const;
 
+    /**
+     * Serialize every thread (pc, halt state, instruction count, register
+     * digest) as one JSON array for checkpoints and diagnostics.
+     */
+    void serializeThreads(JsonWriter &jw) const;
+
+    /** Number of threads ever created. */
+    size_t threadCount() const { return threads.size(); }
+
+    /** Thread by creation index (== its tid). */
+    const ThreadContext &threadAt(size_t i) const { return *threads[i]; }
+
     // ----- memory regions ---------------------------------------------------------
 
     /** Allocate kernel/workload data. */

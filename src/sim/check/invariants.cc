@@ -1,0 +1,390 @@
+/**
+ * @file
+ * InvariantChecker implementation.
+ */
+
+#include "sim/check/invariants.hh"
+
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+const char *
+violationKindName(ViolationKind k)
+{
+    switch (k) {
+      case ViolationKind::EarlyRelease: return "EarlyRelease";
+      case ViolationKind::DuplicateArrival: return "DuplicateArrival";
+      case ViolationKind::ArrivalOverflow: return "ArrivalOverflow";
+      case ViolationKind::EpochRegression: return "EpochRegression";
+      case ViolationKind::PoisonedStarvedFill: return "PoisonedStarvedFill";
+      case ViolationKind::DuplicateMshrLine: return "DuplicateMshrLine";
+      case ViolationKind::OrphanedMshr: return "OrphanedMshr";
+      case ViolationKind::DescheduleNotQuiescent:
+        return "DescheduleNotQuiescent";
+      case ViolationKind::ThreadOnTwoCores: return "ThreadOnTwoCores";
+      case ViolationKind::LiveThreadMiscount: return "LiveThreadMiscount";
+    }
+    return "?";
+}
+
+InvariantChecker::InvariantChecker(CmpSystem &system, Tick interval,
+                                   bool failFast_)
+    : sys(system), sweepInterval(interval), failFast(failFast_)
+{
+    if (sweepInterval == 0)
+        fatal("InvariantChecker: sweep interval must be positive");
+
+    ProbeBus &probes = sys.statistics().probes();
+    probes.barrierArrive.listen(
+        [this](const BarrierArriveEvent &e) { onArrive(e); });
+    probes.barrierOpen.listen(
+        [this](const BarrierOpenEvent &e) { onOpen(e); });
+    probes.fillStarved.listen(
+        [this](const FillStarvedEvent &e) { onStarved(e); });
+    probes.fillUnblocked.listen(
+        [this](const FillUnblockedEvent &e) { onUnblocked(e); });
+    probes.sched.listen([this](const SchedEvent &e) { onSched(e); });
+
+    sys.eventQueue().schedule(sweepInterval, [this] { sweep(); });
+}
+
+// ----- shadow bookkeeping -----------------------------------------------------
+
+InvariantChecker::BarrierShadow &
+InvariantChecker::shadowFor(const ShadowKey &key, uint64_t episode)
+{
+    BarrierShadow &sh = shadows[key];
+    if (key.first == probeNetworkBank) {
+        // Network barrier ids are reused after destroyBarrier, and a new
+        // tenant restarts at episode 0. An episode-0 event after we saw an
+        // open can only be a new tenant (the counter never rewinds).
+        if (episode == 0 && sh.openSeen)
+            sh = BarrierShadow{};
+        return sh;
+    }
+    // Filter slots carry an explicit generation: any reprogramming of the
+    // slot (swap-out + reallocation) invalidates the shadow.
+    uint64_t gen =
+        sys.filterBank(key.first).filterAt(key.second).generationCount();
+    if (gen != sh.generation) {
+        sh = BarrierShadow{};
+        sh.generation = gen;
+    }
+    return sh;
+}
+
+// ----- event rules ------------------------------------------------------------
+
+void
+InvariantChecker::onArrive(const BarrierArriveEvent &e)
+{
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    if (sh.openSeen && e.episode <= sh.lastOpen) {
+        std::ostringstream m;
+        m << "arrival for episode " << e.episode << " after episode "
+          << sh.lastOpen << " already opened (bank " << int(e.bank)
+          << " filter " << e.filterIdx << " slot " << e.slot << ")";
+        report(ViolationKind::EpochRegression, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+        return;
+    }
+    auto &slots = sh.arrivals[e.episode];
+    if (!slots.insert(e.slot).second) {
+        std::ostringstream m;
+        m << "slot " << e.slot << " arrived twice in episode " << e.episode
+          << " (bank " << int(e.bank) << " filter " << e.filterIdx << ")";
+        report(ViolationKind::DuplicateArrival, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    } else if (slots.size() > e.numThreads) {
+        std::ostringstream m;
+        m << slots.size() << " arrivals in episode " << e.episode
+          << " exceed " << e.numThreads << " participants (bank "
+          << int(e.bank) << " filter " << e.filterIdx << ")";
+        report(ViolationKind::ArrivalOverflow, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    }
+    // Bound the shadow: a filter has one episode in flight, so anything
+    // older than a handful of episodes is stale bookkeeping.
+    while (sh.arrivals.size() > 8)
+        sh.arrivals.erase(sh.arrivals.begin());
+}
+
+void
+InvariantChecker::onOpen(const BarrierOpenEvent &e)
+{
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    if (sh.openSeen && e.episode <= sh.lastOpen) {
+        std::ostringstream m;
+        m << "episode " << e.episode << " opened after episode "
+          << sh.lastOpen << " (bank " << int(e.bank) << " filter "
+          << e.filterIdx << ")";
+        report(ViolationKind::EpochRegression, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    }
+    auto it = sh.arrivals.find(e.episode);
+    size_t arrived = it == sh.arrivals.end() ? 0 : it->second.size();
+    if (arrived != e.numThreads) {
+        std::ostringstream m;
+        m << "episode " << e.episode << " released with " << arrived << "/"
+          << e.numThreads << " arrivals (bank " << int(e.bank) << " filter "
+          << e.filterIdx << ")";
+        report(ViolationKind::EarlyRelease, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    }
+    sh.openSeen = true;
+    sh.lastOpen = e.episode;
+    sh.arrivals.erase(sh.arrivals.begin(),
+                      sh.arrivals.upper_bound(e.episode));
+}
+
+void
+InvariantChecker::onStarved(const FillStarvedEvent &e)
+{
+    if (e.bank == probeNetworkBank || e.bank >= sys.numBanks())
+        return;
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    sh.starved.insert(e.slot);
+    if (sys.filterBank(e.bank).filterAt(e.filterIdx).isPoisoned()) {
+        std::ostringstream m;
+        m << "poisoned filter withheld a fill (bank " << e.bank
+          << " filter " << e.filterIdx << " slot " << e.slot << " core "
+          << e.core << ")";
+        report(ViolationKind::PoisonedStarvedFill, m.str(),
+               filterDetail(e.bank));
+    }
+}
+
+void
+InvariantChecker::onUnblocked(const FillUnblockedEvent &e)
+{
+    if (e.bank == probeNetworkBank || e.bank >= sys.numBanks())
+        return;
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    sh.starved.erase(e.slot);
+}
+
+void
+InvariantChecker::onSched(const SchedEvent &e)
+{
+    if (e.scheduled)
+        return;
+    // A context switch is only legal once the core is quiescent: stores
+    // drained, in-flight operations squashed, no invalidate ack pending
+    // (Section 3.3.3 — the OS may only switch out a *blocked* thread).
+    Core &c = sys.core(e.core);
+    if (c.storeBufferDepth() != 0 || c.outstandingOps() != 0 ||
+        c.invAckPending()) {
+        std::ostringstream m;
+        m << "thread " << e.tid << " descheduled from non-quiescent core "
+          << e.core << " (storeBuf " << c.storeBufferDepth()
+          << ", outstanding " << c.outstandingOps() << ", invAck "
+          << c.invAckPending() << ")";
+        std::ostringstream d;
+        c.dumpState(d);
+        report(ViolationKind::DescheduleNotQuiescent, m.str(), d.str());
+    }
+}
+
+// ----- structural sweeps ------------------------------------------------------
+
+void
+InvariantChecker::sweep()
+{
+    sweepFilters();
+    sweepMshrs();
+    sweepThreads();
+    if (!sys.allThreadsHalted())
+        sys.eventQueue().schedule(sweepInterval, [this] { sweep(); });
+}
+
+void
+InvariantChecker::sweepFilters()
+{
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        FilterBank &bank = sys.filterBank(b);
+        for (unsigned i = 0; i < bank.capacity(); ++i) {
+            const BarrierFilter &f = bank.filterAt(i);
+            if (!f.active() || !f.isPoisoned())
+                continue;
+            for (unsigned s = 0; s < f.addressMap().numThreads; ++s) {
+                if (!f.fillPending(s))
+                    continue;
+                std::ostringstream m;
+                m << "poisoned filter still holds a starved fill (bank "
+                  << b << " filter " << i << " slot " << s << ")";
+                report(ViolationKind::PoisonedStarvedFill, m.str(),
+                       filterDetail(b));
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::sweepMshrs()
+{
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        for (int data = 0; data < 2; ++data) {
+            L1Cache &l1 = data ? sys.l1d(CoreId(c)) : sys.l1i(CoreId(c));
+            const auto &entries = l1.mshrFile().allEntries();
+
+            std::set<Addr> seen;
+            for (size_t i = 0; i < entries.size(); ++i) {
+                const MshrEntry &e = entries[i];
+                uint64_t key =
+                    (uint64_t(c) * 2 + data) * entries.size() + i;
+                if (!e.valid) {
+                    mshrSuspects.erase(key);
+                    continue;
+                }
+                if (!seen.insert(e.lineAddr).second) {
+                    std::ostringstream m;
+                    m << "two valid MSHRs for line 0x" << std::hex
+                      << e.lineAddr << std::dec << " in "
+                      << (data ? "l1d." : "l1i.") << c;
+                    report(ViolationKind::DuplicateMshrLine, m.str(),
+                           mshrDetail(CoreId(c), !data));
+                }
+                // Orphan heuristic: a fill for a line no active filter
+                // covers must complete within a couple of memory round
+                // trips. Only an entry frozen in an identical state for
+                // several consecutive sweeps is flagged — barrier lines
+                // are exempt, since the filter starves those on purpose.
+                bool filtered = false;
+                for (unsigned b = 0; b < sys.numBanks(); ++b)
+                    filtered |= sys.filterBank(b).coversLine(e.lineAddr);
+                if (filtered) {
+                    mshrSuspects.erase(key);
+                    continue;
+                }
+                MshrSuspect &sus = mshrSuspects[key];
+                if (sus.lineAddr != e.lineAddr) {
+                    sus = MshrSuspect{e.lineAddr, 1, false};
+                    continue;
+                }
+                if (++sus.sweepsSeen >= 4 && !sus.reported) {
+                    sus.reported = true;
+                    std::ostringstream m;
+                    m << "MSHR in " << (data ? "l1d." : "l1i.") << c
+                      << " stuck on unfiltered line 0x" << std::hex
+                      << e.lineAddr << std::dec << " for "
+                      << sus.sweepsSeen << " sweeps (orphaned?)";
+                    report(ViolationKind::OrphanedMshr, m.str(),
+                           mshrDetail(CoreId(c), !data));
+                }
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::sweepThreads()
+{
+    unsigned live = 0;
+    for (const ThreadContext *t : sys.startedThreads()) {
+        if (!t->halted)
+            ++live;
+        unsigned attached = 0;
+        for (unsigned c = 0; c < sys.numCores(); ++c)
+            attached += sys.core(CoreId(c)).thread() == t ? 1 : 0;
+        if (attached > 1) {
+            std::ostringstream m;
+            m << "thread " << t->tid << " attached to " << attached
+              << " cores";
+            report(ViolationKind::ThreadOnTwoCores, m.str(),
+                   threadDetail());
+        }
+    }
+    if (live != sys.liveThreadCount()) {
+        std::ostringstream m;
+        m << "liveThreads " << sys.liveThreadCount() << " but "
+          << live << " started threads are not halted";
+        report(ViolationKind::LiveThreadMiscount, m.str(), threadDetail());
+    }
+}
+
+void
+InvariantChecker::finalCheck()
+{
+    sweepFilters();
+    sweepThreads();
+}
+
+// ----- reporting --------------------------------------------------------------
+
+void
+InvariantChecker::report(ViolationKind kind, const std::string &message,
+                         const std::string &detail)
+{
+    ++total;
+    ++sys.statistics().counter("check.violations");
+    std::string line = std::string("invariant violated [") +
+                       violationKindName(kind) + "] @ tick " +
+                       std::to_string(sys.tickNow()) + ": " + message;
+    if (collected.size() < maxCollected) {
+        collected.push_back({kind, sys.tickNow(), message, detail});
+        warn(line);
+    }
+    if (failFast)
+        fatal(line + (detail.empty() ? "" : "\n" + detail));
+}
+
+void
+InvariantChecker::writeReport(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("total", total);
+    jw.key("violations");
+    jw.beginArray();
+    for (const InvariantViolation &v : collected) {
+        jw.beginObject();
+        jw.kv("kind", violationKindName(v.kind));
+        jw.kv("tick", v.tick);
+        jw.kv("message", v.message);
+        jw.kv("detail", v.detail);
+        jw.end();
+    }
+    jw.end();
+    jw.end();
+}
+
+std::string
+InvariantChecker::filterDetail(unsigned bank) const
+{
+    std::ostringstream oss;
+    sys.filterBank(bank).dumpState(oss);
+    return oss.str();
+}
+
+std::string
+InvariantChecker::mshrDetail(CoreId core, bool instr) const
+{
+    L1Cache &l1 = instr ? sys.l1i(core) : sys.l1d(core);
+    std::ostringstream oss;
+    const auto &entries = l1.mshrFile().allEntries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const MshrEntry &e = entries[i];
+        if (!e.valid)
+            continue;
+        oss << "  mshr[" << i << "]: line=0x" << std::hex << e.lineAddr
+            << std::dec << " type=" << int(e.issuedType) << " targets="
+            << e.targets.size()
+            << (e.needUpgrade ? " needUpgrade" : "") << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+InvariantChecker::threadDetail() const
+{
+    std::ostringstream oss;
+    sys.os().dumpThreads(oss);
+    return oss.str();
+}
+
+} // namespace bfsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Runtime invariant engine.
+ *
+ * Subscribes to the probe bus and cross-checks what the hardware models
+ * *report* against what the protocol *permits*: filter FSM invariants
+ * (arrival counts bounded by the participant count, episode numbers
+ * strictly monotonic, a release implies every participant arrived, a
+ * poisoned filter withholds no fill), memory-system invariants (no two
+ * MSHRs for one line, no orphaned MSHR, store buffer drained before a
+ * deschedule), and OS thread-table invariants (a thread on at most one
+ * core, the live-thread count consistent with the thread table).
+ *
+ * Event-driven rules fire synchronously on probe notifications; struct-
+ * ural rules run in a periodic sweep over component introspection state.
+ * The checker only observes — it never schedules state-changing work —
+ * so arming it cannot perturb simulation timing, and a checked run's
+ * hash chain matches an unchecked run of the same configuration... for
+ * the architectural portion of the state (event counters differ).
+ *
+ * Violations are collected as typed reports with a dump of the offending
+ * component's state; checkFailFast instead aborts on the first one.
+ */
+
+#ifndef BFSIM_SIM_CHECK_INVARIANTS_HH
+#define BFSIM_SIM_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/probe.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class CmpSystem;
+class JsonWriter;
+
+/** Every rule the engine checks. */
+enum class ViolationKind
+{
+    EarlyRelease,          ///< barrier opened before all threads arrived
+    DuplicateArrival,      ///< one slot arrived twice in one episode
+    ArrivalOverflow,       ///< more arrivals than participants
+    EpochRegression,       ///< episode number went backwards
+    PoisonedStarvedFill,   ///< poisoned filter still withholding a fill
+    DuplicateMshrLine,     ///< two valid MSHRs for one line in one L1
+    OrphanedMshr,          ///< MSHR stuck with no way to complete
+    DescheduleNotQuiescent,///< context switch off a non-quiescent core
+    ThreadOnTwoCores,      ///< one thread attached to multiple cores
+    LiveThreadMiscount,    ///< liveThreads != non-halted started threads
+};
+
+const char *violationKindName(ViolationKind k);
+
+/** One detected violation, with the offending component's state. */
+struct InvariantViolation
+{
+    ViolationKind kind;
+    Tick tick = 0;
+    std::string message; ///< one line: which rule, where, observed values
+    std::string detail;  ///< offending component state dump
+};
+
+/**
+ * The engine. Construct after every probe publisher exists (CmpSystem
+ * does this when cfg.checkInvariants is set); it subscribes in its
+ * constructor and schedules sweep events until all threads halt.
+ */
+class InvariantChecker
+{
+  public:
+    InvariantChecker(CmpSystem &sys, Tick sweepInterval, bool failFast);
+
+    /** Total violations detected (collection is bounded; this is not). */
+    uint64_t violationCount() const { return total; }
+
+    /** Collected reports (first @ref maxCollected, in detection order). */
+    const std::vector<InvariantViolation> &violations() const
+    {
+        return collected;
+    }
+
+    /** End-of-run structural checks; call once after the run completes. */
+    void finalCheck();
+
+    /** All collected violations as one JSON array. */
+    void writeReport(JsonWriter &jw) const;
+
+    static constexpr size_t maxCollected = 64;
+
+  private:
+    /** Shadow of one barrier instance, reconstructed from probe events. */
+    struct BarrierShadow
+    {
+        uint64_t generation = 0; ///< filter tenant (0 for network ids)
+        std::map<uint64_t, std::set<unsigned>> arrivals; ///< episode->slots
+        std::set<unsigned> starved;  ///< slots with a withheld fill
+        uint64_t lastOpen = 0;
+        bool openSeen = false;
+    };
+
+    using ShadowKey = std::pair<unsigned, unsigned>; ///< (bank, filterIdx)
+
+    BarrierShadow &shadowFor(const ShadowKey &key, uint64_t episode);
+
+    void onArrive(const BarrierArriveEvent &e);
+    void onOpen(const BarrierOpenEvent &e);
+    void onStarved(const FillStarvedEvent &e);
+    void onUnblocked(const FillUnblockedEvent &e);
+    void onSched(const SchedEvent &e);
+
+    void sweep();
+    void sweepFilters();
+    void sweepMshrs();
+    void sweepThreads();
+
+    void report(ViolationKind kind, const std::string &message,
+                const std::string &detail);
+
+    std::string filterDetail(unsigned bank) const;
+    std::string mshrDetail(CoreId core, bool instr) const;
+    std::string threadDetail() const;
+
+    CmpSystem &sys;
+    Tick sweepInterval;
+    bool failFast;
+
+    std::map<ShadowKey, BarrierShadow> shadows;
+
+    /** Orphan-MSHR persistence tracking: one suspect per (L1, entry). */
+    struct MshrSuspect
+    {
+        Addr lineAddr = 0;
+        unsigned sweepsSeen = 0;
+        bool reported = false;
+    };
+    /** Keyed by (core * 2 + isData) * maxMshrs + entryIndex. */
+    std::map<uint64_t, MshrSuspect> mshrSuspects;
+
+    uint64_t total = 0;
+    std::vector<InvariantViolation> collected;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_CHECK_INVARIANTS_HH

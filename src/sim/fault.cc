@@ -5,6 +5,9 @@
 
 #include "sim/fault.hh"
 
+#include "sim/hash.hh"
+
+#include "sim/json.hh"
 #include "sim/log.hh"
 #include "sys/system.hh"
 
@@ -32,10 +35,58 @@ FaultConfig::validate() const
     prob(evictProb, "evictprob");
     prob(descheduleProb, "descheduleprob");
     prob(timeoutProb, "timeoutprob");
+    prob(earlyReleaseProb, "earlyreleaseprob");
     if (enabled && interval == 0)
         fatal("FaultConfig: interval must be positive");
     if (rescheduleDelayMin > rescheduleDelayMax)
         fatal("FaultConfig: reschedule delay bounds inverted");
+}
+
+void
+FaultConfig::writeJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("enabled", enabled);
+    // 64-bit seeds cross JSON as hex strings: JsonValue numbers are
+    // doubles and would silently lose precision above 2^53, replaying a
+    // different fault schedule than the one recorded.
+    jw.kv("seed", toHex(seed));
+    jw.kv("interval", interval);
+    jw.kv("busDelayProb", busDelayProb);
+    jw.kv("busDelayMax", busDelayMax);
+    jw.kv("memDelayProb", memDelayProb);
+    jw.kv("memDelayMax", memDelayMax);
+    jw.kv("evictProb", evictProb);
+    jw.kv("descheduleProb", descheduleProb);
+    jw.kv("rescheduleDelayMin", rescheduleDelayMin);
+    jw.kv("rescheduleDelayMax", rescheduleDelayMax);
+    jw.kv("timeoutProb", timeoutProb);
+    jw.kv("exhaustFilters", exhaustFilters);
+    jw.kv("earlyReleaseProb", earlyReleaseProb);
+    jw.end();
+}
+
+FaultConfig
+FaultConfig::fromJson(const JsonValue &v)
+{
+    FaultConfig f;
+    f.enabled = v.at("enabled").boolean;
+    const JsonValue &sv = v.at("seed");
+    f.seed = sv.isString() ? fromHex(sv.str) : uint64_t(sv.number);
+    f.interval = Tick(v.at("interval").number);
+    f.busDelayProb = v.at("busDelayProb").number;
+    f.busDelayMax = Tick(v.at("busDelayMax").number);
+    f.memDelayProb = v.at("memDelayProb").number;
+    f.memDelayMax = Tick(v.at("memDelayMax").number);
+    f.evictProb = v.at("evictProb").number;
+    f.descheduleProb = v.at("descheduleProb").number;
+    f.rescheduleDelayMin = Tick(v.at("rescheduleDelayMin").number);
+    f.rescheduleDelayMax = Tick(v.at("rescheduleDelayMax").number);
+    f.timeoutProb = v.at("timeoutProb").number;
+    f.exhaustFilters = unsigned(v.at("exhaustFilters").number);
+    if (v.has("earlyReleaseProb"))
+        f.earlyReleaseProb = v.at("earlyReleaseProb").number;
+    return f;
 }
 
 FaultInjector::FaultInjector(CmpSystem &system, const FaultConfig &config)
@@ -94,6 +145,8 @@ FaultInjector::decisionPoint()
         injectDeschedule();
     if (cfg.timeoutProb > 0.0 && rng.real() < cfg.timeoutProb)
         injectTimeout();
+    if (cfg.earlyReleaseProb > 0.0 && rng.real() < cfg.earlyReleaseProb)
+        injectEarlyRelease();
     scheduleNext();
 }
 
@@ -237,6 +290,42 @@ FaultInjector::injectTimeout()
     const Candidate &c = candidates[rng.below(candidates.size())];
     ++sys.statistics().counter("faults.forcedTimeouts");
     sys.filterBank(c.bank).fireTimeout(c.filterIdx, c.slot);
+}
+
+// ----- sabotage: premature barrier release ------------------------------------
+
+void
+FaultInjector::injectEarlyRelease()
+{
+    // Pick a filter mid-episode: some but not all threads arrived. Forcing
+    // it open fabricates the one failure a correct filter can never
+    // produce, so the invariant checker had better flag it.
+    struct Candidate
+    {
+        unsigned bank;
+        unsigned filterIdx;
+    };
+    std::vector<Candidate> candidates;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        FilterBank &bank = sys.filterBank(b);
+        for (unsigned i = 0; i < bank.capacity(); ++i) {
+            const BarrierFilter &f = bank.filterAt(i);
+            if (!f.active() || f.isPoisoned())
+                continue;
+            const auto &m = f.addressMap();
+            if (m.arrivalBase >= claimRegionBase &&
+                m.arrivalBase < claimRegionBase + 0x0100'0000)
+                continue; // exhaustion-claimed dummy
+            if (f.arrivedCount() == 0 || f.arrivedCount() >= m.numThreads)
+                continue;
+            candidates.push_back({b, i});
+        }
+    }
+    if (candidates.empty())
+        return;
+    const Candidate &c = candidates[rng.below(candidates.size())];
+    ++sys.statistics().counter("faults.earlyReleases");
+    sys.filterBank(c.bank).forceOpen(c.filterIdx);
 }
 
 } // namespace bfsim

@@ -14,6 +14,7 @@
 #ifndef BFSIM_SIM_FAULT_HH
 #define BFSIM_SIM_FAULT_HH
 
+#include <array>
 #include <vector>
 
 #include "sim/random.hh"
@@ -23,6 +24,8 @@ namespace bfsim
 {
 
 class CmpSystem;
+class JsonWriter;
+struct JsonValue;
 struct ThreadContext;
 
 /**
@@ -51,9 +54,22 @@ struct FaultConfig
     double timeoutProb = 0.0;
     /** Pre-claim this many filters per bank (exhaustion -> SW fallback). */
     unsigned exhaustFilters = 0;
+    /**
+     * Sabotage (not a modelled hardware fault): force-open a random
+     * partially-arrived filter, releasing threads before the barrier is
+     * complete. Exists so the invariant checker's EarlyRelease detection
+     * and the fuzzer's shrink loop can be exercised on a real failure.
+     */
+    double earlyReleaseProb = 0.0;
 
     /** Sanity-check ranges; throws FatalError on nonsense. */
     void validate() const;
+
+    /** Serialize every field as one JSON object (repro artifacts). */
+    void writeJson(JsonWriter &jw) const;
+
+    /** Inverse of writeJson. */
+    static FaultConfig fromJson(const JsonValue &v);
 };
 
 /**
@@ -69,6 +85,13 @@ class FaultInjector
 
     uint64_t seed() const { return cfg.seed; }
 
+    /**
+     * The injector's one RNG stream, exposed for checkpointing: the
+     * stream's position is simulation state (it decides future faults),
+     * so snapshots must capture it alongside the architectural state.
+     */
+    std::array<uint64_t, 4> rngState() const { return rng.state(); }
+
   private:
     void claimFilters();
     void scheduleNext();
@@ -76,6 +99,7 @@ class FaultInjector
     void injectEviction();
     void injectDeschedule();
     void injectTimeout();
+    void injectEarlyRelease();
     void scheduleReschedule(ThreadContext *t, Tick delay);
     Tick busDelay();
     Tick memDelay();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic state hashing for checkpoint verification.
+ *
+ * A StateHasher folds a component's architectural state into one 64-bit
+ * FNV-1a digest. Digests are compared between an uninterrupted run and a
+ * replayed run at the same sync point: equality proves the replay is
+ * bit-identical, a mismatch pinpoints the diverging component (each
+ * component hashes independently inside the system snapshot).
+ *
+ * The hash is order-sensitive by design — callers must feed state in a
+ * canonical order (sorted addresses, fixed member order) so two equal
+ * machine states always produce equal digests.
+ */
+
+#ifndef BFSIM_SIM_HASH_HH
+#define BFSIM_SIM_HASH_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bfsim
+{
+
+/** Incremental FNV-1a (64-bit) over a canonical byte stream. */
+class StateHasher
+{
+  public:
+    static constexpr uint64_t fnvOffset = 0xcbf29ce484222325ull;
+    static constexpr uint64_t fnvPrime = 0x100000001b3ull;
+
+    void
+    bytes(const void *data, size_t len)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= fnvPrime;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void i64(int64_t v) { bytes(&v, sizeof v); }
+    void u8(uint8_t v) { bytes(&v, sizeof v); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    f64(double v)
+    {
+        // Hash the bit pattern: distinguishes -0.0 / 0.0 and NaN payloads,
+        // which is what bit-exact replay verification needs.
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    uint64_t digest() const { return h; }
+
+  private:
+    uint64_t h = fnvOffset;
+};
+
+/**
+ * Render a digest as "0x..." hex. Digests cross JSON as strings because
+ * JSON numbers are doubles and cannot represent all 64-bit values.
+ */
+inline std::string
+toHex(uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Inverse of toHex (accepts with or without the 0x prefix). */
+inline uint64_t
+fromHex(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_HASH_HH

@@ -10,6 +10,7 @@
 #ifndef BFSIM_SIM_RANDOM_HH
 #define BFSIM_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace bfsim
@@ -35,6 +36,21 @@ class Rng
 
     /** Uniform double in [0, 1). */
     double real();
+
+    /**
+     * Full generator state, for checkpointing. A stream restored via
+     * setState() continues exactly where the saved stream stopped, so a
+     * replayed faulty run consumes the identical fault schedule.
+     */
+    std::array<uint64_t, 4> state() const { return {s[0], s[1], s[2], s[3]}; }
+
+    /** Restore a state previously obtained from state(). */
+    void
+    setState(const std::array<uint64_t, 4> &st)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            s[i] = st[i];
+    }
 
   private:
     uint64_t s[4];

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SnapshotRecorder and checkpoint serialization.
+ */
+
+#include "sim/snapshot.hh"
+
+#include <ostream>
+
+#include "sim/hash.hh"
+#include "sim/log.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+SnapshotRecorder::SnapshotRecorder(CmpSystem &system, Tick interval_,
+                                   size_t maxPoints_)
+    : sys(system), interval(interval_), maxPoints(maxPoints_)
+{
+    if (interval == 0)
+        fatal("SnapshotRecorder: interval must be positive");
+    sys.eventQueue().schedule(interval, [this] { onCapture(); });
+}
+
+void
+SnapshotRecorder::onCapture()
+{
+    if (sys.allThreadsHalted())
+        return; // run is over; stop feeding the event queue
+    if (maxPoints != 0 && points.size() >= maxPoints)
+        return; // chain is at its cap; stop feeding the event queue
+    captureNow();
+    sys.eventQueue().schedule(interval, [this] { onCapture(); });
+}
+
+SyncPoint
+SnapshotRecorder::captureNow()
+{
+    SyncPoint p{sys.eventQueue().now(), sys.stateHash()};
+    points.push_back(p);
+    return p;
+}
+
+std::optional<size_t>
+firstDivergence(const std::vector<SyncPoint> &a,
+                const std::vector<SyncPoint> &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return i;
+    if (a.size() != b.size())
+        return n; // one run kept going after the other stopped syncing
+    return std::nullopt;
+}
+
+void
+writeCheckpoint(std::ostream &os, const CmpSystem &sys,
+                const std::vector<SyncPoint> &chain)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("version", 1);
+    jw.kv("tick", sys.tickNow());
+    jw.kv("hash", toHex(sys.stateHash()));
+    jw.key("config");
+    sys.config().writeJson(jw);
+    jw.key("chain");
+    jw.beginArray();
+    for (const SyncPoint &p : chain) {
+        jw.beginArray();
+        jw.value(p.tick);
+        jw.value(toHex(p.hash));
+        jw.end();
+    }
+    jw.end();
+    jw.key("state");
+    sys.serializeState(jw);
+    jw.end();
+}
+
+Checkpoint
+parseCheckpoint(const std::string &text)
+{
+    return checkpointFromJson(parseJson(text));
+}
+
+Checkpoint
+checkpointFromJson(const JsonValue &v)
+{
+    Checkpoint cp;
+    cp.version = unsigned(v.at("version").number);
+    if (cp.version != 1)
+        fatal("parseCheckpoint: unsupported version " +
+              std::to_string(cp.version));
+    cp.tick = Tick(v.at("tick").number);
+    cp.hash = fromHex(v.at("hash").str);
+    cp.config = v.at("config");
+    cp.state = v.at("state");
+    for (const JsonValue &e : v.at("chain").arr) {
+        if (e.arr.size() != 2)
+            fatal("parseCheckpoint: malformed chain entry");
+        cp.chain.push_back({Tick(e.arr[0].number), fromHex(e.arr[1].str)});
+    }
+    return cp;
+}
+
+} // namespace bfsim

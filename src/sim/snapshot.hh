@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic checkpoint/replay with hash-chain verification.
+ *
+ * The simulator's dynamic state includes an event queue full of closures,
+ * which cannot be serialized. Checkpoints are therefore *replay recipes*:
+ * a checkpoint records the full machine configuration (the recipe), the
+ * tick it was taken at, a digest of every component's architectural state
+ * at that tick, and the chain of periodic state hashes (sync points)
+ * leading up to it. Restoring means rebuilding the system from the
+ * recorded configuration and re-executing deterministically to the
+ * checkpoint tick; the simulation is event-for-event identical, and the
+ * hash chain *proves* it — the restored run's sync points must match the
+ * original's bit for bit. On a mismatch, firstDivergence() pinpoints the
+ * cycle window where the two runs separated, and the per-component
+ * digests inside the checkpoint state localize which unit diverged.
+ *
+ * For the chains of two runs to be comparable, their recorders must be
+ * constructed at the same point relative to system construction (capture
+ * events then occupy identical event-queue sequence slots). The pattern:
+ * construct CmpSystem, construct SnapshotRecorder, load threads, run.
+ */
+
+#ifndef BFSIM_SIM_SNAPSHOT_HH
+#define BFSIM_SIM_SNAPSHOT_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class CmpSystem;
+
+/** One verified instant: the whole-machine state hash at a tick. */
+struct SyncPoint
+{
+    Tick tick = 0;
+    uint64_t hash = 0;
+
+    bool operator==(const SyncPoint &o) const
+    {
+        return tick == o.tick && hash == o.hash;
+    }
+    bool operator!=(const SyncPoint &o) const { return !(*this == o); }
+};
+
+/**
+ * Captures a hash chain over one run: a sync point every @p interval
+ * ticks (self-rescheduling until every thread halts), plus on-demand
+ * captures via captureNow(). The recorder must outlive the run.
+ */
+class SnapshotRecorder
+{
+  public:
+    /**
+     * @param interval  Ticks between periodic captures (must be > 0).
+     * @param maxPoints Stop capturing after this many sync points
+     *                  (0 = unbounded). Bounds artifact size for runs
+     *                  that ride to a tick limit; deterministic, so a
+     *                  replay with the same cap produces the same chain.
+     */
+    SnapshotRecorder(CmpSystem &sys, Tick interval, size_t maxPoints = 0);
+
+    const std::vector<SyncPoint> &chain() const { return points; }
+
+    /** Capture a sync point at the current tick (appends to the chain). */
+    SyncPoint captureNow();
+
+  private:
+    void onCapture();
+
+    CmpSystem &sys;
+    Tick interval;
+    size_t maxPoints;
+    std::vector<SyncPoint> points;
+};
+
+/**
+ * Index of the first sync point where two chains disagree (or where one
+ * chain ends while the other continues). nullopt when the common prefix
+ * — the full shorter chain — matches exactly.
+ */
+std::optional<size_t> firstDivergence(const std::vector<SyncPoint> &a,
+                                      const std::vector<SyncPoint> &b);
+
+/** Parsed checkpoint artifact. */
+struct Checkpoint
+{
+    unsigned version = 1;
+    Tick tick = 0;
+    uint64_t hash = 0;             ///< whole-machine hash at @ref tick
+    std::vector<SyncPoint> chain;  ///< sync points up to @ref tick
+    JsonValue config;  ///< CmpConfig::fromJson-compatible recipe
+    JsonValue state;   ///< per-component detail (divergence localization)
+};
+
+/**
+ * Write a checkpoint of @p sys at the current tick: config recipe, hash
+ * chain recorded so far, and full per-component state detail.
+ */
+void writeCheckpoint(std::ostream &os, const CmpSystem &sys,
+                     const std::vector<SyncPoint> &chain);
+
+/** Inverse of writeCheckpoint. @throws FatalError on malformed input. */
+Checkpoint parseCheckpoint(const std::string &text);
+
+/** Build a Checkpoint from an already-parsed JSON tree (e.g. one
+ *  embedded inside a fuzzer repro artifact). */
+Checkpoint checkpointFromJson(const JsonValue &v);
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_SNAPSHOT_HH

@@ -5,6 +5,7 @@
 
 #include "sys/cmp_config.hh"
 
+#include "sim/json.hh"
 #include "sim/log.hh"
 
 namespace bfsim
@@ -60,6 +61,12 @@ CmpConfig::fromOptions(const OptionMap &opts)
         opts.getDouble("faulttimeoutprob", c.faults.timeoutProb);
     c.faults.exhaustFilters =
         unsigned(opts.getUint("faultexhaust", c.faults.exhaustFilters));
+    c.faults.earlyReleaseProb =
+        opts.getDouble("faultearlyprob", c.faults.earlyReleaseProb);
+    c.checkInvariants = opts.getBool("check", c.checkInvariants);
+    c.checkInterval = opts.getUint("checkinterval", c.checkInterval);
+    c.checkFailFast = opts.getBool("checkfailfast", c.checkFailFast);
+    c.diagJsonFile = opts.getString("diagjson", c.diagJsonFile);
     c.traceOutFile = opts.getString("traceout", c.traceOutFile);
     if (opts.has("trace"))
         Trace::mask = parseTraceMask(opts.getString("trace", ""));
@@ -102,6 +109,92 @@ CmpConfig::print(std::ostream &os) const
        << " B/cycle, prop " << busPropLatency << " cycles\n"
        << "  filters per L2 bank   " << filtersPerBank
        << " (1 request per cycle)\n";
+}
+
+void
+CmpConfig::writeJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("numCores", numCores);
+    jw.kv("lineBytes", lineBytes);
+    jw.kv("l1SizeBytes", l1SizeBytes);
+    jw.kv("l1Assoc", l1Assoc);
+    jw.kv("l1Latency", l1Latency);
+    jw.kv("l1Mshrs", l1Mshrs);
+    jw.kv("l1IPrefetch", l1IPrefetch);
+    jw.kv("l1DPrefetch", l1DPrefetch);
+    jw.kv("l2SizeBytes", l2SizeBytes);
+    jw.kv("l2Assoc", l2Assoc);
+    jw.kv("l2Latency", l2Latency);
+    jw.kv("l2Banks", l2Banks);
+    jw.kv("l3SizeBytes", l3SizeBytes);
+    jw.kv("l3Assoc", l3Assoc);
+    jw.kv("l3Latency", l3Latency);
+    jw.kv("memLatency", memLatency);
+    jw.kv("memServiceInterval", memServiceInterval);
+    jw.kv("busBytesPerCycle", busBytesPerCycle);
+    jw.kv("busPropLatency", busPropLatency);
+    jw.kv("crossbar", crossbar);
+    jw.kv("branchPenalty", branchPenalty);
+    jw.kv("storeBufferSize", storeBufferSize);
+    jw.kv("filtersPerBank", filtersPerBank);
+    jw.kv("filterStrict", filterStrict);
+    jw.kv("filterTimeout", filterTimeout);
+    jw.kv("filterRetainsL2Copy", filterRetainsL2Copy);
+    jw.kv("networkLinkLatency", networkLinkLatency);
+    jw.kv("networkRestartCost", networkRestartCost);
+    jw.kv("watchdogInterval", watchdogInterval);
+    jw.kv("filterRecovery", filterRecovery);
+    jw.key("faults");
+    faults.writeJson(jw);
+    jw.kv("checkInvariants", checkInvariants);
+    jw.kv("checkInterval", checkInterval);
+    jw.kv("checkFailFast", checkFailFast);
+    jw.end();
+}
+
+CmpConfig
+CmpConfig::fromJson(const JsonValue &v)
+{
+    CmpConfig c;
+    c.numCores = unsigned(v.at("numCores").number);
+    c.lineBytes = unsigned(v.at("lineBytes").number);
+    c.l1SizeBytes = uint64_t(v.at("l1SizeBytes").number);
+    c.l1Assoc = unsigned(v.at("l1Assoc").number);
+    c.l1Latency = Tick(v.at("l1Latency").number);
+    c.l1Mshrs = unsigned(v.at("l1Mshrs").number);
+    c.l1IPrefetch = v.at("l1IPrefetch").boolean;
+    c.l1DPrefetch = v.at("l1DPrefetch").boolean;
+    c.l2SizeBytes = uint64_t(v.at("l2SizeBytes").number);
+    c.l2Assoc = unsigned(v.at("l2Assoc").number);
+    c.l2Latency = Tick(v.at("l2Latency").number);
+    c.l2Banks = unsigned(v.at("l2Banks").number);
+    c.l3SizeBytes = uint64_t(v.at("l3SizeBytes").number);
+    c.l3Assoc = unsigned(v.at("l3Assoc").number);
+    c.l3Latency = Tick(v.at("l3Latency").number);
+    c.memLatency = Tick(v.at("memLatency").number);
+    c.memServiceInterval = Tick(v.at("memServiceInterval").number);
+    c.busBytesPerCycle = unsigned(v.at("busBytesPerCycle").number);
+    c.busPropLatency = Tick(v.at("busPropLatency").number);
+    c.crossbar = v.at("crossbar").boolean;
+    c.branchPenalty = Tick(v.at("branchPenalty").number);
+    c.storeBufferSize = unsigned(v.at("storeBufferSize").number);
+    c.filtersPerBank = unsigned(v.at("filtersPerBank").number);
+    c.filterStrict = v.at("filterStrict").boolean;
+    c.filterTimeout = Tick(v.at("filterTimeout").number);
+    c.filterRetainsL2Copy = v.at("filterRetainsL2Copy").boolean;
+    c.networkLinkLatency = Tick(v.at("networkLinkLatency").number);
+    c.networkRestartCost = Tick(v.at("networkRestartCost").number);
+    c.watchdogInterval = Tick(v.at("watchdogInterval").number);
+    c.filterRecovery = v.at("filterRecovery").boolean;
+    c.faults = FaultConfig::fromJson(v.at("faults"));
+    if (v.has("checkInvariants")) {
+        c.checkInvariants = v.at("checkInvariants").boolean;
+        c.checkInterval = Tick(v.at("checkInterval").number);
+        c.checkFailFast = v.at("checkFailFast").boolean;
+    }
+    c.validate();
+    return c;
 }
 
 } // namespace bfsim

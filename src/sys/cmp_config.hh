@@ -96,6 +96,24 @@ struct CmpConfig
     FaultConfig faults;
 
     /**
+     * Runtime invariant checking (src/sim/check): subscribe to the probe
+     * bus and verify filter FSM, memory-system, and OS thread-table
+     * invariants while the simulation runs. Set with check=1.
+     */
+    bool checkInvariants = false;
+    /** Ticks between invariant sweep passes (checkinterval=). */
+    Tick checkInterval = 20'000;
+    /** Abort (fatal, with component dump) on the first violation. */
+    bool checkFailFast = false;
+
+    /**
+     * When non-empty, the watchdog / deadlock diagnostics are also
+     * written here as a machine-readable JSON report (diagjson=<file>),
+     * so CI can triage livelocks without scraping human-format dumps.
+     */
+    std::string diagJsonFile;
+
+    /**
      * When non-empty, the system writes a Chrome trace-event JSON file
      * here at the end of run() (loadable in ui.perfetto.dev or
      * chrome://tracing): per-core cycle-accounting tracks, barrier-episode
@@ -117,6 +135,15 @@ struct CmpConfig
 
     /** Sanity-check invariants; throws FatalError on nonsense. */
     void validate() const;
+
+    /**
+     * Serialize every field as one JSON object, so a checkpoint or fuzzer
+     * repro artifact can rebuild the exact machine (fromJson inverts).
+     */
+    void writeJson(JsonWriter &jw) const;
+
+    /** Inverse of writeJson; validates before returning. */
+    static CmpConfig fromJson(const JsonValue &v);
 };
 
 } // namespace bfsim

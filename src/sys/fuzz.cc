@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Differential barrier fuzzing engine.
+ */
+
+#include "sys/fuzz.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/hash.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+/** Hash-chain capture period inside fuzz runs. Fuzz workloads are tiny
+ *  (a few thousand ticks), so sync points must be dense enough that even
+ *  a fully shrunk reproducer still carries a non-trivial chain. */
+constexpr Tick fuzzSnapshotInterval = 500;
+/** Hard tick ceiling per run; the watchdog fires long before this. */
+constexpr Tick fuzzRunLimit = 30'000'000;
+/** Chain cap: keeps artifacts bounded even when a run rides to the tick
+ *  ceiling (an uncapped livelock would record 60k sync points). Replay
+ *  uses the same cap, so capped chains still compare point for point. */
+constexpr size_t fuzzMaxSyncPoints = 4096;
+
+/** Re-emit a parsed JSON tree through a writer (artifact embedding). */
+void
+emitValue(JsonWriter &jw, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        jw.null();
+        break;
+      case JsonValue::Type::Bool:
+        jw.value(v.boolean);
+        break;
+      case JsonValue::Type::Number:
+        jw.value(v.number);
+        break;
+      case JsonValue::Type::String:
+        jw.value(v.str);
+        break;
+      case JsonValue::Type::Array:
+        jw.beginArray();
+        for (const JsonValue &e : v.arr)
+            emitValue(jw, e);
+        jw.end();
+        break;
+      case JsonValue::Type::Object:
+        jw.beginObject();
+        for (const auto &[k, e] : v.obj) {
+            jw.key(k);
+            emitValue(jw, e);
+        }
+        jw.end();
+        break;
+    }
+}
+
+} // namespace
+
+KernelId
+kernelIdFromName(const std::string &name)
+{
+    static const KernelId all[] = {
+        KernelId::Livermore1, KernelId::Livermore2, KernelId::Livermore3,
+        KernelId::Livermore5, KernelId::Livermore6, KernelId::Autocorr,
+        KernelId::Viterbi,
+    };
+    for (KernelId id : all)
+        if (name == kernelName(id))
+            return id;
+    fatal("kernelIdFromName: unknown kernel '" + name + "'");
+}
+
+BarrierKind
+barrierKindFromName(const std::string &name)
+{
+    for (BarrierKind k : allBarrierKinds())
+        if (name == barrierKindName(k))
+            return k;
+    fatal("barrierKindFromName: unknown mechanism '" + name + "'");
+}
+
+FuzzScenario
+scenarioFromSeed(uint64_t seed)
+{
+    Rng rng(seed);
+    FuzzScenario sc;
+
+    // Barrier-dense kernels only: the fuzzer's job is the barrier
+    // machinery, not the ALUs (test_fuzz covers those differentially).
+    static const KernelId pool[] = {KernelId::Livermore2,
+                                    KernelId::Livermore3,
+                                    KernelId::Autocorr};
+    sc.kernel = pool[rng.below(3)];
+    sc.params.n = 32 + rng.below(7) * 16;  // 32..128
+    sc.params.lags = unsigned(8 + rng.below(9));
+    sc.params.reps = unsigned(1 + rng.below(2));
+    sc.params.seed = rng.next();
+    sc.threads = unsigned(2 + rng.below(3));
+    sc.kinds = allBarrierKinds();
+
+    CmpConfig cfg;
+    // Spare cores so injected deschedules can migrate threads.
+    cfg.numCores = sc.threads + unsigned(rng.below(3));
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l2Banks = 1u << rng.below(3);
+    cfg.filtersPerBank = unsigned(2 + rng.below(7));
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+    cfg.crossbar = rng.below(2) == 1;
+    cfg.l1DPrefetch = rng.below(4) == 0;
+    cfg.checkInvariants = true;
+
+    cfg.faults.enabled = true;
+    cfg.faults.seed = rng.next();
+    cfg.faults.interval = Tick(100 + rng.below(301));
+    cfg.faults.busDelayProb = rng.below(2) ? 0.05 : 0.0;
+    cfg.faults.busDelayMax = 12;
+    cfg.faults.memDelayProb = rng.below(2) ? 0.10 : 0.0;
+    cfg.faults.memDelayMax = 60;
+    cfg.faults.evictProb = rng.below(2) ? 0.20 : 0.0;
+    cfg.faults.descheduleProb = rng.below(2) ? 0.05 : 0.0;
+    cfg.faults.rescheduleDelayMin = 200;
+    cfg.faults.rescheduleDelayMax = 2000;
+    cfg.faults.timeoutProb = rng.below(4) == 0 ? 0.01 : 0.0;
+    // Never sabotage from a derived scenario: an honest machine must
+    // fuzz clean. Tests plant earlyReleaseProb explicitly.
+    cfg.faults.earlyReleaseProb = 0.0;
+
+    sc.cfg = cfg;
+    return sc;
+}
+
+FuzzRun
+runScenarioKind(const FuzzScenario &sc, BarrierKind kind, bool capture)
+{
+    CmpConfig cfg = sc.cfg;
+    cfg.checkInvariants = true;  // the fuzz oracle is always armed
+    cfg.checkFailFast = false;   // collect, don't abort: we report
+
+    FuzzRun r;
+    std::optional<CmpSystem> sysOpt;
+    try {
+        sysOpt.emplace(cfg);
+    } catch (const std::exception &e) {
+        r.exception = e.what();
+        r.failed = true;
+        return r;
+    }
+    CmpSystem &sys = *sysOpt;
+    // Recorder directly after system construction: replay runs take the
+    // same code path, so capture events land in identical event-queue
+    // sequence slots and the chains are comparable (see sim/snapshot.hh).
+    SnapshotRecorder rec(sys, fuzzSnapshotInterval, fuzzMaxSyncPoints);
+
+    std::unique_ptr<Kernel> kernel;
+    try {
+        Os &os = sys.os();
+        kernel = makeKernel(sc.kernel);
+        kernel->setup(sys, sc.params);
+        if (sc.threads > cfg.numCores)
+            fatal("runScenarioKind: more threads than cores");
+        BarrierHandle handle = os.registerBarrier(kind, sc.threads);
+        for (unsigned tid = 0; tid < sc.threads; ++tid) {
+            ProgramPtr prog = kernel->buildParallel(
+                sys, os.codeBase(ThreadId(tid)), tid, sc.threads, handle);
+            os.startThread(os.createThread(prog), CoreId(tid));
+        }
+        r.cycles = sys.run(fuzzRunLimit);
+        r.completed = sys.allThreadsHalted();
+        r.barrierError = sys.anyBarrierError();
+        r.correct = r.completed && !r.barrierError && kernel->check(sys);
+    } catch (const std::exception &e) {
+        // Deadlock, watchdog, or a panic inside a model: the run failed,
+        // but the fuzzer survives to shrink it.
+        r.exception = e.what();
+    }
+
+    if (InvariantChecker *ck = sys.invariantChecker()) {
+        r.violations = ck->violationCount();
+        if (!ck->violations().empty()) {
+            r.firstViolation = ck->violations().front().message;
+            r.firstViolationKind =
+                violationKindName(ck->violations().front().kind);
+        }
+        if (capture) {
+            std::ostringstream o;
+            JsonWriter jw(o);
+            ck->writeReport(jw);
+            r.invariantReport = o.str();
+        }
+    }
+    r.chain = rec.chain();
+    if (capture) {
+        std::ostringstream o;
+        writeCheckpoint(o, sys, rec.chain());
+        r.checkpointJson = o.str();
+    }
+    r.failed = !r.exception.empty() || !r.completed || !r.correct ||
+               r.barrierError || r.violations > 0;
+    return r;
+}
+
+FuzzScenario
+shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
+               unsigned *runsUsed)
+{
+    FuzzScenario best = sc0;
+    best.kinds = {kind};
+    unsigned runs = 0;
+
+    auto stillFails = [&](const FuzzScenario &cand) {
+        if (runs >= budget)
+            return false;
+        try {
+            cand.cfg.validate();
+        } catch (const std::exception &) {
+            return false; // never shrink into an invalid machine
+        }
+        ++runs;
+        return runScenarioKind(cand, kind, false).failed;
+    };
+
+    bool progress = true;
+    while (progress && runs < budget) {
+        progress = false;
+        auto tryKeep = [&](FuzzScenario cand) {
+            if (!stillFails(cand))
+                return false;
+            best = std::move(cand);
+            progress = true;
+            return true;
+        };
+
+        if (best.params.reps > 1) {
+            FuzzScenario c = best;
+            c.params.reps = 1;
+            tryKeep(c);
+        }
+        while (best.params.n >= 32 && runs < budget) {
+            FuzzScenario c = best;
+            c.params.n /= 2;
+            if (!tryKeep(c))
+                break;
+        }
+        while (best.params.lags > 4 && runs < budget) {
+            FuzzScenario c = best;
+            c.params.lags = std::max(4u, c.params.lags / 2);
+            if (!tryKeep(c))
+                break;
+        }
+        while (best.threads > 2 && runs < budget) {
+            FuzzScenario c = best;
+            --c.threads;
+            if (!tryKeep(c))
+                break;
+        }
+        if (best.cfg.numCores > best.threads) {
+            FuzzScenario c = best;
+            c.cfg.numCores = best.threads;
+            tryKeep(c);
+        }
+        while (best.cfg.l2Banks > 1 && runs < budget) {
+            FuzzScenario c = best;
+            c.cfg.l2Banks /= 2;
+            if (!tryKeep(c))
+                break;
+        }
+        static double FaultConfig::*const probs[] = {
+            &FaultConfig::busDelayProb,    &FaultConfig::memDelayProb,
+            &FaultConfig::evictProb,       &FaultConfig::descheduleProb,
+            &FaultConfig::timeoutProb,     &FaultConfig::earlyReleaseProb,
+        };
+        for (auto p : probs) {
+            if (best.cfg.faults.*p > 0 && runs < budget) {
+                FuzzScenario c = best;
+                c.cfg.faults.*p = 0.0;
+                tryKeep(c);
+            }
+        }
+        if (best.cfg.faults.exhaustFilters > 0) {
+            FuzzScenario c = best;
+            c.cfg.faults.exhaustFilters = 0;
+            tryKeep(c);
+        }
+        if (best.cfg.faults.enabled) {
+            FuzzScenario c = best;
+            c.cfg.faults.enabled = false;
+            tryKeep(c);
+        }
+        if (best.cfg.crossbar) {
+            FuzzScenario c = best;
+            c.cfg.crossbar = false;
+            tryKeep(c);
+        }
+        if (best.cfg.l1DPrefetch || best.cfg.l1IPrefetch) {
+            FuzzScenario c = best;
+            c.cfg.l1DPrefetch = c.cfg.l1IPrefetch = false;
+            tryKeep(c);
+        }
+    }
+    if (runsUsed)
+        *runsUsed = runs;
+    return best;
+}
+
+std::optional<FuzzReport>
+fuzzScenario(uint64_t seed, const FuzzScenario &sc, unsigned shrinkBudget)
+{
+    unsigned runs = 0;
+    for (BarrierKind kind : sc.kinds) {
+        ++runs;
+        FuzzRun probe = runScenarioKind(sc, kind, false);
+        if (!probe.failed)
+            continue;
+
+        FuzzReport rep;
+        rep.seed = seed;
+        rep.kind = kind;
+        unsigned shrinkRuns = 0;
+        rep.shrunk = shrinkScenario(sc, kind, shrinkBudget, &shrinkRuns);
+        rep.run = runScenarioKind(rep.shrunk, kind, true);
+        rep.totalRuns = runs + shrinkRuns + 1;
+        if (!rep.run.failed) {
+            // The shrunk scenario must fail by construction; a pass here
+            // means nondeterminism, which is itself a bug worth loud
+            // reporting — fall back to the original scenario's artifacts.
+            warn("fuzzScenario: shrunk scenario no longer fails "
+                 "(nondeterministic failure?); reporting unshrunk");
+            rep.shrunk = sc;
+            rep.shrunk.kinds = {kind};
+            rep.run = runScenarioKind(rep.shrunk, kind, true);
+            ++rep.totalRuns;
+        }
+        return rep;
+    }
+    return std::nullopt;
+}
+
+std::optional<FuzzReport>
+fuzzSeed(uint64_t seed, unsigned shrinkBudget)
+{
+    return fuzzScenario(seed, scenarioFromSeed(seed), shrinkBudget);
+}
+
+void
+writeRepro(std::ostream &os, const FuzzReport &rep)
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("version", 1);
+    jw.kv("seed", toHex(rep.seed));
+    jw.kv("kind", barrierKindName(rep.kind));
+    jw.kv("kernel", kernelName(rep.shrunk.kernel));
+
+    jw.key("params");
+    jw.beginObject();
+    jw.kv("n", rep.shrunk.params.n);
+    jw.kv("lags", rep.shrunk.params.lags);
+    jw.kv("reps", rep.shrunk.params.reps);
+    jw.kv("seed", toHex(rep.shrunk.params.seed));
+    jw.kv("minchunk", rep.shrunk.params.minChunk);
+    jw.end();
+
+    jw.kv("threads", rep.shrunk.threads);
+    jw.key("config");
+    rep.shrunk.cfg.writeJson(jw);
+
+    jw.key("failure");
+    jw.beginObject();
+    jw.kv("completed", rep.run.completed);
+    jw.kv("correct", rep.run.correct);
+    jw.kv("barrierError", rep.run.barrierError);
+    jw.kv("violations", rep.run.violations);
+    jw.kv("cycles", rep.run.cycles);
+    jw.kv("exception", rep.run.exception);
+    jw.kv("firstViolation", rep.run.firstViolation);
+    jw.kv("firstViolationKind", rep.run.firstViolationKind);
+    jw.end();
+
+    jw.kv("totalRuns", rep.totalRuns);
+
+    jw.key("invariants");
+    if (rep.run.invariantReport.empty())
+        jw.null();
+    else
+        emitValue(jw, parseJson(rep.run.invariantReport));
+
+    jw.key("checkpoint");
+    if (rep.run.checkpointJson.empty())
+        jw.null();
+    else
+        emitValue(jw, parseJson(rep.run.checkpointJson));
+
+    jw.end();
+}
+
+Repro
+parseRepro(const std::string &text)
+{
+    JsonValue v = parseJson(text);
+    if (unsigned(v.at("version").number) != 1)
+        fatal("parseRepro: unsupported artifact version");
+
+    Repro r;
+    r.seed = fromHex(v.at("seed").str);
+    r.kind = barrierKindFromName(v.at("kind").str);
+    r.sc.kernel = kernelIdFromName(v.at("kernel").str);
+
+    const JsonValue &p = v.at("params");
+    r.sc.params.n = uint64_t(p.at("n").number);
+    r.sc.params.lags = unsigned(p.at("lags").number);
+    r.sc.params.reps = unsigned(p.at("reps").number);
+    r.sc.params.seed = fromHex(p.at("seed").str);
+    r.sc.params.minChunk = uint64_t(p.at("minchunk").number);
+
+    r.sc.threads = unsigned(v.at("threads").number);
+    r.sc.cfg = CmpConfig::fromJson(v.at("config"));
+    r.sc.kinds = {r.kind};
+
+    const JsonValue &f = v.at("failure");
+    r.hadException = !f.at("exception").str.empty();
+    r.violations = uint64_t(f.at("violations").number);
+
+    if (v.has("checkpoint") && !v.at("checkpoint").isNull())
+        r.checkpoint = checkpointFromJson(v.at("checkpoint"));
+    return r;
+}
+
+FuzzRun
+replayRepro(const Repro &r)
+{
+    return runScenarioKind(r.sc, r.kind, true);
+}
+
+} // namespace bfsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Differential barrier fuzzing with automatic repro minimization.
+ *
+ * A fuzz scenario is a randomly derived (kernel, sizing, machine config,
+ * fault schedule) combination. The engine runs the scenario's kernel
+ * under every barrier mechanism with the invariant checker armed and the
+ * snapshot recorder capturing a hash chain; each run is judged against
+ * the kernel's host-side golden reference. A run *fails* when the result
+ * diverges from golden, a barrier error surfaces, an invariant fires, or
+ * the machine dies (deadlock / watchdog / panic — caught, not fatal to
+ * the fuzzer).
+ *
+ * On failure the engine greedily shrinks the scenario — fewer reps,
+ * smaller problem, fewer threads/cores/banks, fault probabilities zeroed
+ * one at a time — re-running each candidate and keeping it only while
+ * the failure persists, under a bounded run budget. The minimized
+ * scenario is emitted as a self-contained JSON repro artifact: the seed,
+ * the exact machine recipe (CmpConfig::writeJson), the workload, the
+ * failure description, the invariant report, and a checkpoint of the
+ * failing machine's final state with its full hash chain — enough to
+ * replay the failure bit-for-bit with replayRepro().
+ */
+
+#ifndef BFSIM_SYS_FUZZ_HH
+#define BFSIM_SYS_FUZZ_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+#include "sim/snapshot.hh"
+#include "sys/cmp_config.hh"
+
+namespace bfsim
+{
+
+/** One randomly derived machine + workload + fault-schedule combination. */
+struct FuzzScenario
+{
+    CmpConfig cfg;
+    KernelId kernel = KernelId::Livermore3;
+    KernelParams params;
+    unsigned threads = 4;
+    /** Mechanisms to run differentially (default: all seven). */
+    std::vector<BarrierKind> kinds;
+};
+
+/**
+ * Derive a scenario from a seed. Same seed, same scenario. The derived
+ * fault schedules never include the early-release sabotage — an honest
+ * machine must fuzz clean; sabotage is planted explicitly by tests.
+ */
+FuzzScenario scenarioFromSeed(uint64_t seed);
+
+/** Outcome of one scenario run under one mechanism. */
+struct FuzzRun
+{
+    bool failed = false;        ///< any of the conditions below
+    bool completed = false;     ///< every thread halted within the limit
+    bool correct = false;       ///< final memory matched golden reference
+    bool barrierError = false;  ///< a thread saw a barrier error
+    uint64_t violations = 0;    ///< invariant violations detected
+    std::string exception;      ///< what() when the run threw, else empty
+    std::string firstViolation; ///< message of the first violation
+    std::string firstViolationKind; ///< e.g. "EarlyRelease", else empty
+    Tick cycles = 0;
+    std::vector<SyncPoint> chain;  ///< hash chain captured over the run
+    std::string checkpointJson;    ///< capture-mode only: final checkpoint
+    std::string invariantReport;   ///< capture-mode only: JSON report
+};
+
+/**
+ * Run @p sc 's kernel under mechanism @p kind with invariants armed and
+ * a hash chain recorded. Deadlock/watchdog/panic aborts are caught and
+ * reported in FuzzRun::exception. With @p capture set, the failing
+ * machine's checkpoint and invariant report are serialized into the
+ * result (costs a full state serialization; leave off for shrink probes).
+ */
+FuzzRun runScenarioKind(const FuzzScenario &sc, BarrierKind kind,
+                        bool capture);
+
+/**
+ * Greedily minimize @p sc while runScenarioKind(sc, kind) still fails,
+ * spending at most @p budget candidate runs. Returns the smallest
+ * still-failing scenario found (at worst @p sc itself).
+ */
+FuzzScenario shrinkScenario(const FuzzScenario &sc, BarrierKind kind,
+                            unsigned budget, unsigned *runsUsed = nullptr);
+
+/** A confirmed, minimized failure with its artifacts. */
+struct FuzzReport
+{
+    uint64_t seed = 0;                    ///< scenario seed (0 if custom)
+    BarrierKind kind = BarrierKind::SwCentral; ///< failing mechanism
+    FuzzScenario shrunk;                  ///< minimized failing scenario
+    FuzzRun run;           ///< capture-mode run of the shrunk scenario
+    unsigned totalRuns = 0; ///< runs spent, including shrink probes
+};
+
+/**
+ * Differentially fuzz one scenario: run every mechanism in sc.kinds; on
+ * the first failure, shrink it and re-run the minimized scenario in
+ * capture mode. Returns nullopt when every mechanism passes.
+ */
+std::optional<FuzzReport> fuzzScenario(uint64_t seed,
+                                       const FuzzScenario &sc,
+                                       unsigned shrinkBudget = 24);
+
+/** scenarioFromSeed + fuzzScenario. */
+std::optional<FuzzReport> fuzzSeed(uint64_t seed,
+                                   unsigned shrinkBudget = 24);
+
+/**
+ * Write @p report as one self-contained JSON repro artifact (seed,
+ * workload, machine recipe, failure, invariant report, checkpoint).
+ */
+void writeRepro(std::ostream &os, const FuzzReport &report);
+
+/** Parsed repro artifact: everything needed to replay the failure. */
+struct Repro
+{
+    uint64_t seed = 0;
+    FuzzScenario sc;       ///< minimized scenario (kinds = failing kind)
+    BarrierKind kind = BarrierKind::SwCentral;
+    /** Recorded failure facts, for comparison against a replay. */
+    bool hadException = false;
+    uint64_t violations = 0;
+    std::optional<Checkpoint> checkpoint; ///< original failing machine
+};
+
+/** Inverse of writeRepro. @throws FatalError on malformed input. */
+Repro parseRepro(const std::string &text);
+
+/** Re-run a parsed repro in capture mode (deterministic: same outcome). */
+FuzzRun replayRepro(const Repro &r);
+
+/** Lookup helpers for artifact round-trips. */
+KernelId kernelIdFromName(const std::string &name);
+BarrierKind barrierKindFromName(const std::string &name);
+
+} // namespace bfsim
+
+#endif // BFSIM_SYS_FUZZ_HH

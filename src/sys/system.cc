@@ -5,8 +5,11 @@
 
 #include "sys/system.hh"
 
+#include <fstream>
 #include <sstream>
 
+#include "sim/hash.hh"
+#include "sim/json.hh"
 #include "sim/log.hh"
 
 namespace bfsim
@@ -97,6 +100,10 @@ CmpSystem::CmpSystem(const CmpConfig &config)
                                                  cfg.numCores);
         tracer->setEpisodeSource(profiler.get());
     }
+    if (cfg.checkInvariants) {
+        checker = std::make_unique<InvariantChecker>(
+            *this, cfg.checkInterval, cfg.checkFailFast);
+    }
 
     if (cfg.faults.enabled)
         injector = std::make_unique<FaultInjector>(*this, cfg.faults);
@@ -109,13 +116,27 @@ CmpSystem::run(Tick limit)
         armWatchdog();
     Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
     if (liveThreads != 0 && eventq.empty()) {
-        std::ostringstream diag;
-        dumpDiagnostics(diag);
-        fatal("CmpSystem: deadlock — event queue drained with " +
-              std::to_string(liveThreads) + " live thread(s)\n" +
-              diag.str());
+        failWithDiagnostics("deadlock — event queue drained with " +
+                            std::to_string(liveThreads) +
+                            " live thread(s)");
     }
+    if (checker)
+        checker->finalCheck();
     finalizeObservability();
+    return end;
+}
+
+Tick
+CmpSystem::runTo(Tick limit)
+{
+    if (cfg.watchdogInterval > 0)
+        armWatchdog();
+    Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
+    if (liveThreads != 0 && eventq.empty()) {
+        failWithDiagnostics("deadlock — event queue drained with " +
+                            std::to_string(liveThreads) +
+                            " live thread(s)");
+    }
     return end;
 }
 
@@ -156,12 +177,10 @@ CmpSystem::watchdogTick()
     // a hard deadlock. A non-empty queue with no retired instruction for a
     // full interval is a livelock. Either way, dump and fail.
     if (eventq.empty() || insts == watchdogLastInsts) {
-        std::ostringstream diag;
-        dumpDiagnostics(diag);
-        fatal("CmpSystem: watchdog — no instruction retired for " +
-              std::to_string(cfg.watchdogInterval) + " ticks with " +
-              std::to_string(liveThreads) + " live thread(s)\n" +
-              diag.str());
+        failWithDiagnostics("watchdog — no instruction retired for " +
+                            std::to_string(cfg.watchdogInterval) +
+                            " ticks with " + std::to_string(liveThreads) +
+                            " live thread(s)");
     }
     watchdogLastInsts = insts;
     armWatchdog();
@@ -182,6 +201,113 @@ CmpSystem::dumpDiagnostics(std::ostream &os) const
     os << "filters:\n";
     for (const auto &fb : filterBanks)
         fb->dumpState(os);
+}
+
+void
+CmpSystem::writeDiagJson() const
+{
+    if (cfg.diagJsonFile.empty())
+        return;
+    std::ofstream f(cfg.diagJsonFile);
+    if (!f)
+        warn("CmpSystem: cannot write " + cfg.diagJsonFile);
+    else
+        dumpDiagnosticsJson(f);
+}
+
+void
+CmpSystem::failWithDiagnostics(const std::string &why)
+{
+    writeDiagJson();
+    std::ostringstream diag;
+    dumpDiagnostics(diag);
+    fatal("CmpSystem: " + why + "\n" + diag.str());
+}
+
+void
+CmpSystem::dumpDiagnosticsJson(std::ostream &os) const
+{
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.kv("tick", eventq.now());
+    jw.kv("liveThreads", liveThreads);
+    jw.kv("instructions", totalInstructions());
+    jw.kv("pendingEvents", uint64_t(eventq.size()));
+    jw.key("state");
+    serializeState(jw);
+    if (checker) {
+        jw.key("invariants");
+        checker->writeReport(jw);
+    }
+    jw.end();
+}
+
+void
+CmpSystem::serializeState(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.kv("tick", eventq.now());
+    jw.kv("liveThreads", liveThreads);
+    jw.kv("executedEvents", eventq.executedEvents());
+    jw.kv("pendingEvents", uint64_t(eventq.size()));
+    jw.kv("instructions", totalInstructions());
+
+    jw.key("threads");
+    osPtr->serializeThreads(jw);
+
+    jw.key("cores");
+    jw.beginArray();
+    for (const auto &c : cores)
+        c->serializeState(jw);
+    jw.end();
+
+    jw.key("l1i");
+    jw.beginArray();
+    for (const auto &l1 : l1is)
+        jw.value(toHex(l1->stateDigest()));
+    jw.end();
+
+    jw.key("l1d");
+    jw.beginArray();
+    for (const auto &l1 : l1ds)
+        jw.value(toHex(l1->stateDigest()));
+    jw.end();
+
+    jw.key("l2");
+    jw.beginArray();
+    for (const auto &b : banks)
+        jw.value(toHex(b->stateDigest()));
+    jw.end();
+
+    jw.kv("l3", toHex(l3cache.stateDigest()));
+
+    jw.key("filters");
+    jw.beginArray();
+    for (const auto &fb : filterBanks)
+        fb->serializeState(jw);
+    jw.end();
+
+    jw.kv("memory", toHex(mem.contentDigest()));
+
+    if (injector) {
+        jw.key("faultRng");
+        jw.beginArray();
+        for (uint64_t w : injector->rngState())
+            jw.value(toHex(w));
+        jw.end();
+    }
+    jw.end();
+}
+
+uint64_t
+CmpSystem::stateHash() const
+{
+    std::ostringstream oss;
+    JsonWriter jw(oss);
+    serializeState(jw);
+    StateHasher h;
+    h.str(oss.str());
+    return h.digest();
 }
 
 bool

@@ -23,6 +23,7 @@
 #include "mem/l3_cache.hh"
 #include "mem/memory.hh"
 #include "os/os.hh"
+#include "sim/check/invariants.hh"
 #include "sim/event_queue.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
@@ -31,6 +32,8 @@
 
 namespace bfsim
 {
+
+class JsonWriter;
 
 /**
  * One simulated CMP. Construct, load threads via os(), then run().
@@ -47,6 +50,15 @@ class CmpSystem
      *         with threads still live) — e.g. misused barriers.
      */
     Tick run(Tick limit = tickNever);
+
+    /**
+     * Run up to tick @p limit (inclusive) and pause there, leaving the
+     * machine mid-flight: events beyond the limit stay queued and a later
+     * run()/runTo() continues seamlessly. Unlike run(), observability is
+     * NOT finalized when stopping with live threads — this is the replay
+     * primitive (run to a checkpoint tick, compare hashes, continue).
+     */
+    Tick runTo(Tick limit);
 
     /** True when every thread that was started has halted. */
     bool allThreadsHalted() const { return liveThreads == 0; }
@@ -73,8 +85,23 @@ class CmpSystem
     FilterBank &filterBank(unsigned i) { return *filterBanks.at(i); }
     unsigned numBanks() const { return cfg.l2Banks; }
 
+    /** Current simulated tick (const counterpart of eventQueue().now()). */
+    Tick tickNow() const { return eventq.now(); }
+
+    /** Number of started threads that have not halted. */
+    unsigned liveThreadCount() const { return liveThreads; }
+
+    /** Every thread ever started, in start order. */
+    const std::vector<ThreadContext *> &startedThreads() const
+    {
+        return started;
+    }
+
     /** Aggregate instruction count across all threads ever started. */
     uint64_t totalInstructions() const;
+
+    /** The invariant engine (null unless cfg.checkInvariants). */
+    InvariantChecker *invariantChecker() { return checker.get(); }
 
     // ----- observability --------------------------------------------------------
 
@@ -102,11 +129,33 @@ class CmpSystem
      */
     void dumpDiagnostics(std::ostream &os) const;
 
+    /**
+     * Machine-readable counterpart of dumpDiagnostics: full serialized
+     * state plus the invariant report (when checking is armed), as one
+     * JSON document. The watchdog and the deadlock detector also write
+     * this to cfg.diagJsonFile when configured, so CI can triage hangs
+     * without scraping the human-format dump.
+     */
+    void dumpDiagnosticsJson(std::ostream &os) const;
+
+    /**
+     * Serialize every component's architectural state as one canonical
+     * JSON object: full thread/core/filter detail, digests for the cache
+     * arrays and memory image, the fault engine's RNG position. Equal
+     * machine states produce byte-identical output.
+     */
+    void serializeState(JsonWriter &jw) const;
+
+    /** FNV-1a hash of the serializeState() byte stream. */
+    uint64_t stateHash() const;
+
   private:
     friend class Os;
 
     void armWatchdog();
     void watchdogTick();
+    void writeDiagJson() const;
+    [[noreturn]] void failWithDiagnostics(const std::string &why);
 
     CmpConfig cfg;
     EventQueue eventq;
@@ -131,6 +180,7 @@ class CmpSystem
     std::unique_ptr<CycleAccountant> accountant;
     std::unique_ptr<BarrierEpisodeProfiler> profiler;
     std::unique_ptr<TraceExporter> tracer;
+    std::unique_ptr<InvariantChecker> checker;
     bool observabilityFinalized = false;
 
     /** Declared last: faults must die before the components they poke. */

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Checkpoint / restore / replay equivalence tests.
+ *
+ * Checkpoints are replay recipes (sim/snapshot.hh): restoring means
+ * rebuilding the machine from the recorded config and re-executing.
+ * These tests prove the property the design rests on — a run that is
+ * paused mid-flight (runTo) and continued, or rebuilt from the recipe
+ * and re-run, produces the *identical* hash chain at every sync point
+ * and the identical final state, for all seven barrier mechanisms, with
+ * and without fault injection. A divergence test then shows the chain
+ * actually discriminates: different fault seeds are pinpointed to an
+ * early sync-point index.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kernels/workload.hh"
+#include "sim/hash.hh"
+#include "sim/log.hh"
+#include "sim/snapshot.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+constexpr Tick snapInterval = 1'000;
+
+struct Workload
+{
+    KernelId kernel = KernelId::Livermore3;
+    KernelParams params;
+    unsigned threads = 3;
+    CmpConfig cfg;
+};
+
+Workload
+makeWorkload(bool faults, uint64_t faultSeed)
+{
+    Workload w;
+    w.params.n = 512;
+    w.params.reps = 4;
+    w.cfg.numCores = 4;
+    w.cfg.l1SizeBytes = 8 * 1024;
+    w.cfg.l2SizeBytes = 64 * 1024;
+    w.cfg.l3SizeBytes = 256 * 1024;
+    w.cfg.l2Banks = 2;
+    w.cfg.filterRecovery = true;
+    w.cfg.watchdogInterval = 2'000'000;
+    if (faults) {
+        w.cfg.faults.enabled = true;
+        w.cfg.faults.seed = faultSeed;
+        w.cfg.faults.interval = 300;
+        w.cfg.faults.busDelayProb = 0.05;
+        w.cfg.faults.memDelayProb = 0.10;
+        w.cfg.faults.evictProb = 0.20;
+        w.cfg.faults.descheduleProb = 0.05;
+        w.cfg.faults.rescheduleDelayMin = 200;
+        w.cfg.faults.rescheduleDelayMax = 2000;
+    }
+    return w;
+}
+
+struct RunResult
+{
+    std::vector<SyncPoint> chain;
+    uint64_t finalHash = 0;
+    Tick cycles = 0;
+    bool correct = false;
+    std::string checkpointJson;
+};
+
+/**
+ * Run the workload under @p kind. With @p pauseAt nonzero the run stops
+ * there mid-flight (runTo) and then continues — state-identical to an
+ * uninterrupted run, which is exactly what these tests prove. The
+ * recorder is constructed directly after the system so capture events
+ * occupy the same event-queue slots in every run (sim/snapshot.hh).
+ */
+RunResult
+runWorkload(const Workload &w, BarrierKind kind, Tick pauseAt,
+            bool capture = false)
+{
+    CmpSystem sys(w.cfg);
+    SnapshotRecorder rec(sys, snapInterval);
+    Os &os = sys.os();
+    auto kernel = makeKernel(w.kernel);
+    kernel->setup(sys, w.params);
+    BarrierHandle handle = os.registerBarrier(kind, w.threads);
+    for (unsigned tid = 0; tid < w.threads; ++tid) {
+        os.startThread(os.createThread(kernel->buildParallel(
+                           sys, os.codeBase(ThreadId(tid)), tid, w.threads,
+                           handle)),
+                       CoreId(tid));
+    }
+
+    RunResult r;
+    if (pauseAt > 0) {
+        sys.runTo(pauseAt);
+        EXPECT_FALSE(sys.allThreadsHalted())
+            << "pause tick landed after the run already finished";
+    }
+    r.cycles = sys.run();
+    r.correct = !sys.anyBarrierError() && kernel->check(sys);
+    r.chain = rec.chain();
+    r.finalHash = sys.stateHash();
+    if (capture) {
+        std::ostringstream o;
+        writeCheckpoint(o, sys, rec.chain());
+        r.checkpointJson = o.str();
+    }
+    return r;
+}
+
+std::string
+kindCaseName(const ::testing::TestParamInfo<BarrierKind> &info)
+{
+    std::string n = barrierKindName(info.param);
+    for (auto &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+// ----- pause/continue == uninterrupted, all 7 kinds, faults on/off -----------
+
+class SnapshotEquivalence : public ::testing::TestWithParam<BarrierKind>
+{
+};
+
+TEST_P(SnapshotEquivalence, PausedRunIsBitIdenticalClean)
+{
+    Workload w = makeWorkload(false, 0);
+    RunResult full = runWorkload(w, GetParam(), 0);
+    RunResult split = runWorkload(w, GetParam(), 2 * snapInterval);
+    EXPECT_TRUE(full.correct);
+    EXPECT_TRUE(split.correct);
+    ASSERT_GE(full.chain.size(), 3u) << "run too short to test anything";
+    ASSERT_EQ(full.chain.size(), split.chain.size());
+    EXPECT_FALSE(firstDivergence(full.chain, split.chain).has_value());
+    EXPECT_EQ(full.finalHash, split.finalHash);
+    EXPECT_EQ(full.cycles, split.cycles);
+}
+
+TEST_P(SnapshotEquivalence, PausedRunIsBitIdenticalUnderFaults)
+{
+    Workload w = makeWorkload(true, 0xc0ffee);
+    RunResult full = runWorkload(w, GetParam(), 0);
+    RunResult split = runWorkload(w, GetParam(), 2 * snapInterval);
+    EXPECT_TRUE(full.correct);
+    EXPECT_TRUE(split.correct);
+    ASSERT_EQ(full.chain.size(), split.chain.size());
+    auto div = firstDivergence(full.chain, split.chain);
+    EXPECT_FALSE(div.has_value())
+        << "diverged at sync point " << *div << " (tick "
+        << full.chain[*div].tick
+        << "): the fault-engine RNG is not being replayed";
+    EXPECT_EQ(full.finalHash, split.finalHash);
+    EXPECT_EQ(full.cycles, split.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SnapshotEquivalence,
+                         ::testing::ValuesIn(allBarrierKinds()),
+                         kindCaseName);
+
+// ----- checkpoint artifact: recipe rebuilds the identical machine ------------
+
+TEST(Checkpoint, RecipeRebuildsBitIdenticalRun)
+{
+    Workload w = makeWorkload(true, 77);
+    RunResult orig =
+        runWorkload(w, BarrierKind::FilterDCache, 0, /*capture=*/true);
+    Checkpoint cp = parseCheckpoint(orig.checkpointJson);
+    EXPECT_EQ(cp.hash, orig.finalHash);
+    ASSERT_EQ(cp.chain.size(), orig.chain.size());
+    EXPECT_FALSE(firstDivergence(cp.chain, orig.chain).has_value());
+
+    // Restore: rebuild the machine from the recorded recipe and re-run.
+    Workload restored = w;
+    restored.cfg = CmpConfig::fromJson(cp.config);
+    RunResult rerun = runWorkload(restored, BarrierKind::FilterDCache, 0);
+    EXPECT_EQ(rerun.finalHash, cp.hash)
+        << "config recipe did not rebuild the identical machine";
+    ASSERT_EQ(rerun.chain.size(), cp.chain.size());
+    EXPECT_FALSE(firstDivergence(rerun.chain, cp.chain).has_value());
+}
+
+TEST(Checkpoint, ParseRejectsBadVersion)
+{
+    EXPECT_THROW(parseCheckpoint("{\"version\": 2}"), FatalError);
+}
+
+// ----- the chain discriminates: divergences are pinpointed -------------------
+
+TEST(Divergence, DifferentFaultSeedsPinpointed)
+{
+    RunResult a =
+        runWorkload(makeWorkload(true, 1), BarrierKind::FilterDCache, 0);
+    RunResult b =
+        runWorkload(makeWorkload(true, 2), BarrierKind::FilterDCache, 0);
+    auto div = firstDivergence(a.chain, b.chain);
+    ASSERT_TRUE(div.has_value())
+        << "two different fault schedules produced identical state chains";
+    // The schedules differ from the first decision points on, so the
+    // divergence must appear early, localizing the first bad window.
+    EXPECT_LT(*div, 3u);
+}
+
+TEST(Divergence, LengthMismatchIsDivergence)
+{
+    std::vector<SyncPoint> a = {{100, 1}, {200, 2}};
+    std::vector<SyncPoint> b = {{100, 1}, {200, 2}, {300, 3}};
+    auto div = firstDivergence(a, b);
+    ASSERT_TRUE(div.has_value());
+    EXPECT_EQ(*div, 2u);
+    EXPECT_FALSE(firstDivergence(a, a).has_value());
+}
+
+TEST(Divergence, ChainCapIsDeterministic)
+{
+    // A capped recorder stops capturing after maxPoints; two capped runs
+    // still compare point for point (the cap bounds artifact size for
+    // runs that ride to a tick limit).
+    Workload w = makeWorkload(true, 5);
+    auto run = [&w] {
+        CmpSystem sys(w.cfg);
+        SnapshotRecorder rec(sys, snapInterval, /*maxPoints=*/3);
+        Os &os = sys.os();
+        auto kernel = makeKernel(w.kernel);
+        kernel->setup(sys, w.params);
+        BarrierHandle handle =
+            os.registerBarrier(BarrierKind::FilterDCache, w.threads);
+        for (unsigned tid = 0; tid < w.threads; ++tid)
+            os.startThread(os.createThread(kernel->buildParallel(
+                               sys, os.codeBase(ThreadId(tid)), tid,
+                               w.threads, handle)),
+                           CoreId(tid));
+        sys.run();
+        return rec.chain();
+    };
+    std::vector<SyncPoint> a = run(), b = run();
+    EXPECT_EQ(a.size(), 3u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_FALSE(firstDivergence(a, b).has_value());
+}
+
+// ----- state hashing sanity ---------------------------------------------------
+
+TEST(StateHash, FreshSystemsHashEqual)
+{
+    CmpConfig cfg;
+    cfg.numCores = 4;
+    CmpSystem a(cfg), b(cfg);
+    EXPECT_EQ(a.stateHash(), b.stateHash());
+}
+
+TEST(StateHash, ConfigChangesHash)
+{
+    CmpConfig cfg;
+    cfg.numCores = 4;
+    CmpSystem a(cfg);
+    cfg.numCores = 8;
+    CmpSystem b(cfg);
+    EXPECT_NE(a.stateHash(), b.stateHash());
+}

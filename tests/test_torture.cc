@@ -30,6 +30,9 @@ tortureConfig(unsigned cores, uint64_t seed)
     cfg.l3SizeBytes = 256 * 1024;
     cfg.filterRecovery = true;
     cfg.watchdogInterval = 2'000'000;
+    // Torture runs double as invariant-checker soak tests: every modelled
+    // fault is legal machine behaviour, so the checker must stay silent.
+    cfg.checkInvariants = true;
     cfg.faults.enabled = true;
     cfg.faults.seed = seed;
     cfg.faults.interval = 400;
@@ -112,6 +115,7 @@ struct TortureResult
     uint64_t recoveries = 0;
     uint64_t evictions = 0;
     uint64_t deschedules = 0;
+    uint64_t violations = 0;
 };
 
 TortureResult
@@ -146,6 +150,7 @@ runTorture(const CmpConfig &cfg, BarrierKind kind, unsigned threads,
     r.recoveries = sys.statistics().counterValue("os.barrierRecoveries");
     r.evictions = sys.statistics().counterValue("faults.evictions");
     r.deschedules = sys.statistics().counterValue("faults.deschedules");
+    r.violations = sys.statistics().counterValue("check.violations");
     return r;
 }
 
@@ -177,6 +182,8 @@ TEST_P(FaultTorture, SafetyHoldsUnderInjectedFaults)
     EXPECT_FALSE(r.barrierError);
     EXPECT_EQ(r.errFlag, 0u) << "barrier safety property violated";
     EXPECT_TRUE(r.epochsDone);
+    EXPECT_EQ(r.violations, 0u)
+        << "invariant checker fired on legal fault behaviour";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, FaultTorture,
