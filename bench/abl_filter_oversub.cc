@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Ablation: filter virtualization under oversubscription.
+ *
+ * Sweeps the group:context ratio from 1:1 to 8:1 by holding the physical
+ * filter pool fixed (one bank, two contexts) and multiplying the number
+ * of concurrent barrier groups. Each group is a pair of threads pounding
+ * a fixed count of barrier episodes with jittered compute between
+ * crossings. Reports simulated cycles to drain all groups, per-episode
+ * cost, swap traffic (swap-ins and cycles stalled on swaps, from the
+ * episode profiler), and whether any group was demoted to the software
+ * fallback — the acceptance line for ISSUE 4 is that this column stays
+ * zero all the way to 8:1. The 1:1 row doubles as the no-virtualization
+ * baseline cost, so (cycles/episode - baseline) isolates the
+ * virtualization overhead each ratio pays.
+ */
+
+#include <vector>
+
+#include "barriers/barrier_gen.hh"
+#include "bench_common.hh"
+#include "os/filter_virt.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+struct OversubRun
+{
+    unsigned groups = 0;
+    Tick cycles = 0;
+    uint64_t swapIns = 0;
+    uint64_t swapStall = 0;
+    uint64_t fallbacks = 0;
+    uint64_t birthDegraded = 0;
+    bool ok = false;
+};
+
+OversubRun
+runRatio(unsigned groups, unsigned epochs, unsigned swapCycles)
+{
+    const unsigned tpg = 2;
+    CmpConfig cfg;
+    cfg.numCores = groups * tpg;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l2Banks = 1;
+    cfg.filtersPerBank = 2;
+    cfg.filterVirtual = true;
+    cfg.filterSwapCycles = swapCycles;
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    const unsigned line = cfg.lineBytes;
+    Addr cells = os.allocData(uint64_t(groups) * tpg * line, line);
+
+    for (unsigned g = 0; g < groups; ++g) {
+        BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, tpg);
+        for (unsigned s = 0; s < tpg; ++s) {
+            const unsigned idx = g * tpg + s;
+            ProgramBuilder b(os.codeBase(ThreadId(idx)));
+            BarrierCodegen bar(h, s);
+            IntReg rK = b.temp(), rKmax = b.temp(), rDelay = b.temp(),
+                   rCell = b.temp();
+            bar.emitInit(b);
+            b.li(rCell, int64_t(cells + uint64_t(idx) * line));
+            b.li(rK, 1);
+            b.li(rKmax, int64_t(epochs));
+            b.label("epoch");
+            b.li(rDelay, int64_t((idx * 31 + g * 11) & 63));
+            b.label("delay");
+            b.beqz(rDelay, "delaydone");
+            b.addi(rDelay, rDelay, -1);
+            b.j("delay");
+            b.label("delaydone");
+            bar.emitBarrier(b);
+            b.sd(rK, rCell, 0);
+            b.addi(rK, rK, 1);
+            b.bge(rKmax, rK, "epoch");
+            b.halt();
+            bar.emitArrivalSections(b);
+            ThreadContext *t = os.createThread(b.build());
+            os.bindBarrierSlot(h, s, t->tid);
+            os.startThread(t, CoreId(idx));
+        }
+    }
+
+    OversubRun r;
+    r.groups = groups;
+    r.cycles = sys.run(200'000'000);
+    bool cellsOk = true;
+    for (unsigned idx = 0; idx < groups * tpg; ++idx)
+        cellsOk = cellsOk &&
+                  sys.memory().read64(cells + uint64_t(idx) * line) == epochs;
+    r.ok = sys.allThreadsHalted() && !sys.anyBarrierError() && cellsOk;
+    r.swapIns = os.virtualizer() ? os.virtualizer()->swapInCount() : 0;
+    StatGroup &st = sys.statistics();
+    r.swapStall = st.counterValue("barrier.swapStallCycles");
+    r.fallbacks = st.counterValue("os.barrierFallbacks");
+    r.birthDegraded = st.counterValue("os.barrierBirthDegraded");
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(
+        "Ablation: virtualized filters under group oversubscription");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    unsigned epochs = unsigned(opts.getUint("epochs", 64));
+    unsigned swapCycles = unsigned(opts.getUint("swapcycles", 24));
+    std::string jsonFile = bench::jsonPathFromCli(argc, argv);
+
+    std::cout << "physical contexts: 2 (1 bank x 2 filters)"
+              << "  threads/group: 2  epochs: " << epochs
+              << "  swap cost: " << swapCycles << " cycles\n\n";
+
+    printHeader(std::cout, "ratio",
+                {"groups", "cycles", "cyc/epoch", "swapins", "swapstall",
+                 "fallbacks", "ok"});
+
+    std::vector<OversubRun> runs;
+    for (unsigned groups : {2u, 4u, 8u, 12u, 16u}) {
+        OversubRun r = runRatio(groups, epochs, swapCycles);
+        std::ostringstream ratio;
+        ratio << (groups + 1) / 2 << ":1";
+        printRow(std::cout, ratio.str(),
+                 {double(r.groups), double(r.cycles),
+                  double(r.cycles) / epochs, double(r.swapIns),
+                  double(r.swapStall),
+                  double(r.fallbacks + r.birthDegraded), r.ok ? 1.0 : 0.0},
+                 12, 0);
+        runs.push_back(r);
+    }
+
+    bench::writeBenchJson(jsonFile, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("bench", "abl_filter_oversub");
+        w.kv("contexts", 2);
+        w.kv("threadsPerGroup", 2);
+        w.kv("epochs", epochs);
+        w.kv("swapCycles", swapCycles);
+        w.key("ratios");
+        w.beginArray();
+        for (const OversubRun &r : runs) {
+            w.beginObject();
+            w.kv("groups", r.groups);
+            w.kv("cycles", r.cycles);
+            w.kv("cyclesPerEpoch", double(r.cycles) / epochs);
+            w.kv("swapIns", r.swapIns);
+            w.kv("swapStallCycles", r.swapStall);
+            w.kv("fallbacks", r.fallbacks);
+            w.kv("birthDegraded", r.birthDegraded);
+            w.kv("ok", r.ok);
+            w.end();
+        }
+        w.end();
+        w.end();
+    });
+    return 0;
+}

@@ -15,7 +15,7 @@ namespace bfsim
 BarrierCodegen::BarrierCodegen(const BarrierHandle &h, unsigned slot_)
     : handle(h), slot(slot_)
 {
-    if (slot >= handle.numThreads)
+    if (slot >= handle.slotCapacity())
         fatal("BarrierCodegen: slot out of range");
 }
 
@@ -157,13 +157,30 @@ BarrierCodegen::emitSwFallback(ProgramBuilder &b)
 
     b.fence();
     b.xori(rSense, rSense, 1);
+    if (handle.progressBase) {
+        // Odd while inside the invocation, even outside: the OS core-loss
+        // repair reads these per-slot cells to find the quiescent point
+        // of an epoch stuck on a dead member's arrival.
+        b.li(rScratch1, int64_t(handle.progressAddr(slot)));
+        b.ld(rScratch2, rScratch1, 0);
+        b.addi(rScratch2, rScratch2, 1);
+        b.sd(rScratch2, rScratch1, 0);
+    }
     b.label(retry);
     b.li(rScratch1, int64_t(handle.fbCounterAddr));
     b.ll(rScratch2, rScratch1, 0);
     b.addi(rScratch2, rScratch2, 1);
     b.sc(regRa, rScratch2, rScratch1, 0);
     b.beqz(regRa, retry);
-    b.li(regRa, int64_t(handle.numThreads));
+    if (handle.memberCountAddr) {
+        // The arrival target comes from the OS-owned count cell, re-read
+        // at every arrival, so membership commits and core-loss repair
+        // reach the software path without re-emitting code.
+        b.li(regRa, int64_t(handle.memberCountAddr));
+        b.ld(regRa, regRa, 0);
+    } else {
+        b.li(regRa, int64_t(handle.numThreads));
+    }
     b.bne(rScratch2, regRa, wait);
     // Last arrival: reset the counter, then flip the release flag.
     b.sd(regZero, rScratch1, 0);
@@ -176,6 +193,12 @@ BarrierCodegen::emitSwFallback(ProgramBuilder &b)
     b.ld(rScratch2, rScratch1, 0);
     b.bne(rScratch2, rSense, spin);
     b.label(done);
+    if (handle.progressBase) {
+        b.li(rScratch1, int64_t(handle.progressAddr(slot)));
+        b.ld(rScratch2, rScratch1, 0);
+        b.addi(rScratch2, rScratch2, 1);
+        b.sd(rScratch2, rScratch1, 0);
+    }
 }
 
 // ----- software combining tree (tournament, sense reversal) ----------------------

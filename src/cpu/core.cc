@@ -32,6 +32,8 @@ Core::Core(EventQueue &eq, StatGroup &st, std::string name_, CoreId id,
 void
 Core::setThread(ThreadContext *t)
 {
+    if (dead && t)
+        fatal(name + ": scheduling a thread onto a dead core");
     ctx = t;
     intReady.fill(0);
     fpReady.fill(0);
@@ -41,6 +43,42 @@ Core::setThread(ThreadContext *t)
                                      : CoreProbeState::Descheduled);
     if (ctx && !ctx->halted)
         scheduleTick(0);
+}
+
+ThreadContext *
+Core::kill()
+{
+    if (dead)
+        return nullptr;
+    dead = true;
+    ThreadContext *t = ctx;
+    // Squash exactly as a deschedule does, then some: the epoch bump
+    // orphans every pending fill/retry callback (their closures check the
+    // epoch), and buffered stores are dropped — a dead core's unperformed
+    // stores never reach coherence order, which is the fault being
+    // modelled.
+    ++epoch;
+    outstanding.clear();
+    fetchInFlight = false;
+    fetchValid = false;
+    storeIssued = false;
+    storeRetryScheduled = false;
+    tickScheduled = false;
+    pendingInvAck = false;
+    waitingHbar = false;
+    storeBuffer.clear();
+    intReady.fill(0);
+    fpReady.fill(0);
+    descheduleCb = nullptr;
+    ctx = nullptr;
+    if (t) {
+        t->killed = true;
+        t->halted = true;
+        t->haltTick = eventq.now();
+    }
+    publishState(CoreProbeState::Descheduled);
+    ++stats.counter(name + ".killed");
+    return t;
 }
 
 void

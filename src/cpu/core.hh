@@ -51,6 +51,8 @@ struct ThreadContext
     bool halted = false;
     /** Set when a barrier fill came back with an embedded error code. */
     bool barrierError = false;
+    /** Thread's core was permanently offlined (faultcorekill). */
+    bool killed = false;
     uint64_t instsExecuted = 0;
     Tick haltTick = 0;
 };
@@ -88,6 +90,16 @@ class Core
 
     /** True when no thread is attached or the thread halted. */
     bool idle() const { return !ctx || ctx->halted; }
+
+    /**
+     * Permanently offline the core (faultcorekill): squash every
+     * in-flight operation, detach and return the aboard thread (marked
+     * killed+halted), and refuse any future work. Irreversible.
+     */
+    ThreadContext *kill();
+
+    /** True once kill() ran. */
+    bool isDead() const { return dead; }
 
     /**
      * OS: detach the thread once it is quiescent (store buffer drained,
@@ -203,6 +215,7 @@ class Core
     bool waitingHbar = false;
 
     bool tickScheduled = false;
+    bool dead = false;    ///< permanently offlined by kill()
     uint64_t epoch = 0;   ///< bumped on deschedule to squash callbacks
 
     /** Last state published to the probe bus (dedupes notifications). */

@@ -22,16 +22,25 @@ BarrierFilter::initialize(const AddressMap &m)
         panic("BarrierFilter: double initialize");
     if (m.numThreads == 0 || m.strideBytes == 0)
         fatal("BarrierFilter: bad address map");
+    unsigned initial = m.initialMembers ? m.initialMembers : m.numThreads;
+    if (initial > m.numThreads)
+        fatal("BarrierFilter: initial members exceed slot capacity");
     map = m;
-    Entry init;
-    if (m.startServicing)
-        init.state = FilterThreadState::Servicing;
-    entries.assign(m.numThreads, init);
+    entries.clear();
+    entries.resize(m.numThreads);
+    for (unsigned s = 0; s < m.numThreads; ++s) {
+        Entry &e = entries[s];
+        e.active = s < initial;
+        if (m.startServicing)
+            e.state = FilterThreadState::Servicing;
+    }
+    members = initial;
     arrivedCounter = 0;
     opens = 0;
     ++generation;
     armed = true;
     poisoned = false;
+    swapPenalty = 0;
 }
 
 void
@@ -48,7 +57,9 @@ BarrierFilter::reset()
     entries.clear();
     armed = false;
     arrivedCounter = 0;
+    members = 0;
     poisoned = false;
+    swapPenalty = 0;
 }
 
 std::optional<unsigned>
@@ -91,6 +102,17 @@ BarrierFilter::fillPending(unsigned slot) const
     return entries.at(slot).pendingFill;
 }
 
+uint64_t
+BarrierFilter::arrivedMask() const
+{
+    uint64_t mask = 0;
+    for (unsigned s = 0; s < entries.size() && s < 64; ++s) {
+        if (entries[s].state == FilterThreadState::Blocking)
+            mask |= uint64_t(1) << s;
+    }
+    return mask;
+}
+
 // ----- FilterBank -------------------------------------------------------------
 
 FilterBank::FilterBank(EventQueue &eq, StatGroup &st, std::string name_,
@@ -119,6 +141,19 @@ FilterBank::setErrorHook(std::function<void(const std::string &)> hook)
     errorHook = std::move(hook);
 }
 
+void
+FilterBank::setResidencyAgent(FilterResidencyAgent *agent)
+{
+    residency = agent;
+}
+
+void
+FilterBank::setMembershipHandler(
+    std::function<void(BarrierFilter &, unsigned)> handler)
+{
+    membershipHandler = std::move(handler);
+}
+
 BarrierFilter *
 FilterBank::allocate(const BarrierFilter::AddressMap &map)
 {
@@ -139,6 +174,56 @@ FilterBank::release(BarrierFilter *filter)
     ++stats.counter(name + ".releases");
 }
 
+BarrierFilter::SavedState
+FilterBank::saveAndRelease(BarrierFilter *f)
+{
+    if (!f->active())
+        panic("FilterBank: saving an inactive filter");
+    BarrierFilter::SavedState s;
+    s.map = f->map;
+    s.entries = std::move(f->entries);
+    s.arrivedCounter = f->arrivedCounter;
+    s.opens = f->opens;
+    s.members = f->members;
+    s.poisoned = f->poisoned;
+    f->entries.clear();
+    f->armed = false;
+    f->arrivedCounter = 0;
+    f->members = 0;
+    f->poisoned = false;
+    f->swapPenalty = 0;
+    ++stats.counter(name + ".swapOuts");
+    return s;
+}
+
+BarrierFilter *
+FilterBank::allocateRestored(const BarrierFilter::SavedState &s,
+                             Tick swapCycles)
+{
+    for (auto &f : filters) {
+        if (f.active())
+            continue;
+        f.map = s.map;
+        f.entries = s.entries;
+        f.arrivedCounter = s.arrivedCounter;
+        f.opens = s.opens;
+        f.members = s.members;
+        f.poisoned = s.poisoned;
+        ++f.generation;
+        f.armed = true;
+        f.swapPenalty = swapCycles;
+        ++stats.counter(name + ".swapIns");
+        // Withheld fills stayed withheld inside the saved context; their
+        // timeout windows restart from the swap-in point.
+        for (unsigned slot = 0; slot < f.entries.size(); ++slot) {
+            if (f.entries[slot].pendingFill)
+                armTimeout(f, slot);
+        }
+        return &f;
+    }
+    return nullptr;
+}
+
 unsigned
 FilterBank::freeFilters() const
 {
@@ -146,6 +231,156 @@ FilterBank::freeFilters() const
     for (const auto &f : filters)
         n += !f.active();
     return n;
+}
+
+// ----- dynamic membership -----------------------------------------------------
+
+void
+FilterBank::proposeJoin(BarrierFilter &f, unsigned slot)
+{
+    auto &e = f.entries.at(slot);
+    if (e.active) {
+        misuse("join proposed for an active slot");
+        return;
+    }
+    e.pendingMember = 1;
+    ++stats.counter(name + ".joinProposals");
+}
+
+void
+FilterBank::proposeLeave(BarrierFilter &f, unsigned slot)
+{
+    auto &e = f.entries.at(slot);
+    if (!e.active) {
+        misuse("leave proposed for an inactive slot");
+        return;
+    }
+    e.pendingMember = -1;
+    ++stats.counter(name + ".leaveProposals");
+}
+
+void
+FilterBank::setAutoLeave(BarrierFilter &f, unsigned slot, uint32_t arrivals)
+{
+    f.entries.at(slot).autoLeaveAfter = arrivals;
+}
+
+void
+FilterBank::forceLeave(BarrierFilter &f, unsigned slot)
+{
+    auto &e = f.entries.at(slot);
+    e.pendingMember = 0;
+    e.autoLeaveAfter = 0;
+    if (!e.active)
+        return;
+    if (e.pendingFill) {
+        // Error-nack the withheld fill through the normal path: the
+        // requester is dead and will never consume the response, but the
+        // nack retires its L1 MSHR (the core-side callbacks were squashed
+        // when the core died, so nothing else propagates).
+        e.pendingFill = false;
+        stats.probes().fillUnblocked.notify({eventq.now(), e.pendingMsg.core,
+                                             e.pendingMsg.lineAddr, bankIdx,
+                                             idxOf(f), slot, f.opens, true});
+        Msg msg = e.pendingMsg;
+        msg.type = MsgType::NackError;
+        nackHandler(msg);
+    }
+    if (e.state == FilterThreadState::Blocking && f.arrivedCounter > 0)
+        --f.arrivedCounter;
+    e.active = false;
+    e.state = f.map.startServicing ? FilterThreadState::Servicing
+                                   : FilterThreadState::Waiting;
+    --f.members;
+    ++stats.counter(name + ".forcedLeaves");
+    stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
+                                      f.opens, slot, false, true,
+                                      f.members});
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << idxOf(f) << " FORCED leave slot "
+                     << slot << ", members now " << f.members);
+    if (membershipHandler)
+        membershipHandler(f, f.members);
+    // The departed member may have been the last holdout.
+    if (!f.poisoned && f.members > 0 && f.arrivedCounter == f.members)
+        open(f);
+}
+
+void
+FilterBank::commitMembership(BarrierFilter &f)
+{
+    // Called from open() after the episode's releases are scheduled and
+    // the epoch counter advanced: the commit half of the two-phase
+    // membership update. Joins proposed before this boundary become
+    // active for the new episode; leaves retire their slot.
+    std::vector<unsigned> joined, left;
+    bool changed = false;
+    for (unsigned s = 0; s < f.entries.size(); ++s) {
+        auto &e = f.entries[s];
+        if (e.pendingMember > 0) {
+            e.pendingMember = 0;
+            if (!e.active) {
+                e.active = true;
+                changed = true;
+                joined.push_back(s);
+                ++stats.counter(name + ".joinCommits");
+            }
+        } else if (e.pendingMember < 0) {
+            e.pendingMember = 0;
+            if (e.active) {
+                e.active = false;
+                e.state = FilterThreadState::Waiting;
+                changed = true;
+                left.push_back(s);
+                ++stats.counter(name + ".leaveCommits");
+            }
+        }
+    }
+    if (!changed)
+        return;
+
+    unsigned members = 0;
+    for (const auto &e : f.entries)
+        members += e.active ? 1 : 0;
+    f.members = members;
+    ++stats.counter(name + ".membershipCommits");
+
+    // Leave events carry the post-commit count, so they are published
+    // only after the recompute above.
+    for (unsigned s : left) {
+        stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
+                                          f.opens, s, false, false,
+                                          f.members});
+    }
+
+    // A joiner that raced ahead of its own commit already sits in
+    // Blocking (arrival recorded while the slot was still pending); it
+    // counts toward the *new* episode from its first instant.
+    for (unsigned s : joined) {
+        auto &e = f.entries[s];
+        stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
+                                          f.opens, s, true, false,
+                                          f.members});
+        if (e.state == FilterThreadState::Blocking) {
+            ++f.arrivedCounter;
+            stats.probes().barrierArrive.notify(
+                {eventq.now(), bankIdx, idxOf(f), f.opens, s,
+                 e.pendingFill ? e.pendingMsg.core : invalidCore,
+                 f.members});
+            if (e.pendingFill)
+                armTimeout(f, s);
+        }
+    }
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << idxOf(f)
+                     << " membership commit: members now " << f.members
+                     << ", " << f.arrivedCounter << " already arrived");
+    if (membershipHandler)
+        membershipHandler(f, f.members);
+    // Pathological but legal: everyone still in the group has already
+    // arrived (e.g. the only non-arrived members all left).
+    if (f.members > 0 && f.arrivedCounter == f.members)
+        open(f);
 }
 
 void
@@ -167,22 +402,28 @@ FilterBank::open(BarrierFilter &f)
 
     unsigned blocked = 0;
     for (const auto &e : f.entries)
-        blocked += e.pendingFill ? 1 : 0;
+        blocked += (e.active && e.pendingFill) ? 1 : 0;
     stats.probes().barrierOpen.notify(
-        {eventq.now(), bankIdx, fi, ep, f.map.numThreads, blocked});
+        {eventq.now(), bankIdx, fi, ep, f.members, blocked});
 
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                 name << ".filter" << fi << " episode " << ep << " opens, "
-                     << blocked << "/" << f.map.numThreads
-                     << " fills withheld");
+                     << blocked << "/" << f.members << " fills withheld");
 
     f.arrivedCounter = 0;
     ++f.opens;
 
-    // Service the withheld fills at one request per cycle (Table 2).
-    Tick stagger = 1;
+    // Service the withheld fills at one request per cycle (Table 2). A
+    // context restored during this episode charges its swap cost here:
+    // the release path is where the OS swap handler's latency surfaces.
+    Tick stagger = 1 + f.swapPenalty;
+    if (f.swapPenalty > 0)
+        stats.counter(name + ".swapStallCycles") += f.swapPenalty;
+    f.swapPenalty = 0;
     for (unsigned s = 0; s < f.entries.size(); ++s) {
         auto &e = f.entries[s];
+        if (!e.active)
+            continue;
         e.state = FilterThreadState::Servicing;
         if (e.pendingFill) {
             e.pendingFill = false;
@@ -197,6 +438,7 @@ FilterBank::open(BarrierFilter &f)
             });
         }
     }
+    commitMembership(f);
 }
 
 void
@@ -205,9 +447,12 @@ FilterBank::armTimeout(BarrierFilter &f, unsigned slot)
     if (timeoutCycles == 0)
         return;
     uint64_t epoch = f.opens;
+    uint64_t gen = f.generation;
     BarrierFilter *fp = &f;
-    eventq.schedule(timeoutCycles, [this, fp, slot, epoch] {
-        if (!fp->active() || fp->opens != epoch)
+    eventq.schedule(timeoutCycles, [this, fp, slot, epoch, gen] {
+        // The generation guard keeps a timeout armed for one tenant from
+        // firing on a different barrier swapped into the same slot.
+        if (!fp->active() || fp->generation != gen || fp->opens != epoch)
             return;
         if (!fp->entries[slot].pendingFill)
             return;
@@ -250,7 +495,7 @@ FilterBank::forceOpen(unsigned filterIdx)
     ++stats.counter(name + ".forcedOpens");
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                 name << ".filter" << filterIdx << " FORCED open at "
-                     << f.arrivedCounter << "/" << f.map.numThreads
+                     << f.arrivedCounter << "/" << f.members
                      << " arrivals (sabotage)");
     open(f);
 }
@@ -289,6 +534,15 @@ FilterBank::poison(BarrierFilter &f)
     }
 }
 
+void
+FilterBank::errorNack(const Msg &msg)
+{
+    ++stats.counter(name + ".ctxNacks");
+    Msg m = msg;
+    m.type = MsgType::NackError;
+    nackHandler(m);
+}
+
 std::vector<FilterBank::BlockedFill>
 FilterBank::blockedFills() const
 {
@@ -306,7 +560,7 @@ FilterBank::blockedFills() const
 }
 
 bool
-FilterBank::coversLine(Addr lineAddr) const
+FilterBank::coversLineResident(Addr lineAddr) const
 {
     for (const auto &f : filters) {
         if (!f.active())
@@ -317,9 +571,31 @@ FilterBank::coversLine(Addr lineAddr) const
     return false;
 }
 
+bool
+FilterBank::coversLine(Addr lineAddr) const
+{
+    if (coversLineResident(lineAddr))
+        return true;
+    return residency && residency->ownsLine(bankIdx, lineAddr);
+}
+
+void
+FilterBank::maybeFaultIn(Addr lineAddr)
+{
+    if (!residency)
+        return;
+    if (coversLineResident(lineAddr)) {
+        residency->touch(bankIdx, lineAddr);
+        return;
+    }
+    if (residency->ownsLine(bankIdx, lineAddr))
+        residency->faultIn(bankIdx, lineAddr);
+}
+
 void
 FilterBank::onInvalidate(Addr lineAddr, CoreId core)
 {
+    maybeFaultIn(lineAddr);
     for (auto &f : filters) {
         if (!f.active() || f.poisoned)
             continue;
@@ -327,50 +603,80 @@ FilterBank::onInvalidate(Addr lineAddr, CoreId core)
         if (auto slot = f.arrivalSlot(lineAddr)) {
             auto &e = f.entries[*slot];
             ++stats.counter(name + ".arrivalInvs");
-            switch (e.state) {
-              case FilterThreadState::Waiting:
-                stats.probes().barrierArrive.notify(
-                    {eventq.now(), bankIdx, idxOf(f), f.opens, *slot, core,
-                     f.map.numThreads});
-                BFSIM_TRACE(TraceCat::Filter, eventq.now(),
-                            name << ".filter" << idxOf(f) << " slot "
-                                 << *slot << " arrives (core " << core
-                                 << "), " << (f.arrivedCounter + 1) << "/"
-                                 << f.map.numThreads);
-                if (f.arrivedCounter + 1 == f.map.numThreads) {
-                    // Last thread: everyone else is blocked; open up.
-                    open(f);
-                } else {
+            if (!e.active) {
+                if (e.pendingMember > 0 &&
+                    e.state == FilterThreadState::Waiting) {
+                    // A joiner arriving ahead of its own commit: park it
+                    // in Blocking without counting it. The commit at the
+                    // next release boundary folds it into the new
+                    // episode (two-phase membership update).
                     e.state = FilterThreadState::Blocking;
                     e.blockedSince = eventq.now();
-                    ++f.arrivedCounter;
+                    ++stats.counter(name + ".earlyJoinArrivals");
+                } else if (strict) {
+                    misuse("arrival invalidate on an inactive slot");
+                } else {
+                    ++stats.counter(name + ".inactiveInvs");
                 }
-                break;
-              case FilterThreadState::Blocking:
-                // Section 3.2: repeated arrival invalidation leaves the
-                // thread Blocking; strict mode flags it (Section 3.3.4).
-                if (strict)
-                    misuse("arrival invalidate while Blocking");
-                break;
-              case FilterThreadState::Servicing:
-                if (strict)
-                    misuse("arrival invalidate while Servicing");
-                break;
+            } else {
+                switch (e.state) {
+                  case FilterThreadState::Waiting:
+                    if (e.autoLeaveAfter > 0 && --e.autoLeaveAfter == 0) {
+                        // Propose-at-arrival: this is the member's last
+                        // participation; the leave commits at release.
+                        e.pendingMember = -1;
+                        ++stats.counter(name + ".leaveProposals");
+                    }
+                    stats.probes().barrierArrive.notify(
+                        {eventq.now(), bankIdx, idxOf(f), f.opens, *slot,
+                         core, f.members});
+                    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                                name << ".filter" << idxOf(f) << " slot "
+                                     << *slot << " arrives (core " << core
+                                     << "), " << (f.arrivedCounter + 1)
+                                     << "/" << f.members);
+                    if (f.arrivedCounter + 1 == f.members) {
+                        // Last thread: everyone else is blocked; open up.
+                        open(f);
+                    } else {
+                        e.state = FilterThreadState::Blocking;
+                        e.blockedSince = eventq.now();
+                        ++f.arrivedCounter;
+                    }
+                    break;
+                  case FilterThreadState::Blocking:
+                    // Section 3.2: repeated arrival invalidation leaves
+                    // the thread Blocking; strict mode flags it
+                    // (Section 3.3.4).
+                    if (strict)
+                        misuse("arrival invalidate while Blocking");
+                    break;
+                  case FilterThreadState::Servicing:
+                    if (strict)
+                        misuse("arrival invalidate while Servicing");
+                    break;
+                }
             }
         }
 
         if (auto slot = f.exitSlot(lineAddr)) {
             auto &e = f.entries[*slot];
             ++stats.counter(name + ".exitInvs");
-            switch (e.state) {
-              case FilterThreadState::Servicing:
-                e.state = FilterThreadState::Waiting;
-                break;
-              case FilterThreadState::Waiting:
-              case FilterThreadState::Blocking:
-                if (strict)
-                    misuse("exit invalidate while not Servicing");
-                break;
+            if (!e.active) {
+                // A retired slot's straggling exit invalidation (the
+                // leaver signals exit after its final release): ignore.
+                ++stats.counter(name + ".inactiveInvs");
+            } else {
+                switch (e.state) {
+                  case FilterThreadState::Servicing:
+                    e.state = FilterThreadState::Waiting;
+                    break;
+                  case FilterThreadState::Waiting:
+                  case FilterThreadState::Blocking:
+                    if (strict)
+                        misuse("exit invalidate while not Servicing");
+                    break;
+                }
             }
         }
     }
@@ -379,6 +685,7 @@ FilterBank::onInvalidate(Addr lineAddr, CoreId core)
 FillAction
 FilterBank::onFillRequest(const Msg &msg)
 {
+    maybeFaultIn(msg.lineAddr);
     for (auto &f : filters) {
         if (!f.active())
             continue;
@@ -405,6 +712,27 @@ FilterBank::onFillRequest(const Msg &msg)
         }
 
         auto &e = f.entries[*slot];
+        if (!e.active) {
+            if (e.pendingMember > 0 &&
+                e.state == FilterThreadState::Blocking) {
+                // Early-arrived joiner stalling on its arrival line:
+                // withhold like any member — but without a timeout,
+                // which is armed when the join commits and the fill
+                // becomes part of a real episode.
+                e.pendingFill = true;
+                e.pendingMsg = msg;
+                ++stats.counter(name + ".blockedFills");
+                stats.probes().fillStarved.notify(
+                    {eventq.now(), msg.core, msg.lineAddr, bankIdx,
+                     idxOf(f), *slot, f.opens});
+                return FillAction::Blocked;
+            }
+            if (strict) {
+                misuse("fill request for an inactive slot");
+                return FillAction::Error;
+            }
+            return FillAction::Pass;
+        }
         switch (e.state) {
           case FilterThreadState::Waiting:
             // A fill with no preceding arrival invalidation: incorrect
@@ -478,12 +806,15 @@ FilterBank::dumpState(std::ostream &os) const
             continue;
         os << "  " << name << ".filter" << i << ": arrival=" << std::hex
            << f.map.arrivalBase << " exit=" << f.map.exitBase << std::dec
-           << " threads=" << f.map.numThreads << " arrived="
-           << f.arrivedCounter << " opens=" << f.opens
+           << " slots=" << f.map.numThreads << " members=" << f.members
+           << " arrived=" << f.arrivedCounter << " opens=" << f.opens
            << (f.poisoned ? " POISONED" : "") << "\n";
         for (unsigned s = 0; s < f.entries.size(); ++s) {
             const auto &e = f.entries[s];
             os << "    slot " << s << ": " << stateName(e.state)
+               << (e.active ? "" : " inactive")
+               << (e.pendingMember > 0 ? " join-pending"
+                   : e.pendingMember < 0 ? " leave-pending" : "")
                << (e.pendingFill ? " fill-withheld from core " +
                                        std::to_string(e.pendingMsg.core)
                                  : "")
@@ -507,14 +838,19 @@ FilterBank::serializeState(JsonWriter &jw) const
         jw.kv("exitBase", f.map.exitBase);
         jw.kv("stride", f.map.strideBytes);
         jw.kv("threads", f.map.numThreads);
+        jw.kv("members", f.members);
         jw.kv("arrived", f.arrivedCounter);
         jw.kv("opens", f.opens);
         jw.kv("poisoned", f.poisoned);
+        jw.kv("swapPenalty", f.swapPenalty);
         jw.key("slots");
         jw.beginArray();
         for (const auto &e : f.entries) {
             jw.beginObject();
             jw.kv("state", int(e.state));
+            jw.kv("active", e.active);
+            jw.kv("pendingMember", int(e.pendingMember));
+            jw.kv("autoLeaveAfter", uint64_t(e.autoLeaveAfter));
             jw.kv("pendingFill", e.pendingFill);
             if (e.pendingFill) {
                 jw.kv("fillCore", int64_t(e.pendingMsg.core));

@@ -18,6 +18,21 @@
  * with a common tag whose low-order (above bank-interleave) bits select
  * the thread slot, realized here as base + thread * stride with stride =
  * numBanks * lineBytes so every line of one barrier maps to one bank.
+ *
+ * Two extensions beyond the fixed-group happy path:
+ *
+ *  - Virtualization (Section 3.3's "filters are managed by the OS like
+ *    any other finite resource"): the full per-barrier state — FSM
+ *    entries including withheld fill messages, the arrived counter and
+ *    the epoch counter — can be saved to a context table and restored
+ *    into any free physical filter. A FilterResidencyAgent installed by
+ *    the OS is consulted whenever a line matches no resident filter, so
+ *    a swapped-out barrier context faults back in on first touch.
+ *
+ *  - Dynamic membership: each slot carries an active bit; joins and
+ *    leaves are *proposed* at arrival time and *committed* only at the
+ *    release boundary (inside open()), so no epoch ever mixes member
+ *    counts.
  */
 
 #ifndef BFSIM_FILTER_BARRIER_FILTER_HH
@@ -55,6 +70,28 @@ enum class FillAction : uint8_t
 };
 
 /**
+ * OS-side hook consulted by a FilterBank when a line touches no resident
+ * filter: the agent decides whether the line belongs to a swapped-out
+ * virtual filter context and, if so, swaps it in before the access is
+ * processed (first-touch fault-in).
+ */
+class FilterResidencyAgent
+{
+  public:
+    virtual ~FilterResidencyAgent() = default;
+
+    /** Does @p lineAddr belong to any (resident or not) managed context
+     *  homed on @p bank? */
+    virtual bool ownsLine(unsigned bank, Addr lineAddr) const = 0;
+
+    /** Swap the owning context group in (evicting victims as needed). */
+    virtual void faultIn(unsigned bank, Addr lineAddr) = 0;
+
+    /** A resident managed context was accessed (LRU bookkeeping). */
+    virtual void touch(unsigned bank, Addr lineAddr) = 0;
+};
+
+/**
  * State table for one barrier (Figure 2).
  */
 class BarrierFilter
@@ -66,7 +103,7 @@ class BarrierFilter
         Addr arrivalBase = 0;  ///< arrival line of thread slot 0
         Addr exitBase = 0;     ///< exit line of thread slot 0
         Addr strideBytes = 0;  ///< numBanks * lineBytes
-        unsigned numThreads = 0;
+        unsigned numThreads = 0;  ///< slot capacity (allocated lines)
         /**
          * Start every thread in Servicing instead of Waiting: used for the
          * second barrier of a ping-pong pair, whose exit lines are the
@@ -74,6 +111,42 @@ class BarrierFilter
          * those lines must read as an exit, not a misuse.
          */
         bool startServicing = false;
+        /**
+         * Number of slots initially active (members). 0 means all
+         * numThreads slots: the fixed-group default. Slots beyond this
+         * start inactive and are brought in via joins.
+         */
+        unsigned initialMembers = 0;
+    };
+
+    /** Per-slot FSM entry. Public so virtual contexts can carry it. */
+    struct Entry
+    {
+        FilterThreadState state = FilterThreadState::Waiting;
+        bool pendingFill = false;
+        Msg pendingMsg;
+        Tick blockedSince = 0;
+        bool active = true;       ///< counted toward the member count
+        int8_t pendingMember = 0; ///< +1 proposed join, -1 proposed leave
+        /** Auto-propose a leave after this many more arrivals (0 = off).
+         *  Models the OS arming "last participation" ahead of time. */
+        uint32_t autoLeaveAfter = 0;
+    };
+
+    /**
+     * A swapped-out virtual filter context: the complete architectural
+     * state of one barrier, including withheld fill messages. Restoring
+     * this into any free physical filter resumes the barrier exactly
+     * where it stopped.
+     */
+    struct SavedState
+    {
+        AddressMap map;
+        std::vector<Entry> entries;
+        unsigned arrivedCounter = 0;
+        uint64_t opens = 0;
+        unsigned members = 0;
+        bool poisoned = false;
     };
 
     BarrierFilter() = default;
@@ -95,13 +168,21 @@ class BarrierFilter
 
     FilterThreadState threadState(unsigned slot) const;
     bool fillPending(unsigned slot) const;
+    bool slotActive(unsigned slot) const { return entries.at(slot).active; }
     unsigned arrivedCount() const { return arrivedCounter; }
     uint64_t openCount() const { return opens; }
 
+    /** Active member count (the episode size). */
+    unsigned memberCount() const { return members; }
+
+    /** Bitmask of slots currently in Blocking (arrived, unreleased). */
+    uint64_t arrivedMask() const;
+
     /**
-     * Bumped on every initialize(): distinguishes successive tenants of
-     * the same physical filter slot, so observers keyed on (bank, index)
-     * can tell a reprogrammed filter from a rewound epoch counter.
+     * Bumped on every initialize()/restore: distinguishes successive
+     * tenants of the same physical filter slot, so observers keyed on
+     * (bank, index) can tell a reprogrammed filter from a rewound epoch
+     * counter.
      */
     uint64_t generationCount() const { return generation; }
 
@@ -116,21 +197,17 @@ class BarrierFilter
   private:
     friend class FilterBank;
 
-    struct Entry
-    {
-        FilterThreadState state = FilterThreadState::Waiting;
-        bool pendingFill = false;
-        Msg pendingMsg;
-        Tick blockedSince = 0;
-    };
-
     AddressMap map;
     std::vector<Entry> entries;
     unsigned arrivedCounter = 0;
+    unsigned members = 0;     ///< count of active entries
     uint64_t opens = 0;   ///< barrier episodes completed (epoch counter)
     uint64_t generation = 0;  ///< initialize() count for this slot
     bool armed = false;
     bool poisoned = false;
+    /** Extra cycles the next release stagger starts at: the modeled cost
+     *  of the context-restore that preceded this episode. */
+    Tick swapPenalty = 0;
 };
 
 /**
@@ -171,14 +248,62 @@ class FilterBank
      */
     void setTimeoutPoisons(bool v) { timeoutPoisons = v; }
 
+    /** OS: install the virtualization fault-in hook. */
+    void setResidencyAgent(FilterResidencyAgent *agent);
+
+    /**
+     * OS: called at every membership commit boundary (inside open(),
+     * forceLeave) with the filter and its new member count, so the OS
+     * can mirror the count into the software-fallback count cell.
+     */
+    void setMembershipHandler(std::function<void(BarrierFilter &, unsigned)>
+                                  handler);
+
     /** OS: grab a free filter. @return nullptr when all are in use. */
     BarrierFilter *allocate(const BarrierFilter::AddressMap &map);
 
     /** OS: return a filter (swap-out). */
     void release(BarrierFilter *filter);
 
+    /**
+     * Virtualization swap-out: capture the filter's complete state —
+     * including withheld fills, which stay withheld inside the saved
+     * context — and free the physical slot. Legal at any point in an
+     * episode, unlike release().
+     */
+    BarrierFilter::SavedState saveAndRelease(BarrierFilter *filter);
+
+    /**
+     * Virtualization swap-in: restore a saved context into a free
+     * physical filter, re-arming timeouts for its withheld fills and
+     * charging @p swapCycles against the next release stagger.
+     * @return nullptr when no physical filter is free.
+     */
+    BarrierFilter *allocateRestored(const BarrierFilter::SavedState &s,
+                                    Tick swapCycles);
+
     unsigned freeFilters() const;
     unsigned capacity() const { return unsigned(filters.size()); }
+
+    // ----- dynamic membership ----------------------------------------------
+
+    /** Propose bringing @p slot into the group; commits at next open(). */
+    void proposeJoin(BarrierFilter &f, unsigned slot);
+
+    /** Propose removing @p slot from the group; commits at next open(). */
+    void proposeLeave(BarrierFilter &f, unsigned slot);
+
+    /** Arm an automatic leave-proposal after @p arrivals more arrivals of
+     *  @p slot (the propose-at-arrival half of the two-phase update). */
+    void setAutoLeave(BarrierFilter &f, unsigned slot, uint32_t arrivals);
+
+    /**
+     * Immediately remove @p slot (core-loss repair): drop its withheld
+     * fill without a nack (the core is dead), uncount its arrival, and
+     * open the barrier if the survivors have all arrived. Bypasses the
+     * two-phase boundary by design — the member no longer exists.
+     */
+    void forceLeave(BarrierFilter &f, unsigned slot);
 
     // ----- bank-side interface ---------------------------------------------
 
@@ -190,10 +315,11 @@ class FilterBank
 
     /**
      * True when @p lineAddr belongs to any active filter's arrival or
-     * exit group. The bank retains its own copy of such lines on an
-     * explicit invalidation: the filter lives in this bank's controller,
-     * so the L2 data array is not "above the filter" (Section 3.1) and
-     * released fills are serviced at L2 latency.
+     * exit group, or to a swapped-out managed context (the bank retains
+     * its own copy of such lines on an explicit invalidation: the filter
+     * lives in this bank's controller, so the L2 data array is not
+     * "above the filter" (Section 3.1) and released fills are serviced
+     * at L2 latency).
      */
     bool coversLine(Addr lineAddr) const;
 
@@ -220,6 +346,13 @@ class FilterBank
      */
     void poison(BarrierFilter &f);
 
+    /**
+     * Error-nack one saved fill message through the bank's nack path:
+     * used by the OS when poisoning a *swapped-out* context whose
+     * withheld fills live in the context table, not in any filter.
+     */
+    void errorNack(const Msg &msg);
+
     /** Force the Section 3.3.4 timeout on one withheld fill, now. */
     void fireTimeout(unsigned filterIdx, unsigned slot);
 
@@ -243,11 +376,20 @@ class FilterBank
      */
     void serializeState(JsonWriter &jw) const;
 
+    unsigned bankIndex() const { return bankIdx; }
+
   private:
     void open(BarrierFilter &f);
+    void commitMembership(BarrierFilter &f);
     void misuse(const std::string &what);
     void armTimeout(BarrierFilter &f, unsigned slot);
     void timeoutFired(BarrierFilter &f, unsigned slot);
+
+    /** True when @p lineAddr matches a *resident* filter's line groups. */
+    bool coversLineResident(Addr lineAddr) const;
+
+    /** Fault in the owning context for an unmatched managed line. */
+    void maybeFaultIn(Addr lineAddr);
 
     /** Index of @p f within this bank (for probe events). */
     unsigned idxOf(const BarrierFilter &f) const
@@ -266,6 +408,8 @@ class FilterBank
     std::function<void(const Msg &)> releaseHandler;
     std::function<void(const Msg &)> nackHandler;
     std::function<void(const std::string &)> errorHook;
+    std::function<void(BarrierFilter &, unsigned)> membershipHandler;
+    FilterResidencyAgent *residency = nullptr;
 };
 
 } // namespace bfsim

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * FilterVirtualizer implementation.
+ */
+
+#include "os/filter_virt.hh"
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/probe.hh"
+#include "sys/system.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+/** The at-birth state of one context, mirroring BarrierFilter::initialize. */
+BarrierFilter::SavedState
+freshState(const BarrierFilter::AddressMap &m)
+{
+    BarrierFilter::SavedState s;
+    s.map = m;
+    unsigned initial = m.initialMembers ? m.initialMembers : m.numThreads;
+    s.entries.resize(m.numThreads);
+    for (unsigned i = 0; i < m.numThreads; ++i) {
+        s.entries[i].active = i < initial;
+        if (m.startServicing)
+            s.entries[i].state = FilterThreadState::Servicing;
+    }
+    s.members = initial;
+    return s;
+}
+
+uint64_t
+savedArrivedMask(const BarrierFilter::SavedState &s)
+{
+    uint64_t mask = 0;
+    for (unsigned i = 0; i < s.entries.size() && i < 64; ++i) {
+        if (s.entries[i].state == FilterThreadState::Blocking)
+            mask |= uint64_t(1) << i;
+    }
+    return mask;
+}
+
+} // namespace
+
+FilterVirtualizer::FilterVirtualizer(CmpSystem &s) : sys(s) {}
+
+int
+FilterVirtualizer::createGroup(unsigned bank,
+                               const BarrierFilter::AddressMap *maps,
+                               unsigned count)
+{
+    if (count == 0 || count > 2)
+        fatal("FilterVirtualizer: bad context count");
+    if (sys.filterBank(bank).capacity() < count)
+        fatal("FilterVirtualizer: bank has fewer physical filters than one "
+              "group needs");
+
+    VirtGroup g;
+    g.bank = bank;
+    g.size = count;
+    g.alive = true;
+    g.lastUse = sys.eventQueue().now();
+    for (unsigned i = 0; i < count; ++i)
+        g.maps[i] = maps[i];
+
+    int id = int(groups.size());
+    if (sys.filterBank(bank).freeFilters() >= count) {
+        for (unsigned i = 0; i < count; ++i)
+            g.phys[i] = sys.filterBank(bank).allocate(maps[i]);
+        g.isResident = true;
+    } else {
+        // Context table only: the group faults in on first touch.
+        for (unsigned i = 0; i < count; ++i)
+            g.saved[i] = freshState(maps[i]);
+        g.isResident = false;
+        ++sys.statistics().counter("os.virt.deferredCreates");
+    }
+    groups.push_back(std::move(g));
+    ++sys.statistics().counter("os.virt.groups");
+    return id;
+}
+
+void
+FilterVirtualizer::destroyGroup(int id)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    if (!g.alive)
+        return;
+    if (g.isResident) {
+        for (unsigned i = 0; i < g.size; ++i) {
+            if (g.phys[i]) {
+                sys.filterBank(g.bank).release(g.phys[i]);
+                g.phys[i] = nullptr;
+            }
+        }
+    }
+    for (auto &s : g.saved)
+        s = BarrierFilter::SavedState{};
+    g.alive = false;
+    g.isResident = false;
+}
+
+BarrierFilter *
+FilterVirtualizer::filterOf(int id, unsigned which)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    return g.isResident ? g.phys[which] : nullptr;
+}
+
+void
+FilterVirtualizer::ensureResident(int id)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    if (!g.alive)
+        panic("FilterVirtualizer: touching a destroyed group");
+    g.lastUse = sys.eventQueue().now();
+    if (g.isResident)
+        return;
+    swapIn(id);
+}
+
+void
+FilterVirtualizer::swapIn(int id)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    FilterBank &fb = sys.filterBank(g.bank);
+    while (fb.freeFilters() < g.size)
+        evictVictim(g.bank, id);
+
+    const Tick cost = sys.config().filterSwapCycles;
+    for (unsigned i = 0; i < g.size; ++i) {
+        const BarrierFilter::SavedState &s = g.saved[i];
+        BarrierFilter *f = fb.allocateRestored(s, cost);
+        if (!f)
+            panic("FilterVirtualizer: no free filter after eviction");
+        g.phys[i] = f;
+        unsigned fi = 0;
+        for (; &fb.filterAt(fi) != f; ++fi) {}
+        sys.statistics().probes().filterSwap.notify(
+            {sys.eventQueue().now(), g.bank, fi, id, i, true, s.opens,
+             s.arrivedCounter, savedArrivedMask(s), s.members, cost});
+        g.saved[i] = BarrierFilter::SavedState{};
+    }
+    g.isResident = true;
+    ++swapIns;
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os.virt: group " << id << " swapped in on bank " << g.bank);
+}
+
+void
+FilterVirtualizer::swapOut(int id)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    FilterBank &fb = sys.filterBank(g.bank);
+    for (unsigned i = 0; i < g.size; ++i) {
+        BarrierFilter *f = g.phys[i];
+        unsigned fi = 0;
+        for (; &fb.filterAt(fi) != f; ++fi) {}
+        g.saved[i] = fb.saveAndRelease(f);
+        const BarrierFilter::SavedState &s = g.saved[i];
+        sys.statistics().probes().filterSwap.notify(
+            {sys.eventQueue().now(), g.bank, fi, id, i, false, s.opens,
+             s.arrivedCounter, savedArrivedMask(s), s.members, 0});
+        g.phys[i] = nullptr;
+    }
+    g.isResident = false;
+    ++sys.statistics().counter("os.virt.evictions");
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os.virt: group " << id << " swapped out of bank " << g.bank);
+}
+
+void
+FilterVirtualizer::evictVictim(unsigned bank, int exceptId)
+{
+    int victim = -1;
+    Tick oldest = 0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const VirtGroup &g = groups[i];
+        if (!g.alive || !g.isResident || g.bank != bank || int(i) == exceptId)
+            continue;
+        if (victim < 0 || g.lastUse < oldest) {
+            victim = int(i);
+            oldest = g.lastUse;
+        }
+    }
+    if (victim < 0)
+        fatal("FilterVirtualizer: bank " + std::to_string(bank) +
+              " has no evictable resident group (physical filters claimed "
+              "outside the virtualizer?)");
+    swapOut(victim);
+}
+
+void
+FilterVirtualizer::poisonGroup(int id)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    if (!g.alive)
+        return;
+    FilterBank &fb = sys.filterBank(g.bank);
+    if (g.isResident) {
+        for (unsigned i = 0; i < g.size; ++i) {
+            if (g.phys[i])
+                fb.poison(*g.phys[i]);
+        }
+        return;
+    }
+    for (unsigned i = 0; i < g.size; ++i) {
+        BarrierFilter::SavedState &s = g.saved[i];
+        if (s.poisoned)
+            continue;
+        s.poisoned = true;
+        for (auto &e : s.entries) {
+            if (!e.pendingFill)
+                continue;
+            e.pendingFill = false;
+            fb.errorNack(e.pendingMsg);
+        }
+    }
+}
+
+bool
+FilterVirtualizer::groupPoisoned(int id) const
+{
+    const VirtGroup &g = groups.at(size_t(id));
+    if (!g.alive)
+        return false;
+    for (unsigned i = 0; i < g.size; ++i) {
+        if (g.isResident ? g.phys[i]->isPoisoned() : g.saved[i].poisoned)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+FilterVirtualizer::managedOnBank(unsigned bank) const
+{
+    unsigned n = 0;
+    for (const auto &g : groups)
+        n += (g.alive && g.bank == bank) ? 1 : 0;
+    return n;
+}
+
+bool
+FilterVirtualizer::mapCovers(const BarrierFilter::AddressMap &m, Addr a)
+{
+    for (Addr base : {m.arrivalBase, m.exitBase}) {
+        if (a < base)
+            continue;
+        Addr off = a - base;
+        if (off % m.strideBytes == 0 && off / m.strideBytes < m.numThreads)
+            return true;
+    }
+    return false;
+}
+
+int
+FilterVirtualizer::ownerOf(unsigned bank, Addr lineAddr) const
+{
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const VirtGroup &g = groups[i];
+        if (!g.alive || g.bank != bank)
+            continue;
+        for (unsigned c = 0; c < g.size; ++c) {
+            if (mapCovers(g.maps[c], lineAddr))
+                return int(i);
+        }
+    }
+    return -1;
+}
+
+bool
+FilterVirtualizer::ownsLine(unsigned bank, Addr lineAddr) const
+{
+    return ownerOf(bank, lineAddr) >= 0;
+}
+
+void
+FilterVirtualizer::faultIn(unsigned bank, Addr lineAddr)
+{
+    int id = ownerOf(bank, lineAddr);
+    if (id < 0)
+        return;
+    ++sys.statistics().counter("os.virt.faultIns");
+    ensureResident(id);
+}
+
+void
+FilterVirtualizer::touch(unsigned bank, Addr lineAddr)
+{
+    int id = ownerOf(bank, lineAddr);
+    if (id >= 0)
+        groups[size_t(id)].lastUse = sys.eventQueue().now();
+}
+
+void
+FilterVirtualizer::serializeState(JsonWriter &jw) const
+{
+    jw.beginArray();
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const VirtGroup &g = groups[i];
+        jw.beginObject();
+        jw.kv("id", uint64_t(i));
+        jw.kv("alive", g.alive);
+        jw.kv("bank", g.bank);
+        jw.kv("size", g.size);
+        jw.kv("resident", g.isResident);
+        jw.kv("lastUse", g.lastUse);
+        if (g.alive && !g.isResident) {
+            jw.key("saved");
+            jw.beginArray();
+            for (unsigned c = 0; c < g.size; ++c) {
+                const BarrierFilter::SavedState &s = g.saved[c];
+                jw.beginObject();
+                jw.kv("arrivalBase", s.map.arrivalBase);
+                jw.kv("exitBase", s.map.exitBase);
+                jw.kv("arrived", s.arrivedCounter);
+                jw.kv("opens", s.opens);
+                jw.kv("members", s.members);
+                jw.kv("poisoned", s.poisoned);
+                jw.key("slots");
+                jw.beginArray();
+                for (const auto &e : s.entries) {
+                    jw.beginObject();
+                    jw.kv("state", int(e.state));
+                    jw.kv("active", e.active);
+                    jw.kv("pendingMember", int(e.pendingMember));
+                    jw.kv("autoLeaveAfter", uint64_t(e.autoLeaveAfter));
+                    jw.kv("pendingFill", e.pendingFill);
+                    if (e.pendingFill) {
+                        jw.kv("fillCore", int64_t(e.pendingMsg.core));
+                        jw.kv("fillLine", e.pendingMsg.lineAddr);
+                        jw.kv("blockedSince", e.blockedSince);
+                    }
+                    jw.end();
+                }
+                jw.end();
+                jw.end();
+            }
+            jw.end();
+        }
+        jw.end();
+    }
+    jw.end();
+}
+
+} // namespace bfsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * OS-managed filter virtualization (Section 3.3: "the filters are managed
+ * by the OS like any other finite resource").
+ *
+ * The virtualizer turns the per-bank physical filters into a cache of
+ * *virtual filter contexts*. Every filter-backed barrier group becomes a
+ * managed group of one (entry/exit) or two (ping-pong) contexts homed on
+ * one bank. When a group is accessed while swapped out, the FilterBank's
+ * residency hook faults it in; if no physical filter is free, the
+ * least-recently-used resident group on that bank is saved to the context
+ * table first. A context saves its complete architectural state — FSM
+ * entries, withheld fill messages, arrived counter, epoch counter — so an
+ * arbitrary number of concurrent groups time-share the hardware instead of
+ * permanently degrading to the software fallback.
+ *
+ * Ping-pong pairs swap atomically as a group: the two filters' arrival and
+ * exit line groups cross over, so one resident half would misread the
+ * other's invalidations as misuse.
+ *
+ * Virtual-context FSM (see docs/ROBUSTNESS.md section 9):
+ *
+ *          createGroup                     faultIn / ensureResident
+ *   (free physical filter)   RESIDENT  <-------------------------  SAVED
+ *            |                  |  ^                                 ^
+ *            v                  |  |                                 |
+ *         RESIDENT              |  +---------------------------------+
+ *                               |        evicted as LRU victim
+ *                               v
+ *                           DESTROYED (releaseBarrier)
+ */
+
+#ifndef BFSIM_OS_FILTER_VIRT_HH
+#define BFSIM_OS_FILTER_VIRT_HH
+
+#include <vector>
+
+#include "filter/barrier_filter.hh"
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class CmpSystem;
+class JsonWriter;
+
+class FilterVirtualizer : public FilterResidencyAgent
+{
+  public:
+    explicit FilterVirtualizer(CmpSystem &sys);
+
+    /**
+     * Register a managed group of @p count contexts (1 or 2) homed on
+     * @p bank. The group starts resident when enough physical filters are
+     * free, swapped out otherwise; either way registration succeeds.
+     * @return the group id.
+     */
+    int createGroup(unsigned bank, const BarrierFilter::AddressMap *maps,
+                    unsigned count);
+
+    /** Release the group's filters / context-table entry for good. */
+    void destroyGroup(int id);
+
+    /**
+     * Physical filter currently holding context @p which of group @p id,
+     * or nullptr while the group is swapped out.
+     */
+    BarrierFilter *filterOf(int id, unsigned which);
+
+    bool resident(int id) const { return groups.at(size_t(id)).isResident; }
+
+    /** Swap the group in now, evicting LRU victims as needed. */
+    void ensureResident(int id);
+
+    /**
+     * Poison every context of the group wherever it lives: resident
+     * contexts through the FilterBank poison path, swapped-out contexts
+     * by marking the saved state and error-nacking its withheld fills
+     * (which live in the context table, not in any filter).
+     */
+    void poisonGroup(int id);
+
+    bool groupPoisoned(int id) const;
+
+    unsigned groupBank(int id) const { return groups.at(size_t(id)).bank; }
+
+    /** Managed groups (alive) homed on @p bank. */
+    unsigned managedOnBank(unsigned bank) const;
+
+    /** Total swap-ins performed (context-table -> physical filter). */
+    uint64_t swapInCount() const { return swapIns; }
+
+    // ----- FilterResidencyAgent ---------------------------------------------
+
+    bool ownsLine(unsigned bank, Addr lineAddr) const override;
+    void faultIn(unsigned bank, Addr lineAddr) override;
+    void touch(unsigned bank, Addr lineAddr) override;
+
+    /**
+     * Serialize the context table (saved states of swapped-out groups,
+     * residency and LRU bookkeeping) — part of the machine's architectural
+     * state: a checkpoint taken mid-swap must restore bit-identically.
+     */
+    void serializeState(JsonWriter &jw) const;
+
+  private:
+    struct VirtGroup
+    {
+        unsigned bank = 0;
+        unsigned size = 0;  ///< contexts: 1 entry/exit, 2 ping-pong
+        bool alive = false;
+        bool isResident = false;
+        BarrierFilter::AddressMap maps[2];
+        BarrierFilter *phys[2] = {nullptr, nullptr};
+        BarrierFilter::SavedState saved[2];
+        Tick lastUse = 0;
+    };
+
+    int ownerOf(unsigned bank, Addr lineAddr) const;
+    void swapOut(int id);
+    void swapIn(int id);
+    void evictVictim(unsigned bank, int exceptId);
+    static bool mapCovers(const BarrierFilter::AddressMap &m, Addr lineAddr);
+
+    CmpSystem &sys;
+    std::vector<VirtGroup> groups;
+    uint64_t swapIns = 0;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_OS_FILTER_VIRT_HH

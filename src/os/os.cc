@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "isa/builder.hh"
+#include "os/filter_virt.hh"
 #include "sim/hash.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
@@ -22,6 +23,11 @@ namespace
 {
 
 // Virtual address layout (virtual == physical; no translation modelled).
+// How often the core-loss repair machinery re-checks a degraded group for
+// the quiescent stuck state it can operate on. Two consecutive stable
+// sweeps are required, so the repair latency is bounded by ~3 periods.
+constexpr Tick repairSweepPeriod = 2048;
+
 constexpr Addr codeRegionBase = 0x0010'0000;
 // 64 KiB per thread, skewed by one line: a power-of-two stride would put
 // every thread's code base into the same L2 bank and set (page-coloring
@@ -93,7 +99,11 @@ Os::Os(CmpSystem &s)
     : sys(s), filterRegionNext(filterRegionBase),
       syncRegionNext(syncRegionBase), dataRegionNext(dataRegionBase)
 {
+    if (sys.config().filterVirtual)
+        virt = std::make_unique<FilterVirtualizer>(sys);
 }
+
+Os::~Os() = default;
 
 void
 Os::resetAllocators()
@@ -103,6 +113,11 @@ Os::resetAllocators()
     dataRegionNext = dataRegionBase;
     recoverySpans.clear();
     recoveryRecords.clear();
+    for (auto &g : groupRecords) {
+        if (!g.released && g.virtGroupId >= 0 && virt)
+            virt->destroyGroup(g.virtGroupId);
+    }
+    groupRecords.clear();
 }
 
 // ----- threads ---------------------------------------------------------------------
@@ -202,30 +217,77 @@ Os::allocFilterGroup(unsigned numThreads, unsigned bank, Addr strideBytes)
 }
 
 BarrierHandle
-Os::registerBarrier(BarrierKind kind, unsigned numThreads)
+Os::registerBarrier(BarrierKind kind, unsigned numThreads,
+                    unsigned maxThreads)
 {
     if (numThreads == 0 || numThreads > sys.numCores())
         fatal("Os: barrier thread count out of range");
+    const unsigned capacity = maxThreads ? maxThreads : numThreads;
+    if (capacity < numThreads || capacity > 64)
+        fatal("Os: barrier slot capacity out of range");
+    if (capacity != numThreads && !isFilterKind(kind))
+        fatal("Os: membership headroom requires a filter-backed kind");
 
     BarrierHandle h;
     h.requested = kind;
     h.granted = kind;
     h.numThreads = numThreads;
+    h.capacity = capacity == numThreads ? 0 : capacity;
     h.lineBytes = sys.config().lineBytes;
 
     const unsigned wantFilters =
         (kind == BarrierKind::FilterICachePP ||
          kind == BarrierKind::FilterDCachePP) ? 2
         : isFilterKind(kind) ? 1 : 0;
+    if (wantFilters == 2 && capacity != numThreads)
+        fatal("Os: ping-pong groups are fixed-size (no membership headroom)");
 
     if (wantFilters > 0) {
-        // Find a bank with enough free filters; fall back to software if
-        // none (Section 3.3.1).
         int bank = -1;
-        for (unsigned b = 0; b < sys.numBanks(); ++b) {
-            if (sys.filterBank(b).freeFilters() >= wantFilters) {
-                bank = int(b);
-                break;
+        bool degradedBirth = false;
+        if (virt) {
+            // Virtualized: registration always succeeds. Home the group
+            // on the bank with the most free filters, breaking ties toward
+            // the fewest managed groups, to spread the swap pressure.
+            for (unsigned b = 0; b < sys.numBanks(); ++b) {
+                if (sys.filterBank(b).capacity() < wantFilters)
+                    continue;
+                if (bank < 0) {
+                    bank = int(b);
+                    continue;
+                }
+                const unsigned bf = sys.filterBank(b).freeFilters();
+                const unsigned cf =
+                    sys.filterBank(unsigned(bank)).freeFilters();
+                if (bf > cf ||
+                    (bf == cf && virt->managedOnBank(b) <
+                                     virt->managedOnBank(unsigned(bank))))
+                    bank = int(b);
+            }
+            // bank < 0 here is a structural limit, not exhaustion: no
+            // bank's filter capacity can ever hold this group (e.g. a
+            // ping-pong pair with one filter per bank). Fall through to
+            // the software-central grant below.
+            if (bank < 0)
+                warn("os: no bank can ever hold a " +
+                     std::to_string(wantFilters) +
+                     "-filter group; granting sw-central");
+        } else {
+            // Find a bank with enough free filters (Section 3.3.1).
+            for (unsigned b = 0; b < sys.numBanks(); ++b) {
+                if (sys.filterBank(b).freeFilters() >= wantFilters) {
+                    bank = int(b);
+                    break;
+                }
+            }
+            if (bank < 0 && sys.config().filterRecovery &&
+                sys.config().filterReacquireInterval > 0) {
+                // Exhaustion no longer demotes for good: grant a
+                // degraded-from-birth filter barrier (mode word pre-set,
+                // every invocation takes the software fallback) and let
+                // the reacquire sweep claim hardware when filters free up.
+                bank = int(groupRecords.size() % sys.numBanks());
+                degradedBirth = true;
             }
         }
         if (bank < 0) {
@@ -234,24 +296,36 @@ Os::registerBarrier(BarrierKind kind, unsigned numThreads)
         } else {
             h.bank = unsigned(bank);
             h.strideBytes = Addr(sys.numBanks()) * sys.config().lineBytes;
+
+            GroupRecord g;
+            g.kind = kind;
+            g.bank = h.bank;
+            g.size = wantFilters;
+            g.capacity = capacity;
+            g.initialMembers = numThreads;
+            g.fromBirthDegraded = degradedBirth;
+            g.slotTids.assign(capacity, ThreadId(-1));
+            g.slotDead.assign(capacity, false);
+
             if (wantFilters == 1) {
                 h.arrivalBase[0] =
-                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                    allocFilterGroup(capacity, h.bank, h.strideBytes);
                 h.exitBase[0] =
-                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                    allocFilterGroup(capacity, h.bank, h.strideBytes);
                 BarrierFilter::AddressMap m;
                 m.arrivalBase = h.arrivalBase[0];
                 m.exitBase = h.exitBase[0];
                 m.strideBytes = h.strideBytes;
-                m.numThreads = numThreads;
-                h.filters[0] = sys.filterBank(h.bank).allocate(m);
+                m.numThreads = capacity;
+                m.initialMembers = numThreads;
+                g.maps[0] = m;
             } else {
                 // Ping-pong: two groups; each barrier's exit lines are the
                 // other's arrival lines (Section 3.5).
                 h.arrivalBase[0] =
-                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                    allocFilterGroup(capacity, h.bank, h.strideBytes);
                 h.arrivalBase[1] =
-                    allocFilterGroup(numThreads, h.bank, h.strideBytes);
+                    allocFilterGroup(capacity, h.bank, h.strideBytes);
                 h.exitBase[0] = h.arrivalBase[1];
                 h.exitBase[1] = h.arrivalBase[0];
 
@@ -259,8 +333,8 @@ Os::registerBarrier(BarrierKind kind, unsigned numThreads)
                 m0.arrivalBase = h.arrivalBase[0];
                 m0.exitBase = h.exitBase[0];
                 m0.strideBytes = h.strideBytes;
-                m0.numThreads = numThreads;
-                h.filters[0] = sys.filterBank(h.bank).allocate(m0);
+                m0.numThreads = capacity;
+                g.maps[0] = m0;
 
                 BarrierFilter::AddressMap m1 = m0;
                 m1.arrivalBase = h.arrivalBase[1];
@@ -268,23 +342,60 @@ Os::registerBarrier(BarrierKind kind, unsigned numThreads)
                 // The second barrier starts as if just released so the
                 // first invocation's invalidation reads as its exit.
                 m1.startServicing = true;
-                h.filters[1] = sys.filterBank(h.bank).allocate(m1);
+                g.maps[1] = m1;
             }
+
+            if (degradedBirth) {
+                // No filters yet; tryReacquire allocates them later.
+            } else if (virt) {
+                g.virtGroupId = virt->createGroup(h.bank, g.maps,
+                                                  wantFilters);
+                for (unsigned i = 0; i < wantFilters; ++i)
+                    h.filters[i] = virt->filterOf(g.virtGroupId, i);
+            } else {
+                for (unsigned i = 0; i < wantFilters; ++i) {
+                    g.direct[i] = sys.filterBank(h.bank).allocate(g.maps[i]);
+                    h.filters[i] = g.direct[i];
+                }
+            }
+
             if (sys.config().filterRecovery) {
-                // Fallback plumbing: mode word + a sense-reversal
-                // counter/flag the emitted sequence can degrade onto.
+                // Fallback plumbing: mode word, sense-reversal
+                // counter/flag, live member-count cell, and per-slot
+                // progress cells for core-loss repair.
                 h.modeAddr = allocSync(h.lineBytes);
                 h.fbCounterAddr = allocSync(h.lineBytes);
                 h.fbFlagAddr = allocSync(h.lineBytes);
+                h.memberCountAddr = allocSync(h.lineBytes);
+                h.progressBase =
+                    allocSync(uint64_t(capacity) * h.lineBytes);
+                sys.mem.write64(h.memberCountAddr, numThreads);
                 RecoveryRecord rec;
                 rec.modeAddr = h.modeAddr;
                 rec.bank = h.bank;
                 rec.filters[0] = h.filters[0];
                 rec.filters[1] = h.filters[1];
+                rec.virtGroupId = g.virtGroupId;
+                rec.degraded = degradedBirth;
+                if (degradedBirth) {
+                    sys.mem.write64(h.modeAddr, 1);
+                    ++sys.statistics().counter("os.barrierBirthDegraded");
+                }
                 h.recoveryId = int(recoveryRecords.size());
                 recoveryRecords.push_back(rec);
                 h.owner = this;
             }
+
+            g.memberCountAddr = h.memberCountAddr;
+            g.progressBase = h.progressBase;
+            g.modeAddr = h.modeAddr;
+            g.fbCounterAddr = h.fbCounterAddr;
+            g.fbFlagAddr = h.fbFlagAddr;
+            g.recoveryId = h.recoveryId;
+            h.groupId = int(groupRecords.size());
+            groupRecords.push_back(std::move(g));
+            if (degradedBirth)
+                scheduleReacquireSweep();
             return h;
         }
     }
@@ -311,7 +422,24 @@ Os::registerBarrier(BarrierKind kind, unsigned numThreads)
 void
 Os::releaseBarrier(BarrierHandle &h)
 {
-    if (isFilterKind(h.granted)) {
+    if (h.groupId >= 0) {
+        GroupRecord &g = groupRecords.at(size_t(h.groupId));
+        if (!g.released) {
+            if (g.virtGroupId >= 0 && virt) {
+                virt->destroyGroup(g.virtGroupId);
+            } else {
+                for (auto *&f : g.direct) {
+                    if (f) {
+                        sys.filterBank(g.bank).release(f);
+                        f = nullptr;
+                    }
+                }
+            }
+            g.released = true;
+        }
+        h.filters[0] = nullptr;
+        h.filters[1] = nullptr;
+    } else if (isFilterKind(h.granted)) {
         for (auto *&f : h.filters) {
             if (f) {
                 sys.filterBank(h.bank).release(f);
@@ -329,7 +457,439 @@ Os::releaseBarrier(BarrierHandle &h)
         auto &rec = recoveryRecords.at(size_t(h.recoveryId));
         rec.filters[0] = nullptr;
         rec.filters[1] = nullptr;
+        rec.virtGroupId = -1;
     }
+}
+
+// ----- dynamic membership ----------------------------------------------------------
+
+BarrierFilter *
+Os::residentFilter(GroupRecord &g, unsigned which)
+{
+    if (g.virtGroupId >= 0 && virt) {
+        virt->ensureResident(g.virtGroupId);
+        return virt->filterOf(g.virtGroupId, which);
+    }
+    return g.direct[which];
+}
+
+bool
+Os::groupDegraded(const GroupRecord &g) const
+{
+    if (g.fromBirthDegraded)
+        return true;
+    return g.recoveryId >= 0 &&
+           recoveryRecords.at(size_t(g.recoveryId)).degraded;
+}
+
+void
+Os::poisonGroup(GroupRecord &g)
+{
+    if (g.virtGroupId >= 0 && virt) {
+        virt->poisonGroup(g.virtGroupId);
+        return;
+    }
+    for (auto *f : g.direct) {
+        if (f)
+            sys.filterBank(g.bank).poison(*f);
+    }
+}
+
+Os::GroupRecord *
+Os::membershipTarget(const BarrierHandle &h, unsigned slot, const char *op)
+{
+    if (h.groupId < 0)
+        fatal(std::string("Os: ") + op +
+              " on a barrier without a filter group");
+    GroupRecord &g = groupRecords.at(size_t(h.groupId));
+    if (g.released)
+        fatal(std::string("Os: ") + op + " on a released barrier");
+    if (g.size != 1)
+        fatal(std::string("Os: ") + op +
+              " is entry/exit only (ping-pong groups are fixed)");
+    if (slot >= g.capacity)
+        fatal(std::string("Os: ") + op + " slot out of range");
+    if (groupDegraded(g)) {
+        // The group runs on the software fallback; its membership is
+        // frozen at the last commit the count cell saw.
+        warn(std::string("os: ") + op +
+             " ignored on a degraded barrier group");
+        ++sys.statistics().counter("os.membershipOnDegraded");
+        return nullptr;
+    }
+    return &g;
+}
+
+void
+Os::joinBarrier(const BarrierHandle &h, unsigned slot)
+{
+    GroupRecord *g = membershipTarget(h, slot, "joinBarrier");
+    if (!g)
+        return;
+    sys.filterBank(g->bank).proposeJoin(*residentFilter(*g, 0), slot);
+}
+
+void
+Os::leaveBarrier(const BarrierHandle &h, unsigned slot)
+{
+    GroupRecord *g = membershipTarget(h, slot, "leaveBarrier");
+    if (!g)
+        return;
+    sys.filterBank(g->bank).proposeLeave(*residentFilter(*g, 0), slot);
+}
+
+void
+Os::autoLeaveBarrier(const BarrierHandle &h, unsigned slot,
+                     uint32_t arrivals)
+{
+    GroupRecord *g = membershipTarget(h, slot, "autoLeaveBarrier");
+    if (!g)
+        return;
+    sys.filterBank(g->bank).setAutoLeave(*residentFilter(*g, 0), slot,
+                                         arrivals);
+}
+
+void
+Os::bindBarrierSlot(const BarrierHandle &h, unsigned slot, ThreadId tid)
+{
+    if (h.groupId < 0)
+        return;  // nothing to track for non-filter grants
+    GroupRecord &g = groupRecords.at(size_t(h.groupId));
+    if (slot >= g.capacity)
+        fatal("Os: bindBarrierSlot slot out of range");
+    g.slotTids[slot] = tid;
+}
+
+void
+Os::membershipCommitted(BarrierFilter &f, unsigned members)
+{
+    for (auto &g : groupRecords) {
+        if (g.released)
+            continue;
+        bool match = false;
+        for (unsigned c = 0; c < g.size && !match; ++c) {
+            BarrierFilter *p = (g.virtGroupId >= 0 && virt)
+                                   ? virt->filterOf(g.virtGroupId, c)
+                                   : g.direct[c];
+            match = p == &f;
+        }
+        if (!match)
+            continue;
+        if (g.memberCountAddr)
+            sys.mem.write64(g.memberCountAddr, members);
+        return;
+    }
+}
+
+BarrierFilter *
+Os::groupFilter(const BarrierHandle &h, unsigned which)
+{
+    if (h.groupId < 0)
+        return which < 2 ? h.filters[which] : nullptr;
+    GroupRecord &g = groupRecords.at(size_t(h.groupId));
+    if (g.released || which >= g.size)
+        return nullptr;
+    if (g.virtGroupId >= 0 && virt)
+        return virt->filterOf(g.virtGroupId, which);
+    return g.direct[which];
+}
+
+// ----- core-loss repair ------------------------------------------------------------
+
+void
+Os::onCoreKilled(CoreId core, ThreadId tid)
+{
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os: core " << core << " lost (tid " << tid
+                            << "); starting barrier-group repair");
+    (void)core;
+    (void)tid;
+    repairSweepOnce();
+}
+
+bool
+Os::repairAfterCoreLoss()
+{
+    return repairSweepOnce();
+}
+
+bool
+Os::repairSweepOnce()
+{
+    bool acted = false;
+    bool pending = false;
+    for (auto &g : groupRecords) {
+        if (g.released)
+            continue;
+        for (unsigned s = 0; s < unsigned(g.slotTids.size()); ++s) {
+            const ThreadId tid = g.slotTids[s];
+            if (tid < 0 || g.slotDead[s])
+                continue;
+            if (size_t(tid) >= threads.size() ||
+                !threads[size_t(tid)]->killed)
+                continue;
+            g.slotDead[s] = true;
+            if (repairDeadSlot(g, s))
+                acted = true;
+        }
+        if (g.awaitingSurgery && attemptSurgery(g))
+            acted = true;
+        pending = pending || g.awaitingSurgery;
+    }
+    if (pending)
+        scheduleRepairSweep();
+    return acted;
+}
+
+bool
+Os::repairDeadSlot(GroupRecord &g, unsigned slot)
+{
+    if (!groupDegraded(g)) {
+        if (g.size == 1) {
+            // Entry/exit group still on the filter path: the filter
+            // forcibly removes the member (nacking its withheld fill) and
+            // the membership handler shrinks the fallback count cell.
+            BarrierFilter *f = residentFilter(g, 0);
+            if (!f || !f->slotActive(slot))
+                return false;
+            sys.filterBank(g.bank).forceLeave(*f, slot);
+            ++sys.statistics().counter("os.repair.forcedLeaves");
+            return true;
+        }
+        // Ping-pong: the crossed line groups admit no per-slot removal,
+        // so take the Section 3.3.4 arc instead — degrade to software,
+        // poison both filters (blocked survivors get error fills, trap,
+        // and are rewound into the fallback invocation), and shrink the
+        // count cell. The shrink is safe immediately: no thread has run a
+        // fallback invocation of this barrier yet, so every survivor
+        // reads the new count on its first fallback arrival.
+        if (g.recoveryId < 0) {
+            warn("os: core loss in an unguarded ping-pong group; cannot "
+                 "repair (enable filterRecovery)");
+            return false;
+        }
+        RecoveryRecord &rec = recoveryRecords.at(size_t(g.recoveryId));
+        rec.degraded = true;
+        sys.mem.write64(rec.modeAddr, 1);
+        poisonGroup(g);
+        if (g.memberCountAddr)
+            sys.mem.write64(g.memberCountAddr, liveActiveCount(g));
+        ++sys.statistics().counter("os.barrierRecoveries");
+        ++sys.statistics().counter("os.repair.replayedEpochs");
+        warn("os: ping-pong group lost a member; replaying epoch on the "
+             "software fallback with " +
+             std::to_string(liveActiveCount(g)) + " members");
+        return true;
+    }
+    // Already degraded: the dead member may be mid-way through a fallback
+    // epoch. Epoch surgery must wait for the survivors to reach their
+    // quiescent stuck state.
+    if (!g.memberCountAddr || !g.progressBase) {
+        warn("os: degraded group lost a member but has no repair cells");
+        return false;
+    }
+    g.awaitingSurgery = true;
+    g.lastStuck = false;
+    scheduleRepairSweep();
+    return false;
+}
+
+unsigned
+Os::liveActiveCount(GroupRecord &g)
+{
+    unsigned n = 0;
+    for (unsigned s = 0; s < g.capacity; ++s) {
+        bool active;
+        if (g.fromBirthDegraded || (g.virtGroupId < 0 && !g.direct[0])) {
+            // No filter to ask; degraded-group membership is frozen.
+            active = s < g.initialMembers;
+        } else {
+            BarrierFilter *f = residentFilter(g, 0);
+            active = f && f->slotActive(s);
+        }
+        if (!active)
+            continue;
+        const ThreadId tid = g.slotTids[s];
+        const bool dead = tid >= 0 && size_t(tid) < threads.size() &&
+                          threads[size_t(tid)]->killed;
+        if (!dead)
+            ++n;
+    }
+    return n;
+}
+
+bool
+Os::attemptSurgery(GroupRecord &g)
+{
+    const unsigned newCount = liveActiveCount(g);
+    if (newCount == 0) {
+        // Nobody left alive; nothing waits on this barrier any more.
+        sys.mem.write64(g.memberCountAddr, 0);
+        g.awaitingSurgery = false;
+        return true;
+    }
+    // Quiescence: every surviving member parked inside a fallback
+    // invocation (odd progress cell) and the arrival counter at or past
+    // the survivors' total — the three stuck shapes (dead never arrived,
+    // died mid-completion, or arrived then died before the next epoch)
+    // all end here. Require the same picture across two consecutive
+    // sweeps so a still-running epoch is never operated on.
+    const uint64_t counter = sys.mem.read64(g.fbCounterAddr);
+    const uint64_t flag = sys.mem.read64(g.fbFlagAddr);
+    bool parked = counter >= newCount;
+    for (unsigned s = 0; s < g.capacity && parked; ++s) {
+        bool active;
+        if (g.fromBirthDegraded || (g.virtGroupId < 0 && !g.direct[0])) {
+            active = s < g.initialMembers;
+        } else {
+            BarrierFilter *f = residentFilter(g, 0);
+            active = f && f->slotActive(s);
+        }
+        const ThreadId tid = g.slotTids[s];
+        const bool dead = tid >= 0 && size_t(tid) < threads.size() &&
+                          threads[size_t(tid)]->killed;
+        if (dead || !active)
+            continue;
+        parked = (sys.mem.read64(g.progressBase +
+                                 Addr(s) * sys.config().lineBytes) &
+                  1) != 0;
+    }
+    const bool stable = parked && g.lastStuck &&
+                        counter == g.lastCounter && flag == g.lastFlag;
+    g.lastCounter = counter;
+    g.lastFlag = flag;
+    g.lastStuck = parked;
+    if (!stable)
+        return false;
+    // Complete the stuck epoch by hand: reset the counter, flip the flag
+    // (releasing the parked survivors), and shrink the arrival target so
+    // every later epoch runs at the surviving member count.
+    sys.mem.write64(g.fbCounterAddr, 0);
+    sys.mem.write64(g.fbFlagAddr, flag ^ 1);
+    sys.mem.write64(g.memberCountAddr, newCount);
+    g.awaitingSurgery = false;
+    g.lastStuck = false;
+    ++sys.statistics().counter("os.repair.fallbackSurgeries");
+    warn("os: completed a dead member's fallback epoch by hand; group "
+         "continues with " + std::to_string(newCount) + " members");
+    return true;
+}
+
+void
+Os::scheduleRepairSweep()
+{
+    if (repairSweepScheduled)
+        return;
+    repairSweepScheduled = true;
+    sys.eventQueue().schedule(repairSweepPeriod, [this] {
+        repairSweepScheduled = false;
+        repairSweepOnce();
+    });
+}
+
+// ----- filter re-acquisition -------------------------------------------------------
+
+void
+Os::scheduleReacquireSweep()
+{
+    if (reacquireSweepScheduled)
+        return;
+    const Tick period = sys.config().filterReacquireInterval;
+    if (period == 0)
+        return;
+    reacquireSweepScheduled = true;
+    sys.eventQueue().schedule(period, [this] {
+        reacquireSweepScheduled = false;
+        reacquireSweep();
+    });
+}
+
+void
+Os::reacquireSweep()
+{
+    bool pending = false;
+    for (auto &g : groupRecords) {
+        if (g.released || !g.fromBirthDegraded)
+            continue;
+        // A group that lost a member stays on the fallback: reacquiring
+        // from the at-birth maps would resurrect the dead slot.
+        bool lostMember = false;
+        for (bool d : g.slotDead)
+            lostMember = lostMember || d;
+        if (lostMember)
+            continue;
+        if (!tryReacquire(g))
+            pending = true;
+    }
+    if (pending)
+        scheduleReacquireSweep();
+}
+
+bool
+Os::tryReacquire(GroupRecord &g)
+{
+    // The line addresses were laid out for this bank at registration, so
+    // only its own bank can back the group.
+    if (sys.filterBank(g.bank).freeFilters() < g.size)
+        return false;
+    // Safe only between invocations: no live thread executing inside the
+    // group's guarded span, and no partially-arrived fallback epoch. The
+    // group has never run on hardware (degraded from birth), so the
+    // at-birth maps and filter states are exactly right.
+    if (sys.mem.read64(g.fbCounterAddr) != 0)
+        return false;
+    for (const auto &tp : threads) {
+        const ThreadContext *t = tp.get();
+        if (t->halted || t->killed)
+            continue;
+        for (const auto &s : recoverySpans) {
+            if (s.recoveryId == g.recoveryId && t->pc >= s.begin &&
+                t->pc < s.end)
+                return false;
+        }
+    }
+    for (unsigned i = 0; i < g.size; ++i) {
+        g.direct[i] = sys.filterBank(g.bank).allocate(g.maps[i]);
+        if (!g.direct[i])
+            panic("Os: filter vanished during reacquire");
+    }
+    RecoveryRecord &rec = recoveryRecords.at(size_t(g.recoveryId));
+    rec.filters[0] = g.direct[0];
+    rec.filters[1] = g.direct[1];
+    rec.degraded = false;
+    sys.mem.write64(rec.modeAddr, 0);
+    g.fromBirthDegraded = false;
+    ++sys.statistics().counter("os.barrierReacquires");
+    BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
+                "os: exhausted barrier group reacquired " << g.size
+                << " hardware filter(s) on bank " << g.bank);
+    return true;
+}
+
+void
+Os::serializeGroups(JsonWriter &jw) const
+{
+    jw.beginArray();
+    for (size_t i = 0; i < groupRecords.size(); ++i) {
+        const GroupRecord &g = groupRecords[i];
+        jw.beginObject();
+        jw.kv("id", uint64_t(i));
+        jw.kv("kind", barrierKindName(g.kind));
+        jw.kv("bank", g.bank);
+        jw.kv("size", g.size);
+        jw.kv("capacity", g.capacity);
+        jw.kv("virtGroup", int64_t(g.virtGroupId));
+        jw.kv("released", g.released);
+        jw.kv("degraded", groupDegraded(g));
+        jw.kv("fromBirthDegraded", g.fromBirthDegraded);
+        jw.kv("awaitingSurgery", g.awaitingSurgery);
+        uint64_t deadMask = 0;
+        for (unsigned s = 0; s < unsigned(g.slotDead.size()) && s < 64; ++s)
+            deadMask |= g.slotDead[s] ? (uint64_t(1) << s) : 0;
+        jw.kv("deadMask", deadMask);
+        jw.end();
+    }
+    jw.end();
 }
 
 // ----- filter error recovery -------------------------------------------------------
@@ -368,9 +928,15 @@ Os::handleBarrierFault(ThreadContext *t, Addr faultPc, bool isFetch)
         // The mode word is read at issue from functional memory, so the
         // flip is visible to every thread's next prologue load at once.
         sys.mem.write64(rec.modeAddr, 1);
-        for (auto *f : rec.filters) {
-            if (f)
-                sys.filterBank(rec.bank).poison(*f);
+        if (rec.virtGroupId >= 0 && virt) {
+            // The group's contexts may be swapped out; the virtualizer
+            // poisons them wherever they live.
+            virt->poisonGroup(rec.virtGroupId);
+        } else {
+            for (auto *f : rec.filters) {
+                if (f)
+                    sys.filterBank(rec.bank).poison(*f);
+            }
         }
         ++sys.statistics().counter("os.barrierRecoveries");
         warn("os: barrier fault (tid " + std::to_string(t->tid) +

@@ -13,13 +13,14 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "filter/barrier_filter.hh"
 #include "sim/types.hh"
 
 namespace bfsim
 {
 
 class CmpSystem;
-class BarrierFilter;
+class FilterVirtualizer;
 class Os;
 
 /** The barrier mechanisms the runtime library can emit. */
@@ -50,8 +51,17 @@ struct BarrierHandle
 {
     BarrierKind requested = BarrierKind::SwCentral;
     BarrierKind granted = BarrierKind::SwCentral;
-    unsigned numThreads = 0;
+    unsigned numThreads = 0;  ///< initial member count
     unsigned lineBytes = 64;
+    /**
+     * Slot capacity when it exceeds the initial member count (dynamic
+     * membership headroom): line groups are allocated for this many
+     * slots, of which the first numThreads start active. 0 means
+     * capacity == numThreads (the fixed-group default).
+     */
+    unsigned capacity = 0;
+    /** OS group record index for filter-granted barriers (-1 otherwise). */
+    int groupId = -1;
 
     // Filter-backed kinds. Ping-pong registers two barriers whose arrival
     // and exit groups cross over; entry/exit kinds use index 0 only.
@@ -78,8 +88,29 @@ struct BarrierHandle
     Addr modeAddr = 0;
     Addr fbCounterAddr = 0;
     Addr fbFlagAddr = 0;
+    /**
+     * Live member count cell: the fallback sequence loads its arrival
+     * target from here (instead of an immediate) so membership commits
+     * and core-loss repair reach the software path too. The OS keeps it
+     * current through the FilterBank membership handler.
+     */
+    Addr memberCountAddr = 0;
+    /**
+     * Per-slot fallback progress cells (one line each): odd while the
+     * slot is inside a fallback barrier invocation, even outside. The
+     * core-loss repair uses them to find the quiescent stuck state of a
+     * degraded group before completing its epoch by hand.
+     */
+    Addr progressBase = 0;
     int recoveryId = -1;
     Os *owner = nullptr;
+
+    unsigned slotCapacity() const { return capacity ? capacity : numThreads; }
+
+    Addr progressAddr(unsigned slot) const
+    {
+        return progressBase + Addr(slot) * lineBytes;
+    }
 
     Addr arrivalAddr(int which, unsigned slot) const
     {
@@ -107,6 +138,7 @@ class Os
 {
   public:
     explicit Os(CmpSystem &sys);
+    ~Os();
 
     // ----- threads -----------------------------------------------------------
 
@@ -129,15 +161,80 @@ class Os
     // ----- barriers -----------------------------------------------------------
 
     /**
-     * Register a barrier for @p numThreads threads (Section 3.3.1). A
-     * filter-backed request falls back to the software centralized
-     * barrier when no filter (or pair, for ping-pong) is free — check
-     * handle.granted.
+     * Register a barrier for @p numThreads threads (Section 3.3.1).
+     * Without filter virtualization, a filter-backed request falls back
+     * when no filter (or pair, for ping-pong) is free — check
+     * handle.granted: to the software centralized barrier by default, or
+     * (under filterRecovery with a reacquire interval) to a
+     * degraded-from-birth filter grant that the OS periodically
+     * re-attempts to back with hardware. With cfg.filterVirtual, filter
+     * requests always succeed: the group becomes an OS-managed virtual
+     * context that time-shares the physical filters.
+     *
+     * @p maxThreads, when nonzero, reserves slot capacity beyond the
+     * initial member count for later joinBarrier calls (entry/exit
+     * filter kinds only).
      */
-    BarrierHandle registerBarrier(BarrierKind kind, unsigned numThreads);
+    BarrierHandle registerBarrier(BarrierKind kind, unsigned numThreads,
+                                  unsigned maxThreads = 0);
 
     /** Swap a barrier out, freeing its filter(s) (Section 3.3.3). */
     void releaseBarrier(BarrierHandle &handle);
+
+    // ----- dynamic membership -------------------------------------------------
+
+    /**
+     * Propose bringing @p slot into the live group; the join commits at
+     * the next release boundary (two-phase update: no epoch mixes member
+     * counts). Entry/exit filter kinds only.
+     */
+    void joinBarrier(const BarrierHandle &h, unsigned slot);
+
+    /** Propose removing @p slot; commits at the next release boundary. */
+    void leaveBarrier(const BarrierHandle &h, unsigned slot);
+
+    /**
+     * Arm an automatic leave after @p arrivals more arrivals of @p slot
+     * (the propose-at-arrival half happens in the filter hardware).
+     */
+    void autoLeaveBarrier(const BarrierHandle &h, unsigned slot,
+                          uint32_t arrivals);
+
+    /**
+     * Tell the OS which thread occupies @p slot of this barrier, so
+     * core-loss repair can attribute a died thread to its group slot.
+     */
+    void bindBarrierSlot(const BarrierHandle &h, unsigned slot, ThreadId tid);
+
+    // ----- virtualization / core-loss repair ----------------------------------
+
+    /** The filter virtualizer (null unless cfg.filterVirtual). */
+    FilterVirtualizer *virtualizer() { return virt.get(); }
+
+    /**
+     * Current physical filter backing context @p which of this barrier:
+     * the direct filter, or the virtual group's resident filter (null
+     * while swapped out).
+     */
+    BarrierFilter *groupFilter(const BarrierHandle &h, unsigned which);
+
+    /**
+     * CmpSystem::killCore notification: a core was permanently offlined
+     * with @p tid aboard. Starts the repair machinery (immediate sweep
+     * plus periodic re-sweeps until every affected group is whole again).
+     */
+    void onCoreKilled(CoreId core, ThreadId tid);
+
+    /**
+     * One repair sweep, also called by the watchdog before it declares a
+     * hang: shrink groups whose bound members died (in-filter forced
+     * leave for entry/exit groups; the Section 3.3.4 recovery arc —
+     * poison, mode flip, software replay of the poisoned epoch — for
+     * ping-pong groups), and complete the stuck fallback epoch of
+     * already-degraded groups once they reach quiescence.
+     * @return true when any repair action was taken.
+     */
+    bool repairAfterCoreLoss();
 
     // ----- filter error recovery ---------------------------------------------
 
@@ -186,7 +283,16 @@ class Os
     /** Reset bump allocators and barrier bookkeeping (fresh workload). */
     void resetAllocators();
 
+    /**
+     * Serialize membership/repair bookkeeping that is architectural state
+     * (group records with dead-slot masks and pending repairs), for
+     * checkpoints.
+     */
+    void serializeGroups(JsonWriter &jw) const;
+
   private:
+    friend class CmpSystem;
+
     /** Allocate one arrival/exit line group on bank @p bank. */
     Addr allocFilterGroup(unsigned numThreads, unsigned bank,
                           Addr strideBytes);
@@ -205,13 +311,69 @@ class Os
         Addr modeAddr = 0;
         unsigned bank = 0;
         BarrierFilter *filters[2] = {nullptr, nullptr};
+        int virtGroupId = -1;  ///< poison via the virtualizer when >= 0
         bool degraded = false;
     };
+
+    /** OS bookkeeping for one filter-granted barrier group. */
+    struct GroupRecord
+    {
+        BarrierKind kind = BarrierKind::SwCentral;
+        unsigned bank = 0;
+        unsigned size = 0;  ///< physical contexts (1 entry/exit, 2 PP)
+        int virtGroupId = -1;
+        BarrierFilter *direct[2] = {nullptr, nullptr};
+        BarrierFilter::AddressMap maps[2];
+        unsigned capacity = 0;
+        unsigned initialMembers = 0;  ///< members at registration
+        Addr memberCountAddr = 0;
+        Addr progressBase = 0;
+        Addr modeAddr = 0;
+        Addr fbCounterAddr = 0;
+        Addr fbFlagAddr = 0;
+        int recoveryId = -1;
+        std::vector<ThreadId> slotTids;  ///< -1 = unbound
+        std::vector<bool> slotDead;      ///< repair already processed
+        bool released = false;
+        /** Exhaustion grant awaiting hardware re-acquisition. */
+        bool fromBirthDegraded = false;
+        /** Degraded group lost a member; epoch surgery pending. */
+        bool awaitingSurgery = false;
+        // Two-sweep stability check for the surgery quiescence decision.
+        uint64_t lastCounter = 0;
+        uint64_t lastFlag = 0;
+        bool lastStuck = false;
+    };
+
+    /** Resident filter of context @p which, swapping in if virtual. */
+    BarrierFilter *residentFilter(GroupRecord &g, unsigned which);
+
+    /** Validate a membership op; null (after warning) on degraded groups. */
+    GroupRecord *membershipTarget(const BarrierHandle &h, unsigned slot,
+                                  const char *op);
+
+    bool groupDegraded(const GroupRecord &g) const;
+    void poisonGroup(GroupRecord &g);
+    unsigned liveActiveCount(GroupRecord &g);
+    void membershipCommitted(BarrierFilter &f, unsigned members);
+
+    bool repairSweepOnce();
+    bool repairDeadSlot(GroupRecord &g, unsigned slot);
+    bool attemptSurgery(GroupRecord &g);
+    void scheduleRepairSweep();
+
+    void reacquireSweep();
+    bool tryReacquire(GroupRecord &g);
+    void scheduleReacquireSweep();
 
     CmpSystem &sys;
     std::vector<std::unique_ptr<ThreadContext>> threads;
     std::vector<RecoverySpan> recoverySpans;
     std::vector<RecoveryRecord> recoveryRecords;
+    std::vector<GroupRecord> groupRecords;
+    std::unique_ptr<FilterVirtualizer> virt;
+    bool repairSweepScheduled = false;
+    bool reacquireSweepScheduled = false;
     Addr filterRegionNext;
     Addr syncRegionNext;
     Addr dataRegionNext;

@@ -29,6 +29,10 @@ violationKindName(ViolationKind k)
         return "DescheduleNotQuiescent";
       case ViolationKind::ThreadOnTwoCores: return "ThreadOnTwoCores";
       case ViolationKind::LiveThreadMiscount: return "LiveThreadMiscount";
+      case ViolationKind::SwapLostArrival: return "SwapLostArrival";
+      case ViolationKind::EpochMixedMembership:
+        return "EpochMixedMembership";
+      case ViolationKind::DeadMemberCounted: return "DeadMemberCounted";
     }
     return "?";
 }
@@ -50,6 +54,12 @@ InvariantChecker::InvariantChecker(CmpSystem &system, Tick interval,
     probes.fillUnblocked.listen(
         [this](const FillUnblockedEvent &e) { onUnblocked(e); });
     probes.sched.listen([this](const SchedEvent &e) { onSched(e); });
+    probes.filterSwap.listen(
+        [this](const FilterSwapEvent &e) { onSwap(e); });
+    probes.membership.listen(
+        [this](const MembershipEvent &e) { onMembership(e); });
+    probes.coreKill.listen(
+        [this](const CoreKillEvent &e) { onCoreKill(e); });
 
     sys.eventQueue().schedule(sweepInterval, [this] { sweep(); });
 }
@@ -94,6 +104,14 @@ InvariantChecker::onArrive(const BarrierArriveEvent &e)
                e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
         return;
     }
+    if (deadCores.count(e.core)) {
+        std::ostringstream m;
+        m << "arrival from killed core " << e.core << " counted in episode "
+          << e.episode << " (bank " << int(e.bank) << " filter "
+          << e.filterIdx << " slot " << e.slot << ")";
+        report(ViolationKind::DeadMemberCounted, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    }
     auto &slots = sh.arrivals[e.episode];
     if (!slots.insert(e.slot).second) {
         std::ostringstream m;
@@ -109,10 +127,25 @@ InvariantChecker::onArrive(const BarrierArriveEvent &e)
         report(ViolationKind::ArrivalOverflow, m.str(),
                e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
     }
+    // Two-phase membership: the participant count may only change at an
+    // episode boundary (or through a forced repair leave, which rewrites
+    // the recorded count via onMembership before the next arrival).
+    auto mit = sh.episodeMembers.emplace(e.episode, e.numThreads);
+    if (!mit.second && mit.first->second != e.numThreads) {
+        std::ostringstream m;
+        m << "episode " << e.episode << " mixed member counts "
+          << mit.first->second << " and " << e.numThreads << " (bank "
+          << int(e.bank) << " filter " << e.filterIdx << ")";
+        report(ViolationKind::EpochMixedMembership, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+        mit.first->second = e.numThreads;
+    }
     // Bound the shadow: a filter has one episode in flight, so anything
     // older than a handful of episodes is stale bookkeeping.
     while (sh.arrivals.size() > 8)
         sh.arrivals.erase(sh.arrivals.begin());
+    while (sh.episodeMembers.size() > 8)
+        sh.episodeMembers.erase(sh.episodeMembers.begin());
 }
 
 void
@@ -137,10 +170,21 @@ InvariantChecker::onOpen(const BarrierOpenEvent &e)
         report(ViolationKind::EarlyRelease, m.str(),
                e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
     }
+    auto mit = sh.episodeMembers.find(e.episode);
+    if (mit != sh.episodeMembers.end() && mit->second != e.numThreads) {
+        std::ostringstream m;
+        m << "episode " << e.episode << " opened with " << e.numThreads
+          << " participants but arrivals counted against " << mit->second
+          << " (bank " << int(e.bank) << " filter " << e.filterIdx << ")";
+        report(ViolationKind::EpochMixedMembership, m.str(),
+               e.bank == probeNetworkBank ? "" : filterDetail(e.bank));
+    }
     sh.openSeen = true;
     sh.lastOpen = e.episode;
     sh.arrivals.erase(sh.arrivals.begin(),
                       sh.arrivals.upper_bound(e.episode));
+    sh.episodeMembers.erase(sh.episodeMembers.begin(),
+                            sh.episodeMembers.upper_bound(e.episode));
 }
 
 void
@@ -189,6 +233,67 @@ InvariantChecker::onSched(const SchedEvent &e)
         c.dumpState(d);
         report(ViolationKind::DescheduleNotQuiescent, m.str(), d.str());
     }
+}
+
+void
+InvariantChecker::onSwap(const FilterSwapEvent &e)
+{
+    const auto key = std::make_pair(e.groupId, e.ctx);
+    if (!e.swapIn) {
+        swapRecords[key] = e;
+        return;
+    }
+    auto it = swapRecords.find(key);
+    if (it != swapRecords.end()) {
+        // Swap-in must restore exactly what swap-out saved: episode
+        // counter, arrival count/mask and member count. A group cannot
+        // make progress while swapped out, so any difference means the
+        // virtualizer dropped or fabricated an arrival.
+        const FilterSwapEvent &out = it->second;
+        if (out.episode != e.episode || out.arrived != e.arrived ||
+            out.arrivedMask != e.arrivedMask || out.members != e.members) {
+            std::ostringstream m;
+            m << "virt group " << e.groupId << " ctx " << e.ctx
+              << " swap-in mismatch: saved episode " << out.episode
+              << " arrived " << out.arrived << "/0x" << std::hex
+              << out.arrivedMask << std::dec << " members " << out.members
+              << ", restored episode " << e.episode << " arrived "
+              << e.arrived << "/0x" << std::hex << e.arrivedMask
+              << std::dec << " members " << e.members;
+            report(ViolationKind::SwapLostArrival, m.str(),
+                   filterDetail(e.bank));
+        }
+        swapRecords.erase(it);
+    }
+    // The restored state lands in a fresh physical slot with a new
+    // generation, which wipes the shadow. Reseed it from the restored
+    // arrival mask so mid-episode swaps do not look like early releases.
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    auto &slots = sh.arrivals[e.episode];
+    for (unsigned s = 0; s < 64; ++s)
+        if (e.arrivedMask & (uint64_t(1) << s))
+            slots.insert(s);
+    sh.episodeMembers[e.episode] = e.members;
+}
+
+void
+InvariantChecker::onMembership(const MembershipEvent &e)
+{
+    BarrierShadow &sh = shadowFor({e.bank, e.filterIdx}, e.episode);
+    // The event's count applies from this episode on: record it so an
+    // arrival under a stale count trips EpochMixedMembership.
+    sh.episodeMembers[e.episode] = e.members;
+    // A forced (repair) leave uncounts a dead member's arrival mid
+    // episode; mirror that in the shadow, or the eventual open of the
+    // shrunk episode would double-count the dead slot.
+    if (e.forced && !e.join)
+        sh.arrivals[e.episode].erase(e.slot);
+}
+
+void
+InvariantChecker::onCoreKill(const CoreKillEvent &e)
+{
+    deadCores.insert(e.core);
 }
 
 // ----- structural sweeps ------------------------------------------------------

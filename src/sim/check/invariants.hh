@@ -53,6 +53,9 @@ enum class ViolationKind
     DescheduleNotQuiescent,///< context switch off a non-quiescent core
     ThreadOnTwoCores,      ///< one thread attached to multiple cores
     LiveThreadMiscount,    ///< liveThreads != non-halted started threads
+    SwapLostArrival,       ///< context swap-in state != swap-out state
+    EpochMixedMembership,  ///< one episode saw two different member counts
+    DeadMemberCounted,     ///< arrival attributed to a killed core
 };
 
 const char *violationKindName(ViolationKind k);
@@ -99,6 +102,10 @@ class InvariantChecker
     {
         uint64_t generation = 0; ///< filter tenant (0 for network ids)
         std::map<uint64_t, std::set<unsigned>> arrivals; ///< episode->slots
+        /** Participant count each episode first reported (two-phase
+         *  membership: any in-episode change is a violation unless a
+         *  forced repair leave explains it). */
+        std::map<uint64_t, unsigned> episodeMembers;
         std::set<unsigned> starved;  ///< slots with a withheld fill
         uint64_t lastOpen = 0;
         bool openSeen = false;
@@ -113,6 +120,9 @@ class InvariantChecker
     void onStarved(const FillStarvedEvent &e);
     void onUnblocked(const FillUnblockedEvent &e);
     void onSched(const SchedEvent &e);
+    void onSwap(const FilterSwapEvent &e);
+    void onMembership(const MembershipEvent &e);
+    void onCoreKill(const CoreKillEvent &e);
 
     void sweep();
     void sweepFilters();
@@ -131,6 +141,11 @@ class InvariantChecker
     bool failFast;
 
     std::map<ShadowKey, BarrierShadow> shadows;
+
+    /** Swap-out state per (virt group, ctx), awaiting the next swap-in. */
+    std::map<std::pair<int, unsigned>, FilterSwapEvent> swapRecords;
+    /** Cores permanently offlined (coreKill probe channel). */
+    std::set<CoreId> deadCores;
 
     /** Orphan-MSHR persistence tracking: one suspect per (L1, entry). */
     struct MshrSuspect

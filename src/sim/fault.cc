@@ -40,6 +40,8 @@ FaultConfig::validate() const
         fatal("FaultConfig: interval must be positive");
     if (rescheduleDelayMin > rescheduleDelayMax)
         fatal("FaultConfig: reschedule delay bounds inverted");
+    if (coreKillCore < -1)
+        fatal("FaultConfig: corekillcore must be -1 (random) or a core id");
 }
 
 void
@@ -63,6 +65,8 @@ FaultConfig::writeJson(JsonWriter &jw) const
     jw.kv("timeoutProb", timeoutProb);
     jw.kv("exhaustFilters", exhaustFilters);
     jw.kv("earlyReleaseProb", earlyReleaseProb);
+    jw.kv("coreKillAt", coreKillAt);
+    jw.kv("coreKillCore", int64_t(coreKillCore));
     jw.end();
 }
 
@@ -86,6 +90,10 @@ FaultConfig::fromJson(const JsonValue &v)
     f.exhaustFilters = unsigned(v.at("exhaustFilters").number);
     if (v.has("earlyReleaseProb"))
         f.earlyReleaseProb = v.at("earlyReleaseProb").number;
+    if (v.has("coreKillAt")) {
+        f.coreKillAt = Tick(v.at("coreKillAt").number);
+        f.coreKillCore = int(v.at("coreKillCore").number);
+    }
     return f;
 }
 
@@ -100,6 +108,9 @@ FaultInjector::FaultInjector(CmpSystem &system, const FaultConfig &config)
         sys.memory().setFaultDelayHook([this] { return memDelay(); });
     claimFilters();
     scheduleNext();
+    if (cfg.coreKillAt > 0)
+        sys.eventQueue().schedule(cfg.coreKillAt,
+                                  [this] { injectCoreKill(); });
 }
 
 void
@@ -290,6 +301,33 @@ FaultInjector::injectTimeout()
     const Candidate &c = candidates[rng.below(candidates.size())];
     ++sys.statistics().counter("faults.forcedTimeouts");
     sys.filterBank(c.bank).fireTimeout(c.filterIdx, c.slot);
+}
+
+// ----- permanent core loss (faultcorekill) ------------------------------------
+
+void
+FaultInjector::injectCoreKill()
+{
+    if (sys.allThreadsHalted())
+        return;
+    CoreId victim = CoreId(cfg.coreKillCore);
+    if (victim < 0) {
+        // Pick a busy core so the kill actually takes a thread down.
+        std::vector<CoreId> busy;
+        for (unsigned c = 0; c < sys.numCores(); ++c) {
+            Core &core = sys.core(CoreId(c));
+            if (!core.isDead() && !core.idle())
+                busy.push_back(CoreId(c));
+        }
+        if (busy.empty())
+            return;
+        victim = busy[rng.below(busy.size())];
+    } else if (unsigned(victim) >= sys.numCores() ||
+               sys.core(victim).isDead()) {
+        return;
+    }
+    ++sys.statistics().counter("faults.coreKills");
+    sys.killCore(victim);
 }
 
 // ----- sabotage: premature barrier release ------------------------------------

@@ -62,6 +62,16 @@ struct FaultConfig
      */
     double earlyReleaseProb = 0.0;
 
+    /**
+     * faultcorekill: permanently offline one core at this tick (0 = off).
+     * The aboard thread dies mid-whatever-it-was-doing; the OS repair
+     * machinery shrinks its barrier groups so survivors keep completing
+     * epochs (ISSUE 4 core-loss arc).
+     */
+    Tick coreKillAt = 0;
+    /** The core to kill, or -1 to pick a busy core from the RNG stream. */
+    int coreKillCore = -1;
+
     /** Sanity-check ranges; throws FatalError on nonsense. */
     void validate() const;
 
@@ -100,6 +110,7 @@ class FaultInjector
     void injectDeschedule();
     void injectTimeout();
     void injectEarlyRelease();
+    void injectCoreKill();
     void scheduleReschedule(ThreadContext *t, Tick delay);
     Tick busDelay();
     Tick memDelay();

@@ -146,6 +146,52 @@ struct SchedEvent
 };
 
 /**
+ * A virtual filter context moved between the OS context table and a
+ * physical filter. The event carries the context's full arrival state so
+ * observers (the invariant checker) can verify that no arrival is lost
+ * across the swap and reseed their shadow for the new physical slot.
+ */
+struct FilterSwapEvent
+{
+    Tick tick;
+    unsigned bank;       ///< home L2 bank of the context
+    unsigned filterIdx;  ///< physical slot (target on swap-in, source on out)
+    int groupId;         ///< OS virtual-group id
+    unsigned ctx;        ///< context index within the group (0/1)
+    bool swapIn;         ///< true = restore, false = save
+    uint64_t episode;    ///< in-flight episode (opens counter)
+    unsigned arrived;    ///< arrived counter at the swap point
+    uint64_t arrivedMask;///< bitmask of slots in Blocking
+    unsigned members;    ///< active member count
+    Tick cost;           ///< modeled swap cycles charged to the episode
+};
+
+/**
+ * A membership change was committed on a filter: a join/leave committed
+ * at the release boundary, or a forced (mid-episode) leave on the
+ * core-loss repair path.
+ */
+struct MembershipEvent
+{
+    Tick tick;
+    unsigned bank;
+    unsigned filterIdx;
+    uint64_t episode;   ///< episode the new count first applies to
+    unsigned slot;
+    bool join;
+    bool forced;        ///< repair path: applied mid-episode
+    unsigned members;   ///< member count after the change
+};
+
+/** A core was permanently offlined by fault injection. */
+struct CoreKillEvent
+{
+    Tick tick;
+    CoreId core;
+    ThreadId tid;  ///< thread that died with it (-1 if none attached)
+};
+
+/**
  * One typed event channel. notify() is O(listeners); with no listeners it
  * is one branch.
  */
@@ -188,6 +234,9 @@ class ProbeBus
     ProbeChannel<InvalidationEvent> invalidation;
     ProbeChannel<BusOccupancyEvent> busOccupancy;
     ProbeChannel<SchedEvent> sched;
+    ProbeChannel<FilterSwapEvent> filterSwap;
+    ProbeChannel<MembershipEvent> membership;
+    ProbeChannel<CoreKillEvent> coreKill;
 };
 
 } // namespace bfsim

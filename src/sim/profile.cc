@@ -158,6 +158,7 @@ BarrierEpisodeProfiler::BarrierEpisodeProfiler(ProbeBus &bus)
         [this](const InvalidationEvent &e) { onInvalidation(e); });
     bus.busOccupancy.listen(
         [this](const BusOccupancyEvent &e) { onBusOccupancy(e); });
+    bus.filterSwap.listen([this](const FilterSwapEvent &e) { onSwap(e); });
 }
 
 BarrierEpisode *
@@ -186,6 +187,12 @@ BarrierEpisodeProfiler::openEpisode(const FilterKey &k,
     r.endTick = e.tick;
     open[k] = records.size() - 1;
     busBusyAtStart[k] = busBusyTotal;
+    auto ps = pendingSwaps.find(k);
+    if (ps != pendingSwaps.end()) {
+        r.swaps = ps->second.count;
+        r.swapStallCycles = ps->second.cycles;
+        pendingSwaps.erase(ps);
+    }
     return r;
 }
 
@@ -266,6 +273,26 @@ BarrierEpisodeProfiler::onBusOccupancy(const BusOccupancyEvent &e)
 }
 
 void
+BarrierEpisodeProfiler::onSwap(const FilterSwapEvent &e)
+{
+    if (!e.swapIn)
+        return;
+    FilterKey k{e.bank, e.filterIdx};
+    // If the slot already has this episode in flight (swap mid-episode
+    // with arrivals restored behind it), charge the cost there directly;
+    // otherwise bank it for the next episode opened on the slot.
+    BarrierEpisode *r = find(k, e.episode);
+    if (r) {
+        ++r->swaps;
+        r->swapStallCycles += e.cost;
+        return;
+    }
+    PendingSwap &p = pendingSwaps[k];
+    ++p.count;
+    p.cycles += e.cost;
+}
+
+void
 BarrierEpisodeProfiler::finalize(Tick now)
 {
     (void)now;
@@ -282,12 +309,16 @@ BarrierEpisodeProfiler::exportTo(StatGroup &stats) const
     Distribution &wait = stats.distribution("barrier.waitCycles");
     Distribution &inv = stats.distribution("barrier.invalidations");
     Distribution &busBusy = stats.distribution("barrier.busBusyCycles");
+    Counter &swaps = stats.counter("barrier.swaps");
+    Counter &swapStall = stats.counter("barrier.swapStallCycles");
     for (const BarrierEpisode &r : records) {
         lat.sample(double(r.latency()));
         skew.sample(double(r.skew()));
         wait.sample(double(r.waitCycleSum()));
         inv.sample(double(r.invalidations));
         busBusy.sample(double(r.busBusyCycles));
+        swaps += r.swaps;
+        swapStall += r.swapStallCycles;
     }
 }
 

@@ -115,6 +115,8 @@ struct BarrierEpisode
     Tick endTick = 0;          ///< max(open, last release)
     uint64_t invalidations = 0; ///< filtered InvAlls at the bank in-window
     Tick busBusyCycles = 0;     ///< interconnect occupancy in-window
+    unsigned swaps = 0;        ///< context swap-ins charged to this episode
+    Tick swapStallCycles = 0;  ///< restore cost those swap-ins added
 
     /** Arrival skew: last arrival minus first arrival. */
     Tick skew() const { return lastArrival - firstArrival; }
@@ -168,10 +170,21 @@ class BarrierEpisodeProfiler
     void onRelease(const BarrierReleaseEvent &e);
     void onInvalidation(const InvalidationEvent &e);
     void onBusOccupancy(const BusOccupancyEvent &e);
+    void onSwap(const FilterSwapEvent &e);
 
     std::deque<BarrierEpisode> records;
     /** Index into records of the in-flight episode per filter. */
     std::map<FilterKey, size_t> open;
+    /** Swap-in restore cost not yet charged to an episode, per slot. A
+     *  swap-in lands the group in a fresh physical slot before any of its
+     *  events fire there, so the cost is banked against the slot and
+     *  folded into the next episode that opens on it. */
+    struct PendingSwap
+    {
+        unsigned count = 0;
+        Tick cycles = 0;
+    };
+    std::map<FilterKey, PendingSwap> pendingSwaps;
     /** Running interconnect occupancy total (for window deltas). */
     Tick busBusyTotal = 0;
     /** busBusyTotal snapshot at each open episode's first arrival. */

@@ -47,6 +47,10 @@ CmpConfig::fromOptions(const OptionMap &opts)
     c.networkRestartCost = opts.getUint("netrestart", c.networkRestartCost);
     c.watchdogInterval = opts.getUint("watchdog", c.watchdogInterval);
     c.filterRecovery = opts.getBool("recovery", c.filterRecovery);
+    c.filterVirtual = opts.getBool("filtervirtual", c.filterVirtual);
+    c.filterSwapCycles = opts.getUint("filterswapcycles", c.filterSwapCycles);
+    c.filterReacquireInterval =
+        opts.getUint("filterreacquire", c.filterReacquireInterval);
     c.faults.enabled = opts.getBool("faults", c.faults.enabled);
     c.faults.seed = opts.getUint("faultseed", c.faults.seed);
     c.faults.interval = opts.getUint("faultinterval", c.faults.interval);
@@ -63,6 +67,9 @@ CmpConfig::fromOptions(const OptionMap &opts)
         unsigned(opts.getUint("faultexhaust", c.faults.exhaustFilters));
     c.faults.earlyReleaseProb =
         opts.getDouble("faultearlyprob", c.faults.earlyReleaseProb);
+    c.faults.coreKillAt = opts.getUint("faultcorekill", c.faults.coreKillAt);
+    c.faults.coreKillCore =
+        int(opts.getInt("faultcorekillcore", c.faults.coreKillCore));
     c.checkInvariants = opts.getBool("check", c.checkInvariants);
     c.checkInterval = opts.getUint("checkinterval", c.checkInterval);
     c.checkFailFast = opts.getBool("checkfailfast", c.checkFailFast);
@@ -145,6 +152,9 @@ CmpConfig::writeJson(JsonWriter &jw) const
     jw.kv("networkRestartCost", networkRestartCost);
     jw.kv("watchdogInterval", watchdogInterval);
     jw.kv("filterRecovery", filterRecovery);
+    jw.kv("filterVirtual", filterVirtual);
+    jw.kv("filterSwapCycles", filterSwapCycles);
+    jw.kv("filterReacquireInterval", filterReacquireInterval);
     jw.key("faults");
     faults.writeJson(jw);
     jw.kv("checkInvariants", checkInvariants);
@@ -187,6 +197,12 @@ CmpConfig::fromJson(const JsonValue &v)
     c.networkRestartCost = Tick(v.at("networkRestartCost").number);
     c.watchdogInterval = Tick(v.at("watchdogInterval").number);
     c.filterRecovery = v.at("filterRecovery").boolean;
+    if (v.has("filterVirtual")) {
+        c.filterVirtual = v.at("filterVirtual").boolean;
+        c.filterSwapCycles = Tick(v.at("filterSwapCycles").number);
+        c.filterReacquireInterval =
+            Tick(v.at("filterReacquireInterval").number);
+    }
     c.faults = FaultConfig::fromJson(v.at("faults"));
     if (v.has("checkInvariants")) {
         c.checkInvariants = v.at("checkInvariants").boolean;

@@ -92,6 +92,30 @@ struct CmpConfig
      */
     bool filterRecovery = false;
 
+    /**
+     * OS filter virtualization (filtervirtual=1): filter-backed barrier
+     * groups become OS-managed virtual contexts that time-share the
+     * physical filters. Registration never falls back to software for
+     * lack of a free filter; swapped-out groups fault back in on first
+     * touch, evicting the bank's least-recently-used group.
+     */
+    bool filterVirtual = false;
+    /**
+     * Cycles charged for one context swap-in (state restore from the
+     * context table). The cost lands on the restored filter's next
+     * release stagger, so the episode profiler attributes it to the
+     * barrier that paid it.
+     */
+    Tick filterSwapCycles = 24;
+    /**
+     * When nonzero (and filterRecovery is on), a filter-kind registration
+     * that finds every physical filter claimed is granted as a
+     * degraded-from-birth filter barrier instead of a permanent software
+     * fallback, and the OS re-attempts hardware acquisition every this
+     * many ticks (filterreacquire=). 0 keeps the legacy sticky fallback.
+     */
+    Tick filterReacquireInterval = 0;
+
     /** Fault-injection engine (off by default). */
     FaultConfig faults;
 

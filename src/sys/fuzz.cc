@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "barriers/barrier_gen.hh"
+#include "cpu/core.hh"
 #include "sim/hash.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
@@ -143,6 +145,69 @@ scenarioFromSeed(uint64_t seed)
     return sc;
 }
 
+FuzzScenario
+churnScenarioFromSeed(uint64_t seed)
+{
+    // Mix a tag into the seed so a given seed's churn scenario is
+    // unrelated to its kernel scenario.
+    Rng rng(seed ^ 0x636875726eULL);
+    FuzzScenario sc;
+    ChurnSpec &ch = sc.churn;
+    ch.enabled = true;
+    ch.groups = 2 + unsigned(rng.below(3));          // 2..4
+    ch.threadsPerGroup = 2 + unsigned(rng.below(3)); // 2..4
+    ch.epochs = 8 + unsigned(rng.below(9));          // 8..16
+
+    const bool withLeaves = rng.below(2) == 0;
+    ch.leaveAfter.assign(ch.groups * ch.threadsPerGroup, 0);
+    if (withLeaves) {
+        for (auto &v : ch.leaveAfter)
+            if (rng.below(4) == 0)
+                v = uint32_t(2 + rng.below(ch.epochs - 3)); // 2..epochs-2
+    }
+
+    // Ping-pong stresses pair-atomic swaps but is fixed-size, so it only
+    // runs leave-free schedules.
+    if (!withLeaves && rng.below(2) == 0)
+        sc.kinds = {BarrierKind::FilterICachePP,
+                    BarrierKind::FilterDCachePP};
+    else
+        sc.kinds = {BarrierKind::FilterICache, BarrierKind::FilterDCache};
+
+    CmpConfig cfg;
+    cfg.numCores = ch.groups * ch.threadsPerGroup;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l2Banks = 1u << rng.below(2);                // 1 or 2
+    cfg.filtersPerBank = unsigned(2 + rng.below(2)); // oversubscribed
+    cfg.filterVirtual = true;
+    cfg.filterSwapCycles = Tick(8 + rng.below(41));  // 8..48
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+    cfg.crossbar = rng.below(2) == 1;
+    cfg.checkInvariants = true;
+
+    cfg.faults.enabled = true;
+    cfg.faults.seed = rng.next();
+    cfg.faults.interval = Tick(100 + rng.below(301));
+    cfg.faults.busDelayProb = rng.below(2) ? 0.05 : 0.0;
+    cfg.faults.busDelayMax = 12;
+    cfg.faults.memDelayProb = rng.below(2) ? 0.10 : 0.0;
+    cfg.faults.memDelayMax = 60;
+    cfg.faults.evictProb = rng.below(2) ? 0.15 : 0.0;
+    // No deschedule/timeout/exhaust faults here: those degrade groups to
+    // the software fallback, where membership is a documented no-op — a
+    // leaver would halt without leaving and deadlock the survivors.
+    if (rng.below(2) == 0) {
+        cfg.faults.coreKillAt = Tick(2000 + rng.below(20001));
+        cfg.faults.coreKillCore = -1;
+    }
+    sc.cfg = cfg;
+    sc.threads = cfg.numCores;
+    return sc;
+}
+
 FuzzRun
 runScenarioKind(const FuzzScenario &sc, BarrierKind kind, bool capture)
 {
@@ -213,6 +278,162 @@ runScenarioKind(const FuzzScenario &sc, BarrierKind kind, bool capture)
     return r;
 }
 
+namespace
+{
+
+/**
+ * One churn thread: @p epochs rounds of jittered busy-work followed by a
+ * barrier crossing, publishing the finished-epoch number to @p cell.
+ */
+ProgramPtr
+buildChurnProgram(Os &os, const BarrierHandle &handle, unsigned slot,
+                  ThreadId tid, unsigned epochs, Addr cell, unsigned jitter)
+{
+    ProgramBuilder b(os.codeBase(tid));
+    BarrierCodegen bar(handle, slot);
+    IntReg rK = b.temp(), rKmax = b.temp(), rDelay = b.temp(),
+           rCell = b.temp(), rT = b.temp();
+
+    bar.emitInit(b);
+    b.li(rCell, int64_t(cell));
+    b.li(rK, 1);
+    b.li(rKmax, int64_t(epochs));
+    b.label("epoch");
+    // Jittered busy work so arrivals skew and swaps land mid-episode.
+    b.li(rDelay, int64_t(jitter));
+    b.slli(rT, rK, 2);
+    b.add(rDelay, rDelay, rT);
+    b.andi(rDelay, rDelay, 63);
+    b.label("delay");
+    b.beqz(rDelay, "delaydone");
+    b.addi(rDelay, rDelay, -1);
+    b.j("delay");
+    b.label("delaydone");
+    bar.emitBarrier(b);
+    b.sd(rK, rCell, 0);
+    b.addi(rK, rK, 1);
+    b.bge(rKmax, rK, "epoch");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+} // namespace
+
+FuzzRun
+runChurn(const FuzzScenario &sc, BarrierKind kind, bool capture)
+{
+    CmpConfig cfg = sc.cfg;
+    cfg.checkInvariants = true;
+    cfg.checkFailFast = false;
+
+    const ChurnSpec &ch = sc.churn;
+    FuzzRun r;
+    std::optional<CmpSystem> sysOpt;
+    try {
+        sysOpt.emplace(cfg);
+    } catch (const std::exception &e) {
+        r.exception = e.what();
+        r.failed = true;
+        return r;
+    }
+    CmpSystem &sys = *sysOpt;
+    SnapshotRecorder rec(sys, fuzzSnapshotInterval, fuzzMaxSyncPoints);
+
+    const unsigned line = cfg.lineBytes;
+    const unsigned total = ch.groups * ch.threadsPerGroup;
+    std::vector<uint64_t> want(total, ch.epochs);
+    try {
+        Os &os = sys.os();
+        if (total > cfg.numCores)
+            fatal("runChurn: more threads than cores");
+        Addr cells = os.allocData(uint64_t(total) * line, line);
+        for (unsigned g = 0; g < ch.groups; ++g) {
+            BarrierHandle handle =
+                os.registerBarrier(kind, ch.threadsPerGroup);
+            // Leaving needs a live group with per-slot membership; only
+            // the entry/exit filter grants support that.
+            const bool canLeave =
+                handle.groupId >= 0 &&
+                (handle.granted == BarrierKind::FilterICache ||
+                 handle.granted == BarrierKind::FilterDCache);
+            for (unsigned s = 0; s < ch.threadsPerGroup; ++s) {
+                const unsigned idx = g * ch.threadsPerGroup + s;
+                const uint32_t la =
+                    idx < ch.leaveAfter.size() ? ch.leaveAfter[idx] : 0;
+                unsigned myEpochs = ch.epochs;
+                if (canLeave && la > 0 && la < ch.epochs) {
+                    myEpochs = la;
+                    os.autoLeaveBarrier(handle, s, la);
+                }
+                want[idx] = myEpochs;
+                ThreadContext *t = os.createThread(buildChurnProgram(
+                    os, handle, s, ThreadId(idx), myEpochs,
+                    cells + uint64_t(idx) * line, (idx * 29 + g * 13) & 63));
+                os.bindBarrierSlot(handle, s, t->tid);
+                os.startThread(t, CoreId(idx));
+            }
+        }
+        r.cycles = sys.run(fuzzRunLimit);
+        r.completed = sys.allThreadsHalted();
+        r.barrierError = sys.anyBarrierError();
+        // Golden-free oracle: every thread the injector did not kill must
+        // have published exactly the episode count it was scheduled for.
+        bool cellsOk = r.completed && !r.barrierError;
+        if (cellsOk) {
+            for (const ThreadContext *t : sys.startedThreads()) {
+                if (t->killed)
+                    continue;
+                const unsigned idx = unsigned(t->tid);
+                if (idx < total &&
+                    sys.memory().read64(cells + uint64_t(idx) * line) !=
+                        want[idx])
+                    cellsOk = false;
+            }
+        }
+        r.correct = cellsOk;
+    } catch (const std::exception &e) {
+        r.exception = e.what();
+    }
+
+    if (InvariantChecker *ck = sys.invariantChecker()) {
+        r.violations = ck->violationCount();
+        if (!ck->violations().empty()) {
+            r.firstViolation = ck->violations().front().message;
+            r.firstViolationKind =
+                violationKindName(ck->violations().front().kind);
+        }
+        if (capture) {
+            std::ostringstream o;
+            JsonWriter jw(o);
+            ck->writeReport(jw);
+            r.invariantReport = o.str();
+        }
+    }
+    r.chain = rec.chain();
+    if (capture) {
+        std::ostringstream o;
+        writeCheckpoint(o, sys, rec.chain());
+        r.checkpointJson = o.str();
+    }
+    r.failed = !r.exception.empty() || !r.completed || !r.correct ||
+               r.barrierError || r.violations > 0;
+    return r;
+}
+
+namespace
+{
+
+/** Workload dispatch: a scenario runs its churn spec or its kernel. */
+FuzzRun
+runOne(const FuzzScenario &sc, BarrierKind kind, bool capture)
+{
+    return sc.churn.enabled ? runChurn(sc, kind, capture)
+                            : runScenarioKind(sc, kind, capture);
+}
+
+} // namespace
+
 FuzzScenario
 shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
                unsigned *runsUsed)
@@ -230,7 +451,7 @@ shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
             return false; // never shrink into an invalid machine
         }
         ++runs;
-        return runScenarioKind(cand, kind, false).failed;
+        return runOne(cand, kind, false).failed;
     };
 
     bool progress = true;
@@ -244,33 +465,85 @@ shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
             return true;
         };
 
-        if (best.params.reps > 1) {
-            FuzzScenario c = best;
-            c.params.reps = 1;
-            tryKeep(c);
-        }
-        while (best.params.n >= 32 && runs < budget) {
-            FuzzScenario c = best;
-            c.params.n /= 2;
-            if (!tryKeep(c))
-                break;
-        }
-        while (best.params.lags > 4 && runs < budget) {
-            FuzzScenario c = best;
-            c.params.lags = std::max(4u, c.params.lags / 2);
-            if (!tryKeep(c))
-                break;
-        }
-        while (best.threads > 2 && runs < budget) {
-            FuzzScenario c = best;
-            --c.threads;
-            if (!tryKeep(c))
-                break;
-        }
-        if (best.cfg.numCores > best.threads) {
-            FuzzScenario c = best;
-            c.cfg.numCores = best.threads;
-            tryKeep(c);
+        if (best.churn.enabled) {
+            // Churn reductions: fewer episodes, no kill, no leaves,
+            // fewer groups, smaller groups. Group/slot drops rebuild the
+            // leave schedule so surviving slots keep their entries.
+            auto resized = [](const FuzzScenario &from, unsigned groups,
+                             unsigned tpg) {
+                FuzzScenario c = from;
+                std::vector<uint32_t> la(groups * tpg, 0);
+                for (unsigned g = 0; g < groups; ++g)
+                    for (unsigned s = 0; s < tpg; ++s) {
+                        unsigned i = g * from.churn.threadsPerGroup + s;
+                        if (i < from.churn.leaveAfter.size())
+                            la[g * tpg + s] = from.churn.leaveAfter[i];
+                    }
+                c.churn.groups = groups;
+                c.churn.threadsPerGroup = tpg;
+                c.churn.leaveAfter = std::move(la);
+                c.cfg.numCores = groups * tpg;
+                c.threads = groups * tpg;
+                return c;
+            };
+            while (best.churn.epochs > 2 && runs < budget) {
+                FuzzScenario c = best;
+                c.churn.epochs = std::max(2u, best.churn.epochs / 2);
+                if (!tryKeep(c))
+                    break;
+            }
+            if (best.cfg.faults.coreKillAt > 0) {
+                FuzzScenario c = best;
+                c.cfg.faults.coreKillAt = 0;
+                tryKeep(c);
+            }
+            bool anyLeave = false;
+            for (uint32_t v : best.churn.leaveAfter)
+                anyLeave |= v != 0;
+            if (anyLeave) {
+                FuzzScenario c = best;
+                c.churn.leaveAfter.assign(c.churn.leaveAfter.size(), 0);
+                tryKeep(c);
+            }
+            while (best.churn.groups > 1 && runs < budget) {
+                if (!tryKeep(resized(best, best.churn.groups - 1,
+                                     best.churn.threadsPerGroup)))
+                    break;
+            }
+            while (best.churn.threadsPerGroup > 2 && runs < budget) {
+                if (!tryKeep(resized(best, best.churn.groups,
+                                     best.churn.threadsPerGroup - 1)))
+                    break;
+            }
+        } else {
+            if (best.params.reps > 1) {
+                FuzzScenario c = best;
+                c.params.reps = 1;
+                tryKeep(c);
+            }
+            while (best.params.n >= 32 && runs < budget) {
+                FuzzScenario c = best;
+                c.params.n /= 2;
+                if (!tryKeep(c))
+                    break;
+            }
+            while (best.params.lags > 4 && runs < budget) {
+                FuzzScenario c = best;
+                c.params.lags = std::max(4u, c.params.lags / 2);
+                if (!tryKeep(c))
+                    break;
+            }
+            while (best.threads > 2 && runs < budget) {
+                FuzzScenario c = best;
+                --c.threads;
+                if (!tryKeep(c))
+                    break;
+            }
+            if (best.cfg.numCores > best.threads) {
+                FuzzScenario c = best;
+                c.cfg.numCores = best.threads;
+                tryKeep(c);
+            }
         }
         while (best.cfg.l2Banks > 1 && runs < budget) {
             FuzzScenario c = best;
@@ -322,7 +595,7 @@ fuzzScenario(uint64_t seed, const FuzzScenario &sc, unsigned shrinkBudget)
     unsigned runs = 0;
     for (BarrierKind kind : sc.kinds) {
         ++runs;
-        FuzzRun probe = runScenarioKind(sc, kind, false);
+        FuzzRun probe = runOne(sc, kind, false);
         if (!probe.failed)
             continue;
 
@@ -331,7 +604,7 @@ fuzzScenario(uint64_t seed, const FuzzScenario &sc, unsigned shrinkBudget)
         rep.kind = kind;
         unsigned shrinkRuns = 0;
         rep.shrunk = shrinkScenario(sc, kind, shrinkBudget, &shrinkRuns);
-        rep.run = runScenarioKind(rep.shrunk, kind, true);
+        rep.run = runOne(rep.shrunk, kind, true);
         rep.totalRuns = runs + shrinkRuns + 1;
         if (!rep.run.failed) {
             // The shrunk scenario must fail by construction; a pass here
@@ -341,7 +614,7 @@ fuzzScenario(uint64_t seed, const FuzzScenario &sc, unsigned shrinkBudget)
                  "(nondeterministic failure?); reporting unshrunk");
             rep.shrunk = sc;
             rep.shrunk.kinds = {kind};
-            rep.run = runScenarioKind(rep.shrunk, kind, true);
+            rep.run = runOne(rep.shrunk, kind, true);
             ++rep.totalRuns;
         }
         return rep;
@@ -353,6 +626,12 @@ std::optional<FuzzReport>
 fuzzSeed(uint64_t seed, unsigned shrinkBudget)
 {
     return fuzzScenario(seed, scenarioFromSeed(seed), shrinkBudget);
+}
+
+std::optional<FuzzReport>
+fuzzChurnSeed(uint64_t seed, unsigned shrinkBudget)
+{
+    return fuzzScenario(seed, churnScenarioFromSeed(seed), shrinkBudget);
 }
 
 void
@@ -375,6 +654,19 @@ writeRepro(std::ostream &os, const FuzzReport &rep)
     jw.end();
 
     jw.kv("threads", rep.shrunk.threads);
+    if (rep.shrunk.churn.enabled) {
+        jw.key("churn");
+        jw.beginObject();
+        jw.kv("groups", rep.shrunk.churn.groups);
+        jw.kv("threadsPerGroup", rep.shrunk.churn.threadsPerGroup);
+        jw.kv("epochs", rep.shrunk.churn.epochs);
+        jw.key("leaveAfter");
+        jw.beginArray();
+        for (uint32_t v : rep.shrunk.churn.leaveAfter)
+            jw.value(uint64_t(v));
+        jw.end();
+        jw.end();
+    }
     jw.key("config");
     rep.shrunk.cfg.writeJson(jw);
 
@@ -427,6 +719,16 @@ parseRepro(const std::string &text)
     r.sc.params.minChunk = uint64_t(p.at("minchunk").number);
 
     r.sc.threads = unsigned(v.at("threads").number);
+    if (v.has("churn")) {
+        const JsonValue &c = v.at("churn");
+        r.sc.churn.enabled = true;
+        r.sc.churn.groups = unsigned(c.at("groups").number);
+        r.sc.churn.threadsPerGroup =
+            unsigned(c.at("threadsPerGroup").number);
+        r.sc.churn.epochs = unsigned(c.at("epochs").number);
+        for (const JsonValue &e : c.at("leaveAfter").arr)
+            r.sc.churn.leaveAfter.push_back(uint32_t(e.number));
+    }
     r.sc.cfg = CmpConfig::fromJson(v.at("config"));
     r.sc.kinds = {r.kind};
 
@@ -442,7 +744,7 @@ parseRepro(const std::string &text)
 FuzzRun
 replayRepro(const Repro &r)
 {
-    return runScenarioKind(r.sc, r.kind, true);
+    return runOne(r.sc, r.kind, true);
 }
 
 } // namespace bfsim

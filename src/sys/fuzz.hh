@@ -37,6 +37,35 @@
 namespace bfsim
 {
 
+/**
+ * Membership / overload / core-loss churn rider for a fuzz scenario.
+ * When enabled, the scenario runs a synthetic churn workload instead of
+ * a kernel: @ref groups concurrent barrier groups of
+ * @ref threadsPerGroup threads each pound @ref epochs barrier episodes
+ * with per-thread jittered compute, while some slots auto-leave early
+ * and (via cfg.faults.coreKillAt) a core may die mid-run. With
+ * cfg.filterVirtual and few physical filters, the groups oversubscribe
+ * the filter banks and the run stress-tests the swap machinery.
+ *
+ * The oracle is golden-free: every thread the injector did not kill
+ * must halt with its epoch cell equal to the episodes it was scheduled
+ * to run, with zero invariant violations and no barrier error.
+ */
+struct ChurnSpec
+{
+    bool enabled = false;
+    unsigned groups = 2;
+    unsigned threadsPerGroup = 3;
+    unsigned epochs = 12;
+    /**
+     * leaveAfter[g * threadsPerGroup + s]: the slot auto-leaves (and its
+     * thread halts) after this many episodes; 0 = member for the whole
+     * run. Missing entries read as 0. Honoured only for entry/exit
+     * filter grants (ping-pong and software groups are fixed-size).
+     */
+    std::vector<uint32_t> leaveAfter;
+};
+
 /** One randomly derived machine + workload + fault-schedule combination. */
 struct FuzzScenario
 {
@@ -46,6 +75,8 @@ struct FuzzScenario
     unsigned threads = 4;
     /** Mechanisms to run differentially (default: all seven). */
     std::vector<BarrierKind> kinds;
+    /** When enabled, replaces the kernel workload (see ChurnSpec). */
+    ChurnSpec churn;
 };
 
 /**
@@ -54,6 +85,15 @@ struct FuzzScenario
  * machine must fuzz clean; sabotage is planted explicitly by tests.
  */
 FuzzScenario scenarioFromSeed(uint64_t seed);
+
+/**
+ * Derive a churn scenario (ChurnSpec enabled) from a seed: oversubscribed
+ * virtualized filters, randomized join/leave schedules, and on half the
+ * seeds a mid-run core kill. Fault schedules stay within what membership
+ * supports — no timeout/exhaust/deschedule faults, since membership on a
+ * degraded group is a documented no-op and would deadlock the leavers.
+ */
+FuzzScenario churnScenarioFromSeed(uint64_t seed);
 
 /** Outcome of one scenario run under one mechanism. */
 struct FuzzRun
@@ -81,6 +121,13 @@ struct FuzzRun
  */
 FuzzRun runScenarioKind(const FuzzScenario &sc, BarrierKind kind,
                         bool capture);
+
+/**
+ * Run @p sc 's churn workload (sc.churn must be enabled) under mechanism
+ * @p kind. Same instrumentation and capture semantics as
+ * runScenarioKind, but judged by the golden-free churn oracle.
+ */
+FuzzRun runChurn(const FuzzScenario &sc, BarrierKind kind, bool capture);
 
 /**
  * Greedily minimize @p sc while runScenarioKind(sc, kind) still fails,
@@ -112,6 +159,10 @@ std::optional<FuzzReport> fuzzScenario(uint64_t seed,
 /** scenarioFromSeed + fuzzScenario. */
 std::optional<FuzzReport> fuzzSeed(uint64_t seed,
                                    unsigned shrinkBudget = 24);
+
+/** churnScenarioFromSeed + fuzzScenario. */
+std::optional<FuzzReport> fuzzChurnSeed(uint64_t seed,
+                                        unsigned shrinkBudget = 24);
 
 /**
  * Write @p report as one self-contained JSON repro artifact (seed,

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "os/filter_virt.hh"
 #include "sim/hash.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
@@ -74,6 +75,18 @@ CmpSystem::CmpSystem(const CmpConfig &config)
     }
 
     osPtr = std::make_unique<Os>(*this);
+
+    for (auto &fb : filterBanks) {
+        // Membership commits mirror into the OS-owned fallback count
+        // cell; under virtualization the banks also fault swapped-out
+        // contexts back in on first touch.
+        fb->setMembershipHandler(
+            [this](BarrierFilter &f, unsigned members) {
+                osPtr->membershipCommitted(f, members);
+            });
+        if (osPtr->virtualizer())
+            fb->setResidencyAgent(osPtr->virtualizer());
+    }
 
     if (cfg.filterRecovery) {
         // Timeouts fail the whole filter (so every thread degrades
@@ -175,8 +188,16 @@ CmpSystem::watchdogTick()
     // The event popped before this callback ran, so an empty queue here
     // means nothing but the watchdog itself was keeping the system alive:
     // a hard deadlock. A non-empty queue with no retired instruction for a
-    // full interval is a livelock. Either way, dump and fail.
+    // full interval is a livelock. Either way, dump and fail — but first
+    // let the OS try a core-loss repair sweep: a group stalled on a dead
+    // member's arrival is detected here, not hung.
     if (eventq.empty() || insts == watchdogLastInsts) {
+        if (osPtr->repairAfterCoreLoss()) {
+            ++stats.counter("sys.watchdogRepairs");
+            watchdogLastInsts = totalInstructions();
+            armWatchdog();
+            return;
+        }
         failWithDiagnostics("watchdog — no instruction retired for " +
                             std::to_string(cfg.watchdogInterval) +
                             " ticks with " + std::to_string(liveThreads) +
@@ -287,6 +308,15 @@ CmpSystem::serializeState(JsonWriter &jw) const
         fb->serializeState(jw);
     jw.end();
 
+    if (osPtr->virtualizer()) {
+        // The context table holds swapped-out filter state — as
+        // architectural as the filters themselves.
+        jw.key("virtualFilters");
+        osPtr->virtualizer()->serializeState(jw);
+    }
+    jw.key("barrierGroups");
+    osPtr->serializeGroups(jw);
+
     jw.kv("memory", toHex(mem.contentDigest()));
 
     if (injector) {
@@ -308,6 +338,23 @@ CmpSystem::stateHash() const
     StateHasher h;
     h.str(oss.str());
     return h.digest();
+}
+
+void
+CmpSystem::killCore(CoreId c)
+{
+    ThreadContext *t = core(c).kill();
+    if (!t)
+        warn("CmpSystem: killCore on core " + std::to_string(c) +
+             " took no thread down (idle or already dead)");
+    stats.probes().coreKill.notify(
+        {eventq.now(), c, t ? t->tid : ThreadId(-1)});
+    if (t) {
+        if (liveThreads == 0)
+            panic("CmpSystem: core kill with no live threads");
+        --liveThreads;
+    }
+    osPtr->onCoreKilled(c, t ? t->tid : ThreadId(-1));
 }
 
 bool

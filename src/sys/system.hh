@@ -91,6 +91,14 @@ class CmpSystem
     /** Number of started threads that have not halted. */
     unsigned liveThreadCount() const { return liveThreads; }
 
+    /**
+     * Permanently offline core @p c mid-run (the faultcorekill fault):
+     * squash its in-flight work, mark the aboard thread killed, publish a
+     * CoreKillEvent, and hand the loss to the OS barrier-group repair
+     * machinery. Survivor threads keep running.
+     */
+    void killCore(CoreId c);
+
     /** Every thread ever started, in start order. */
     const std::vector<ThreadContext *> &startedThreads() const
     {

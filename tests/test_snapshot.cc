@@ -17,7 +17,9 @@
 
 #include <sstream>
 
+#include "barriers/barrier_gen.hh"
 #include "kernels/workload.hh"
+#include "os/filter_virt.hh"
 #include "sim/hash.hh"
 #include "sim/log.hh"
 #include "sim/snapshot.hh"
@@ -248,6 +250,105 @@ TEST(Divergence, ChainCapIsDeterministic)
     EXPECT_EQ(a.size(), 3u);
     ASSERT_EQ(a.size(), b.size());
     EXPECT_FALSE(firstDivergence(a, b).has_value());
+}
+
+// ----- virtualized filter state survives pause/continue ----------------------
+
+namespace
+{
+
+/**
+ * An oversubscribed virtualized run: 4 groups of 2 threads time-share 2
+ * physical filter contexts on one bank, so swap state (saved arrival
+ * masks, withheld fills, residency) is live at almost any pause tick.
+ */
+RunResult
+runOversubscribed(Tick pauseAt)
+{
+    CmpConfig cfg;
+    cfg.numCores = 8;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l2Banks = 1;
+    cfg.filtersPerBank = 2;
+    cfg.filterVirtual = true;
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+
+    CmpSystem sys(cfg);
+    SnapshotRecorder rec(sys, snapInterval);
+    Os &os = sys.os();
+    const unsigned epochs = 10;
+    const unsigned line = cfg.lineBytes;
+    Addr cells = os.allocData(8 * line, line);
+
+    for (unsigned g = 0; g < 4; ++g) {
+        BarrierHandle h = os.registerBarrier(BarrierKind::FilterDCache, 2);
+        for (unsigned s = 0; s < 2; ++s) {
+            const unsigned idx = g * 2 + s;
+            ProgramBuilder b(os.codeBase(ThreadId(idx)));
+            BarrierCodegen bar(h, s);
+            IntReg rK = b.temp(), rKmax = b.temp(), rDelay = b.temp(),
+                   rCell = b.temp();
+            bar.emitInit(b);
+            b.li(rCell, int64_t(cells + idx * line));
+            b.li(rK, 1);
+            b.li(rKmax, int64_t(epochs));
+            b.label("epoch");
+            b.li(rDelay, int64_t((idx * 23 + 7) & 63));
+            b.label("delay");
+            b.beqz(rDelay, "delaydone");
+            b.addi(rDelay, rDelay, -1);
+            b.j("delay");
+            b.label("delaydone");
+            bar.emitBarrier(b);
+            b.sd(rK, rCell, 0);
+            b.addi(rK, rK, 1);
+            b.bge(rKmax, rK, "epoch");
+            b.halt();
+            bar.emitArrivalSections(b);
+            ThreadContext *t = os.createThread(b.build());
+            os.bindBarrierSlot(h, s, t->tid);
+            os.startThread(t, CoreId(idx));
+        }
+    }
+
+    RunResult r;
+    if (pauseAt > 0) {
+        sys.runTo(pauseAt);
+        EXPECT_FALSE(sys.allThreadsHalted())
+            << "pause tick landed after the run already finished";
+    }
+    r.cycles = sys.run();
+    bool cellsOk = true;
+    for (unsigned idx = 0; idx < 8; ++idx)
+        cellsOk = cellsOk && sys.memory().read64(cells + idx * line) == epochs;
+    r.correct = sys.allThreadsHalted() && !sys.anyBarrierError() && cellsOk;
+    EXPECT_GT(sys.os().virtualizer()->swapInCount(), 0u)
+        << "workload never exercised the swap machinery";
+    r.chain = rec.chain();
+    r.finalHash = sys.stateHash();
+    return r;
+}
+
+} // namespace
+
+TEST(SnapshotVirtual, OversubscribedPauseContinueIsBitIdentical)
+{
+    RunResult full = runOversubscribed(0);
+    RunResult split = runOversubscribed(2 * snapInterval);
+    EXPECT_TRUE(full.correct);
+    EXPECT_TRUE(split.correct);
+    ASSERT_GE(full.chain.size(), 3u) << "run too short to test anything";
+    ASSERT_EQ(full.chain.size(), split.chain.size());
+    auto div = firstDivergence(full.chain, split.chain);
+    EXPECT_FALSE(div.has_value())
+        << "diverged at sync point " << *div
+        << ": virtualized filter state (saved masks / residency) is not "
+        << "pause-transparent";
+    EXPECT_EQ(full.finalHash, split.finalHash);
+    EXPECT_EQ(full.cycles, split.cycles);
 }
 
 // ----- state hashing sanity ---------------------------------------------------

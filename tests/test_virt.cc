@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Filter virtualization, dynamic membership, and core-loss repair tests
+ * (ISSUE 4 acceptance suite).
+ *
+ * Covers: groups oversubscribing the physical filter contexts complete
+ * entirely on the filter path with zero permanent software-fallback
+ * demotions; two-phase join/leave commits never mix member counts within
+ * an epoch; a core killed mid-epoch leaves the survivors completing every
+ * subsequent epoch with the shrunk member count (both the forced-leave
+ * hardware repair and the ping-pong recovery-arc replay); exhausted
+ * groups re-acquire a physical filter once one frees up instead of
+ * staying demoted forever; and the churn fuzzer plus its repro artifact
+ * round-trip stay clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "barriers/barrier_gen.hh"
+#include "os/filter_virt.hh"
+#include "sys/fuzz.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+CmpConfig
+virtConfig(unsigned cores, unsigned banks, unsigned filtersPerBank)
+{
+    CmpConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1SizeBytes = 8 * 1024;
+    cfg.l2SizeBytes = 64 * 1024;
+    cfg.l3SizeBytes = 256 * 1024;
+    cfg.l2Banks = banks;
+    cfg.filtersPerBank = filtersPerBank;
+    cfg.filterVirtual = true;
+    cfg.filterRecovery = true;
+    cfg.watchdogInterval = 2'000'000;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+/**
+ * One epoch-pounding thread: @p epochs rounds of jittered busy-work and
+ * a barrier crossing, publishing the finished-epoch count to @p cell
+ * (same scheme as the torture and churn harnesses).
+ */
+ProgramPtr
+buildEpochProgram(Os &os, const BarrierHandle &handle, unsigned slot,
+                  ThreadId tid, unsigned epochs, Addr cell, unsigned jitter)
+{
+    ProgramBuilder b(os.codeBase(tid));
+    BarrierCodegen bar(handle, slot);
+    IntReg rK = b.temp(), rKmax = b.temp(), rDelay = b.temp(),
+           rCell = b.temp(), rT = b.temp();
+
+    bar.emitInit(b);
+    b.li(rCell, int64_t(cell));
+    b.li(rK, 1);
+    b.li(rKmax, int64_t(epochs));
+    b.label("epoch");
+    b.li(rDelay, int64_t(jitter));
+    b.slli(rT, rK, 2);
+    b.add(rDelay, rDelay, rT);
+    b.andi(rDelay, rDelay, 63);
+    b.label("delay");
+    b.beqz(rDelay, "delaydone");
+    b.addi(rDelay, rDelay, -1);
+    b.j("delay");
+    b.label("delaydone");
+    bar.emitBarrier(b);
+    b.sd(rK, rCell, 0);
+    b.addi(rK, rK, 1);
+    b.bge(rKmax, rK, "epoch");
+    b.halt();
+    bar.emitArrivalSections(b);
+    return b.build();
+}
+
+/** Per-thread plan for a multi-group run. */
+struct ThreadPlan
+{
+    unsigned group = 0;
+    unsigned slot = 0;
+    unsigned epochs = 0;
+    Addr cell = 0;
+};
+
+struct MultiGroupRun
+{
+    bool halted = false;
+    bool barrierError = false;
+    Tick cycles = 0;
+    uint64_t violations = 0;
+    std::vector<BarrierHandle> handles;
+    std::vector<ThreadPlan> plans;
+};
+
+/**
+ * Launch @p groups groups of @p threadsPerGroup threads under @p kind on
+ * @p sys, one thread per core in group-major order, and run to halt.
+ * epochsOf(group, slot) gives each thread's crossing count; a thread
+ * scheduled for fewer epochs than @p fullEpochs gets an automatic leave
+ * armed at its last crossing.
+ */
+template <typename EpochsFn>
+MultiGroupRun
+runGroups(CmpSystem &sys, BarrierKind kind, unsigned groups,
+          unsigned threadsPerGroup, unsigned fullEpochs, EpochsFn epochsOf)
+{
+    Os &os = sys.os();
+    const unsigned line = sys.config().lineBytes;
+    const unsigned total = groups * threadsPerGroup;
+    Addr cells = os.allocData(uint64_t(total) * line, line);
+
+    MultiGroupRun r;
+    for (unsigned g = 0; g < groups; ++g) {
+        BarrierHandle h = os.registerBarrier(kind, threadsPerGroup);
+        for (unsigned s = 0; s < threadsPerGroup; ++s) {
+            const unsigned idx = g * threadsPerGroup + s;
+            const unsigned mine = epochsOf(g, s);
+            if (mine < fullEpochs)
+                os.autoLeaveBarrier(h, s, mine);
+            Addr cell = cells + uint64_t(idx) * line;
+            ThreadContext *t = os.createThread(buildEpochProgram(
+                os, h, s, ThreadId(idx), mine, cell, (idx * 29 + g * 13) & 63));
+            os.bindBarrierSlot(h, s, t->tid);
+            os.startThread(t, CoreId(idx));
+            r.plans.push_back({g, s, mine, cell});
+        }
+        r.handles.push_back(h);
+    }
+    r.cycles = sys.run(50'000'000);
+    r.halted = sys.allThreadsHalted();
+    r.barrierError = sys.anyBarrierError();
+    r.violations = sys.statistics().counterValue("check.violations");
+    return r;
+}
+
+} // namespace
+
+// ----- oversubscription: many groups, two physical contexts ------------------
+
+TEST(Virtualization, EightGroupsOnTwoContextsCompleteOnFilterPath)
+{
+    const unsigned groups = 8, tpg = 2, epochs = 10;
+    CmpConfig cfg = virtConfig(groups * tpg, /*banks=*/1, /*filters=*/2);
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(sys, BarrierKind::FilterDCache, groups, tpg,
+                                epochs, [&](unsigned, unsigned) {
+                                    return epochs;
+                                });
+
+    EXPECT_TRUE(r.halted) << "oversubscribed run did not complete";
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.violations, 0u);
+    for (const ThreadPlan &p : r.plans)
+        EXPECT_EQ(sys.memory().read64(p.cell), p.epochs)
+            << "group " << p.group << " slot " << p.slot;
+
+    // Every group was granted the filter path and none was ever demoted
+    // to the software fallback: virtualization absorbed the overload.
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierFallbacks"), 0u);
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierBirthDegraded"), 0u);
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierRecoveries"), 0u);
+    for (const BarrierHandle &h : r.handles) {
+        EXPECT_EQ(h.granted, BarrierKind::FilterDCache);
+        EXPECT_EQ(sys.memory().read64(h.modeAddr), 0u)
+            << "a group ended the run demoted to the fallback";
+    }
+    ASSERT_NE(sys.os().virtualizer(), nullptr);
+    EXPECT_GT(sys.os().virtualizer()->swapInCount(), 0u)
+        << "8 groups on 2 contexts never swapped — not oversubscribed?";
+    EXPECT_EQ(sys.statistics().counterValue("os.virt.groups"), 8u);
+}
+
+TEST(Virtualization, PingPongPairsSwapAtomically)
+{
+    // Ping-pong groups occupy two contexts each: 4 groups = 8 contexts
+    // on 2 physical filters, and a pair must never be split.
+    const unsigned groups = 4, tpg = 2, epochs = 8;
+    CmpConfig cfg = virtConfig(groups * tpg, 1, 2);
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(sys, BarrierKind::FilterDCachePP, groups,
+                                tpg, epochs, [&](unsigned, unsigned) {
+                                    return epochs;
+                                });
+
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.violations, 0u);
+    for (const ThreadPlan &p : r.plans)
+        EXPECT_EQ(sys.memory().read64(p.cell), p.epochs);
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierFallbacks"), 0u);
+    EXPECT_GT(sys.os().virtualizer()->swapInCount(), 0u);
+}
+
+// ----- two-phase membership ---------------------------------------------------
+
+TEST(Membership, JoinCommitsAtEpochBoundary)
+{
+    // Three founding members plus one joiner in a capacity-4 group. The
+    // join is proposed before the run; it commits at the first release
+    // boundary, so the joiner's crossings line up with episodes 2..E and
+    // its automatic leave at crossing E-1 hands the last episode back to
+    // the founders alone. Every thread halts; no epoch ever waits on a
+    // count it cannot reach.
+    const unsigned epochs = 8;
+    CmpConfig cfg = virtConfig(4, 1, 2);
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    const unsigned line = cfg.lineBytes;
+    Addr cells = os.allocData(4 * line, line);
+
+    BarrierHandle h =
+        os.registerBarrier(BarrierKind::FilterDCache, 3, /*maxThreads=*/4);
+    os.joinBarrier(h, 3);
+    os.autoLeaveBarrier(h, 3, epochs - 1);
+    for (unsigned s = 0; s < 4; ++s) {
+        const unsigned mine = s == 3 ? epochs - 1 : epochs;
+        ThreadContext *t = os.createThread(buildEpochProgram(
+            os, h, s, ThreadId(s), mine, cells + s * line, s * 17 & 63));
+        os.bindBarrierSlot(h, s, t->tid);
+        os.startThread(t, CoreId(s));
+    }
+    sys.run(50'000'000);
+
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+    EXPECT_EQ(sys.statistics().counterValue("check.violations"), 0u);
+    for (unsigned s = 0; s < 4; ++s)
+        EXPECT_EQ(sys.memory().read64(cells + s * line),
+                  s == 3 ? epochs - 1 : epochs);
+    EXPECT_GE(sys.statistics().counterValue("filter.bank0.joinCommits"), 1u);
+    EXPECT_GE(sys.statistics().counterValue("filter.bank0.leaveCommits"), 1u);
+    // After the final commit the group is back to its three founders.
+    BarrierFilter *f = os.groupFilter(h, 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->memberCount(), 3u);
+}
+
+TEST(Membership, AutoLeaveShrinksTheGroup)
+{
+    const unsigned epochs = 10;
+    CmpConfig cfg = virtConfig(4, 1, 2);
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(
+        sys, BarrierKind::FilterDCache, 1, 4, epochs,
+        [&](unsigned, unsigned s) { return s >= 2 ? 3u : epochs; });
+
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.violations, 0u);
+    for (const ThreadPlan &p : r.plans)
+        EXPECT_EQ(sys.memory().read64(p.cell), p.epochs);
+    EXPECT_GE(sys.statistics().counterValue("filter.bank0.leaveCommits"),
+              2u);
+    BarrierFilter *f = sys.os().groupFilter(r.handles[0], 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->memberCount(), 2u)
+        << "two leavers should have shrunk the group from 4 to 2";
+}
+
+// ----- core loss --------------------------------------------------------------
+
+TEST(CoreLoss, SurvivorsCompleteAfterMidEpochKill)
+{
+    // Kill core 2 mid-run. The OS repair forces the dead slot out of the
+    // filter group (the group stays on the hardware path) and the three
+    // survivors complete every remaining epoch with the shrunk count.
+    const unsigned epochs = 40;
+    CmpConfig cfg = virtConfig(4, 1, 2);
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 9;
+    cfg.faults.coreKillAt = 2500;
+    cfg.faults.coreKillCore = 2;
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(sys, BarrierKind::FilterDCache, 1, 4,
+                                epochs, [&](unsigned, unsigned) {
+                                    return epochs;
+                                });
+
+    EXPECT_TRUE(r.halted) << "survivors deadlocked after the kill";
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(sys.statistics().counterValue("faults.coreKills"), 1u);
+    EXPECT_EQ(sys.statistics().counterValue("os.repair.forcedLeaves"), 1u);
+    for (const ThreadPlan &p : r.plans) {
+        uint64_t done = sys.memory().read64(p.cell);
+        if (p.slot == 2) {
+            EXPECT_LT(done, uint64_t(epochs)) << "victim finished anyway?";
+        } else {
+            EXPECT_EQ(done, uint64_t(epochs))
+                << "survivor slot " << p.slot << " missed epochs";
+        }
+    }
+    BarrierFilter *f = sys.os().groupFilter(r.handles[0], 0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->memberCount(), 3u);
+}
+
+TEST(CoreLoss, PingPongKillReplaysThroughRecoveryArc)
+{
+    // Ping-pong groups cannot shrink in place (crossed arrival/exit
+    // maps), so a kill rides the Section 3.3.4 recovery arc: poison,
+    // mode flip, and survivors replaying the epoch on the software
+    // fallback with the shrunk count.
+    const unsigned epochs = 40;
+    CmpConfig cfg = virtConfig(4, 1, 2);
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 11;
+    cfg.faults.coreKillAt = 2500;
+    cfg.faults.coreKillCore = 1;
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(sys, BarrierKind::FilterDCachePP, 1, 4,
+                                epochs, [&](unsigned, unsigned) {
+                                    return epochs;
+                                });
+
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError)
+        << "the recovery arc should absorb the kill";
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(sys.statistics().counterValue("faults.coreKills"), 1u);
+    EXPECT_GE(sys.statistics().counterValue("os.repair.replayedEpochs"),
+              1u);
+    for (const ThreadPlan &p : r.plans) {
+        uint64_t done = sys.memory().read64(p.cell);
+        if (p.slot == 1)
+            EXPECT_LT(done, uint64_t(epochs));
+        else
+            EXPECT_EQ(done, uint64_t(epochs));
+    }
+}
+
+TEST(CoreLoss, KillUnderOversubscriptionSparesOtherGroups)
+{
+    const unsigned groups = 4, tpg = 3, epochs = 12;
+    CmpConfig cfg = virtConfig(groups * tpg, 1, 2);
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 21;
+    cfg.faults.coreKillAt = 3000;
+    cfg.faults.coreKillCore = 4; // group 1, slot 1
+    CmpSystem sys(cfg);
+    MultiGroupRun r = runGroups(sys, BarrierKind::FilterDCache, groups, tpg,
+                                epochs, [&](unsigned, unsigned) {
+                                    return epochs;
+                                });
+
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.barrierError);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(sys.statistics().counterValue("faults.coreKills"), 1u);
+    for (const ThreadPlan &p : r.plans) {
+        uint64_t done = sys.memory().read64(p.cell);
+        if (p.group == 1 && p.slot == 1)
+            EXPECT_LT(done, uint64_t(epochs));
+        else
+            EXPECT_EQ(done, uint64_t(epochs))
+                << "group " << p.group << " slot " << p.slot;
+    }
+}
+
+// ----- exhaustion is no longer sticky ----------------------------------------
+
+TEST(Reacquire, ExhaustedGroupReturnsToHardwareWhenAFilterFrees)
+{
+    // One physical filter, no virtualization. Group A takes the filter;
+    // group B is born degraded (software fallback, mode=1). Once A's
+    // threads finish and A is released, the periodic reacquire sweep
+    // must hand the freed filter to B and flip its mode word back — the
+    // regression here was B staying demoted forever.
+    const unsigned epochs = 30;
+    CmpConfig cfg = virtConfig(4, 1, /*filters=*/1);
+    cfg.filterVirtual = false;
+    cfg.filterReacquireInterval = 512;
+    CmpSystem sys(cfg);
+    Os &os = sys.os();
+    const unsigned line = cfg.lineBytes;
+    Addr cells = os.allocData(4 * line, line);
+
+    BarrierHandle a = os.registerBarrier(BarrierKind::FilterDCache, 2);
+    BarrierHandle bh = os.registerBarrier(BarrierKind::FilterDCache, 2);
+    EXPECT_EQ(a.granted, BarrierKind::FilterDCache);
+    EXPECT_EQ(bh.granted, BarrierKind::FilterDCache)
+        << "exhaustion should grant a degraded filter, not SwCentral";
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierBirthDegraded"), 1u);
+    EXPECT_EQ(sys.memory().read64(bh.modeAddr), 1u);
+
+    for (unsigned s = 0; s < 2; ++s) {
+        ThreadContext *t = os.createThread(buildEpochProgram(
+            os, a, s, ThreadId(s), 6, cells + s * line, s * 11 & 63));
+        os.bindBarrierSlot(a, s, t->tid);
+        os.startThread(t, CoreId(s));
+    }
+    sys.run(50'000'000);
+    ASSERT_TRUE(sys.allThreadsHalted());
+    os.releaseBarrier(a);
+
+    for (unsigned s = 0; s < 2; ++s) {
+        ThreadContext *t = os.createThread(buildEpochProgram(
+            os, bh, s, ThreadId(2 + s), epochs, cells + (2 + s) * line,
+            s * 19 & 63));
+        os.bindBarrierSlot(bh, s, t->tid);
+        os.startThread(t, CoreId(2 + s));
+    }
+    sys.run(50'000'000);
+
+    EXPECT_TRUE(sys.allThreadsHalted());
+    EXPECT_FALSE(sys.anyBarrierError());
+    EXPECT_EQ(sys.statistics().counterValue("check.violations"), 0u);
+    for (unsigned s = 0; s < 2; ++s)
+        EXPECT_EQ(sys.memory().read64(cells + (2 + s) * line), epochs);
+    EXPECT_EQ(sys.statistics().counterValue("os.barrierReacquires"), 1u)
+        << "the freed filter was never handed back to the demoted group";
+    EXPECT_EQ(sys.memory().read64(bh.modeAddr), 0u)
+        << "reacquire must flip the mode word back to the hardware path";
+}
+
+// ----- churn fuzzing ----------------------------------------------------------
+
+TEST(ChurnFuzz, SmokeSeedsAreClean)
+{
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+        std::optional<FuzzReport> rep = fuzzChurnSeed(seed, 8);
+        EXPECT_FALSE(rep.has_value())
+            << "churn seed " << seed << " failed: kind="
+            << barrierKindName(rep->kind)
+            << " violations=" << rep->run.violations
+            << " exception=" << rep->run.exception
+            << " firstViolation=" << rep->run.firstViolation;
+    }
+}
+
+TEST(ChurnFuzz, ReproArtifactRoundTripsChurnSpec)
+{
+    FuzzReport rep;
+    rep.seed = 42;
+    rep.kind = BarrierKind::FilterICache;
+    rep.shrunk = churnScenarioFromSeed(42);
+    rep.shrunk.kinds = {rep.kind};
+
+    std::ostringstream os;
+    writeRepro(os, rep);
+    Repro r = parseRepro(os.str());
+
+    ASSERT_TRUE(r.sc.churn.enabled);
+    EXPECT_EQ(r.sc.churn.groups, rep.shrunk.churn.groups);
+    EXPECT_EQ(r.sc.churn.threadsPerGroup,
+              rep.shrunk.churn.threadsPerGroup);
+    EXPECT_EQ(r.sc.churn.epochs, rep.shrunk.churn.epochs);
+    EXPECT_EQ(r.sc.churn.leaveAfter, rep.shrunk.churn.leaveAfter);
+    EXPECT_EQ(r.sc.cfg.filterVirtual, true);
+    EXPECT_EQ(r.kind, BarrierKind::FilterICache);
+}

@@ -14,6 +14,8 @@
  *
  *   seeds=A:B    fuzz seeds A inclusive to B exclusive (default 0:16)
  *   seed=N       fuzz exactly one seed
+ *   churn=1      churn scenarios instead of kernels: oversubscribed
+ *                virtualized filters, join/leave schedules, core kills
  *   out=DIR      write repro artifacts into DIR (default ".")
  *   budget=N     shrink-run budget per failure (default 24)
  *   replay=FILE  replay one repro artifact instead of fuzzing
@@ -114,19 +116,22 @@ main(int argc, char **argv)
     }
     std::string outDir = opts.getString("out", ".");
     unsigned budget = unsigned(opts.getUint("budget", 24));
+    bool churn = opts.getUint("churn", 0) != 0;
 
     unsigned failures = 0;
     for (uint64_t seed = lo; seed < hi; ++seed) {
-        std::cout << "seed " << seed << ": " << std::flush;
-        std::optional<FuzzReport> rep = fuzzSeed(seed, budget);
+        std::cout << (churn ? "churn seed " : "seed ") << seed << ": "
+                  << std::flush;
+        std::optional<FuzzReport> rep = churn ? fuzzChurnSeed(seed, budget)
+                                              : fuzzSeed(seed, budget);
         if (!rep) {
             std::cout << "clean\n";
             continue;
         }
         ++failures;
         std::ostringstream name;
-        name << outDir << "/repro-seed" << seed << "-"
-             << barrierKindName(rep->kind) << ".json";
+        name << outDir << "/repro-" << (churn ? "churn-" : "") << "seed"
+             << seed << "-" << barrierKindName(rep->kind) << ".json";
         std::ofstream out(name.str());
         if (!out) {
             std::cerr << "fuzz_barriers: cannot write " << name.str()
