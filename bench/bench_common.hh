@@ -12,13 +12,13 @@
 #ifndef BFSIM_BENCH_COMMON_HH
 #define BFSIM_BENCH_COMMON_HH
 
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "kernels/workload.hh"
+#include "sim/artifact.hh"
 #include "sim/json.hh"
 #include "sys/experiment.hh"
 
@@ -79,8 +79,10 @@ writeConfigJson(JsonWriter &w, const CmpConfig &cfg)
 }
 
 /**
- * Open @p path and hand a JsonWriter to @p body; announces the artifact
- * on stdout. No-op when @p path is empty.
+ * Render the document @p body produces and publish it atomically at
+ * @p path (tmp + fsync + rename, see sim/artifact.hh) so a bench killed
+ * mid-write never leaves a truncated artifact; announces the artifact on
+ * stdout. No-op when @p path is empty.
  */
 inline void
 writeBenchJson(const std::string &path,
@@ -88,14 +90,7 @@ writeBenchJson(const std::string &path,
 {
     if (path.empty())
         return;
-    std::ofstream os(path);
-    if (!os)
-        fatal("json: cannot open '" + path + "' for writing");
-    JsonWriter w(os);
-    body(w);
-    os << "\n";
-    if (!os)
-        fatal("json: error writing '" + path + "'");
+    writeJsonArtifact(path, body);
     std::cout << "\nwrote " << path << "\n";
 }
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Atomic artifact write implementation (POSIX tmp + fsync + rename).
+ */
+
+#include "sim/artifact.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("artifact: cannot open '" + tmp +
+              "': " + std::strerror(errno));
+
+    size_t off = 0;
+    while (off < content.size()) {
+        ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal("artifact: write to '" + tmp +
+                  "' failed: " + std::strerror(err));
+        }
+        off += size_t(n);
+    }
+
+    // Durability before visibility: the rename must never publish a name
+    // whose bytes are still only in the page cache.
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatal("artifact: fsync of '" + tmp +
+              "' failed: " + std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("artifact: close of '" + tmp +
+              "' failed: " + std::strerror(err));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("artifact: rename '" + tmp + "' -> '" + path +
+              "' failed: " + std::strerror(err));
+    }
+}
+
+void
+writeJsonArtifact(const std::string &path,
+                  const std::function<void(JsonWriter &)> &body)
+{
+    if (path.empty())
+        return;
+    std::ostringstream buf;
+    JsonWriter w(buf);
+    body(w);
+    buf << "\n";
+    writeFileAtomic(path, buf.str());
+}
+
+std::string
+readFileToString(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("artifact: cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    if (f.bad())
+        fatal("artifact: error reading '" + path + "'");
+    return buf.str();
+}
+
+void
+makeDirs(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string partial;
+    std::istringstream ss(path);
+    std::string comp;
+    if (path[0] == '/')
+        partial = "/";
+    while (std::getline(ss, comp, '/')) {
+        if (comp.empty())
+            continue;
+        if (!partial.empty() && partial.back() != '/')
+            partial += '/';
+        partial += comp;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            fatal("artifact: mkdir '" + partial +
+                  "' failed: " + std::strerror(errno));
+    }
+}
+
+} // namespace bfsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Crash-safe artifact file writes.
+ *
+ * Every JSON artifact the simulator emits (bench `json=` results, fuzzer
+ * repros, sweep run results, checkpoints) may be consumed by a process
+ * that did not write it — the sweep aggregator, CI, a human replaying a
+ * repro. A worker killed mid-write (timeout SIGKILL, sanitizer abort,
+ * host interruption) must therefore never leave a truncated or corrupt
+ * artifact at the published path. The helpers here write to
+ * `<path>.tmp`, fsync, then rename(2) into place: readers observe either
+ * the complete old content, the complete new content, or no file at all.
+ */
+
+#ifndef BFSIM_SIM_ARTIFACT_HH
+#define BFSIM_SIM_ARTIFACT_HH
+
+#include <functional>
+#include <string>
+
+namespace bfsim
+{
+
+class JsonWriter;
+
+/**
+ * Atomically replace @p path with @p content: write `<path>.tmp`, fsync,
+ * rename into place. @throws FatalError on any IO failure (the tmp file
+ * is unlinked best-effort first).
+ */
+void writeFileAtomic(const std::string &path, const std::string &content);
+
+/**
+ * Render a JSON document via @p body into a buffer, then publish it
+ * atomically at @p path with a trailing newline. No-op when @p path is
+ * empty.
+ */
+void writeJsonArtifact(const std::string &path,
+                       const std::function<void(JsonWriter &)> &body);
+
+/**
+ * Read a whole file into a string. @throws FatalError when the file
+ * cannot be opened or read.
+ */
+std::string readFileToString(const std::string &path);
+
+/** mkdir -p. @throws FatalError when a component cannot be created. */
+void makeDirs(const std::string &path);
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_ARTIFACT_HH

@@ -173,6 +173,15 @@ JsonWriter::null()
 namespace
 {
 
+/**
+ * Internal parse abort: carries the typed error out of the recursive
+ * descent. Caught inside tryParseJson — never escapes this file.
+ */
+struct ParseAbort
+{
+    JsonParseError err;
+};
+
 class Parser
 {
   public:
@@ -192,7 +201,7 @@ class Parser
     [[noreturn]] void
     fail(const std::string &why) const
     {
-        fatal("json: " + why + " at offset " + std::to_string(pos));
+        throw ParseAbort{JsonParseError{why, pos}};
     }
 
     void
@@ -299,6 +308,17 @@ class Parser
     JsonValue
     parseValue()
     {
+        if (depth >= jsonMaxDepth)
+            fail("nesting deeper than " + std::to_string(jsonMaxDepth));
+        ++depth;
+        JsonValue v = parseValueInner();
+        --depth;
+        return v;
+    }
+
+    JsonValue
+    parseValueInner()
+    {
         char c = peek();
         JsonValue v;
         if (c == '{') {
@@ -353,19 +373,45 @@ class Parser
         }
         if (consumeLiteral("null"))
             return v;
-        // Number.
+        // Number: walk the strict JSON grammar first, then let strtod
+        // convert exactly that span. strtod alone accepts spellings JSON
+        // forbids — hex, inf/nan, "1.", "1e", leading zeros — and a
+        // truncated artifact can end mid-number.
         const char *start = text.c_str() + pos;
+        const char *p = start;
+        auto digit = [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+        };
+        if (*p == '-')
+            ++p;
+        if (*p == '0') {
+            ++p; // leading zero: nothing may follow in the int part
+        } else if (digit(*p)) {
+            while (digit(*p))
+                ++p;
+        } else {
+            fail(p == start ? "unexpected token" : "bad number");
+        }
+        if (*p == '.') {
+            ++p;
+            if (!digit(*p))
+                fail("bad number");
+            while (digit(*p))
+                ++p;
+        }
+        if (*p == 'e' || *p == 'E') {
+            ++p;
+            if (*p == '+' || *p == '-')
+                ++p;
+            if (!digit(*p))
+                fail("bad number");
+            while (digit(*p))
+                ++p;
+        }
         char *end = nullptr;
         double num = std::strtod(start, &end);
-        if (end == start)
-            fail("unexpected token");
-        // Reject strtod extensions JSON forbids (hex, inf, nan).
-        for (const char *p = start; p < end; ++p) {
-            char d = *p;
-            if (!(std::isdigit(static_cast<unsigned char>(d)) || d == '-' ||
-                  d == '+' || d == '.' || d == 'e' || d == 'E'))
-                fail("bad number");
-        }
+        if (end != p)
+            fail("bad number");
         pos += size_t(end - start);
         v.type = JsonValue::Type::Number;
         v.number = num;
@@ -374,9 +420,61 @@ class Parser
 
     const std::string &text;
     size_t pos = 0;
+    size_t depth = 0;
 };
 
 } // namespace
+
+std::string
+JsonParseError::describe() const
+{
+    return "json: " + message + " at offset " + std::to_string(offset);
+}
+
+std::optional<JsonValue>
+tryParseJson(const std::string &text, JsonParseError *err)
+{
+    try {
+        return Parser(text).parse();
+    } catch (const ParseAbort &abort) {
+        if (err)
+            *err = abort.err;
+        return std::nullopt;
+    }
+}
+
+void
+writeJsonValue(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        w.null();
+        break;
+      case JsonValue::Type::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Type::Number:
+        w.value(v.number);
+        break;
+      case JsonValue::Type::String:
+        w.value(v.str);
+        break;
+      case JsonValue::Type::Array:
+        w.beginArray();
+        for (const JsonValue &e : v.arr)
+            writeJsonValue(w, e);
+        w.end();
+        break;
+      case JsonValue::Type::Object:
+        w.beginObject();
+        for (const auto &[k, e] : v.obj) {
+            w.key(k);
+            writeJsonValue(w, e);
+        }
+        w.end();
+        break;
+    }
+}
 
 const JsonValue &
 JsonValue::at(const std::string &name) const
@@ -398,7 +496,11 @@ JsonValue::has(const std::string &name) const
 JsonValue
 parseJson(const std::string &text)
 {
-    return Parser(text).parse();
+    JsonParseError err;
+    std::optional<JsonValue> v = tryParseJson(text, &err);
+    if (!v)
+        fatal(err.describe());
+    return *std::move(v);
 }
 
 } // namespace bfsim

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -102,10 +103,49 @@ struct JsonValue
 };
 
 /**
+ * Typed description of why a parse failed: a human-readable message and
+ * the byte offset it refers to. Returned (not thrown) by tryParseJson so
+ * callers that read artifacts they did not write — the sweep aggregator
+ * parsing a possibly-truncated worker output, the fuzzer replaying a
+ * repro — can report the failure without exception plumbing.
+ */
+struct JsonParseError
+{
+    std::string message;
+    size_t offset = 0;
+
+    /** "json: <message> at offset <offset>". */
+    std::string describe() const;
+};
+
+/**
+ * Parse @p text as one JSON document; never throws on malformed input.
+ *
+ * Hardened against hostile/truncated bytes: mid-token EOF, unterminated
+ * strings and escapes, trailing garbage, and pathological nesting (a
+ * depth cap of jsonMaxDepth bounds recursion so a megabyte of '[' cannot
+ * overflow the stack) all return nullopt with @p err (when non-null)
+ * filled in.
+ */
+std::optional<JsonValue> tryParseJson(const std::string &text,
+                                      JsonParseError *err = nullptr);
+
+/**
  * Parse @p text as one JSON document.
  * @throws FatalError on malformed input or trailing garbage.
  */
 JsonValue parseJson(const std::string &text);
+
+/** Container nesting depth tryParseJson accepts before giving up. */
+constexpr size_t jsonMaxDepth = 256;
+
+/**
+ * Re-emit a parsed tree through @p w (deterministic: object members in
+ * sorted key order, numbers in round-trip precision). Used to copy
+ * subtrees from one artifact into another, e.g. per-run sweep results
+ * into the aggregate.
+ */
+void writeJsonValue(JsonWriter &w, const JsonValue &v);
 
 } // namespace bfsim
 

@@ -10,6 +10,7 @@
 
 #include "barriers/barrier_gen.hh"
 #include "cpu/core.hh"
+#include "sim/artifact.hh"
 #include "sim/hash.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
@@ -697,6 +698,15 @@ writeRepro(std::ostream &os, const FuzzReport &rep)
         emitValue(jw, parseJson(rep.run.checkpointJson));
 
     jw.end();
+}
+
+void
+writeReproFile(const std::string &path, const FuzzReport &report)
+{
+    std::ostringstream buf;
+    writeRepro(buf, report);
+    buf << "\n";
+    writeFileAtomic(path, buf.str());
 }
 
 Repro

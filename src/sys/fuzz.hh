@@ -170,6 +170,13 @@ std::optional<FuzzReport> fuzzChurnSeed(uint64_t seed,
  */
 void writeRepro(std::ostream &os, const FuzzReport &report);
 
+/**
+ * writeRepro to @p path via an atomic tmp + rename publish, so an
+ * interrupted fuzzer (CI cancellation, OOM kill) never leaves a
+ * truncated repro artifact. @throws FatalError on IO failure.
+ */
+void writeReproFile(const std::string &path, const FuzzReport &report);
+
 /** Parsed repro artifact: everything needed to replay the failure. */
 struct Repro
 {

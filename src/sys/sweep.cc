@@ -1,0 +1,1320 @@
+/**
+ * @file
+ * Sweep service implementation: spec expansion, crash-isolated worker
+ * execution, the fork/exec driver with timeout + retry + quarantine,
+ * journaling/resume, deterministic aggregation, and baseline gating.
+ */
+
+#include "sys/sweep.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "kernels/workload.hh"
+#include "os/os.hh"
+#include "sim/artifact.hh"
+#include "sim/hash.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sys/cmp_config.hh"
+#include "sys/experiment.hh"
+#include "sys/fuzz.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t gStop = 0;
+
+/** Monotonic seconds (never wall-clock: immune to host clock steps). */
+double
+nowSec()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        fatal("sweep: cannot resolve /proc/self/exe");
+    buf[n] = '\0';
+    return buf;
+}
+
+// ----- spec parsing ---------------------------------------------------------
+
+double
+numberAt(const JsonValue &v, const std::string &key, double dflt)
+{
+    if (!v.has(key))
+        return dflt;
+    const JsonValue &m = v.at(key);
+    if (!m.isNumber())
+        fatal("sweep spec: member \"" + key + "\" must be a number");
+    return m.number;
+}
+
+std::vector<std::string>
+stringListAt(const JsonValue &v, const std::string &key)
+{
+    std::vector<std::string> out;
+    if (!v.has(key))
+        return out;
+    const JsonValue &a = v.at(key);
+    if (!a.isArray())
+        fatal("sweep spec: member \"" + key + "\" must be an array");
+    for (const JsonValue &e : a.arr) {
+        if (!e.isString())
+            fatal("sweep spec: \"" + key + "\" entries must be strings");
+        out.push_back(e.str);
+    }
+    return out;
+}
+
+template <typename T>
+std::vector<T>
+numberListAt(const JsonValue &v, const std::string &key,
+             const std::vector<T> &dflt)
+{
+    if (!v.has(key))
+        return dflt;
+    const JsonValue &a = v.at(key);
+    if (!a.isArray())
+        fatal("sweep spec: member \"" + key + "\" must be an array");
+    std::vector<T> out;
+    for (const JsonValue &e : a.arr) {
+        if (!e.isNumber())
+            fatal("sweep spec: \"" + key + "\" entries must be numbers");
+        out.push_back(T(e.number));
+    }
+    return out;
+}
+
+void
+rejectUnknownMembers(const JsonValue &v, const char *what,
+                     const std::set<std::string> &allowed)
+{
+    for (const auto &[k, _] : v.obj)
+        if (!allowed.count(k))
+            fatal(std::string("sweep spec: unknown ") + what + " member \"" +
+                  k + "\"");
+}
+
+} // namespace
+
+void
+requestSweepStop()
+{
+    gStop = 1;
+}
+
+SweepSpec
+parseSweepSpec(const JsonValue &v)
+{
+    if (!v.isObject())
+        fatal("sweep spec: document must be an object");
+    rejectUnknownMembers(
+        v, "spec",
+        {"name", "mode", "cores", "mechanisms", "seeds", "kernels", "n",
+         "reps", "barriers", "loops", "checkpoint", "config", "policy",
+         "sabotage"});
+
+    SweepSpec s;
+    if (v.has("name"))
+        s.name = v.at("name").str;
+    if (v.has("mode"))
+        s.mode = v.at("mode").str;
+    if (s.mode != "fig4" && s.mode != "kernel")
+        fatal("sweep spec: mode must be \"fig4\" or \"kernel\", not \"" +
+              s.mode + "\"");
+
+    s.cores = numberListAt<unsigned>(v, "cores", s.cores);
+    s.mechanisms = stringListAt(v, "mechanisms");
+    s.seeds = numberListAt<uint64_t>(v, "seeds", s.seeds);
+    if (v.has("kernels"))
+        s.kernels = stringListAt(v, "kernels");
+    s.n = uint64_t(numberAt(v, "n", double(s.n)));
+    s.reps = unsigned(numberAt(v, "reps", s.reps));
+    s.barriers = unsigned(numberAt(v, "barriers", s.barriers));
+    s.loops = unsigned(numberAt(v, "loops", s.loops));
+    if (v.has("checkpoint"))
+        s.checkpoint = v.at("checkpoint").boolean;
+    s.config = stringListAt(v, "config");
+
+    if (v.has("policy")) {
+        const JsonValue &p = v.at("policy");
+        rejectUnknownMembers(p, "policy",
+                             {"timeoutSec", "killGraceSec", "maxAttempts",
+                              "backoffBaseMs", "backoffMaxMs", "jobs"});
+        s.policy.timeoutSec = numberAt(p, "timeoutSec", s.policy.timeoutSec);
+        s.policy.killGraceSec =
+            numberAt(p, "killGraceSec", s.policy.killGraceSec);
+        s.policy.maxAttempts =
+            unsigned(numberAt(p, "maxAttempts", s.policy.maxAttempts));
+        s.policy.backoffBaseMs =
+            numberAt(p, "backoffBaseMs", s.policy.backoffBaseMs);
+        s.policy.backoffMaxMs =
+            numberAt(p, "backoffMaxMs", s.policy.backoffMaxMs);
+        s.policy.jobs = unsigned(numberAt(p, "jobs", s.policy.jobs));
+    }
+    if (s.policy.maxAttempts == 0)
+        fatal("sweep spec: policy.maxAttempts must be >= 1");
+    if (s.policy.timeoutSec <= 0)
+        fatal("sweep spec: policy.timeoutSec must be > 0");
+
+    if (v.has("sabotage")) {
+        const JsonValue &sb = v.at("sabotage");
+        rejectUnknownMembers(sb, "sabotage",
+                             {"crashRuns", "hangRuns", "attempts"});
+        s.sabotage.crashRuns = stringListAt(sb, "crashRuns");
+        s.sabotage.hangRuns = stringListAt(sb, "hangRuns");
+        s.sabotage.attempts =
+            unsigned(numberAt(sb, "attempts", s.sabotage.attempts));
+    }
+    return s;
+}
+
+SweepSpec
+loadSweepSpec(const std::string &path)
+{
+    std::string text = readFileToString(path);
+    JsonParseError err;
+    std::optional<JsonValue> v = tryParseJson(text, &err);
+    if (!v)
+        fatal("sweep spec '" + path + "': " + err.describe());
+    return parseSweepSpec(*v);
+}
+
+void
+writeSweepSpec(JsonWriter &w, const SweepSpec &s)
+{
+    w.beginObject();
+    w.kv("name", s.name);
+    w.kv("mode", s.mode);
+    w.key("cores").beginArray();
+    for (unsigned c : s.cores)
+        w.value(uint64_t(c));
+    w.end();
+    w.key("mechanisms").beginArray();
+    for (const auto &m : s.mechanisms)
+        w.value(m);
+    w.end();
+    w.key("seeds").beginArray();
+    for (uint64_t sd : s.seeds)
+        w.value(sd);
+    w.end();
+    w.key("kernels").beginArray();
+    for (const auto &k : s.kernels)
+        w.value(k);
+    w.end();
+    w.kv("n", s.n);
+    w.kv("reps", s.reps);
+    w.kv("barriers", s.barriers);
+    w.kv("loops", s.loops);
+    w.kv("checkpoint", s.checkpoint);
+    w.key("config").beginArray();
+    for (const auto &c : s.config)
+        w.value(c);
+    w.end();
+    w.key("policy").beginObject();
+    w.kv("timeoutSec", s.policy.timeoutSec);
+    w.kv("killGraceSec", s.policy.killGraceSec);
+    w.kv("maxAttempts", s.policy.maxAttempts);
+    w.kv("backoffBaseMs", s.policy.backoffBaseMs);
+    w.kv("backoffMaxMs", s.policy.backoffMaxMs);
+    w.kv("jobs", s.policy.jobs);
+    w.end();
+    w.key("sabotage").beginObject();
+    w.key("crashRuns").beginArray();
+    for (const auto &r : s.sabotage.crashRuns)
+        w.value(r);
+    w.end();
+    w.key("hangRuns").beginArray();
+    for (const auto &r : s.sabotage.hangRuns)
+        w.value(r);
+    w.end();
+    w.kv("attempts", s.sabotage.attempts);
+    w.end();
+    w.end();
+}
+
+std::vector<SweepRun>
+expandSweep(const SweepSpec &spec)
+{
+    std::vector<std::string> mechanisms = spec.mechanisms;
+    if (mechanisms.empty())
+        for (BarrierKind k : allBarrierKinds())
+            mechanisms.push_back(barrierKindName(k));
+    // Validate names up front: a typo must fail expansion, not run 999
+    // of 1000 runs and then quarantine the rest.
+    for (const auto &m : mechanisms)
+        barrierKindFromName(m);
+
+    std::vector<SweepRun> runs;
+    if (spec.mode == "fig4") {
+        for (unsigned c : spec.cores) {
+            for (const auto &m : mechanisms) {
+                SweepRun r;
+                r.mode = spec.mode;
+                r.cores = c;
+                r.mechanism = m;
+                r.id = "fig4.c" + std::to_string(c) + "." + m;
+                runs.push_back(std::move(r));
+            }
+        }
+        return runs;
+    }
+    for (const auto &kn : spec.kernels) {
+        kernelIdFromName(kn);
+        for (unsigned c : spec.cores) {
+            for (const auto &m : mechanisms) {
+                for (uint64_t sd : spec.seeds) {
+                    SweepRun r;
+                    r.mode = spec.mode;
+                    r.kernel = kn;
+                    r.cores = c;
+                    r.mechanism = m;
+                    r.seed = sd;
+                    r.id = "kernel." + kn + ".c" + std::to_string(c) + "." +
+                           m + ".s" + std::to_string(sd);
+                    runs.push_back(std::move(r));
+                }
+            }
+        }
+    }
+    return runs;
+}
+
+// ----- worker ---------------------------------------------------------------
+
+namespace
+{
+
+bool
+listed(const std::vector<std::string> &runs, const std::string &id)
+{
+    return std::find(runs.begin(), runs.end(), id) != runs.end();
+}
+
+void
+writeHostSection(JsonWriter &w, double wallSec, uint64_t simCycles,
+                 uint64_t instructions)
+{
+    w.key("host").beginObject();
+    w.kv("wallSec", wallSec);
+    w.kv("simCycles", simCycles);
+    w.kv("instructions", instructions);
+    w.kv("simCyclesPerSec", wallSec > 0 ? double(simCycles) / wallSec : 0.0);
+    w.kv("mips",
+         wallSec > 0 ? double(instructions) / wallSec / 1e6 : 0.0);
+    w.end();
+}
+
+} // namespace
+
+int
+executeSweepRun(const SweepSpec &spec, const std::string &runId,
+                unsigned attempt, const std::string &outPath)
+{
+    if (outPath.empty())
+        fatal("sweep worker: out= is required");
+
+    std::vector<SweepRun> runs = expandSweep(spec);
+    auto it = std::find_if(runs.begin(), runs.end(),
+                           [&](const SweepRun &r) { return r.id == runId; });
+    if (it == runs.end())
+        fatal("sweep worker: run \"" + runId + "\" not in spec grid");
+    const SweepRun &run = *it;
+
+    // Planted faults (test-only): exercise the production crash/hang
+    // paths, including the half-written .tmp a real crash leaves behind.
+    if (attempt <= spec.sabotage.attempts) {
+        if (listed(spec.sabotage.crashRuns, runId)) {
+            std::ofstream torn(outPath + ".tmp");
+            torn << "{\"id\":\"" << runId << "\",\"result\":{\"cyc";
+            torn.flush();
+            std::cerr << "sweep worker: sabotage crash for " << runId
+                      << " attempt " << attempt << "\n";
+            std::abort();
+        }
+        if (listed(spec.sabotage.hangRuns, runId)) {
+            std::cerr << "sweep worker: sabotage hang for " << runId
+                      << " attempt " << attempt << "\n";
+            while (true)
+                ::usleep(100'000);
+        }
+    }
+
+    OptionMap overrides = OptionMap::fromStrings(spec.config);
+    CmpConfig cfg = CmpConfig::fromOptions(overrides);
+    cfg.numCores = run.cores;
+    cfg.validate();
+
+    BarrierKind kind = barrierKindFromName(run.mechanism);
+
+    std::ostringstream buf;
+    JsonWriter w(buf);
+    w.beginObject();
+    w.kv("id", run.id);
+    w.kv("sweep", spec.name);
+    w.kv("mode", run.mode);
+    w.kv("mechanism", run.mechanism);
+    w.kv("cores", run.cores);
+    w.kv("attempt", attempt);
+    w.key("config");
+    cfg.writeJson(w);
+
+    if (run.mode == "fig4") {
+        double t0 = nowSec();
+        BarrierLatencyResult r = measureBarrierLatency(
+            cfg, kind, run.cores, spec.barriers, spec.loops);
+        double wall = nowSec() - t0;
+
+        w.key("result").beginObject();
+        w.kv("cyclesPerBarrier", r.cyclesPerBarrier);
+        w.kv("totalCycles", uint64_t(r.totalCycles));
+        w.kv("barriers", r.barriers);
+        w.kv("granted", r.granted);
+        w.kv("reqBusBusyCycles", r.reqBusBusyCycles);
+        w.kv("respBusBusyCycles", r.respBusBusyCycles);
+        w.kv("invAlls", r.invAlls);
+        w.kv("episodes", r.episodes);
+        w.kv("episodeLatencyP50", r.episodeLatencyP50);
+        w.kv("episodeLatencyP95", r.episodeLatencyP95);
+        w.kv("episodeLatencyP99", r.episodeLatencyP99);
+        w.kv("arrivalSkewMean", r.arrivalSkewMean);
+        w.end();
+        writeHostSection(w, wall, uint64_t(r.totalCycles), 0);
+    } else if (spec.checkpoint) {
+        // Long-run mode: execute under the PR 3 snapshot recorder via the
+        // fuzz harness and embed a replayable checkpoint in the artifact.
+        FuzzScenario sc;
+        sc.cfg = cfg;
+        sc.kernel = kernelIdFromName(run.kernel);
+        sc.params.n = spec.n;
+        sc.params.reps = spec.reps;
+        sc.params.seed = run.seed;
+        sc.threads = run.cores;
+        double t0 = nowSec();
+        FuzzRun fr = runScenarioKind(sc, kind, true);
+        double wall = nowSec() - t0;
+        if (!fr.exception.empty())
+            fatal("sweep worker: run raised: " + fr.exception);
+
+        w.key("result").beginObject();
+        w.kv("cycles", uint64_t(fr.cycles));
+        w.kv("correct", fr.correct);
+        w.kv("completed", fr.completed);
+        w.kv("violations", fr.violations);
+        w.kv("syncPoints", uint64_t(fr.chain.size()));
+        w.end();
+        writeHostSection(w, wall, uint64_t(fr.cycles), 0);
+        w.key("checkpoint");
+        if (fr.checkpointJson.empty())
+            w.null();
+        else
+            writeJsonValue(w, parseJson(fr.checkpointJson));
+    } else {
+        KernelParams params;
+        params.n = spec.n;
+        params.reps = spec.reps;
+        params.seed = run.seed;
+        double t0 = nowSec();
+        KernelRun r = runKernel(cfg, kernelIdFromName(run.kernel), params,
+                                true, kind, run.cores);
+        double wall = nowSec() - t0;
+
+        w.key("result").beginObject();
+        w.kv("cycles", uint64_t(r.cycles));
+        w.kv("correct", r.correct);
+        w.kv("instructions", r.instructions);
+        w.kv("recoveries", r.recoveries);
+        w.kv("fallbacks", r.fallbacks);
+        w.kv("episodes", r.episodes);
+        w.kv("episodeLatencyP50", r.episodeLatencyP50);
+        w.kv("episodeLatencyP95", r.episodeLatencyP95);
+        w.kv("episodeLatencyP99", r.episodeLatencyP99);
+        w.end();
+        writeHostSection(w, wall, uint64_t(r.cycles), r.instructions);
+    }
+
+    w.end();
+    buf << "\n";
+    writeFileAtomic(outPath, buf.str());
+    return 0;
+}
+
+// ----- driver ---------------------------------------------------------------
+
+namespace
+{
+
+/** Append-only JSONL journal with per-line durability. */
+class Ledger
+{
+  public:
+    explicit Ledger(const std::string &path) : path_(path)
+    {
+        fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd < 0)
+            fatal("sweep: cannot open ledger '" + path +
+                  "': " + std::strerror(errno));
+    }
+
+    ~Ledger()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void
+    append(const std::function<void(JsonWriter &)> &body)
+    {
+        std::ostringstream buf;
+        JsonWriter w(buf);
+        body(w);
+        buf << "\n";
+        const std::string line = buf.str();
+        size_t off = 0;
+        while (off < line.size()) {
+            ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("sweep: ledger write failed: " +
+                      std::string(std::strerror(errno)));
+            }
+            off += size_t(n);
+        }
+        // One fsync per event: a SIGKILLed driver loses at most the event
+        // being written, and a torn trailing line is skipped on resume.
+        ::fsync(fd);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd = -1;
+};
+
+struct DriverRun
+{
+    SweepRun run;
+    RunStatus status = RunStatus::Pending;
+    unsigned failures = 0;  ///< failed attempts observed (incl. ledger)
+    unsigned attempts = 0;  ///< attempts started (incl. ledger)
+    double notBefore = 0.0; ///< monotonic: retry backoff gate
+    pid_t pid = -1;
+    double start = 0.0;
+    double termAt = 0.0;
+    bool termSent = false;
+    bool timedOut = false;
+    std::string lastError;
+    std::string artifactPath;
+    std::string logPath;
+};
+
+/** Artifact is complete and sane (atomic publish makes torn files impossible,
+ *  but a worker could still have been killed before publishing). */
+bool
+artifactValid(const std::string &path)
+{
+    if (::access(path.c_str(), R_OK) != 0)
+        return false;
+    JsonParseError err;
+    std::optional<JsonValue> v = tryParseJson(readFileToString(path), &err);
+    return v && v->isObject() && v->has("result");
+}
+
+double
+backoffDelaySec(const SweepPolicy &policy, const std::string &id,
+                unsigned failures)
+{
+    double ms = policy.backoffBaseMs;
+    for (unsigned i = 1; i < failures; ++i) {
+        ms *= 2;
+        if (ms >= policy.backoffMaxMs)
+            break;
+    }
+    ms = std::min(ms, policy.backoffMaxMs);
+    // Deterministic jitter (0.5x..1.5x) decorrelates retry herds without
+    // host randomness: same run + failure count, same delay.
+    StateHasher h;
+    h.str(id);
+    h.u64(failures);
+    Rng rng(h.digest());
+    return ms * (0.5 + rng.real()) / 1000.0;
+}
+
+void
+replayLedger(const std::string &path, std::map<std::string, DriverRun *> &byId)
+{
+    std::ifstream f(path);
+    if (!f)
+        return;
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty())
+            continue;
+        // Tolerate a torn trailing line from a SIGKILLed driver.
+        std::optional<JsonValue> v = tryParseJson(line);
+        if (!v || !v->isObject() || !v->has("event"))
+            continue;
+        const std::string event = v->at("event").str;
+        if (!v->has("run"))
+            continue;
+        auto it = byId.find(v->at("run").str);
+        if (it == byId.end())
+            continue;
+        DriverRun &r = *it->second;
+        if (event == "start") {
+            r.attempts = std::max(
+                r.attempts, unsigned(v->at("attempt").number));
+            // Until a matching done/fail arrives, this attempt was
+            // interrupted with the previous driver.
+            r.lastError = "interrupted";
+        } else if (event == "done") {
+            r.status = RunStatus::Done;
+            r.lastError.clear();
+        } else if (event == "fail") {
+            r.failures++;
+            r.lastError = v->has("reason") ? v->at("reason").str : "fail";
+        } else if (event == "quarantine") {
+            r.status = RunStatus::Quarantined;
+        }
+    }
+}
+
+void
+launchWorker(DriverRun &r, const std::string &workerExe,
+             const std::string &specPath, Ledger &ledger)
+{
+    r.attempts++;
+    const unsigned attempt = r.attempts;
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        // Treat fork exhaustion as a failed attempt and back off.
+        r.failures++;
+        r.lastError = std::string("fork:") + std::strerror(errno);
+        r.status = RunStatus::Pending;
+        r.notBefore = nowSec() + 1.0;
+        return;
+    }
+    if (pid == 0) {
+        // Child: quarantine stdio into the per-attempt log, mark the
+        // environment, exec the worker.
+        int logFd = ::open(r.logPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (logFd >= 0) {
+            ::dup2(logFd, 1);
+            ::dup2(logFd, 2);
+            ::close(logFd);
+        }
+        ::setenv("BFSIM_SWEEP_WORKER", "1", 1);
+        std::string specArg = "spec=" + specPath;
+        std::string runArg = "run=" + r.run.id;
+        std::string attemptArg = "attempt=" + std::to_string(attempt);
+        std::string outArg = "out=" + r.artifactPath;
+        const char *argv[] = {workerExe.c_str(), "--worker",
+                              specArg.c_str(),  runArg.c_str(),
+                              attemptArg.c_str(), outArg.c_str(), nullptr};
+        ::execv(workerExe.c_str(), const_cast<char *const *>(argv));
+        ::_exit(127);
+    }
+
+    r.pid = pid;
+    r.status = RunStatus::Running;
+    r.start = nowSec();
+    r.termSent = false;
+    r.timedOut = false;
+    ledger.append([&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("event", "start");
+        w.kv("run", r.run.id);
+        w.kv("attempt", attempt);
+        w.kv("pid", int64_t(pid));
+        w.end();
+    });
+}
+
+void
+handleWorkerExit(DriverRun &r, int wstatus, const SweepPolicy &policy,
+                 Ledger &ledger, SweepResult &result)
+{
+    r.pid = -1;
+    std::string reason;
+    if (r.timedOut)
+        reason = "timeout";
+    else if (WIFSIGNALED(wstatus))
+        reason = "signal:" + std::to_string(WTERMSIG(wstatus));
+    else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0)
+        reason = "exit:" + std::to_string(WEXITSTATUS(wstatus));
+    else if (!artifactValid(r.artifactPath))
+        reason = "bad-artifact";
+
+    if (reason.empty()) {
+        r.status = RunStatus::Done;
+        r.lastError.clear();
+        ledger.append([&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("event", "done");
+            w.kv("run", r.run.id);
+            w.kv("attempt", r.attempts);
+            w.kv("artifact", r.artifactPath);
+            w.end();
+        });
+        return;
+    }
+
+    r.failures++;
+    r.lastError = reason;
+    result.retries++;
+    ledger.append([&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("event", "fail");
+        w.kv("run", r.run.id);
+        w.kv("attempt", r.attempts);
+        w.kv("reason", reason);
+        w.kv("log", r.logPath);
+        w.end();
+    });
+
+    if (r.failures >= policy.maxAttempts) {
+        r.status = RunStatus::Quarantined;
+        ledger.append([&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("event", "quarantine");
+            w.kv("run", r.run.id);
+            w.kv("failures", r.failures);
+            w.kv("lastError", reason);
+            w.end();
+        });
+        std::cout << "sweep: QUARANTINED " << r.run.id << " after "
+                  << r.failures << " failures (" << reason << ")\n";
+        return;
+    }
+
+    r.status = RunStatus::Pending;
+    double delay = backoffDelaySec(policy, r.run.id, r.failures);
+    r.notBefore = nowSec() + delay;
+    std::cout << "sweep: retry " << r.run.id << " (attempt " << r.attempts
+              << " " << reason << ", backoff "
+              << unsigned(delay * 1000) << "ms)\n";
+}
+
+/** Merge per-run artifacts into the deterministic aggregate + the
+ *  host-timing sidecar. */
+void
+writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
+                SweepResult &result)
+{
+    writeJsonArtifact(result.aggregatePath, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("sweep", spec.name);
+        w.kv("mode", spec.mode);
+        w.kv("runCount", uint64_t(runs.size()));
+        w.kv("degraded", result.degraded);
+        w.key("quarantined").beginArray();
+        for (const DriverRun &r : runs) {
+            if (r.status != RunStatus::Quarantined)
+                continue;
+            w.beginObject();
+            w.kv("id", r.run.id);
+            w.kv("reason", r.lastError);
+            w.end();
+        }
+        w.end();
+        w.key("results").beginArray();
+        for (const DriverRun &r : runs) {
+            if (r.status != RunStatus::Done)
+                continue;
+            JsonValue art = parseJson(readFileToString(r.artifactPath));
+            w.beginObject();
+            w.kv("id", r.run.id);
+            w.kv("mode", r.run.mode);
+            w.kv("mechanism", r.run.mechanism);
+            w.kv("cores", r.run.cores);
+            if (r.run.mode == "kernel") {
+                w.kv("kernel", r.run.kernel);
+                w.kv("seed", r.run.seed);
+            }
+            w.key("result");
+            // Only the deterministic simulated metrics cross into the
+            // aggregate; host timing goes to the sidecar so resumed and
+            // uninterrupted sweeps aggregate bit-identically.
+            writeJsonValue(w, art.at("result"));
+            w.end();
+        }
+        w.end();
+        w.end();
+    });
+
+    writeJsonArtifact(result.simspeedPath, [&](JsonWriter &w) {
+        double wallSec = 0;
+        uint64_t simCycles = 0, instructions = 0;
+        w.beginObject();
+        w.kv("sweep", spec.name);
+        w.kv("mode", spec.mode);
+        w.key("perRun").beginArray();
+        for (const DriverRun &r : runs) {
+            if (r.status != RunStatus::Done)
+                continue;
+            JsonValue art = parseJson(readFileToString(r.artifactPath));
+            const JsonValue &host = art.at("host");
+            wallSec += host.at("wallSec").number;
+            simCycles += uint64_t(host.at("simCycles").number);
+            instructions += uint64_t(host.at("instructions").number);
+            w.beginObject();
+            w.kv("id", r.run.id);
+            w.kv("wallSec", host.at("wallSec").number);
+            w.kv("simCyclesPerSec", host.at("simCyclesPerSec").number);
+            w.kv("mips", host.at("mips").number);
+            w.end();
+        }
+        w.end();
+        w.kv("totalWallSec", wallSec);
+        w.kv("totalSimCycles", simCycles);
+        w.kv("totalInstructions", instructions);
+        w.kv("simCyclesPerSec",
+             wallSec > 0 ? double(simCycles) / wallSec : 0.0);
+        w.kv("mips",
+             wallSec > 0 ? double(instructions) / wallSec / 1e6 : 0.0);
+        w.end();
+    });
+}
+
+} // namespace
+
+SweepResult
+runSweep(const SweepSpec &spec, const SweepDriverOptions &opts)
+{
+    if (opts.outDir.empty())
+        fatal("sweep: outDir is required");
+    gStop = 0;
+
+    const std::string runsDir = opts.outDir + "/runs";
+    const std::string logsDir = opts.outDir + "/logs";
+    makeDirs(runsDir);
+    makeDirs(logsDir);
+
+    // Canonical spec copy: workers read it, and a resume against a
+    // *different* spec is refused (the ledger would be meaningless).
+    std::ostringstream specBuf;
+    {
+        JsonWriter w(specBuf);
+        writeSweepSpec(w, spec);
+        specBuf << "\n";
+    }
+    const std::string specPath = opts.outDir + "/spec.json";
+    const std::string ledgerPath = opts.outDir + "/ledger.jsonl";
+    if (opts.resume) {
+        if (::access(specPath.c_str(), R_OK) != 0)
+            fatal("sweep: resume=1 but no spec.json in " + opts.outDir);
+        if (readFileToString(specPath) != specBuf.str())
+            fatal("sweep: resume=1 with a different spec than " + specPath);
+    } else {
+        if (::access(ledgerPath.c_str(), F_OK) == 0)
+            fatal("sweep: " + opts.outDir +
+                  " already holds a sweep ledger; pass resume=1 or use a "
+                  "fresh directory");
+        writeFileAtomic(specPath, specBuf.str());
+    }
+
+    SweepResult result;
+    result.ledgerPath = ledgerPath;
+    result.aggregatePath = opts.outDir + "/aggregate.json";
+    result.simspeedPath = opts.outDir + "/simspeed.json";
+
+    std::vector<DriverRun> runs;
+    for (SweepRun &r : expandSweep(spec)) {
+        DriverRun d;
+        d.artifactPath = runsDir + "/" + r.id + ".json";
+        d.run = std::move(r);
+        runs.push_back(std::move(d));
+    }
+
+    std::map<std::string, DriverRun *> byId;
+    for (DriverRun &r : runs)
+        byId[r.run.id] = &r;
+
+    if (opts.resume) {
+        replayLedger(ledgerPath, byId);
+        for (DriverRun &r : runs) {
+            // Trust nothing but a validated artifact: a "done" whose file
+            // was deleted or corrupted re-runs.
+            if (r.status == RunStatus::Done) {
+                if (artifactValid(r.artifactPath)) {
+                    result.skipped++;
+                } else {
+                    r.status = RunStatus::Pending;
+                }
+            }
+        }
+    }
+
+    Ledger ledger(ledgerPath);
+    ledger.append([&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("event", "sweep-start");
+        w.kv("run", std::string());
+        w.kv("sweep", spec.name);
+        w.kv("runs", uint64_t(runs.size()));
+        w.kv("resume", opts.resume);
+        w.end();
+    });
+
+    unsigned jobs = opts.jobs ? opts.jobs : spec.policy.jobs;
+    if (jobs == 0) {
+        long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+        jobs = n > 0 ? unsigned(n) : 2;
+    }
+
+    std::string workerExe =
+        opts.workerExe.empty() ? selfExePath() : opts.workerExe;
+
+    auto pendingWork = [&]() {
+        for (const DriverRun &r : runs)
+            if (r.status == RunStatus::Pending ||
+                r.status == RunStatus::Running)
+                return true;
+        return false;
+    };
+
+    while (pendingWork() && !gStop) {
+        double now = nowSec();
+        unsigned running = 0;
+        for (const DriverRun &r : runs)
+            if (r.status == RunStatus::Running)
+                running++;
+
+        for (DriverRun &r : runs) {
+            if (running >= jobs)
+                break;
+            if (r.status != RunStatus::Pending || now < r.notBefore)
+                continue;
+            r.logPath = logsDir + "/" + r.run.id + ".a" +
+                        std::to_string(r.attempts + 1) + ".log";
+            launchWorker(r, workerExe, specPath, ledger);
+            if (r.status == RunStatus::Running)
+                running++;
+        }
+
+        for (DriverRun &r : runs) {
+            if (r.status != RunStatus::Running)
+                continue;
+            int wstatus = 0;
+            pid_t got = ::waitpid(r.pid, &wstatus, WNOHANG);
+            if (got == r.pid) {
+                handleWorkerExit(r, wstatus, spec.policy, ledger, result);
+                continue;
+            }
+            now = nowSec();
+            if (!r.termSent && now - r.start > spec.policy.timeoutSec) {
+                r.timedOut = true;
+                r.termSent = true;
+                r.termAt = now;
+                ::kill(r.pid, SIGTERM);
+            } else if (r.termSent &&
+                       now - r.termAt > spec.policy.killGraceSec) {
+                ::kill(r.pid, SIGKILL);
+                // waitpid reaps it on a later iteration.
+            }
+        }
+
+        ::usleep(2000);
+    }
+
+    if (gStop) {
+        // Host interruption: SIGKILL the fleet, journal the cut, and
+        // leave everything resumable.
+        for (DriverRun &r : runs) {
+            if (r.status != RunStatus::Running)
+                continue;
+            ::kill(r.pid, SIGKILL);
+            int wstatus = 0;
+            ::waitpid(r.pid, &wstatus, 0);
+            r.pid = -1;
+            r.status = RunStatus::Pending;
+            r.lastError = "interrupted";
+            ledger.append([&](JsonWriter &w) {
+                w.beginObject();
+                w.kv("event", "fail");
+                w.kv("run", r.run.id);
+                w.kv("attempt", r.attempts);
+                w.kv("reason", "interrupted");
+                w.end();
+            });
+        }
+        result.interrupted = true;
+    }
+
+    for (const DriverRun &r : runs) {
+        SweepRunOutcome o;
+        o.id = r.run.id;
+        o.status = r.status;
+        o.failures = r.failures;
+        o.lastError = r.lastError;
+        result.runs.push_back(std::move(o));
+        if (r.status == RunStatus::Done)
+            result.completed++;
+        if (r.status == RunStatus::Quarantined)
+            result.quarantined++;
+    }
+    result.degraded = result.quarantined > 0;
+
+    if (!result.interrupted) {
+        writeAggregates(spec, runs, result);
+    } else {
+        result.aggregatePath.clear();
+        result.simspeedPath.clear();
+    }
+    return result;
+}
+
+// ----- baseline comparison --------------------------------------------------
+
+namespace
+{
+
+/** Index "results" rows of an aggregate by run id. */
+std::map<std::string, const JsonValue *>
+indexResults(const JsonValue &aggregate)
+{
+    std::map<std::string, const JsonValue *> out;
+    for (const JsonValue &row : aggregate.at("results").arr)
+        out[row.at("id").str] = &row;
+    return out;
+}
+
+} // namespace
+
+std::string
+RegressionReport::summary() const
+{
+    std::ostringstream os;
+    unsigned regressions = 0;
+    for (const RegressionEntry &e : entries) {
+        if (!e.regressed)
+            continue;
+        regressions++;
+        os << "REGRESSION " << (e.id.empty() ? "<sweep>" : e.id) << " "
+           << e.metric << ": " << e.baseline << " -> " << e.current << " ("
+           << e.ratio << "x)\n";
+    }
+    for (const std::string &id : missing)
+        os << "MISSING " << id << ": present in baseline, absent now\n";
+    if (!failed)
+        os << "no regressions (" << entries.size() << " comparisons)\n";
+    else
+        os << regressions << " regression(s), " << missing.size()
+           << " missing run(s)\n";
+    return os.str();
+}
+
+void
+RegressionReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("failed", failed);
+    w.key("entries").beginArray();
+    for (const RegressionEntry &e : entries) {
+        w.beginObject();
+        w.kv("id", e.id);
+        w.kv("metric", e.metric);
+        w.kv("baseline", e.baseline);
+        w.kv("current", e.current);
+        w.kv("ratio", e.ratio);
+        w.kv("regressed", e.regressed);
+        w.end();
+    }
+    w.end();
+    w.key("missing").beginArray();
+    for (const std::string &id : missing)
+        w.value(id);
+    w.end();
+    w.end();
+}
+
+RegressionReport
+compareAggregate(const JsonValue &current, const JsonValue &baseline,
+                 double tolerance)
+{
+    RegressionReport report;
+    auto cur = indexResults(current);
+
+    for (const JsonValue &baseRow : baseline.at("results").arr) {
+        const std::string id = baseRow.at("id").str;
+        auto it = cur.find(id);
+        if (it == cur.end()) {
+            report.missing.push_back(id);
+            report.failed = true;
+            continue;
+        }
+        const JsonValue &baseRes = baseRow.at("result");
+        const JsonValue &curRes = it->second->at("result");
+        const std::string metric =
+            baseRow.at("mode").str == "fig4" ? "cyclesPerBarrier" : "cycles";
+
+        RegressionEntry e;
+        e.id = id;
+        e.metric = metric;
+        e.baseline = baseRes.at(metric).number;
+        e.current = curRes.at(metric).number;
+        e.ratio = e.baseline > 0 ? e.current / e.baseline : 1.0;
+        e.regressed =
+            e.baseline > 0 && e.current > e.baseline * (1.0 + tolerance);
+        report.failed |= e.regressed;
+        report.entries.push_back(e);
+
+        // A kernel run going incorrect is a regression no tolerance
+        // excuses, whatever its cycle count did.
+        if (baseRes.has("correct") && baseRes.at("correct").boolean &&
+            curRes.has("correct") && !curRes.at("correct").boolean) {
+            RegressionEntry c;
+            c.id = id;
+            c.metric = "correct";
+            c.baseline = 1;
+            c.current = 0;
+            c.ratio = 0;
+            c.regressed = true;
+            report.failed = true;
+            report.entries.push_back(c);
+        }
+    }
+    return report;
+}
+
+RegressionReport
+compareSimspeed(const JsonValue &current, const JsonValue &baseline,
+                double tolerance)
+{
+    RegressionReport report;
+    const bool useMips = baseline.at("mips").number > 0;
+    RegressionEntry e;
+    e.metric = useMips ? "mips" : "simCyclesPerSec";
+    e.baseline = baseline.at(e.metric).number;
+    e.current = current.at(e.metric).number;
+    e.ratio = e.baseline > 0 ? e.current / e.baseline : 1.0;
+    e.regressed =
+        e.baseline > 0 && e.current < e.baseline * (1.0 - tolerance);
+    report.failed = e.regressed;
+    report.entries.push_back(e);
+    return report;
+}
+
+// ----- CLI ------------------------------------------------------------------
+
+namespace
+{
+
+void
+onStopSignal(int)
+{
+    requestSweepStop();
+}
+
+JsonValue
+loadJsonFile(const std::string &path, const char *what)
+{
+    JsonParseError err;
+    std::optional<JsonValue> v =
+        tryParseJson(readFileToString(path), &err);
+    if (!v)
+        fatal(std::string(what) + " '" + path + "': " + err.describe());
+    return *std::move(v);
+}
+
+int
+gateAgainstBaselines(const OptionMap &opts, const std::string &aggregatePath,
+                     const std::string &simspeedPath)
+{
+    const double cycleTol = opts.getDouble("cycletol", 0.05);
+    const double mipsTol = opts.getDouble("mipstol", 0.8);
+    RegressionReport cycles, speed;
+    bool compared = false;
+
+    std::string baseline = opts.getString("baseline", "");
+    if (!baseline.empty()) {
+        cycles = compareAggregate(
+            loadJsonFile(aggregatePath, "aggregate"),
+            loadJsonFile(baseline, "baseline"), cycleTol);
+        std::cout << "baseline gate (" << baseline << "):\n"
+                  << cycles.summary();
+        compared = true;
+    }
+    std::string speedBaseline = opts.getString("speedbaseline", "");
+    if (!speedBaseline.empty()) {
+        speed = compareSimspeed(
+            loadJsonFile(simspeedPath, "simspeed"),
+            loadJsonFile(speedBaseline, "speed baseline"), mipsTol);
+        std::cout << "sim-speed gate (" << speedBaseline << "):\n"
+                  << speed.summary();
+        compared = true;
+    }
+
+    std::string reportPath = opts.getString("report", "");
+    if (!reportPath.empty() && compared) {
+        writeJsonArtifact(reportPath, [&](JsonWriter &w) {
+            w.beginObject();
+            w.key("cycles");
+            cycles.writeJson(w);
+            w.key("simspeed");
+            speed.writeJson(w);
+            w.kv("failed", cycles.failed || speed.failed);
+            w.end();
+        });
+        std::cout << "wrote " << reportPath << "\n";
+    }
+    return (cycles.failed || speed.failed) ? 1 : 0;
+}
+
+const char *usage =
+    "usage:\n"
+    "  sweep spec=FILE out=DIR [resume=1] [jobs=N] [timeout=SEC]\n"
+    "        [maxattempts=N] [baseline=FILE] [speedbaseline=FILE]\n"
+    "        [cycletol=0.05] [mipstol=0.8] [report=FILE]\n"
+    "  sweep compare aggregate=FILE baseline=FILE [simspeed=FILE\n"
+    "        speedbaseline=FILE] [cycletol=] [mipstol=] [report=FILE]\n"
+    "exit: 0 ok, 1 regression, 2 usage/IO error, 3 degraded (quarantine),\n"
+    "      130 interrupted (resumable with resume=1)\n";
+
+} // namespace
+
+int
+sweepCliEntry(int argc, char **argv)
+{
+    try {
+        bool worker = std::getenv("BFSIM_SWEEP_WORKER") != nullptr;
+        for (int i = 1; i < argc && !worker; ++i)
+            worker = std::strcmp(argv[i], "--worker") == 0;
+
+        OptionMap opts = OptionMap::fromArgs(argc, argv);
+
+        if (worker) {
+            SweepSpec spec = loadSweepSpec(opts.getString("spec", ""));
+            return executeSweepRun(spec, opts.getString("run", ""),
+                                   unsigned(opts.getUint("attempt", 1)),
+                                   opts.getString("out", ""));
+        }
+
+        const auto &positional = opts.positionalArgs();
+        bool compareOnly =
+            std::find(positional.begin(), positional.end(), "compare") !=
+            positional.end();
+        if (compareOnly) {
+            const double cycleTol = opts.getDouble("cycletol", 0.05);
+            const double mipsTol = opts.getDouble("mipstol", 0.8);
+            RegressionReport cycles, speed;
+            bool any = false;
+            std::string aggregate = opts.getString("aggregate", "");
+            std::string baseline = opts.getString("baseline", "");
+            if (!aggregate.empty() && !baseline.empty()) {
+                cycles = compareAggregate(
+                    loadJsonFile(aggregate, "aggregate"),
+                    loadJsonFile(baseline, "baseline"), cycleTol);
+                std::cout << cycles.summary();
+                any = true;
+            }
+            std::string simspeed = opts.getString("simspeed", "");
+            std::string speedBaseline = opts.getString("speedbaseline", "");
+            if (!simspeed.empty() && !speedBaseline.empty()) {
+                speed = compareSimspeed(
+                    loadJsonFile(simspeed, "simspeed"),
+                    loadJsonFile(speedBaseline, "speed baseline"), mipsTol);
+                std::cout << speed.summary();
+                any = true;
+            }
+            if (!any) {
+                std::cerr << usage;
+                return 2;
+            }
+            std::string reportPath = opts.getString("report", "");
+            if (!reportPath.empty()) {
+                writeJsonArtifact(reportPath, [&](JsonWriter &w) {
+                    w.beginObject();
+                    w.key("cycles");
+                    cycles.writeJson(w);
+                    w.key("simspeed");
+                    speed.writeJson(w);
+                    w.kv("failed", cycles.failed || speed.failed);
+                    w.end();
+                });
+            }
+            return (cycles.failed || speed.failed) ? 1 : 0;
+        }
+
+        std::string specPath = opts.getString("spec", "");
+        std::string outDir = opts.getString("out", "");
+        if (specPath.empty() || outDir.empty()) {
+            std::cerr << usage;
+            return 2;
+        }
+
+        SweepSpec spec = loadSweepSpec(specPath);
+        if (opts.has("timeout"))
+            spec.policy.timeoutSec = opts.getDouble("timeout", 0);
+        if (opts.has("maxattempts"))
+            spec.policy.maxAttempts =
+                unsigned(opts.getUint("maxattempts", 3));
+
+        SweepDriverOptions driver;
+        driver.outDir = outDir;
+        driver.resume = opts.getBool("resume", false);
+        driver.jobs = unsigned(opts.getUint("jobs", 0));
+
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+
+        SweepResult r = runSweep(spec, driver);
+
+        std::cout << "sweep \"" << spec.name << "\": " << r.completed
+                  << " done (" << r.skipped << " resumed), " << r.retries
+                  << " failed attempt(s), " << r.quarantined
+                  << " quarantined\n";
+        if (r.interrupted) {
+            std::cout << "sweep: interrupted — resume with resume=1\n";
+            return 130;
+        }
+        std::cout << "wrote " << r.aggregatePath << "\n"
+                  << "wrote " << r.simspeedPath << "\n";
+        if (r.degraded)
+            for (const SweepRunOutcome &o : r.runs)
+                if (o.status == RunStatus::Quarantined)
+                    std::cout << "  degraded: " << o.id << " ("
+                              << o.lastError << ")\n";
+
+        int gate = gateAgainstBaselines(opts, r.aggregatePath,
+                                        r.simspeedPath);
+        if (gate != 0)
+            return gate;
+        return r.degraded ? 3 : 0;
+    } catch (const FatalError &e) {
+        std::cerr << "sweep: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace bfsim

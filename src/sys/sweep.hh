@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Fault-tolerant multi-process sweep service.
+ *
+ * A sweep expands a JSON spec (config grid x seeds x mechanisms) into
+ * independent runs and shards them across host cores, one forked+exec'd
+ * worker process per run, so a worker crash, sanitizer abort, or OOM
+ * kill cannot take down the service. The driver enforces a per-run
+ * wall-clock timeout with SIGTERM -> SIGKILL escalation, retries failed
+ * runs with exponential backoff and deterministic jitter, and
+ * quarantines runs that keep failing so the rest of the sweep completes
+ * with an explicit degraded-result report instead of dying.
+ *
+ * Progress is journaled: an append-only JSONL run ledger plus one
+ * atomically-published JSON artifact per run (sim/artifact.hh), so
+ * `resume=1` picks up an interrupted sweep — including one whose driver
+ * was SIGKILLed — without re-running completed work. Long kernel runs
+ * can additionally embed a PR-3-format checkpoint (sim/snapshot.hh) in
+ * their artifact for replay-grade post-mortems.
+ *
+ * A final aggregation stage merges the per-run artifacts into one
+ * deterministic aggregate (host-timing noise is split into a separate
+ * sim-speed sidecar, so an interrupted-then-resumed sweep aggregates
+ * bit-identically to an uninterrupted one) and compares it against
+ * committed BENCH_*.json baselines, producing a typed regression report
+ * when figure cycle counts or simulator MIPS regress beyond threshold.
+ */
+
+#ifndef BFSIM_SYS_SWEEP_HH
+#define BFSIM_SYS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace bfsim
+{
+
+/** Retry / timeout / concurrency policy for one sweep. */
+struct SweepPolicy
+{
+    /** Per-run wall-clock budget; expiry sends SIGTERM. */
+    double timeoutSec = 120.0;
+    /** Grace after SIGTERM before SIGKILL escalation. */
+    double killGraceSec = 5.0;
+    /** Total attempts per run before quarantine. */
+    unsigned maxAttempts = 3;
+    /** Exponential backoff: base * 2^(failures-1), capped, jittered. */
+    double backoffBaseMs = 200.0;
+    double backoffMaxMs = 10'000.0;
+    /** Concurrent worker processes; 0 = online host cores. */
+    unsigned jobs = 0;
+};
+
+/**
+ * Planted faults for the driver's own test suite: listed runs crash
+ * (abort() with a half-written .tmp artifact) or hang (sleep forever,
+ * forcing the timeout/kill path) on their first @ref attempts attempts.
+ * Carried in the spec so tests exercise the exact production worker
+ * path; production specs simply leave this empty.
+ */
+struct SweepSabotage
+{
+    std::vector<std::string> crashRuns;
+    std::vector<std::string> hangRuns;
+    unsigned attempts = 1;
+};
+
+/** Parsed sweep specification (see parseSweepSpec for the JSON shape). */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    /** "fig4" (barrier-latency microbench) or "kernel" (full kernels). */
+    std::string mode = "fig4";
+
+    // Grid axes; the cross product expands into runs.
+    std::vector<unsigned> cores = {4, 8};
+    /** Barrier mechanism names (os.hh); empty = all mechanisms. */
+    std::vector<std::string> mechanisms;
+    /** Kernel input seeds (kernel mode; fig4 ignores seeds). */
+    std::vector<uint64_t> seeds = {12345};
+    /** Kernel names (kernel mode). */
+    std::vector<std::string> kernels = {"livermore3"};
+
+    // Workload sizing.
+    uint64_t n = 256;        ///< kernel vector length
+    unsigned reps = 2;       ///< kernel repetitions
+    unsigned barriers = 16;  ///< fig4: barriers per loop
+    unsigned loops = 2;      ///< fig4: loop trip count
+
+    /** kernel mode: execute under the PR 3 snapshot recorder and embed
+     *  a replayable checkpoint in the run artifact. */
+    bool checkpoint = false;
+
+    /** Raw "key=value" CmpConfig overrides applied to every run. */
+    std::vector<std::string> config;
+
+    SweepPolicy policy;
+    SweepSabotage sabotage;
+};
+
+/**
+ * Parse a sweep spec document:
+ * {
+ *   "name": "fig4-smoke", "mode": "fig4",
+ *   "cores": [4, 8], "mechanisms": ["filter-dcache", ...],
+ *   "seeds": [12345], "kernels": ["livermore3"],
+ *   "n": 256, "reps": 2, "barriers": 16, "loops": 2,
+ *   "checkpoint": false, "config": ["l2banks=4"],
+ *   "policy": {"timeoutSec": 120, "maxAttempts": 3, "jobs": 0,
+ *              "killGraceSec": 5, "backoffBaseMs": 200,
+ *              "backoffMaxMs": 10000},
+ *   "sabotage": {"crashRuns": [...], "hangRuns": [...], "attempts": 1}
+ * }
+ * Every member is optional except mode-appropriate axes; unknown members
+ * are a fatal error (a typo must not silently sweep the wrong grid).
+ * @throws FatalError on malformed input.
+ */
+SweepSpec parseSweepSpec(const JsonValue &v);
+
+/** Read + parse a spec file. @throws FatalError on IO/parse errors. */
+SweepSpec loadSweepSpec(const std::string &path);
+
+/** Serialize @p spec (inverse of parseSweepSpec, canonical form). */
+void writeSweepSpec(JsonWriter &w, const SweepSpec &spec);
+
+/** One expanded run of the grid. */
+struct SweepRun
+{
+    std::string id;         ///< stable key, e.g. "fig4.c8.filter-dcache"
+    std::string mode;       ///< copied from the spec
+    std::string mechanism;  ///< barrier kind name
+    unsigned cores = 0;
+    std::string kernel;     ///< kernel mode only
+    uint64_t seed = 0;      ///< kernel input seed (kernel mode)
+};
+
+/**
+ * Expand the spec's grid into runs in deterministic order (the aggregate
+ * lists results in this order regardless of completion order).
+ * @throws FatalError on unknown mechanism/kernel names.
+ */
+std::vector<SweepRun> expandSweep(const SweepSpec &spec);
+
+/**
+ * Worker entry: execute run @p runId of @p spec and publish its artifact
+ * atomically at @p outPath. Honors spec.sabotage for @p attempt. Returns
+ * the process exit code (0 success).
+ */
+int executeSweepRun(const SweepSpec &spec, const std::string &runId,
+                    unsigned attempt, const std::string &outPath);
+
+/** Driver-side lifecycle of one run. */
+enum class RunStatus
+{
+    Pending,      ///< not yet attempted (or awaiting retry backoff)
+    Running,      ///< worker process alive
+    Done,         ///< artifact published and validated
+    Quarantined,  ///< failed maxAttempts times; excluded from aggregate
+};
+
+struct SweepRunOutcome
+{
+    std::string id;
+    RunStatus status = RunStatus::Pending;
+    unsigned failures = 0;      ///< failed attempts observed
+    std::string lastError;      ///< e.g. "signal:6", "timeout", "exit:1"
+};
+
+/** What one driver invocation did. */
+struct SweepResult
+{
+    bool degraded = false;      ///< at least one run quarantined
+    unsigned completed = 0;     ///< runs Done at exit (incl. resumed)
+    unsigned quarantined = 0;
+    unsigned retries = 0;       ///< failed attempts this invocation
+    unsigned skipped = 0;       ///< resumed runs skipped as already Done
+    /** requestSweepStop() fired: workers killed, journal cut, no
+     *  aggregate written; the sweep is resumable with resume=1. */
+    bool interrupted = false;
+    std::vector<SweepRunOutcome> runs;
+    std::string aggregatePath;  ///< merged deterministic artifact
+    std::string simspeedPath;   ///< host-timing sidecar (MIPS)
+    std::string ledgerPath;
+};
+
+struct SweepDriverOptions
+{
+    std::string outDir;
+    /** Binary to exec per run; empty = /proc/self/exe. Workers are
+     *  invoked as: exe --worker spec=F run=ID attempt=N out=F with
+     *  BFSIM_SWEEP_WORKER=1 in the environment. */
+    std::string workerExe;
+    /** Pick up a prior interrupted sweep from outDir's ledger. */
+    bool resume = false;
+    /** Override spec.policy.jobs when nonzero. */
+    unsigned jobs = 0;
+};
+
+/**
+ * Run the sweep: shard runs across workers, retry/quarantine, journal,
+ * aggregate. Never throws for per-run failures (that is the point);
+ * throws FatalError only for driver-level misuse (bad outDir, resume
+ * against a different spec).
+ */
+SweepResult runSweep(const SweepSpec &spec, const SweepDriverOptions &opts);
+
+/**
+ * Ask a running runSweep to stop at the next scheduling point
+ * (async-signal-safe; the CLI's SIGINT/SIGTERM handlers call this).
+ * Running workers are SIGKILLed and journaled as interrupted.
+ */
+void requestSweepStop();
+
+/** One baseline-vs-current comparison. */
+struct RegressionEntry
+{
+    std::string id;      ///< run id ("" for sweep-wide metrics)
+    std::string metric;  ///< "cyclesPerBarrier", "cycles", "mips", ...
+    double baseline = 0.0;
+    double current = 0.0;
+    double ratio = 1.0;  ///< current / baseline
+    bool regressed = false;
+};
+
+/** Typed regression report (the CI gate's artifact). */
+struct RegressionReport
+{
+    bool failed = false;
+    std::vector<RegressionEntry> entries;
+    /** Baseline run ids absent from the current aggregate — a silently
+     *  dropped configuration fails the gate. */
+    std::vector<std::string> missing;
+
+    /** Human-readable multi-line summary (one line per regression). */
+    std::string summary() const;
+    void writeJson(JsonWriter &w) const;
+};
+
+/**
+ * Compare a sweep aggregate against a committed baseline aggregate.
+ * Simulated-performance metrics are deterministic, so @p tolerance is a
+ * small guard band (default 0.05 in the CLI): a run regresses when its
+ * cycle metric exceeds baseline * (1 + tolerance), when a correct
+ * kernel run becomes incorrect, or when a baseline run id disappears.
+ */
+RegressionReport compareAggregate(const JsonValue &current,
+                                  const JsonValue &baseline,
+                                  double tolerance);
+
+/**
+ * Compare a sim-speed sidecar against its baseline. Host throughput is
+ * noisy across machines, so @p tolerance is lenient (default 0.8 in the
+ * CLI: fail only when MIPS drop below 20% of baseline — a catastrophic
+ * simulator slowdown, not scheduler jitter).
+ */
+RegressionReport compareSimspeed(const JsonValue &current,
+                                 const JsonValue &baseline,
+                                 double tolerance);
+
+/**
+ * Full CLI (driver / worker / compare modes); see tools/sweep.cc for
+ * usage. Exposed so the test binary can exec itself as a real driver or
+ * worker process. Exit codes: 0 ok, 1 regression, 2 usage/IO error,
+ * 3 sweep degraded (quarantined runs).
+ */
+int sweepCliEntry(int argc, char **argv);
+
+} // namespace bfsim
+
+#endif // BFSIM_SYS_SWEEP_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * JSON parser hardening tests: tryParseJson must return a typed error —
+ * never crash, never overflow the stack — on truncated, malformed, or
+ * adversarially nested input, because sweep aggregation and repro
+ * replay parse artifacts written by processes that may have been
+ * SIGKILLed mid-life.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+#include <sstream>
+
+using namespace bfsim;
+
+namespace
+{
+
+/** Parse must fail with a typed error, not crash or throw. */
+void
+expectRejects(const std::string &text, const char *what)
+{
+    JsonParseError err;
+    std::optional<JsonValue> v = tryParseJson(text, &err);
+    EXPECT_FALSE(v.has_value()) << what << ": " << text;
+    EXPECT_FALSE(err.message.empty()) << what;
+    EXPECT_LE(err.offset, text.size()) << what;
+}
+
+std::string
+rewrite(const JsonValue &v)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeJsonValue(w, v);
+    return os.str();
+}
+
+} // namespace
+
+TEST(JsonHardening, AcceptsWellFormedDocuments)
+{
+    for (const char *text :
+         {"null", "true", "0", "-1.5e3", "\"s\"", "[]", "{}",
+          "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u0041\\n\"}"}) {
+        JsonParseError err;
+        EXPECT_TRUE(tryParseJson(text, &err).has_value())
+            << text << ": " << err.describe();
+    }
+}
+
+TEST(JsonHardening, MidTokenEofIsTyped)
+{
+    expectRejects("", "empty input");
+    expectRejects("tru", "truncated keyword");
+    expectRejects("nul", "truncated null");
+    expectRejects("-", "bare minus");
+    expectRejects("1.", "truncated fraction");
+    expectRejects("1e", "truncated exponent");
+    expectRejects("[1, 2", "unclosed array");
+    expectRejects("{\"a\": 1", "unclosed object");
+    expectRejects("{\"a\"", "object cut at colon");
+    expectRejects("{", "object cut after brace");
+}
+
+TEST(JsonHardening, UnterminatedStringsAndBadEscapes)
+{
+    expectRejects("\"abc", "unterminated string");
+    expectRejects("\"abc\\", "string cut mid-escape");
+    expectRejects("\"\\u12", "string cut mid-unicode-escape");
+    expectRejects("\"\\q\"", "unknown escape");
+    expectRejects("\"\\uZZZZ\"", "non-hex unicode escape");
+    expectRejects(std::string("\"a\x01b\"", 5), "raw control character");
+}
+
+TEST(JsonHardening, TruncatedArtifactPrefixesNeverParse)
+{
+    // Every proper prefix of a realistic artifact must be rejected (this
+    // is exactly what a torn pre-atomic-write file looked like).
+    const std::string doc =
+        "{\"id\":\"fig4.c8.filter-dcache\",\"result\":"
+        "{\"cyclesPerBarrier\":93.5,\"ok\":true,\"tags\":[1,2,3]}}";
+    ASSERT_TRUE(tryParseJson(doc).has_value());
+    for (size_t len = 0; len < doc.size(); ++len) {
+        SCOPED_TRACE(len);
+        std::optional<JsonValue> v = tryParseJson(doc.substr(0, len));
+        EXPECT_FALSE(v.has_value());
+    }
+}
+
+TEST(JsonHardening, TrailingGarbageRejected)
+{
+    expectRejects("1 2", "two documents");
+    expectRejects("{} x", "garbage after object");
+    expectRejects("[1]]", "extra bracket");
+}
+
+TEST(JsonHardening, GarbageBytesRejected)
+{
+    expectRejects("@", "garbage start");
+    expectRejects("[1, @]", "garbage element");
+    expectRejects("{\"a\" 1}", "missing colon");
+    expectRejects("{\"a\":1,}", "trailing comma object");
+    expectRejects("[1,]", "trailing comma array");
+    expectRejects("{1: 2}", "non-string key");
+    expectRejects("'a'", "single quotes");
+    expectRejects("01", "leading zero");
+    expectRejects("0x10", "hex number");
+    expectRejects("+1", "explicit plus");
+    expectRejects(".5", "bare fraction");
+    expectRejects("Infinity", "strtod inf extension");
+    expectRejects("nan", "strtod nan extension");
+    std::string binary;
+    for (int i = 0; i < 64; ++i)
+        binary.push_back(char(0xf0 | (i & 0xf)));
+    expectRejects(binary, "binary blob");
+}
+
+TEST(JsonHardening, DeepNestingHitsDepthCapNotTheStack)
+{
+    // A few megabytes of '[' must come back as a typed error; without
+    // the depth cap this is a stack overflow, not a parse failure.
+    const size_t deep = 1u << 20;
+    std::string bomb(deep, '[');
+    expectRejects(bomb, "unclosed nesting bomb");
+
+    std::string closed =
+        std::string(deep, '[') + "1" + std::string(deep, ']');
+    JsonParseError err;
+    EXPECT_FALSE(tryParseJson(closed, &err).has_value());
+    EXPECT_NE(err.message.find("nesting"), std::string::npos)
+        << err.describe();
+
+    // Mixed object/array nesting hits the same cap.
+    std::string mixed;
+    for (size_t i = 0; i < deep; ++i)
+        mixed += "{\"a\":[";
+    expectRejects(mixed, "mixed nesting bomb");
+}
+
+TEST(JsonHardening, NestingJustUnderTheCapParses)
+{
+    const size_t depth = jsonMaxDepth - 1;
+    std::string ok =
+        std::string(depth, '[') + "7" + std::string(depth, ']');
+    std::optional<JsonValue> v = tryParseJson(ok);
+    ASSERT_TRUE(v.has_value());
+    const JsonValue *p = &*v;
+    for (size_t i = 0; i < depth; ++i)
+        p = &p->arr.at(0);
+    EXPECT_EQ(p->number, 7);
+}
+
+TEST(JsonHardening, ErrorOffsetPointsAtTheProblem)
+{
+    JsonParseError err;
+    EXPECT_FALSE(tryParseJson("[1, @]", &err).has_value());
+    EXPECT_EQ(err.offset, 4u);
+    EXPECT_EQ(err.describe(), "json: " + err.message + " at offset 4");
+}
+
+TEST(JsonHardening, ParseJsonStillThrowsFatalError)
+{
+    // The legacy throwing entry point keeps its contract for callers
+    // that treat malformed input as a programming error.
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_NO_THROW(parseJson("{\"a\": [1, true, null]}"));
+}
+
+TEST(JsonHardening, WriteJsonValueRoundTripsDeterministically)
+{
+    const std::string doc =
+        "{\"z\":1,\"a\":[true,null,\"x\\ny\",-2.5],\"m\":{\"k\":0}}";
+    std::optional<JsonValue> v = tryParseJson(doc);
+    ASSERT_TRUE(v.has_value());
+    std::string once = rewrite(*v);
+    // Keys come out sorted, and a second round-trip is a fixed point.
+    EXPECT_EQ(once,
+              "{\"a\":[true,null,\"x\\ny\",-2.5],\"m\":{\"k\":0},\"z\":1}");
+    std::optional<JsonValue> v2 = tryParseJson(once);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(rewrite(*v2), once);
+}

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Fault-tolerant sweep service tests.
+ *
+ * These are process-level tests: the driver under test fork+execs THIS
+ * binary as its worker fleet (main() dispatches on BFSIM_SWEEP_WORKER
+ * before gtest initializes), and the kill-the-driver test execs this
+ * binary as a real driver (BFSIM_SWEEP_CLI) so it can SIGKILL it
+ * mid-sweep and prove resume reconstructs a bit-identical aggregate.
+ * Faults are planted through the spec's sabotage block, so every test
+ * exercises the exact production worker path — fork, exec, crash,
+ * half-written .tmp, hang, SIGTERM/SIGKILL escalation — not a mock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/artifact.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sys/sweep.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/bfsim_sweep_XXXXXX";
+    const char *d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    return d;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/** Tiny fig4 grid that completes in well under a second per run. */
+SweepSpec
+tinyFig4Spec(const std::string &name)
+{
+    SweepSpec spec;
+    spec.name = name;
+    spec.mode = "fig4";
+    spec.cores = {4};
+    spec.mechanisms = {"sw-central", "filter-dcache", "hw-network"};
+    spec.barriers = 4;
+    spec.loops = 1;
+    spec.policy.timeoutSec = 60;
+    spec.policy.backoffBaseMs = 20;
+    spec.policy.backoffMaxMs = 60;
+    return spec;
+}
+
+SweepResult
+drive(const SweepSpec &spec, const std::string &outDir, bool resume = false)
+{
+    SweepDriverOptions opts;
+    opts.outDir = outDir;
+    opts.resume = resume;
+    return runSweep(spec, opts);
+}
+
+std::string selfExe; // set in main() before gtest runs
+
+} // namespace
+
+TEST(SweepSpecTest, ParsesFullDocumentAndRoundTrips)
+{
+    const char *doc = R"({
+        "name": "full", "mode": "kernel",
+        "cores": [2, 4], "mechanisms": ["sw-tree", "filter-icache"],
+        "seeds": [7, 8], "kernels": ["livermore3", "autocorr"],
+        "n": 128, "reps": 3, "barriers": 9, "loops": 5,
+        "checkpoint": true, "config": ["l2Banks=2"],
+        "policy": {"timeoutSec": 30, "killGraceSec": 2, "maxAttempts": 5,
+                   "backoffBaseMs": 10, "backoffMaxMs": 99, "jobs": 3},
+        "sabotage": {"crashRuns": ["x"], "hangRuns": [], "attempts": 2}
+    })";
+    SweepSpec s = parseSweepSpec(parseJson(doc));
+    EXPECT_EQ(s.name, "full");
+    EXPECT_EQ(s.mode, "kernel");
+    EXPECT_EQ(s.cores, (std::vector<unsigned>{2, 4}));
+    EXPECT_EQ(s.seeds, (std::vector<uint64_t>{7, 8}));
+    EXPECT_EQ(s.kernels,
+              (std::vector<std::string>{"livermore3", "autocorr"}));
+    EXPECT_EQ(s.n, 128u);
+    EXPECT_TRUE(s.checkpoint);
+    EXPECT_EQ(s.policy.maxAttempts, 5u);
+    EXPECT_EQ(s.policy.jobs, 3u);
+    EXPECT_EQ(s.sabotage.crashRuns, (std::vector<std::string>{"x"}));
+    EXPECT_EQ(s.sabotage.attempts, 2u);
+
+    // Canonical serialization parses back to the same canonical bytes.
+    std::ostringstream once;
+    {
+        JsonWriter w(once);
+        writeSweepSpec(w, s);
+    }
+    SweepSpec again = parseSweepSpec(parseJson(once.str()));
+    std::ostringstream twice;
+    {
+        JsonWriter w(twice);
+        writeSweepSpec(w, again);
+    }
+    EXPECT_EQ(once.str(), twice.str());
+}
+
+TEST(SweepSpecTest, RejectsTyposAndNonsense)
+{
+    // Unknown members are fatal: a typo must not silently sweep the
+    // wrong grid.
+    EXPECT_THROW(parseSweepSpec(parseJson("{\"cors\": [4]}")), FatalError);
+    EXPECT_THROW(parseSweepSpec(
+                     parseJson("{\"policy\": {\"timeout\": 5}}")),
+                 FatalError);
+    EXPECT_THROW(parseSweepSpec(parseJson("{\"mode\": \"fig9\"}")),
+                 FatalError);
+    EXPECT_THROW(parseSweepSpec(parseJson("{\"cores\": \"four\"}")),
+                 FatalError);
+    EXPECT_THROW(parseSweepSpec(parseJson("[]")), FatalError);
+    EXPECT_THROW(
+        parseSweepSpec(parseJson("{\"policy\": {\"maxAttempts\": 0}}")),
+        FatalError);
+}
+
+TEST(SweepSpecTest, ExpansionIsDeterministicAndValidated)
+{
+    SweepSpec s;
+    s.mode = "kernel";
+    s.cores = {2, 4};
+    s.mechanisms = {"sw-central", "filter-dcache"};
+    s.seeds = {1, 2};
+    s.kernels = {"livermore1"};
+    std::vector<SweepRun> runs = expandSweep(s);
+    ASSERT_EQ(runs.size(), 8u);
+    EXPECT_EQ(runs[0].id, "kernel.livermore1.c2.sw-central.s1");
+    EXPECT_EQ(runs[1].id, "kernel.livermore1.c2.sw-central.s2");
+    EXPECT_EQ(runs[2].id, "kernel.livermore1.c2.filter-dcache.s1");
+    EXPECT_EQ(runs[7].id, "kernel.livermore1.c4.filter-dcache.s2");
+
+    // fig4 mode: empty mechanisms expand to all seven.
+    SweepSpec f;
+    f.mode = "fig4";
+    f.cores = {8};
+    EXPECT_EQ(expandSweep(f).size(), 7u);
+
+    // Bad names fail expansion up front, not run 7 of 8.
+    s.mechanisms = {"sw-centrall"};
+    EXPECT_THROW(expandSweep(s), FatalError);
+    s.mechanisms = {"sw-central"};
+    s.kernels = {"livermore99"};
+    EXPECT_THROW(expandSweep(s), FatalError);
+}
+
+TEST(SweepDriverTest, CleanSweepCompletesAndAggregates)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("clean");
+    SweepResult r = drive(spec, dir);
+
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_EQ(r.quarantined, 0u);
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_FALSE(r.interrupted);
+
+    JsonValue agg = parseJson(readFileToString(r.aggregatePath));
+    EXPECT_EQ(agg.at("sweep").str, "clean");
+    EXPECT_FALSE(agg.at("degraded").boolean);
+    ASSERT_EQ(agg.at("results").arr.size(), 3u);
+    // Aggregate order is expansion order, not completion order.
+    EXPECT_EQ(agg.at("results").arr[0].at("id").str, "fig4.c4.sw-central");
+    EXPECT_EQ(agg.at("results").arr[1].at("id").str,
+              "fig4.c4.filter-dcache");
+    for (const JsonValue &row : agg.at("results").arr) {
+        EXPECT_GT(row.at("result").at("cyclesPerBarrier").number, 0.0);
+        // Host noise must not leak into the deterministic aggregate.
+        EXPECT_FALSE(row.has("host"));
+        EXPECT_FALSE(row.has("attempt"));
+    }
+
+    JsonValue speed = parseJson(readFileToString(r.simspeedPath));
+    EXPECT_GT(speed.at("totalSimCycles").number, 0.0);
+    EXPECT_GT(speed.at("totalWallSec").number, 0.0);
+    EXPECT_EQ(speed.at("perRun").arr.size(), 3u);
+
+    // The ledger journaled a start and a done per run.
+    std::ifstream ledger(r.ledgerPath);
+    unsigned starts = 0, dones = 0;
+    std::string line;
+    while (std::getline(ledger, line)) {
+        JsonValue ev = parseJson(line);
+        if (ev.at("event").str == "start")
+            starts++;
+        if (ev.at("event").str == "done")
+            dones++;
+    }
+    EXPECT_EQ(starts, 3u);
+    EXPECT_EQ(dones, 3u);
+
+    // Refusal to clobber: same dir without resume is a fatal error.
+    EXPECT_THROW(drive(spec, dir), FatalError);
+}
+
+TEST(SweepDriverTest, WorkerCrashRetriesAndAggregateIsUnaffected)
+{
+    // One run abort()s on its first attempt, leaving a half-written
+    // .tmp behind; the retry must succeed and the final aggregate must
+    // be byte-identical to a sweep that never crashed.
+    std::string cleanDir = makeTempDir();
+    SweepResult clean = drive(tinyFig4Spec("crashy"), cleanDir);
+    ASSERT_EQ(clean.completed, 3u);
+
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("crashy");
+    spec.sabotage.crashRuns = {"fig4.c4.filter-dcache"};
+    spec.sabotage.attempts = 1;
+    SweepResult r = drive(spec, dir);
+
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_EQ(r.retries, 1u);
+    EXPECT_EQ(r.quarantined, 0u);
+    EXPECT_FALSE(r.degraded);
+
+    EXPECT_EQ(readFileToString(r.aggregatePath),
+              readFileToString(clean.aggregatePath));
+
+    // The crash left its torn .tmp; the published artifact is whole.
+    JsonValue art = parseJson(
+        readFileToString(dir + "/runs/fig4.c4.filter-dcache.json"));
+    EXPECT_EQ(art.at("attempt").number, 2.0);
+}
+
+TEST(SweepDriverTest, HangTimesOutIsKilledAndRetried)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("hangy");
+    spec.mechanisms = {"sw-central", "filter-dcache"};
+    spec.policy.timeoutSec = 1.0;
+    spec.policy.killGraceSec = 0.3;
+    spec.sabotage.hangRuns = {"fig4.c4.sw-central"};
+    spec.sabotage.attempts = 1;
+
+    SweepResult r = drive(spec, dir);
+    EXPECT_EQ(r.completed, 2u);
+    EXPECT_EQ(r.retries, 1u);
+    EXPECT_FALSE(r.degraded);
+
+    // The ledger records the timeout verdict for the killed attempt.
+    std::string ledger = readFileToString(r.ledgerPath);
+    EXPECT_NE(ledger.find("\"reason\":\"timeout\""), std::string::npos);
+}
+
+TEST(SweepDriverTest, PersistentFailureQuarantinesWithDegradedReport)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("quar");
+    spec.policy.maxAttempts = 2;
+    spec.sabotage.crashRuns = {"fig4.c4.hw-network"};
+    spec.sabotage.attempts = 99; // crash every attempt
+
+    SweepResult r = drive(spec, dir);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_EQ(r.completed, 2u);
+    EXPECT_EQ(r.quarantined, 1u);
+
+    bool found = false;
+    for (const SweepRunOutcome &o : r.runs) {
+        if (o.id != "fig4.c4.hw-network")
+            continue;
+        found = true;
+        EXPECT_EQ(o.status, RunStatus::Quarantined);
+        EXPECT_EQ(o.failures, 2u);
+        EXPECT_EQ(o.lastError, "signal:6");
+    }
+    EXPECT_TRUE(found);
+
+    // The degraded aggregate still carries the 2 healthy runs and names
+    // the quarantined one.
+    JsonValue agg = parseJson(readFileToString(r.aggregatePath));
+    EXPECT_TRUE(agg.at("degraded").boolean);
+    EXPECT_EQ(agg.at("results").arr.size(), 2u);
+    ASSERT_EQ(agg.at("quarantined").arr.size(), 1u);
+    EXPECT_EQ(agg.at("quarantined").arr[0].at("id").str,
+              "fig4.c4.hw-network");
+}
+
+TEST(SweepDriverTest, KernelModeRecordsCorrectnessAndCheckpoint)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec;
+    spec.name = "kern";
+    spec.mode = "kernel";
+    spec.cores = {4};
+    spec.mechanisms = {"filter-dcache"};
+    spec.kernels = {"livermore3"};
+    spec.seeds = {12345};
+    spec.n = 64;
+    spec.reps = 1;
+    spec.checkpoint = true;
+
+    SweepResult r = drive(spec, dir);
+    ASSERT_EQ(r.completed, 1u);
+
+    JsonValue art = parseJson(readFileToString(
+        dir + "/runs/kernel.livermore3.c4.filter-dcache.s12345.json"));
+    EXPECT_TRUE(art.at("result").at("correct").boolean);
+    EXPECT_GT(art.at("result").at("cycles").number, 0.0);
+    // checkpoint=true embeds a PR-3 replayable checkpoint.
+    EXPECT_TRUE(art.at("checkpoint").isObject());
+}
+
+TEST(SweepDriverTest, ResumeAfterDriverSigkillIsBitIdentical)
+{
+    // Reference: the same grid swept cleanly, no interruption.
+    std::string refDir = makeTempDir();
+    SweepResult ref = drive(tinyFig4Spec("killdrv"), refDir);
+    ASSERT_EQ(ref.completed, 3u);
+
+    // Interrupted sweep: serialize the spec (with a hang planted on the
+    // SECOND run so run one completes), exec this binary as a real
+    // driver with one worker slot, wait for the first artifact, then
+    // SIGKILL the driver mid-sweep.
+    SweepSpec spec = tinyFig4Spec("killdrv");
+    spec.policy.jobs = 1;
+    spec.policy.timeoutSec = 120; // hang outlives the driver
+    spec.sabotage.hangRuns = {"fig4.c4.filter-dcache"};
+    spec.sabotage.attempts = 1;
+
+    std::string dir = makeTempDir();
+    std::string specPath = dir + "/spec-input.json";
+    writeJsonArtifact(specPath,
+                      [&](JsonWriter &w) { writeSweepSpec(w, spec); });
+
+    pid_t driver = ::fork();
+    ASSERT_GE(driver, 0);
+    if (driver == 0) {
+        ::setenv("BFSIM_SWEEP_CLI", "1", 1);
+        std::string specArg = "spec=" + specPath;
+        std::string outArg = "out=" + dir;
+        const char *argv[] = {selfExe.c_str(), specArg.c_str(),
+                              outArg.c_str(), nullptr};
+        ::execv(selfExe.c_str(), const_cast<char *const *>(argv));
+        ::_exit(127);
+    }
+
+    // First run publishes, second is hanging: kill the driver dead.
+    std::string firstArtifact = dir + "/runs/fig4.c4.sw-central.json";
+    for (int i = 0; i < 30'000 && !fileExists(firstArtifact); ++i)
+        ::usleep(1000);
+    ASSERT_TRUE(fileExists(firstArtifact));
+    ::usleep(50'000); // let the driver reach the hanging worker
+    ASSERT_EQ(::kill(driver, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(driver, &wstatus, 0), driver);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+    // The hanging worker is now orphaned; reap it via the ledger's
+    // journaled pids so it cannot outlive the test.
+    std::ifstream ledger(dir + "/ledger.jsonl");
+    std::string line;
+    while (std::getline(ledger, line)) {
+        std::optional<JsonValue> ev = tryParseJson(line);
+        if (ev && ev->has("event") && ev->at("event").str == "start")
+            ::kill(pid_t(ev->at("pid").number), SIGKILL);
+    }
+
+    EXPECT_FALSE(fileExists(dir + "/aggregate.json"));
+
+    // Resume: completed work is skipped, the interrupted run reruns
+    // (its sabotage budget is spent, so attempt 2 behaves), and the
+    // aggregate comes out byte-identical to the uninterrupted sweep.
+    SweepResult resumed = drive(spec, dir, /*resume=*/true);
+    EXPECT_EQ(resumed.completed, 3u);
+    EXPECT_GE(resumed.skipped, 1u);
+    EXPECT_FALSE(resumed.degraded);
+    EXPECT_EQ(readFileToString(resumed.aggregatePath),
+              readFileToString(ref.aggregatePath));
+
+    // Resuming with a different spec must be refused.
+    SweepSpec other = spec;
+    other.cores = {2};
+    EXPECT_THROW(drive(other, dir, /*resume=*/true), FatalError);
+}
+
+TEST(SweepGateTest, BaselineComparisonCatchesPlantedRegressions)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("gate");
+    SweepResult r = drive(spec, dir);
+    JsonValue agg = parseJson(readFileToString(r.aggregatePath));
+
+    // Self-comparison: clean.
+    RegressionReport same = compareAggregate(agg, agg, 0.05);
+    EXPECT_FALSE(same.failed);
+    EXPECT_EQ(same.entries.size(), 3u);
+    EXPECT_TRUE(same.missing.empty());
+    EXPECT_NE(same.summary().find("no regressions"), std::string::npos);
+
+    // Plant a 10% cycle regression in the current aggregate.
+    JsonValue slow = agg;
+    JsonValue &metric = slow.obj.at("results")
+                            .arr.at(1)
+                            .obj.at("result")
+                            .obj.at("cyclesPerBarrier");
+    metric.number *= 1.10;
+    RegressionReport bad = compareAggregate(slow, agg, 0.05);
+    EXPECT_TRUE(bad.failed);
+    unsigned regressed = 0;
+    for (const RegressionEntry &e : bad.entries) {
+        if (!e.regressed)
+            continue;
+        regressed++;
+        EXPECT_EQ(e.id, "fig4.c4.filter-dcache");
+        EXPECT_EQ(e.metric, "cyclesPerBarrier");
+        EXPECT_NEAR(e.ratio, 1.10, 1e-9);
+    }
+    EXPECT_EQ(regressed, 1u);
+    EXPECT_NE(bad.summary().find("REGRESSION"), std::string::npos);
+    // ...but the same delta passes a looser gate.
+    EXPECT_FALSE(compareAggregate(slow, agg, 0.15).failed);
+
+    // A config silently dropped from the sweep fails the gate.
+    JsonValue dropped = agg;
+    dropped.obj.at("results").arr.pop_back();
+    RegressionReport miss = compareAggregate(dropped, agg, 0.05);
+    EXPECT_TRUE(miss.failed);
+    ASSERT_EQ(miss.missing.size(), 1u);
+    EXPECT_EQ(miss.missing[0], "fig4.c4.hw-network");
+
+    // The typed report serializes.
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        bad.writeJson(w);
+    }
+    JsonValue rep = parseJson(os.str());
+    EXPECT_TRUE(rep.at("failed").boolean);
+    EXPECT_EQ(rep.at("entries").arr.size(), 3u);
+}
+
+TEST(SweepGateTest, CorrectnessFlipFailsRegardlessOfCycles)
+{
+    const char *base = R"({"results":[{"id":"k","mode":"kernel",
+        "result":{"cycles":100,"correct":true}}]})";
+    const char *cur = R"({"results":[{"id":"k","mode":"kernel",
+        "result":{"cycles":50,"correct":false}}]})";
+    RegressionReport r =
+        compareAggregate(parseJson(cur), parseJson(base), 0.05);
+    EXPECT_TRUE(r.failed); // faster but WRONG is still a regression
+    bool sawCorrectness = false;
+    for (const RegressionEntry &e : r.entries)
+        if (e.metric == "correct")
+            sawCorrectness = e.regressed;
+    EXPECT_TRUE(sawCorrectness);
+}
+
+TEST(SweepGateTest, SimspeedGateIsLenientToHostNoise)
+{
+    const char *base = R"({"mips": 10.0, "simCyclesPerSec": 1e6})";
+    const char *half = R"({"mips": 5.0, "simCyclesPerSec": 5e5})";
+    const char *dead = R"({"mips": 1.0, "simCyclesPerSec": 1e5})";
+    // 2x scheduler noise passes the default 0.8 gate...
+    EXPECT_FALSE(
+        compareSimspeed(parseJson(half), parseJson(base), 0.8).failed);
+    // ...a 10x collapse does not.
+    EXPECT_TRUE(
+        compareSimspeed(parseJson(dead), parseJson(base), 0.8).failed);
+}
+
+TEST(SweepArtifactTest, AtomicWriteLeavesNoTmpAndSurvivesOverwrite)
+{
+    std::string dir = makeTempDir();
+    std::string path = dir + "/a.json";
+    writeFileAtomic(path, "{\"v\":1}\n");
+    EXPECT_EQ(readFileToString(path), "{\"v\":1}\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    writeFileAtomic(path, "{\"v\":2}\n");
+    EXPECT_EQ(readFileToString(path), "{\"v\":2}\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+
+    // Empty path is the documented no-op.
+    writeJsonArtifact("", [](JsonWriter &w) { w.beginObject().end(); });
+
+    // makeDirs is mkdir -p.
+    makeDirs(dir + "/x/y/z");
+    EXPECT_TRUE(fileExists(dir + "/x/y/z"));
+    makeDirs(dir + "/x/y/z"); // idempotent
+}
+
+TEST(SweepWorkerTest, UnknownRunIdIsFatal)
+{
+    SweepSpec spec = tinyFig4Spec("nope");
+    EXPECT_THROW(executeSweepRun(spec, "fig4.c4.no-such", 1, "/dev/null"),
+                 FatalError);
+}
+
+int
+testMain(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
+
+int
+main(int argc, char **argv)
+{
+    selfExe = "/proc/self/exe";
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        selfExe = buf;
+    }
+    // The driver under test re-execs this binary as its workers, and
+    // the kill-the-driver test re-execs it as a driver. Dispatch before
+    // gtest sees argv.
+    if (std::getenv("BFSIM_SWEEP_WORKER") || std::getenv("BFSIM_SWEEP_CLI"))
+        return sweepCliEntry(argc, argv);
+    return testMain(argc, argv);
+}

@@ -18,19 +18,30 @@
  *                virtualized filters, join/leave schedules, core kills
  *   out=DIR      write repro artifacts into DIR (default ".")
  *   budget=N     shrink-run budget per failure (default 24)
+ *   summary=FILE rewrite a progress summary JSON after every seed
+ *                (atomic publish; survives interruption)
  *   replay=FILE  replay one repro artifact instead of fuzzing
  *
+ * SIGINT/SIGTERM (CI cancellation, ^C) stop the campaign at the next
+ * seed boundary: every repro found so far is already on disk (atomic
+ * tmp+rename publish), the summary is flushed with "interrupted": true,
+ * and the process exits 130.
+ *
  * Exit status: 0 all seeds clean, 1 failures found (artifacts written),
- * 2 usage/IO error. A replay exits 0 when the failure reproduces.
+ * 2 usage/IO error, 130 interrupted. A replay exits 0 when the failure
+ * reproduces.
  */
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "sim/artifact.hh"
 #include "sim/config.hh"
 #include "sim/hash.hh"
+#include "sim/json.hh"
 #include "sim/log.hh"
 #include "sys/fuzz.hh"
 
@@ -38,6 +49,38 @@ using namespace bfsim;
 
 namespace
 {
+
+volatile std::sig_atomic_t gInterrupted = 0;
+
+void
+onStopSignal(int)
+{
+    gInterrupted = 1;
+}
+
+/**
+ * Publish the campaign summary atomically: interrupting the fuzzer at
+ * any point leaves a complete, parseable summary of the work done so
+ * far, never a truncated one.
+ */
+void
+writeSummary(const std::string &path, uint64_t seedsPlanned,
+             uint64_t seedsRun, unsigned failures,
+             const std::vector<std::string> &artifacts, bool interrupted)
+{
+    writeJsonArtifact(path, [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("seedsPlanned", seedsPlanned);
+        w.kv("seedsRun", seedsRun);
+        w.kv("failures", failures);
+        w.kv("interrupted", interrupted);
+        w.key("artifacts").beginArray();
+        for (const std::string &a : artifacts)
+            w.value(a);
+        w.end();
+        w.end();
+    });
+}
 
 int
 replayArtifact(const std::string &path)
@@ -93,7 +136,7 @@ replayArtifact(const std::string &path)
 
 int
 main(int argc, char **argv)
-{
+try {
     OptionMap opts = OptionMap::fromArgs(argc, argv);
 
     std::string replay = opts.getString("replay", "");
@@ -115,41 +158,58 @@ main(int argc, char **argv)
         hi = std::stoull(range.substr(colon + 1));
     }
     std::string outDir = opts.getString("out", ".");
+    std::string summaryPath = opts.getString("summary", "");
     unsigned budget = unsigned(opts.getUint("budget", 24));
     bool churn = opts.getUint("churn", 0) != 0;
 
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
     unsigned failures = 0;
-    for (uint64_t seed = lo; seed < hi; ++seed) {
+    uint64_t seedsRun = 0;
+    std::vector<std::string> artifacts;
+    writeSummary(summaryPath, hi - lo, 0, 0, artifacts, false);
+
+    for (uint64_t seed = lo; seed < hi && !gInterrupted; ++seed) {
         std::cout << (churn ? "churn seed " : "seed ") << seed << ": "
                   << std::flush;
         std::optional<FuzzReport> rep = churn ? fuzzChurnSeed(seed, budget)
                                               : fuzzSeed(seed, budget);
-        if (!rep) {
+        seedsRun++;
+        if (rep) {
+            ++failures;
+            std::ostringstream name;
+            name << outDir << "/repro-" << (churn ? "churn-" : "") << "seed"
+                 << seed << "-" << barrierKindName(rep->kind) << ".json";
+            writeReproFile(name.str(), *rep);
+            artifacts.push_back(name.str());
+            std::cout << "FAIL kind=" << barrierKindName(rep->kind)
+                      << " violations=" << rep->run.violations
+                      << " correct=" << rep->run.correct << " (shrunk to n="
+                      << rep->shrunk.params.n << " threads="
+                      << rep->shrunk.threads << " in " << rep->totalRuns
+                      << " runs) -> " << name.str() << "\n";
+            if (!rep->run.firstViolation.empty())
+                std::cout << "  first violation: "
+                          << rep->run.firstViolation << "\n";
+        } else {
             std::cout << "clean\n";
-            continue;
         }
-        ++failures;
-        std::ostringstream name;
-        name << outDir << "/repro-" << (churn ? "churn-" : "") << "seed"
-             << seed << "-" << barrierKindName(rep->kind) << ".json";
-        std::ofstream out(name.str());
-        if (!out) {
-            std::cerr << "fuzz_barriers: cannot write " << name.str()
-                      << "\n";
-            return 2;
-        }
-        writeRepro(out, *rep);
-        std::cout << "FAIL kind=" << barrierKindName(rep->kind)
-                  << " violations=" << rep->run.violations
-                  << " correct=" << rep->run.correct << " (shrunk to n="
-                  << rep->shrunk.params.n << " threads="
-                  << rep->shrunk.threads << " in " << rep->totalRuns
-                  << " runs) -> " << name.str() << "\n";
-        if (!rep->run.firstViolation.empty())
-            std::cout << "  first violation: " << rep->run.firstViolation
-                      << "\n";
+        writeSummary(summaryPath, hi - lo, seedsRun, failures, artifacts,
+                     false);
+    }
+
+    if (gInterrupted) {
+        writeSummary(summaryPath, hi - lo, seedsRun, failures, artifacts,
+                     true);
+        std::cout << "interrupted after " << seedsRun << " seed(s), "
+                  << failures << " failure(s); artifacts flushed\n";
+        return 130;
     }
 
     std::cout << (hi - lo) << " seed(s), " << failures << " failure(s)\n";
     return failures == 0 ? 0 : 1;
+} catch (const FatalError &e) {
+    std::cerr << "fuzz_barriers: " << e.what() << "\n";
+    return 2;
 }

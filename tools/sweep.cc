@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fault-tolerant sweep driver CLI.
+ *
+ * Driver mode (default):
+ *   sweep spec=FILE out=DIR [resume=1] [jobs=N] [timeout=SEC]
+ *         [maxattempts=N] [baseline=FILE] [speedbaseline=FILE]
+ *         [cycletol=0.05] [mipstol=0.8] [report=FILE]
+ *
+ * Compare mode (gate an existing aggregate without re-running):
+ *   sweep compare aggregate=FILE baseline=FILE
+ *         [simspeed=FILE speedbaseline=FILE] [report=FILE]
+ *
+ * Worker mode is internal (the driver re-execs this binary with
+ * --worker and BFSIM_SWEEP_WORKER=1); see src/sys/sweep.hh.
+ *
+ * Exit codes: 0 ok, 1 regression vs baseline, 2 usage/IO error,
+ * 3 sweep degraded (quarantined runs), 130 interrupted (resumable).
+ */
+
+#include "sys/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bfsim::sweepCliEntry(argc, argv);
+}
