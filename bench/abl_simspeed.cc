@@ -1,57 +1,236 @@
 /**
  * @file
- * Host-side microbenchmark (google-benchmark): simulator throughput on
- * the barrier microbenchmark and a kernel, in simulated-cycles and events
- * per host-second. Useful for tracking simulator performance regressions.
+ * Simulator-throughput ablation with host-cost attribution: "where do my
+ * host cycles go?"
+ *
+ * Runs a small suite (barrier microbenchmark + two kernels) under the
+ * host-side self-profiler (sim/hostprof.hh) and prints a per-component
+ * wall-time breakdown — core tick, L1/L2 access, bus arbitration, filter
+ * FSM, OS, event-queue overhead, setup, result checking — alongside the
+ * headline simulated-cycles/s and MIPS numbers. A final A/B pass re-runs
+ * one kernel with `observe=1` vs `observe=0` and reports the probe
+ * publish/skip counters, quantifying what lazy probe publication saves.
+ *
+ * Options (key=value):
+ *   json=FILE        full results document (suite, breakdown, A/B)
+ *   hostprof=FILE    the raw self-profiler report as JSON
+ *   timeseries=FILE  time-series counter artifact from the livermore3 run
+ *   n=1024 reps=2 barriers=16 loops=2 sampleshift=5
+ *   ... plus every CmpConfig override (cores=, l2banks=, busbw=, ...)
  */
 
-#include <benchmark/benchmark.h>
+#include <iomanip>
 
 #include "bench_common.hh"
+#include "sim/hostprof.hh"
 
 using namespace bfsim;
 
 namespace
 {
 
-void
-BM_BarrierMicrobench(benchmark::State &state)
+struct SuiteRow
 {
-    CmpConfig cfg;
-    cfg.numCores = unsigned(state.range(0));
+    std::string name;
+    double wallSec = 0;
     uint64_t simCycles = 0;
-    for (auto _ : state) {
-        auto r = measureBarrierLatency(cfg, BarrierKind::FilterDCache,
-                                       cfg.numCores, 16, 2);
-        simCycles += r.totalCycles;
-        benchmark::DoNotOptimize(r.cyclesPerBarrier);
-    }
-    state.counters["simCycles/s"] = benchmark::Counter(
-        double(simCycles), benchmark::Counter::kIsRate);
+    uint64_t instructions = 0;
+};
+
+double
+secondsNow()
+{
+    return double(HostProfiler::nowNs()) * 1e-9;
 }
 
 void
-BM_KernelRun(benchmark::State &state)
+printBreakdown(const HostProfReport &rep)
 {
-    CmpConfig cfg;
-    uint64_t simCycles = 0;
-    for (auto _ : state) {
-        KernelParams p;
-        p.n = uint64_t(state.range(0));
-        p.reps = 2;
-        auto r = runKernel(cfg, KernelId::Livermore3, p, true,
-                           BarrierKind::FilterDCache, cfg.numCores);
-        simCycles += r.cycles;
-        benchmark::DoNotOptimize(r.correct);
+    std::cout << "\nhost-time breakdown (" << std::fixed
+              << std::setprecision(1) << double(rep.wallNs) * 1e-6
+              << " ms wall, 1-in-" << (1u << rep.sampleShift)
+              << " sampling):\n"
+              << std::left << std::setw(14) << "  phase" << std::right
+              << std::setw(7) << "kind" << std::setw(12) << "count"
+              << std::setw(11) << "ms" << std::setw(9) << "%wall" << "\n";
+    for (const HostProfPhase &p : rep.phases) {
+        if (p.count == 0)
+            continue;
+        std::cout << "  " << std::left << std::setw(12) << p.name
+                  << std::right << std::setw(7)
+                  << (p.scope ? "scope" : "event") << std::setw(12)
+                  << p.count << std::setw(11) << std::setprecision(2)
+                  << p.ns * 1e-6 << std::setw(8) << std::setprecision(1)
+                  << (rep.wallNs > 0 ? 100.0 * p.ns / double(rep.wallNs)
+                                     : 0.0)
+                  << "%\n";
     }
-    state.counters["simCycles/s"] = benchmark::Counter(
-        double(simCycles), benchmark::Counter::kIsRate);
+    std::cout << std::setprecision(1)
+              << "  attributed " << 100.0 * rep.attributedFrac
+              << "% of wall; estimated profiler overhead "
+              << std::setprecision(2) << 100.0 * rep.overheadFrac
+              << "% (clock pair " << rep.calibClockPairNs
+              << " ns, per-event " << rep.calibPerEventNs << " ns)\n"
+              << "  " << std::setprecision(1) << rep.nsPerSimCycle
+              << " host-ns per simulated cycle, " << std::setprecision(2)
+              << rep.mips << " MIPS, " << rep.events << " events ("
+              << rep.probeSkipped << " probe publications skipped, "
+              << rep.probePublished << " published)\n";
 }
-
-BENCHMARK(BM_BarrierMicrobench)->Arg(4)->Arg(16)->Unit(
-    benchmark::kMillisecond);
-BENCHMARK(BM_KernelRun)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablation: simulator speed + host-cost attribution");
+    auto opts = OptionMap::fromArgs(argc, argv);
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+
+    const uint64_t n = opts.getUint("n", 1024);
+    const unsigned reps = unsigned(opts.getUint("reps", 2));
+    const unsigned barriers = unsigned(opts.getUint("barriers", 16));
+    const unsigned loops = unsigned(opts.getUint("loops", 2));
+    const unsigned shift = unsigned(opts.getUint("sampleshift", 5));
+    const std::string hostprofPath = opts.getString("hostprof", "");
+    const std::string timeseriesPath = opts.getString("timeseries", "");
+
+    KernelParams params;
+    params.n = n;
+    params.reps = reps;
+
+    HostProfiler &prof = HostProfiler::enable(shift);
+    const double t0 = secondsNow();
+
+    std::vector<SuiteRow> rows;
+    uint64_t simCycles = 0, instructions = 0;
+
+    {
+        double s0 = secondsNow();
+        auto r = measureBarrierLatency(cfg, BarrierKind::FilterDCache,
+                                       cfg.numCores, barriers, loops);
+        HostProfiler::Scope hps(HostPhase::Harness);
+        rows.push_back({"barrier-micro", secondsNow() - s0,
+                        uint64_t(r.totalCycles), 0});
+    }
+    {
+        // The livermore3 run doubles as the time-series producer: its
+        // system samples StatGroup deltas every tsinterval cycles and
+        // writes the artifact at finalization.
+        CmpConfig tsCfg = cfg;
+        tsCfg.timeSeriesFile = timeseriesPath;
+        double s0 = secondsNow();
+        auto r = runKernel(tsCfg, KernelId::Livermore3, params, true,
+                           BarrierKind::FilterDCache, cfg.numCores);
+        HostProfiler::Scope hps(HostPhase::Harness);
+        rows.push_back({"livermore3", secondsNow() - s0, uint64_t(r.cycles),
+                        r.instructions});
+    }
+    {
+        double s0 = secondsNow();
+        auto r = runKernel(cfg, KernelId::Autocorr, params, true,
+                           BarrierKind::FilterDCache, cfg.numCores);
+        HostProfiler::Scope hps(HostPhase::Harness);
+        rows.push_back({"autocorr", secondsNow() - s0, uint64_t(r.cycles),
+                        r.instructions});
+    }
+
+    for (const SuiteRow &r : rows) {
+        simCycles += r.simCycles;
+        instructions += r.instructions;
+    }
+    const double wallSec = secondsNow() - t0;
+    const HostProfReport rep = prof.report(simCycles, instructions);
+
+    printHeader(std::cout, "suite", {"ms", "Mcyc/s", "MIPS"});
+    for (const SuiteRow &r : rows) {
+        printRow(std::cout, r.name,
+                 {r.wallSec * 1e3,
+                  r.wallSec > 0 ? double(r.simCycles) / r.wallSec / 1e6 : 0,
+                  r.wallSec > 0
+                      ? double(r.instructions) / r.wallSec / 1e6
+                      : 0});
+    }
+    printRow(std::cout, "total",
+             {wallSec * 1e3,
+              wallSec > 0 ? double(simCycles) / wallSec / 1e6 : 0,
+              wallSec > 0 ? double(instructions) / wallSec / 1e6 : 0});
+
+    printBreakdown(rep);
+
+    if (!hostprofPath.empty()) {
+        writeJsonArtifact(hostprofPath,
+                          [&](JsonWriter &w) { rep.writeJson(w); });
+        std::cout << "wrote " << hostprofPath << "\n";
+    }
+    if (!timeseriesPath.empty())
+        std::cout << "wrote " << timeseriesPath << "\n";
+
+    // A/B: the same kernel with observability consumers attached vs
+    // detached. With observe=0 no probe channel has listeners, so lazy
+    // publication skips event construction entirely; the profiler's
+    // publish/skip counters prove the saving instead of assuming it.
+    struct AbRow
+    {
+        bool observe;
+        double wallSec;
+        uint64_t published, skipped;
+    };
+    std::vector<AbRow> ab;
+    for (bool observe : {true, false}) {
+        CmpConfig abCfg = cfg;
+        abCfg.observability = observe;
+        HostProfiler::enable(shift);
+        double s0 = secondsNow();
+        auto r = runKernel(abCfg, KernelId::Livermore3, params, true,
+                           BarrierKind::FilterDCache, cfg.numCores);
+        (void)r;
+        ab.push_back({observe, secondsNow() - s0,
+                      HostProfiler::active()->probePublishes(),
+                      HostProfiler::active()->probeSkips()});
+    }
+    HostProfiler::disable();
+
+    std::cout << "\nprobe-publication cost (livermore3):\n";
+    for (const AbRow &r : ab) {
+        std::cout << "  observe=" << (r.observe ? 1 : 0) << ": "
+                  << std::fixed << std::setprecision(2) << r.wallSec * 1e3
+                  << " ms, " << r.published << " probe events built, "
+                  << r.skipped << " publications skipped\n";
+    }
+
+    bench::writeBenchJson(
+        bench::jsonPathFromCli(argc, argv), [&](JsonWriter &w) {
+            w.beginObject();
+            w.kv("bench", "abl_simspeed");
+            w.key("config");
+            bench::writeConfigJson(w, cfg);
+            w.key("suite").beginArray();
+            for (const SuiteRow &r : rows) {
+                w.beginObject();
+                w.kv("name", r.name);
+                w.kv("wallSec", r.wallSec);
+                w.kv("simCycles", r.simCycles);
+                w.kv("instructions", r.instructions);
+                w.end();
+            }
+            w.end();
+            w.kv("totalWallSec", wallSec);
+            w.kv("totalSimCycles", simCycles);
+            w.kv("totalInstructions", instructions);
+            w.key("hostprof");
+            rep.writeJson(w);
+            w.key("probeAb").beginArray();
+            for (const AbRow &r : ab) {
+                w.beginObject();
+                w.kv("observe", r.observe);
+                w.kv("wallSec", r.wallSec);
+                w.kv("probePublished", r.published);
+                w.kv("probeSkipped", r.skipped);
+                w.end();
+            }
+            w.end();
+            w.end();
+        });
+    return 0;
+}

@@ -14,10 +14,13 @@
  * CmpConfig override (cores=, l2banks=, busbw=, ...). json=<file> dumps
  * the full per-mechanism measurements (including barrier-episode latency
  * percentiles) as JSON; traceout=<file> writes a Chrome trace of the last
- * run performed.
+ * run performed, and timeseries=<file> a counter time-series of the last
+ * run. hostprof=<file> self-profiles the whole sweep and dumps the
+ * per-component host-time breakdown (see docs/OBSERVABILITY.md).
  */
 
 #include "bench_common.hh"
+#include "sim/hostprof.hh"
 
 using namespace bfsim;
 
@@ -26,6 +29,11 @@ main(int argc, char **argv)
 {
     bench::banner("Figure 4: barrier latency vs core count");
     auto opts = OptionMap::fromArgs(argc, argv);
+
+    const std::string hostprofPath = opts.getString("hostprof", "");
+    if (!hostprofPath.empty())
+        HostProfiler::enable();
+    uint64_t totalSimCycles = 0;
 
     std::vector<unsigned> coreCounts = {4, 8, 16, 32, 64};
     if (opts.has("onlycores"))
@@ -57,6 +65,7 @@ main(int argc, char **argv)
             unsigned loops =
                 unsigned(opts.getUint("loops", n >= 32 ? 2 : 8));
             auto r = measureBarrierLatency(cfg, kind, n, barriers, loops);
+            totalSimCycles += r.totalCycles;
             row.push_back(r.cyclesPerBarrier);
             cells.push_back({n, r});
         }
@@ -100,6 +109,14 @@ main(int argc, char **argv)
             w.end();
             w.end();
         });
+
+    if (HostProfiler *hp = HostProfiler::active()) {
+        HostProfReport rep = hp->report(totalSimCycles, 0);
+        writeJsonArtifact(hostprofPath,
+                          [&](JsonWriter &w) { rep.writeJson(w); });
+        std::cout << "wrote " << hostprofPath << "\n";
+        HostProfiler::disable();
+    }
 
     std::cout << "\nBus occupancy at the largest configuration indicates\n"
               << "where the shared-bus saturation of Section 4.2 begins.\n";

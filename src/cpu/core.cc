@@ -87,8 +87,10 @@ Core::publishState(CoreProbeState s)
     if (s == pubState)
         return;
     pubState = s;
-    stats.probes().coreState.notify(
-        {eventq.now(), coreId, s, ctx ? ctx->tid : ThreadId(-1)});
+    stats.probes().coreState.publish([&] {
+        return CoreStateEvent{eventq.now(), coreId, s,
+                              ctx ? ctx->tid : ThreadId(-1)};
+    });
 }
 
 void
@@ -143,11 +145,14 @@ Core::scheduleTick(Tick delay)
     if (tickScheduled)
         return;
     tickScheduled = true;
-    eventq.schedule(delay, [this, e = epoch] {
-        tickScheduled = false;
-        if (e == epoch)
-            tick();
-    });
+    eventq.schedule(
+        delay,
+        [this, e = epoch] {
+            tickScheduled = false;
+            if (e == epoch)
+                tick();
+        },
+        HostPhase::CoreTick);
 }
 
 void
@@ -726,12 +731,15 @@ Core::issueStoreHead()
     if (!ok) {
         // L1D out of MSHRs: retry shortly.
         storeRetryScheduled = true;
-        eventq.schedule(1, [this, e = epoch] {
-            if (e != epoch)
-                return;
-            storeRetryScheduled = false;
-            issueStoreHead();
-        });
+        eventq.schedule(
+            1,
+            [this, e = epoch] {
+                if (e != epoch)
+                    return;
+                storeRetryScheduled = false;
+                issueStoreHead();
+            },
+            HostPhase::CoreTick);
         return;
     }
     storeIssued = true;

@@ -279,9 +279,11 @@ FilterBank::forceLeave(BarrierFilter &f, unsigned slot)
         // nack retires its L1 MSHR (the core-side callbacks were squashed
         // when the core died, so nothing else propagates).
         e.pendingFill = false;
-        stats.probes().fillUnblocked.notify({eventq.now(), e.pendingMsg.core,
-                                             e.pendingMsg.lineAddr, bankIdx,
-                                             idxOf(f), slot, f.opens, true});
+        stats.probes().fillUnblocked.publish([&] {
+            return FillUnblockedEvent{eventq.now(), e.pendingMsg.core,
+                                      e.pendingMsg.lineAddr, bankIdx,
+                                      idxOf(f), slot, f.opens, true};
+        });
         Msg msg = e.pendingMsg;
         msg.type = MsgType::NackError;
         nackHandler(msg);
@@ -293,9 +295,10 @@ FilterBank::forceLeave(BarrierFilter &f, unsigned slot)
                                    : FilterThreadState::Waiting;
     --f.members;
     ++stats.counter(name + ".forcedLeaves");
-    stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
-                                      f.opens, slot, false, true,
-                                      f.members});
+    stats.probes().membership.publish([&] {
+        return MembershipEvent{eventq.now(), bankIdx, idxOf(f),
+                               f.opens, slot, false, true, f.members};
+    });
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                 name << ".filter" << idxOf(f) << " FORCED leave slot "
                      << slot << ", members now " << f.members);
@@ -348,9 +351,10 @@ FilterBank::commitMembership(BarrierFilter &f)
     // Leave events carry the post-commit count, so they are published
     // only after the recompute above.
     for (unsigned s : left) {
-        stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
-                                          f.opens, s, false, false,
-                                          f.members});
+        stats.probes().membership.publish([&] {
+            return MembershipEvent{eventq.now(), bankIdx, idxOf(f),
+                                   f.opens, s, false, false, f.members};
+        });
     }
 
     // A joiner that raced ahead of its own commit already sits in
@@ -358,15 +362,18 @@ FilterBank::commitMembership(BarrierFilter &f)
     // counts toward the *new* episode from its first instant.
     for (unsigned s : joined) {
         auto &e = f.entries[s];
-        stats.probes().membership.notify({eventq.now(), bankIdx, idxOf(f),
-                                          f.opens, s, true, false,
-                                          f.members});
+        stats.probes().membership.publish([&] {
+            return MembershipEvent{eventq.now(), bankIdx, idxOf(f),
+                                   f.opens, s, true, false, f.members};
+        });
         if (e.state == FilterThreadState::Blocking) {
             ++f.arrivedCounter;
-            stats.probes().barrierArrive.notify(
-                {eventq.now(), bankIdx, idxOf(f), f.opens, s,
-                 e.pendingFill ? e.pendingMsg.core : invalidCore,
-                 f.members});
+            stats.probes().barrierArrive.publish([&] {
+                return BarrierArriveEvent{
+                    eventq.now(), bankIdx, idxOf(f), f.opens, s,
+                    e.pendingFill ? e.pendingMsg.core : invalidCore,
+                    f.members};
+            });
             if (e.pendingFill)
                 armTimeout(f, s);
         }
@@ -403,8 +410,10 @@ FilterBank::open(BarrierFilter &f)
     unsigned blocked = 0;
     for (const auto &e : f.entries)
         blocked += (e.active && e.pendingFill) ? 1 : 0;
-    stats.probes().barrierOpen.notify(
-        {eventq.now(), bankIdx, fi, ep, f.members, blocked});
+    stats.probes().barrierOpen.publish([&] {
+        return BarrierOpenEvent{eventq.now(), bankIdx, fi, ep, f.members,
+                                blocked};
+    });
 
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                 name << ".filter" << fi << " episode " << ep << " opens, "
@@ -428,14 +437,21 @@ FilterBank::open(BarrierFilter &f)
         if (e.pendingFill) {
             e.pendingFill = false;
             Msg msg = e.pendingMsg;
-            eventq.schedule(stagger++, [this, msg, fi, ep, s] {
-                stats.probes().fillUnblocked.notify({eventq.now(), msg.core,
-                                                     msg.lineAddr, bankIdx,
-                                                     fi, s, ep, false});
-                stats.probes().barrierRelease.notify(
-                    {eventq.now(), bankIdx, fi, ep, s, msg.core});
-                releaseHandler(msg);
-            });
+            eventq.schedule(
+                stagger++,
+                [this, msg, fi, ep, s] {
+                    stats.probes().fillUnblocked.publish([&] {
+                        return FillUnblockedEvent{eventq.now(), msg.core,
+                                                  msg.lineAddr, bankIdx,
+                                                  fi, s, ep, false};
+                    });
+                    stats.probes().barrierRelease.publish([&] {
+                        return BarrierReleaseEvent{eventq.now(), bankIdx,
+                                                   fi, ep, s, msg.core};
+                    });
+                    releaseHandler(msg);
+                },
+                HostPhase::FilterFsm);
         }
     }
     commitMembership(f);
@@ -449,15 +465,20 @@ FilterBank::armTimeout(BarrierFilter &f, unsigned slot)
     uint64_t epoch = f.opens;
     uint64_t gen = f.generation;
     BarrierFilter *fp = &f;
-    eventq.schedule(timeoutCycles, [this, fp, slot, epoch, gen] {
-        // The generation guard keeps a timeout armed for one tenant from
-        // firing on a different barrier swapped into the same slot.
-        if (!fp->active() || fp->generation != gen || fp->opens != epoch)
-            return;
-        if (!fp->entries[slot].pendingFill)
-            return;
-        timeoutFired(*fp, slot);
-    });
+    eventq.schedule(
+        timeoutCycles,
+        [this, fp, slot, epoch, gen] {
+            // The generation guard keeps a timeout armed for one tenant
+            // from firing on a different barrier swapped into the same
+            // slot.
+            if (!fp->active() || fp->generation != gen ||
+                fp->opens != epoch)
+                return;
+            if (!fp->entries[slot].pendingFill)
+                return;
+            timeoutFired(*fp, slot);
+        },
+        HostPhase::FilterFsm);
 }
 
 void
@@ -476,9 +497,10 @@ FilterBank::timeoutFired(BarrierFilter &f, unsigned slot)
     e.pendingFill = false;
     ++stats.counter(name + ".timeoutNacks");
     Msg msg = e.pendingMsg;
-    stats.probes().fillUnblocked.notify({eventq.now(), msg.core, msg.lineAddr,
-                                         bankIdx, idxOf(f), slot, f.opens,
-                                         true});
+    stats.probes().fillUnblocked.publish([&] {
+        return FillUnblockedEvent{eventq.now(), msg.core, msg.lineAddr,
+                                  bankIdx, idxOf(f), slot, f.opens, true};
+    });
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                 name << ".filter" << idxOf(f) << " timeout nack slot "
                      << slot << " core " << msg.core);
@@ -526,9 +548,10 @@ FilterBank::poison(BarrierFilter &f)
         e.pendingFill = false;
         ++stats.counter(name + ".timeoutNacks");
         Msg msg = e.pendingMsg;
-        stats.probes().fillUnblocked.notify({eventq.now(), msg.core,
-                                             msg.lineAddr, bankIdx, idxOf(f),
-                                             s, f.opens, true});
+        stats.probes().fillUnblocked.publish([&] {
+            return FillUnblockedEvent{eventq.now(), msg.core, msg.lineAddr,
+                                      bankIdx, idxOf(f), s, f.opens, true};
+        });
         msg.type = MsgType::NackError;
         nackHandler(msg);
     }
@@ -627,9 +650,11 @@ FilterBank::onInvalidate(Addr lineAddr, CoreId core)
                         e.pendingMember = -1;
                         ++stats.counter(name + ".leaveProposals");
                     }
-                    stats.probes().barrierArrive.notify(
-                        {eventq.now(), bankIdx, idxOf(f), f.opens, *slot,
-                         core, f.members});
+                    stats.probes().barrierArrive.publish([&] {
+                        return BarrierArriveEvent{
+                            eventq.now(), bankIdx, idxOf(f), f.opens,
+                            *slot, core, f.members};
+                    });
                     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                                 name << ".filter" << idxOf(f) << " slot "
                                      << *slot << " arrives (core " << core
@@ -722,9 +747,11 @@ FilterBank::onFillRequest(const Msg &msg)
                 e.pendingFill = true;
                 e.pendingMsg = msg;
                 ++stats.counter(name + ".blockedFills");
-                stats.probes().fillStarved.notify(
-                    {eventq.now(), msg.core, msg.lineAddr, bankIdx,
-                     idxOf(f), *slot, f.opens});
+                stats.probes().fillStarved.publish([&] {
+                    return FillStarvedEvent{eventq.now(), msg.core,
+                                            msg.lineAddr, bankIdx,
+                                            idxOf(f), *slot, f.opens};
+                });
                 return FillAction::Blocked;
             }
             if (strict) {
@@ -756,9 +783,12 @@ FilterBank::onFillRequest(const Msg &msg)
                 // its waiters were squashed when the thread was switched
                 // out, so the nack only frees the orphaned MSHR.
                 ++stats.counter(name + ".replacedPendingFills");
-                stats.probes().fillUnblocked.notify(
-                    {eventq.now(), e.pendingMsg.core, e.pendingMsg.lineAddr,
-                     bankIdx, idxOf(f), *slot, f.opens, true});
+                stats.probes().fillUnblocked.publish([&] {
+                    return FillUnblockedEvent{
+                        eventq.now(), e.pendingMsg.core,
+                        e.pendingMsg.lineAddr, bankIdx, idxOf(f), *slot,
+                        f.opens, true};
+                });
                 if (e.pendingMsg.core != msg.core) {
                     Msg stale = e.pendingMsg;
                     stale.type = MsgType::NackError;
@@ -768,9 +798,11 @@ FilterBank::onFillRequest(const Msg &msg)
             e.pendingFill = true;
             e.pendingMsg = msg;
             ++stats.counter(name + ".blockedFills");
-            stats.probes().fillStarved.notify({eventq.now(), msg.core,
-                                               msg.lineAddr, bankIdx,
-                                               idxOf(f), *slot, f.opens});
+            stats.probes().fillStarved.publish([&] {
+                return FillStarvedEvent{eventq.now(), msg.core,
+                                        msg.lineAddr, bankIdx, idxOf(f),
+                                        *slot, f.opens};
+            });
             BFSIM_TRACE(TraceCat::Filter, eventq.now(),
                         name << ".filter" << idxOf(f) << " withholds fill"
                              << " slot " << *slot << " core " << msg.core

@@ -53,39 +53,49 @@ BarrierNetwork::arrive(int id, CoreId core, std::function<void()> onRelease)
     // Arrival is signalled core-side; the episode counter only advances
     // when a release broadcasts, and a thread cannot re-arrive before its
     // own release callback ran, so this attribution is race-free.
-    stats.probes().barrierArrive.notify(
-        {eventq.now(), probeNetworkBank, unsigned(id), b.episode,
-         core >= 0 ? unsigned(core) : 0u, core, b.numThreads});
-    // The signal takes linkLatency cycles to reach the global logic.
-    eventq.schedule(linkLatency, [this, id, core,
-                                  cb = std::move(onRelease)]() mutable {
-        auto &bb = barriers.at(id);
-        bb.waiters.emplace_back(core, std::move(cb));
-        if (++bb.arrived < bb.numThreads)
-            return;
-
-        // Wired-AND satisfied: broadcast the release.
-        ++stats.counter("hwnet.releases");
-        const uint64_t ep = bb.episode;
-        stats.probes().barrierOpen.notify(
-            {eventq.now(), probeNetworkBank, unsigned(id), ep, bb.numThreads,
-             unsigned(bb.waiters.size())});
-        bb.arrived = 0;
-        ++bb.episode;
-        auto waiters = std::move(bb.waiters);
-        bb.waiters.clear();
-        for (auto &w : waiters) {
-            eventq.schedule(
-                linkLatency + restartCost,
-                [this, id, ep, wcore = w.first,
-                 fn = std::move(w.second)]() mutable {
-                    stats.probes().barrierRelease.notify(
-                        {eventq.now(), probeNetworkBank, unsigned(id), ep,
-                         wcore >= 0 ? unsigned(wcore) : 0u, wcore});
-                    fn();
-                });
-        }
+    stats.probes().barrierArrive.publish([&] {
+        return BarrierArriveEvent{
+            eventq.now(), probeNetworkBank, unsigned(id), b.episode,
+            core >= 0 ? unsigned(core) : 0u, core, b.numThreads};
     });
+    // The signal takes linkLatency cycles to reach the global logic.
+    eventq.schedule(
+        linkLatency,
+        [this, id, core, cb = std::move(onRelease)]() mutable {
+            auto &bb = barriers.at(id);
+            bb.waiters.emplace_back(core, std::move(cb));
+            if (++bb.arrived < bb.numThreads)
+                return;
+
+            // Wired-AND satisfied: broadcast the release.
+            ++stats.counter("hwnet.releases");
+            const uint64_t ep = bb.episode;
+            stats.probes().barrierOpen.publish([&] {
+                return BarrierOpenEvent{eventq.now(), probeNetworkBank,
+                                        unsigned(id), ep, bb.numThreads,
+                                        unsigned(bb.waiters.size())};
+            });
+            bb.arrived = 0;
+            ++bb.episode;
+            auto waiters = std::move(bb.waiters);
+            bb.waiters.clear();
+            for (auto &w : waiters) {
+                eventq.schedule(
+                    linkLatency + restartCost,
+                    [this, id, ep, wcore = w.first,
+                     fn = std::move(w.second)]() mutable {
+                        stats.probes().barrierRelease.publish([&] {
+                            return BarrierReleaseEvent{
+                                eventq.now(), probeNetworkBank,
+                                unsigned(id), ep,
+                                wcore >= 0 ? unsigned(wcore) : 0u, wcore};
+                        });
+                        fn();
+                    },
+                    HostPhase::Network);
+            }
+        },
+        HostPhase::Network);
 }
 
 } // namespace bfsim

@@ -8,6 +8,7 @@
 #include "kernels/autocorr.hh"
 #include "kernels/livermore.hh"
 #include "kernels/viterbi.hh"
+#include "sim/hostprof.hh"
 #include "sim/log.hh"
 
 namespace bfsim
@@ -55,32 +56,46 @@ KernelRun
 runKernel(const CmpConfig &cfg, KernelId id, const KernelParams &params,
           bool parallel, BarrierKind kind, unsigned threads)
 {
-    CmpSystem sys(cfg);
-    Os &os = sys.os();
-    auto kernel = makeKernel(id);
-    kernel->setup(sys, params);
+    // System construction + program build are host work outside the event
+    // loop; the profiler attributes them exactly via a Setup scope. (The
+    // scope must end before sys.run() — loop time is accounted
+    // separately.)
+    std::unique_ptr<CmpSystem> sysPtr;
+    std::unique_ptr<Kernel> kernel;
+    {
+        HostProfiler::Scope hps(HostPhase::Setup);
+        sysPtr = std::make_unique<CmpSystem>(cfg);
+        CmpSystem &sys = *sysPtr;
+        Os &os = sys.os();
+        kernel = makeKernel(id);
+        kernel->setup(sys, params);
 
-    if (!parallel) {
-        ProgramPtr prog = kernel->buildSequential(sys, os.codeBase(0));
-        ThreadContext *t = os.createThread(prog);
-        os.startThread(t, 0);
-    } else {
-        if (threads == 0)
-            threads = cfg.numCores;
-        if (threads > cfg.numCores)
-            fatal("runKernel: more threads than cores");
-        BarrierHandle handle = os.registerBarrier(kind, threads);
-        for (unsigned tid = 0; tid < threads; ++tid) {
-            ProgramPtr prog = kernel->buildParallel(
-                sys, os.codeBase(ThreadId(tid)), tid, threads, handle);
+        if (!parallel) {
+            ProgramPtr prog = kernel->buildSequential(sys, os.codeBase(0));
             ThreadContext *t = os.createThread(prog);
-            os.startThread(t, CoreId(tid));
+            os.startThread(t, 0);
+        } else {
+            if (threads == 0)
+                threads = cfg.numCores;
+            if (threads > cfg.numCores)
+                fatal("runKernel: more threads than cores");
+            BarrierHandle handle = os.registerBarrier(kind, threads);
+            for (unsigned tid = 0; tid < threads; ++tid) {
+                ProgramPtr prog = kernel->buildParallel(
+                    sys, os.codeBase(ThreadId(tid)), tid, threads, handle);
+                ThreadContext *t = os.createThread(prog);
+                os.startThread(t, CoreId(tid));
+            }
         }
     }
+    CmpSystem &sys = *sysPtr;
 
     KernelRun run;
     run.cycles = sys.run();
-    run.correct = !sys.anyBarrierError() && kernel->check(sys);
+    {
+        HostProfiler::Scope hps(HostPhase::CheckResult);
+        run.correct = !sys.anyBarrierError() && kernel->check(sys);
+    }
     run.instructions = sys.totalInstructions();
     run.recoveries = sys.statistics().counterValue("os.barrierRecoveries");
     run.fallbacks = sys.statistics().counterValue("os.barrierFallbacks");

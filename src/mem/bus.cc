@@ -64,7 +64,9 @@ Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
     stats.counter("bus." + busName + ".busyCycles") += occ;
     stats.counter("bus." + busName + ".queueCycles") +=
         start - eventq.now();
-    stats.probes().busOccupancy.notify({eventq.now(), occ, respDir});
+    stats.probes().busOccupancy.publish([&] {
+        return BusOccupancyEvent{eventq.now(), occ, respDir};
+    });
 
     BFSIM_TRACE(TraceCat::Bus, eventq.now(),
                 busName << " " << msgTypeName(msg.type) << " line=0x"
@@ -72,10 +74,10 @@ Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
                         << msg.core << " deliver@" << (freeAt + propLatency));
 
     Msg copy = msg;
-    eventq.scheduleAt(freeAt + propLatency,
-                      [deliver = std::move(deliver), copy]() {
-                          deliver(copy);
-                      });
+    eventq.scheduleAt(
+        freeAt + propLatency,
+        [deliver = std::move(deliver), copy]() { deliver(copy); },
+        HostPhase::BusArb);
 }
 
 Interconnect::Interconnect(EventQueue &eq, StatGroup &st, unsigned lineBytes_,

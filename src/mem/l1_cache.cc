@@ -120,7 +120,8 @@ L1Cache::load(Addr addr, unsigned size, std::function<void(bool)> onDone)
     if (auto *line = array.findAndTouch(la)) {
         (void)line;
         ++stats.counter(name + ".loadHits");
-        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -155,7 +156,8 @@ L1Cache::loadLinked(Addr addr, std::function<void(bool)> onDone)
         BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
                     name << " link set (hit) 0x" << std::hex << la);
         ++stats.counter(name + ".loadHits");
-        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -196,7 +198,8 @@ L1Cache::store(Addr addr, unsigned size, std::function<void(bool)> onDone)
     auto *line = array.findAndTouch(la);
     if (line && line->state.modified) {
         ++stats.counter(name + ".storeHits");
-        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -229,7 +232,8 @@ L1Cache::storeConditional(Addr addr, std::function<void(bool)> onDone)
     if (!linkSet || linkLine != la) {
         // Fast fail: no bus traffic, mirroring Alpha stx_c behaviour.
         ++stats.counter(name + ".scFastFails");
-        eventq.schedule(1, [cb = std::move(onDone)] { cb(false); });
+        eventq.schedule(1, [cb = std::move(onDone)] { cb(false); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -239,7 +243,8 @@ L1Cache::storeConditional(Addr addr, std::function<void(bool)> onDone)
         linkSet = false;
         BFSIM_TRACE(TraceCat::Coherence, eventq.now(),
                     name << " sc hit-M success 0x" << std::hex << la);
-        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(true); });
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(true); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -269,7 +274,8 @@ L1Cache::fetch(Addr addr, std::function<void(bool)> onDone)
 
     if (array.findAndTouch(la)) {
         ++stats.counter(name + ".fetchHits");
-        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); });
+        eventq.schedule(hitLatency, [cb = std::move(onDone)] { cb(false); },
+                        HostPhase::L1Access);
         return true;
     }
 
@@ -388,10 +394,12 @@ L1Cache::completeTargets(MshrEntry *entry, bool gotExclusive, bool error)
             bool ok = !error && scSuccess;
             if (ok)
                 linkSet = false;
-            eventq.schedule(0, [cb = std::move(t.onDone), ok] { cb(ok); });
+            eventq.schedule(0, [cb = std::move(t.onDone), ok] { cb(ok); },
+                            HostPhase::L1Access);
         } else {
             eventq.schedule(0,
-                            [cb = std::move(t.onDone), error] { cb(error); });
+                            [cb = std::move(t.onDone), error] { cb(error); },
+                            HostPhase::L1Access);
         }
     }
 

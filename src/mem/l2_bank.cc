@@ -70,9 +70,13 @@ L2Bank::receive(const Msg &msg)
       }
       case MsgType::InvAll:
         ++stats.counter(name + ".invAlls");
-        stats.probes().invalidation.notify(
-            {eventq.now(), bankIndex, msg.lineAddr, msg.core,
-             filters && filters->coversLine(msg.lineAddr)});
+        // Lazy publish: the coversLine probe of the filter CAM is only
+        // worth paying when someone is actually listening.
+        stats.probes().invalidation.publish([&] {
+            return InvalidationEvent{
+                eventq.now(), bankIndex, msg.lineAddr, msg.core,
+                filters && filters->coversLine(msg.lineAddr)};
+        });
         // The filter observes every explicit invalidation the bank sees;
         // this is the arrival / exit signalling path.
         if (filters)
@@ -100,12 +104,15 @@ L2Bank::process(const Msg &msg)
         return;
     }
     // Tag + data access latency before the bank acts on the request.
-    eventq.schedule(hitLatency, [this, msg] {
-        if (msg.type == MsgType::InvAll)
-            startInvAll(msg);
-        else
-            startFill(msg);
-    });
+    eventq.schedule(
+        hitLatency,
+        [this, msg] {
+            if (msg.type == MsgType::InvAll)
+                startInvAll(msg);
+            else
+                startFill(msg);
+        },
+        HostPhase::L2Access);
 }
 
 void

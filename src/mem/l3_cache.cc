@@ -31,13 +31,15 @@ L3Cache::access(Addr lineAddr, std::function<void()> onDone)
 
     if (array.findAndTouch(lineAddr)) {
         ++stats.counter("l3.hits");
-        eventq.schedule(queueDelay + hitLatency, std::move(onDone));
+        eventq.schedule(queueDelay + hitLatency, std::move(onDone),
+                        HostPhase::Memory);
         return;
     }
 
     ++stats.counter("l3.misses");
-    eventq.schedule(queueDelay + hitLatency, [this, lineAddr,
-                                              cb = std::move(onDone)] {
+    eventq.schedule(
+        queueDelay + hitLatency,
+        [this, lineAddr, cb = std::move(onDone)] {
         mem.timedAccess(lineAddr, [this, lineAddr, cb]() {
             auto *way = array.victimFor(lineAddr);
             if (way->valid) {
@@ -49,7 +51,8 @@ L3Cache::access(Addr lineAddr, std::function<void()> onDone)
             array.install(way, lineAddr);
             cb();
         });
-    });
+        },
+        HostPhase::Memory);
 }
 
 void

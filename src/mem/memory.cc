@@ -155,7 +155,7 @@ MainMemory::timedAccess(Addr, std::function<void()> onDone)
             stats.counter("dram.faultDelayCycles") += extra;
         }
     }
-    eventq.scheduleAt(doneAt, std::move(onDone));
+    eventq.scheduleAt(doneAt, std::move(onDone), HostPhase::Memory);
 }
 
 void

@@ -140,8 +140,9 @@ Os::startThread(ThreadContext *t, CoreId core)
         fatal("Os: core " + std::to_string(core) + " already busy");
     ++sys.liveThreads;
     sys.started.push_back(t);
-    sys.statistics().probes().sched.notify(
-        {sys.eventQueue().now(), core, t->tid, true});
+    sys.statistics().probes().sched.publish([&] {
+        return SchedEvent{sys.eventQueue().now(), core, t->tid, true};
+    });
     BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
                 "os: start thread " << t->tid << " on core " << core);
     sys.core(core).setThread(t);
@@ -152,8 +153,10 @@ Os::deschedule(CoreId core, std::function<void(ThreadContext *)> onDone)
 {
     sys.core(core).requestDeschedule(
         [this, core, cb = std::move(onDone)](ThreadContext *t) {
-            sys.statistics().probes().sched.notify(
-                {sys.eventQueue().now(), core, t->tid, false});
+            sys.statistics().probes().sched.publish([&] {
+                return SchedEvent{sys.eventQueue().now(), core, t->tid,
+                                  false};
+            });
             BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
                         "os: deschedule thread " << t->tid << " from core "
                                                  << core);
@@ -166,8 +169,9 @@ Os::reschedule(ThreadContext *t, CoreId core)
 {
     if (!sys.core(core).idle())
         fatal("Os: reschedule onto a busy core");
-    sys.statistics().probes().sched.notify(
-        {sys.eventQueue().now(), core, t->tid, true});
+    sys.statistics().probes().sched.publish([&] {
+        return SchedEvent{sys.eventQueue().now(), core, t->tid, true};
+    });
     BFSIM_TRACE(TraceCat::Os, sys.eventQueue().now(),
                 "os: reschedule thread " << t->tid << " on core " << core);
     sys.core(core).setThread(t);
@@ -781,10 +785,13 @@ Os::scheduleRepairSweep()
     if (repairSweepScheduled)
         return;
     repairSweepScheduled = true;
-    sys.eventQueue().schedule(repairSweepPeriod, [this] {
-        repairSweepScheduled = false;
-        repairSweepOnce();
-    });
+    sys.eventQueue().schedule(
+        repairSweepPeriod,
+        [this] {
+            repairSweepScheduled = false;
+            repairSweepOnce();
+        },
+        HostPhase::OsSched);
 }
 
 // ----- filter re-acquisition -------------------------------------------------------
@@ -798,10 +805,13 @@ Os::scheduleReacquireSweep()
     if (period == 0)
         return;
     reacquireSweepScheduled = true;
-    sys.eventQueue().schedule(period, [this] {
-        reacquireSweepScheduled = false;
-        reacquireSweep();
-    });
+    sys.eventQueue().schedule(
+        period,
+        [this] {
+            reacquireSweepScheduled = false;
+            reacquireSweep();
+        },
+        HostPhase::OsSched);
 }
 
 void

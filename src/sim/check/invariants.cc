@@ -61,7 +61,8 @@ InvariantChecker::InvariantChecker(CmpSystem &system, Tick interval,
     probes.coreKill.listen(
         [this](const CoreKillEvent &e) { onCoreKill(e); });
 
-    sys.eventQueue().schedule(sweepInterval, [this] { sweep(); });
+    sys.eventQueue().schedule(sweepInterval, [this] { sweep(); },
+                                  HostPhase::Check);
 }
 
 // ----- shadow bookkeeping -----------------------------------------------------
@@ -305,7 +306,8 @@ InvariantChecker::sweep()
     sweepMshrs();
     sweepThreads();
     if (!sys.allThreadsHalted())
-        sys.eventQueue().schedule(sweepInterval, [this] { sweep(); });
+        sys.eventQueue().schedule(sweepInterval, [this] { sweep(); },
+                                  HostPhase::Check);
 }
 
 void

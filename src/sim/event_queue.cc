@@ -12,28 +12,74 @@ namespace bfsim
 {
 
 void
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::scheduleAt(Tick when, Callback cb, HostPhase phase)
 {
     if (when < curTick)
         throw std::logic_error("EventQueue: scheduling into the past");
-    events.push(Entry{when, nextSeq++, std::move(cb)});
+    if (HostProfiler *p = HostProfiler::active())
+        p->noteSchedule();
+    events.push(Entry{when, nextSeq++, std::move(cb), phase});
+}
+
+void
+EventQueue::dispatchProfiled(HostProfiler &prof)
+{
+    // One sampled iteration pays three clock reads: before the pop,
+    // between pop and callback, after the callback. That splits the
+    // iteration into a QueuePop share (heap pop + dispatch) and the
+    // callback's own phase. Unsampled iterations pay counter increments
+    // and predictable branches only.
+    bool popSampled = prof.sampleIteration();
+    uint64_t tPre = popSampled ? HostProfiler::nowNs() : 0;
+
+    Entry &top = const_cast<Entry &>(events.top());
+    Tick when = top.when;
+    Callback cb = std::move(top.cb);
+    HostPhase phase = top.phase;
+    events.pop();
+
+    uint64_t tMid = 0;
+    if (popSampled) {
+        tMid = HostProfiler::nowNs();
+        prof.recordPop(tMid - tPre);
+    }
+
+    assert(when >= curTick && "event queue went backwards");
+    curTick = when;
+    ++numExecuted;
+
+    if (prof.countEvent(phase)) {
+        uint64_t t0 = popSampled ? tMid : HostProfiler::nowNs();
+        cb();
+        prof.recordEvent(phase, HostProfiler::nowNs() - t0);
+    } else {
+        cb();
+    }
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!events.empty() && events.top().when <= limit) {
-        // priority_queue exposes only a const top(); moving the callback
-        // out before pop() avoids copying a std::function per event.
-        Entry &top = const_cast<Entry &>(events.top());
-        Tick when = top.when;
-        Callback cb = std::move(top.cb);
-        events.pop();
+    if (HostProfiler *prof = HostProfiler::active()) {
+        prof->loopEnter();
+        while (!events.empty() && events.top().when <= limit)
+            dispatchProfiled(*prof);
+        prof->loopExit();
+    } else {
+        while (!events.empty() && events.top().when <= limit) {
+            // priority_queue exposes only a const top(); moving the
+            // callback out before pop() avoids copying a std::function
+            // per event.
+            Entry &top = const_cast<Entry &>(events.top());
+            Tick when = top.when;
+            Callback cb = std::move(top.cb);
+            events.pop();
 
-        assert(when >= curTick && "event queue went backwards");
-        curTick = when;
-        ++numExecuted;
-        cb();
+            assert(when >= curTick && "event queue went backwards");
+            curTick = when;
+            ++numExecuted;
+            cb();
+        }
     }
     if (curTick < limit && limit != tickNever)
         curTick = limit;
@@ -43,16 +89,23 @@ EventQueue::run(Tick limit)
 Tick
 EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
 {
-    while (!events.empty() && !done() && events.top().when <= limit) {
-        Entry &top = const_cast<Entry &>(events.top());
-        Tick when = top.when;
-        Callback cb = std::move(top.cb);
-        events.pop();
+    if (HostProfiler *prof = HostProfiler::active()) {
+        prof->loopEnter();
+        while (!events.empty() && !done() && events.top().when <= limit)
+            dispatchProfiled(*prof);
+        prof->loopExit();
+    } else {
+        while (!events.empty() && !done() && events.top().when <= limit) {
+            Entry &top = const_cast<Entry &>(events.top());
+            Tick when = top.when;
+            Callback cb = std::move(top.cb);
+            events.pop();
 
-        assert(when >= curTick && "event queue went backwards");
-        curTick = when;
-        ++numExecuted;
-        cb();
+            assert(when >= curTick && "event queue went backwards");
+            curTick = when;
+            ++numExecuted;
+            cb();
+        }
     }
     return curTick;
 }

@@ -110,7 +110,8 @@ FaultInjector::FaultInjector(CmpSystem &system, const FaultConfig &config)
     scheduleNext();
     if (cfg.coreKillAt > 0)
         sys.eventQueue().schedule(cfg.coreKillAt,
-                                  [this] { injectCoreKill(); });
+                                  [this] { injectCoreKill(); },
+                                  HostPhase::Fault);
 }
 
 void
@@ -142,7 +143,8 @@ FaultInjector::scheduleNext()
     // to any periodic behaviour of the workload.
     Tick delay = std::max<Tick>(1, cfg.interval / 2 +
                                        rng.below(cfg.interval));
-    sys.eventQueue().schedule(delay, [this] { decisionPoint(); });
+    sys.eventQueue().schedule(delay, [this] { decisionPoint(); },
+                              HostPhase::Fault);
 }
 
 void
@@ -260,7 +262,9 @@ FaultInjector::injectDeschedule()
 void
 FaultInjector::scheduleReschedule(ThreadContext *t, Tick delay)
 {
-    sys.eventQueue().schedule(delay, [this, t] {
+    sys.eventQueue().schedule(
+        delay,
+        [this, t] {
         if (t->halted)
             return;
         // Resume on any idle core — often a different one, which is the
@@ -277,7 +281,8 @@ FaultInjector::scheduleReschedule(ThreadContext *t, Tick delay)
         CoreId target = idle[rng.below(idle.size())];
         ++sys.statistics().counter("faults.reschedules");
         sys.os().reschedule(t, target);
-    });
+        },
+        HostPhase::Fault);
 }
 
 // ----- forced hardware timeout (Section 3.3.4) --------------------------------

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Flight recorder implementation: listener wiring and typed JSON dumps.
+ */
+
+#include "sim/flightrec.hh"
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace bfsim
+{
+
+namespace
+{
+
+/** Bank index as JSON: the pseudo-bank of the dedicated network by name. */
+void
+putBank(JsonWriter &w, unsigned bank)
+{
+    w.key("bank");
+    if (bank == probeNetworkBank)
+        w.value("network");
+    else
+        w.value(bank);
+}
+
+void
+putEvent(JsonWriter &w, const CoreStateEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("core", int64_t(e.core));
+    w.kv("state", coreProbeStateName(e.state));
+    w.kv("tid", int64_t(e.tid));
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const FillStarvedEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("core", int64_t(e.core));
+    w.kv("lineAddr", e.lineAddr);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("slot", e.slot);
+    w.kv("episode", e.episode);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const FillUnblockedEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("core", int64_t(e.core));
+    w.kv("lineAddr", e.lineAddr);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("slot", e.slot);
+    w.kv("episode", e.episode);
+    w.kv("nacked", e.nacked);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const BarrierArriveEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("episode", e.episode);
+    w.kv("slot", e.slot);
+    w.kv("core", int64_t(e.core));
+    w.kv("numThreads", e.numThreads);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const BarrierOpenEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("episode", e.episode);
+    w.kv("numThreads", e.numThreads);
+    w.kv("blockedFills", e.blockedFills);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const BarrierReleaseEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("episode", e.episode);
+    w.kv("slot", e.slot);
+    w.kv("core", int64_t(e.core));
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const InvalidationEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("lineAddr", e.lineAddr);
+    w.kv("core", int64_t(e.core));
+    w.kv("filtered", e.filtered);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const BusOccupancyEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("cycles", e.cycles);
+    w.kv("response", e.response);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const SchedEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("core", int64_t(e.core));
+    w.kv("tid", int64_t(e.tid));
+    w.kv("scheduled", e.scheduled);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const FilterSwapEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("groupId", int64_t(e.groupId));
+    w.kv("ctx", e.ctx);
+    w.kv("swapIn", e.swapIn);
+    w.kv("episode", e.episode);
+    w.kv("arrived", e.arrived);
+    w.kv("arrivedMask", e.arrivedMask);
+    w.kv("members", e.members);
+    w.kv("cost", e.cost);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const MembershipEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    putBank(w, e.bank);
+    w.kv("filterIdx", e.filterIdx);
+    w.kv("episode", e.episode);
+    w.kv("slot", e.slot);
+    w.kv("join", e.join);
+    w.kv("forced", e.forced);
+    w.kv("members", e.members);
+    w.end();
+}
+
+void
+putEvent(JsonWriter &w, const CoreKillEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("core", int64_t(e.core));
+    w.kv("tid", int64_t(e.tid));
+    w.end();
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(ProbeBus &bus, size_t depth) : depth_(depth)
+{
+    if (depth_ == 0)
+        fatal("FlightRecorder: depth must be positive");
+
+    bus.coreState.listen(
+        [this](const CoreStateEvent &e) { coreState.record(e, depth_); });
+    bus.fillStarved.listen(
+        [this](const FillStarvedEvent &e) { fillStarved.record(e, depth_); });
+    bus.fillUnblocked.listen([this](const FillUnblockedEvent &e) {
+        fillUnblocked.record(e, depth_);
+    });
+    bus.barrierArrive.listen([this](const BarrierArriveEvent &e) {
+        barrierArrive.record(e, depth_);
+    });
+    bus.barrierOpen.listen(
+        [this](const BarrierOpenEvent &e) { barrierOpen.record(e, depth_); });
+    bus.barrierRelease.listen([this](const BarrierReleaseEvent &e) {
+        barrierRelease.record(e, depth_);
+    });
+    bus.invalidation.listen([this](const InvalidationEvent &e) {
+        invalidation.record(e, depth_);
+    });
+    bus.busOccupancy.listen([this](const BusOccupancyEvent &e) {
+        busOccupancy.record(e, depth_);
+    });
+    bus.sched.listen([this](const SchedEvent &e) { sched.record(e, depth_); });
+    bus.filterSwap.listen(
+        [this](const FilterSwapEvent &e) { filterSwap.record(e, depth_); });
+    bus.membership.listen(
+        [this](const MembershipEvent &e) { membership.record(e, depth_); });
+    bus.coreKill.listen(
+        [this](const CoreKillEvent &e) { coreKill.record(e, depth_); });
+}
+
+namespace
+{
+
+template <typename RingT>
+void
+addStats(std::vector<FlightRecorder::ChannelStats> &out, const char *name,
+         const RingT &r)
+{
+    out.push_back({name, r.seen, r.retained(), r.seen - r.retained()});
+}
+
+} // namespace
+
+std::vector<FlightRecorder::ChannelStats>
+FlightRecorder::channelStats() const
+{
+    std::vector<ChannelStats> out;
+    out.reserve(12);
+    addStats(out, "coreState", coreState);
+    addStats(out, "fillStarved", fillStarved);
+    addStats(out, "fillUnblocked", fillUnblocked);
+    addStats(out, "barrierArrive", barrierArrive);
+    addStats(out, "barrierOpen", barrierOpen);
+    addStats(out, "barrierRelease", barrierRelease);
+    addStats(out, "invalidation", invalidation);
+    addStats(out, "busOccupancy", busOccupancy);
+    addStats(out, "sched", sched);
+    addStats(out, "filterSwap", filterSwap);
+    addStats(out, "membership", membership);
+    addStats(out, "coreKill", coreKill);
+    return out;
+}
+
+uint64_t
+FlightRecorder::totalSeen() const
+{
+    uint64_t total = 0;
+    for (const ChannelStats &c : channelStats())
+        total += c.seen;
+    return total;
+}
+
+namespace
+{
+
+template <typename RingT>
+void
+putChannel(JsonWriter &w, const char *name, const RingT &r)
+{
+    w.key(name).beginObject();
+    w.kv("seen", r.seen);
+    w.kv("dropped", r.seen - r.retained());
+    w.key("events").beginArray();
+    r.forEach([&w](const auto &e) { putEvent(w, e); });
+    w.end();
+    w.end();
+}
+
+} // namespace
+
+void
+FlightRecorder::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("depth", uint64_t(depth_));
+    w.kv("totalSeen", totalSeen());
+    w.key("channels").beginObject();
+    putChannel(w, "coreState", coreState);
+    putChannel(w, "fillStarved", fillStarved);
+    putChannel(w, "fillUnblocked", fillUnblocked);
+    putChannel(w, "barrierArrive", barrierArrive);
+    putChannel(w, "barrierOpen", barrierOpen);
+    putChannel(w, "barrierRelease", barrierRelease);
+    putChannel(w, "invalidation", invalidation);
+    putChannel(w, "busOccupancy", busOccupancy);
+    putChannel(w, "sched", sched);
+    putChannel(w, "filterSwap", filterSwap);
+    putChannel(w, "membership", membership);
+    putChannel(w, "coreKill", coreKill);
+    w.end();
+    w.end();
+}
+
+} // namespace bfsim

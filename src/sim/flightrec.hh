@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Crash flight recorder: the last K probe events of every channel.
+ *
+ * A fixed-size ring per ProbeBus channel retains the most recent events
+ * (oldest silently overwritten; the drop count is kept). When a run dies —
+ * watchdog deadlock report, invariant violation, sweep worker crash — the
+ * recorder dumps every ring as typed JSON into the diagnostics artifact,
+ * so every quarantine ships a postmortem of what the simulated machine was
+ * doing in its final moments instead of just a final-state snapshot.
+ *
+ * Memory and host cost are both bounded: recording is a listener call per
+ * published event plus one struct copy into a preallocated slot, and the
+ * per-channel footprint is depth * sizeof(event). The recorder subscribes
+ * in its constructor and relies on the ProbeBus outliving it (both are
+ * owned by the same CmpSystem).
+ */
+
+#ifndef BFSIM_SIM_FLIGHTREC_HH
+#define BFSIM_SIM_FLIGHTREC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/probe.hh"
+
+namespace bfsim
+{
+
+class JsonWriter;
+
+class FlightRecorder
+{
+  public:
+    /** Subscribes to every channel of @p bus; each ring holds @p depth. */
+    FlightRecorder(ProbeBus &bus, size_t depth);
+
+    size_t depth() const { return depth_; }
+
+    /** Per-channel occupancy, for tests and the dump header. */
+    struct ChannelStats
+    {
+        std::string name;
+        uint64_t seen;     ///< events recorded since construction
+        uint64_t retained; ///< events currently in the ring
+        uint64_t dropped;  ///< seen - retained (overwritten)
+    };
+
+    std::vector<ChannelStats> channelStats() const;
+
+    /** Total events recorded across all channels. */
+    uint64_t totalSeen() const;
+
+    /**
+     * Dump shape: {depth, totalSeen, channels: {<name>: {seen, dropped,
+     * events: [typed objects, chronological]}}}. Channels that never
+     * fired emit {seen: 0, dropped: 0, events: []}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    template <typename E>
+    struct Ring
+    {
+        std::vector<E> buf;
+        uint64_t seen = 0;
+
+        void
+        record(const E &e, size_t depth)
+        {
+            if (buf.size() < depth)
+                buf.push_back(e);
+            else
+                buf[seen % depth] = e;
+            ++seen;
+        }
+
+        uint64_t retained() const { return buf.size(); }
+
+        /** Visit retained events oldest-first. */
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            // Before the first wrap seen == buf.size(), so (seen + i) %
+            // size walks 0..size-1; after it, slot seen % size is the
+            // oldest (next to be overwritten) and the walk starts there.
+            const uint64_t n = buf.size();
+            for (uint64_t i = 0; i < n; ++i)
+                fn(buf[(seen + i) % n]);
+        }
+    };
+
+    size_t depth_;
+
+    Ring<CoreStateEvent> coreState;
+    Ring<FillStarvedEvent> fillStarved;
+    Ring<FillUnblockedEvent> fillUnblocked;
+    Ring<BarrierArriveEvent> barrierArrive;
+    Ring<BarrierOpenEvent> barrierOpen;
+    Ring<BarrierReleaseEvent> barrierRelease;
+    Ring<InvalidationEvent> invalidation;
+    Ring<BusOccupancyEvent> busOccupancy;
+    Ring<SchedEvent> sched;
+    Ring<FilterSwapEvent> filterSwap;
+    Ring<MembershipEvent> membership;
+    Ring<CoreKillEvent> coreKill;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_FLIGHTREC_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Host-cost profiler implementation: calibration and report assembly.
+ */
+
+#include "sim/hostprof.hh"
+
+#include <ctime>
+#include <memory>
+
+#include "sim/json.hh"
+
+namespace bfsim
+{
+
+HostProfiler *HostProfiler::current = nullptr;
+
+namespace
+{
+
+/** Owns the singleton so repeated enable() calls replace cleanly. */
+std::unique_ptr<HostProfiler> gProfiler;
+
+} // namespace
+
+const char *
+hostPhaseName(HostPhase p)
+{
+    switch (p) {
+      case HostPhase::CoreTick: return "coreTick";
+      case HostPhase::L1Access: return "l1Access";
+      case HostPhase::L2Access: return "l2Access";
+      case HostPhase::Memory: return "memory";
+      case HostPhase::BusArb: return "busArb";
+      case HostPhase::FilterFsm: return "filterFsm";
+      case HostPhase::Network: return "network";
+      case HostPhase::OsSched: return "osSched";
+      case HostPhase::Fault: return "fault";
+      case HostPhase::Snapshot: return "snapshot";
+      case HostPhase::Check: return "check";
+      case HostPhase::Watchdog: return "watchdog";
+      case HostPhase::Timeseries: return "timeseries";
+      case HostPhase::OtherEvent: return "otherEvent";
+      case HostPhase::QueuePop: return "queuePop";
+      case HostPhase::Setup: return "setup";
+      case HostPhase::Finalize: return "finalize";
+      case HostPhase::CheckResult: return "checkResult";
+      case HostPhase::Harness: return "harness";
+      default: return "???";
+    }
+}
+
+uint64_t
+HostProfiler::nowNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return uint64_t(ts.tv_sec) * 1'000'000'000ull + uint64_t(ts.tv_nsec);
+}
+
+HostProfiler &
+HostProfiler::enable(unsigned sampleShift)
+{
+    gProfiler.reset(new HostProfiler(sampleShift));
+    current = gProfiler.get();
+    return *current;
+}
+
+void
+HostProfiler::disable()
+{
+    current = nullptr;
+    gProfiler.reset();
+}
+
+HostProfiler::HostProfiler(unsigned sampleShift)
+    : shift(sampleShift), mask((uint64_t(1) << sampleShift) - 1)
+{
+    calibrate();
+    enabledAt = nowNs();
+}
+
+void
+HostProfiler::calibrate()
+{
+    uint64_t calibStart = nowNs();
+
+    // Cost of one clock read, hence of the begin/end pair a sampled
+    // event pays. The sink defeats dead-code elimination.
+    constexpr unsigned clockIters = 4096;
+    volatile uint64_t sink = 0;
+    uint64_t t0 = nowNs();
+    for (unsigned i = 0; i < clockIters; ++i)
+        sink = nowNs();
+    uint64_t t1 = nowNs();
+    calibClockPairNs = 2.0 * double(t1 - t0) / clockIters;
+
+    // Cost of the unsampled bookkeeping every event pays: one counter
+    // increment plus the sampling branch, twice (pop decision + phase
+    // count). Measured on a small array to mimic the real cache layout.
+    constexpr unsigned countIters = 1 << 16;
+    std::array<uint64_t, numHostPhases> cnt{};
+    t0 = nowNs();
+    for (unsigned i = 0; i < countIters; ++i) {
+        if ((++cnt[i % numHostPhases] & mask) == 1)
+            sink = sink + 1;
+    }
+    t1 = nowNs();
+    calibPerEventNs = 2.0 * double(t1 - t0) / countIters;
+    (void)sink;
+
+    calibrationNs = nowNs() - calibStart;
+}
+
+HostProfReport
+HostProfiler::report(uint64_t simCycles, uint64_t instructions) const
+{
+    HostProfReport r;
+    r.sampleShift = shift;
+    r.wallNs = nowNs() - enabledAt;
+    r.loopNs = loopNs_;
+    r.schedules = schedules_;
+    r.probePublished = probePublished_;
+    r.probeSkipped = probeSkipped_;
+    r.calibClockPairNs = calibClockPairNs;
+    r.calibPerEventNs = calibPerEventNs;
+    r.calibrationNs = double(calibrationNs);
+    r.simCycles = simCycles;
+    r.instructions = instructions;
+
+    // Raw per-phase estimates: mean sampled cost times invocation count.
+    double estSum = 0;
+    uint64_t totalSamples = popSamples;
+    std::array<double, numHostPhases> est{};
+    for (unsigned i = 0; i < firstScopePhase; ++i) {
+        if (counts[i] == 0)
+            continue;
+        r.events += counts[i];
+        totalSamples += samples[i];
+        if (i == unsigned(HostPhase::QueuePop))
+            continue; // QueuePop uses the per-iteration pop estimate
+        est[i] = samples[i]
+                     ? double(sampledNs[i]) * double(counts[i]) /
+                           double(samples[i])
+                     : 0.0;
+        estSum += est[i];
+    }
+    double popEst = popSamples ? double(popNs) * double(iterations_) /
+                                     double(popSamples)
+                               : 0.0;
+    estSum += popEst;
+
+    // Normalize so event phases sum exactly to the measured loop window:
+    // clock jitter and loop-condition overhead redistribute
+    // proportionally instead of appearing as an unattributed gap.
+    double factor =
+        estSum > 0 ? double(loopNs_) / estSum : 0.0;
+
+    for (unsigned i = 0; i < numHostPhases; ++i) {
+        bool isScope = i >= firstScopePhase;
+        bool isPop = i == unsigned(HostPhase::QueuePop);
+        uint64_t count = isPop ? iterations_ : counts[i];
+        if (count == 0)
+            continue;
+        HostProfPhase ph;
+        ph.name = hostPhaseName(HostPhase(i));
+        ph.scope = isScope;
+        ph.count = count;
+        ph.samples = isPop ? popSamples : samples[i];
+        ph.sampledNs = isPop ? popNs : sampledNs[i];
+        ph.estNs = isScope ? double(sampledNs[i])
+                           : (isPop ? popEst : est[i]);
+        ph.ns = isScope ? ph.estNs : ph.estNs * factor;
+        r.phases.push_back(ph);
+    }
+
+    double scopeNs = 0;
+    for (unsigned i = firstScopePhase; i < numHostPhases; ++i)
+        scopeNs += double(sampledNs[i]);
+
+    r.attributedNs = double(loopNs_) + scopeNs + double(calibrationNs);
+    r.attributedFrac =
+        r.wallNs > 0 ? r.attributedNs / double(r.wallNs) : 0.0;
+
+    // Instrumentation cost estimate: a clock pair per sample (event and
+    // pop samples, plus scope entries which always pay the pair), and
+    // the unsampled bookkeeping on every loop iteration.
+    double scopeCount = 0;
+    for (unsigned i = firstScopePhase; i < numHostPhases; ++i)
+        scopeCount += double(counts[i]);
+    r.overheadNs = calibClockPairNs * (double(totalSamples) + scopeCount) +
+                   calibPerEventNs * double(iterations_);
+    r.overheadFrac = r.wallNs > 0 ? r.overheadNs / double(r.wallNs) : 0.0;
+
+    r.nsPerSimCycle =
+        simCycles > 0 ? double(r.wallNs) / double(simCycles) : 0.0;
+    r.mips = r.wallNs > 0 ? double(instructions) / (double(r.wallNs) / 1e3)
+                          : 0.0;
+    return r;
+}
+
+void
+HostProfReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("sampleShift", sampleShift);
+    w.kv("wallNs", wallNs);
+    w.kv("loopNs", loopNs);
+    w.kv("events", events);
+    w.kv("schedules", schedules);
+    w.kv("probePublished", probePublished);
+    w.kv("probeSkipped", probeSkipped);
+    w.kv("simCycles", simCycles);
+    w.kv("instructions", instructions);
+    w.kv("nsPerSimCycle", nsPerSimCycle);
+    w.kv("mips", mips);
+    w.key("calibration").beginObject();
+    w.kv("clockPairNs", calibClockPairNs);
+    w.kv("perEventNs", calibPerEventNs);
+    w.kv("calibrationNs", calibrationNs);
+    w.end();
+    w.kv("overheadNs", overheadNs);
+    w.kv("overheadFrac", overheadFrac);
+    w.kv("attributedNs", attributedNs);
+    w.kv("attributedFrac", attributedFrac);
+    w.key("phases").beginArray();
+    for (const HostProfPhase &p : phases) {
+        w.beginObject();
+        w.kv("phase", p.name);
+        w.kv("kind", p.scope ? "scope" : "event");
+        w.kv("count", p.count);
+        w.kv("samples", p.samples);
+        w.kv("ns", p.ns);
+        w.kv("frac", wallNs > 0 ? p.ns / double(wallNs) : 0.0);
+        w.end();
+    }
+    w.end();
+    w.end();
+}
+
+} // namespace bfsim

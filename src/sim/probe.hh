@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/hostprof.hh"
 #include "sim/types.hh"
 
 namespace bfsim
@@ -209,6 +210,30 @@ class ProbeChannel
     {
         if (listeners.empty())
             return;
+        for (const auto &l : listeners)
+            l(e);
+    }
+
+    /**
+     * Lazy publish for hot sites: @p make builds the event only when a
+     * listener exists, so publishers that would otherwise aggregate
+     * fields eagerly (membership counts, filter coverage checks) pay one
+     * branch on unobserved runs. The host profiler counts both outcomes,
+     * which is how the saving is proven rather than assumed.
+     */
+    template <typename MakeEvent>
+    void
+    publish(MakeEvent &&make) const
+    {
+        HostProfiler *p = HostProfiler::active();
+        if (listeners.empty()) {
+            if (p)
+                p->noteProbeSkip();
+            return;
+        }
+        if (p)
+            p->noteProbePublish();
+        const E e = make();
         for (const auto &l : listeners)
             l(e);
     }

@@ -20,7 +20,8 @@ SnapshotRecorder::SnapshotRecorder(CmpSystem &system, Tick interval_,
 {
     if (interval == 0)
         fatal("SnapshotRecorder: interval must be positive");
-    sys.eventQueue().schedule(interval, [this] { onCapture(); });
+    sys.eventQueue().schedule(interval, [this] { onCapture(); },
+                              HostPhase::Snapshot);
 }
 
 void
@@ -31,7 +32,8 @@ SnapshotRecorder::onCapture()
     if (maxPoints != 0 && points.size() >= maxPoints)
         return; // chain is at its cap; stop feeding the event queue
     captureNow();
-    sys.eventQueue().schedule(interval, [this] { onCapture(); });
+    sys.eventQueue().schedule(interval, [this] { onCapture(); },
+                              HostPhase::Snapshot);
 }
 
 SyncPoint

@@ -253,4 +253,12 @@ StatGroup::counterNames() const
     return names;
 }
 
+void
+StatGroup::forEachCounter(
+    const std::function<void(const std::string &, uint64_t)> &fn) const
+{
+    for (const auto &kv : counters)
+        fn(kv.first, kv.second.value());
+}
+
 } // namespace bfsim

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -135,6 +136,13 @@ class StatGroup
 
     /** Names of all registered counters (sorted). */
     std::vector<std::string> counterNames() const;
+
+    /**
+     * Visit every counter in name order without copying the name set —
+     * the time-series sampler walks the registry once per sample.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, uint64_t)> &fn) const;
 
     /** The typed event bus of this simulated system (sim/probe.hh). */
     ProbeBus &probes() { return *bus; }

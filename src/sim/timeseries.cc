@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Time-series sampler implementation.
+ */
+
+#include "sim/timeseries.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace bfsim
+{
+
+TimeSeriesSampler::TimeSeriesSampler(StatGroup &stats, EventQueue &eventq,
+                                     Tick interval, size_t capacity,
+                                     std::function<bool()> keepSampling)
+    : stats(stats), eventq(eventq), interval_(interval),
+      capacity_(capacity), keepSampling(std::move(keepSampling))
+{
+    if (interval_ == 0)
+        fatal("TimeSeriesSampler: interval must be positive");
+    if (capacity_ == 0)
+        fatal("TimeSeriesSampler: capacity must be positive");
+}
+
+void
+TimeSeriesSampler::start()
+{
+    if (started)
+        return;
+    started = true;
+    arm();
+}
+
+void
+TimeSeriesSampler::arm()
+{
+    if (armed || finalized)
+        return;
+    armed = true;
+    eventq.schedule(
+        interval_,
+        [this] {
+            armed = false;
+            if (finalized)
+                return;
+            sample();
+            // The gate keeps a drained run from being held alive by its
+            // own sampler: once no thread is live, stop re-arming and
+            // let the queue empty (finalize() takes the closing sample).
+            if (!keepSampling || keepSampling())
+                arm();
+        },
+        HostPhase::Timeseries);
+}
+
+void
+TimeSeriesSampler::sample()
+{
+    const size_t slot = total % capacity_;
+
+    // Ring wrap: fold the slot being overwritten into each column's base
+    // before the new deltas land, so no counter mass is ever dropped.
+    if (total >= capacity_) {
+        for (auto &kv : cols)
+            kv.second.base += kv.second.ring[slot];
+    }
+
+    stats.forEachCounter([&](const std::string &name, uint64_t v) {
+        ColumnStore &c = cols[name];
+        if (c.ring.empty())
+            c.ring.assign(capacity_, 0);
+        c.ring[slot] = v - c.last;
+        c.last = v;
+    });
+
+    if (tickRing.size() < capacity_)
+        tickRing.push_back(eventq.now());
+    else
+        tickRing[slot] = eventq.now();
+    ++total;
+}
+
+void
+TimeSeriesSampler::finalize()
+{
+    if (finalized)
+        return;
+    sample();
+    finalized = true;
+}
+
+uint64_t
+TimeSeriesSampler::retainedSamples() const
+{
+    return total < capacity_ ? total : capacity_;
+}
+
+std::vector<Tick>
+TimeSeriesSampler::ticks() const
+{
+    const uint64_t retained = retainedSamples();
+    std::vector<Tick> out;
+    out.reserve(retained);
+    for (uint64_t i = 0; i < retained; ++i)
+        out.push_back(tickRing[(total - retained + i) % capacity_]);
+    return out;
+}
+
+std::vector<TimeSeriesSampler::Column>
+TimeSeriesSampler::columns() const
+{
+    const uint64_t retained = retainedSamples();
+    std::vector<Column> out;
+    out.reserve(cols.size());
+    for (const auto &kv : cols) {
+        Column c;
+        c.name = kv.first;
+        c.base = kv.second.base;
+        c.total = kv.second.base;
+        c.deltas.reserve(retained);
+        for (uint64_t i = 0; i < retained; ++i) {
+            uint64_t d = kv.second.ring[(total - retained + i) % capacity_];
+            c.deltas.push_back(d);
+            c.total += d;
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+void
+TimeSeriesSampler::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("interval", interval_);
+    w.kv("capacity", uint64_t(capacity_));
+    w.kv("totalSamples", total);
+    w.kv("retained", retainedSamples());
+    w.kv("dropped", droppedSamples());
+    w.key("ticks").beginArray();
+    for (Tick t : ticks())
+        w.value(t);
+    w.end();
+    uint64_t zeroColumns = 0;
+    w.key("columns").beginArray();
+    for (const Column &c : columns()) {
+        // A column whose counter never moved carries no information;
+        // elide it (the count below keeps the omission explicit).
+        if (c.total == 0) {
+            ++zeroColumns;
+            continue;
+        }
+        w.beginObject();
+        w.kv("name", c.name);
+        w.kv("base", c.base);
+        w.key("deltas").beginArray();
+        for (uint64_t d : c.deltas)
+            w.value(d);
+        w.end();
+        w.kv("total", c.total);
+        w.end();
+    }
+    w.end();
+    w.kv("zeroColumns", zeroColumns);
+    w.end();
+}
+
+} // namespace bfsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Time-series sampler: how every StatGroup counter evolves over
+ * simulated time.
+ *
+ * Every `interval` simulated cycles a self-rescheduling event snapshots
+ * the delta of every counter since the previous sample into a columnar
+ * ring buffer of `capacity` samples. When the ring wraps, the oldest
+ * sample's deltas are folded into each column's `base`, preserving the
+ * exact-sum invariant that mirrors the cycle accountant's bucket-sum
+ * check:
+ *
+ *     base + sum(retained deltas) == final counter value
+ *
+ * for every counter, always — drops lose resolution, never mass. The
+ * first delta of a column is measured against zero, so counters that
+ * accumulated before sampling started (setup-time stores, registration
+ * traffic) land in the first sample rather than leaking.
+ *
+ * finalize() takes one closing off-interval sample at the current tick so
+ * the series always extends to the end of the run; CmpSystem calls it
+ * after the observability consumers export their aggregates, so derived
+ * counters (cycle-accounting buckets, episode totals) appear in the last
+ * sample.
+ *
+ * Exported as a `timeseries=<file>` JSON artifact and, through the trace
+ * exporter, as Chrome-trace counter tracks for the curated hot columns
+ * (bus, filter, barrier, MSHR).
+ */
+
+#ifndef BFSIM_SIM_TIMESERIES_HH
+#define BFSIM_SIM_TIMESERIES_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bfsim
+{
+
+class EventQueue;
+class JsonWriter;
+class StatGroup;
+
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param keepSampling Re-schedule gate: when it returns false the
+     *        sampler stops re-arming so the event queue can drain (the
+     *        system passes "any thread still live"). Null keeps sampling
+     *        until finalize().
+     */
+    TimeSeriesSampler(StatGroup &stats, EventQueue &eventq, Tick interval,
+                      size_t capacity,
+                      std::function<bool()> keepSampling = nullptr);
+
+    /** Schedule the first sample (idempotent). */
+    void start();
+
+    /** Take the closing sample at the current tick (idempotent). */
+    void finalize();
+
+    // ----- materialized views (tests, exporters) --------------------------------
+
+    /** One counter's retained window, chronological. */
+    struct Column
+    {
+        std::string name;
+        uint64_t base;  ///< counter mass folded out by ring wraps
+        std::vector<uint64_t> deltas;
+        uint64_t total; ///< base + sum(deltas) == final counter value
+    };
+
+    Tick interval() const { return interval_; }
+    size_t capacity() const { return capacity_; }
+    uint64_t totalSamples() const { return total; }
+    uint64_t retainedSamples() const;
+    uint64_t droppedSamples() const { return total - retainedSamples(); }
+
+    /** Sample ticks of the retained window, chronological. */
+    std::vector<Tick> ticks() const;
+
+    /** Every column, chronological, sorted by name. */
+    std::vector<Column> columns() const;
+
+    /**
+     * Artifact shape: {interval, capacity, totalSamples, retained,
+     * dropped, ticks, columns:[{name, base, deltas, total}], zeroColumns}.
+     * Columns whose final total is zero are elided (counted instead).
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct ColumnStore
+    {
+        uint64_t last = 0; ///< cumulative value at the latest sample
+        uint64_t base = 0; ///< mass folded out of overwritten slots
+        std::vector<uint64_t> ring;
+    };
+
+    void sample();
+    void arm();
+
+    StatGroup &stats;
+    EventQueue &eventq;
+    Tick interval_;
+    size_t capacity_;
+    std::function<bool()> keepSampling;
+
+    std::map<std::string, ColumnStore> cols;
+    std::vector<Tick> tickRing;
+    uint64_t total = 0;
+    bool started = false;
+    bool armed = false;
+    bool finalized = false;
+};
+
+} // namespace bfsim
+
+#endif // BFSIM_SIM_TIMESERIES_HH

@@ -11,6 +11,7 @@
 #include "sim/json.hh"
 #include "sim/log.hh"
 #include "sim/profile.hh"
+#include "sim/timeseries.hh"
 
 namespace bfsim
 {
@@ -177,6 +178,26 @@ TraceExporter::writeTo(std::ostream &os) const
         w.end();
     }
 
+    // Counter tracks for the curated hot time-series columns: each
+    // sample's delta over its interval, so the viewer shows rates.
+    if (series) {
+        std::vector<Tick> ticks = series->ticks();
+        for (const TimeSeriesSampler::Column &c : series->columns()) {
+            if (c.total == 0 || !isCuratedColumn(c.name))
+                continue;
+            for (size_t i = 0; i < c.deltas.size() && i < ticks.size(); ++i) {
+                w.beginObject();
+                w.kv("name", c.name);
+                w.kv("ph", "C");
+                w.kv("ts", uint64_t(ticks[i]));
+                w.kv("pid", pidCounters);
+                w.kv("tid", 0);
+                w.key("args").beginObject().kv("delta", c.deltas[i]).end();
+                w.end();
+            }
+        }
+    }
+
     // Scheduling decisions as instant events on the core's track.
     for (const SchedPoint &p : schedPoints) {
         w.beginObject();
@@ -194,6 +215,18 @@ TraceExporter::writeTo(std::ostream &os) const
     w.end(); // traceEvents
     w.end(); // root object
     os << "\n";
+}
+
+bool
+TraceExporter::isCuratedColumn(const std::string &name)
+{
+    for (const char *prefix : {"bus.", "filter.", "barrier.", "hwnet."}) {
+        if (name.compare(0, std::string(prefix).size(), prefix) == 0)
+            return true;
+    }
+    return name.find("mshr") != std::string::npos ||
+           name.find("Mshr") != std::string::npos ||
+           name.find("MSHR") != std::string::npos;
 }
 
 void

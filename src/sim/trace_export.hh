@@ -9,7 +9,9 @@
  *  - one track per barrier filter with a span per dynamic episode
  *    (taken from the BarrierEpisodeProfiler at write time),
  *  - a counter ("C") track of currently-starved fills,
- *  - instant ("i") events for OS schedule / deschedule decisions.
+ *  - instant ("i") events for OS schedule / deschedule decisions,
+ *  - counter tracks for the curated hot time-series columns (bus, filter,
+ *    barrier, network, MSHR) when a TimeSeriesSampler is attached.
  *
  * writeTo() emits `{"traceEvents": [...]}` JSON that chrome://tracing and
  * ui.perfetto.dev load directly; 1 simulated cycle = 1 us of trace time.
@@ -29,6 +31,7 @@ namespace bfsim
 {
 
 class BarrierEpisodeProfiler;
+class TimeSeriesSampler;
 
 class TraceExporter
 {
@@ -37,6 +40,17 @@ class TraceExporter
 
     /** Source of barrier-episode spans (may be null: no episode track). */
     void setEpisodeSource(const BarrierEpisodeProfiler *p) { profiler = p; }
+
+    /**
+     * Source of counter tracks (may be null: no time-series tracks).
+     * Curated columns only — bus.*, filter.*, barrier.*, hwnet.*, and
+     * anything mentioning an MSHR — so the trace stays loadable even when
+     * the registry holds hundreds of counters.
+     */
+    void setTimeSeriesSource(const TimeSeriesSampler *ts) { series = ts; }
+
+    /** The curation predicate above (exposed for tests). */
+    static bool isCuratedColumn(const std::string &name);
 
     /** Close open core slices at @p now (idempotent). */
     void finalize(Tick now);
@@ -88,6 +102,7 @@ class TraceExporter
     std::vector<SchedPoint> schedPoints;
     uint64_t starvedNow = 0;
     const BarrierEpisodeProfiler *profiler = nullptr;
+    const TimeSeriesSampler *series = nullptr;
 };
 
 } // namespace bfsim

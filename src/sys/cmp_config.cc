@@ -75,6 +75,11 @@ CmpConfig::fromOptions(const OptionMap &opts)
     c.checkFailFast = opts.getBool("checkfailfast", c.checkFailFast);
     c.diagJsonFile = opts.getString("diagjson", c.diagJsonFile);
     c.traceOutFile = opts.getString("traceout", c.traceOutFile);
+    c.timeSeriesFile = opts.getString("timeseries", c.timeSeriesFile);
+    c.tsInterval = opts.getUint("tsinterval", c.tsInterval);
+    c.tsCapacity = size_t(opts.getUint("tscapacity", c.tsCapacity));
+    c.flightRecDepth = size_t(opts.getUint("flightrec", c.flightRecDepth));
+    c.observability = opts.getBool("observe", c.observability);
     if (opts.has("trace"))
         Trace::mask = parseTraceMask(opts.getString("trace", ""));
     c.validate();
@@ -94,6 +99,10 @@ CmpConfig::validate() const
         fatal("CmpConfig: L2 size must divide evenly across banks");
     if (busBytesPerCycle == 0)
         fatal("CmpConfig: bus bandwidth must be positive");
+    if (tsInterval == 0)
+        fatal("CmpConfig: tsinterval must be positive");
+    if (tsCapacity == 0)
+        fatal("CmpConfig: tscapacity must be positive");
     faults.validate();
 }
 

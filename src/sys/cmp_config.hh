@@ -146,6 +146,35 @@ struct CmpConfig
     std::string traceOutFile;
 
     /**
+     * When non-empty, a time-series sampler snapshots the delta of every
+     * StatGroup counter each tsInterval simulated cycles into a ring of
+     * tsCapacity samples and writes the series here as JSON at the end of
+     * run() (timeseries=<file>). The curated hot columns also appear as
+     * counter tracks in the Chrome trace when traceOutFile is set.
+     */
+    std::string timeSeriesFile;
+    /** Simulated cycles between time-series samples (tsinterval=). */
+    Tick tsInterval = 4096;
+    /** Ring capacity in samples; older deltas fold into the column base. */
+    size_t tsCapacity = 1024;
+
+    /**
+     * Flight-recorder depth: each probe channel keeps its last this-many
+     * events for crash postmortems (flightrec=<depth>). 0 disables the
+     * recorder unless diagJsonFile is set, which defaults it to 64 so
+     * every diagnostics report carries the final probe events.
+     */
+    size_t flightRecDepth = 0;
+
+    /**
+     * Master switch for the always-on observability consumers (cycle
+     * accountant + barrier episode profiler). observe=0 skips their
+     * construction, leaving every probe channel without listeners — the
+     * configuration the lazy-publish fast path is measured against.
+     */
+    bool observability = true;
+
+    /**
      * Apply "key=value" overrides (cores=32, l2banks=8, ...).
      *
      * Also consumes trace=<categories>: a comma-separated list of named

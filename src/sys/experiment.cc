@@ -6,8 +6,10 @@
 #include "sys/experiment.hh"
 
 #include <iomanip>
+#include <memory>
 
 #include "barriers/barrier_gen.hh"
+#include "sim/hostprof.hh"
 
 namespace bfsim
 {
@@ -17,29 +19,37 @@ measureBarrierLatency(const CmpConfig &cfg, BarrierKind kind,
                       unsigned threads, unsigned barriersPerLoop,
                       unsigned loops)
 {
-    CmpSystem sys(cfg);
-    Os &os = sys.os();
-    BarrierHandle handle = os.registerBarrier(kind, threads);
+    // Construction + codegen timed exactly as Setup; the scope must close
+    // before sys.run() so loop time is not double-counted.
+    std::unique_ptr<CmpSystem> sysPtr;
+    BarrierHandle handle;
+    {
+        HostProfiler::Scope hps(HostPhase::Setup);
+        sysPtr = std::make_unique<CmpSystem>(cfg);
+        Os &os = sysPtr->os();
+        handle = os.registerBarrier(kind, threads);
 
-    for (unsigned tid = 0; tid < threads; ++tid) {
-        ProgramBuilder b(os.codeBase(ThreadId(tid)));
-        BarrierCodegen bar(handle, tid);
-        IntReg rLoop = b.temp(), rLoops = b.temp();
+        for (unsigned tid = 0; tid < threads; ++tid) {
+            ProgramBuilder b(os.codeBase(ThreadId(tid)));
+            BarrierCodegen bar(handle, tid);
+            IntReg rLoop = b.temp(), rLoops = b.temp();
 
-        bar.emitInit(b);
-        b.li(rLoop, 0);
-        b.li(rLoops, int64_t(loops));
-        b.label("loop");
-        for (unsigned i = 0; i < barriersPerLoop; ++i)
-            bar.emitBarrier(b);
-        b.addi(rLoop, rLoop, 1);
-        b.blt(rLoop, rLoops, "loop");
-        b.halt();
-        bar.emitArrivalSections(b);
+            bar.emitInit(b);
+            b.li(rLoop, 0);
+            b.li(rLoops, int64_t(loops));
+            b.label("loop");
+            for (unsigned i = 0; i < barriersPerLoop; ++i)
+                bar.emitBarrier(b);
+            b.addi(rLoop, rLoop, 1);
+            b.blt(rLoop, rLoops, "loop");
+            b.halt();
+            bar.emitArrivalSections(b);
 
-        ThreadContext *t = os.createThread(b.build());
-        os.startThread(t, CoreId(tid));
+            ThreadContext *t = os.createThread(b.build());
+            os.startThread(t, CoreId(tid));
+        }
     }
+    CmpSystem &sys = *sysPtr;
 
     BarrierLatencyResult r;
     r.totalCycles = sys.run();

@@ -28,6 +28,7 @@
 #include "os/os.hh"
 #include "sim/artifact.hh"
 #include "sim/hash.hh"
+#include "sim/hostprof.hh"
 #include "sim/log.hh"
 #include "sim/random.hh"
 #include "sys/cmp_config.hh"
@@ -328,6 +329,13 @@ writeHostSection(JsonWriter &w, double wallSec, uint64_t simCycles,
     w.kv("simCyclesPerSec", wallSec > 0 ? double(simCycles) / wallSec : 0.0);
     w.kv("mips",
          wallSec > 0 ? double(instructions) / wallSec / 1e6 : 0.0);
+    if (const HostProfiler *hp = HostProfiler::active()) {
+        // Per-component host-cost breakdown: where this worker's wall
+        // time went (core tick, caches, bus, filter FSM, ...). Feeds the
+        // aggregated breakdown in the sim-speed sidecar.
+        w.key("hostprof");
+        hp->report(simCycles, instructions).writeJson(w);
+    }
     w.end();
 }
 
@@ -369,9 +377,23 @@ executeSweepRun(const SweepSpec &spec, const std::string &runId,
     OptionMap overrides = OptionMap::fromStrings(spec.config);
     CmpConfig cfg = CmpConfig::fromOptions(overrides);
     cfg.numCores = run.cores;
+    // Crash forensics: every worker records the last probe events in a
+    // flight recorder, and a diagnosed failure (watchdog, invariant
+    // violation, unrepairable core loss) dumps diagnostics — including
+    // the flight-recorder contents — next to the artifact, where the
+    // driver's quarantine postmortem picks them up. Spec-level overrides
+    // win so tests can redirect or deepen the recorder.
+    if (cfg.diagJsonFile.empty())
+        cfg.diagJsonFile = outPath + ".diag.json";
+    if (cfg.flightRecDepth == 0)
+        cfg.flightRecDepth = 64;
     cfg.validate();
 
     BarrierKind kind = barrierKindFromName(run.mechanism);
+
+    // Self-profile the worker: the host section of every artifact carries
+    // the per-component wall-time breakdown the sidecar aggregates.
+    HostProfiler::enable();
 
     std::ostringstream buf;
     JsonWriter w(buf);
@@ -660,9 +682,61 @@ launchWorker(DriverRun &r, const std::string &workerExe,
     });
 }
 
+/** Last @p maxBytes of a file (worker logs can be arbitrarily large). */
+std::string
+tailOfFile(const std::string &path, size_t maxBytes)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return {};
+    f.seekg(0, std::ios::end);
+    std::streamoff size = f.tellg();
+    if (size <= 0)
+        return {};
+    std::streamoff start =
+        size > std::streamoff(maxBytes) ? size - std::streamoff(maxBytes) : 0;
+    f.seekg(start);
+    std::string out(size_t(size - start), '\0');
+    f.read(out.data(), std::streamsize(out.size()));
+    out.resize(size_t(f.gcount()));
+    return out;
+}
+
+/**
+ * Self-contained postmortem for a quarantined run: the failure history,
+ * the tail of the last attempt's log, and the worker's diagnostics dump
+ * (watchdog / invariant report with the probe flight recorder) when the
+ * failure was diagnosed before the process died.
+ */
+void
+writeQuarantinePostmortem(const DriverRun &r, const std::string &dir,
+                          const std::string &reason)
+{
+    makeDirs(dir);
+    writeJsonArtifact(dir + "/" + r.run.id + ".json", [&](JsonWriter &w) {
+        w.beginObject();
+        w.kv("id", r.run.id);
+        w.kv("failures", r.failures);
+        w.kv("reason", reason);
+        w.kv("log", r.logPath);
+        w.kv("logTail", tailOfFile(r.logPath, 8192));
+        w.key("diagnostics");
+        const std::string diagPath = r.artifactPath + ".diag.json";
+        std::optional<JsonValue> diag;
+        if (::access(diagPath.c_str(), R_OK) == 0)
+            diag = tryParseJson(readFileToString(diagPath));
+        if (diag)
+            writeJsonValue(w, *diag);
+        else
+            w.null();
+        w.end();
+    });
+}
+
 void
 handleWorkerExit(DriverRun &r, int wstatus, const SweepPolicy &policy,
-                 Ledger &ledger, SweepResult &result)
+                 const std::string &quarantineDir, Ledger &ledger,
+                 SweepResult &result)
 {
     r.pid = -1;
     std::string reason;
@@ -704,16 +778,19 @@ handleWorkerExit(DriverRun &r, int wstatus, const SweepPolicy &policy,
 
     if (r.failures >= policy.maxAttempts) {
         r.status = RunStatus::Quarantined;
+        writeQuarantinePostmortem(r, quarantineDir, reason);
         ledger.append([&](JsonWriter &w) {
             w.beginObject();
             w.kv("event", "quarantine");
             w.kv("run", r.run.id);
             w.kv("failures", r.failures);
             w.kv("lastError", reason);
+            w.kv("postmortem", quarantineDir + "/" + r.run.id + ".json");
             w.end();
         });
         std::cout << "sweep: QUARANTINED " << r.run.id << " after "
-                  << r.failures << " failures (" << reason << ")\n";
+                  << r.failures << " failures (" << reason
+                  << "), postmortem in " << quarantineDir << "\n";
         return;
     }
 
@@ -775,6 +852,11 @@ writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
     writeJsonArtifact(result.simspeedPath, [&](JsonWriter &w) {
         double wallSec = 0;
         uint64_t simCycles = 0, instructions = 0;
+        // Per-component host-time breakdown summed over runs (phase name
+        // -> ns), from each worker's self-profiler report. std::map keeps
+        // the merged object deterministically ordered.
+        std::map<std::string, double> phaseNs;
+        double overheadNs = 0, attributedNs = 0, profWallNs = 0;
         w.beginObject();
         w.kv("sweep", spec.name);
         w.kv("mode", spec.mode);
@@ -792,6 +874,23 @@ writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
             w.kv("wallSec", host.at("wallSec").number);
             w.kv("simCyclesPerSec", host.at("simCyclesPerSec").number);
             w.kv("mips", host.at("mips").number);
+            if (host.has("hostprof")) {
+                const JsonValue &hp = host.at("hostprof");
+                profWallNs += hp.at("wallNs").number;
+                overheadNs += hp.at("overheadNs").number;
+                attributedNs += hp.at("attributedNs").number;
+                w.kv("nsPerSimCycle", hp.at("nsPerSimCycle").number);
+                w.kv("overheadFrac", hp.at("overheadFrac").number);
+                w.kv("attributedFrac", hp.at("attributedFrac").number);
+                w.key("breakdown").beginObject();
+                for (const JsonValue &ph : hp.at("phases").arr) {
+                    const std::string &name = ph.at("phase").str;
+                    double ns = ph.at("ns").number;
+                    phaseNs[name] += ns;
+                    w.kv(name, ns);
+                }
+                w.end();
+            }
             w.end();
         }
         w.end();
@@ -802,6 +901,21 @@ writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
              wallSec > 0 ? double(simCycles) / wallSec : 0.0);
         w.kv("mips",
              wallSec > 0 ? double(instructions) / wallSec / 1e6 : 0.0);
+        // Sweep-wide breakdown: what fraction of all worker host time
+        // each simulator component consumed. Informational only — the
+        // regression gate stays on total MIPS (compareSimspeed).
+        w.key("hostBreakdown").beginObject();
+        for (const auto &[name, ns] : phaseNs) {
+            w.key(name).beginObject();
+            w.kv("ns", ns);
+            w.kv("frac", profWallNs > 0 ? ns / profWallNs : 0.0);
+            w.end();
+        }
+        w.end();
+        w.kv("profiledWallNs", profWallNs);
+        w.kv("overheadFrac", profWallNs > 0 ? overheadNs / profWallNs : 0.0);
+        w.kv("attributedFrac",
+             profWallNs > 0 ? attributedNs / profWallNs : 0.0);
         w.end();
     });
 }
@@ -817,6 +931,7 @@ runSweep(const SweepSpec &spec, const SweepDriverOptions &opts)
 
     const std::string runsDir = opts.outDir + "/runs";
     const std::string logsDir = opts.outDir + "/logs";
+    const std::string quarantineDir = opts.outDir + "/quarantine";
     makeDirs(runsDir);
     makeDirs(logsDir);
 
@@ -928,7 +1043,8 @@ runSweep(const SweepSpec &spec, const SweepDriverOptions &opts)
             int wstatus = 0;
             pid_t got = ::waitpid(r.pid, &wstatus, WNOHANG);
             if (got == r.pid) {
-                handleWorkerExit(r, wstatus, spec.policy, ledger, result);
+                handleWorkerExit(r, wstatus, spec.policy, quarantineDir,
+                                 ledger, result);
                 continue;
             }
             now = nowSec();

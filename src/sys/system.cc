@@ -104,14 +104,28 @@ CmpSystem::CmpSystem(const CmpConfig &config)
 
     // Observability consumers subscribe to the probe bus last, after all
     // publishers exist (subscription order does not matter; creation here
-    // just documents the dependency).
-    accountant = std::make_unique<CycleAccountant>(stats.probes(),
-                                                   cfg.numCores);
-    profiler = std::make_unique<BarrierEpisodeProfiler>(stats.probes());
+    // just documents the dependency). observe=0 skips the always-on pair,
+    // leaving hot channels listener-free so lazy publishes short-circuit.
+    if (cfg.observability) {
+        accountant = std::make_unique<CycleAccountant>(stats.probes(),
+                                                       cfg.numCores);
+        profiler = std::make_unique<BarrierEpisodeProfiler>(stats.probes());
+    }
+    size_t frDepth = cfg.flightRecDepth;
+    if (frDepth == 0 && !cfg.diagJsonFile.empty())
+        frDepth = 64; // every diagnostics report carries a postmortem
+    if (frDepth > 0)
+        flightRec = std::make_unique<FlightRecorder>(stats.probes(), frDepth);
+    if (!cfg.timeSeriesFile.empty()) {
+        timeseries = std::make_unique<TimeSeriesSampler>(
+            stats, eventq, cfg.tsInterval, cfg.tsCapacity,
+            [this] { return liveThreads > 0; });
+    }
     if (!cfg.traceOutFile.empty()) {
         tracer = std::make_unique<TraceExporter>(stats.probes(),
                                                  cfg.numCores);
         tracer->setEpisodeSource(profiler.get());
+        tracer->setTimeSeriesSource(timeseries.get());
     }
     if (cfg.checkInvariants) {
         checker = std::make_unique<InvariantChecker>(
@@ -127,6 +141,8 @@ CmpSystem::run(Tick limit)
 {
     if (cfg.watchdogInterval > 0)
         armWatchdog();
+    if (timeseries)
+        timeseries->start();
     Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
     if (liveThreads != 0 && eventq.empty()) {
         failWithDiagnostics("deadlock — event queue drained with " +
@@ -144,6 +160,8 @@ CmpSystem::runTo(Tick limit)
 {
     if (cfg.watchdogInterval > 0)
         armWatchdog();
+    if (timeseries)
+        timeseries->start();
     Tick end = eventq.runUntil([this] { return liveThreads == 0; }, limit);
     if (liveThreads != 0 && eventq.empty()) {
         failWithDiagnostics("deadlock — event queue drained with " +
@@ -156,12 +174,23 @@ CmpSystem::runTo(Tick limit)
 void
 CmpSystem::finalizeObservability()
 {
-    accountant->finalize(eventq.now());
-    profiler->finalize(eventq.now());
+    HostProfiler::Scope hps(HostPhase::Finalize);
+    if (accountant)
+        accountant->finalize(eventq.now());
+    if (profiler)
+        profiler->finalize(eventq.now());
     if (!observabilityFinalized) {
         observabilityFinalized = true;
-        accountant->exportTo(stats);
-        profiler->exportTo(stats);
+        if (accountant)
+            accountant->exportTo(stats);
+        if (profiler)
+            profiler->exportTo(stats);
+    }
+    // The closing time-series sample runs after exportTo so the derived
+    // counters (cycle-accounting buckets, episode totals) land in it.
+    if (timeseries) {
+        timeseries->finalize();
+        writeTimeSeries();
     }
     if (tracer) {
         tracer->finalize(eventq.now());
@@ -170,12 +199,26 @@ CmpSystem::finalizeObservability()
 }
 
 void
+CmpSystem::writeTimeSeries() const
+{
+    std::ofstream f(cfg.timeSeriesFile);
+    if (!f) {
+        warn("CmpSystem: cannot write " + cfg.timeSeriesFile);
+        return;
+    }
+    JsonWriter w(f);
+    timeseries->writeJson(w);
+    f << "\n";
+}
+
+void
 CmpSystem::armWatchdog()
 {
     if (watchdogArmed)
         return;
     watchdogArmed = true;
-    eventq.schedule(cfg.watchdogInterval, [this] { watchdogTick(); });
+    eventq.schedule(cfg.watchdogInterval, [this] { watchdogTick(); },
+                    HostPhase::Watchdog);
 }
 
 void
@@ -259,6 +302,12 @@ CmpSystem::dumpDiagnosticsJson(std::ostream &os) const
     if (checker) {
         jw.key("invariants");
         checker->writeReport(jw);
+    }
+    if (flightRec) {
+        // The last K probe events of every channel: what the machine was
+        // doing in its final moments, not just where it ended up.
+        jw.key("flightRecorder");
+        flightRec->writeJson(jw);
     }
     jw.end();
 }

@@ -25,8 +25,10 @@
 #include "os/os.hh"
 #include "sim/check/invariants.hh"
 #include "sim/event_queue.hh"
+#include "sim/flightrec.hh"
 #include "sim/profile.hh"
 #include "sim/stats.hh"
+#include "sim/timeseries.hh"
 #include "sim/trace_export.hh"
 #include "sys/cmp_config.hh"
 
@@ -113,14 +115,23 @@ class CmpSystem
 
     // ----- observability --------------------------------------------------------
 
-    /** Per-core cycle attribution (finalized by run()). */
+    /**
+     * Per-core cycle attribution (finalized by run()). Only valid when
+     * cfg.observability is on — observe=0 skips its construction.
+     */
     const CycleAccountant &cycleAccounting() const { return *accountant; }
 
-    /** Recorded barrier episodes (finalized by run()). */
+    /** Recorded barrier episodes (finalized by run()); see above. */
     const BarrierEpisodeProfiler &episodeProfiler() const
     {
         return *profiler;
     }
+
+    /** The crash flight recorder (null unless flightrec=/diagjson=). */
+    FlightRecorder *flightRecorder() { return flightRec.get(); }
+
+    /** The time-series sampler (null unless timeseries= is configured). */
+    TimeSeriesSampler *timeSeries() { return timeseries.get(); }
 
     /**
      * Close observability intervals at the current tick, publish the
@@ -163,6 +174,7 @@ class CmpSystem
     void armWatchdog();
     void watchdogTick();
     void writeDiagJson() const;
+    void writeTimeSeries() const;
     [[noreturn]] void failWithDiagnostics(const std::string &why);
 
     CmpConfig cfg;
@@ -189,6 +201,8 @@ class CmpSystem
     std::unique_ptr<BarrierEpisodeProfiler> profiler;
     std::unique_ptr<TraceExporter> tracer;
     std::unique_ptr<InvariantChecker> checker;
+    std::unique_ptr<FlightRecorder> flightRec;
+    std::unique_ptr<TimeSeriesSampler> timeseries;
     bool observabilityFinalized = false;
 
     /** Declared last: faults must die before the components they poke. */

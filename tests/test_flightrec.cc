@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Crash flight recorder tests: per-channel ring retention and drop
+ * accounting, chronological typed dumps, the network pseudo-bank naming,
+ * and the recorder's presence in the system diagnostics artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/flightrec.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sys/cmp_config.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+const FlightRecorder::ChannelStats &
+channel(const std::vector<FlightRecorder::ChannelStats> &all,
+        const std::string &name)
+{
+    for (const FlightRecorder::ChannelStats &c : all)
+        if (c.name == name)
+            return c;
+    ADD_FAILURE() << "no channel " << name;
+    static FlightRecorder::ChannelStats none{};
+    return none;
+}
+
+} // namespace
+
+TEST(FlightRecorderTest, RingRetainsLastKAndCountsDrops)
+{
+    StatGroup stats;
+    FlightRecorder fr(stats.probes(), 4);
+    EXPECT_EQ(fr.depth(), 4u);
+    EXPECT_EQ(fr.totalSeen(), 0u);
+
+    for (unsigned i = 0; i < 10; ++i)
+        stats.probes().sched.notify({Tick(i), CoreId(i % 4),
+                                     ThreadId(i), true});
+    stats.probes().coreKill.notify({Tick(99), CoreId(1), ThreadId(1)});
+
+    auto all = fr.channelStats();
+    ASSERT_EQ(all.size(), 12u); // one per ProbeBus channel
+    const auto &sched = channel(all, "sched");
+    EXPECT_EQ(sched.seen, 10u);
+    EXPECT_EQ(sched.retained, 4u);
+    EXPECT_EQ(sched.dropped, 6u);
+    const auto &kill = channel(all, "coreKill");
+    EXPECT_EQ(kill.seen, 1u);
+    EXPECT_EQ(kill.retained, 1u);
+    EXPECT_EQ(kill.dropped, 0u);
+    const auto &idle = channel(all, "busOccupancy");
+    EXPECT_EQ(idle.seen, 0u);
+    EXPECT_EQ(idle.retained, 0u);
+    EXPECT_EQ(fr.totalSeen(), 11u);
+}
+
+TEST(FlightRecorderTest, DumpIsChronologicalAndTyped)
+{
+    StatGroup stats;
+    FlightRecorder fr(stats.probes(), 4);
+
+    // Seven arrivals into a depth-4 ring: the dump must hold the LAST
+    // four, oldest first.
+    for (unsigned i = 1; i <= 7; ++i)
+        stats.probes().barrierArrive.notify(
+            {Tick(i * 10), 2, 1, 5, i % 4, CoreId(i), 4});
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        fr.writeJson(w);
+    }
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("depth").number, 4.0);
+    EXPECT_EQ(uint64_t(v.at("totalSeen").number), fr.totalSeen());
+
+    const JsonValue &ch = v.at("channels").at("barrierArrive");
+    EXPECT_EQ(ch.at("seen").number, 7.0);
+    EXPECT_EQ(ch.at("dropped").number, 3.0);
+    const auto &events = ch.at("events").arr;
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].at("tick").number, double((i + 4) * 10));
+        EXPECT_EQ(events[i].at("bank").number, 2.0);
+        EXPECT_EQ(events[i].at("filterIdx").number, 1.0);
+        EXPECT_EQ(events[i].at("episode").number, 5.0);
+        EXPECT_EQ(events[i].at("numThreads").number, 4.0);
+        EXPECT_TRUE(events[i].has("slot"));
+        EXPECT_TRUE(events[i].has("core"));
+    }
+
+    // A channel that never fired still dumps a typed empty record.
+    const JsonValue &quiet = v.at("channels").at("filterSwap");
+    EXPECT_EQ(quiet.at("seen").number, 0.0);
+    EXPECT_EQ(quiet.at("events").arr.size(), 0u);
+
+    // Core state events carry the symbolic state name.
+    stats.probes().coreState.notify(
+        {Tick(5), CoreId(0), CoreProbeState::BarrierWait, ThreadId(0)});
+    std::ostringstream os2;
+    {
+        JsonWriter w(os2);
+        fr.writeJson(w);
+    }
+    JsonValue v2 = parseJson(os2.str());
+    const auto &cs = v2.at("channels").at("coreState").at("events").arr;
+    ASSERT_EQ(cs.size(), 1u);
+    EXPECT_EQ(cs[0].at("state").str, "barrier-wait");
+}
+
+TEST(FlightRecorderTest, NetworkPseudoBankDumpsAsString)
+{
+    StatGroup stats;
+    FlightRecorder fr(stats.probes(), 2);
+    stats.probes().barrierArrive.notify(
+        {Tick(1), probeNetworkBank, 0, 1, 0, CoreId(0), 2});
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        fr.writeJson(w);
+    }
+    JsonValue v = parseJson(os.str());
+    const auto &events =
+        v.at("channels").at("barrierArrive").at("events").arr;
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].at("bank").isString());
+    EXPECT_EQ(events[0].at("bank").str, "network");
+}
+
+TEST(FlightRecorderTest, SystemWiresRecorderIntoDiagnostics)
+{
+    // Plain config: no recorder, no memory spent.
+    {
+        CmpConfig cfg;
+        cfg.numCores = 2;
+        CmpSystem sys(cfg);
+        EXPECT_EQ(sys.flightRecorder(), nullptr);
+    }
+
+    // flightrec= enables it directly at the requested depth.
+    {
+        CmpConfig cfg;
+        cfg.numCores = 2;
+        cfg.flightRecDepth = 8;
+        CmpSystem sys(cfg);
+        ASSERT_NE(sys.flightRecorder(), nullptr);
+        EXPECT_EQ(sys.flightRecorder()->depth(), 8u);
+    }
+
+    // diagjson= without an explicit depth auto-enables a default ring,
+    // and the diagnostics dump embeds the recorder contents.
+    CmpConfig cfg;
+    cfg.numCores = 2;
+    cfg.diagJsonFile = "/dev/null";
+    CmpSystem sys(cfg);
+    ASSERT_NE(sys.flightRecorder(), nullptr);
+    EXPECT_EQ(sys.flightRecorder()->depth(), 64u);
+
+    sys.statistics().probes().coreKill.notify({Tick(3), CoreId(1), -1});
+
+    std::ostringstream os;
+    sys.dumpDiagnosticsJson(os);
+    JsonValue v = parseJson(os.str());
+    ASSERT_TRUE(v.has("flightRecorder"));
+    EXPECT_EQ(v.at("flightRecorder").at("depth").number, 64.0);
+    const auto &kills =
+        v.at("flightRecorder").at("channels").at("coreKill").at("events");
+    ASSERT_EQ(kills.arr.size(), 1u);
+    EXPECT_EQ(kills.arr[0].at("core").number, 1.0);
+}

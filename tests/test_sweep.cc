@@ -505,6 +505,116 @@ TEST(SweepArtifactTest, AtomicWriteLeavesNoTmpAndSurvivesOverwrite)
     makeDirs(dir + "/x/y/z"); // idempotent
 }
 
+TEST(SweepDriverTest, SimspeedSidecarCarriesHostCostBreakdown)
+{
+    std::string dir = makeTempDir();
+    SweepResult r = drive(tinyFig4Spec("breakdown"), dir);
+    ASSERT_EQ(r.completed, 3u);
+
+    JsonValue speed = parseJson(readFileToString(r.simspeedPath));
+
+    // Every worker self-profiles: each per-run row carries its own
+    // per-component breakdown and attribution/overhead fractions.
+    ASSERT_EQ(speed.at("perRun").arr.size(), 3u);
+    for (const JsonValue &row : speed.at("perRun").arr) {
+        ASSERT_TRUE(row.has("breakdown")) << row.at("id").str;
+        EXPECT_GT(row.at("breakdown").at("coreTick").number, 0.0);
+        EXPECT_GT(row.at("breakdown").at("queuePop").number, 0.0);
+        EXPECT_GT(row.at("attributedFrac").number, 0.5);
+        EXPECT_LT(row.at("overheadFrac").number, 0.25);
+        EXPECT_GT(row.at("nsPerSimCycle").number, 0.0);
+    }
+
+    // ...and the sweep-wide merge sums them with wall-time fractions.
+    const JsonValue &bd = speed.at("hostBreakdown");
+    ASSERT_TRUE(bd.isObject());
+    EXPECT_GT(bd.at("coreTick").at("ns").number, 0.0);
+    EXPECT_GT(bd.at("coreTick").at("frac").number, 0.0);
+    EXPECT_GT(speed.at("profiledWallNs").number, 0.0);
+    EXPECT_GT(speed.at("attributedFrac").number, 0.5);
+    EXPECT_LT(speed.at("overheadFrac").number, 0.25);
+
+    // The gate still compares total MIPS only; the breakdown must not
+    // break the existing lenient comparison.
+    RegressionReport same = compareSimspeed(speed, speed, 0.8);
+    EXPECT_FALSE(same.failed);
+}
+
+TEST(SweepDriverTest, QuarantineWritesPostmortemWithLogTail)
+{
+    std::string dir = makeTempDir();
+    SweepSpec spec = tinyFig4Spec("postmortem");
+    spec.policy.maxAttempts = 1;
+    spec.sabotage.crashRuns = {"fig4.c4.hw-network"};
+    spec.sabotage.attempts = 99;
+
+    SweepResult r = drive(spec, dir);
+    EXPECT_EQ(r.quarantined, 1u);
+
+    std::string path = dir + "/quarantine/fig4.c4.hw-network.json";
+    ASSERT_TRUE(fileExists(path));
+    JsonValue pm = parseJson(readFileToString(path));
+    EXPECT_EQ(pm.at("id").str, "fig4.c4.hw-network");
+    EXPECT_EQ(pm.at("failures").number, 1.0);
+    EXPECT_EQ(pm.at("reason").str, "signal:6");
+    // The worker announced the planted crash on stderr; the postmortem
+    // carries the log tail so the artifact is self-contained.
+    EXPECT_NE(pm.at("logTail").str.find("sabotage crash"),
+              std::string::npos);
+    // An abort() before any simulation leaves no diagnostics dump.
+    EXPECT_TRUE(pm.at("diagnostics").isNull());
+
+    // The ledger links the postmortem.
+    EXPECT_NE(readFileToString(r.ledgerPath).find("\"postmortem\""),
+              std::string::npos);
+}
+
+TEST(SweepDriverTest, WatchdogCrashShipsFlightRecorderPostmortem)
+{
+    // A real (non-sabotage) failure mode: an absurdly short watchdog
+    // interval fires before the first instruction can possibly retire
+    // (the first fetch must miss to DRAM), the worker dumps diagnostics
+    // — including the probe flight recorder — and dies; the quarantine
+    // postmortem must embed that dump.
+    std::string dir = makeTempDir();
+    SweepSpec spec;
+    spec.name = "wdog";
+    spec.mode = "kernel";
+    spec.cores = {4};
+    spec.mechanisms = {"filter-dcache"};
+    spec.kernels = {"livermore3"};
+    spec.seeds = {12345};
+    spec.n = 64;
+    spec.reps = 1;
+    spec.config = {"watchdog=64"};
+    spec.policy.maxAttempts = 1;
+    spec.policy.backoffBaseMs = 10;
+    spec.policy.backoffMaxMs = 20;
+
+    SweepResult r = drive(spec, dir);
+    EXPECT_TRUE(r.degraded);
+    ASSERT_EQ(r.quarantined, 1u);
+    EXPECT_EQ(r.runs.size(), 1u);
+
+    std::string path =
+        dir + "/quarantine/kernel.livermore3.c4.filter-dcache.s12345.json";
+    ASSERT_TRUE(fileExists(path));
+    JsonValue pm = parseJson(readFileToString(path));
+    EXPECT_EQ(pm.at("reason").str, "exit:2");
+    EXPECT_NE(pm.at("logTail").str.find("watchdog"), std::string::npos);
+
+    const JsonValue &diag = pm.at("diagnostics");
+    ASSERT_TRUE(diag.isObject());
+    EXPECT_EQ(diag.at("liveThreads").number, 4.0);
+    ASSERT_TRUE(diag.has("flightRecorder"));
+    const JsonValue &fr = diag.at("flightRecorder");
+    EXPECT_EQ(fr.at("depth").number, 64.0);
+    // By tick 64 the OS has at least placed the four threads, so the
+    // recorder witnessed scheduling events before the crash.
+    EXPECT_GT(fr.at("totalSeen").number, 0.0);
+    EXPECT_GE(fr.at("channels").at("sched").at("seen").number, 4.0);
+}
+
 TEST(SweepWorkerTest, UnknownRunIdIsFatal)
 {
     SweepSpec spec = tinyFig4Spec("nope");

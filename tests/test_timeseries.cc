@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Time-series sampler tests: the exact-sum invariant (base + retained
+ * deltas == final counter value) with and without ring wrap, drop
+ * accounting, the keep-sampling gate that lets the event queue drain,
+ * the JSON artifact shape, and the curated Chrome-trace counter tracks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "kernels/workload.hh"
+#include "sim/artifact.hh"
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sim/timeseries.hh"
+#include "sim/trace_export.hh"
+#include "sys/cmp_config.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/bfsim_ts_XXXXXX";
+    const char *d = ::mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    return d;
+}
+
+/** base + sum(deltas) must equal the live counter, for every column. */
+void
+expectExactSums(const TimeSeriesSampler &ts, const StatGroup &stats)
+{
+    for (const TimeSeriesSampler::Column &c : ts.columns()) {
+        uint64_t sum = c.base;
+        for (uint64_t d : c.deltas)
+            sum += d;
+        EXPECT_EQ(sum, c.total) << c.name;
+        EXPECT_EQ(sum, stats.counterValue(c.name)) << c.name;
+        EXPECT_EQ(c.deltas.size(), ts.retainedSamples()) << c.name;
+    }
+}
+
+} // namespace
+
+TEST(TimeSeriesTest, DeltasSumExactlyToFinalTotalsWithoutWrap)
+{
+    StatGroup stats;
+    EventQueue q;
+    TimeSeriesSampler ts(stats, q, 10, 100);
+    ts.start();
+
+    // Counter activity spread over several sample windows, including
+    // mass accumulated before the first sample fires.
+    stats.counter("pre.start") += 7;
+    for (unsigned i = 0; i < 40; ++i) {
+        q.schedule(i + 1, [&stats, i] {
+            ++stats.counter("a.x");
+            stats.counter("b.y") += i;
+        });
+    }
+    q.run(45); // sampler self-rearms; bound the run instead of draining
+    ts.finalize();
+
+    EXPECT_GT(ts.totalSamples(), 2u);
+    EXPECT_EQ(ts.droppedSamples(), 0u);
+    EXPECT_EQ(ts.retainedSamples(), ts.totalSamples());
+    expectExactSums(ts, stats);
+
+    // No wrap: nothing was folded out.
+    for (const TimeSeriesSampler::Column &c : ts.columns())
+        EXPECT_EQ(c.base, 0u) << c.name;
+
+    // Pre-sampling mass landed in the first delta, not leaked.
+    for (const TimeSeriesSampler::Column &c : ts.columns()) {
+        if (c.name != "pre.start")
+            continue;
+        ASSERT_FALSE(c.deltas.empty());
+        EXPECT_EQ(c.deltas[0], 7u);
+    }
+
+    std::vector<Tick> ticks = ts.ticks();
+    ASSERT_EQ(ticks.size(), ts.retainedSamples());
+    for (size_t i = 1; i < ticks.size(); ++i)
+        EXPECT_LT(ticks[i - 1], ticks[i]);
+}
+
+TEST(TimeSeriesTest, RingWrapFoldsOverwrittenDeltasIntoBase)
+{
+    StatGroup stats;
+    EventQueue q;
+    TimeSeriesSampler ts(stats, q, 10, 4); // tiny ring: wraps fast
+    ts.start();
+
+    for (unsigned i = 0; i < 200; ++i)
+        q.schedule(i + 1, [&stats] { stats.counter("hot.counter") += 3; });
+    q.run(205);
+    ts.finalize();
+
+    // Far more samples than capacity: drops happened, retention capped.
+    EXPECT_GT(ts.totalSamples(), 4u);
+    EXPECT_EQ(ts.retainedSamples(), 4u);
+    EXPECT_EQ(ts.droppedSamples(), ts.totalSamples() - 4);
+
+    // Drops lose resolution, never mass: the invariant still holds and
+    // the folded-out mass shows up in base.
+    expectExactSums(ts, stats);
+    for (const TimeSeriesSampler::Column &c : ts.columns()) {
+        if (c.name == "hot.counter") {
+            EXPECT_GT(c.base, 0u);
+            EXPECT_EQ(c.total, 600u);
+        }
+    }
+
+    // The retained ticks are the LAST window, still ascending.
+    std::vector<Tick> ticks = ts.ticks();
+    ASSERT_EQ(ticks.size(), 4u);
+    for (size_t i = 1; i < ticks.size(); ++i)
+        EXPECT_LT(ticks[i - 1], ticks[i]);
+}
+
+TEST(TimeSeriesTest, LateCreatedCounterKeepsInvariantAcrossWrap)
+{
+    StatGroup stats;
+    EventQueue q;
+    TimeSeriesSampler ts(stats, q, 10, 4);
+    ts.start();
+
+    for (unsigned i = 0; i < 100; ++i)
+        q.schedule(i + 1, [&stats] { ++stats.counter("early.c"); });
+    // A counter born long after sampling began (and after the ring
+    // already wrapped once).
+    for (unsigned i = 120; i < 180; ++i)
+        q.schedule(i + 1, [&stats] { stats.counter("late.c") += 5; });
+    q.run(185);
+    ts.finalize();
+
+    expectExactSums(ts, stats);
+    bool sawLate = false;
+    for (const TimeSeriesSampler::Column &c : ts.columns()) {
+        if (c.name != "late.c")
+            continue;
+        sawLate = true;
+        EXPECT_EQ(c.total, 300u);
+    }
+    EXPECT_TRUE(sawLate);
+}
+
+TEST(TimeSeriesTest, KeepSamplingGateLetsTheQueueDrain)
+{
+    StatGroup stats;
+    EventQueue q;
+    bool live = true;
+    TimeSeriesSampler ts(stats, q, 10, 16, [&live] { return live; });
+    ts.start();
+
+    q.schedule(35, [&live] { live = false; });
+    // Without the gate the self-rescheduling sampler would keep the queue
+    // non-empty forever; with it, run() must terminate on its own.
+    Tick end = q.run();
+    EXPECT_TRUE(q.empty());
+    EXPECT_GE(end, 35u);
+    ts.finalize();
+    expectExactSums(ts, stats);
+}
+
+TEST(TimeSeriesTest, JsonArtifactShapeAndZeroColumnElision)
+{
+    StatGroup stats;
+    EventQueue q;
+    TimeSeriesSampler ts(stats, q, 10, 8);
+    ts.start();
+    stats.counter("never.touched");       // stays zero: elided
+    q.schedule(5, [&stats] { stats.counter("a.x") += 9; });
+    q.run(20);
+    ts.finalize();
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        ts.writeJson(w);
+    }
+    JsonValue v = parseJson(os.str());
+    EXPECT_EQ(v.at("interval").number, 10.0);
+    EXPECT_EQ(v.at("capacity").number, 8.0);
+    EXPECT_EQ(uint64_t(v.at("totalSamples").number), ts.totalSamples());
+    EXPECT_EQ(uint64_t(v.at("retained").number), ts.retainedSamples());
+    EXPECT_EQ(v.at("dropped").number, 0.0);
+    EXPECT_GE(v.at("zeroColumns").number, 1.0);
+    ASSERT_EQ(v.at("ticks").arr.size(), ts.retainedSamples());
+
+    bool sawA = false;
+    for (const JsonValue &c : v.at("columns").arr) {
+        EXPECT_NE(c.at("name").str, "never.touched");
+        if (c.at("name").str != "a.x")
+            continue;
+        sawA = true;
+        EXPECT_EQ(c.at("total").number, 9.0);
+        ASSERT_EQ(c.at("deltas").arr.size(), ts.retainedSamples());
+        double sum = c.at("base").number;
+        for (const JsonValue &d : c.at("deltas").arr)
+            sum += d.number;
+        EXPECT_EQ(sum, 9.0);
+    }
+    EXPECT_TRUE(sawA);
+}
+
+TEST(TimeSeriesTest, CuratedColumnSelectionForTraceTracks)
+{
+    EXPECT_TRUE(TraceExporter::isCuratedColumn("bus.req.busyCycles"));
+    EXPECT_TRUE(TraceExporter::isCuratedColumn("filter.occupancy"));
+    EXPECT_TRUE(TraceExporter::isCuratedColumn("barrier.episodes"));
+    EXPECT_TRUE(TraceExporter::isCuratedColumn("hwnet.arrivals"));
+    EXPECT_TRUE(TraceExporter::isCuratedColumn("l1d.0.mshrFullStalls"));
+    EXPECT_FALSE(TraceExporter::isCuratedColumn("core.0.instructions"));
+    EXPECT_FALSE(TraceExporter::isCuratedColumn("os.barrierRecoveries"));
+    EXPECT_FALSE(TraceExporter::isCuratedColumn("l2.bank0.hits"));
+}
+
+TEST(TimeSeriesTest, SystemWritesArtifactAndTraceCounterTracks)
+{
+    std::string dir = makeTempDir();
+    CmpConfig cfg;
+    cfg.numCores = 4;
+    cfg.timeSeriesFile = dir + "/ts.json";
+    cfg.tsInterval = 256; // dense enough for a short kernel run
+    cfg.traceOutFile = dir + "/trace.json";
+
+    KernelParams params;
+    params.n = 128;
+    params.reps = 2;
+    KernelRun run = runKernel(cfg, KernelId::Livermore3, params, true,
+                              BarrierKind::FilterDCache, 4);
+    ASSERT_TRUE(run.correct);
+
+    // The time-series artifact holds the exact-sum invariant end to end,
+    // including derived counters sampled by finalize() after export.
+    JsonValue ts = parseJson(readFileToString(cfg.timeSeriesFile));
+    EXPECT_GT(ts.at("columns").arr.size(), 0u);
+    for (const JsonValue &c : ts.at("columns").arr) {
+        double sum = c.at("base").number;
+        for (const JsonValue &d : c.at("deltas").arr)
+            sum += d.number;
+        EXPECT_EQ(sum, c.at("total").number) << c.at("name").str;
+    }
+    bool sawBarrierEpisodes = false;
+    for (const JsonValue &c : ts.at("columns").arr)
+        sawBarrierEpisodes |= c.at("name").str == "barrier.episodes";
+    EXPECT_TRUE(sawBarrierEpisodes);
+
+    // The Chrome trace carries counter ("C") tracks for the curated
+    // columns, one point per retained sample.
+    JsonValue trace = parseJson(readFileToString(cfg.traceOutFile));
+    unsigned counterEvents = 0;
+    bool sawBusTrack = false;
+    for (const JsonValue &ev : trace.at("traceEvents").arr) {
+        if (!ev.has("ph") || ev.at("ph").str != "C")
+            continue;
+        if (ev.at("name").str == "starvedFills")
+            continue; // the exporter's own pre-existing counter track
+        counterEvents++;
+        EXPECT_TRUE(TraceExporter::isCuratedColumn(ev.at("name").str));
+        EXPECT_TRUE(ev.at("args").isObject());
+        sawBusTrack |= ev.at("name").str.rfind("bus.", 0) == 0;
+    }
+    EXPECT_GT(counterEvents, 0u);
+    EXPECT_TRUE(sawBusTrack);
+}
