@@ -11,9 +11,34 @@
 #include "sim/json.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
+#include "sim/random.hh"
 
 namespace bfsim
 {
+
+RasDetect
+rasDetectFromName(const std::string &name)
+{
+    if (name == "none")
+        return RasDetect::None;
+    if (name == "parity")
+        return RasDetect::Parity;
+    if (name == "secded")
+        return RasDetect::Secded;
+    fatal("unknown RAS detection mode '" + name +
+          "' (expected none|parity|secded)");
+}
+
+const char *
+rasDetectName(RasDetect m)
+{
+    switch (m) {
+      case RasDetect::None: return "none";
+      case RasDetect::Parity: return "parity";
+      case RasDetect::Secded: return "secded";
+      default: return "?";
+    }
+}
 
 void
 BarrierFilter::initialize(const AddressMap &m)
@@ -170,6 +195,8 @@ FilterBank::allocate(const BarrierFilter::AddressMap &map)
 void
 FilterBank::release(BarrierFilter *filter)
 {
+    rasCheckFilter(*filter);
+    rasClearShadow(*filter);
     filter->reset();
     ++stats.counter(name + ".releases");
 }
@@ -179,6 +206,12 @@ FilterBank::saveAndRelease(BarrierFilter *f)
 {
     if (!f->active())
         panic("FilterBank: saving an inactive filter");
+    // Resolve any pending soft-error shadow before capturing: the saved
+    // image must reflect either repaired state or an architecturally
+    // escaped flip, never a half-tracked one (the virtualizer keeps its
+    // own shadows for flips planted into parked images).
+    rasCheckFilter(*f);
+    rasClearShadow(*f);
     BarrierFilter::SavedState s;
     s.map = f->map;
     s.entries = std::move(f->entries);
@@ -268,6 +301,11 @@ FilterBank::setAutoLeave(BarrierFilter &f, unsigned slot, uint32_t arrivals)
 void
 FilterBank::forceLeave(BarrierFilter &f, unsigned slot)
 {
+    // Repair mutates dynamic state directly; resolve any soft-error
+    // shadow first so the pristine copy never goes stale.
+    rasCheckFilter(f);
+    if (!f.active() || f.poisoned)
+        return;
     auto &e = f.entries.at(slot);
     e.pendingMember = 0;
     e.autoLeaveAfter = 0;
@@ -484,6 +522,9 @@ FilterBank::armTimeout(BarrierFilter &f, unsigned slot)
 void
 FilterBank::timeoutFired(BarrierFilter &f, unsigned slot)
 {
+    rasCheckFilter(f);
+    if (!f.active() || f.poisoned || !f.entries.at(slot).pendingFill)
+        return;
     if (timeoutPoisons) {
         // Recovery mode: a timeout means the barrier episode cannot
         // complete in hardware. Fail the *whole* filter so every thread
@@ -512,6 +553,7 @@ void
 FilterBank::forceOpen(unsigned filterIdx)
 {
     BarrierFilter &f = filters.at(filterIdx);
+    rasCheckFilter(f);
     if (!f.active() || f.poisoned)
         return;
     ++stats.counter(name + ".forcedOpens");
@@ -536,6 +578,9 @@ FilterBank::poison(BarrierFilter &f)
 {
     if (!f.active() || f.poisoned)
         return;
+    // A poisoned filter's state is dead; any pending corruption shadow
+    // is moot (the software fallback takes over regardless).
+    rasClearShadow(f);
     f.poisoned = true;
     ++stats.counter(name + ".poisons");
     BFSIM_TRACE(TraceCat::Filter, eventq.now(),
@@ -619,6 +664,10 @@ void
 FilterBank::onInvalidate(Addr lineAddr, CoreId core)
 {
     maybeFaultIn(lineAddr);
+    // Access-time detection: corrupted lines are examined (and possibly
+    // repaired or escalated) before the FSM walk consumes them.
+    if (rasDirty)
+        rasCheckAll();
     for (auto &f : filters) {
         if (!f.active() || f.poisoned)
             continue;
@@ -711,6 +760,8 @@ FillAction
 FilterBank::onFillRequest(const Msg &msg)
 {
     maybeFaultIn(msg.lineAddr);
+    if (rasDirty)
+        rasCheckAll();
     for (auto &f : filters) {
         if (!f.active())
             continue;
@@ -818,6 +869,192 @@ FilterBank::onFillRequest(const Msg &msg)
     return FillAction::Pass;
 }
 
+// ----- soft-error RAS ---------------------------------------------------------
+
+void
+FilterBank::setRasHandler(std::function<void(unsigned)> h)
+{
+    rasHandler = std::move(h);
+}
+
+unsigned
+FilterBank::injectStateFlips(unsigned filterIdx, const std::string &site,
+                             unsigned bits, Rng &rng)
+{
+    BarrierFilter &f = filters.at(filterIdx);
+    if (!f.active() || f.poisoned || f.entries.empty())
+        return 0;
+    if (f.rasFlips == 0) {
+        // First flip on a clean filter: capture the pre-corruption state
+        // the detection model checks (and SECDED repairs) against.
+        f.rasPristine.map = f.map;
+        f.rasPristine.entries = f.entries;
+        f.rasPristine.arrivedCounter = f.arrivedCounter;
+        f.rasPristine.opens = f.opens;
+        f.rasPristine.members = f.members;
+        f.rasPristine.poisoned = f.poisoned;
+        ++rasDirty;
+    }
+    unsigned landed = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        unsigned slot = unsigned(rng.below(f.entries.size()));
+        auto &e = f.entries[slot];
+        if (site == "fsm") {
+            e.state = FilterThreadState(uint8_t(e.state) ^
+                                        uint8_t(1u << rng.below(2)));
+        } else if (site == "arrived") {
+            f.arrivedCounter ^= 1u << rng.below(6);
+        } else if (site == "members") {
+            f.members ^= 1u << rng.below(6);
+        } else if (site == "mask") {
+            e.state = e.state == FilterThreadState::Blocking
+                          ? FilterThreadState::Waiting
+                          : FilterThreadState::Blocking;
+        } else if (site == "fillmeta") {
+            if (rng.below(2) == 0)
+                e.pendingFill = !e.pendingFill;
+            else
+                e.pendingMsg.lineAddr ^= Addr(1) << (6 + rng.below(8));
+        } else {
+            fatal("injectStateFlips: unknown site '" + site + "'");
+        }
+        ++landed;
+    }
+    f.rasFlips += landed;
+    stats.counter(name + ".rasInjectedFlips") += landed;
+    stats.probes().ras.notify({eventq.now(), RasEventKind::InjectedFilter,
+                               bankIdx, filterIdx, -1, landed});
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << filterIdx << " RAS: " << landed
+                     << " flip(s) planted at site '" << site << "'");
+    return landed;
+}
+
+void
+FilterBank::rasScrub()
+{
+    if (!rasDirty)
+        return;
+    for (auto &f : filters)
+        rasCheckFilter(f);
+}
+
+bool
+FilterBank::rasQuiescent(unsigned idx) const
+{
+    const BarrierFilter &f = filters.at(idx);
+    const BarrierFilter::SavedState &p = f.rasPristine;
+    if (f.rasFlips == 0 || p.arrivedCounter != 0)
+        return false;
+    for (const auto &e : p.entries) {
+        if (e.pendingFill || e.state == FilterThreadState::Blocking)
+            return false;
+    }
+    return true;
+}
+
+void
+FilterBank::rasRebuild(unsigned idx)
+{
+    BarrierFilter &f = filters.at(idx);
+    if (!f.rasFlips)
+        return;
+    rasRestorePristine(f);
+    rasClearShadow(f);
+    ++stats.counter(name + ".rasRebuilds");
+    stats.probes().ras.notify({eventq.now(), RasEventKind::Rebuilt,
+                               bankIdx, idx, -1, 0});
+}
+
+void
+FilterBank::rasRestorePristine(BarrierFilter &f)
+{
+    const BarrierFilter::SavedState &p = f.rasPristine;
+    f.map = p.map;
+    f.entries = p.entries;
+    f.arrivedCounter = p.arrivedCounter;
+    f.opens = p.opens;
+    f.members = p.members;
+    f.poisoned = p.poisoned;
+}
+
+void
+FilterBank::rasClearShadow(BarrierFilter &f)
+{
+    if (!f.rasFlips)
+        return;
+    f.rasFlips = 0;
+    f.rasPristine = BarrierFilter::SavedState{};
+    --rasDirty;
+}
+
+void
+FilterBank::rasCheckAll()
+{
+    for (auto &f : filters) {
+        if (!rasDirty)
+            return;
+        rasCheckFilter(f);
+    }
+}
+
+void
+FilterBank::rasCheckFilter(BarrierFilter &f)
+{
+    if (f.rasFlips == 0)
+        return;
+    const unsigned fi = idxOf(f);
+    const unsigned flips = f.rasFlips;
+    bool detected = false;
+    switch (rasMode) {
+      case RasDetect::None:
+        break;
+      case RasDetect::Parity:
+        // Interleaved parity sees any odd number of flips per word; an
+        // even count aliases back to a valid codeword.
+        detected = flips % 2 == 1;
+        break;
+      case RasDetect::Secded:
+        if (flips == 1) {
+            // Single-bit error: corrected in place by the ECC logic.
+            rasRestorePristine(f);
+            rasClearShadow(f);
+            ++stats.counter(name + ".rasCorrected");
+            stats.probes().ras.notify({eventq.now(),
+                                       RasEventKind::Corrected, bankIdx,
+                                       fi, -1, flips});
+            return;
+        }
+        // Double-bit: detected, uncorrectable. Three or more may
+        // miscorrect; model that conservatively as an escape.
+        detected = flips == 2;
+        break;
+    }
+    if (!detected) {
+        // The corruption slips past this tier: whatever the flips did
+        // is architectural state from here on.
+        rasClearShadow(f);
+        ++stats.counter(name + ".rasEscapes");
+        stats.probes().ras.notify({eventq.now(), RasEventKind::Escaped,
+                                   bankIdx, fi, -1, flips});
+        return;
+    }
+    ++stats.counter(name + ".rasDetected");
+    stats.probes().ras.notify({eventq.now(),
+                               RasEventKind::DetectedUncorrectable,
+                               bankIdx, fi, -1, flips});
+    BFSIM_TRACE(TraceCat::Filter, eventq.now(),
+                name << ".filter" << fi << " RAS: uncorrectable ("
+                     << flips << " flips), escalating");
+    if (rasHandler)
+        rasHandler(fi);
+    else
+        poison(f);
+    // The handler resolved the fault by rebuild or poison, both of
+    // which drop the shadow; be defensive in case it did neither.
+    rasClearShadow(f);
+}
+
 void
 FilterBank::dumpState(std::ostream &os) const
 {
@@ -875,6 +1112,8 @@ FilterBank::serializeState(JsonWriter &jw) const
         jw.kv("opens", f.opens);
         jw.kv("poisoned", f.poisoned);
         jw.kv("swapPenalty", f.swapPenalty);
+        if (f.rasFlips)
+            jw.kv("rasFlips", f.rasFlips);
         jw.key("slots");
         jw.beginArray();
         for (const auto &e : f.entries) {

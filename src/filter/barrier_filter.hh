@@ -52,6 +52,23 @@ namespace bfsim
 {
 
 class JsonWriter;
+class Rng;
+
+/**
+ * Soft-error detection tier modeled on filter state lines and saved
+ * context images (docs/ROBUSTNESS.md §11). The tiers are mutually
+ * exclusive: exactly one applies to a run.
+ */
+enum class RasDetect : uint8_t
+{
+    None,    ///< no detection: every flip becomes architectural state
+    Parity,  ///< odd flip counts detected (uncorrectable), even escape
+    Secded,  ///< 1 flip corrected, 2 detected, >=3 escape (miscorrection)
+};
+
+/** Parse a detection-tier name ("none"/"parity"/"secded"); fatal else. */
+RasDetect rasDetectFromName(const std::string &name);
+const char *rasDetectName(RasDetect m);
 
 /** Per-thread FSM states, Figure 3. */
 enum class FilterThreadState : uint8_t
@@ -194,6 +211,9 @@ class BarrierFilter
      */
     bool isPoisoned() const { return poisoned; }
 
+    /** Injected-but-unresolved soft-error flips on this filter's state. */
+    unsigned rasFlipCount() const { return rasFlips; }
+
   private:
     friend class FilterBank;
 
@@ -208,6 +228,14 @@ class BarrierFilter
     /** Extra cycles the next release stagger starts at: the modeled cost
      *  of the context-restore that preceded this episode. */
     Tick swapPenalty = 0;
+    /**
+     * Soft-error shadow: count of injected bit flips not yet seen by a
+     * detection sweep, plus the pre-corruption state captured when the
+     * first flip landed. The shadow is what the parity/SECDED model
+     * checks against; it never influences the architectural FSM walk.
+     */
+    unsigned rasFlips = 0;
+    SavedState rasPristine;
 };
 
 /**
@@ -356,6 +384,45 @@ class FilterBank
     /** Force the Section 3.3.4 timeout on one withheld fill, now. */
     void fireTimeout(unsigned filterIdx, unsigned slot);
 
+    // ----- soft-error RAS (docs/ROBUSTNESS.md §11) -------------------------
+
+    /** Select the modeled detection tier for this bank's filter lines. */
+    void setRasDetect(RasDetect m) { rasMode = m; }
+    RasDetect rasDetect() const { return rasMode; }
+
+    /**
+     * OS hook invoked on a detected-uncorrectable filter fault; the OS
+     * decides between scrub-and-rebuild and poison escalation. Without a
+     * handler, detection degrades to poisoning the filter directly.
+     */
+    void setRasHandler(std::function<void(unsigned filterIdx)> h);
+
+    /**
+     * Fault injection: plant @p bits single-bit flips in filter
+     * @p filterIdx's architectural state. @p site selects the target:
+     * "fsm" (per-slot FSM bits), "arrived" (arrived counter), "members"
+     * (member count), "mask" (a slot's Blocking bit), "fillmeta"
+     * (withheld-fill metadata). @return flips landed (0 when the filter
+     * is inactive or poisoned — the fault had nothing to corrupt).
+     */
+    unsigned injectStateFlips(unsigned filterIdx, const std::string &site,
+                              unsigned bits, Rng &rng);
+
+    /** Periodic ECC scrub: run detection over every shadowed filter. */
+    void rasScrub();
+
+    /**
+     * Can filter @p idx be rebuilt from the OS's shadow membership alone?
+     * True only when its pre-corruption state was quiescent (no arrivals
+     * in flight, no withheld fills): mid-epoch dynamic state cannot be
+     * reconstructed from static membership.
+     */
+    bool rasQuiescent(unsigned idx) const;
+
+    /** OS scrub-and-rebuild: restore filter @p idx to pre-corruption
+     *  state (forced swap-out/swap-in of the shadow copy). */
+    void rasRebuild(unsigned idx);
+
     /** One fill currently withheld by a filter of this bank. */
     struct BlockedFill
     {
@@ -391,6 +458,20 @@ class FilterBank
     /** Fault in the owning context for an unmatched managed line. */
     void maybeFaultIn(Addr lineAddr);
 
+    /** Run the detection model on @p f's shadow (no-op when clean). */
+    void rasCheckFilter(BarrierFilter &f);
+
+    /** Access-time detection: check every shadowed filter. Called at the
+     *  head of onInvalidate/onFillRequest so corrupted state is examined
+     *  before the FSM walk consumes it. */
+    void rasCheckAll();
+
+    /** Drop @p f's shadow (flip resolved or filter retired). */
+    void rasClearShadow(BarrierFilter &f);
+
+    /** Restore @p f's architectural state from its pristine shadow. */
+    void rasRestorePristine(BarrierFilter &f);
+
     /** Index of @p f within this bank (for probe events). */
     unsigned idxOf(const BarrierFilter &f) const
     {
@@ -410,6 +491,9 @@ class FilterBank
     std::function<void(const std::string &)> errorHook;
     std::function<void(BarrierFilter &, unsigned)> membershipHandler;
     FilterResidencyAgent *residency = nullptr;
+    RasDetect rasMode = RasDetect::None;
+    std::function<void(unsigned)> rasHandler;
+    unsigned rasDirty = 0; ///< filters carrying a shadow (fast-path skip)
 };
 
 } // namespace bfsim

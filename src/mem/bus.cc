@@ -44,9 +44,44 @@ Bus::setFaultDelayHook(std::function<Tick()> hook)
 }
 
 void
+Bus::setFaultCorruptHook(std::function<unsigned(Msg &)> hook)
+{
+    faultCorruptHook = std::move(hook);
+}
+
+void
+Bus::setCrc(bool enabled, unsigned maxRetries, Tick backoff)
+{
+    crcEnabled = enabled;
+    crcMaxRetries = maxRetries;
+    crcBackoff = backoff;
+}
+
+void
 Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
 {
-    Tick occ = occupancy(msg);
+    sendAttempt(msg, std::move(deliver), 0);
+}
+
+void
+Bus::sendAttempt(const Msg &msg, std::function<void(const Msg &)> deliver,
+                 unsigned attempt)
+{
+    // Soft errors strike the in-flight copy, never the sender's view, so
+    // a CRC-triggered retransmission starts from the uncorrupted message.
+    Msg copy = msg;
+    if (faultCorruptHook) {
+        unsigned flips = faultCorruptHook(copy);
+        if (flips > 0) {
+            copy.corruptBits = uint8_t(copy.corruptBits + flips);
+            ++stats.counter("bus." + busName + ".corruptedMsgs");
+            stats.probes().ras.notify({eventq.now(),
+                                       RasEventKind::InjectedBus, ~0u, ~0u,
+                                       -1, flips});
+        }
+    }
+
+    Tick occ = occupancy(copy);
     if (faultDelayHook) {
         Tick extra = faultDelayHook();
         if (extra > 0) {
@@ -59,7 +94,7 @@ Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
     totalBusy += occ;
 
     ++stats.counter("bus." + busName + ".msgs");
-    if (carriesData(msg.type))
+    if (carriesData(copy.type))
         ++stats.counter("bus." + busName + ".dataMsgs");
     stats.counter("bus." + busName + ".busyCycles") += occ;
     stats.counter("bus." + busName + ".queueCycles") +=
@@ -69,14 +104,42 @@ Bus::send(const Msg &msg, std::function<void(const Msg &)> deliver)
     });
 
     BFSIM_TRACE(TraceCat::Bus, eventq.now(),
-                busName << " " << msgTypeName(msg.type) << " line=0x"
-                        << std::hex << msg.lineAddr << std::dec << " core="
-                        << msg.core << " deliver@" << (freeAt + propLatency));
+                busName << " " << msgTypeName(copy.type) << " line=0x"
+                        << std::hex << copy.lineAddr << std::dec << " core="
+                        << copy.core << " deliver@" << (freeAt + propLatency));
 
-    Msg copy = msg;
     eventq.scheduleAt(
         freeAt + propLatency,
-        [deliver = std::move(deliver), copy]() { deliver(copy); },
+        [this, deliver = std::move(deliver), copy, msg, attempt]() {
+            if (crcEnabled && copy.corruptBits > 0) {
+                // CRC mismatch at the receiving end: nack and retransmit
+                // the original after a bounded exponential backoff.
+                if (attempt >= crcMaxRetries) {
+                    ++stats.counter("bus." + busName + ".crcGiveUps");
+                    stats.probes().ras.notify(
+                        {eventq.now(), RasEventKind::BusCrcGiveUp, ~0u,
+                         ~0u, -1, copy.corruptBits});
+                    // Dropped: the filter timeout / watchdog machinery
+                    // escalates the lost message.
+                    return;
+                }
+                ++stats.counter("bus." + busName + ".crcRetries");
+                ++stats.counter("os.ras.retries");
+                stats.probes().ras.notify({eventq.now(),
+                                           RasEventKind::BusCrcRetry, ~0u,
+                                           ~0u, -1, copy.corruptBits});
+                Tick backoff =
+                    std::max<Tick>(1, crcBackoff << std::min(attempt, 16u));
+                eventq.schedule(
+                    backoff,
+                    [this, msg, deliver, attempt]() {
+                        sendAttempt(msg, deliver, attempt + 1);
+                    },
+                    HostPhase::BusArb);
+                return;
+            }
+            deliver(copy);
+        },
         HostPhase::BusArb);
 }
 
@@ -134,6 +197,24 @@ Interconnect::setFaultDelayHook(const std::function<Tick()> &hook)
         l->setFaultDelayHook(hook);
     for (auto &l : respLinks)
         l->setFaultDelayHook(hook);
+}
+
+void
+Interconnect::setFaultCorruptHook(const std::function<unsigned(Msg &)> &hook)
+{
+    for (auto &l : reqLinks)
+        l->setFaultCorruptHook(hook);
+    for (auto &l : respLinks)
+        l->setFaultCorruptHook(hook);
+}
+
+void
+Interconnect::setBusCrc(bool enabled, unsigned maxRetries, Tick backoff)
+{
+    for (auto &l : reqLinks)
+        l->setCrc(enabled, maxRetries, backoff);
+    for (auto &l : respLinks)
+        l->setCrc(enabled, maxRetries, backoff);
 }
 
 void

@@ -61,7 +61,27 @@ class Bus
      */
     void setFaultDelayHook(std::function<Tick()> hook);
 
+    /**
+     * Soft-error injection: called once per transmission attempt with the
+     * in-flight copy; the hook mutates payload bits and returns the flip
+     * count (0 = untouched). Retransmissions roll fresh, so a retry can
+     * be corrupted again.
+     */
+    void setFaultCorruptHook(std::function<unsigned(Msg &)> hook);
+
+    /**
+     * Model a CRC check at the receiving end of the link: a corrupted
+     * message is nacked and retransmitted after a bounded exponential
+     * backoff (base @p backoff, doubling per attempt); after
+     * @p maxRetries failed retransmissions it is dropped, leaving the
+     * timeout/watchdog machinery to escalate.
+     */
+    void setCrc(bool enabled, unsigned maxRetries, Tick backoff);
+
   private:
+    void sendAttempt(const Msg &msg, std::function<void(const Msg &)> deliver,
+                     unsigned attempt);
+
     EventQueue &eventq;
     StatGroup &stats;
     std::string busName;
@@ -72,6 +92,10 @@ class Bus
     Tick freeAt = 0;
     Tick totalBusy = 0;
     std::function<Tick()> faultDelayHook;
+    std::function<unsigned(Msg &)> faultCorruptHook;
+    bool crcEnabled = false;
+    unsigned crcMaxRetries = 3;
+    Tick crcBackoff = 8;
 };
 
 /** Fabric topologies between the cores and the L2 banks. */
@@ -125,6 +149,12 @@ class Interconnect
 
     /** Install @p hook on every existing link (fault injection). */
     void setFaultDelayHook(const std::function<Tick()> &hook);
+
+    /** Install the soft-error corruption hook on every existing link. */
+    void setFaultCorruptHook(const std::function<unsigned(Msg &)> &hook);
+
+    /** Configure the modeled CRC check on every existing link. */
+    void setBusCrc(bool enabled, unsigned maxRetries, Tick backoff);
 
   private:
     void deliverToCore(const Msg &msg);

@@ -56,6 +56,13 @@ struct Msg
     bool hadShared = false;  ///< GetX upgrade from S (response needs no data)
     bool wasDirty = false;   ///< snoop reply: line was modified
     uint64_t id = 0;         ///< unique id for tracing / matching
+    /**
+     * Soft-error bit flips injected into this message in flight (RAS
+     * model). The modeled CRC check at the receiving end of a link sees
+     * a nonzero count as a checksum mismatch; with CRC off the corrupted
+     * payload is delivered as-is.
+     */
+    uint8_t corruptBits = 0;
 
     std::string toString() const;
 };

@@ -8,6 +8,7 @@
 #include "sim/json.hh"
 #include "sim/log.hh"
 #include "sim/probe.hh"
+#include "sim/random.hh"
 #include "sys/system.hh"
 
 namespace bfsim
@@ -100,6 +101,10 @@ FilterVirtualizer::destroyGroup(int id)
     }
     for (auto &s : g.saved)
         s = BarrierFilter::SavedState{};
+    for (unsigned c = 0; c < 2; ++c) {
+        g.rasFlips[c] = 0;
+        g.rasPristine[c] = BarrierFilter::SavedState{};
+    }
     g.alive = false;
     g.isResident = false;
 }
@@ -133,6 +138,10 @@ FilterVirtualizer::swapIn(int id)
 
     const Tick cost = sys.config().filterSwapCycles;
     for (unsigned i = 0; i < g.size; ++i) {
+        // Swap-in is where a parked image's soft errors surface: the OS
+        // reads the context table, so its ECC sees the corruption before
+        // the state reaches a physical filter.
+        rasCheckSaved(id, i);
         const BarrierFilter::SavedState &s = g.saved[i];
         BarrierFilter *f = fb.allocateRestored(s, cost);
         if (!f)
@@ -144,6 +153,8 @@ FilterVirtualizer::swapIn(int id)
             {sys.eventQueue().now(), g.bank, fi, id, i, true, s.opens,
              s.arrivedCounter, savedArrivedMask(s), s.members, cost});
         g.saved[i] = BarrierFilter::SavedState{};
+        g.rasFlips[i] = 0;
+        g.rasPristine[i] = BarrierFilter::SavedState{};
     }
     g.isResident = true;
     ++swapIns;
@@ -210,6 +221,9 @@ FilterVirtualizer::poisonGroup(int id)
     }
     for (unsigned i = 0; i < g.size; ++i) {
         BarrierFilter::SavedState &s = g.saved[i];
+        // A dead context's corruption shadow is moot.
+        g.rasFlips[i] = 0;
+        g.rasPristine[i] = BarrierFilter::SavedState{};
         if (s.poisoned)
             continue;
         s.poisoned = true;
@@ -296,6 +310,154 @@ FilterVirtualizer::touch(unsigned bank, Addr lineAddr)
         groups[size_t(id)].lastUse = sys.eventQueue().now();
 }
 
+// ----- soft-error RAS on parked context images --------------------------------
+
+unsigned
+FilterVirtualizer::injectSavedFlips(unsigned bits, Rng &rng)
+{
+    struct Candidate
+    {
+        int id;
+        unsigned ctx;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const VirtGroup &g = groups[i];
+        if (!g.alive || g.isResident)
+            continue;
+        for (unsigned c = 0; c < g.size; ++c) {
+            if (!g.saved[c].poisoned && !g.saved[c].entries.empty())
+                candidates.push_back({int(i), c});
+        }
+    }
+    if (candidates.empty())
+        return 0;
+    const Candidate &pick = candidates[rng.below(candidates.size())];
+    VirtGroup &g = groups[size_t(pick.id)];
+    BarrierFilter::SavedState &s = g.saved[pick.ctx];
+    if (g.rasFlips[pick.ctx] == 0)
+        g.rasPristine[pick.ctx] = s;
+    for (unsigned i = 0; i < bits; ++i) {
+        unsigned slot = unsigned(rng.below(s.entries.size()));
+        auto &e = s.entries[slot];
+        switch (rng.below(4)) {
+          case 0:
+            e.state = FilterThreadState(uint8_t(e.state) ^
+                                        uint8_t(1u << rng.below(2)));
+            break;
+          case 1:
+            e.pendingFill = !e.pendingFill;
+            break;
+          case 2:
+            s.arrivedCounter ^= 1u << rng.below(6);
+            break;
+          default:
+            s.members ^= 1u << rng.below(6);
+            break;
+        }
+    }
+    g.rasFlips[pick.ctx] += bits;
+    sys.statistics().counter("os.virt.rasInjectedFlips") += bits;
+    sys.statistics().probes().ras.notify(
+        {sys.eventQueue().now(), RasEventKind::InjectedSaved, g.bank, ~0u,
+         pick.id, bits});
+    return bits;
+}
+
+void
+FilterVirtualizer::rasScrub()
+{
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const VirtGroup &g = groups[i];
+        if (!g.alive || g.isResident)
+            continue;
+        for (unsigned c = 0; c < g.size; ++c) {
+            if (g.rasFlips[c])
+                rasCheckSaved(int(i), c);
+        }
+    }
+}
+
+void
+FilterVirtualizer::rasCheckSaved(int id, unsigned ctx)
+{
+    VirtGroup &g = groups.at(size_t(id));
+    const unsigned flips = g.rasFlips[ctx];
+    if (flips == 0)
+        return;
+    StatGroup &st = sys.statistics();
+    const Tick now = sys.eventQueue().now();
+    auto clear = [&] {
+        g.rasFlips[ctx] = 0;
+        g.rasPristine[ctx] = BarrierFilter::SavedState{};
+    };
+    bool detected = false;
+    switch (rasMode) {
+      case RasDetect::None:
+        break;
+      case RasDetect::Parity:
+        detected = flips % 2 == 1;
+        break;
+      case RasDetect::Secded:
+        if (flips == 1) {
+            g.saved[ctx] = g.rasPristine[ctx];
+            clear();
+            ++st.counter("os.virt.rasCorrected");
+            st.probes().ras.notify({now, RasEventKind::Corrected, g.bank,
+                                    ~0u, id, flips});
+            return;
+        }
+        detected = flips == 2;
+        break;
+    }
+    if (!detected) {
+        clear();
+        ++st.counter("os.virt.rasEscapes");
+        st.probes().ras.notify({now, RasEventKind::Escaped, g.bank, ~0u,
+                                id, flips});
+        return;
+    }
+    ++st.counter("os.virt.rasDetected");
+    st.probes().ras.notify({now, RasEventKind::DetectedUncorrectable,
+                            g.bank, ~0u, id, flips});
+    // OS escalation ladder for a parked image. The shadow copy stands in
+    // for the OS's own membership records: a quiescent pre-corruption
+    // image is exactly what the OS would rebuild from scratch, so the
+    // scrub restores it. Mid-epoch dynamic state (arrivals in flight,
+    // withheld fills) cannot be reconstructed — poison the context and
+    // let the §3.3.4 software-fallback arc absorb the group.
+    ++st.counter("os.ras.scrubs");
+    const BarrierFilter::SavedState &p = g.rasPristine[ctx];
+    bool quiescent = p.arrivedCounter == 0;
+    for (const auto &e : p.entries) {
+        if (e.pendingFill || e.state == FilterThreadState::Blocking)
+            quiescent = false;
+    }
+    if (quiescent) {
+        g.saved[ctx] = p;
+        clear();
+        ++st.counter("os.ras.rebuilds");
+        st.probes().ras.notify({now, RasEventKind::Rebuilt, g.bank, ~0u,
+                                id, flips});
+        return;
+    }
+    clear();
+    ++st.counter("os.ras.fallbacks");
+    st.probes().ras.notify({now, RasEventKind::Fallback, g.bank, ~0u, id,
+                            flips});
+    FilterBank &fb = sys.filterBank(g.bank);
+    BarrierFilter::SavedState &s = g.saved[ctx];
+    if (!s.poisoned) {
+        s.poisoned = true;
+        for (auto &e : s.entries) {
+            if (!e.pendingFill)
+                continue;
+            e.pendingFill = false;
+            fb.errorNack(e.pendingMsg);
+        }
+    }
+}
+
 void
 FilterVirtualizer::serializeState(JsonWriter &jw) const
 {
@@ -321,6 +483,8 @@ FilterVirtualizer::serializeState(JsonWriter &jw) const
                 jw.kv("opens", s.opens);
                 jw.kv("members", s.members);
                 jw.kv("poisoned", s.poisoned);
+                if (g.rasFlips[c])
+                    jw.kv("rasFlips", g.rasFlips[c]);
                 jw.key("slots");
                 jw.beginArray();
                 for (const auto &e : s.entries) {

@@ -96,6 +96,22 @@ class FilterVirtualizer : public FilterResidencyAgent
     void faultIn(unsigned bank, Addr lineAddr) override;
     void touch(unsigned bank, Addr lineAddr) override;
 
+    // ----- soft-error RAS on parked context images --------------------------
+
+    /** Detection tier modeled on context-table entries (matches the
+     *  filter banks' tier). */
+    void setRasDetect(RasDetect m) { rasMode = m; }
+
+    /**
+     * Fault injection: plant @p bits flips in a random swapped-out
+     * context's SavedState image. @return flips landed (0 when nothing
+     * is swapped out — the context table is empty of targets).
+     */
+    unsigned injectSavedFlips(unsigned bits, Rng &rng);
+
+    /** Periodic ECC scrub over the context table. */
+    void rasScrub();
+
     /**
      * Serialize the context table (saved states of swapped-out groups,
      * residency and LRU bookkeeping) — part of the machine's architectural
@@ -114,6 +130,10 @@ class FilterVirtualizer : public FilterResidencyAgent
         BarrierFilter *phys[2] = {nullptr, nullptr};
         BarrierFilter::SavedState saved[2];
         Tick lastUse = 0;
+        /** Soft-error shadow per parked image: unresolved flip count and
+         *  the pre-corruption copy (mirrors BarrierFilter's shadow). */
+        unsigned rasFlips[2] = {0, 0};
+        BarrierFilter::SavedState rasPristine[2];
     };
 
     int ownerOf(unsigned bank, Addr lineAddr) const;
@@ -122,9 +142,13 @@ class FilterVirtualizer : public FilterResidencyAgent
     void evictVictim(unsigned bank, int exceptId);
     static bool mapCovers(const BarrierFilter::AddressMap &m, Addr lineAddr);
 
+    /** Run the detection model on one parked image's shadow. */
+    void rasCheckSaved(int id, unsigned ctx);
+
     CmpSystem &sys;
     std::vector<VirtGroup> groups;
     uint64_t swapIns = 0;
+    RasDetect rasMode = RasDetect::None;
 };
 
 } // namespace bfsim

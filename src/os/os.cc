@@ -499,6 +499,58 @@ Os::poisonGroup(GroupRecord &g)
     }
 }
 
+void
+Os::handleRasFault(unsigned bank, unsigned filterIdx)
+{
+    StatGroup &st = sys.statistics();
+    FilterBank &fb = sys.filterBank(bank);
+    BarrierFilter &f = fb.filterAt(filterIdx);
+    Tick now = sys.eventQueue().now();
+
+    ++st.counter("os.ras.scrubs");
+    st.probes().ras.notify(
+        {now, RasEventKind::Scrub, bank, filterIdx, -1, f.rasFlipCount()});
+
+    if (fb.rasQuiescent(filterIdx)) {
+        // Between episodes the filter's whole state is reconstructible
+        // from the OS's own bookkeeping (membership, address map, epoch),
+        // so the scrub rewrites it in place and nobody notices.
+        fb.rasRebuild(filterIdx);
+        ++st.counter("os.ras.rebuilds");
+        warn("os: RAS scrub rebuilt quiescent filter " +
+             std::to_string(filterIdx) + " on bank " + std::to_string(bank));
+        return;
+    }
+
+    // Mid-epoch: arrivals recorded only in the corrupted state would be
+    // lost by a rebuild, so the owning group degrades to the software
+    // fallback through the standard poison -> NackError -> trap arc.
+    ++st.counter("os.ras.fallbacks");
+    st.probes().ras.notify(
+        {now, RasEventKind::Fallback, bank, filterIdx, -1, f.rasFlipCount()});
+    warn("os: RAS fault mid-epoch on bank " + std::to_string(bank) +
+         " filter " + std::to_string(filterIdx) +
+         "; degrading its group to software fallback");
+    for (auto &g : groupRecords) {
+        if (g.released || g.bank != bank)
+            continue;
+        bool owns = false;
+        for (unsigned w = 0; w < g.size && !owns; ++w) {
+            BarrierFilter *gf = (g.virtGroupId >= 0 && virt)
+                                    ? virt->filterOf(g.virtGroupId, w)
+                                    : g.direct[w];
+            owns = (gf == &f);
+        }
+        if (owns) {
+            poisonGroup(g);
+            return;
+        }
+    }
+    // No live group claims the filter (e.g. a claim-region or orphaned
+    // one): poison it alone so any straggler gets the NackError.
+    fb.poison(f);
+}
+
 Os::GroupRecord *
 Os::membershipTarget(const BarrierHandle &h, unsigned slot, const char *op)
 {

@@ -254,6 +254,17 @@ class Os
      */
     bool handleBarrierFault(ThreadContext *t, Addr faultPc, bool isFetch);
 
+    /**
+     * Detected-uncorrectable soft error in a filter's state (wired by
+     * CmpSystem as the FilterBank RAS handler when a detection tier is
+     * configured). The scrub-and-rebuild ladder: when the pre-corruption
+     * state shows a quiescent filter, rebuild it in place from the OS's
+     * shadow membership; a filter caught mid-epoch cannot be rebuilt
+     * without losing arrivals, so its whole group degrades to the
+     * Section 3.3.4 poison -> NackError -> software-fallback arc.
+     */
+    void handleRasFault(unsigned bank, unsigned filterIdx);
+
     /** Thread/run-queue snapshot for the watchdog dump. */
     void dumpThreads(std::ostream &os) const;
 

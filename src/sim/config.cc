@@ -108,4 +108,14 @@ OptionMap::getBool(const std::string &key, bool dflt) const
     fatal("option '" + key + "': bad bool '" + v + "'");
 }
 
+std::vector<std::string>
+OptionMap::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values.size());
+    for (const auto &kv : values)
+        out.push_back(kv.first);
+    return out;
+}
+
 } // namespace bfsim

@@ -43,6 +43,9 @@ class OptionMap
     double getDouble(const std::string &key, double dflt) const;
     bool getBool(const std::string &key, bool dflt) const;
 
+    /** Every key present, sorted — for consumers that reject unknowns. */
+    std::vector<std::string> keys() const;
+
     const std::vector<std::string> &positionalArgs() const
     {
         return positional;

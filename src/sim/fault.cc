@@ -7,6 +7,8 @@
 
 #include "sim/hash.hh"
 
+#include "filter/barrier_filter.hh"
+#include "os/filter_virt.hh"
 #include "sim/json.hh"
 #include "sim/log.hh"
 #include "sys/system.hh"
@@ -36,12 +38,26 @@ FaultConfig::validate() const
     prob(descheduleProb, "descheduleprob");
     prob(timeoutProb, "timeoutprob");
     prob(earlyReleaseProb, "earlyreleaseprob");
+    prob(flipProb, "faultflipprob");
+    prob(busFlipProb, "faultbusflipprob");
+    prob(savedFlipProb, "faultsavedflipprob");
     if (enabled && interval == 0)
         fatal("FaultConfig: interval must be positive");
     if (rescheduleDelayMin > rescheduleDelayMax)
         fatal("FaultConfig: reschedule delay bounds inverted");
     if (coreKillCore < -1)
         fatal("FaultConfig: corekillcore must be -1 (random) or a core id");
+    // The parse is the mutual-exclusion check: one knob, one tier.
+    rasDetectFromName(rasDetect);
+    if (flipSite != "fsm" && flipSite != "arrived" && flipSite != "members" &&
+        flipSite != "mask" && flipSite != "fillmeta" && flipSite != "bus" &&
+        flipSite != "saved")
+        fatal("FaultConfig: faultflipsite must be one of fsm|arrived|"
+              "members|mask|fillmeta|bus|saved, got '" + flipSite + "'");
+    if (flipBits == 0 || flipBits > 8)
+        fatal("FaultConfig: faultflipbits must be in [1, 8]");
+    if (busCrc && busCrcBackoff == 0)
+        fatal("FaultConfig: buscrcbackoff must be positive when CRC is on");
 }
 
 void
@@ -67,6 +83,17 @@ FaultConfig::writeJson(JsonWriter &jw) const
     jw.kv("earlyReleaseProb", earlyReleaseProb);
     jw.kv("coreKillAt", coreKillAt);
     jw.kv("coreKillCore", int64_t(coreKillCore));
+    jw.kv("flipProb", flipProb);
+    jw.kv("busFlipProb", busFlipProb);
+    jw.kv("savedFlipProb", savedFlipProb);
+    jw.kv("flipAt", flipAt);
+    jw.kv("flipSite", flipSite);
+    jw.kv("flipBits", flipBits);
+    jw.kv("rasDetect", rasDetect);
+    jw.kv("busCrc", busCrc);
+    jw.kv("busCrcMaxRetries", busCrcMaxRetries);
+    jw.kv("busCrcBackoff", busCrcBackoff);
+    jw.kv("scrubPeriod", scrubPeriod);
     jw.end();
 }
 
@@ -94,6 +121,19 @@ FaultConfig::fromJson(const JsonValue &v)
         f.coreKillAt = Tick(v.at("coreKillAt").number);
         f.coreKillCore = int(v.at("coreKillCore").number);
     }
+    if (v.has("rasDetect")) {
+        f.flipProb = v.at("flipProb").number;
+        f.busFlipProb = v.at("busFlipProb").number;
+        f.savedFlipProb = v.at("savedFlipProb").number;
+        f.flipAt = Tick(v.at("flipAt").number);
+        f.flipSite = v.at("flipSite").str;
+        f.flipBits = unsigned(v.at("flipBits").number);
+        f.rasDetect = v.at("rasDetect").str;
+        f.busCrc = v.at("busCrc").boolean;
+        f.busCrcMaxRetries = unsigned(v.at("busCrcMaxRetries").number);
+        f.busCrcBackoff = Tick(v.at("busCrcBackoff").number);
+        f.scrubPeriod = Tick(v.at("scrubPeriod").number);
+    }
     return f;
 }
 
@@ -106,11 +146,21 @@ FaultInjector::FaultInjector(CmpSystem &system, const FaultConfig &config)
         sys.interconnect().setFaultDelayHook([this] { return busDelay(); });
     if (cfg.memDelayProb > 0.0)
         sys.memory().setFaultDelayHook([this] { return memDelay(); });
+    if (cfg.busFlipProb > 0.0 || (cfg.flipAt > 0 && cfg.flipSite == "bus"))
+        sys.interconnect().setFaultCorruptHook(
+            [this](Msg &m) { return corruptMsg(m); });
     claimFilters();
     scheduleNext();
     if (cfg.coreKillAt > 0)
         sys.eventQueue().schedule(cfg.coreKillAt,
                                   [this] { injectCoreKill(); },
+                                  HostPhase::Fault);
+    if (cfg.flipAt > 0)
+        sys.eventQueue().schedule(cfg.flipAt,
+                                  [this] { injectTargetedFlip(); },
+                                  HostPhase::Fault);
+    if (cfg.scrubPeriod > 0 && cfg.rasDetect != "none")
+        sys.eventQueue().schedule(cfg.scrubPeriod, [this] { scrubTick(); },
                                   HostPhase::Fault);
 }
 
@@ -160,6 +210,13 @@ FaultInjector::decisionPoint()
         injectTimeout();
     if (cfg.earlyReleaseProb > 0.0 && rng.real() < cfg.earlyReleaseProb)
         injectEarlyRelease();
+    if (cfg.flipProb > 0.0 && rng.real() < cfg.flipProb) {
+        static const char *const sites[] = {"fsm", "arrived", "members",
+                                            "mask", "fillmeta"};
+        injectFilterFlip(sites[rng.below(5)], 1);
+    }
+    if (cfg.savedFlipProb > 0.0 && rng.real() < cfg.savedFlipProb)
+        injectSavedFlip(1);
     scheduleNext();
 }
 
@@ -369,6 +426,113 @@ FaultInjector::injectEarlyRelease()
     const Candidate &c = candidates[rng.below(candidates.size())];
     ++sys.statistics().counter("faults.earlyReleases");
     sys.filterBank(c.bank).forceOpen(c.filterIdx);
+}
+
+// ----- soft-error state corruption (docs/ROBUSTNESS.md §11) -------------------
+
+bool
+FaultInjector::injectFilterFlip(const std::string &site, unsigned bits)
+{
+    struct Candidate
+    {
+        unsigned bank;
+        unsigned filterIdx;
+    };
+    std::vector<Candidate> candidates;
+    for (unsigned b = 0; b < sys.numBanks(); ++b) {
+        FilterBank &bank = sys.filterBank(b);
+        for (unsigned i = 0; i < bank.capacity(); ++i) {
+            const BarrierFilter &f = bank.filterAt(i);
+            if (!f.active() || f.isPoisoned())
+                continue;
+            const auto &m = f.addressMap();
+            if (m.arrivalBase >= claimRegionBase &&
+                m.arrivalBase < claimRegionBase + 0x0100'0000)
+                continue; // exhaustion-claimed dummy
+            candidates.push_back({b, i});
+        }
+    }
+    if (candidates.empty())
+        return false;
+    const Candidate &c = candidates[rng.below(candidates.size())];
+    unsigned landed =
+        sys.filterBank(c.bank).injectStateFlips(c.filterIdx, site, bits, rng);
+    if (landed == 0)
+        return false;
+    sys.statistics().counter("faults.stateFlips") += landed;
+    return true;
+}
+
+bool
+FaultInjector::injectSavedFlip(unsigned bits)
+{
+    FilterVirtualizer *virt = sys.os().virtualizer();
+    if (!virt)
+        return false;
+    unsigned landed = virt->injectSavedFlips(bits, rng);
+    if (landed == 0)
+        return false;
+    sys.statistics().counter("faults.savedFlips") += landed;
+    return true;
+}
+
+void
+FaultInjector::injectTargetedFlip()
+{
+    if (sys.allThreadsHalted())
+        return;
+    bool landed;
+    if (cfg.flipSite == "bus") {
+        // Arm the corruption hook: the next message on any link takes
+        // the hit.
+        busFlipArmed = true;
+        landed = true;
+    } else if (cfg.flipSite == "saved") {
+        landed = injectSavedFlip(cfg.flipBits);
+    } else {
+        landed = injectFilterFlip(cfg.flipSite, cfg.flipBits);
+    }
+    // No suitable victim yet (no barrier mid-flight, nothing swapped
+    // out): retry next interval so the flip lands on any run that ever
+    // exercises the target site.
+    if (!landed)
+        sys.eventQueue().schedule(std::max<Tick>(1, cfg.interval),
+                                  [this] { injectTargetedFlip(); },
+                                  HostPhase::Fault);
+}
+
+unsigned
+FaultInjector::corruptMsg(Msg &m)
+{
+    unsigned flips = 0;
+    if (busFlipArmed) {
+        busFlipArmed = false;
+        flips = cfg.flipBits;
+    } else if (cfg.busFlipProb > 0.0 && rng.real() < cfg.busFlipProb) {
+        flips = 1;
+    }
+    if (flips == 0)
+        return 0;
+    // Flip tag bits well above the bank-interleave field: the message
+    // still reaches the link's pre-resolved endpoint, but names a line
+    // its receiver never asked about.
+    for (unsigned i = 0; i < flips; ++i)
+        m.lineAddr ^= Addr(1) << (20 + rng.below(8));
+    sys.statistics().counter("faults.busFlips") += flips;
+    return flips;
+}
+
+void
+FaultInjector::scrubTick()
+{
+    if (sys.allThreadsHalted())
+        return;
+    for (unsigned b = 0; b < sys.numBanks(); ++b)
+        sys.filterBank(b).rasScrub();
+    if (FilterVirtualizer *virt = sys.os().virtualizer())
+        virt->rasScrub();
+    sys.eventQueue().schedule(cfg.scrubPeriod, [this] { scrubTick(); },
+                              HostPhase::Fault);
 }
 
 } // namespace bfsim

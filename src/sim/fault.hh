@@ -15,6 +15,7 @@
 #define BFSIM_SIM_FAULT_HH
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "sim/random.hh"
@@ -26,6 +27,7 @@ namespace bfsim
 class CmpSystem;
 class JsonWriter;
 struct JsonValue;
+struct Msg;
 struct ThreadContext;
 
 /**
@@ -72,6 +74,35 @@ struct FaultConfig
     /** The core to kill, or -1 to pick a busy core from the RNG stream. */
     int coreKillCore = -1;
 
+    // ----- soft-error RAS (docs/ROBUSTNESS.md §11) --------------------------
+
+    /** Per decision point: flip bit(s) of a live filter's state. */
+    double flipProb = 0.0;
+    /** Per bus message: flip payload bits in flight. */
+    double busFlipProb = 0.0;
+    /** Per decision point: flip bit(s) of a swapped-out SavedState. */
+    double savedFlipProb = 0.0;
+    /**
+     * Targeted one-shot flip: from this tick on, plant @ref flipBits
+     * flips at @ref flipSite; retried every decision interval until a
+     * suitable victim exists, so the flip always lands on barrier-active
+     * runs (0 = off).
+     */
+    Tick flipAt = 0;
+    /** Site of the targeted flip: fsm | arrived | members | mask |
+     *  fillmeta | bus | saved. */
+    std::string flipSite = "fsm";
+    unsigned flipBits = 1;     ///< flips per targeted injection
+    /** Detection tier on filter lines / saved images:
+     *  none | parity | secded (mutually exclusive by construction). */
+    std::string rasDetect = "none";
+    bool busCrc = false;       ///< CRC bus messages; corrupt ones retry
+    unsigned busCrcMaxRetries = 3;  ///< retransmissions before giving up
+    Tick busCrcBackoff = 8;    ///< base retry delay; doubles per attempt
+    /** Ticks between ECC scrub sweeps over filter + saved state
+     *  (0 = access-time detection only). */
+    Tick scrubPeriod = 0;
+
     /** Sanity-check ranges; throws FatalError on nonsense. */
     void validate() const;
 
@@ -115,11 +146,25 @@ class FaultInjector
     Tick busDelay();
     Tick memDelay();
 
+    /** Plant @p bits flips at filter-state @p site on a random live
+     *  filter. @return true when the flips landed. */
+    bool injectFilterFlip(const std::string &site, unsigned bits);
+    /** Plant @p bits flips in a random swapped-out SavedState image. */
+    bool injectSavedFlip(unsigned bits);
+    /** The flipAt one-shot: try the configured site; re-arm until hit. */
+    void injectTargetedFlip();
+    /** Periodic ECC scrub sweep over filter and saved-context state. */
+    void scrubTick();
+    /** Bus corruption hook: flips to apply to @p m this transmission. */
+    unsigned corruptMsg(Msg &m);
+
     CmpSystem &sys;
     FaultConfig cfg;
     Rng rng;
     /** Cores with an injected deschedule still in flight. */
     std::vector<bool> descheduleInFlight;
+    /** Targeted bus flip armed (site "bus"): corrupt the next message. */
+    bool busFlipArmed = false;
 };
 
 } // namespace bfsim

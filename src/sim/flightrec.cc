@@ -181,6 +181,23 @@ putEvent(JsonWriter &w, const CoreKillEvent &e)
     w.end();
 }
 
+void
+putEvent(JsonWriter &w, const RasEvent &e)
+{
+    w.beginObject();
+    w.kv("tick", e.tick);
+    w.kv("kind", rasEventKindName(e.kind));
+    // Bus events carry no bank/filter coordinates (~0u sentinels).
+    if (e.bank != ~0u)
+        putBank(w, e.bank);
+    if (e.filterIdx != ~0u)
+        w.kv("filterIdx", e.filterIdx);
+    if (e.groupId >= 0)
+        w.kv("groupId", int64_t(e.groupId));
+    w.kv("flips", e.flips);
+    w.end();
+}
+
 } // namespace
 
 FlightRecorder::FlightRecorder(ProbeBus &bus, size_t depth) : depth_(depth)
@@ -216,6 +233,7 @@ FlightRecorder::FlightRecorder(ProbeBus &bus, size_t depth) : depth_(depth)
         [this](const MembershipEvent &e) { membership.record(e, depth_); });
     bus.coreKill.listen(
         [this](const CoreKillEvent &e) { coreKill.record(e, depth_); });
+    bus.ras.listen([this](const RasEvent &e) { ras.record(e, depth_); });
 }
 
 namespace
@@ -235,7 +253,7 @@ std::vector<FlightRecorder::ChannelStats>
 FlightRecorder::channelStats() const
 {
     std::vector<ChannelStats> out;
-    out.reserve(12);
+    out.reserve(13);
     addStats(out, "coreState", coreState);
     addStats(out, "fillStarved", fillStarved);
     addStats(out, "fillUnblocked", fillUnblocked);
@@ -248,6 +266,7 @@ FlightRecorder::channelStats() const
     addStats(out, "filterSwap", filterSwap);
     addStats(out, "membership", membership);
     addStats(out, "coreKill", coreKill);
+    addStats(out, "ras", ras);
     return out;
 }
 
@@ -297,6 +316,7 @@ FlightRecorder::writeJson(JsonWriter &w) const
     putChannel(w, "filterSwap", filterSwap);
     putChannel(w, "membership", membership);
     putChannel(w, "coreKill", coreKill);
+    putChannel(w, "ras", ras);
     w.end();
     w.end();
 }

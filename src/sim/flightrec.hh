@@ -106,6 +106,7 @@ class FlightRecorder
     Ring<FilterSwapEvent> filterSwap;
     Ring<MembershipEvent> membership;
     Ring<CoreKillEvent> coreKill;
+    Ring<RasEvent> ras;
 };
 
 } // namespace bfsim

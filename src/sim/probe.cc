@@ -21,4 +21,24 @@ coreProbeStateName(CoreProbeState s)
     }
 }
 
+const char *
+rasEventKindName(RasEventKind k)
+{
+    switch (k) {
+      case RasEventKind::InjectedFilter: return "injected-filter";
+      case RasEventKind::InjectedSaved: return "injected-saved";
+      case RasEventKind::InjectedBus: return "injected-bus";
+      case RasEventKind::BusCrcRetry: return "bus-crc-retry";
+      case RasEventKind::BusCrcGiveUp: return "bus-crc-giveup";
+      case RasEventKind::Corrected: return "corrected";
+      case RasEventKind::DetectedUncorrectable:
+        return "detected-uncorrectable";
+      case RasEventKind::Escaped: return "escaped";
+      case RasEventKind::Scrub: return "scrub";
+      case RasEventKind::Rebuilt: return "rebuilt";
+      case RasEventKind::Fallback: return "fallback";
+      default: return "???";
+    }
+}
+
 } // namespace bfsim

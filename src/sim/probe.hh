@@ -193,6 +193,41 @@ struct CoreKillEvent
 };
 
 /**
+ * Where a RAS (soft-error) event sits in the corruption -> detection ->
+ * recovery arc. Injection events mark where the fault engine planted
+ * flips; detection events classify what the parity/SECDED sweep found;
+ * recovery events attribute which rung of the escalation ladder repaired
+ * (or failed to repair) the damage.
+ */
+enum class RasEventKind : uint8_t
+{
+    InjectedFilter,        ///< bit flips planted in live filter state
+    InjectedSaved,         ///< flips planted in a swapped-out SavedState
+    InjectedBus,           ///< flips planted in an in-flight bus message
+    BusCrcRetry,           ///< CRC-failed message nacked and re-sent
+    BusCrcGiveUp,          ///< retry budget exhausted; message dropped
+    Corrected,             ///< SECDED corrected a single-bit flip in place
+    DetectedUncorrectable, ///< parity/SECDED detected but cannot correct
+    Escaped,               ///< corruption passed detection undetected
+    Scrub,                 ///< OS scrub handled a detected filter fault
+    Rebuilt,               ///< quiescent filter rebuilt from shadow state
+    Fallback,              ///< rebuild impossible; escalated to poison arc
+};
+
+const char *rasEventKindName(RasEventKind k);
+
+/** One soft-error lifecycle event (see RasEventKind). */
+struct RasEvent
+{
+    Tick tick;
+    RasEventKind kind;
+    unsigned bank;      ///< L2 bank (or bus index for bus events)
+    unsigned filterIdx; ///< filter in bank (~0u when not filter-scoped)
+    int groupId;        ///< OS virtual-group id (-1 when unknown)
+    unsigned flips;     ///< bit flips involved (planted or observed)
+};
+
+/**
  * One typed event channel. notify() is O(listeners); with no listeners it
  * is one branch.
  */
@@ -262,6 +297,7 @@ class ProbeBus
     ProbeChannel<FilterSwapEvent> filterSwap;
     ProbeChannel<MembershipEvent> membership;
     ProbeChannel<CoreKillEvent> coreKill;
+    ProbeChannel<RasEvent> ras;
 };
 
 } // namespace bfsim

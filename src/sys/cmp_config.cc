@@ -5,15 +5,56 @@
 
 #include "sys/cmp_config.hh"
 
+#include <algorithm>
+
 #include "sim/json.hh"
 #include "sim/log.hh"
 
 namespace bfsim
 {
 
+namespace
+{
+
+/**
+ * Fault/RAS option names are easy to fat-finger (faultflipsight=...),
+ * and a silently ignored injection knob means a campaign that measured
+ * nothing. Any key in the fault* / ras* / buscrc* families that is not
+ * in the recognized set fails loudly; keys outside those families stay
+ * permissive because benches pass their own options (json=, hostprof=)
+ * through the same map.
+ */
+void
+rejectUnknownFaultKeys(const OptionMap &opts)
+{
+    static const char *const known[] = {
+        "faults",          "faultseed",        "faultinterval",
+        "faultbusprob",    "faultbusmax",      "faultmemprob",
+        "faultmemmax",     "faultevictprob",   "faultdeschedprob",
+        "faulttimeoutprob", "faultexhaust",    "faultearlyprob",
+        "faultcorekill",   "faultcorekillcore", "faultflipprob",
+        "faultbusflipprob", "faultsavedflipprob", "faultflipat",
+        "faultflipsite",   "faultflipbits",    "rasdetect",
+        "rasscrub",        "buscrc",           "buscrcretries",
+        "buscrcbackoff",
+    };
+    for (const auto &k : opts.keys()) {
+        if (k.rfind("fault", 0) != 0 && k.rfind("ras", 0) != 0 &&
+            k.rfind("buscrc", 0) != 0)
+            continue;
+        if (std::find_if(std::begin(known), std::end(known),
+                         [&](const char *s) { return k == s; }) ==
+            std::end(known))
+            fatal("CmpConfig: unknown fault/RAS option '" + k + "'");
+    }
+}
+
+} // namespace
+
 CmpConfig
 CmpConfig::fromOptions(const OptionMap &opts)
 {
+    rejectUnknownFaultKeys(opts);
     CmpConfig c;
     c.numCores = unsigned(opts.getUint("cores", c.numCores));
     c.lineBytes = unsigned(opts.getUint("line", c.lineBytes));
@@ -70,6 +111,22 @@ CmpConfig::fromOptions(const OptionMap &opts)
     c.faults.coreKillAt = opts.getUint("faultcorekill", c.faults.coreKillAt);
     c.faults.coreKillCore =
         int(opts.getInt("faultcorekillcore", c.faults.coreKillCore));
+    c.faults.flipProb = opts.getDouble("faultflipprob", c.faults.flipProb);
+    c.faults.busFlipProb =
+        opts.getDouble("faultbusflipprob", c.faults.busFlipProb);
+    c.faults.savedFlipProb =
+        opts.getDouble("faultsavedflipprob", c.faults.savedFlipProb);
+    c.faults.flipAt = opts.getUint("faultflipat", c.faults.flipAt);
+    c.faults.flipSite = opts.getString("faultflipsite", c.faults.flipSite);
+    c.faults.flipBits =
+        unsigned(opts.getUint("faultflipbits", c.faults.flipBits));
+    c.faults.rasDetect = opts.getString("rasdetect", c.faults.rasDetect);
+    c.faults.busCrc = opts.getBool("buscrc", c.faults.busCrc);
+    c.faults.busCrcMaxRetries =
+        unsigned(opts.getUint("buscrcretries", c.faults.busCrcMaxRetries));
+    c.faults.busCrcBackoff =
+        opts.getUint("buscrcbackoff", c.faults.busCrcBackoff);
+    c.faults.scrubPeriod = opts.getUint("rasscrub", c.faults.scrubPeriod);
     c.checkInvariants = opts.getBool("check", c.checkInvariants);
     c.checkInterval = opts.getUint("checkinterval", c.checkInterval);
     c.checkFailFast = opts.getBool("checkfailfast", c.checkFailFast);

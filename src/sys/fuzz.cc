@@ -68,6 +68,23 @@ emitValue(JsonWriter &jw, const JsonValue &v)
     }
 }
 
+/**
+ * Copy the fault-family counters (injection, RAS detection/recovery,
+ * bus CRC) out of the dying machine into the run result, where the
+ * campaign classifier can reach them.
+ */
+void
+harvestFaultCounters(CmpSystem &sys, FuzzRun &r)
+{
+    for (const std::string &name : sys.statistics().counterNames()) {
+        if (name.find("ras") != std::string::npos ||
+            name.rfind("faults.", 0) == 0 ||
+            name.find("crc") != std::string::npos ||
+            name.find("corruptedMsgs") != std::string::npos)
+            r.counters[name] = sys.statistics().counterValue(name);
+    }
+}
+
 } // namespace
 
 KernelId
@@ -268,6 +285,7 @@ runScenarioKind(const FuzzScenario &sc, BarrierKind kind, bool capture)
             r.invariantReport = o.str();
         }
     }
+    harvestFaultCounters(sys, r);
     r.chain = rec.chain();
     if (capture) {
         std::ostringstream o;
@@ -411,6 +429,7 @@ runChurn(const FuzzScenario &sc, BarrierKind kind, bool capture)
             r.invariantReport = o.str();
         }
     }
+    harvestFaultCounters(sys, r);
     r.chain = rec.chain();
     if (capture) {
         std::ostringstream o;
@@ -556,6 +575,8 @@ shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
             &FaultConfig::busDelayProb,    &FaultConfig::memDelayProb,
             &FaultConfig::evictProb,       &FaultConfig::descheduleProb,
             &FaultConfig::timeoutProb,     &FaultConfig::earlyReleaseProb,
+            &FaultConfig::flipProb,        &FaultConfig::busFlipProb,
+            &FaultConfig::savedFlipProb,
         };
         for (auto p : probs) {
             if (best.cfg.faults.*p > 0 && runs < budget) {
@@ -567,6 +588,11 @@ shrinkScenario(const FuzzScenario &sc0, BarrierKind kind, unsigned budget,
         if (best.cfg.faults.exhaustFilters > 0) {
             FuzzScenario c = best;
             c.cfg.faults.exhaustFilters = 0;
+            tryKeep(c);
+        }
+        if (best.cfg.faults.flipAt > 0) {
+            FuzzScenario c = best;
+            c.cfg.faults.flipAt = 0;
             tryKeep(c);
         }
         if (best.cfg.faults.enabled) {

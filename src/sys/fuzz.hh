@@ -26,6 +26,7 @@
 #define BFSIM_SYS_FUZZ_HH
 
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -107,6 +108,12 @@ struct FuzzRun
     std::string firstViolation; ///< message of the first violation
     std::string firstViolationKind; ///< e.g. "EarlyRelease", else empty
     Tick cycles = 0;
+    /**
+     * RAS/fault counters harvested before the machine is torn down
+     * (injection, detection, recovery, CRC traffic) — the campaign
+     * classifier's raw material. Only fault-family counters are kept.
+     */
+    std::map<std::string, uint64_t> counters;
     std::vector<SyncPoint> chain;  ///< hash chain captured over the run
     std::string checkpointJson;    ///< capture-mode only: final checkpoint
     std::string invariantReport;   ///< capture-mode only: JSON report

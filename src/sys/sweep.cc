@@ -139,16 +139,16 @@ parseSweepSpec(const JsonValue &v)
         v, "spec",
         {"name", "mode", "cores", "mechanisms", "seeds", "kernels", "n",
          "reps", "barriers", "loops", "checkpoint", "config", "policy",
-         "sabotage"});
+         "sabotage", "sites", "detect", "bits", "flipAt"});
 
     SweepSpec s;
     if (v.has("name"))
         s.name = v.at("name").str;
     if (v.has("mode"))
         s.mode = v.at("mode").str;
-    if (s.mode != "fig4" && s.mode != "kernel")
-        fatal("sweep spec: mode must be \"fig4\" or \"kernel\", not \"" +
-              s.mode + "\"");
+    if (s.mode != "fig4" && s.mode != "kernel" && s.mode != "ras")
+        fatal("sweep spec: mode must be \"fig4\", \"kernel\", or \"ras\", "
+              "not \"" + s.mode + "\"");
 
     s.cores = numberListAt<unsigned>(v, "cores", s.cores);
     s.mechanisms = stringListAt(v, "mechanisms");
@@ -162,6 +162,12 @@ parseSweepSpec(const JsonValue &v)
     if (v.has("checkpoint"))
         s.checkpoint = v.at("checkpoint").boolean;
     s.config = stringListAt(v, "config");
+    if (v.has("sites"))
+        s.sites = stringListAt(v, "sites");
+    if (v.has("detect"))
+        s.detect = stringListAt(v, "detect");
+    s.bits = numberListAt<unsigned>(v, "bits", s.bits);
+    s.flipAt = uint64_t(numberAt(v, "flipAt", double(s.flipAt)));
 
     if (v.has("policy")) {
         const JsonValue &p = v.at("policy");
@@ -234,6 +240,19 @@ writeSweepSpec(JsonWriter &w, const SweepSpec &s)
     w.kv("barriers", s.barriers);
     w.kv("loops", s.loops);
     w.kv("checkpoint", s.checkpoint);
+    w.key("sites").beginArray();
+    for (const auto &st : s.sites)
+        w.value(st);
+    w.end();
+    w.key("detect").beginArray();
+    for (const auto &d : s.detect)
+        w.value(d);
+    w.end();
+    w.key("bits").beginArray();
+    for (unsigned b : s.bits)
+        w.value(uint64_t(b));
+    w.end();
+    w.kv("flipAt", s.flipAt);
     w.key("config").beginArray();
     for (const auto &c : s.config)
         w.value(c);
@@ -264,9 +283,17 @@ std::vector<SweepRun>
 expandSweep(const SweepSpec &spec)
 {
     std::vector<std::string> mechanisms = spec.mechanisms;
-    if (mechanisms.empty())
-        for (BarrierKind k : allBarrierKinds())
-            mechanisms.push_back(barrierKindName(k));
+    if (mechanisms.empty()) {
+        if (spec.mode == "ras") {
+            // Filter-state injection only means something on the filter
+            // mechanisms; a full-mechanism default would mostly sweep
+            // runs with nothing to corrupt.
+            mechanisms = {"filter-dcache"};
+        } else {
+            for (BarrierKind k : allBarrierKinds())
+                mechanisms.push_back(barrierKindName(k));
+        }
+    }
     // Validate names up front: a typo must fail expansion, not run 999
     // of 1000 runs and then quarantine the rest.
     for (const auto &m : mechanisms)
@@ -283,6 +310,44 @@ expandSweep(const SweepSpec &spec)
                 r.id = "fig4.c" + std::to_string(c) + "." + m;
                 runs.push_back(std::move(r));
             }
+        }
+        return runs;
+    }
+    if (spec.mode == "ras") {
+        static const std::set<std::string> knownSites = {
+            "fsm", "arrived", "members", "mask", "fillmeta", "bus", "saved"};
+        static const std::set<std::string> knownDetect = {"none", "parity",
+                                                          "secded"};
+        for (const auto &st : spec.sites)
+            if (!knownSites.count(st))
+                fatal("sweep spec: unknown injection site \"" + st + "\"");
+        for (const auto &d : spec.detect)
+            if (!knownDetect.count(d))
+                fatal("sweep spec: unknown detection tier \"" + d + "\"");
+        for (const auto &kn : spec.kernels) {
+            kernelIdFromName(kn);
+            for (unsigned c : spec.cores)
+                for (const auto &m : mechanisms)
+                    for (const auto &st : spec.sites)
+                        for (const auto &d : spec.detect)
+                            for (unsigned b : spec.bits)
+                                for (uint64_t sd : spec.seeds) {
+                                    SweepRun r;
+                                    r.mode = spec.mode;
+                                    r.kernel = kn;
+                                    r.cores = c;
+                                    r.mechanism = m;
+                                    r.site = st;
+                                    r.detect = d;
+                                    r.bits = b;
+                                    r.seed = sd;
+                                    r.id = "ras." + kn + ".c" +
+                                           std::to_string(c) + "." + m + "." +
+                                           st + "." + d + ".b" +
+                                           std::to_string(b) + ".s" +
+                                           std::to_string(sd);
+                                    runs.push_back(std::move(r));
+                                }
         }
         return runs;
     }
@@ -337,6 +402,73 @@ writeHostSection(JsonWriter &w, double wallSec, uint64_t simCycles,
         hp->report(simCycles, instructions).writeJson(w);
     }
     w.end();
+}
+
+/** Sum of the harvested counters whose name ends in @p suffix. */
+uint64_t
+sumBySuffix(const std::map<std::string, uint64_t> &counters,
+            const std::string &suffix)
+{
+    uint64_t total = 0;
+    for (const auto &[name, value] : counters) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            total += value;
+    }
+    return total;
+}
+
+/** Flips actually planted during the run (all three injection paths). */
+uint64_t
+rasInjectedCount(const FuzzRun &fr)
+{
+    uint64_t total = 0;
+    for (const char *name :
+         {"faults.stateFlips", "faults.savedFlips", "faults.busFlips"}) {
+        auto it = fr.counters.find(name);
+        if (it != fr.counters.end())
+            total += it->second;
+    }
+    return total;
+}
+
+/** Detection events: ECC corrections, detected-uncorrectables, and bus
+ *  CRC mismatches caught at the receiver. */
+uint64_t
+rasDetectedCount(const FuzzRun &fr)
+{
+    return sumBySuffix(fr.counters, ".rasDetected") +
+           sumBySuffix(fr.counters, ".rasCorrected") +
+           sumBySuffix(fr.counters, ".crcRetries") +
+           sumBySuffix(fr.counters, ".crcGiveUps");
+}
+
+/**
+ * Campaign outcome taxonomy. A run is judged by (a) whether the machine
+ * survived, (b) whether the result matched the oracle, and (c) whether
+ * the detection tier ever fired:
+ *   crash               the run threw (watchdog, deadlock, panic)
+ *   detected-recovered  detection fired and the run still finished right
+ *   undetected-benign   flips landed, nothing noticed, result still right
+ *   no-injection        nothing landed (workload finished pre-flipAt)
+ *   detected-unrecovered detection fired but the run ended wrong
+ *   silent-corruption   wrong result and the tier never noticed — the
+ *                        outcome the campaign exists to count
+ */
+std::string
+classifyRasRun(const FuzzRun &fr, uint64_t injected, uint64_t detected)
+{
+    if (!fr.exception.empty())
+        return "crash";
+    const bool clean = fr.completed && fr.correct && !fr.barrierError &&
+                       fr.violations == 0;
+    if (clean) {
+        if (detected > 0)
+            return "detected-recovered";
+        return injected > 0 ? "undetected-benign" : "no-injection";
+    }
+    return detected > 0 ? "detected-unrecovered" : "silent-corruption";
 }
 
 } // namespace
@@ -428,6 +560,74 @@ executeSweepRun(const SweepSpec &spec, const std::string &runId,
         w.kv("arrivalSkewMean", r.arrivalSkewMean);
         w.end();
         writeHostSection(w, wall, uint64_t(r.totalCycles), 0);
+    } else if (run.mode == "ras") {
+        w.kv("site", run.site);
+        w.kv("detect", run.detect);
+        w.kv("bits", run.bits);
+        w.kv("seed", run.seed);
+
+        FuzzScenario sc;
+        sc.cfg = cfg;
+        sc.cfg.filterRecovery = true;
+        sc.cfg.checkInvariants = true;
+        if (sc.cfg.watchdogInterval == 0)
+            sc.cfg.watchdogInterval = 2'000'000;
+        sc.cfg.faults.enabled = true;
+        sc.cfg.faults.seed = run.seed;
+        sc.cfg.faults.flipAt = spec.flipAt;
+        sc.cfg.faults.flipSite = run.site;
+        sc.cfg.faults.flipBits = run.bits;
+        // The "bus" site is protected by the message CRC, not the filter
+        // parity/ECC tier; any tier but "none" arms it.
+        sc.cfg.faults.rasDetect = run.site == "bus" ? "none" : run.detect;
+        sc.cfg.faults.busCrc = run.site == "bus" && run.detect != "none";
+        sc.kernel = kernelIdFromName(run.kernel);
+        sc.params.n = spec.n;
+        sc.params.reps = spec.reps;
+        sc.params.seed = run.seed;
+        sc.threads = run.cores;
+
+        FuzzRun fr;
+        double t0 = nowSec();
+        if (run.site == "saved") {
+            // Parked-image corruption needs a context table with
+            // swapped-out images to strike: oversubscribe one physical
+            // filter with a virtualized churn workload.
+            sc.churn.enabled = true;
+            sc.churn.groups = std::max(2u, run.cores / 2);
+            sc.churn.threadsPerGroup = 2;
+            sc.churn.epochs = 10;
+            sc.churn.leaveAfter.assign(sc.churn.groups * 2, 0);
+            sc.cfg.numCores = sc.churn.groups * 2;
+            sc.threads = sc.cfg.numCores;
+            sc.cfg.filterVirtual = true;
+            sc.cfg.filtersPerBank = 1;
+            sc.cfg.l2Banks = 1;
+            fr = runChurn(sc, kind, false);
+        } else {
+            fr = runScenarioKind(sc, kind, false);
+        }
+        double wall = nowSec() - t0;
+
+        // Unlike the kernel mode, a crashed run is campaign data, not a
+        // worker failure: classify it and publish the artifact.
+        const uint64_t injected = rasInjectedCount(fr);
+        const uint64_t detected = rasDetectedCount(fr);
+        w.key("result").beginObject();
+        w.kv("cycles", uint64_t(fr.cycles));
+        w.kv("correct", fr.correct);
+        w.kv("completed", fr.completed);
+        w.kv("violations", fr.violations);
+        w.kv("exception", fr.exception);
+        w.kv("classification", classifyRasRun(fr, injected, detected));
+        w.kv("injected", injected);
+        w.kv("detected", detected);
+        w.key("counters").beginObject();
+        for (const auto &[name, value] : fr.counters)
+            w.kv(name, value);
+        w.end();
+        w.end();
+        writeHostSection(w, wall, uint64_t(fr.cycles), 0);
     } else if (spec.checkpoint) {
         // Long-run mode: execute under the PR 3 snapshot recorder via the
         // fuzz harness and embed a replayable checkpoint in the artifact.
@@ -834,9 +1034,14 @@ writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
             w.kv("mode", r.run.mode);
             w.kv("mechanism", r.run.mechanism);
             w.kv("cores", r.run.cores);
-            if (r.run.mode == "kernel") {
+            if (r.run.mode != "fig4") {
                 w.kv("kernel", r.run.kernel);
                 w.kv("seed", r.run.seed);
+            }
+            if (r.run.mode == "ras") {
+                w.kv("site", r.run.site);
+                w.kv("detect", r.run.detect);
+                w.kv("bits", r.run.bits);
             }
             w.key("result");
             // Only the deterministic simulated metrics cross into the
@@ -846,6 +1051,62 @@ writeAggregates(const SweepSpec &spec, const std::vector<DriverRun> &runs,
             w.end();
         }
         w.end();
+        if (spec.mode == "ras") {
+            // Coverage rollup per detection tier — the campaign's whole
+            // point, and what compareRasCoverage gates on.
+            struct Cov
+            {
+                uint64_t runs = 0, injectedRuns = 0, detectedRuns = 0;
+                uint64_t recovered = 0, silent = 0, crashes = 0;
+                uint64_t unrecovered = 0, benign = 0;
+            };
+            std::map<std::string, Cov> byTier;
+            for (const DriverRun &r : runs) {
+                if (r.status != RunStatus::Done)
+                    continue;
+                JsonValue art = parseJson(readFileToString(r.artifactPath));
+                const JsonValue &res = art.at("result");
+                Cov &c = byTier[r.run.detect];
+                c.runs++;
+                if (uint64_t(res.at("injected").number) > 0)
+                    c.injectedRuns++;
+                if (uint64_t(res.at("detected").number) > 0)
+                    c.detectedRuns++;
+                const std::string cls = res.at("classification").str;
+                if (cls == "detected-recovered")
+                    c.recovered++;
+                else if (cls == "silent-corruption")
+                    c.silent++;
+                else if (cls == "crash")
+                    c.crashes++;
+                else if (cls == "detected-unrecovered")
+                    c.unrecovered++;
+                else if (cls == "undetected-benign")
+                    c.benign++;
+            }
+            w.key("rasCoverage").beginObject();
+            for (const auto &[tier, c] : byTier) {
+                w.key(tier).beginObject();
+                w.kv("runs", c.runs);
+                w.kv("injectedRuns", c.injectedRuns);
+                w.kv("detectedRuns", c.detectedRuns);
+                w.kv("detectedFraction",
+                     c.injectedRuns
+                         ? double(c.detectedRuns) / double(c.injectedRuns)
+                         : 0.0);
+                w.kv("recovered", c.recovered);
+                w.kv("recoveredFraction",
+                     c.injectedRuns
+                         ? double(c.recovered) / double(c.injectedRuns)
+                         : 0.0);
+                w.kv("silent", c.silent);
+                w.kv("crashes", c.crashes);
+                w.kv("unrecovered", c.unrecovered);
+                w.kv("benign", c.benign);
+                w.end();
+            }
+            w.end();
+        }
         w.end();
     });
 
@@ -1224,6 +1485,67 @@ compareAggregate(const JsonValue &current, const JsonValue &baseline,
 }
 
 RegressionReport
+compareRasCoverage(const JsonValue &current, const JsonValue &baseline,
+                   double tolerance)
+{
+    RegressionReport report;
+    if (!current.has("rasCoverage")) {
+        report.missing.push_back("rasCoverage");
+        report.failed = true;
+        return report;
+    }
+    const JsonValue &cur = current.at("rasCoverage");
+
+    // Hard floors, independent of any baseline: the strongest tier must
+    // detect at least 95% of runs where a flip landed, and must never
+    // let corruption through silently.
+    if (cur.has("secded")) {
+        const JsonValue &s = cur.at("secded");
+        RegressionEntry d;
+        d.id = "secded";
+        d.metric = "detectedFraction";
+        d.baseline = 0.95;
+        d.current = s.at("detectedFraction").number;
+        d.ratio = d.current / d.baseline;
+        d.regressed = d.current < d.baseline;
+        report.failed |= d.regressed;
+        report.entries.push_back(d);
+
+        RegressionEntry si;
+        si.id = "secded";
+        si.metric = "silent";
+        si.baseline = 0;
+        si.current = s.at("silent").number;
+        si.ratio = 1.0;
+        si.regressed = si.current > 0;
+        report.failed |= si.regressed;
+        report.entries.push_back(si);
+    }
+
+    // Baseline deltas: a tier's recovered fraction must not fall beyond
+    // tolerance, and a tier present in the baseline must still exist.
+    if (baseline.has("rasCoverage")) {
+        for (const auto &[tier, b] : baseline.at("rasCoverage").obj) {
+            if (!cur.has(tier)) {
+                report.missing.push_back(tier);
+                report.failed = true;
+                continue;
+            }
+            RegressionEntry e;
+            e.id = tier;
+            e.metric = "recoveredFraction";
+            e.baseline = b.at("recoveredFraction").number;
+            e.current = cur.at(tier).at("recoveredFraction").number;
+            e.ratio = e.baseline > 0 ? e.current / e.baseline : 1.0;
+            e.regressed = e.current < e.baseline * (1.0 - tolerance);
+            report.failed |= e.regressed;
+            report.entries.push_back(e);
+        }
+    }
+    return report;
+}
+
+RegressionReport
 compareSimspeed(const JsonValue &current, const JsonValue &baseline,
                 double tolerance)
 {
@@ -1269,7 +1591,8 @@ gateAgainstBaselines(const OptionMap &opts, const std::string &aggregatePath,
 {
     const double cycleTol = opts.getDouble("cycletol", 0.05);
     const double mipsTol = opts.getDouble("mipstol", 0.8);
-    RegressionReport cycles, speed;
+    const double rasTol = opts.getDouble("rastol", 0.05);
+    RegressionReport cycles, speed, ras;
     bool compared = false;
 
     std::string baseline = opts.getString("baseline", "");
@@ -1290,6 +1613,15 @@ gateAgainstBaselines(const OptionMap &opts, const std::string &aggregatePath,
                   << speed.summary();
         compared = true;
     }
+    std::string rasBaseline = opts.getString("rasbaseline", "");
+    if (!rasBaseline.empty()) {
+        ras = compareRasCoverage(
+            loadJsonFile(aggregatePath, "aggregate"),
+            loadJsonFile(rasBaseline, "ras baseline"), rasTol);
+        std::cout << "ras coverage gate (" << rasBaseline << "):\n"
+                  << ras.summary();
+        compared = true;
+    }
 
     std::string reportPath = opts.getString("report", "");
     if (!reportPath.empty() && compared) {
@@ -1299,21 +1631,25 @@ gateAgainstBaselines(const OptionMap &opts, const std::string &aggregatePath,
             cycles.writeJson(w);
             w.key("simspeed");
             speed.writeJson(w);
-            w.kv("failed", cycles.failed || speed.failed);
+            w.key("ras");
+            ras.writeJson(w);
+            w.kv("failed", cycles.failed || speed.failed || ras.failed);
             w.end();
         });
         std::cout << "wrote " << reportPath << "\n";
     }
-    return (cycles.failed || speed.failed) ? 1 : 0;
+    return (cycles.failed || speed.failed || ras.failed) ? 1 : 0;
 }
 
 const char *usage =
     "usage:\n"
     "  sweep spec=FILE out=DIR [resume=1] [jobs=N] [timeout=SEC]\n"
     "        [maxattempts=N] [baseline=FILE] [speedbaseline=FILE]\n"
-    "        [cycletol=0.05] [mipstol=0.8] [report=FILE]\n"
-    "  sweep compare aggregate=FILE baseline=FILE [simspeed=FILE\n"
-    "        speedbaseline=FILE] [cycletol=] [mipstol=] [report=FILE]\n"
+    "        [rasbaseline=FILE] [cycletol=0.05] [mipstol=0.8]\n"
+    "        [rastol=0.05] [report=FILE]\n"
+    "  sweep compare aggregate=FILE [baseline=FILE] [simspeed=FILE\n"
+    "        speedbaseline=FILE] [rasbaseline=FILE] [cycletol=] [mipstol=]\n"
+    "        [rastol=] [report=FILE]\n"
     "exit: 0 ok, 1 regression, 2 usage/IO error, 3 degraded (quarantine),\n"
     "      130 interrupted (resumable with resume=1)\n";
 
@@ -1343,7 +1679,8 @@ sweepCliEntry(int argc, char **argv)
         if (compareOnly) {
             const double cycleTol = opts.getDouble("cycletol", 0.05);
             const double mipsTol = opts.getDouble("mipstol", 0.8);
-            RegressionReport cycles, speed;
+            const double rasTol = opts.getDouble("rastol", 0.05);
+            RegressionReport cycles, speed, ras;
             bool any = false;
             std::string aggregate = opts.getString("aggregate", "");
             std::string baseline = opts.getString("baseline", "");
@@ -1363,6 +1700,14 @@ sweepCliEntry(int argc, char **argv)
                 std::cout << speed.summary();
                 any = true;
             }
+            std::string rasBaseline = opts.getString("rasbaseline", "");
+            if (!aggregate.empty() && !rasBaseline.empty()) {
+                ras = compareRasCoverage(
+                    loadJsonFile(aggregate, "aggregate"),
+                    loadJsonFile(rasBaseline, "ras baseline"), rasTol);
+                std::cout << ras.summary();
+                any = true;
+            }
             if (!any) {
                 std::cerr << usage;
                 return 2;
@@ -1375,11 +1720,14 @@ sweepCliEntry(int argc, char **argv)
                     cycles.writeJson(w);
                     w.key("simspeed");
                     speed.writeJson(w);
-                    w.kv("failed", cycles.failed || speed.failed);
+                    w.key("ras");
+                    ras.writeJson(w);
+                    w.kv("failed",
+                         cycles.failed || speed.failed || ras.failed);
                     w.end();
                 });
             }
-            return (cycles.failed || speed.failed) ? 1 : 0;
+            return (cycles.failed || speed.failed || ras.failed) ? 1 : 0;
         }
 
         std::string specPath = opts.getString("spec", "");

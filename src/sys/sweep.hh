@@ -72,7 +72,8 @@ struct SweepSabotage
 struct SweepSpec
 {
     std::string name = "sweep";
-    /** "fig4" (barrier-latency microbench) or "kernel" (full kernels). */
+    /** "fig4" (barrier-latency microbench), "kernel" (full kernels), or
+     *  "ras" (soft-error fault campaign; see docs/ROBUSTNESS.md §11). */
     std::string mode = "fig4";
 
     // Grid axes; the cross product expands into runs.
@@ -93,6 +94,20 @@ struct SweepSpec
     /** kernel mode: execute under the PR 3 snapshot recorder and embed
      *  a replayable checkpoint in the run artifact. */
     bool checkpoint = false;
+
+    // ras mode: the fault-campaign axes (sites x detection tiers x bit
+    // multiplicities, crossed with kernels/cores/mechanisms/seeds).
+    /** Injection sites: fsm | arrived | members | mask | fillmeta | bus |
+     *  saved ("saved" runs a virtualized churn workload so the context
+     *  table holds swapped-out images to corrupt). */
+    std::vector<std::string> sites = {"fsm", "arrived", "mask", "bus"};
+    /** Detection tiers swept: none | parity | secded (for the "bus"
+     *  site, any tier but "none" arms the message CRC instead). */
+    std::vector<std::string> detect = {"none", "parity", "secded"};
+    /** Flips planted per injection. */
+    std::vector<unsigned> bits = {1};
+    /** Tick of the targeted injection (faults.flipAt). */
+    uint64_t flipAt = 2000;
 
     /** Raw "key=value" CmpConfig overrides applied to every run. */
     std::vector<std::string> config;
@@ -133,8 +148,11 @@ struct SweepRun
     std::string mode;       ///< copied from the spec
     std::string mechanism;  ///< barrier kind name
     unsigned cores = 0;
-    std::string kernel;     ///< kernel mode only
-    uint64_t seed = 0;      ///< kernel input seed (kernel mode)
+    std::string kernel;     ///< kernel/ras modes
+    uint64_t seed = 0;      ///< kernel input seed (kernel/ras modes)
+    std::string site;       ///< ras mode: injection site
+    std::string detect;     ///< ras mode: detection tier
+    unsigned bits = 1;      ///< ras mode: flips per injection
 };
 
 /**
@@ -259,6 +277,18 @@ RegressionReport compareAggregate(const JsonValue &current,
 RegressionReport compareSimspeed(const JsonValue &current,
                                  const JsonValue &baseline,
                                  double tolerance);
+
+/**
+ * Gate a ras-mode aggregate's "rasCoverage" section. Two baseline-free
+ * hard floors: under secded, at least 95% of injected runs must detect
+ * their fault, and silent corruptions must be zero. On top of that,
+ * every detection tier present in @p baseline must keep its recovered
+ * fraction within @p tolerance of the baseline value, and a tier
+ * missing from the current aggregate fails the gate.
+ */
+RegressionReport compareRasCoverage(const JsonValue &current,
+                                    const JsonValue &baseline,
+                                    double tolerance);
 
 /**
  * Full CLI (driver / worker / compare modes); see tools/sweep.cc for

@@ -132,8 +132,26 @@ CmpSystem::CmpSystem(const CmpConfig &config)
             *this, cfg.checkInterval, cfg.checkFailFast);
     }
 
-    if (cfg.faults.enabled)
+    if (cfg.faults.enabled) {
+        // RAS detection/recovery wiring precedes injector construction so
+        // the very first decision point already sees armed detectors.
+        RasDetect rasMode = rasDetectFromName(cfg.faults.rasDetect);
+        if (rasMode != RasDetect::None) {
+            for (unsigned b = 0; b < filterBanks.size(); ++b) {
+                filterBanks[b]->setRasDetect(rasMode);
+                filterBanks[b]->setRasHandler([this, b](unsigned idx) {
+                    osPtr->handleRasFault(b, idx);
+                });
+            }
+            if (osPtr->virtualizer())
+                osPtr->virtualizer()->setRasDetect(rasMode);
+        }
+        if (cfg.faults.busCrc) {
+            ic.setBusCrc(true, cfg.faults.busCrcMaxRetries,
+                         cfg.faults.busCrcBackoff);
+        }
         injector = std::make_unique<FaultInjector>(*this, cfg.faults);
+    }
 }
 
 Tick

@@ -47,7 +47,7 @@ TEST(FlightRecorderTest, RingRetainsLastKAndCountsDrops)
     stats.probes().coreKill.notify({Tick(99), CoreId(1), ThreadId(1)});
 
     auto all = fr.channelStats();
-    ASSERT_EQ(all.size(), 12u); // one per ProbeBus channel
+    ASSERT_EQ(all.size(), 13u); // one per ProbeBus channel
     const auto &sched = channel(all, "sched");
     EXPECT_EQ(sched.seen, 10u);
     EXPECT_EQ(sched.retained, 4u);

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Soft-error RAS layer tests (docs/ROBUSTNESS.md §11).
+ *
+ * Unit level: the detection tiers on filter state lines — SECDED
+ * corrects a single flip in place, parity sees odd counts and misses
+ * even ones, detection runs at access time *before* the FSM walk can
+ * commit corrupted state (including the last-arrival open), and the
+ * scrub-and-rebuild escalation restores a quiescent filter exactly.
+ *
+ * System level: the OS ladder end to end under targeted injection — a
+ * mid-kernel flip is scrubbed and the run still completes correctly, a
+ * flip planted in a swapped-out SavedState image is caught at swap-in,
+ * a CRC-protected bus message survives corruption through retransmit,
+ * and identical seeds replay to identical counters.
+ *
+ * Plus the knob surface: FaultConfig::validate rejects every malformed
+ * RAS knob, misspelled fault/ras/buscrc CLI keys fail loudly, and the
+ * RasEvent channel shows up in diagjson= flight-recorder dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "filter/barrier_filter.hh"
+#include "sim/config.hh"
+#include "sim/fault.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sys/cmp_config.hh"
+#include "sys/fuzz.hh"
+#include "sys/system.hh"
+
+using namespace bfsim;
+
+namespace
+{
+
+constexpr Addr arrBase = 0x1000'0000;
+constexpr Addr exitBase = 0x1000'4000;
+constexpr Addr stride = 256; // 4 banks x 64B lines
+
+BarrierFilter::AddressMap
+makeMap(unsigned threads)
+{
+    BarrierFilter::AddressMap m;
+    m.arrivalBase = arrBase;
+    m.exitBase = exitBase;
+    m.strideBytes = stride;
+    m.numThreads = threads;
+    return m;
+}
+
+Msg
+fillMsg(Addr lineAddr, CoreId core)
+{
+    Msg m;
+    m.type = MsgType::GetS;
+    m.lineAddr = lineAddr;
+    m.core = core;
+    return m;
+}
+
+struct RasHarness
+{
+    EventQueue eq;
+    StatGroup st;
+    FilterBank bank;
+    std::vector<Msg> nacked;
+    std::vector<unsigned> faulted; ///< filter idxs the RAS handler saw
+    Rng rng{12345};
+
+    explicit RasHarness(RasDetect mode, bool installHandler = true)
+        : bank(eq, st, "filt", 2, false, 0)
+    {
+        bank.setReleaseHandler([](const Msg &) {});
+        bank.setNackHandler([this](const Msg &m) { nacked.push_back(m); });
+        bank.setRasDetect(mode);
+        if (installHandler)
+            bank.setRasHandler(
+                [this](unsigned idx) { faulted.push_back(idx); });
+    }
+
+    uint64_t ctr(const std::string &suffix) const
+    {
+        return st.counterValue("filt." + suffix);
+    }
+};
+
+/** The ras-mode sweep worker's scenario, in miniature. */
+FuzzScenario
+rasScenario(const std::string &site, const std::string &detect,
+            unsigned bits, uint64_t seed)
+{
+    FuzzScenario sc;
+    sc.cfg.numCores = 4;
+    sc.cfg.filterRecovery = true;
+    sc.cfg.checkInvariants = true;
+    sc.cfg.watchdogInterval = 2'000'000;
+    sc.cfg.faults.enabled = true;
+    sc.cfg.faults.seed = seed;
+    sc.cfg.faults.flipAt = 2000;
+    sc.cfg.faults.flipSite = site;
+    sc.cfg.faults.flipBits = bits;
+    sc.cfg.faults.rasDetect = site == "bus" ? "none" : detect;
+    sc.cfg.faults.busCrc = site == "bus" && detect != "none";
+    sc.kernel = KernelId::Livermore3;
+    sc.params.n = 64;
+    sc.params.reps = 1;
+    sc.params.seed = seed;
+    sc.threads = 4;
+    return sc;
+}
+
+uint64_t
+ctrOr0(const FuzzRun &r, const std::string &name)
+{
+    auto it = r.counters.find(name);
+    return it == r.counters.end() ? 0 : it->second;
+}
+
+uint64_t
+sumBySuffix(const FuzzRun &r, const std::string &suffix)
+{
+    uint64_t sum = 0;
+    for (const auto &[name, value] : r.counters) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            sum += value;
+    }
+    return sum;
+}
+
+} // namespace
+
+// ----- knob validation (FaultConfig::validate) -------------------------------
+
+TEST(RasConfig, ValidateRejectsOutOfRangeFlipProbs)
+{
+    FaultConfig fc;
+    fc.flipProb = 1.5;
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.busFlipProb = -0.1;
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.savedFlipProb = 2.0;
+    EXPECT_THROW(fc.validate(), FatalError);
+}
+
+TEST(RasConfig, ValidateRejectsBadSiteTierAndBits)
+{
+    FaultConfig fc;
+    fc.flipSite = "fsmm";
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.flipBits = 0;
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.flipBits = 9;
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.rasDetect = "hamming"; // not a modeled tier
+    EXPECT_THROW(fc.validate(), FatalError);
+    fc = FaultConfig{};
+    fc.busCrc = true;
+    fc.busCrcBackoff = 0;
+    EXPECT_THROW(fc.validate(), FatalError);
+}
+
+TEST(RasConfig, ValidateAcceptsTheFullRasSurface)
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.flipProb = 0.01;
+    fc.busFlipProb = 0.01;
+    fc.savedFlipProb = 0.01;
+    fc.flipAt = 5000;
+    fc.flipSite = "saved";
+    fc.flipBits = 3;
+    fc.rasDetect = "secded";
+    fc.busCrc = true;
+    fc.busCrcMaxRetries = 5;
+    fc.busCrcBackoff = 16;
+    fc.scrubPeriod = 1000;
+    EXPECT_NO_THROW(fc.validate());
+}
+
+// A typo in a fault/RAS knob must never silently run a clean machine:
+// the campaign would report fabricated coverage.
+TEST(RasConfig, MisspelledCliKeysFailLoudly)
+{
+    auto reject = [](const char *kv) {
+        auto opts = OptionMap::fromStrings({kv});
+        EXPECT_THROW(CmpConfig::fromOptions(opts), FatalError) << kv;
+    };
+    reject("faultflipporb=0.1"); // faultflipprob
+    reject("faultfliptat=2000"); // faultflipat
+    reject("rasdetcet=parity");  // rasdetect
+    reject("rascrub=1000");      // rasscrub
+    reject("buscrcretry=2");     // buscrcretries
+    reject("faultsavedflip=0.5");
+}
+
+TEST(RasConfig, RasCliKeysParseToConfig)
+{
+    auto opts = OptionMap::fromStrings(
+        {"faults=true", "faultflipprob=0.25", "faultbusflipprob=0.5",
+         "faultsavedflipprob=0.75", "faultflipat=4000",
+         "faultflipsite=arrived", "faultflipbits=2", "rasdetect=secded",
+         "rasscrub=500", "buscrc=true", "buscrcretries=7",
+         "buscrcbackoff=32"});
+    CmpConfig cfg = CmpConfig::fromOptions(opts);
+    EXPECT_TRUE(cfg.faults.enabled);
+    EXPECT_DOUBLE_EQ(cfg.faults.flipProb, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.faults.busFlipProb, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.faults.savedFlipProb, 0.75);
+    EXPECT_EQ(cfg.faults.flipAt, Tick(4000));
+    EXPECT_EQ(cfg.faults.flipSite, "arrived");
+    EXPECT_EQ(cfg.faults.flipBits, 2u);
+    EXPECT_EQ(cfg.faults.rasDetect, "secded");
+    EXPECT_EQ(cfg.faults.scrubPeriod, Tick(500));
+    EXPECT_TRUE(cfg.faults.busCrc);
+    EXPECT_EQ(cfg.faults.busCrcMaxRetries, 7u);
+    EXPECT_EQ(cfg.faults.busCrcBackoff, Tick(32));
+}
+
+// ----- detection tiers on filter state ---------------------------------------
+
+TEST(RasDetection, SecdedCorrectsSingleFlipInPlace)
+{
+    RasHarness h(RasDetect::Secded);
+    auto *f = h.bank.allocate(makeMap(2));
+    ASSERT_NE(f, nullptr);
+
+    ASSERT_EQ(h.bank.injectStateFlips(0, "arrived", 1, h.rng), 1u);
+    EXPECT_NE(f->arrivedCount(), 0u); // the flip really landed
+    EXPECT_EQ(f->rasFlipCount(), 1u);
+
+    h.bank.rasScrub();
+    EXPECT_EQ(f->arrivedCount(), 0u); // corrected back to pristine
+    EXPECT_EQ(f->rasFlipCount(), 0u);
+    EXPECT_EQ(h.ctr("rasCorrected"), 1u);
+    EXPECT_TRUE(h.faulted.empty()); // corrected faults never escalate
+    EXPECT_FALSE(f->isPoisoned());
+}
+
+TEST(RasDetection, SecdedDetectsDoubleFlipAsUncorrectable)
+{
+    RasHarness h(RasDetect::Secded);
+    h.bank.allocate(makeMap(2));
+    ASSERT_EQ(h.bank.injectStateFlips(0, "fsm", 2, h.rng), 2u);
+    h.bank.rasScrub();
+    EXPECT_EQ(h.ctr("rasDetected"), 1u);
+    EXPECT_EQ(h.ctr("rasCorrected"), 0u);
+    ASSERT_EQ(h.faulted.size(), 1u); // escalated to the OS hook
+    EXPECT_EQ(h.faulted[0], 0u);
+}
+
+TEST(RasDetection, ParityDetectsOddFlipsAndMissesEven)
+{
+    RasHarness h(RasDetect::Parity);
+    auto *f = h.bank.allocate(makeMap(2));
+
+    // Two flips alias back to a valid parity codeword: the corruption
+    // escapes and becomes architectural state.
+    ASSERT_EQ(h.bank.injectStateFlips(0, "fsm", 2, h.rng), 2u);
+    h.bank.rasScrub();
+    EXPECT_EQ(h.ctr("rasEscapes"), 1u);
+    EXPECT_TRUE(h.faulted.empty());
+    EXPECT_EQ(f->rasFlipCount(), 0u); // shadow dropped, flips resolved
+
+    // One more flip is odd: detected, uncorrectable, escalated.
+    ASSERT_EQ(h.bank.injectStateFlips(0, "mask", 1, h.rng), 1u);
+    h.bank.rasScrub();
+    EXPECT_EQ(h.ctr("rasDetected"), 1u);
+    ASSERT_EQ(h.faulted.size(), 1u);
+}
+
+TEST(RasDetection, NoneTierTurnsEveryFlipIntoEscape)
+{
+    RasHarness h(RasDetect::None);
+    h.bank.allocate(makeMap(2));
+    ASSERT_EQ(h.bank.injectStateFlips(0, "members", 1, h.rng), 1u);
+    h.bank.rasScrub();
+    EXPECT_EQ(h.ctr("rasEscapes"), 1u);
+    EXPECT_EQ(h.ctr("rasDetected"), 0u);
+    EXPECT_TRUE(h.faulted.empty());
+}
+
+TEST(RasDetection, InactiveFilterHasNothingToCorrupt)
+{
+    RasHarness h(RasDetect::Parity);
+    // Filter 1 was never allocated: the fault finds no victim.
+    EXPECT_EQ(h.bank.injectStateFlips(1, "fsm", 1, h.rng), 0u);
+    EXPECT_EQ(h.ctr("rasInjectedFlips"), 0u);
+}
+
+// ----- scrub-and-rebuild escalation ------------------------------------------
+
+TEST(RasRecovery, QuiescentFilterRebuildsExactlyAndKeepsWorking)
+{
+    RasHarness h(RasDetect::Parity, false);
+    auto *f = h.bank.allocate(makeMap(2));
+    h.bank.setRasHandler([&](unsigned idx) {
+        ASSERT_TRUE(h.bank.rasQuiescent(idx));
+        h.bank.rasRebuild(idx);
+    });
+
+    // Corrupt the member count of an idle filter (no arrivals in
+    // flight): the pristine shadow alone can reconstruct it.
+    ASSERT_EQ(h.bank.injectStateFlips(0, "members", 1, h.rng), 1u);
+    EXPECT_NE(f->memberCount(), 2u);
+    h.bank.rasScrub();
+    EXPECT_EQ(f->memberCount(), 2u);
+    EXPECT_EQ(h.ctr("rasRebuilds"), 1u);
+    EXPECT_FALSE(f->isPoisoned());
+
+    // The rebuilt filter still runs a full episode.
+    h.bank.onInvalidate(arrBase);
+    h.bank.onInvalidate(arrBase + stride);
+    EXPECT_EQ(f->openCount(), 1u);
+}
+
+TEST(RasRecovery, MidEpochFaultIsNotRebuildable)
+{
+    RasHarness h(RasDetect::Parity);
+    h.bank.allocate(makeMap(2));
+    h.bank.onInvalidate(arrBase); // one arrival in flight
+    ASSERT_EQ(h.bank.injectStateFlips(0, "arrived", 1, h.rng), 1u);
+    // Dynamic state (a counted arrival) cannot be reconstructed from
+    // static shadow membership.
+    EXPECT_FALSE(h.bank.rasQuiescent(0));
+}
+
+// The race the OS ladder must win: corruption is sitting on the filter
+// when the *last* arrival lands — the invalidation that would commit
+// open(). Access-time detection must examine the state before the FSM
+// walk consumes it, so the corrupted episode is never released.
+TEST(RasRecovery, DetectionBeatsTheOpenCommit)
+{
+    RasHarness h(RasDetect::Parity, false); // no handler: detect poisons
+    auto *f = h.bank.allocate(makeMap(2));
+
+    h.bank.onInvalidate(arrBase);
+    ASSERT_EQ(h.bank.onFillRequest(fillMsg(arrBase, 0)),
+              FillAction::Blocked);
+    ASSERT_EQ(h.bank.injectStateFlips(0, "mask", 1, h.rng), 1u);
+
+    // The final arrival reaches the bank in the same cycle the open
+    // would commit. Detection fires first: the filter is poisoned, the
+    // withheld fill is error-nacked, and no release ever happens.
+    h.bank.onInvalidate(arrBase + stride);
+    h.eq.run();
+    EXPECT_EQ(h.ctr("rasDetected"), 1u);
+    EXPECT_TRUE(f->isPoisoned());
+    EXPECT_EQ(f->openCount(), 0u);
+    ASSERT_EQ(h.nacked.size(), 1u);
+    EXPECT_EQ(h.nacked[0].lineAddr, arrBase);
+}
+
+// ----- the OS ladder end to end ----------------------------------------------
+
+TEST(RasLadder, ScrubbedKernelRunCompletesCorrectly)
+{
+    // A single parity-visible flip mid-kernel: the OS scrub handles it
+    // (rebuild or poison escalation), and either way the run finishes
+    // with correct results — the §3.3.4 arc absorbs the fault.
+    FuzzScenario sc = rasScenario("fsm", "parity", 1, 1);
+    FuzzRun r = runScenarioKind(sc, BarrierKind::FilterDCache, false);
+    EXPECT_TRUE(r.completed) << r.exception;
+    EXPECT_TRUE(r.correct);
+    EXPECT_GE(ctrOr0(r, "faults.stateFlips"), 1u);
+    EXPECT_GE(ctrOr0(r, "os.ras.scrubs"), 1u);
+    EXPECT_GE(ctrOr0(r, "os.ras.rebuilds") + ctrOr0(r, "os.ras.fallbacks"),
+              1u);
+}
+
+TEST(RasLadder, SavedImageFlipCaughtAtSwapIn)
+{
+    // Corrupt a swapped-out SavedState image while its group is parked
+    // in the context table; SECDED catches it at swap-in, before the
+    // image is restored into a physical filter.
+    FuzzScenario sc = rasScenario("saved", "secded", 1, 1);
+    sc.churn.enabled = true;
+    sc.churn.groups = 2;
+    sc.churn.threadsPerGroup = 2;
+    sc.churn.epochs = 10;
+    sc.churn.leaveAfter.assign(4, 0);
+    sc.cfg.numCores = 4;
+    sc.threads = 4;
+    sc.cfg.filterVirtual = true;
+    sc.cfg.filtersPerBank = 1;
+    sc.cfg.l2Banks = 1;
+    FuzzRun r = runChurn(sc, BarrierKind::FilterDCache, false);
+    EXPECT_TRUE(r.completed) << r.exception;
+    EXPECT_TRUE(r.correct);
+    EXPECT_GE(ctrOr0(r, "faults.savedFlips"), 1u);
+    EXPECT_GE(ctrOr0(r, "os.virt.rasCorrected"), 1u);
+}
+
+TEST(RasLadder, CrcRetryDeliversCorruptedBusMessage)
+{
+    // A corrupted message fails its CRC, is retried after backoff, and
+    // the clean retransmission keeps the run fully correct.
+    FuzzScenario sc = rasScenario("bus", "secded", 1, 1);
+    FuzzRun r = runScenarioKind(sc, BarrierKind::FilterDCache, false);
+    EXPECT_TRUE(r.completed) << r.exception;
+    EXPECT_TRUE(r.correct);
+    EXPECT_GE(ctrOr0(r, "faults.busFlips"), 1u);
+    EXPECT_GE(sumBySuffix(r, ".crcRetries"), 1u);
+    EXPECT_EQ(sumBySuffix(r, ".crcGiveUps"), 0u);
+}
+
+TEST(RasLadder, InjectionReplaysDeterministically)
+{
+    FuzzScenario sc = rasScenario("arrived", "secded", 1, 7);
+    FuzzRun a = runScenarioKind(sc, BarrierKind::FilterDCache, false);
+    FuzzRun b = runScenarioKind(sc, BarrierKind::FilterDCache, false);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.counters, b.counters); // same seed, same fault story
+    EXPECT_GE(ctrOr0(a, "faults.stateFlips"), 1u);
+}
+
+// ----- flight recorder integration -------------------------------------------
+
+TEST(RasFlightRecorder, ChannelAppearsInDiagJsonDump)
+{
+    CmpConfig cfg;
+    cfg.numCores = 2;
+    cfg.diagJsonFile = "/dev/null"; // auto-enables the recorder
+    CmpSystem sys(cfg);
+    ASSERT_NE(sys.flightRecorder(), nullptr);
+
+    sys.statistics().probes().ras.notify(
+        {Tick(7), RasEventKind::Scrub, 0, 1, 3, 2});
+    sys.statistics().probes().ras.notify(
+        {Tick(9), RasEventKind::BusCrcRetry, ~0u, ~0u, -1, 1});
+
+    std::ostringstream os;
+    sys.dumpDiagnosticsJson(os);
+    JsonValue v = parseJson(os.str());
+    const JsonValue &ch =
+        v.at("flightRecorder").at("channels").at("ras");
+    ASSERT_EQ(ch.at("events").arr.size(), 2u);
+
+    const JsonValue &scrub = ch.at("events").arr[0];
+    EXPECT_EQ(scrub.at("kind").str, "scrub");
+    EXPECT_EQ(scrub.at("bank").number, 0.0);
+    EXPECT_EQ(scrub.at("filterIdx").number, 1.0);
+    EXPECT_EQ(scrub.at("groupId").number, 3.0);
+    EXPECT_EQ(scrub.at("flips").number, 2.0);
+
+    // Bus events carry no bank/filter coordinates.
+    const JsonValue &retry = ch.at("events").arr[1];
+    EXPECT_EQ(retry.at("kind").str, "bus-crc-retry");
+    EXPECT_FALSE(retry.has("bank"));
+    EXPECT_FALSE(retry.has("filterIdx"));
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Soft-error RAS fault-campaign driver CLI (docs/ROBUSTNESS.md §11).
+ *
+ * A thin alias of the sweep CLI pointed at "ras"-mode specs: the spec's
+ * sites x detect x bits axes cross with kernels/cores/mechanisms/seeds,
+ * each run plants a targeted state flip and is classified
+ * (detected-recovered / detected-unrecovered / undetected-benign /
+ * silent-corruption / crash), and the aggregate's "rasCoverage" section
+ * rolls the classifications up per detection tier.
+ *
+ *   ras_campaign spec=bench/sweeps/ras_smoke.json out=DIR
+ *                [rasbaseline=bench/baselines/BENCH_ras_coverage.json]
+ *                [rastol=0.05] [report=FILE]
+ *   ras_campaign compare aggregate=FILE rasbaseline=FILE [report=FILE]
+ *
+ * Exit codes: 0 ok, 1 coverage regression, 2 usage/IO error, 3 degraded
+ * (quarantined runs), 130 interrupted (resumable with resume=1).
+ */
+
+#include "sys/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bfsim::sweepCliEntry(argc, argv);
+}
